@@ -1,0 +1,42 @@
+//! E6 — the amortization ablation: total cost of filtering a batch of n
+//! packets, interpreted vs generate-once-then-run-specialized. The
+//! crossover (staged wins from n ≈ 2) mirrors the step-count analysis in
+//! `table1 crossover`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlbox_bpf::filters::telnet_filter;
+use mlbox_bpf::harness::FilterHarness;
+use mlbox_bpf::packet::PacketGen;
+
+fn bench_crossover(c: &mut Criterion) {
+    let filter = telnet_filter();
+    let mut packets = PacketGen::new(3);
+    let workload = packets.workload(32, 0.5);
+
+    let mut group = c.benchmark_group("crossover");
+    group.sample_size(10);
+    for n in [1usize, 4, 32] {
+        group.bench_with_input(BenchmarkId::new("interp_batch", n), &n, |b, &n| {
+            let mut h = FilterHarness::new(&filter).expect("harness");
+            b.iter(|| {
+                for p in workload.iter().cycle().take(n) {
+                    h.interp(p).expect("interp");
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("generate_then_run", n), &n, |b, &n| {
+            b.iter(|| {
+                // Includes the one-time generation in every iteration.
+                let mut h = FilterHarness::new(&filter).expect("harness");
+                h.specialize().expect("specialize");
+                for p in workload.iter().cycle().take(n) {
+                    h.specialized(p).expect("specialized");
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossover);
+criterion_main!(benches);

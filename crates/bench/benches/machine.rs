@@ -1,0 +1,74 @@
+//! CCAM microbenchmarks: raw simulator throughput for the instruction
+//! classes the RTCG path exercises (dispatch, emission, call).
+
+use ccam::instr::{Instr, PrimOp};
+use ccam::machine::Machine;
+use ccam::value::Value;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::rc::Rc;
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+
+    // Arithmetic loop: 1000 adds.
+    let add_code: Vec<Instr> = std::iter::repeat_with(|| {
+        [
+            Instr::Push,
+            Instr::Quote(Value::Int(1)),
+            Instr::ConsPair,
+            Instr::Prim(PrimOp::Add),
+        ]
+    })
+    .take(1000)
+    .flatten()
+    .collect();
+    let add_code = Rc::new(add_code);
+    group.bench_function("add_1000", |b| {
+        let mut m = Machine::new();
+        b.iter(|| m.run(add_code.clone(), Value::Int(0)).expect("run"))
+    });
+
+    // Emission throughput: 1000 emits into one arena.
+    let mut emit_code = vec![Instr::Push, Instr::NewArena, Instr::ConsPair];
+    emit_code.extend(
+        std::iter::repeat_with(|| Instr::Emit(Box::new(Instr::Id))).take(1000),
+    );
+    let emit_code = Rc::new(emit_code);
+    group.bench_function("emit_1000", |b| {
+        let mut m = Machine::new();
+        b.iter(|| m.run(emit_code.clone(), Value::Unit).expect("run"))
+    });
+
+    // Generate-and-call round trip.
+    let gen_call = Rc::new(vec![
+        Instr::Quote(Value::Int(7)),
+        Instr::Push,
+        Instr::NewArena,
+        Instr::ConsPair,
+        Instr::LiftV,
+        Instr::Emit(Box::new(Instr::Push)),
+        Instr::Emit(Box::new(Instr::ConsPair)),
+        Instr::Emit(Box::new(Instr::Prim(PrimOp::Add))),
+        Instr::Call,
+    ]);
+    group.bench_function("generate_and_call", |b| {
+        let mut m = Machine::new();
+        b.iter(|| m.run(gen_call.clone(), Value::Unit).expect("run"))
+    });
+
+    // Closure application: (closure, arg) |-> body.
+    let apply_once = Rc::new(vec![Instr::App]);
+    group.bench_function("apply_closure", |b| {
+        let mut m = Machine::new();
+        let clos = {
+            let code = Rc::new(vec![Instr::Cur(Rc::new(vec![Instr::Snd]))]);
+            m.run(code, Value::Unit).expect("make closure")
+        };
+        let input = Value::pair(clos, Value::Int(5));
+        b.iter(|| m.run(apply_once.clone(), input.clone()).expect("run"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E4 — §3.4 memoization: codePower regeneration vs memoPower1 cache
+//! hits vs memoPower2 shared generating extensions.
+
+use ccam::value::Value;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlbox::Session;
+
+fn bench_memo_power(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memo_power");
+
+    // Regenerating every time (no memoization).
+    let mut s0 = Session::new().expect("session");
+    s0.run(mlbox::programs::CODE_POWER).expect("codePower");
+    group.bench_function("regenerate_every_call", |b| {
+        b.iter(|| s0.eval_expr("eval (codePower 16) 2").expect("eval"))
+    });
+
+    // memoPower1: specialized function cached after the first call.
+    let mut s1 = Session::new().expect("session");
+    s1.run(mlbox::programs::CODE_POWER).expect("codePower");
+    s1.run(mlbox::programs::MEMO_POWER1).expect("memoPower1");
+    s1.eval_expr("memoPower1 16 2").expect("warm");
+    group.bench_function("memo_power1_hit", |b| {
+        b.iter(|| s1.eval_expr("memoPower1 16 2").expect("hit"))
+    });
+
+    // The raw specialized function, without even the table lookup.
+    let mut s2 = Session::new().expect("session");
+    s2.run(mlbox::programs::CODE_POWER).expect("codePower");
+    s2.run("val pow16 = eval (codePower 16)").expect("pow16");
+    group.bench_function("specialized_direct", |b| {
+        b.iter(|| s2.call("pow16", Value::Int(2)).expect("call"))
+    });
+
+    // memoPower2: generating extensions shared across exponents.
+    let mut s3 = Session::new().expect("session");
+    s3.run(mlbox::programs::MEMO_POWER2).expect("memoPower2");
+    s3.eval_expr("memoPower2 60 2").expect("warm");
+    group.bench_function("memo_power2_related_exponent", |b| {
+        let mut e = 10u32;
+        b.iter(|| {
+            // Different exponents below 60 reuse memoized extensions.
+            e = (e % 50) + 10;
+            s3.eval_expr(&format!("memoPower2 {e} 2")).expect("eval")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_memo_power);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E5 — §3.2 multi-stage specialization: dynamically generated code that
+//! itself generates specialized code (the library-client example).
+
+use ccam::value::Value;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlbox::Session;
+
+fn bench_multistage(c: &mut Criterion) {
+    let mut s = Session::new().expect("session");
+    s.run(mlbox::programs::EVAL_POLY).expect("evalPoly");
+    s.run(mlbox::programs::COMP_POLY).expect("compPoly");
+    s.run(mlbox::programs::CLIENT).expect("client");
+    s.run("val stage1 = eval client").expect("stage1");
+    s.run("val stage2 = stage1 8").expect("stage2");
+
+    let mut group = c.benchmark_group("multistage");
+    // Stage 1: run the generated client code (which runs compPoly and
+    // generates stage-2 code).
+    group.bench_function("stage1_generates_stage2", |b| {
+        b.iter(|| s.call("stage1", Value::Int(8)).expect("stage1"))
+    });
+    // Stage 2: run the doubly-specialized polynomial.
+    group.bench_function("stage2_specialized_call", |b| {
+        b.iter(|| s.call("stage2", Value::Int(47)).expect("stage2"))
+    });
+    // Baseline: the same computation, interpreted all the way.
+    s.run("val interpBoth = fn y => fn x => evalPoly (x, makePoly y)")
+        .expect("baseline");
+    s.run("val interpAt8 = interpBoth 8").expect("interpAt8");
+    group.bench_function("interp_baseline_call", |b| {
+        b.iter(|| s.call("interpAt8", Value::Int(47)).expect("call"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_multistage);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E1 — wall-clock companion to Table 1 rows 1–4: the interpretive packet
+//! filter `evalpf` vs the run-time-specialized `bevalpf` (§3.3), on
+//! synthetic telnet and non-telnet packets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlbox_bpf::filters::telnet_filter;
+use mlbox_bpf::harness::FilterHarness;
+use mlbox_bpf::native::run_filter;
+use mlbox_bpf::packet::PacketGen;
+
+fn bench_packet_filter(c: &mut Criterion) {
+    let filter = telnet_filter();
+    let mut harness = FilterHarness::new(&filter).expect("harness");
+    harness.specialize().expect("specialize");
+    let mut packets = PacketGen::new(1998);
+    let telnet = packets.telnet(32);
+    let web = packets.tcp(80, 32);
+
+    let mut group = c.benchmark_group("packet_filter");
+    for (name, pkt) in [("telnet", &telnet), ("other", &web)] {
+        group.bench_with_input(BenchmarkId::new("evalpf", name), pkt, |b, p| {
+            b.iter(|| harness.interp(p).expect("interp"))
+        });
+        group.bench_with_input(BenchmarkId::new("bevalpf_specialized", name), pkt, |b, p| {
+            b.iter(|| harness.specialized(p).expect("specialized"))
+        });
+        group.bench_with_input(BenchmarkId::new("native_rust", name), pkt, |b, p| {
+            b.iter(|| run_filter(&filter, &p.bytes))
+        });
+    }
+    // Generation cost: specialize a fresh filter each iteration.
+    group.bench_function("specialize_once", |b| {
+        b.iter(|| {
+            let mut h = FilterHarness::new(&filter).expect("harness");
+            h.specialize().expect("specialize")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_packet_filter);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E2/E3 — wall-clock companion to Table 1 rows 5–10: interpreted vs
+//! closure-specialized vs code-generated polynomial evaluation (§3.1).
+
+use ccam::value::Value;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlbox::Session;
+use mlbox_bench::poly_literal;
+
+fn bench_polynomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polynomial");
+    for degree in [3usize, 16, 64] {
+        let poly = poly_literal(degree, 7);
+        // One shared session per degree, specialization done once.
+        let mut s = Session::new().expect("session");
+        s.run(mlbox::programs::EVAL_POLY).expect("evalPoly");
+        s.run(mlbox::programs::SPEC_POLY).expect("specPoly");
+        s.run(mlbox::programs::COMP_POLY).expect("compPoly");
+        s.run(&format!("val thePoly = {poly}")).expect("poly");
+        s.run("val specF = specPoly thePoly").expect("specF");
+        s.run("val stagedF = eval (compPoly thePoly)").expect("stagedF");
+        s.run("val interpF = fn x => evalPoly (x, thePoly)")
+            .expect("interpF");
+
+        group.bench_with_input(BenchmarkId::new("interpreted", degree), &degree, |b, _| {
+            b.iter(|| s.call("interpF", Value::Int(47)).expect("call"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("spec_closures", degree),
+            &degree,
+            |b, _| b.iter(|| s.call("specF", Value::Int(47)).expect("call")),
+        );
+        group.bench_with_input(BenchmarkId::new("staged_rtcg", degree), &degree, |b, _| {
+            b.iter(|| s.call("stagedF", Value::Int(47)).expect("call"))
+        });
+        // The one-time generation cost, for amortization context.
+        group.bench_with_input(BenchmarkId::new("generate", degree), &degree, |b, _| {
+            b.iter(|| s.eval_expr("eval (compPoly thePoly)").expect("generate"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_polynomial);
+criterion_main!(benches);

@@ -1,0 +1,303 @@
+//! Regenerates the paper's **Table 1** ("Reduction steps on the CCAM for
+//! various functions in the text") and the extension sweeps.
+//!
+//! Usage:
+//!
+//! ```text
+//! table1             # the Table 1 reproduction
+//! table1 sweep-poly  # polynomial-degree sweep (E6)
+//! table1 sweep-filter# filter-length sweep (E6)
+//! table1 crossover   # amortization break-even analysis (E6)
+//! table1 memo        # memoization measurements (E4)
+//! table1 all         # everything
+//! ```
+//!
+//! Absolute numbers differ from the paper (our CCAM's extension
+//! instruction inventory is a reconstruction — DESIGN.md §3.1); the
+//! *shape* of the results is asserted in `tests/` and recorded in
+//! EXPERIMENTS.md.
+
+use mlbox_bench::{break_even, poly_costs, poly_literal, render_table, Row};
+use mlbox_bpf::filters::{chain_filter, telnet_filter};
+use mlbox_bpf::harness::FilterHarness;
+use mlbox_bpf::packet::PacketGen;
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "table1".into());
+    let run = |name: &str| mode == name || mode == "all";
+    if run("table1") {
+        table1();
+    }
+    if run("sweep-poly") {
+        sweep_poly();
+    }
+    if run("sweep-filter") {
+        sweep_filter();
+    }
+    if run("crossover") {
+        crossover();
+    }
+    if run("memo") {
+        memo();
+    }
+    if run("optimize") {
+        optimize_ablation();
+    }
+}
+
+/// §4.2 ablation: the emission-time optimizer ("a more sophisticated
+/// specialization system might ... eliminate the instruction altogether
+/// if either [operand] is 0") on the Table 1 workloads.
+fn optimize_ablation() {
+    use mlbox::{Session, SessionOptions};
+    let measure = |optimize: bool| {
+        let mut s = Session::with_options(SessionOptions {
+            optimize,
+            ..Default::default()
+        })
+        .expect("session");
+        s.run(mlbox::programs::EVAL_POLY).expect("evalPoly");
+        s.run(mlbox::programs::COMP_POLY).expect("compPoly");
+        let gen = s.run("val f = eval (compPoly polyl)").expect("generate");
+        let call = s.eval_expr("f 47").expect("call");
+        (
+            gen.last().expect("outcome").stats.steps,
+            call.stats.steps,
+            call.value.clone(),
+        )
+    };
+    let (gen_plain, call_plain, v1) = measure(false);
+    let (gen_opt, call_opt, v2) = measure(true);
+    assert_eq!(v1, v2);
+    println!("Emission-time optimizer ablation (compPoly polyl; polyl has a 0 coefficient)");
+    println!("  plain:     generate {gen_plain:>5} steps, specialized call {call_plain:>4} steps");
+    println!("  optimized: generate {gen_opt:>5} steps, specialized call {call_opt:>4} steps");
+    println!(
+        "  per-call saving {:.0}% for {:.0}% extra generation work\n",
+        100.0 * (call_plain - call_opt) as f64 / call_plain as f64,
+        100.0 * (gen_opt as f64 - gen_plain as f64) / gen_plain as f64
+    );
+
+    let filter = mlbox_bpf::filters::telnet_filter();
+    let mut packets = PacketGen::new(2027);
+    let telnet = packets.telnet(16);
+    let mut plain = FilterHarness::new(&filter).expect("harness");
+    let mut opt = FilterHarness::with_options(
+        &filter,
+        SessionOptions {
+            optimize: true,
+            ..Default::default()
+        },
+    )
+    .expect("harness");
+    let gp = plain.specialize().expect("gen");
+    let go = opt.specialize().expect("gen");
+    let (_, sp) = plain.specialized(&telnet).expect("run");
+    let (_, so) = opt.specialized(&telnet).expect("run");
+    println!("Telnet filter: plain gen {} / call {}; optimized gen {} / call {}\n", gp.steps, sp, go.steps, so);
+}
+
+/// The Table 1 reproduction: packet-filter rows measured through the BPF
+/// harness, polynomial rows via the §3.1 programs.
+fn table1() {
+    let mut rows = Vec::new();
+
+    // ---- Packet filter rows (E1) ----
+    let filter = telnet_filter();
+    let mut h = FilterHarness::new(&filter).expect("harness");
+    let mut packets = PacketGen::new(1998);
+    let telnet = packets.telnet(32);
+
+    let (v, interp_steps) = h.interp(&telnet).expect("interp");
+    assert!(v > 0, "telnet packet must be accepted");
+    rows.push(Row::with_paper(
+        "evalpf on first telnet packet",
+        interp_steps,
+        0,
+        9163,
+    ));
+    let (_, interp_steps_n) = h.interp(&telnet).expect("interp");
+    rows.push(Row::with_paper(
+        "evalpf on nth telnet packet",
+        interp_steps_n,
+        0,
+        9163,
+    ));
+    let gen_stats = h.specialize().expect("specialize");
+    let (v, run_steps) = h.specialized(&telnet).expect("specialized");
+    assert!(v > 0);
+    rows.push(Row::with_paper(
+        "bevalpf on first telnet packet",
+        gen_stats.steps + run_steps,
+        gen_stats.emitted,
+        11984,
+    ));
+    let (_, run_steps_n) = h.specialized(&telnet).expect("specialized");
+    rows.push(Row::with_paper(
+        "bevalpf on nth telnet packet",
+        run_steps_n,
+        0,
+        1104,
+    ));
+
+    // ---- Polynomial rows (E2, E3) ----
+    let c = poly_costs("[2, 4, 0, 2333]", 47).expect("poly costs");
+    rows.push(Row::with_paper("evalPoly (47, polyl)", c.interp_per_call, 0, 807));
+    rows.push(Row::with_paper("specPoly polyl", c.spec_build, 0, 443));
+    rows.push(Row::with_paper("polylTarget 47", c.spec_per_call, 0, 175));
+    rows.push(Row::with_paper("compPoly polyl", c.comp_build, 0, 553));
+    rows.push(Row::with_paper("eval codeGenerator", c.generate, 0, 200));
+    rows.push(Row::with_paper("mlPolyFun 47", c.staged_per_call, 0, 74));
+
+    println!(
+        "{}",
+        render_table(
+            "Table 1: Reduction steps on the CCAM for various functions in the text",
+            &rows
+        )
+    );
+    println!(
+        "shape checks: bevalpf nth / evalpf = {:.2}x cheaper (paper {:.2}x); \
+         mlPolyFun / evalPoly = {:.2}x cheaper (paper {:.2}x)\n",
+        interp_steps as f64 / run_steps_n as f64,
+        9163.0 / 1104.0,
+        c.interp_per_call as f64 / c.staged_per_call as f64,
+        807.0 / 74.0,
+    );
+}
+
+/// Polynomial-degree sweep: one-time and per-call costs as the degree
+/// grows (all three §3.1 strategies).
+fn sweep_poly() {
+    println!("Polynomial degree sweep (base 47, random coefficients, seed 7)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "degree", "interp/call", "spec build", "spec/call", "gen(once)", "staged/call", "breakeven"
+    );
+    for degree in [0usize, 1, 2, 3, 5, 8, 12, 16, 24, 32, 48, 64] {
+        let poly = poly_literal(degree, 7);
+        let c = poly_costs(&poly, 47).expect("poly costs");
+        let be = break_even(
+            c.comp_build + c.generate,
+            c.interp_per_call,
+            c.staged_per_call,
+        )
+        .map(|n| n.to_string())
+        .unwrap_or_else(|| "never".into());
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            degree,
+            c.interp_per_call,
+            c.spec_build,
+            c.spec_per_call,
+            c.comp_build + c.generate,
+            c.staged_per_call,
+            be
+        );
+    }
+    println!();
+}
+
+/// Filter-length sweep: interpretation cost grows with program length;
+/// specialized cost stays flat (per reached instruction).
+fn sweep_filter() {
+    println!("Filter length sweep (chain filters, one ldb + n fall-through tests)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>10}",
+        "length", "interp/pkt", "gen(once)", "staged/pkt", "breakeven"
+    );
+    for n in [0usize, 2, 4, 8, 16, 32, 64] {
+        let filter = chain_filter(n);
+        let mut h = FilterHarness::new(&filter).expect("harness");
+        let pkt = mlbox_bpf::packet::Packet {
+            bytes: vec![42, 0, 0, 0],
+            kind: mlbox_bpf::packet::PacketKind::Arp,
+        };
+        let (_, interp) = h.interp(&pkt).expect("interp");
+        let gen = h.specialize().expect("gen");
+        let (_, staged) = h.specialized(&pkt).expect("staged");
+        let be = break_even(gen.steps, interp, staged)
+            .map(|x| x.to_string())
+            .unwrap_or_else(|| "never".into());
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>10}",
+            filter.len(),
+            interp,
+            gen.steps,
+            staged,
+            be
+        );
+    }
+    println!();
+}
+
+/// Amortization crossover for the telnet filter: total steps of
+/// interpreting n packets vs generating once + running specialized code
+/// n times.
+fn crossover() {
+    let filter = telnet_filter();
+    let mut h = FilterHarness::new(&filter).expect("harness");
+    let mut packets = PacketGen::new(2026);
+    let telnet = packets.telnet(32);
+    let (_, interp) = h.interp(&telnet).expect("interp");
+    let gen = h.specialize().expect("gen");
+    let (_, staged) = h.specialized(&telnet).expect("staged");
+    println!("Amortization (telnet filter, telnet packets)");
+    println!(
+        "  interpreted: {interp} steps/packet; generation: {} steps once; specialized: {staged} steps/packet",
+        gen.steps
+    );
+    println!(
+        "{:>10} {:>14} {:>14} {:>8}",
+        "packets", "interp total", "staged total", "winner"
+    );
+    for n in [1u64, 2, 3, 5, 10, 30, 100, 1000] {
+        let it = interp * n;
+        let st = gen.steps + staged * n;
+        println!(
+            "{:>10} {:>14} {:>14} {:>8}",
+            n,
+            it,
+            st,
+            if st < it { "staged" } else { "interp" }
+        );
+    }
+    match break_even(gen.steps, interp, staged) {
+        Some(n) => println!("  break-even at {n} packet(s)\n"),
+        None => println!("  staged never wins\n"),
+    }
+}
+
+/// Memoization (E4): memoPower1 hit/miss, memoPower2 sharing, and the
+/// memoizing staged packet-filter generator.
+fn memo() {
+    let mut s = mlbox::Session::new().expect("session");
+    s.run(mlbox::programs::CODE_POWER).expect("codePower");
+    s.run(mlbox::programs::MEMO_POWER1).expect("memoPower1");
+    let miss = s.eval_expr("memoPower1 16 2").expect("miss");
+    let hit = s.eval_expr("memoPower1 16 2").expect("hit");
+    println!("memoPower1 16: miss {} steps ({} emitted), hit {} steps ({} emitted)",
+        miss.stats.steps, miss.stats.emitted, hit.stats.steps, hit.stats.emitted);
+
+    let mut s2 = mlbox::Session::new().expect("session");
+    s2.run(mlbox::programs::MEMO_POWER2).expect("memoPower2");
+    let first = s2.eval_expr("memoPower2 60 2").expect("60");
+    let shared = s2.eval_expr("memoPower2 34 2").expect("34");
+    let mut s3 = mlbox::Session::new().expect("session");
+    s3.run(mlbox::programs::MEMO_POWER2).expect("memoPower2");
+    let cold = s3.eval_expr("memoPower2 34 2").expect("34 cold");
+    println!(
+        "memoPower2: 2^60 first {} steps; then 2^34 {} steps (vs {} cold) — generating extensions shared",
+        first.stats.steps, shared.stats.steps, cold.stats.steps
+    );
+
+    let filter = telnet_filter();
+    let mut h1 = FilterHarness::new(&filter).expect("harness");
+    let plain = h1.specialize().expect("plain");
+    let mut h2 = FilterHarness::new(&filter).expect("harness");
+    let memo = h2.specialize_memo().expect("memo");
+    println!(
+        "bevalpf generation: plain {} steps / {} emitted; per-pc memoized {} steps / {} emitted\n",
+        plain.steps, plain.emitted, memo.steps, memo.emitted
+    );
+}

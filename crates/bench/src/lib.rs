@@ -1,0 +1,201 @@
+//! Shared measurement helpers for the Table 1 regeneration binary
+//! (`table1`) and the Criterion benches.
+//!
+//! The paper's metric is **CCAM reduction steps** (Table 1); the Criterion
+//! benches additionally report wall-clock time of the simulator, which
+//! tracks steps closely.
+
+use mlbox::{Error, Session};
+
+/// A measurement row: a computation's label and its reduction steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// What was measured (the paper's "Computation" column).
+    pub label: String,
+    /// CCAM reduction steps.
+    pub steps: u64,
+    /// Instructions emitted into arenas during the computation.
+    pub emitted: u64,
+    /// The paper's reported number, when the row reproduces one.
+    pub paper: Option<u64>,
+}
+
+impl Row {
+    /// A row with a paper reference number.
+    pub fn with_paper(label: impl Into<String>, steps: u64, emitted: u64, paper: u64) -> Row {
+        Row {
+            label: label.into(),
+            steps,
+            emitted,
+            paper: Some(paper),
+        }
+    }
+
+    /// A row without a paper reference.
+    pub fn new(label: impl Into<String>, steps: u64, emitted: u64) -> Row {
+        Row {
+            label: label.into(),
+            steps,
+            emitted,
+            paper: None,
+        }
+    }
+}
+
+/// Renders rows as an aligned text table (Computation / Reductions /
+/// Emitted / Paper).
+pub fn render_table(title: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let label_w = rows
+        .iter()
+        .map(|r| r.label.len())
+        .max()
+        .unwrap_or(11)
+        .max("Computation".len());
+    out.push_str(&format!(
+        "{:label_w$}  {:>10}  {:>8}  {:>10}\n",
+        "Computation", "Reductions", "Emitted", "Paper"
+    ));
+    out.push_str(&format!(
+        "{}  {}  {}  {}\n",
+        "-".repeat(label_w),
+        "-".repeat(10),
+        "-".repeat(8),
+        "-".repeat(10)
+    ));
+    for r in rows {
+        let paper = r
+            .paper
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "—".to_string());
+        out.push_str(&format!(
+            "{:label_w$}  {:>10}  {:>8}  {:>10}\n",
+            r.label, r.steps, r.emitted, paper
+        ));
+    }
+    out
+}
+
+/// A session preloaded with the paper's interpretive polynomial program
+/// (`evalPoly` and `polyl` — §3.1); the staging declarations are *not*
+/// yet run so their cost can be measured.
+///
+/// # Errors
+///
+/// Propagates any pipeline error.
+pub fn poly_session() -> Result<Session, Error> {
+    let mut s = Session::new()?;
+    s.run(mlbox::programs::EVAL_POLY)?;
+    Ok(s)
+}
+
+/// Builds a polynomial of the given degree (degree+1 coefficients) as an
+/// MLbox list literal, deterministic in `seed`.
+pub fn poly_literal(degree: usize, seed: u64) -> String {
+    // A simple LCG keeps this deterministic without threading an RNG.
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut items = Vec::with_capacity(degree + 1);
+    for _ in 0..=degree {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        items.push(((state >> 33) % 1000).to_string());
+    }
+    format!("[{}]", items.join(", "))
+}
+
+/// Measured costs for the six §3.1 computations on one polynomial.
+#[derive(Debug, Clone, Copy)]
+pub struct PolyCosts {
+    /// Steps to interpret `evalPoly (x, p)` once.
+    pub interp_per_call: u64,
+    /// Steps to run `specPoly p` (closure-building specialization).
+    pub spec_build: u64,
+    /// Steps per call of the `specPoly` result.
+    pub spec_per_call: u64,
+    /// Steps to run `compPoly p` (build the generating-extension chain).
+    pub comp_build: u64,
+    /// Steps for `eval codeGenerator` (code generation itself).
+    pub generate: u64,
+    /// Steps per call of the generated function.
+    pub staged_per_call: u64,
+}
+
+/// Measures all six §3.1 computations for one polynomial.
+///
+/// # Errors
+///
+/// Propagates any pipeline error.
+pub fn poly_costs(poly: &str, base: i64) -> Result<PolyCosts, Error> {
+    let mut s = poly_session()?;
+    s.run(&format!("val thePoly = {poly}"))?;
+    let interp = s.eval_expr(&format!("evalPoly ({base}, thePoly)"))?;
+    s.run(mlbox::programs::SPEC_POLY)?;
+    let spec_build = s.run("val specF = specPoly thePoly")?;
+    let spec_call = s.eval_expr(&format!("specF {base}"))?;
+    s.run(mlbox::programs::COMP_POLY)?;
+    let comp_build = s.run("val theGen = compPoly thePoly")?;
+    let generate = s.run("val stagedF = eval theGen")?;
+    let staged_call = s.eval_expr(&format!("stagedF {base}"))?;
+    Ok(PolyCosts {
+        interp_per_call: interp.stats.steps,
+        spec_build: spec_build.last().expect("outcome").stats.steps,
+        spec_per_call: spec_call.stats.steps,
+        comp_build: comp_build.last().expect("outcome").stats.steps,
+        generate: generate.last().expect("outcome").stats.steps,
+        staged_per_call: staged_call.stats.steps,
+    })
+}
+
+/// The break-even point: how many uses amortize a one-time cost, given
+/// per-use savings. `None` when the specialized path is not cheaper.
+pub fn break_even(one_time: u64, per_use_before: u64, per_use_after: u64) -> Option<u64> {
+    let saving = per_use_before.checked_sub(per_use_after)?;
+    if saving == 0 {
+        return None;
+    }
+    Some(one_time.div_ceil(saving))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let rows = vec![
+            Row::with_paper("evalPoly (47, polyl)", 807, 0, 807),
+            Row::new("extra", 1, 2),
+        ];
+        let t = render_table("Table 1", &rows);
+        assert!(t.contains("Computation"));
+        assert!(t.contains("807"));
+        assert!(t.contains('—'));
+    }
+
+    #[test]
+    fn poly_literal_is_deterministic_and_sized() {
+        let a = poly_literal(5, 9);
+        let b = poly_literal(5, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.matches(',').count(), 5);
+    }
+
+    #[test]
+    fn poly_costs_have_the_papers_shape() {
+        let c = poly_costs("[2, 4, 0, 2333]", 47).unwrap();
+        // Table 1 shape: staged per-call ≪ spec per-call < interpreted.
+        assert!(c.staged_per_call < c.spec_per_call, "{c:?}");
+        assert!(c.spec_per_call < c.interp_per_call, "{c:?}");
+        assert!(c.generate > 0 && c.comp_build > 0 && c.spec_build > 0);
+    }
+
+    #[test]
+    fn break_even_math() {
+        assert_eq!(break_even(100, 30, 10), Some(5));
+        assert_eq!(break_even(100, 10, 30), None);
+        assert_eq!(break_even(100, 10, 10), None);
+    }
+}

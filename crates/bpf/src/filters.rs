@@ -1,0 +1,161 @@
+//! Filter programs: the telnet-accepting filter the paper measured, and
+//! parameterized filter families for the sweep benchmarks.
+
+use crate::insn::Insn;
+use crate::packet::{ETHERTYPE_IP, IPPROTO_TCP, TELNET_PORT};
+
+/// The classic "tcp dst port 23" filter (tcpdump's compilation of the
+/// predicate, in our opcode subset):
+///
+/// ```text
+/// (00) ldh [12]                       ; ethertype
+/// (01) jeq #0x800     jt 0  jf 8      ; IPv4?        → (10) reject
+/// (02) ldb [23]                       ; protocol
+/// (03) jeq #6         jt 0  jf 6      ; TCP?         → (10)
+/// (04) ldh [20]                       ; flags+frag
+/// (05) jset #0x1fff   jt 4  jf 0      ; fragment?    → (10)
+/// (06) ldxb 4*([14]&0xf)              ; X := IP header length
+/// (07) ldh [x + 16]                   ; TCP dst port
+/// (08) jeq #23        jt 0  jf 1      ; telnet?
+/// (09) ret #262144                    ; accept
+/// (10) ret #0                         ; reject
+/// ```
+pub fn telnet_filter() -> Vec<Insn> {
+    port_filter(TELNET_PORT)
+}
+
+/// The same shape for an arbitrary TCP destination port.
+pub fn port_filter(port: u16) -> Vec<Insn> {
+    vec![
+        Insn::LdAbsH(12),
+        Insn::JeqK {
+            k: ETHERTYPE_IP as i64,
+            jt: 0,
+            jf: 8,
+        },
+        Insn::LdAbsB(23),
+        Insn::JeqK {
+            k: IPPROTO_TCP as i64,
+            jt: 0,
+            jf: 6,
+        },
+        Insn::LdAbsH(20),
+        Insn::JsetK {
+            k: 0x1fff,
+            jt: 4,
+            jf: 0,
+        },
+        Insn::LdxMsh(14),
+        Insn::LdIndH(16),
+        Insn::JeqK {
+            k: port as i64,
+            jt: 0,
+            jf: 1,
+        },
+        Insn::RetK(262144),
+        Insn::RetK(0),
+    ]
+}
+
+/// Accept TCP to any of `ports` (an OR-chain): used to sweep filter
+/// length in the amortization benchmarks.
+pub fn multi_port_filter(ports: &[u16]) -> Vec<Insn> {
+    assert!(!ports.is_empty(), "at least one port required");
+    let n = ports.len();
+    let mut prog = vec![
+        Insn::LdAbsH(12),
+        // not IPv4 → reject, which sits n+5 slots ahead of pc 2
+        Insn::JeqK {
+            k: ETHERTYPE_IP as i64,
+            jt: 0,
+            jf: (n + 5) as u8,
+        },
+        Insn::LdAbsB(23),
+        Insn::JeqK {
+            k: IPPROTO_TCP as i64,
+            jt: 0,
+            jf: (n + 3) as u8,
+        },
+        Insn::LdxMsh(14),
+        Insn::LdIndH(16),
+    ];
+    // pc 6..6+n-1: port tests; accept is at 6+n, reject at 6+n+1.
+    for (i, &p) in ports.iter().enumerate() {
+        let to_accept = (n - 1 - i) as u8;
+        let to_reject = if i + 1 < n {
+            0 // fall through to the next test
+        } else {
+            (n - i) as u8 // last test: jump over accept to reject
+        };
+        prog.push(Insn::JeqK {
+            k: p as i64,
+            jt: to_accept,
+            jf: to_reject,
+        });
+    }
+    prog.push(Insn::RetK(262144));
+    prog.push(Insn::RetK(0));
+    prog
+}
+
+/// A linear chain of `n` accumulator tests on the same loaded byte — a
+/// degenerate filter family whose length is exactly `n + 3`, for scaling
+/// studies of generation cost versus filter size.
+pub fn chain_filter(n: usize) -> Vec<Insn> {
+    let mut prog = vec![Insn::LdAbsB(0)];
+    for i in 0..n {
+        // Never-matching tests that fall through.
+        prog.push(Insn::JeqK {
+            k: 1000 + i as i64,
+            jt: (n - i) as u8,
+            jf: 0,
+        });
+    }
+    prog.push(Insn::RetA);
+    prog.push(Insn::RetK(0));
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::validate_filter;
+    use crate::native::run_filter;
+    use crate::packet::PacketGen;
+
+    #[test]
+    fn filters_are_statically_valid() {
+        validate_filter(&telnet_filter()).unwrap();
+        validate_filter(&multi_port_filter(&[22, 23, 80])).unwrap();
+        validate_filter(&chain_filter(10)).unwrap();
+        validate_filter(&chain_filter(0)).unwrap();
+    }
+
+    #[test]
+    fn multi_port_accepts_each_listed_port() {
+        let prog = multi_port_filter(&[22, 23, 80]);
+        let mut g = PacketGen::new(5);
+        for port in [22u16, 23, 80] {
+            let p = g.tcp(port, 4);
+            assert!(run_filter(&prog, &p.bytes) > 0, "port {port} accepted");
+        }
+        assert_eq!(run_filter(&prog, &g.tcp(443, 4).bytes), 0);
+        assert_eq!(run_filter(&prog, &g.udp(23, 4).bytes), 0);
+    }
+
+    #[test]
+    fn chain_filter_returns_first_byte() {
+        let prog = chain_filter(5);
+        assert_eq!(run_filter(&prog, &[77, 0, 0]), 77);
+    }
+
+    #[test]
+    fn telnet_and_port_filter_agree() {
+        let mut g = PacketGen::new(6);
+        let p = g.telnet(4);
+        assert_eq!(
+            run_filter(&telnet_filter(), &p.bytes),
+            run_filter(&port_filter(23), &p.bytes)
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! The BPF instruction subset (§3.3 of the paper, after the BSD packet
+//! filter of McCanne–Jacobson).
+//!
+//! The virtual machine has an accumulator `A`, an index register `X`, a
+//! program counter, and reads a byte-addressed packet. Branch offsets are
+//! relative to the *next* instruction, as in BSD BPF.
+
+use std::fmt;
+
+/// One BPF instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insn {
+    /// Return the accumulator.
+    RetA,
+    /// Return the constant `k`.
+    RetK(i64),
+    /// `A := P[k..k+2]` (big-endian halfword at absolute offset).
+    LdAbsH(i64),
+    /// `A := P[k]` (byte at absolute offset).
+    LdAbsB(i64),
+    /// `A := P[X+k..X+k+2]`.
+    LdIndH(i64),
+    /// `A := P[X+k]` (the paper's `LD_IND`).
+    LdIndB(i64),
+    /// `X := 4 * (P[k] & 0x0f)` — the IP header-length idiom (`ldxb
+    /// 4*([k]&0xf)`).
+    LdxMsh(i64),
+    /// If `A = k` jump `jt` else `jf` (relative to the next instruction).
+    JeqK {
+        /// Comparison constant.
+        k: i64,
+        /// True offset.
+        jt: u8,
+        /// False offset.
+        jf: u8,
+    },
+    /// If `A > k` jump `jt` else `jf`.
+    JgtK {
+        /// Comparison constant.
+        k: i64,
+        /// True offset.
+        jt: u8,
+        /// False offset.
+        jf: u8,
+    },
+    /// If `A & k != 0` jump `jt` else `jf`.
+    JsetK {
+        /// Mask.
+        k: i64,
+        /// True offset.
+        jt: u8,
+        /// False offset.
+        jf: u8,
+    },
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Insn::RetA => write!(f, "ret A"),
+            Insn::RetK(k) => write!(f, "ret #{k}"),
+            Insn::LdAbsH(k) => write!(f, "ldh [{k}]"),
+            Insn::LdAbsB(k) => write!(f, "ldb [{k}]"),
+            Insn::LdIndH(k) => write!(f, "ldh [x + {k}]"),
+            Insn::LdIndB(k) => write!(f, "ldb [x + {k}]"),
+            Insn::LdxMsh(k) => write!(f, "ldxb 4*([{k}]&0xf)"),
+            Insn::JeqK { k, jt, jf } => write!(f, "jeq #{k} jt {jt} jf {jf}"),
+            Insn::JgtK { k, jt, jf } => write!(f, "jgt #{k} jt {jt} jf {jf}"),
+            Insn::JsetK { k, jt, jf } => write!(f, "jset #{k} jt {jt} jf {jf}"),
+        }
+    }
+}
+
+/// Checks the static validity of a filter program: all jump targets must
+/// land inside the program (BPF programs are loop-free by construction
+/// since jumps only go forward).
+pub fn validate_filter(prog: &[Insn]) -> Result<(), String> {
+    for (pc, insn) in prog.iter().enumerate() {
+        let check = |off: u8| -> Result<(), String> {
+            let target = pc + 1 + off as usize;
+            if target >= prog.len() {
+                Err(format!(
+                    "instruction {pc} ({insn}) jumps to {target}, past the end ({})",
+                    prog.len()
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        match insn {
+            Insn::JeqK { jt, jf, .. } | Insn::JgtK { jt, jf, .. } | Insn::JsetK { jt, jf, .. } => {
+                check(*jt)?;
+                check(*jf)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_tcpdump_like() {
+        assert_eq!(Insn::LdAbsH(12).to_string(), "ldh [12]");
+        assert_eq!(
+            Insn::JeqK { k: 2048, jt: 0, jf: 8 }.to_string(),
+            "jeq #2048 jt 0 jf 8"
+        );
+    }
+
+    #[test]
+    fn validate_catches_out_of_range_jumps() {
+        let bad = vec![Insn::JeqK { k: 0, jt: 5, jf: 0 }, Insn::RetK(0)];
+        assert!(validate_filter(&bad).is_err());
+        let ok = vec![Insn::JeqK { k: 0, jt: 0, jf: 0 }, Insn::RetK(0)];
+        assert!(validate_filter(&ok).is_ok());
+    }
+}

@@ -1,0 +1,41 @@
+//! BSD packet filter substrate for the MLbox reproduction (paper §3.3 and
+//! the Table 1 evaluation): a BPF instruction subset, synthetic
+//! telnet/UDP/ARP packets, a native-Rust interpreter baseline, the MLbox
+//! `evalpf`/`bevalpf` programs, and a measurement harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use mlbox_bpf::harness::FilterHarness;
+//! use mlbox_bpf::filters::telnet_filter;
+//! use mlbox_bpf::packet::PacketGen;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut harness = FilterHarness::new(&telnet_filter())?;
+//! let mut packets = PacketGen::new(42);
+//! let telnet = packets.telnet(32);
+//!
+//! // Interpretive filter (the paper's evalpf):
+//! let (verdict, interp_steps) = harness.interp(&telnet)?;
+//! assert!(verdict > 0);
+//!
+//! // Specialize once (bevalpf), then run the generated code:
+//! harness.specialize()?;
+//! let (verdict, staged_steps) = harness.specialized(&telnet)?;
+//! assert!(verdict > 0);
+//! assert!(staged_steps < interp_steps);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod filters;
+pub mod harness;
+pub mod insn;
+pub mod mlsrc;
+pub mod native;
+pub mod packet;
+
+pub use filters::{chain_filter, multi_port_filter, port_filter, telnet_filter};
+pub use harness::FilterHarness;
+pub use insn::Insn;
+pub use packet::{Packet, PacketGen};

@@ -1,0 +1,288 @@
+//! The paper's §3.3 programs in MLbox — the interpretive packet filter
+//! `evalpf` and its staged counterpart `bevalpf` — plus helpers to encode
+//! Rust-side filters and packets into a running [`mlbox::Session`].
+
+use crate::insn::Insn;
+use crate::packet::Packet;
+use ccam::value::Value;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The BPF machine in MLbox: instruction datatype, the interpreter
+/// `evalpf`, the staged `bevalpf`, and a memoizing variant `mkMemoBev`
+/// that caches one generating extension per program point (§3.4 applied
+/// to §3.3).
+pub const BPF_ML: &str = r#"
+datatype instruction =
+    RET_A
+  | RET_K of int
+  | LD_ABS_H of int
+  | LD_ABS_B of int
+  | LD_IND_H of int
+  | LD_IND_B of int
+  | LDX_MSH of int
+  | JEQ of int * int * int
+  | JGT of int * int * int
+  | JSET of int * int * int
+
+(* val evalpf : instruction array * int array * int * int * int -> int
+   Return the filter verdict; ~1 on error (paper §3.3). *)
+fun evalpf (filter, pkt, A, X, pc) =
+  if pc >= length filter then ~1
+  else
+    case sub (filter, pc) of
+      RET_A => A
+    | RET_K k => k
+    | LD_ABS_H k =>
+        if k + 1 >= length pkt then ~1
+        else evalpf (filter, pkt, 256 * sub (pkt, k) + sub (pkt, k + 1), X, pc + 1)
+    | LD_ABS_B k =>
+        if k >= length pkt then ~1
+        else evalpf (filter, pkt, sub (pkt, k), X, pc + 1)
+    | LD_IND_H i =>
+        let val k = X + i in
+          if k + 1 >= length pkt then ~1
+          else evalpf (filter, pkt, 256 * sub (pkt, k) + sub (pkt, k + 1), X, pc + 1)
+        end
+    | LD_IND_B i =>
+        let val k = X + i in
+          if k >= length pkt then ~1
+          else evalpf (filter, pkt, sub (pkt, k), X, pc + 1)
+        end
+    | LDX_MSH k =>
+        if k >= length pkt then ~1
+        else evalpf (filter, pkt, A, 4 * (band (sub (pkt, k), 15)), pc + 1)
+    | JEQ (k, jt, jf) =>
+        evalpf (filter, pkt, A, X, pc + 1 + (if A = k then jt else jf))
+    | JGT (k, jt, jf) =>
+        evalpf (filter, pkt, A, X, pc + 1 + (if A > k then jt else jf))
+    | JSET (k, jt, jf) =>
+        evalpf (filter, pkt, A, X, pc + 1 + (if band (A, k) > 0 then jt else jf))
+
+(* val runpf : instruction array * int array -> int *)
+fun runpf (filter, pkt) = evalpf (filter, pkt, 0, 0, 0)
+
+(* val bevalpf : instruction array * int ->
+                 (int * int * int array -> int) $
+   The staged interpreter: filter program and pc are early; the machine
+   state (A, X) and the packet are late. Invoking the resulting generator
+   produces CCAM code specialized to the filter — the interpretive
+   dispatch, bounds arithmetic on the program, and all constants are gone
+   (paper §3.3). *)
+fun bevalpf (filter, pc) =
+  if pc >= length filter then code (fn s => ~1)
+  else
+    case sub (filter, pc) of
+      RET_A => code (fn (A, X, pkt) => A)
+    | RET_K k =>
+        let cogen k' = lift k
+        in code (fn s => k') end
+    | LD_ABS_H k =>
+        let cogen ev = bevalpf (filter, pc + 1)
+            cogen k' = lift k
+        in code (fn (A, X, pkt) =>
+             if k' + 1 >= length pkt then ~1
+             else ev (256 * sub (pkt, k') + sub (pkt, k' + 1), X, pkt))
+        end
+    | LD_ABS_B k =>
+        let cogen ev = bevalpf (filter, pc + 1)
+            cogen k' = lift k
+        in code (fn (A, X, pkt) =>
+             if k' >= length pkt then ~1
+             else ev (sub (pkt, k'), X, pkt))
+        end
+    | LD_IND_H i =>
+        let cogen ev = bevalpf (filter, pc + 1)
+            cogen i' = lift i
+        in code (fn (A, X, pkt) =>
+             let val k = X + i' in
+               if k + 1 >= length pkt then ~1
+               else ev (256 * sub (pkt, k) + sub (pkt, k + 1), X, pkt)
+             end)
+        end
+    | LD_IND_B i =>
+        let cogen ev = bevalpf (filter, pc + 1)
+            cogen i' = lift i
+        in code (fn (A, X, pkt) =>
+             let val k = X + i' in
+               if k >= length pkt then ~1
+               else ev (sub (pkt, k), X, pkt)
+             end)
+        end
+    | LDX_MSH k =>
+        let cogen ev = bevalpf (filter, pc + 1)
+            cogen k' = lift k
+        in code (fn (A, X, pkt) =>
+             if k' >= length pkt then ~1
+             else ev (A, 4 * (band (sub (pkt, k'), 15)), pkt))
+        end
+    | JEQ (k, jt, jf) =>
+        let cogen evt = bevalpf (filter, pc + 1 + jt)
+            cogen evf = bevalpf (filter, pc + 1 + jf)
+            cogen k' = lift k
+        in code (fn (A, X, pkt) =>
+             if A = k' then evt (A, X, pkt) else evf (A, X, pkt))
+        end
+    | JGT (k, jt, jf) =>
+        let cogen evt = bevalpf (filter, pc + 1 + jt)
+            cogen evf = bevalpf (filter, pc + 1 + jf)
+            cogen k' = lift k
+        in code (fn (A, X, pkt) =>
+             if A > k' then evt (A, X, pkt) else evf (A, X, pkt))
+        end
+    | JSET (k, jt, jf) =>
+        let cogen evt = bevalpf (filter, pc + 1 + jt)
+            cogen evf = bevalpf (filter, pc + 1 + jf)
+            cogen k' = lift k
+        in code (fn (A, X, pkt) =>
+             if band (A, k') > 0 then evt (A, X, pkt) else evf (A, X, pkt))
+        end
+
+(* Specialize a whole filter once and return the compiled predicate.
+   Generation happens here (inside eval), not per packet. *)
+fun compilepf filter =
+  let val f = eval (bevalpf (filter, 0))
+  in fn pkt => f (0, 0, pkt) end
+
+(* A memoizing staged interpreter: caches the generating extension per
+   program point, so shared jump targets are specialized once instead of
+   being duplicated down both branches (extension of §3.4 to §3.3). *)
+fun mkMemoBev filter =
+  let
+    val tbl = newTable ()
+    fun mb pc =
+      case lookup (tbl, pc) of
+        SOME g => g
+      | NONE => let val g = bev pc in (add (tbl, (pc, g)); g) end
+    and bev pc =
+      if pc >= length filter then code (fn s => ~1)
+      else
+        case sub (filter, pc) of
+          RET_A => code (fn (A, X, pkt) => A)
+        | RET_K k =>
+            let cogen k' = lift k in code (fn s => k') end
+        | LD_ABS_H k =>
+            let cogen ev = mb (pc + 1)
+                cogen k' = lift k
+            in code (fn (A, X, pkt) =>
+                 if k' + 1 >= length pkt then ~1
+                 else ev (256 * sub (pkt, k') + sub (pkt, k' + 1), X, pkt))
+            end
+        | LD_ABS_B k =>
+            let cogen ev = mb (pc + 1)
+                cogen k' = lift k
+            in code (fn (A, X, pkt) =>
+                 if k' >= length pkt then ~1
+                 else ev (sub (pkt, k'), X, pkt))
+            end
+        | LD_IND_H i =>
+            let cogen ev = mb (pc + 1)
+                cogen i' = lift i
+            in code (fn (A, X, pkt) =>
+                 let val k = X + i' in
+                   if k + 1 >= length pkt then ~1
+                   else ev (256 * sub (pkt, k) + sub (pkt, k + 1), X, pkt)
+                 end)
+            end
+        | LD_IND_B i =>
+            let cogen ev = mb (pc + 1)
+                cogen i' = lift i
+            in code (fn (A, X, pkt) =>
+                 let val k = X + i' in
+                   if k >= length pkt then ~1
+                   else ev (sub (pkt, k), X, pkt)
+                 end)
+            end
+        | LDX_MSH k =>
+            let cogen ev = mb (pc + 1)
+                cogen k' = lift k
+            in code (fn (A, X, pkt) =>
+                 if k' >= length pkt then ~1
+                 else ev (A, 4 * (band (sub (pkt, k'), 15)), pkt))
+            end
+        | JEQ (k, jt, jf) =>
+            let cogen evt = mb (pc + 1 + jt)
+                cogen evf = mb (pc + 1 + jf)
+                cogen k' = lift k
+            in code (fn (A, X, pkt) =>
+                 if A = k' then evt (A, X, pkt) else evf (A, X, pkt))
+            end
+        | JGT (k, jt, jf) =>
+            let cogen evt = mb (pc + 1 + jt)
+                cogen evf = mb (pc + 1 + jf)
+                cogen k' = lift k
+            in code (fn (A, X, pkt) =>
+                 if A > k' then evt (A, X, pkt) else evf (A, X, pkt))
+            end
+        | JSET (k, jt, jf) =>
+            let cogen evt = mb (pc + 1 + jt)
+                cogen evf = mb (pc + 1 + jf)
+                cogen k' = lift k
+            in code (fn (A, X, pkt) =>
+                 if band (A, k') > 0 then evt (A, X, pkt) else evf (A, X, pkt))
+            end
+  in mb 0 end
+"#;
+
+/// Renders one instruction as an MLbox constructor expression.
+pub fn insn_to_ml(i: &Insn) -> String {
+    match *i {
+        Insn::RetA => "RET_A".to_string(),
+        Insn::RetK(k) => format!("RET_K {}", ml_int(k)),
+        Insn::LdAbsH(k) => format!("LD_ABS_H {}", ml_int(k)),
+        Insn::LdAbsB(k) => format!("LD_ABS_B {}", ml_int(k)),
+        Insn::LdIndH(k) => format!("LD_IND_H {}", ml_int(k)),
+        Insn::LdIndB(k) => format!("LD_IND_B {}", ml_int(k)),
+        Insn::LdxMsh(k) => format!("LDX_MSH {}", ml_int(k)),
+        Insn::JeqK { k, jt, jf } => format!("JEQ ({}, {jt}, {jf})", ml_int(k)),
+        Insn::JgtK { k, jt, jf } => format!("JGT ({}, {jt}, {jf})", ml_int(k)),
+        Insn::JsetK { k, jt, jf } => format!("JSET ({}, {jt}, {jf})", ml_int(k)),
+    }
+}
+
+fn ml_int(n: i64) -> String {
+    if n < 0 {
+        format!("~{}", n.unsigned_abs())
+    } else {
+        n.to_string()
+    }
+}
+
+/// Renders a filter program as an MLbox declaration
+/// `val <name> = fromList ([...], RET_A)` (an `instruction array`).
+pub fn filter_decl(name: &str, prog: &[Insn]) -> String {
+    let items: Vec<String> = prog.iter().map(insn_to_ml).collect();
+    format!("val {name} = fromList ([{}], RET_A)", items.join(", "))
+}
+
+/// Converts a packet to a CCAM `int array` value (one integer per byte),
+/// injectable via [`mlbox::Session::call`].
+pub fn packet_value(p: &Packet) -> Value {
+    Value::Array(Rc::new(RefCell::new(
+        p.bytes.iter().map(|&b| Value::Int(b as i64)).collect(),
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::telnet_filter;
+
+    #[test]
+    fn instruction_rendering() {
+        assert_eq!(insn_to_ml(&Insn::RetK(0)), "RET_K 0");
+        assert_eq!(
+            insn_to_ml(&Insn::JeqK { k: 2048, jt: 0, jf: 8 }),
+            "JEQ (2048, 0, 8)"
+        );
+        assert_eq!(insn_to_ml(&Insn::RetK(-1)), "RET_K ~1");
+    }
+
+    #[test]
+    fn filter_decl_is_parseable_source() {
+        let decl = filter_decl("telnetFilter", &telnet_filter());
+        assert!(decl.starts_with("val telnetFilter = fromList (["));
+        assert!(decl.contains("LDX_MSH 14"));
+        mlbox_syntax::parser::parse_program(&decl).unwrap();
+    }
+}

@@ -1,0 +1,95 @@
+//! A native-Rust BPF interpreter: the trusted baseline the MLbox
+//! `evalpf`/`bevalpf` implementations are differentially tested against.
+
+use crate::insn::Insn;
+
+/// Runs `prog` on `pkt`, returning the filter's verdict: the returned
+/// constant/accumulator, or `-1` on any error (out-of-bounds read or
+/// running off the end of the program), exactly as the paper's `evalpf`.
+pub fn run_filter(prog: &[Insn], pkt: &[u8]) -> i64 {
+    let mut a: i64 = 0;
+    let mut x: i64 = 0;
+    let mut pc: usize = 0;
+    loop {
+        let Some(insn) = prog.get(pc) else {
+            return -1;
+        };
+        let ldb = |k: i64| -> Option<i64> {
+            usize::try_from(k).ok().and_then(|k| pkt.get(k)).map(|&b| b as i64)
+        };
+        let ldh = |k: i64| -> Option<i64> {
+            let hi = ldb(k)?;
+            let lo = ldb(k + 1)?;
+            Some(hi * 256 + lo)
+        };
+        match *insn {
+            Insn::RetA => return a,
+            Insn::RetK(k) => return k,
+            Insn::LdAbsH(k) => match ldh(k) {
+                Some(v) => a = v,
+                None => return -1,
+            },
+            Insn::LdAbsB(k) => match ldb(k) {
+                Some(v) => a = v,
+                None => return -1,
+            },
+            Insn::LdIndH(k) => match ldh(x + k) {
+                Some(v) => a = v,
+                None => return -1,
+            },
+            Insn::LdIndB(k) => match ldb(x + k) {
+                Some(v) => a = v,
+                None => return -1,
+            },
+            Insn::LdxMsh(k) => match ldb(k) {
+                Some(v) => x = 4 * (v & 0x0f),
+                None => return -1,
+            },
+            Insn::JeqK { k, jt, jf } => {
+                pc += if a == k { jt as usize } else { jf as usize };
+            }
+            Insn::JgtK { k, jt, jf } => {
+                pc += if a > k { jt as usize } else { jf as usize };
+            }
+            Insn::JsetK { k, jt, jf } => {
+                pc += if a & k != 0 { jt as usize } else { jf as usize };
+            }
+        }
+        pc += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::telnet_filter;
+    use crate::packet::PacketGen;
+
+    #[test]
+    fn telnet_filter_accepts_telnet() {
+        let prog = telnet_filter();
+        let mut g = PacketGen::new(11);
+        let p = g.telnet(32);
+        assert!(run_filter(&prog, &p.bytes) > 0);
+    }
+
+    #[test]
+    fn telnet_filter_rejects_others() {
+        let prog = telnet_filter();
+        let mut g = PacketGen::new(12);
+        assert_eq!(run_filter(&prog, &g.tcp(80, 8).bytes), 0);
+        assert_eq!(run_filter(&prog, &g.udp(53, 8).bytes), 0);
+        assert_eq!(run_filter(&prog, &g.arp().bytes), 0);
+    }
+
+    #[test]
+    fn truncated_packet_is_an_error() {
+        let prog = telnet_filter();
+        assert_eq!(run_filter(&prog, &[0u8; 4]), -1);
+    }
+
+    #[test]
+    fn running_off_the_end_is_an_error() {
+        assert_eq!(run_filter(&[Insn::LdAbsB(0)], &[9]), -1);
+    }
+}

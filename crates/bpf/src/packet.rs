@@ -1,0 +1,238 @@
+//! Synthetic network packets.
+//!
+//! The paper measured `evalpf`/`bevalpf` on telnet packets; we have no
+//! captured traces, so we synthesize Ethernet/IPv4/TCP frames (destination
+//! port 23 for telnet) plus UDP and ARP distractors (DESIGN.md §5). The
+//! packet-filter computation inspects only header fields, so step counts
+//! are workload-equivalent to real traffic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ethernet type for IPv4.
+pub const ETHERTYPE_IP: u16 = 0x0800;
+/// Ethernet type for ARP.
+pub const ETHERTYPE_ARP: u16 = 0x0806;
+/// IP protocol number for TCP.
+pub const IPPROTO_TCP: u8 = 6;
+/// IP protocol number for UDP.
+pub const IPPROTO_UDP: u8 = 17;
+/// The telnet TCP port.
+pub const TELNET_PORT: u16 = 23;
+
+/// A synthesized packet: raw bytes starting at the Ethernet header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Raw frame bytes.
+    pub bytes: Vec<u8>,
+    /// Human-readable description of what was synthesized.
+    pub kind: PacketKind,
+}
+
+/// What a synthesized packet contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// TCP with the given destination port.
+    Tcp {
+        /// Destination port.
+        dst_port: u16,
+    },
+    /// UDP with the given destination port.
+    Udp {
+        /// Destination port.
+        dst_port: u16,
+    },
+    /// An ARP frame.
+    Arp,
+}
+
+/// Deterministic packet generator.
+#[derive(Debug)]
+pub struct PacketGen {
+    rng: StdRng,
+}
+
+impl PacketGen {
+    /// A generator with a fixed seed (reproducible workloads).
+    pub fn new(seed: u64) -> Self {
+        PacketGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn eth_header(&mut self, ethertype: u16, out: &mut Vec<u8>) {
+        for _ in 0..12 {
+            out.push(self.rng.gen());
+        }
+        out.extend_from_slice(&ethertype.to_be_bytes());
+    }
+
+    fn ipv4_header(&mut self, proto: u8, payload_len: u16, out: &mut Vec<u8>) {
+        out.push(0x45); // version 4, IHL 5 (20 bytes)
+        out.push(0); // TOS
+        out.extend_from_slice(&(20 + payload_len).to_be_bytes()); // total length
+        out.extend_from_slice(&self.rng.gen::<u16>().to_be_bytes()); // id
+        out.extend_from_slice(&0x4000u16.to_be_bytes()); // DF, fragment offset 0
+        out.push(64); // TTL
+        out.push(proto);
+        out.extend_from_slice(&[0, 0]); // checksum (unverified by filters)
+        for _ in 0..8 {
+            out.push(self.rng.gen()); // src + dst IP
+        }
+    }
+
+    fn tcp_header(&mut self, dst_port: u16, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.rng.gen_range(1024u16..65535).to_be_bytes()); // src port
+        out.extend_from_slice(&dst_port.to_be_bytes());
+        for _ in 0..8 {
+            out.push(self.rng.gen()); // seq + ack
+        }
+        out.push(0x50); // data offset 5
+        out.push(0x18); // PSH|ACK
+        out.extend_from_slice(&1024u16.to_be_bytes()); // window
+        out.extend_from_slice(&[0, 0, 0, 0]); // checksum + urgent
+    }
+
+    fn udp_header(&mut self, dst_port: u16, payload_len: u16, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.rng.gen_range(1024u16..65535).to_be_bytes());
+        out.extend_from_slice(&dst_port.to_be_bytes());
+        out.extend_from_slice(&(8 + payload_len).to_be_bytes());
+        out.extend_from_slice(&[0, 0]);
+    }
+
+    /// A TCP packet to the given destination port with a random payload of
+    /// `payload_len` bytes.
+    pub fn tcp(&mut self, dst_port: u16, payload_len: usize) -> Packet {
+        let mut bytes = Vec::with_capacity(14 + 20 + 20 + payload_len);
+        self.eth_header(ETHERTYPE_IP, &mut bytes);
+        self.ipv4_header(IPPROTO_TCP, (20 + payload_len) as u16, &mut bytes);
+        self.tcp_header(dst_port, &mut bytes);
+        for _ in 0..payload_len {
+            bytes.push(self.rng.gen());
+        }
+        Packet {
+            bytes,
+            kind: PacketKind::Tcp { dst_port },
+        }
+    }
+
+    /// A telnet packet (TCP destination port 23).
+    pub fn telnet(&mut self, payload_len: usize) -> Packet {
+        self.tcp(TELNET_PORT, payload_len)
+    }
+
+    /// A UDP packet to the given destination port.
+    pub fn udp(&mut self, dst_port: u16, payload_len: usize) -> Packet {
+        let mut bytes = Vec::with_capacity(14 + 20 + 8 + payload_len);
+        self.eth_header(ETHERTYPE_IP, &mut bytes);
+        self.ipv4_header(IPPROTO_UDP, (8 + payload_len) as u16, &mut bytes);
+        self.udp_header(dst_port, payload_len as u16, &mut bytes);
+        for _ in 0..payload_len {
+            bytes.push(self.rng.gen());
+        }
+        Packet {
+            bytes,
+            kind: PacketKind::Udp { dst_port },
+        }
+    }
+
+    /// An ARP request frame.
+    pub fn arp(&mut self) -> Packet {
+        let mut bytes = Vec::with_capacity(14 + 28);
+        self.eth_header(ETHERTYPE_ARP, &mut bytes);
+        bytes.extend_from_slice(&[0, 1, 8, 0, 6, 4, 0, 1]); // eth/ip/sizes/request
+        for _ in 0..20 {
+            bytes.push(self.rng.gen());
+        }
+        Packet {
+            bytes,
+            kind: PacketKind::Arp,
+        }
+    }
+
+    /// A mixed workload: `n` packets, roughly `telnet_fraction` of which
+    /// are telnet, the rest TCP to other ports, UDP, or ARP.
+    pub fn workload(&mut self, n: usize, telnet_fraction: f64) -> Vec<Packet> {
+        (0..n)
+            .map(|_| {
+                if self.rng.gen_bool(telnet_fraction) {
+                    let len = self.rng_payload();
+                    self.telnet(len)
+                } else {
+                    match self.rng.gen_range(0..3u8) {
+                        0 => {
+                            let port = self.non_telnet_port();
+                            let len = self.rng_payload();
+                            self.tcp(port, len)
+                        }
+                        1 => {
+                            let port = self.non_telnet_port();
+                            let len = self.rng_payload();
+                            self.udp(port, len)
+                        }
+                        _ => self.arp(),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn rng_payload(&mut self) -> usize {
+        self.rng.gen_range(0..64)
+    }
+
+    fn non_telnet_port(&mut self) -> u16 {
+        loop {
+            let p = self.rng.gen_range(1u16..1024);
+            if p != TELNET_PORT {
+                return p;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telnet_packet_has_port_23() {
+        let mut g = PacketGen::new(1);
+        let p = g.telnet(10);
+        // Ethernet 14 + IP 20 → TCP header; dst port at offset 36..38.
+        assert_eq!(u16::from_be_bytes([p.bytes[36], p.bytes[37]]), 23);
+        assert_eq!(
+            u16::from_be_bytes([p.bytes[12], p.bytes[13]]),
+            ETHERTYPE_IP
+        );
+        assert_eq!(p.bytes[23], IPPROTO_TCP);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = PacketGen::new(7).telnet(16);
+        let b = PacketGen::new(7).telnet(16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workload_mix_contains_both_kinds() {
+        let mut g = PacketGen::new(3);
+        let w = g.workload(200, 0.5);
+        let telnet = w
+            .iter()
+            .filter(|p| matches!(p.kind, PacketKind::Tcp { dst_port: 23 }))
+            .count();
+        assert!(telnet > 50 && telnet < 150, "telnet count {telnet}");
+    }
+
+    #[test]
+    fn arp_frames_have_arp_ethertype() {
+        let mut g = PacketGen::new(4);
+        let p = g.arp();
+        assert_eq!(
+            u16::from_be_bytes([p.bytes[12], p.bytes[13]]),
+            ETHERTYPE_ARP
+        );
+    }
+}

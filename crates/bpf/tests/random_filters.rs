@@ -1,0 +1,76 @@
+//! Property-based differential testing of the packet-filter stack:
+//! random (statically valid) BPF programs and random packets must get the
+//! same verdict from the native Rust interpreter, the MLbox interpreter
+//! `evalpf`, and the run-time-specialized `bevalpf` code.
+
+use mlbox_bpf::harness::FilterHarness;
+use mlbox_bpf::insn::{validate_filter, Insn};
+use mlbox_bpf::native::run_filter;
+use mlbox_bpf::packet::{Packet, PacketGen, PacketKind};
+use proptest::prelude::*;
+
+fn insn_strategy() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        Just(Insn::RetA),
+        (0i64..70000).prop_map(Insn::RetK),
+        (0i64..80).prop_map(Insn::LdAbsH),
+        (0i64..80).prop_map(Insn::LdAbsB),
+        (0i64..40).prop_map(Insn::LdIndH),
+        (0i64..40).prop_map(Insn::LdIndB),
+        (0i64..40).prop_map(Insn::LdxMsh),
+        (0i64..70000, 0u8..3, 0u8..3).prop_map(|(k, jt, jf)| Insn::JeqK { k, jt, jf }),
+        (0i64..70000, 0u8..3, 0u8..3).prop_map(|(k, jt, jf)| Insn::JgtK { k, jt, jf }),
+        (0i64..70000, 0u8..3, 0u8..3).prop_map(|(k, jt, jf)| Insn::JsetK { k, jt, jf }),
+    ]
+}
+
+/// Random filter: a body of arbitrary instructions followed by enough
+/// `ret` sentinels that every jump (offset < 3) stays in range.
+fn filter_strategy() -> impl Strategy<Value = Vec<Insn>> {
+    proptest::collection::vec(insn_strategy(), 1..10).prop_map(|mut body| {
+        body.extend([
+            Insn::RetK(0),
+            Insn::RetK(1),
+            Insn::RetK(2),
+            Insn::RetA,
+        ]);
+        body
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_backends_agree_on_random_filters(filter in filter_strategy(), seed in 0u64..1000) {
+        prop_assume!(validate_filter(&filter).is_ok());
+        let mut h = FilterHarness::new(&filter).unwrap();
+        let mut g = PacketGen::new(seed);
+        let packets = [
+            g.telnet(8),
+            g.tcp(80, 0),
+            g.udp(53, 4),
+            g.arp(),
+            Packet { bytes: vec![], kind: PacketKind::Arp },
+            Packet { bytes: vec![255; 3], kind: PacketKind::Arp },
+        ];
+        for pkt in &packets {
+            let native = run_filter(&filter, &pkt.bytes);
+            let (iv, _) = h.interp(pkt).unwrap();
+            prop_assert_eq!(native, iv, "interp mismatch on {:?}", pkt.kind);
+            let (sv, _) = h.specialized(pkt).unwrap();
+            prop_assert_eq!(native, sv, "specialized mismatch on {:?}", pkt.kind);
+        }
+    }
+
+    #[test]
+    fn specialization_emission_is_linear_in_reachable_code(n in 1usize..24) {
+        // Chain filters: emitted instructions grow linearly (no
+        // exponential blowup from the branch-free shape).
+        let mut h = FilterHarness::new(&mlbox_bpf::filters::chain_filter(n)).unwrap();
+        let stats = h.specialize().unwrap();
+        // Measured: emitted = 69 + 63n (each test emits a constant amount
+        // plus a constant-size specialized jump target).
+        prop_assert!(stats.emitted as usize <= 80 + 70 * n, "emitted {}", stats.emitted);
+    }
+}

@@ -1,0 +1,211 @@
+//! Disassembler: renders CCAM code as indented text, for debugging,
+//! documentation, and golden tests.
+
+use crate::instr::Instr;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders a code sequence, one instruction per line, nested code blocks
+/// indented.
+pub fn disassemble(code: &[Instr]) -> String {
+    let mut out = String::new();
+    render(code, 0, &mut out);
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render(code: &[Instr], depth: usize, out: &mut String) {
+    for i in code {
+        render_instr(i, depth, out);
+    }
+}
+
+fn render_instr(i: &Instr, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match i {
+        Instr::Quote(v) => {
+            let _ = writeln!(out, "quote {v}");
+        }
+        Instr::Cur(c) => {
+            out.push_str("cur {\n");
+            render(c, depth + 1, out);
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Instr::Emit(inner) => {
+            out.push_str("emit ");
+            // Render the operand inline where simple; nested blocks indent.
+            match &**inner {
+                Instr::Cur(_) | Instr::Branch(_, _) | Instr::Switch(_) | Instr::RecClos(_) => {
+                    out.push('\n');
+                    render_instr(inner, depth + 1, out);
+                }
+                simple => {
+                    let _ = writeln!(out, "[{}]", simple.mnemonic());
+                }
+            }
+        }
+        Instr::Branch(a, b) => {
+            out.push_str("branch {\n");
+            render(a, depth + 1, out);
+            indent(depth, out);
+            out.push_str("} else {\n");
+            render(b, depth + 1, out);
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Instr::Switch(table) => {
+            out.push_str("switch {\n");
+            for arm in &table.arms {
+                indent(depth + 1, out);
+                let _ = writeln!(
+                    out,
+                    "tag {}{} =>",
+                    arm.tag,
+                    if arm.bind { " (bind)" } else { "" }
+                );
+                render(&arm.code, depth + 2, out);
+            }
+            if let Some(d) = &table.default {
+                indent(depth + 1, out);
+                out.push_str("default =>\n");
+                render(d, depth + 2, out);
+            }
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Instr::RecClos(bodies) => {
+            let _ = writeln!(out, "recclos[{}] {{", bodies.len());
+            for b in bodies.iter() {
+                render(b, depth + 1, out);
+                indent(depth + 1, out);
+                out.push_str("--\n");
+            }
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Instr::Prim(op) => {
+            let _ = writeln!(out, "prim {op:?}");
+        }
+        Instr::Pack(tag) => {
+            let _ = writeln!(out, "pack {tag}");
+        }
+        Instr::Fail(m) => {
+            let _ = writeln!(out, "fail {m:?}");
+        }
+        Instr::MergeSwitch(spec) => {
+            let _ = writeln!(
+                out,
+                "merge_switch[{} arms{}]",
+                spec.arms.len(),
+                if spec.default { " + default" } else { "" }
+            );
+        }
+        Instr::MergeRec(n) => {
+            let _ = writeln!(out, "merge_rec[{n}]");
+        }
+        simple => {
+            let _ = writeln!(out, "{}", simple.mnemonic());
+        }
+    }
+}
+
+/// Counts instructions by mnemonic, recursing into `Cur`, `Branch`,
+/// `Switch`, `RecClos`, and `Emit` operands. Useful for asserting
+/// properties of *generated* code — e.g. that specialization eliminated
+/// all `switch` dispatch.
+pub fn census(code: &[Instr]) -> BTreeMap<&'static str, usize> {
+    let mut out = BTreeMap::new();
+    fn visit(i: &Instr, out: &mut BTreeMap<&'static str, usize>) {
+        *out.entry(i.mnemonic()).or_insert(0) += 1;
+        match i {
+            Instr::Cur(c) => {
+                for j in c.iter() {
+                    visit(j, out);
+                }
+            }
+            Instr::Branch(a, b) => {
+                for j in a.iter().chain(b.iter()) {
+                    visit(j, out);
+                }
+            }
+            Instr::Switch(t) => {
+                for arm in &t.arms {
+                    for j in arm.code.iter() {
+                        visit(j, out);
+                    }
+                }
+                if let Some(d) = &t.default {
+                    for j in d.iter() {
+                        visit(j, out);
+                    }
+                }
+            }
+            Instr::RecClos(bodies) => {
+                for b in bodies.iter() {
+                    for j in b.iter() {
+                        visit(j, out);
+                    }
+                }
+            }
+            Instr::Emit(inner) => visit(inner, out),
+            _ => {}
+        }
+    }
+    for i in code {
+        visit(i, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use std::rc::Rc;
+
+    #[test]
+    fn renders_nested_blocks() {
+        let code = vec![
+            Instr::Push,
+            Instr::Cur(Rc::new(vec![Instr::Snd, Instr::Quote(Value::Int(3))])),
+            Instr::Emit(Box::new(Instr::App)),
+        ];
+        let text = disassemble(&code);
+        assert!(text.contains("push"));
+        assert!(text.contains("cur {"));
+        assert!(text.contains("  snd"));
+        assert!(text.contains("quote 3"));
+        assert!(text.contains("emit [app]"));
+    }
+
+    #[test]
+    fn census_counts_recursively() {
+        let code = vec![
+            Instr::Push,
+            Instr::Cur(Rc::new(vec![Instr::Snd, Instr::Push])),
+            Instr::Emit(Box::new(Instr::App)),
+        ];
+        let c = census(&code);
+        assert_eq!(c["push"], 2);
+        assert_eq!(c["cur"], 1);
+        assert_eq!(c["emit"], 1);
+        assert_eq!(c["app"], 1);
+        assert_eq!(c["snd"], 1);
+    }
+
+    #[test]
+    fn renders_branch() {
+        let code = vec![Instr::Branch(
+            Rc::new(vec![Instr::Id]),
+            Rc::new(vec![Instr::Fst]),
+        )];
+        let text = disassemble(&code);
+        assert!(text.contains("} else {"));
+    }
+}

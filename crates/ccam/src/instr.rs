@@ -1,0 +1,301 @@
+//! The CCAM instruction set.
+//!
+//! The seven CAM instructions of Cousineau–Curien–Mauny plus `quote`, the
+//! five run-time code-generation instructions of the paper (`emit`, `lift`,
+//! `arena`, `merge`, `call`), and the extensions for conditionals,
+//! recursion, datatypes, primitives, and the *merge family* used to build
+//! specialized branch/dispatch/recursive code inside arenas (DESIGN.md
+//! §3.1).
+
+use crate::value::{ConTag, Value};
+use std::fmt;
+use std::rc::Rc;
+
+/// An executable instruction sequence.
+pub type Code = Rc<Vec<Instr>>;
+
+/// One arm of a `switch` dispatch.
+#[derive(Debug, Clone)]
+pub struct SwitchArm {
+    /// Tag to match.
+    pub tag: ConTag,
+    /// Whether the arm binds the constructor payload
+    /// (top becomes `(env, payload)`; otherwise just `env`).
+    pub bind: bool,
+    /// Arm body.
+    pub code: Code,
+}
+
+/// The dispatch table of a `switch` instruction.
+#[derive(Debug, Clone)]
+pub struct SwitchTable {
+    /// Arms in declaration order.
+    pub arms: Vec<SwitchArm>,
+    /// Fallback code (top becomes `env`).
+    pub default: Option<Code>,
+}
+
+/// The shape of a `merge_switch`: which tags/binders the generated
+/// dispatch will have. The arm bodies are taken from arenas on the stack.
+#[derive(Debug, Clone)]
+pub struct MergeSwitchSpec {
+    /// `(tag, binds payload)` per arm, in order.
+    pub arms: Vec<(ConTag, bool)>,
+    /// Whether a default arena is present.
+    pub default: bool,
+}
+
+/// Primitive machine operations. Unary primitives act on the top value;
+/// binary on a top pair; ternary on a right-nested top triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division (fails on zero divisor).
+    Div,
+    /// Integer remainder (fails on zero divisor).
+    Mod,
+    /// Integer negation.
+    Neg,
+    /// Structural equality.
+    Eq,
+    /// Structural inequality.
+    Ne,
+    /// Less-than (integers and strings).
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// String concatenation.
+    Concat,
+    /// Bitwise AND on integers.
+    BitAnd,
+    /// Boolean negation.
+    Not,
+    /// String length.
+    StrSize,
+    /// Integer to string.
+    IntToString,
+    /// Print a string to the machine's output buffer.
+    Print,
+    /// Allocate a reference cell.
+    Ref,
+    /// Dereference.
+    Deref,
+    /// Assign to a reference cell.
+    Assign,
+    /// Allocate an array: `(n, init)`.
+    MkArray,
+    /// Array indexing: `(a, i)`.
+    ArrSub,
+    /// Array update: `(a, (i, v))`.
+    ArrUpdate,
+    /// Array length.
+    ArrLen,
+}
+
+/// A CCAM instruction.
+#[derive(Debug, Clone)]
+pub enum Instr {
+    // ---- the seven CAM instructions ----
+    /// No-op.
+    Id,
+    /// Project the first component of the top pair.
+    Fst,
+    /// Project the second component of the top pair.
+    Snd,
+    /// Duplicate the top of the stack.
+    Push,
+    /// Exchange the two top stack entries.
+    Swap,
+    /// Pop `v` then `u`; push the pair `(u, v)`.
+    ConsPair,
+    /// Apply: top is `([v:P], u)`; becomes `(v, u)` and runs `P`.
+    App,
+
+    // ---- constants and closures ----
+    /// Replace the top with a constant (the paper's `'v`).
+    Quote(Value),
+    /// Build a closure capturing the top value.
+    Cur(Code),
+
+    // ---- run-time code generation (the paper's five) ----
+    /// Append a (static) instruction to the arena in the top pair
+    /// `(v, {P})`. Nested `emit` is rejected by [`validate`].
+    Emit(Box<Instr>),
+    /// Residualize: append `Quote(v)` to the arena in the top pair
+    /// `(v, {P})`.
+    LiftV,
+    /// Replace the top with a fresh empty arena.
+    NewArena,
+    /// Top is `({P'}, (v, {P''}))`; append `Cur(P')` to `{P''}`, leaving
+    /// `(v, {P''})`.
+    Merge,
+    /// Top is `(v, {P'})`; splice: leave `v` and run `P'`.
+    Call,
+
+    // ---- extensions: control, data, primitives ----
+    /// Top is `(env, bool)`; leave `env`, run the chosen branch.
+    Branch(Code, Code),
+    /// Build a recursive closure group capturing the top environment and
+    /// extend the environment with all members:
+    /// `env` becomes `((env, f1), ..., fn)`.
+    RecClos(Rc<Vec<Code>>),
+    /// Wrap the top value in a constructor with a payload.
+    Pack(ConTag),
+    /// Top is `(env, con)`; dispatch on the constructor tag.
+    Switch(Rc<SwitchTable>),
+    /// Primitive operation on the top value.
+    Prim(PrimOp),
+    /// Abort with a message (inexhaustive match).
+    Fail(Rc<str>),
+
+    // ---- the merge family (specialized control inside arenas) ----
+    /// Top is `(((v,{P}), {A_then}), {A_else})`; append
+    /// `Branch(A_then, A_else)` to `{P}`, leaving `(v, {P})`.
+    MergeBranch,
+    /// Like [`Instr::MergeBranch`] for `switch`: pops one arena per arm
+    /// (plus one for the default if present), appending a specialized
+    /// `Switch`.
+    MergeSwitch(Rc<MergeSwitchSpec>),
+    /// Pops `n` arenas, appending a specialized `RecClos` group.
+    MergeRec(usize),
+}
+
+impl Instr {
+    /// A human-readable mnemonic (operands elided).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::Id => "id",
+            Instr::Fst => "fst",
+            Instr::Snd => "snd",
+            Instr::Push => "push",
+            Instr::Swap => "swap",
+            Instr::ConsPair => "cons",
+            Instr::App => "app",
+            Instr::Quote(_) => "quote",
+            Instr::Cur(_) => "cur",
+            Instr::Emit(_) => "emit",
+            Instr::LiftV => "lift",
+            Instr::NewArena => "arena",
+            Instr::Merge => "merge",
+            Instr::Call => "call",
+            Instr::Branch(_, _) => "branch",
+            Instr::RecClos(_) => "recclos",
+            Instr::Pack(_) => "pack",
+            Instr::Switch(_) => "switch",
+            Instr::Prim(_) => "prim",
+            Instr::Fail(_) => "fail",
+            Instr::MergeBranch => "merge_branch",
+            Instr::MergeSwitch(_) => "merge_switch",
+            Instr::MergeRec(_) => "merge_rec",
+        }
+    }
+}
+
+/// Validation error for malformed code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Checks the paper's structural invariant: **no nested emits** —
+/// `emit(emit(i))` must never occur, at any depth inside `Cur`/`Branch`/
+/// `Switch`/`RecClos` bodies (§4.2: "nested emits are not allowed on the
+/// CCAM").
+///
+/// # Errors
+///
+/// Returns a [`ValidateError`] locating the first nested emit.
+pub fn validate(code: &[Instr]) -> Result<(), ValidateError> {
+    fn visit(i: &Instr) -> Result<(), ValidateError> {
+        match i {
+            Instr::Emit(inner) => {
+                if matches!(**inner, Instr::Emit(_)) {
+                    return Err(ValidateError {
+                        message: "nested emit: emit(emit(_)) is not a legal CCAM instruction"
+                            .to_string(),
+                    });
+                }
+                visit(inner)
+            }
+            Instr::Cur(c) => validate(c),
+            Instr::Branch(a, b) => {
+                validate(a)?;
+                validate(b)
+            }
+            Instr::Switch(table) => {
+                for arm in &table.arms {
+                    validate(&arm.code)?;
+                }
+                if let Some(d) = &table.default {
+                    validate(d)?;
+                }
+                Ok(())
+            }
+            Instr::RecClos(bodies) => {
+                for b in bodies.iter() {
+                    validate(b)?;
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+    for i in code {
+        visit(i)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_emit_is_rejected() {
+        let bad = vec![Instr::Emit(Box::new(Instr::Emit(Box::new(Instr::Id))))];
+        assert!(validate(&bad).is_err());
+    }
+
+    #[test]
+    fn emit_of_cur_with_emits_is_legal() {
+        // The closure-insertion technique: a statically compiled Cur body
+        // may contain emits; that is not a *nested* emit.
+        let inner: Code = Rc::new(vec![Instr::Emit(Box::new(Instr::Id))]);
+        let ok = vec![Instr::Emit(Box::new(Instr::Cur(inner)))];
+        assert!(validate(&ok).is_ok());
+    }
+
+    #[test]
+    fn deep_nested_emit_found_inside_cur() {
+        let inner: Code = Rc::new(vec![Instr::Emit(Box::new(Instr::Emit(Box::new(
+            Instr::Id,
+        ))))]);
+        let bad = vec![Instr::Cur(inner)];
+        assert!(validate(&bad).is_err());
+    }
+
+    #[test]
+    fn mnemonics_exist() {
+        assert_eq!(Instr::Id.mnemonic(), "id");
+        assert_eq!(Instr::Emit(Box::new(Instr::Id)).mnemonic(), "emit");
+        assert_eq!(Instr::MergeBranch.mnemonic(), "merge_branch");
+    }
+}

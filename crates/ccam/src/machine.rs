@@ -1,0 +1,1167 @@
+//! The CCAM simulator: configurations `⟨S, P⟩` and the transition relation
+//! of Figure 3 (plus the documented extensions).
+//!
+//! Instruction sequences are executed through a control stack of frames
+//! rather than literal `P'@P` appending, which implements the same
+//! semantics in O(1) per transfer. One executed instruction is one
+//! **reduction step** — the unit reported in the paper's Table 1.
+
+use crate::instr::{Code, Instr, PrimOp, SwitchArm, SwitchTable};
+use crate::value::{Arena, Closure, RecGroup, Value};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Why execution stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// An instruction needed more stack entries than were present.
+    StackUnderflow {
+        /// The instruction's mnemonic.
+        instr: &'static str,
+    },
+    /// The top of the stack had the wrong shape for the instruction.
+    TypeMismatch {
+        /// The instruction's mnemonic.
+        instr: &'static str,
+        /// What the instruction needed.
+        expected: &'static str,
+        /// A rendering of what it found.
+        found: String,
+    },
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// Array access out of bounds.
+    IndexOutOfBounds {
+        /// Attempted index.
+        index: i64,
+        /// Array length.
+        len: usize,
+    },
+    /// A `fail` instruction ran (inexhaustive match).
+    Fail(String),
+    /// `switch` found no matching arm and no default.
+    NoMatchingArm {
+        /// The scrutinee's tag.
+        tag: u32,
+    },
+    /// The step budget was exhausted.
+    OutOfFuel {
+        /// The budget that was exceeded.
+        fuel: u64,
+    },
+    /// `=` was applied to values without structural equality (closures,
+    /// arenas).
+    EqualityUndefined,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::StackUnderflow { instr } => {
+                write!(f, "stack underflow executing `{instr}`")
+            }
+            MachineError::TypeMismatch {
+                instr,
+                expected,
+                found,
+            } => write!(
+                f,
+                "`{instr}` expected {expected}, found {found}"
+            ),
+            MachineError::DivideByZero => f.write_str("integer division by zero"),
+            MachineError::IndexOutOfBounds { index, len } => {
+                write!(f, "array index {index} out of bounds for length {len}")
+            }
+            MachineError::Fail(m) => write!(f, "failure: {m}"),
+            MachineError::NoMatchingArm { tag } => {
+                write!(f, "no switch arm matches constructor tag {tag}")
+            }
+            MachineError::OutOfFuel { fuel } => {
+                write!(f, "reduction budget of {fuel} steps exhausted")
+            }
+            MachineError::EqualityUndefined => {
+                f.write_str("equality is not defined on functions or code")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Execution statistics, the paper's measurement surface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Reduction steps (instructions executed) — Table 1's unit.
+    pub steps: u64,
+    /// Instructions appended to arenas (`emit`, `lift`, and the merge
+    /// family each count the instructions they append).
+    pub emitted: u64,
+    /// Arenas created by `arena`.
+    pub arenas: u64,
+    /// `call` transfers into generated code.
+    pub calls: u64,
+    /// High-water mark of the value stack.
+    pub max_stack: usize,
+}
+
+/// One control-stack frame: a code sequence plus the next instruction
+/// index.
+#[derive(Debug, Clone)]
+struct Frame {
+    code: Code,
+    pc: usize,
+}
+
+/// The CCAM.
+///
+/// A machine owns mutable execution state (value stack, control stack,
+/// statistics, print-output buffer) and can run many programs in
+/// sequence; statistics accumulate until [`Machine::reset_stats`].
+///
+/// # Examples
+///
+/// ```
+/// use ccam::instr::{Instr, PrimOp};
+/// use ccam::machine::Machine;
+/// use ccam::value::Value;
+/// use std::rc::Rc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Compute (3, 4) |-> 3 + 4.
+/// let code = Rc::new(vec![Instr::Prim(PrimOp::Add)]);
+/// let mut m = Machine::new();
+/// let out = m.run(code, Value::pair(Value::Int(3), Value::Int(4)))?;
+/// assert!(matches!(out, Value::Int(7)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    stack: Vec<Value>,
+    control: Vec<Frame>,
+    stats: Stats,
+    fuel: Option<u64>,
+    output: String,
+    trace: Option<Trace>,
+    optimize: bool,
+}
+
+/// A bounded execution trace: the mnemonics of the first `limit` executed
+/// instructions.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Executed-instruction mnemonics, in order.
+    pub mnemonics: Vec<&'static str>,
+    /// Maximum number of entries recorded.
+    pub limit: usize,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Machine {
+    /// A fresh machine with no step budget.
+    pub fn new() -> Self {
+        Machine {
+            stack: Vec::new(),
+            control: Vec::new(),
+            stats: Stats::default(),
+            fuel: None,
+            output: String::new(),
+            trace: None,
+            optimize: false,
+        }
+    }
+
+    /// A machine that aborts with [`MachineError::OutOfFuel`] after
+    /// `fuel` reduction steps.
+    pub fn with_fuel(fuel: u64) -> Self {
+        let mut m = Machine::new();
+        m.fuel = Some(fuel);
+        m
+    }
+
+    /// Enables emission-time peephole optimization (§4.2's "more
+    /// sophisticated specialization system"): arenas are optimized by
+    /// [`crate::opt::peephole`] when frozen by `call` and the merge
+    /// family — constant folding, `+ 0`/`* 1` elimination, `* 0`
+    /// absorption, constant-branch folding.
+    pub fn set_optimize(&mut self, on: bool) {
+        self.optimize = on;
+    }
+
+    /// Whether emission-time optimization is enabled.
+    pub fn optimize(&self) -> bool {
+        self.optimize
+    }
+
+    /// Freezes an arena, applying the optimizer when enabled.
+    fn freeze(&self, arena: &Arena) -> Code {
+        let code = arena.freeze();
+        if self.optimize {
+            Rc::new(crate::opt::peephole(&code))
+        } else {
+            code
+        }
+    }
+
+    /// Records the mnemonics of the first `limit` executed instructions
+    /// (for debugging and tests). Replaces any existing trace.
+    pub fn set_trace(&mut self, limit: usize) {
+        self.trace = Some(Trace {
+            mnemonics: Vec::new(),
+            limit,
+        });
+    }
+
+    /// The current trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Clears accumulated statistics (the output buffer is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::default();
+    }
+
+    /// Everything printed by `print` so far.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Clears the output buffer.
+    pub fn take_output(&mut self) -> String {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Runs `code` with `input` as the initial top of stack, returning the
+    /// final top of stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MachineError`] on dynamic failure; the machine's stack
+    /// and control are cleared, but statistics and output are kept.
+    pub fn run(&mut self, code: Code, input: Value) -> Result<Value, MachineError> {
+        self.stack.clear();
+        self.control.clear();
+        self.stack.push(input);
+        self.control.push(Frame { code, pc: 0 });
+        let result = self.steps_loop();
+        if result.is_err() {
+            self.stack.clear();
+            self.control.clear();
+        }
+        result
+    }
+
+    fn steps_loop(&mut self) -> Result<Value, MachineError> {
+        loop {
+            // Fetch.
+            let instr = loop {
+                match self.control.last_mut() {
+                    None => {
+                        return self.stack.pop().ok_or(MachineError::StackUnderflow {
+                            instr: "halt",
+                        });
+                    }
+                    Some(frame) => {
+                        if frame.pc < frame.code.len() {
+                            let i = frame.code[frame.pc].clone();
+                            frame.pc += 1;
+                            break i;
+                        }
+                        self.control.pop();
+                    }
+                }
+            };
+            // Account.
+            if let Some(trace) = &mut self.trace {
+                if trace.mnemonics.len() < trace.limit {
+                    trace.mnemonics.push(instr.mnemonic());
+                }
+            }
+            self.stats.steps += 1;
+            if let Some(fuel) = self.fuel {
+                if self.stats.steps > fuel {
+                    return Err(MachineError::OutOfFuel { fuel });
+                }
+            }
+            self.execute(instr)?;
+            if self.stack.len() > self.stats.max_stack {
+                self.stats.max_stack = self.stack.len();
+            }
+        }
+    }
+
+    fn top(&mut self, instr: &'static str) -> Result<&mut Value, MachineError> {
+        self.stack
+            .last_mut()
+            .ok_or(MachineError::StackUnderflow { instr })
+    }
+
+    fn pop(&mut self, instr: &'static str) -> Result<Value, MachineError> {
+        self.stack
+            .pop()
+            .ok_or(MachineError::StackUnderflow { instr })
+    }
+
+    fn mismatch(instr: &'static str, expected: &'static str, found: &Value) -> MachineError {
+        MachineError::TypeMismatch {
+            instr,
+            expected,
+            found: found.to_string(),
+        }
+    }
+
+    fn pop_pair(&mut self, instr: &'static str) -> Result<(Value, Value), MachineError> {
+        let v = self.pop(instr)?;
+        match v {
+            Value::Pair(p) => match Rc::try_unwrap(p) {
+                Ok(pair) => Ok(pair),
+                Err(p) => Ok((p.0.clone(), p.1.clone())),
+            },
+            other => Err(Self::mismatch(instr, "a pair", &other)),
+        }
+    }
+
+    /// Destructures `(v, arena)` from the top of stack, leaving nothing.
+    fn pop_gen_state(
+        &mut self,
+        instr: &'static str,
+    ) -> Result<(Value, Rc<Arena>), MachineError> {
+        let (v, a) = self.pop_pair(instr)?;
+        match a {
+            Value::Arena(a) => Ok((v, a)),
+            other => Err(Self::mismatch(instr, "(value, arena)", &other)),
+        }
+    }
+
+    fn execute(&mut self, instr: Instr) -> Result<(), MachineError> {
+        match instr {
+            Instr::Id => {}
+            Instr::Fst => {
+                let (a, _) = self.pop_pair("fst")?;
+                self.stack.push(a);
+            }
+            Instr::Snd => {
+                let (_, b) = self.pop_pair("snd")?;
+                self.stack.push(b);
+            }
+            Instr::Push => {
+                let v = self.top("push")?.clone();
+                self.stack.push(v);
+            }
+            Instr::Swap => {
+                let n = self.stack.len();
+                if n < 2 {
+                    return Err(MachineError::StackUnderflow { instr: "swap" });
+                }
+                self.stack.swap(n - 1, n - 2);
+            }
+            Instr::ConsPair => {
+                let v = self.pop("cons")?;
+                let u = self.pop("cons")?;
+                self.stack.push(Value::pair(u, v));
+            }
+            Instr::App => self.apply()?,
+            Instr::Quote(v) => {
+                let _ = self.pop("quote")?;
+                self.stack.push(v);
+            }
+            Instr::Cur(code) => {
+                let env = self.pop("cur")?;
+                self.stack
+                    .push(Value::Closure(Rc::new(Closure { env, body: code })));
+            }
+            Instr::Emit(i) => {
+                let (v, arena) = self.pop_gen_state("emit")?;
+                arena.push((*i).clone());
+                self.stats.emitted += 1;
+                self.stack.push(Value::pair(v, Value::Arena(arena)));
+            }
+            Instr::LiftV => {
+                let (v, arena) = self.pop_gen_state("lift")?;
+                arena.push(Instr::Quote(v.clone()));
+                self.stats.emitted += 1;
+                self.stack.push(Value::pair(v, Value::Arena(arena)));
+            }
+            Instr::NewArena => {
+                let _ = self.pop("arena")?;
+                self.stats.arenas += 1;
+                self.stack.push(Value::Arena(Arena::new()));
+            }
+            Instr::Merge => {
+                let (first, second) = self.pop_pair("merge")?;
+                let Value::Arena(inner) = first else {
+                    return Err(Self::mismatch("merge", "(arena, (value, arena))", &first));
+                };
+                let (v, outer) = match second {
+                    Value::Pair(p) => match (&p.0, &p.1) {
+                        (v, Value::Arena(outer)) => (v.clone(), outer.clone()),
+                        _ => {
+                            return Err(Self::mismatch(
+                                "merge",
+                                "(arena, (value, arena))",
+                                &Value::Pair(p.clone()),
+                            ))
+                        }
+                    },
+                    other => {
+                        return Err(Self::mismatch(
+                            "merge",
+                            "(arena, (value, arena))",
+                            &other,
+                        ))
+                    }
+                };
+                let body = self.freeze(&inner);
+                outer.push(Instr::Cur(body));
+                self.stats.emitted += 1;
+                self.stack.push(Value::pair(v, Value::Arena(outer)));
+            }
+            Instr::Call => {
+                let (v, arena) = self.pop_gen_state("call")?;
+                self.stack.push(v);
+                self.stats.calls += 1;
+                let code = self.freeze(&arena);
+                self.control.push(Frame { code, pc: 0 });
+            }
+            Instr::Branch(then_c, else_c) => {
+                let (env, b) = self.pop_pair("branch")?;
+                let Value::Bool(b) = b else {
+                    return Err(Self::mismatch("branch", "(env, bool)", &b));
+                };
+                self.stack.push(env);
+                self.control.push(Frame {
+                    code: if b { then_c } else { else_c },
+                    pc: 0,
+                });
+            }
+            Instr::RecClos(bodies) => {
+                let env = self.pop("recclos")?;
+                let group = Rc::new(RecGroup {
+                    env,
+                    bodies: bodies.clone(),
+                });
+                let mut acc = group.env.clone();
+                for index in 0..bodies.len() {
+                    acc = Value::pair(
+                        acc,
+                        Value::RecClosure {
+                            group: group.clone(),
+                            index,
+                        },
+                    );
+                }
+                self.stack.push(acc);
+            }
+            Instr::Pack(tag) => {
+                let v = self.pop("pack")?;
+                self.stack.push(Value::Con(tag, Some(Rc::new(v))));
+            }
+            Instr::Switch(table) => {
+                let (env, scrut) = self.pop_pair("switch")?;
+                let Value::Con(tag, payload) = scrut else {
+                    return Err(Self::mismatch("switch", "(env, constructor)", &scrut));
+                };
+                let arm = table.arms.iter().find(|a| a.tag == tag);
+                match arm {
+                    Some(SwitchArm { bind, code, .. }) => {
+                        if *bind {
+                            let payload = payload
+                                .map(|p| (*p).clone())
+                                .unwrap_or(Value::Unit);
+                            self.stack.push(Value::pair(env, payload));
+                        } else {
+                            self.stack.push(env);
+                        }
+                        self.control.push(Frame {
+                            code: code.clone(),
+                            pc: 0,
+                        });
+                    }
+                    None => match &table.default {
+                        Some(code) => {
+                            self.stack.push(env);
+                            self.control.push(Frame {
+                                code: code.clone(),
+                                pc: 0,
+                            });
+                        }
+                        None => return Err(MachineError::NoMatchingArm { tag }),
+                    },
+                }
+            }
+            Instr::Prim(op) => self.prim(op)?,
+            Instr::Fail(msg) => return Err(MachineError::Fail(msg.to_string())),
+            Instr::MergeBranch => {
+                // (((v,{P}), {A_then}), {A_else})
+                let (rest, else_a) = self.pop_pair("merge_branch")?;
+                let Value::Pair(rest) = rest else {
+                    return Err(Self::mismatch("merge_branch", "nested arenas", &rest));
+                };
+                let (gen_state, then_a) = (rest.0.clone(), rest.1.clone());
+                let (Value::Arena(then_a), Value::Arena(else_a)) = (then_a, else_a) else {
+                    return Err(MachineError::TypeMismatch {
+                        instr: "merge_branch",
+                        expected: "two arenas above the generation state",
+                        found: gen_state.to_string(),
+                    });
+                };
+                let Value::Pair(gp) = gen_state else {
+                    return Err(Self::mismatch("merge_branch", "(value, arena)", &gen_state));
+                };
+                let (v, outer) = (gp.0.clone(), gp.1.clone());
+                let Value::Arena(outer) = outer else {
+                    return Err(Self::mismatch("merge_branch", "(value, arena)", &outer));
+                };
+                let (then_c, else_c) = (self.freeze(&then_a), self.freeze(&else_a));
+                outer.push(Instr::Branch(then_c, else_c));
+                self.stats.emitted += 1;
+                self.stack.push(Value::pair(v, Value::Arena(outer)));
+            }
+            Instr::MergeSwitch(spec) => {
+                let count = spec.arms.len() + usize::from(spec.default);
+                let mut arenas = Vec::with_capacity(count);
+                let mut cur = self.pop("merge_switch")?;
+                for _ in 0..count {
+                    let Value::Pair(p) = cur else {
+                        return Err(Self::mismatch("merge_switch", "stacked arenas", &cur));
+                    };
+                    let (rest, a) = (p.0.clone(), p.1.clone());
+                    let Value::Arena(a) = a else {
+                        return Err(Self::mismatch("merge_switch", "an arena", &a));
+                    };
+                    arenas.push(a);
+                    cur = rest;
+                }
+                arenas.reverse(); // now in arm order, default last
+                let Value::Pair(gp) = cur else {
+                    return Err(Self::mismatch("merge_switch", "(value, arena)", &cur));
+                };
+                let (v, outer) = (gp.0.clone(), gp.1.clone());
+                let Value::Arena(outer) = outer else {
+                    return Err(Self::mismatch("merge_switch", "(value, arena)", &outer));
+                };
+                let default = if spec.default {
+                    let a = arenas.pop().expect("default arena present");
+                    Some(self.freeze(&a))
+                } else {
+                    None
+                };
+                let arms = spec
+                    .arms
+                    .iter()
+                    .zip(arenas)
+                    .map(|(&(tag, bind), a)| SwitchArm {
+                        tag,
+                        bind,
+                        code: self.freeze(&a),
+                    })
+                    .collect();
+                outer.push(Instr::Switch(Rc::new(SwitchTable { arms, default })));
+                self.stats.emitted += 1;
+                self.stack.push(Value::pair(v, Value::Arena(outer)));
+            }
+            Instr::MergeRec(n) => {
+                let mut bodies_rev = Vec::with_capacity(n);
+                let mut cur = self.pop("merge_rec")?;
+                for _ in 0..n {
+                    let Value::Pair(p) = cur else {
+                        return Err(Self::mismatch("merge_rec", "stacked arenas", &cur));
+                    };
+                    let (rest, a) = (p.0.clone(), p.1.clone());
+                    let Value::Arena(a) = a else {
+                        return Err(Self::mismatch("merge_rec", "an arena", &a));
+                    };
+                    bodies_rev.push(self.freeze(&a));
+                    cur = rest;
+                }
+                bodies_rev.reverse();
+                let Value::Pair(gp) = cur else {
+                    return Err(Self::mismatch("merge_rec", "(value, arena)", &cur));
+                };
+                let (v, outer) = (gp.0.clone(), gp.1.clone());
+                let Value::Arena(outer) = outer else {
+                    return Err(Self::mismatch("merge_rec", "(value, arena)", &outer));
+                };
+                outer.push(Instr::RecClos(Rc::new(bodies_rev)));
+                self.stats.emitted += 1;
+                self.stack.push(Value::pair(v, Value::Arena(outer)));
+            }
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self) -> Result<(), MachineError> {
+        let (f, arg) = self.pop_pair("app")?;
+        match f {
+            Value::Closure(c) => {
+                self.stack.push(Value::pair(c.env.clone(), arg));
+                self.control.push(Frame {
+                    code: c.body.clone(),
+                    pc: 0,
+                });
+                Ok(())
+            }
+            Value::RecClosure { group, index } => {
+                // env' = ((env, f1), ..., fn), then (env', arg).
+                let mut acc = group.env.clone();
+                for i in 0..group.bodies.len() {
+                    acc = Value::pair(
+                        acc,
+                        Value::RecClosure {
+                            group: group.clone(),
+                            index: i,
+                        },
+                    );
+                }
+                self.stack.push(Value::pair(acc, arg));
+                self.control.push(Frame {
+                    code: group.bodies[index].clone(),
+                    pc: 0,
+                });
+                Ok(())
+            }
+            other => Err(Self::mismatch("app", "a closure", &other)),
+        }
+    }
+
+    fn prim(&mut self, op: PrimOp) -> Result<(), MachineError> {
+        use PrimOp::*;
+        let instr = "prim";
+        match op {
+            Neg | Not | StrSize | IntToString | Print | Ref | Deref | ArrLen => {
+                let v = self.pop(instr)?;
+                let out = match (op, v) {
+                    (Neg, Value::Int(n)) => Value::Int(n.wrapping_neg()),
+                    (Not, Value::Bool(b)) => Value::Bool(!b),
+                    (StrSize, Value::Str(s)) => Value::Int(s.len() as i64),
+                    (IntToString, Value::Int(n)) => Value::Str(Rc::from(n.to_string())),
+                    (Print, Value::Str(s)) => {
+                        self.output.push_str(&s);
+                        Value::Unit
+                    }
+                    (Ref, v) => Value::Ref(Rc::new(RefCell::new(v))),
+                    (Deref, Value::Ref(r)) => r.borrow().clone(),
+                    (ArrLen, Value::Array(a)) => Value::Int(a.borrow().len() as i64),
+                    (_, v) => return Err(Self::mismatch(instr, "a valid operand", &v)),
+                };
+                self.stack.push(out);
+                Ok(())
+            }
+            ArrUpdate => {
+                // (a, (i, v))
+                let (a, rest) = self.pop_pair(instr)?;
+                let Value::Pair(iv) = rest else {
+                    return Err(Self::mismatch(instr, "(array, (index, value))", &rest));
+                };
+                let (Value::Array(arr), Value::Int(i)) = (&a, &iv.0) else {
+                    return Err(Self::mismatch(instr, "(array, (index, value))", &a));
+                };
+                let mut borrow = arr.borrow_mut();
+                let len = borrow.len();
+                let idx = usize::try_from(*i)
+                    .ok()
+                    .filter(|&u| u < len)
+                    .ok_or(MachineError::IndexOutOfBounds { index: *i, len })?;
+                borrow[idx] = iv.1.clone();
+                drop(borrow);
+                self.stack.push(Value::Unit);
+                Ok(())
+            }
+            _ => {
+                // Binary.
+                let (a, b) = self.pop_pair(instr)?;
+                let out = match (op, &a, &b) {
+                    (Add, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_add(*y)),
+                    (Sub, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_sub(*y)),
+                    (Mul, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_mul(*y)),
+                    (Div, Value::Int(x), Value::Int(y)) => {
+                        if *y == 0 {
+                            return Err(MachineError::DivideByZero);
+                        }
+                        Value::Int(x.wrapping_div(*y))
+                    }
+                    (Mod, Value::Int(x), Value::Int(y)) => {
+                        if *y == 0 {
+                            return Err(MachineError::DivideByZero);
+                        }
+                        Value::Int(x.wrapping_rem(*y))
+                    }
+                    (Eq, a, b) => Value::Bool(
+                        a.structural_eq(b).ok_or(MachineError::EqualityUndefined)?,
+                    ),
+                    (Ne, a, b) => Value::Bool(
+                        !a.structural_eq(b).ok_or(MachineError::EqualityUndefined)?,
+                    ),
+                    (Lt, Value::Int(x), Value::Int(y)) => Value::Bool(x < y),
+                    (Le, Value::Int(x), Value::Int(y)) => Value::Bool(x <= y),
+                    (Gt, Value::Int(x), Value::Int(y)) => Value::Bool(x > y),
+                    (Ge, Value::Int(x), Value::Int(y)) => Value::Bool(x >= y),
+                    (Lt, Value::Str(x), Value::Str(y)) => Value::Bool(x < y),
+                    (Le, Value::Str(x), Value::Str(y)) => Value::Bool(x <= y),
+                    (Gt, Value::Str(x), Value::Str(y)) => Value::Bool(x > y),
+                    (Ge, Value::Str(x), Value::Str(y)) => Value::Bool(x >= y),
+                    (BitAnd, Value::Int(x), Value::Int(y)) => Value::Int(x & y),
+                    (Concat, Value::Str(x), Value::Str(y)) => {
+                        let mut s = x.to_string();
+                        s.push_str(y);
+                        Value::Str(Rc::from(s))
+                    }
+                    (Assign, Value::Ref(r), v) => {
+                        *r.borrow_mut() = v.clone();
+                        Value::Unit
+                    }
+                    (MkArray, Value::Int(n), init) => {
+                        let len = usize::try_from(*n).map_err(|_| {
+                            MachineError::IndexOutOfBounds { index: *n, len: 0 }
+                        })?;
+                        Value::Array(Rc::new(RefCell::new(vec![init.clone(); len])))
+                    }
+                    (ArrSub, Value::Array(arr), Value::Int(i)) => {
+                        let borrow = arr.borrow();
+                        let len = borrow.len();
+                        let idx = usize::try_from(*i)
+                            .ok()
+                            .filter(|&u| u < len)
+                            .ok_or(MachineError::IndexOutOfBounds { index: *i, len })?;
+                        borrow[idx].clone()
+                    }
+                    _ => return Err(Self::mismatch(instr, "valid binary operands", &a)),
+                };
+                self.stack.push(out);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(instrs: Vec<Instr>) -> Code {
+        Rc::new(instrs)
+    }
+
+    fn run(instrs: Vec<Instr>, input: Value) -> Value {
+        Machine::new().run(code(instrs), input).unwrap()
+    }
+
+    #[test]
+    fn cam_pair_projections() {
+        let p = Value::pair(Value::Int(1), Value::Int(2));
+        assert!(matches!(run(vec![Instr::Fst], p.clone()), Value::Int(1)));
+        assert!(matches!(run(vec![Instr::Snd], p), Value::Int(2)));
+    }
+
+    #[test]
+    fn push_swap_cons_builds_pairs() {
+        // ⟨id, quote 9⟩ applied to 5 = (5, 9)
+        let out = run(
+            vec![
+                Instr::Push,
+                Instr::Id,
+                Instr::Swap,
+                Instr::Quote(Value::Int(9)),
+                Instr::ConsPair,
+            ],
+            Value::Int(5),
+        );
+        match out {
+            Value::Pair(p) => {
+                assert!(matches!(p.0, Value::Int(5)));
+                assert!(matches!(p.1, Value::Int(9)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cur_app_is_beta() {
+        // (fn x => snd x) 7 — body `snd` receives (env, 7).
+        let body = code(vec![Instr::Snd]);
+        let out = run(
+            vec![
+                Instr::Push,
+                Instr::Cur(body),
+                Instr::Swap,
+                Instr::Quote(Value::Int(7)),
+                Instr::ConsPair,
+                Instr::App,
+            ],
+            Value::Unit,
+        );
+        assert!(matches!(out, Value::Int(7)));
+    }
+
+    #[test]
+    fn branch_on_bool() {
+        let out = run(
+            vec![
+                Instr::Push,
+                Instr::Quote(Value::Bool(true)),
+                Instr::ConsPair,
+                Instr::Branch(
+                    code(vec![Instr::Quote(Value::Int(1))]),
+                    code(vec![Instr::Quote(Value::Int(2))]),
+                ),
+            ],
+            Value::Unit,
+        );
+        assert!(matches!(out, Value::Int(1)));
+    }
+
+    #[test]
+    fn emit_appends_to_arena() {
+        // Start with (env=(), fresh arena); emit two instructions.
+        let out = run(
+            vec![
+                Instr::Push,
+                Instr::NewArena,
+                Instr::ConsPair,
+                Instr::Emit(Box::new(Instr::Fst)),
+                Instr::Emit(Box::new(Instr::Snd)),
+            ],
+            Value::Unit,
+        );
+        let Value::Pair(p) = out else { panic!() };
+        let Value::Arena(a) = &p.1 else { panic!() };
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn lift_residualizes_the_early_value() {
+        // (42, arena) --lift--> arena holds Quote(42).
+        let out = run(
+            vec![
+                Instr::Quote(Value::Int(42)),
+                Instr::Push,
+                Instr::NewArena,
+                Instr::ConsPair,
+                Instr::LiftV,
+            ],
+            Value::Unit,
+        );
+        let Value::Pair(p) = out else { panic!() };
+        let Value::Arena(a) = &p.1 else { panic!() };
+        let frozen = a.freeze();
+        assert!(matches!(&frozen[0], Instr::Quote(Value::Int(42))));
+    }
+
+    #[test]
+    fn call_runs_generated_code() {
+        // Build an arena with Quote(99), then call it.
+        let out = run(
+            vec![
+                Instr::Quote(Value::Int(99)),
+                Instr::Push,
+                Instr::NewArena,
+                Instr::ConsPair,
+                Instr::LiftV,
+                Instr::Call,
+            ],
+            Value::Unit,
+        );
+        assert!(matches!(out, Value::Int(99)));
+    }
+
+    #[test]
+    fn merge_inserts_cur() {
+        // inner arena [snd]; outer (v=(), {}); merge → outer holds Cur([snd]).
+        let out = run(
+            vec![
+                // build (inner_arena, ((), outer_arena))
+                Instr::NewArena, // inner on top
+                Instr::Push,
+                Instr::Quote(Value::Unit),
+                Instr::Push,
+                Instr::NewArena,
+                Instr::ConsPair, // ((), outer)
+                Instr::ConsPair, // (inner, ((), outer))
+                Instr::Merge,
+            ],
+            Value::Unit,
+        );
+        let Value::Pair(p) = out else { panic!() };
+        let Value::Arena(outer) = &p.1 else { panic!() };
+        assert!(matches!(&outer.freeze()[0], Instr::Cur(_)));
+    }
+
+    #[test]
+    fn recclos_supports_recursion() {
+        // f n = if n = 0 then 0 else f (n - 1); apply to 5 → 0.
+        // Body env after app: ((env0, f), n).
+        let body = code(vec![
+            Instr::Push,
+            Instr::Snd, // n
+            Instr::Push,
+            Instr::Quote(Value::Int(0)),
+            Instr::ConsPair, // (n, 0)
+            Instr::Prim(PrimOp::Eq),
+            Instr::ConsPair, // (fullenv, bool)
+            Instr::Branch(
+                code(vec![Instr::Quote(Value::Int(0))]),
+                code(vec![
+                    // f (n - 1): build (f, n-1), app.
+                    Instr::Push,
+                    Instr::Fst,
+                    Instr::Snd, // f
+                    Instr::Swap,
+                    Instr::Push,
+                    Instr::Snd, // n
+                    Instr::Push,
+                    Instr::Quote(Value::Int(1)),
+                    Instr::ConsPair,
+                    Instr::Prim(PrimOp::Sub),
+                    Instr::Swap,
+                    Instr::Fst, // discard dup'd env... (cleanup)
+                    Instr::Quote(Value::Int(0)),
+                    Instr::Swap,
+                    Instr::ConsPair,
+                    Instr::Snd, // n-1
+                    Instr::ConsPair, // (f, n-1)
+                    Instr::App,
+                ]),
+            ),
+        ]);
+        let prog = vec![
+            Instr::RecClos(Rc::new(vec![body])),
+            Instr::Snd, // the closure
+            Instr::Push,
+            Instr::Swap,
+            Instr::Quote(Value::Int(5)),
+            Instr::ConsPair,
+            Instr::App,
+        ];
+        let out = run(prog, Value::Unit);
+        assert!(matches!(out, Value::Int(0)));
+    }
+
+    #[test]
+    fn switch_dispatches_and_binds() {
+        let table = SwitchTable {
+            arms: vec![
+                SwitchArm {
+                    tag: 0,
+                    bind: false,
+                    code: code(vec![Instr::Quote(Value::Int(-1))]),
+                },
+                SwitchArm {
+                    tag: 1,
+                    bind: true,
+                    code: code(vec![Instr::Snd]),
+                },
+            ],
+            default: None,
+        };
+        let scrut = Value::Con(1, Some(Rc::new(Value::Int(7))));
+        let out = run(
+            vec![
+                Instr::Push,
+                Instr::Quote(scrut),
+                Instr::ConsPair,
+                Instr::Switch(Rc::new(table)),
+            ],
+            Value::Unit,
+        );
+        assert!(matches!(out, Value::Int(7)));
+    }
+
+    #[test]
+    fn switch_without_match_or_default_errors() {
+        let table = SwitchTable {
+            arms: vec![],
+            default: None,
+        };
+        let scrut = Value::Con(9, None);
+        let err = Machine::new()
+            .run(
+                code(vec![
+                    Instr::Push,
+                    Instr::Quote(scrut),
+                    Instr::ConsPair,
+                    Instr::Switch(Rc::new(table)),
+                ]),
+                Value::Unit,
+            )
+            .unwrap_err();
+        assert!(matches!(err, MachineError::NoMatchingArm { tag: 9 }));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let err = Machine::new()
+            .run(
+                code(vec![Instr::Prim(PrimOp::Div)]),
+                Value::pair(Value::Int(1), Value::Int(0)),
+            )
+            .unwrap_err();
+        assert_eq!(err, MachineError::DivideByZero);
+    }
+
+    #[test]
+    fn fuel_limits_execution() {
+        // An infinite loop: f x = f x.
+        let body = code(vec![
+            Instr::Push,
+            Instr::Fst,
+            Instr::Snd, // f
+            Instr::Swap,
+            Instr::Snd, // x
+            Instr::ConsPair,
+            Instr::App,
+        ]);
+        let prog = code(vec![
+            Instr::RecClos(Rc::new(vec![body])),
+            Instr::Snd,
+            Instr::Push,
+            Instr::Swap,
+            Instr::Quote(Value::Unit),
+            Instr::ConsPair,
+            Instr::App,
+        ]);
+        let err = Machine::with_fuel(10_000).run(prog, Value::Unit).unwrap_err();
+        assert!(matches!(err, MachineError::OutOfFuel { .. }));
+    }
+
+    #[test]
+    fn stats_count_steps_and_emits() {
+        let mut m = Machine::new();
+        m.run(
+            code(vec![
+                Instr::Push,
+                Instr::NewArena,
+                Instr::ConsPair,
+                Instr::Emit(Box::new(Instr::Id)),
+            ]),
+            Value::Unit,
+        )
+        .unwrap();
+        let stats = m.stats();
+        assert_eq!(stats.steps, 4);
+        assert_eq!(stats.emitted, 1);
+        assert_eq!(stats.arenas, 1);
+    }
+
+    #[test]
+    fn print_accumulates_output() {
+        let mut m = Machine::new();
+        m.run(
+            code(vec![
+                Instr::Quote(Value::Str(Rc::from("hello "))),
+                Instr::Prim(PrimOp::Print),
+                Instr::Quote(Value::Str(Rc::from("world"))),
+                Instr::Prim(PrimOp::Print),
+            ]),
+            Value::Unit,
+        )
+        .unwrap();
+        assert_eq!(m.output(), "hello world");
+    }
+
+    #[test]
+    fn arrays_allocate_index_update() {
+        let mut m = Machine::new();
+        // array (3, 0); update (a, 1, 5); sub (a, 1)
+        let out = m
+            .run(
+                code(vec![
+                    Instr::Quote(Value::pair(Value::Int(3), Value::Int(0))),
+                    Instr::Prim(PrimOp::MkArray),
+                    Instr::Push,
+                    Instr::Push,
+                    Instr::Quote(Value::pair(Value::Int(1), Value::Int(5))),
+                    Instr::ConsPair, // (a, (1, 5))
+                    Instr::Prim(PrimOp::ArrUpdate),
+                    Instr::Quote(Value::Int(1)), // drop unit, keep index
+                    Instr::ConsPair,             // (a, 1)
+                    Instr::Prim(PrimOp::ArrSub),
+                ]),
+                Value::Unit,
+            )
+            .unwrap();
+        assert!(matches!(out, Value::Int(5)));
+    }
+
+    #[test]
+    fn array_out_of_bounds_errors() {
+        let err = Machine::new()
+            .run(
+                code(vec![
+                    Instr::Quote(Value::pair(Value::Int(2), Value::Int(0))),
+                    Instr::Prim(PrimOp::MkArray),
+                    Instr::Push,
+                    Instr::Quote(Value::Int(5)),
+                    Instr::ConsPair,
+                    Instr::Prim(PrimOp::ArrSub),
+                ]),
+                Value::Unit,
+            )
+            .unwrap_err();
+        assert!(matches!(err, MachineError::IndexOutOfBounds { index: 5, len: 2 }));
+    }
+
+    #[test]
+    fn equality_on_closures_is_an_error() {
+        let f = Value::Closure(Rc::new(Closure {
+            env: Value::Unit,
+            body: code(vec![]),
+        }));
+        let err = Machine::new()
+            .run(
+                code(vec![Instr::Prim(PrimOp::Eq)]),
+                Value::pair(f.clone(), f),
+            )
+            .unwrap_err();
+        assert_eq!(err, MachineError::EqualityUndefined);
+    }
+
+    #[test]
+    fn refs_assign_and_deref() {
+        let out = run(
+            vec![
+                Instr::Quote(Value::Int(1)),
+                Instr::Prim(PrimOp::Ref),
+                Instr::Push,
+                Instr::Push,
+                Instr::Quote(Value::Int(42)),
+                Instr::ConsPair,
+                Instr::Prim(PrimOp::Assign),
+                Instr::Swap, // bring ref back on top, drop unit below? (unit, ref)
+                Instr::Prim(PrimOp::Deref),
+            ],
+            Value::Unit,
+        );
+        assert!(matches!(out, Value::Int(42)));
+    }
+
+    #[test]
+    fn tracing_records_mnemonics() {
+        let mut m = Machine::new();
+        m.set_trace(2);
+        m.run(
+            code(vec![Instr::Push, Instr::Quote(Value::Int(1)), Instr::ConsPair]),
+            Value::Unit,
+        )
+        .unwrap();
+        let t = m.trace().unwrap();
+        assert_eq!(t.mnemonics, vec!["push", "quote"], "bounded at limit");
+    }
+
+    #[test]
+    fn machine_errors_display() {
+        assert!(MachineError::DivideByZero.to_string().contains("zero"));
+        assert!(MachineError::Fail("m".into()).to_string().contains('m'));
+    }
+}

@@ -1,0 +1,443 @@
+//! Emission-time peephole optimization of generated code.
+//!
+//! §4.2 of the paper: *"A more sophisticated specialization system might
+//! compile emit(add) to a series of instructions which would test the
+//! values of the operands of the add instruction at specialization time
+//! (if they are available) and eliminate the instruction altogether if
+//! either one is 0."* This module implements that idea as a post-pass
+//! applied when an arena is frozen (see [`crate::machine::Machine::set_optimize`]):
+//!
+//! - **constant folding** — `⟨quote a, quote b⟩; prim op` → `quote (a op b)`;
+//! - **unary folding** — `quote v; prim neg/not` → `quote v'`;
+//! - **identity elimination** — `x + 0`, `0 + x`, `x * 1`, `1 * x`,
+//!   `x - 0` reduce to `x`; `x * 0` and `0 * x` reduce to `quote 0` when
+//!   `x`'s code is effect-free;
+//! - **branch folding** — `branch` on a constant boolean condition;
+//! - **dead `id` removal**.
+//!
+//! The CAM pairing discipline makes operand boundaries recoverable: every
+//! `⟨A, B⟩ = push; A; swap; B; cons` is parenthesis-balanced in
+//! `push`/`cons`, so the extent of a compiled operand can be found by
+//! depth counting.
+
+use crate::instr::{Instr, PrimOp, SwitchArm, SwitchTable};
+use crate::value::Value;
+use std::rc::Rc;
+
+/// Optimizes a code sequence (recursively through nested code blocks).
+/// The result computes the same values in the same order of effects.
+pub fn peephole(code: &[Instr]) -> Vec<Instr> {
+    let mut cur: Vec<Instr> = code.iter().map(optimize_nested).collect();
+    for _ in 0..4 {
+        let next = pass(&cur);
+        if next.len() == cur.len() {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+fn optimize_nested(i: &Instr) -> Instr {
+    match i {
+        Instr::Cur(c) => Instr::Cur(Rc::new(peephole(c))),
+        Instr::Branch(a, b) => Instr::Branch(Rc::new(peephole(a)), Rc::new(peephole(b))),
+        Instr::Switch(t) => Instr::Switch(Rc::new(SwitchTable {
+            arms: t
+                .arms
+                .iter()
+                .map(|arm| SwitchArm {
+                    tag: arm.tag,
+                    bind: arm.bind,
+                    code: Rc::new(peephole(&arm.code)),
+                })
+                .collect(),
+            default: t.default.as_ref().map(|d| Rc::new(peephole(d))),
+        })),
+        Instr::RecClos(bodies) => Instr::RecClos(Rc::new(
+            bodies.iter().map(|b| Rc::new(peephole(b))).collect(),
+        )),
+        other => other.clone(),
+    }
+}
+
+/// Whether executing this instruction can have an observable effect
+/// (so eliminating it would be wrong).
+fn is_pure(i: &Instr) -> bool {
+    match i {
+        Instr::Id
+        | Instr::Fst
+        | Instr::Snd
+        | Instr::Push
+        | Instr::Swap
+        | Instr::ConsPair
+        | Instr::Quote(_)
+        | Instr::Cur(_)
+        | Instr::Pack(_) => true,
+        Instr::Prim(op) => matches!(
+            op,
+            PrimOp::Add
+                | PrimOp::Sub
+                | PrimOp::Mul
+                | PrimOp::Neg
+                | PrimOp::Eq
+                | PrimOp::Ne
+                | PrimOp::Lt
+                | PrimOp::Le
+                | PrimOp::Gt
+                | PrimOp::Ge
+                | PrimOp::Concat
+                | PrimOp::BitAnd
+                | PrimOp::Not
+                | PrimOp::StrSize
+                | PrimOp::IntToString
+        ),
+        _ => false,
+    }
+}
+
+fn all_pure(code: &[Instr]) -> bool {
+    code.iter().all(is_pure)
+}
+
+/// Finds the extent of the operand `B` in `push; A; swap; B; cons` given
+/// the index *after* `swap`: returns the index of the matching `cons`.
+/// Returns `None` if the sequence is not balanced within this block.
+fn find_matching_cons(code: &[Instr], start: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < code.len() {
+        match &code[i] {
+            Instr::Push => depth += 1,
+            Instr::ConsPair => {
+                if depth == 0 {
+                    return Some(i);
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn fold_binop(op: PrimOp, a: &Value, b: &Value) -> Option<Value> {
+    let out = match (op, a, b) {
+        (PrimOp::Add, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_add(*y)),
+        (PrimOp::Sub, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_sub(*y)),
+        (PrimOp::Mul, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_mul(*y)),
+        (PrimOp::BitAnd, Value::Int(x), Value::Int(y)) => Value::Int(x & y),
+        (PrimOp::Lt, Value::Int(x), Value::Int(y)) => Value::Bool(x < y),
+        (PrimOp::Le, Value::Int(x), Value::Int(y)) => Value::Bool(x <= y),
+        (PrimOp::Gt, Value::Int(x), Value::Int(y)) => Value::Bool(x > y),
+        (PrimOp::Ge, Value::Int(x), Value::Int(y)) => Value::Bool(x >= y),
+        (PrimOp::Eq, a, b) => Value::Bool(a.structural_eq(b)?),
+        (PrimOp::Ne, a, b) => Value::Bool(!a.structural_eq(b)?),
+        _ => return None,
+    };
+    Some(out)
+}
+
+/// `op` with constant *left* operand `k`: is the whole expression the
+/// right operand (`Some(false)`), the constant absorbing (`Some(true)`
+/// meaning the result is `absorb`), or neither?
+fn left_identity(op: PrimOp, k: &Value) -> Identity {
+    match (op, k) {
+        (PrimOp::Add, Value::Int(0)) => Identity::Pass,
+        (PrimOp::Mul, Value::Int(1)) => Identity::Pass,
+        (PrimOp::Mul, Value::Int(0)) => Identity::Absorb(Value::Int(0)),
+        _ => Identity::No,
+    }
+}
+
+fn right_identity(op: PrimOp, k: &Value) -> Identity {
+    match (op, k) {
+        (PrimOp::Add, Value::Int(0)) => Identity::Pass,
+        (PrimOp::Sub, Value::Int(0)) => Identity::Pass,
+        (PrimOp::Mul, Value::Int(1)) => Identity::Pass,
+        (PrimOp::Mul, Value::Int(0)) => Identity::Absorb(Value::Int(0)),
+        _ => Identity::No,
+    }
+}
+
+enum Identity {
+    /// The other operand passes through unchanged.
+    Pass,
+    /// The result is this constant (requires the other operand pure).
+    Absorb(Value),
+    /// No algebraic shortcut.
+    No,
+}
+
+fn pass(code: &[Instr]) -> Vec<Instr> {
+    let mut out: Vec<Instr> = Vec::with_capacity(code.len());
+    let mut i = 0;
+    'outer: while i < code.len() {
+        // Window: push; <A>; swap; <B>; cons; prim op
+        if matches!(code[i], Instr::Push) {
+            if let Some((a_code, b_code, cons_idx)) = split_pair(code, i) {
+                if let Some(Instr::Prim(op)) = code.get(cons_idx + 1) {
+                    let op = *op;
+                    let a_const = single_quote(a_code);
+                    let b_const = single_quote(b_code);
+                    // Full constant fold.
+                    if let (Some(a), Some(b)) = (a_const, b_const) {
+                        if let Some(v) = fold_binop(op, a, b) {
+                            out.push(Instr::Quote(v));
+                            i = cons_idx + 2;
+                            continue 'outer;
+                        }
+                    }
+                    // Left identity: ⟨quote k, B⟩; op
+                    if let Some(k) = a_const {
+                        match left_identity(op, k) {
+                            Identity::Pass => {
+                                out.extend(b_code.iter().cloned());
+                                i = cons_idx + 2;
+                                continue 'outer;
+                            }
+                            Identity::Absorb(v) if all_pure(b_code) => {
+                                out.push(Instr::Quote(v));
+                                i = cons_idx + 2;
+                                continue 'outer;
+                            }
+                            _ => {}
+                        }
+                    }
+                    // Right identity: ⟨A, quote k⟩; op
+                    if let Some(k) = b_const {
+                        match right_identity(op, k) {
+                            Identity::Pass => {
+                                out.extend(a_code.iter().cloned());
+                                i = cons_idx + 2;
+                                continue 'outer;
+                            }
+                            Identity::Absorb(v) if all_pure(a_code) => {
+                                out.push(Instr::Quote(v));
+                                i = cons_idx + 2;
+                                continue 'outer;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        // quote v; prim neg/not — unary folding.
+        if let Instr::Quote(v) = &code[i] {
+            if let Some(Instr::Prim(op)) = code.get(i + 1) {
+                let folded = match (op, v) {
+                    (PrimOp::Neg, Value::Int(n)) => Some(Value::Int(n.wrapping_neg())),
+                    (PrimOp::Not, Value::Bool(b)) => Some(Value::Bool(!b)),
+                    _ => None,
+                };
+                if let Some(v) = folded {
+                    out.push(Instr::Quote(v));
+                    i += 2;
+                    continue 'outer;
+                }
+            }
+            // push; quote b; cons; branch(T, E) — constant condition.
+            // (The compiled `if` is push; <C>; cons; branch.)
+        }
+        // push; quote b; cons; branch — fold a constant conditional: the
+        // environment copy is consumed by the branch anyway.
+        if matches!(code[i], Instr::Push) {
+            if let (Some(Instr::Quote(Value::Bool(b))), Some(Instr::ConsPair)) =
+                (code.get(i + 1), code.get(i + 2))
+            {
+                if let Some(Instr::Branch(t, e)) = code.get(i + 3) {
+                    let chosen = if *b { t } else { e };
+                    out.extend(chosen.iter().cloned());
+                    i += 4;
+                    continue 'outer;
+                }
+            }
+        }
+        // Dead id.
+        if matches!(code[i], Instr::Id) && code.len() > 1 {
+            i += 1;
+            continue 'outer;
+        }
+        out.push(code[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// For `code[push_idx] = push`, recovers the `A` and `B` operand slices of
+/// a `push; A; swap; B; cons` pairing, returning `(A, B, cons_index)`.
+fn split_pair(code: &[Instr], push_idx: usize) -> Option<(&[Instr], &[Instr], usize)> {
+    // Find the swap at depth 0 after push, then the cons matching it.
+    let mut depth = 0usize;
+    let mut j = push_idx + 1;
+    let swap_idx = loop {
+        match code.get(j)? {
+            Instr::Push => depth += 1,
+            Instr::ConsPair => {
+                if depth == 0 {
+                    return None; // malformed for our purposes
+                }
+                depth -= 1;
+            }
+            Instr::Swap if depth == 0 => break j,
+            _ => {}
+        }
+        j += 1;
+    };
+    let cons_idx = find_matching_cons(code, swap_idx + 1)?;
+    Some((
+        &code[push_idx + 1..swap_idx],
+        &code[swap_idx + 1..cons_idx],
+        cons_idx,
+    ))
+}
+
+fn single_quote(code: &[Instr]) -> Option<&Value> {
+    match code {
+        [Instr::Quote(v)] => Some(v),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    fn pair(a: Vec<Instr>, b: Vec<Instr>) -> Vec<Instr> {
+        let mut out = vec![Instr::Push];
+        out.extend(a);
+        out.push(Instr::Swap);
+        out.extend(b);
+        out.push(Instr::ConsPair);
+        out
+    }
+
+    #[test]
+    fn constant_addition_folds() {
+        let mut code = pair(
+            vec![Instr::Quote(Value::Int(2))],
+            vec![Instr::Quote(Value::Int(3))],
+        );
+        code.push(Instr::Prim(PrimOp::Add));
+        let opt = peephole(&code);
+        assert_eq!(opt.len(), 1);
+        assert!(matches!(&opt[0], Instr::Quote(Value::Int(5))));
+    }
+
+    #[test]
+    fn add_zero_left_eliminates() {
+        // 0 + snd  →  snd
+        let mut code = pair(vec![Instr::Quote(Value::Int(0))], vec![Instr::Snd]);
+        code.push(Instr::Prim(PrimOp::Add));
+        let opt = peephole(&code);
+        assert!(matches!(&opt[..], [Instr::Snd]), "{opt:?}");
+    }
+
+    #[test]
+    fn mul_one_right_eliminates() {
+        let mut code = pair(vec![Instr::Snd], vec![Instr::Quote(Value::Int(1))]);
+        code.push(Instr::Prim(PrimOp::Mul));
+        let opt = peephole(&code);
+        assert!(matches!(&opt[..], [Instr::Snd]), "{opt:?}");
+    }
+
+    #[test]
+    fn mul_zero_absorbs_pure_operand_only() {
+        // snd * 0 → quote 0 (snd is pure).
+        let mut code = pair(vec![Instr::Snd], vec![Instr::Quote(Value::Int(0))]);
+        code.push(Instr::Prim(PrimOp::Mul));
+        let opt = peephole(&code);
+        assert!(matches!(&opt[..], [Instr::Quote(Value::Int(0))]));
+        // print "x" * 0 must NOT be eliminated (effect!).
+        let mut code = pair(
+            vec![
+                Instr::Quote(Value::Str("x".into())),
+                Instr::Prim(PrimOp::Print),
+            ],
+            vec![Instr::Quote(Value::Int(0))],
+        );
+        code.push(Instr::Prim(PrimOp::Mul));
+        let opt = peephole(&code);
+        assert!(opt.len() > 1, "effectful operand preserved: {opt:?}");
+    }
+
+    #[test]
+    fn nested_operands_are_balanced() {
+        // (1 + 2) + snd — inner pair folds, outer keeps snd.
+        let inner = {
+            let mut c = pair(
+                vec![Instr::Quote(Value::Int(1))],
+                vec![Instr::Quote(Value::Int(2))],
+            );
+            c.push(Instr::Prim(PrimOp::Add));
+            c
+        };
+        let mut code = pair(inner, vec![Instr::Snd]);
+        code.push(Instr::Prim(PrimOp::Add));
+        let opt = peephole(&code);
+        // After folding: ⟨quote 3, snd⟩; add.
+        assert!(opt.iter().any(|i| matches!(i, Instr::Quote(Value::Int(3)))));
+        assert!(opt.len() < code.len());
+    }
+
+    #[test]
+    fn constant_branch_folds() {
+        let code = vec![
+            Instr::Push,
+            Instr::Quote(Value::Bool(true)),
+            Instr::ConsPair,
+            Instr::Branch(
+                Rc::new(vec![Instr::Quote(Value::Int(1))]),
+                Rc::new(vec![Instr::Quote(Value::Int(2))]),
+            ),
+        ];
+        let opt = peephole(&code);
+        assert!(matches!(&opt[..], [Instr::Quote(Value::Int(1))]));
+    }
+
+    #[test]
+    fn optimized_code_computes_the_same_value() {
+        // ((4 * 1) + (0 + snd)) applied to (_, 8).
+        let mul = {
+            let mut c = pair(
+                vec![Instr::Quote(Value::Int(4))],
+                vec![Instr::Quote(Value::Int(1))],
+            );
+            c.push(Instr::Prim(PrimOp::Mul));
+            c
+        };
+        let add0 = {
+            let mut c = pair(vec![Instr::Quote(Value::Int(0))], vec![Instr::Snd]);
+            c.push(Instr::Prim(PrimOp::Add));
+            c
+        };
+        let mut code = pair(mul, add0);
+        code.push(Instr::Prim(PrimOp::Add));
+        let opt = peephole(&code);
+        assert!(opt.len() < code.len());
+        let input = Value::pair(Value::Unit, Value::Int(8));
+        let a = Machine::new().run(Rc::new(code), input.clone()).unwrap();
+        let b = Machine::new().run(Rc::new(opt), input).unwrap();
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(a.to_string(), "12");
+    }
+
+    #[test]
+    fn recurses_into_cur_bodies() {
+        let body = {
+            let mut c = pair(
+                vec![Instr::Quote(Value::Int(1))],
+                vec![Instr::Quote(Value::Int(2))],
+            );
+            c.push(Instr::Prim(PrimOp::Add));
+            c
+        };
+        let code = vec![Instr::Cur(Rc::new(body))];
+        let opt = peephole(&code);
+        let Instr::Cur(b) = &opt[0] else { panic!() };
+        assert_eq!(b.len(), 1);
+    }
+}

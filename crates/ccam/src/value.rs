@@ -1,0 +1,241 @@
+//! Run-time values of the CCAM.
+
+use crate::instr::{Code, Instr};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A datatype constructor tag. The MLbox compiler assigns one per
+/// constructor; the machine only compares them.
+pub type ConTag = u32;
+
+/// A group of mutually recursive closure bodies sharing one captured
+/// environment.
+#[derive(Debug)]
+pub struct RecGroup {
+    /// The environment captured at group-creation time.
+    pub env: Value,
+    /// One body per function in the group.
+    pub bodies: Rc<Vec<Code>>,
+}
+
+/// A non-recursive closure `[v : P]`.
+#[derive(Debug)]
+pub struct Closure {
+    /// Captured environment value.
+    pub env: Value,
+    /// Body code.
+    pub body: Code,
+}
+
+/// An arena: a dynamically created code sequence under construction
+/// (the paper's `{P}`).
+///
+/// Arenas are appended to by `emit`/`lift`/`merge` and frozen into
+/// executable [`Code`] by `call` and `merge`. The implementation shares
+/// arenas by reference ([`Rc`]); the compiler threads each arena linearly,
+/// so the sharing is unobservable.
+#[derive(Debug, Default)]
+pub struct Arena {
+    instrs: RefCell<Vec<Instr>>,
+}
+
+impl Arena {
+    /// A fresh empty arena.
+    pub fn new() -> Rc<Self> {
+        Rc::new(Arena::default())
+    }
+
+    /// Appends one instruction.
+    pub fn push(&self, i: Instr) {
+        self.instrs.borrow_mut().push(i);
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.instrs.borrow().len()
+    }
+
+    /// Whether nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.borrow().is_empty()
+    }
+
+    /// Freezes the current contents into executable code (the arena may
+    /// continue to grow afterwards; the frozen code is a snapshot).
+    pub fn freeze(&self) -> Code {
+        Rc::new(self.instrs.borrow().clone())
+    }
+}
+
+/// A CCAM value.
+///
+/// Values are cheaply cloneable (interior [`Rc`]s). Tuples are represented
+/// as right-nested pairs: `(a, b, c)` is `Pair(a, Pair(b, c))`.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// The unit value `()`.
+    Unit,
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(Rc<str>),
+    /// A pair (also the environment spine and tuple encoding).
+    Pair(Rc<(Value, Value)>),
+    /// A closure `[v : P]`.
+    Closure(Rc<Closure>),
+    /// A member of a recursive closure group.
+    RecClosure {
+        /// The shared group.
+        group: Rc<RecGroup>,
+        /// Which member this value is.
+        index: usize,
+    },
+    /// A datatype constructor application.
+    Con(ConTag, Option<Rc<Value>>),
+    /// A code arena under construction.
+    Arena(Rc<Arena>),
+    /// A mutable reference cell.
+    Ref(Rc<RefCell<Value>>),
+    /// A mutable array.
+    Array(Rc<RefCell<Vec<Value>>>),
+}
+
+impl Value {
+    /// Builds a pair.
+    pub fn pair(a: Value, b: Value) -> Value {
+        Value::Pair(Rc::new((a, b)))
+    }
+
+    /// Builds a right-nested tuple from components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn tuple(parts: Vec<Value>) -> Value {
+        let mut it = parts.into_iter().rev();
+        let mut acc = it.next().expect("tuple must be non-empty");
+        for v in it {
+            acc = Value::pair(v, acc);
+        }
+        acc
+    }
+
+    /// Structural equality as used by the `=` primitive: defined for
+    /// unit, integers, booleans, strings, pairs, and constructors;
+    /// reference cells and arrays compare by identity. Returns `None` for
+    /// closures and arenas (equality is not defined on them).
+    pub fn structural_eq(&self, other: &Value) -> Option<bool> {
+        match (self, other) {
+            (Value::Unit, Value::Unit) => Some(true),
+            (Value::Int(a), Value::Int(b)) => Some(a == b),
+            (Value::Bool(a), Value::Bool(b)) => Some(a == b),
+            (Value::Str(a), Value::Str(b)) => Some(a == b),
+            (Value::Pair(a), Value::Pair(b)) => {
+                Some(a.0.structural_eq(&b.0)? && a.1.structural_eq(&b.1)?)
+            }
+            (Value::Con(ta, pa), Value::Con(tb, pb)) => {
+                if ta != tb {
+                    return Some(false);
+                }
+                match (pa, pb) {
+                    (None, None) => Some(true),
+                    (Some(a), Some(b)) => a.structural_eq(b),
+                    _ => Some(false),
+                }
+            }
+            (Value::Ref(a), Value::Ref(b)) => Some(Rc::ptr_eq(a, b)),
+            (Value::Array(a), Value::Array(b)) => Some(Rc::ptr_eq(a, b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => f.write_str("()"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Pair(p) => write!(f, "({}, {})", p.0, p.1),
+            Value::Closure(_) => f.write_str("<fn>"),
+            Value::RecClosure { .. } => f.write_str("<fn rec>"),
+            Value::Con(tag, None) => write!(f, "con{tag}"),
+            Value::Con(tag, Some(v)) => write!(f, "con{tag}({v})"),
+            Value::Arena(a) => write!(f, "<arena:{}>", a.len()),
+            Value::Ref(v) => write!(f, "ref {}", v.borrow()),
+            Value::Array(a) => {
+                f.write_str("[|")?;
+                for (i, v) in a.borrow().iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("|]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_is_right_nested() {
+        let t = Value::tuple(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        match t {
+            Value::Pair(p) => {
+                assert!(matches!(p.0, Value::Int(1)));
+                assert!(matches!(&p.1, Value::Pair(q) if matches!(q.0, Value::Int(2))));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn structural_eq_on_cons() {
+        let a = Value::Con(3, Some(Rc::new(Value::Int(1))));
+        let b = Value::Con(3, Some(Rc::new(Value::Int(1))));
+        let c = Value::Con(4, Some(Rc::new(Value::Int(1))));
+        assert_eq!(a.structural_eq(&b), Some(true));
+        assert_eq!(a.structural_eq(&c), Some(false));
+    }
+
+    #[test]
+    fn refs_compare_by_identity() {
+        let r1 = Value::Ref(Rc::new(RefCell::new(Value::Int(1))));
+        let r2 = Value::Ref(Rc::new(RefCell::new(Value::Int(1))));
+        assert_eq!(r1.structural_eq(&r1.clone()), Some(true));
+        assert_eq!(r1.structural_eq(&r2), Some(false));
+    }
+
+    #[test]
+    fn arena_grows_and_freezes() {
+        let a = Arena::new();
+        assert!(a.is_empty());
+        a.push(Instr::Fst);
+        a.push(Instr::Snd);
+        let code = a.freeze();
+        assert_eq!(code.len(), 2);
+        a.push(Instr::Id);
+        assert_eq!(a.len(), 3);
+        assert_eq!(code.len(), 2, "frozen snapshot is immutable");
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        for v in [
+            Value::Unit,
+            Value::Int(-1),
+            Value::pair(Value::Bool(true), Value::Unit),
+            Value::Con(0, None),
+        ] {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Machine invariants under randomly composed (well-formed) instruction
+//! sequences: statistics are coherent and the validator is sound.
+
+use ccam::instr::{validate, Instr, PrimOp};
+use ccam::machine::Machine;
+use ccam::value::Value;
+use proptest::prelude::*;
+use std::rc::Rc;
+
+/// Random straight-line arithmetic programs: each block keeps the
+/// invariant "top of stack is an integer".
+fn arith_block() -> impl Strategy<Value = Vec<Instr>> {
+    prop_oneof![
+        (-100i64..100).prop_map(|n| vec![Instr::Quote(Value::Int(n))]),
+        (-50i64..50).prop_map(|n| vec![
+            Instr::Push,
+            Instr::Quote(Value::Int(n)),
+            Instr::ConsPair,
+            Instr::Prim(PrimOp::Add),
+        ]),
+        (1i64..50).prop_map(|n| vec![
+            Instr::Push,
+            Instr::Quote(Value::Int(n)),
+            Instr::ConsPair,
+            Instr::Prim(PrimOp::Mul),
+        ]),
+        Just(vec![Instr::Prim(PrimOp::Neg)]),
+        Just(vec![Instr::Id]),
+    ]
+}
+
+fn arith_program() -> impl Strategy<Value = Vec<Instr>> {
+    proptest::collection::vec(arith_block(), 1..30)
+        .prop_map(|blocks| blocks.into_iter().flatten().collect())
+}
+
+proptest! {
+    #[test]
+    fn arithmetic_programs_never_fail(prog in arith_program()) {
+        let len = prog.len() as u64;
+        validate(&prog).unwrap();
+        let mut m = Machine::new();
+        let out = m.run(Rc::new(prog), Value::Int(0)).unwrap();
+        prop_assert!(matches!(out, Value::Int(_)));
+        // One reduction per executed instruction.
+        prop_assert_eq!(m.stats().steps, len);
+    }
+
+    #[test]
+    fn fuel_bound_is_respected(prog in arith_program(), fuel in 1u64..20) {
+        let len = prog.len() as u64;
+        let mut m = Machine::with_fuel(fuel);
+        match m.run(Rc::new(prog), Value::Int(0)) {
+            Ok(_) => prop_assert!(len <= fuel),
+            Err(e) => {
+                prop_assert!(len > fuel, "unexpected error {e} for {len} <= {fuel}");
+                prop_assert!(m.stats().steps <= fuel + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_and_call_round_trips_values(n in -1000i64..1000) {
+        // lift n into an arena, call it: identity on values, one emit,
+        // one arena, one call.
+        let prog = vec![
+            Instr::Quote(Value::Int(n)),
+            Instr::Push,
+            Instr::NewArena,
+            Instr::ConsPair,
+            Instr::LiftV,
+            Instr::Call,
+        ];
+        let mut m = Machine::new();
+        let out = m.run(Rc::new(prog), Value::Unit).unwrap();
+        prop_assert!(matches!(out, Value::Int(x) if x == n));
+        let s = m.stats();
+        prop_assert_eq!(s.emitted, 1);
+        prop_assert_eq!(s.arenas, 1);
+        prop_assert_eq!(s.calls, 1);
+    }
+
+    #[test]
+    fn structural_eq_is_reflexive_and_symmetric(a in -50i64..50, b in -50i64..50) {
+        let v1 = Value::tuple(vec![Value::Int(a), Value::Bool(a > 0), Value::Int(b)]);
+        let v2 = Value::tuple(vec![Value::Int(a), Value::Bool(a > 0), Value::Int(b)]);
+        prop_assert_eq!(v1.structural_eq(&v1), Some(true));
+        prop_assert_eq!(v1.structural_eq(&v2), Some(true));
+        prop_assert_eq!(v2.structural_eq(&v1), Some(true));
+        let v3 = Value::tuple(vec![Value::Int(a + 1), Value::Bool(a > 0), Value::Int(b)]);
+        prop_assert_eq!(v1.structural_eq(&v3), Some(false));
+    }
+}

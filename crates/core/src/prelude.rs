@@ -1,0 +1,49 @@
+//! The MLbox prelude: loaded into every default [`crate::Session`].
+//!
+//! Everything here is ordinary MLbox source — including `eval`, which the
+//! paper notes is definable rather than primitive
+//! (`fn x => let cogen u = x in u end`), and the memoization tables of
+//! §3.4 (association lists in a reference cell).
+
+/// The prelude source.
+pub const PRELUDE: &str = r#"
+datatype 'a option = NONE | SOME of 'a
+
+(* Invoking a generator: definable, not primitive (paper §2.1). *)
+fun eval c = let cogen u = c in u end
+
+fun compose (f, g) = fn x => f (g x)
+fun fst2 (a, b) = a
+fun snd2 (a, b) = b
+
+fun map f xs = case xs of nil => nil | a :: r => f a :: map f r
+fun append (xs, ys) = case xs of nil => ys | a :: r => a :: append (r, ys)
+fun rev xs =
+  let fun go (acc, l) = case l of nil => acc | a :: r => go (a :: acc, r)
+  in go (nil, xs) end
+fun listLength xs = case xs of nil => 0 | a :: r => 1 + listLength r
+fun foldl (f, acc, xs) =
+  case xs of nil => acc | a :: r => foldl (f, f (acc, a), r)
+fun nth (xs, n) = case xs of a :: r => if n = 0 then a else nth (r, n - 1)
+fun tabulate (n, f) =
+  let fun go i = if i = n then nil else f i :: go (i + 1)
+  in go 0 end
+
+(* Arrays from lists (a default element is required for the allocation). *)
+fun fromList (xs, dflt) =
+  let
+    val a = array (listLength xs, dflt)
+    fun fill (i, l) =
+      case l of nil => a | v :: r => (update (a, i, v); fill (i + 1, r))
+  in fill (0, xs) end
+
+(* Association-list tables (paper §3.4): get/add over a list ref. *)
+fun newTable dummy = ref nil
+fun lookup (t, k) =
+  let fun find l =
+        case l of
+          nil => NONE
+        | (k', v) :: r => if k = k' then SOME v else find r
+  in find (!t) end
+fun add (t, kv) = t := kv :: !t
+"#;

@@ -1,0 +1,267 @@
+//! The paper's example programs (§3), as MLbox source, compilable and
+//! runnable through [`crate::Session`]. The packet-filter programs of
+//! §3.3 live in the `mlbox-bpf` crate alongside their workload generator.
+
+/// §3.1 — the interpretive polynomial evaluator and the paper's example
+/// polynomial `polyl = [2, 4, 0, 2333]`.
+pub const EVAL_POLY: &str = r#"
+type poly = int list
+val polyl = [2, 4, 0, 2333]
+
+(* val evalPoly : int * poly -> int *)
+fun evalPoly (x, p) =
+  case p of
+    nil => 0
+  | a :: r => a + (x * evalPoly (x, r))
+"#;
+
+/// §3.1 — source-level staging: specialize by building closures.
+pub const SPEC_POLY: &str = r#"
+(* val specPoly : poly -> (int -> int) *)
+fun specPoly p =
+  case p of
+    nil => (fn x => 0)
+  | a :: r =>
+      let val polyr = specPoly r
+      in fn x => a + (x * polyr x) end
+
+val polylTarget = specPoly polyl
+"#;
+
+/// §3.1 — modal staging: `compPoly` builds a code generator; invoking it
+/// produces genuinely specialized CCAM code.
+pub const COMP_POLY: &str = r#"
+(* val compPoly : poly -> (int -> int) $ *)
+fun compPoly p =
+  case p of
+    nil => code (fn x => 0)
+  | a :: r =>
+      let
+        cogen f = compPoly r
+        cogen a' = lift a
+      in
+        code (fn x => a' + (x * f x))
+      end
+
+val codeGenerator = compPoly polyl
+val mlPolyFun = eval codeGenerator
+"#;
+
+/// §3.4 — the staged power function.
+pub const CODE_POWER: &str = r#"
+(* val codePower : int -> (int -> int) $ *)
+fun codePower e =
+  if e = 0 then
+    code (fn b => 1)
+  else
+    let
+      cogen p = codePower (e - 1)
+    in
+      code (fn b => b * (p b))
+    end
+"#;
+
+/// §3.4 — `memoPower1`: memoize the specialized functions by exponent.
+pub const MEMO_POWER1: &str = r#"
+val specCode = newTable ()
+
+(* memoPower1 : int -> int -> int *)
+fun memoPower1 e =
+  case lookup (specCode, e) of
+    NONE =>
+      let
+        cogen p = codePower e
+        val p' = p
+      in
+        (add (specCode, (e, p')); p')
+      end
+  | SOME p => p
+"#;
+
+/// §3.4 — `memoPower2`: additionally memoize the *generating extensions*
+/// so different exponents share subcomputations.
+pub const MEMO_POWER2: &str = r#"
+val specCode2 = newTable ()
+val genExts = newTable ()
+
+fun memoPower2 e =
+  case lookup (specCode2, e) of
+    NONE =>
+      let
+        cogen p = mPower e
+        val p' = p
+      in
+        (add (specCode2, (e, p')); p')
+      end
+  | SOME p => p
+
+and mPower e =
+  case lookup (genExts, e) of
+    NONE =>
+      let val p = bPower e
+      in (add (genExts, (e, p)); p) end
+  | SOME p => p
+
+and bPower e =
+  if e = 0 then
+    code (fn b => 1)
+  else
+    let
+      cogen p = mPower (e - 1)
+    in
+      code (fn b => b * (p b))
+    end
+"#;
+
+/// §2.1 — composition of generators: returns a generator for the
+/// composite without generating or running anything itself.
+pub const COMPOSE_GEN: &str = r#"
+(* val composeGen : (('b -> 'c) $) * (('a -> 'b) $) -> ('a -> 'c) $ *)
+fun composeGen (f, g) =
+  let
+    cogen f' = f
+    cogen g' = g
+  in
+    code (fn x => f' (g' x))
+  end
+"#;
+
+/// §3.2 — the library client: dynamically generated code that itself
+/// invokes a staged library routine, producing yet more specialized code
+/// (multi-stage specialization).
+pub const CLIENT: &str = r#"
+(* makePoly : int -> poly — a toy "poly from config" function. *)
+fun makePoly n =
+  if n = 0 then nil else (n * 7) :: makePoly (n - 1)
+
+(* The client closes over the staged library routine compPoly via lift,
+   then generates code that performs stage-2 specialization. *)
+val client =
+  let
+    cogen cp = lift compPoly
+    cogen mk = lift makePoly
+  in
+    code (fn y =>
+      let cogen inner = cp (mk y)
+      in inner end)
+  end
+"#;
+
+#[cfg(test)]
+mod tests {
+    use crate::Session;
+
+    #[test]
+    fn eval_poly_computes() {
+        let mut s = Session::new().unwrap();
+        s.run(super::EVAL_POLY).unwrap();
+        let out = s.eval_expr("evalPoly (47, polyl)").unwrap();
+        let expected = 2 + 4 * 47 + 2333i64 * 47 * 47 * 47;
+        assert_eq!(out.value, expected.to_string());
+    }
+
+    #[test]
+    fn spec_poly_matches_eval_poly() {
+        let mut s = Session::new().unwrap();
+        s.run(super::EVAL_POLY).unwrap();
+        s.run(super::SPEC_POLY).unwrap();
+        let a = s.eval_expr("polylTarget 47").unwrap().value;
+        let b = s.eval_expr("evalPoly (47, polyl)").unwrap().value;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn comp_poly_matches_eval_poly() {
+        let mut s = Session::new().unwrap();
+        s.run(super::EVAL_POLY).unwrap();
+        s.run(super::COMP_POLY).unwrap();
+        let a = s.eval_expr("mlPolyFun 47").unwrap().value;
+        let b = s.eval_expr("evalPoly (47, polyl)").unwrap().value;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn comp_poly_specialized_calls_are_cheaper() {
+        let mut s = Session::new().unwrap();
+        s.run(super::EVAL_POLY).unwrap();
+        s.run(super::COMP_POLY).unwrap();
+        let staged = s.eval_expr("mlPolyFun 47").unwrap().stats.steps;
+        let interp = s.eval_expr("evalPoly (47, polyl)").unwrap().stats.steps;
+        assert!(
+            staged * 2 < interp,
+            "specialized {staged} should be well under interpreted {interp}"
+        );
+    }
+
+    #[test]
+    fn code_power_works() {
+        let mut s = Session::new().unwrap();
+        s.run(super::CODE_POWER).unwrap();
+        assert_eq!(s.eval_expr("eval (codePower 10) 2").unwrap().value, "1024");
+        assert_eq!(s.eval_expr("eval (codePower 0) 9").unwrap().value, "1");
+    }
+
+    #[test]
+    fn memo_power1_caches() {
+        let mut s = Session::new().unwrap();
+        s.run(super::CODE_POWER).unwrap();
+        s.run(super::MEMO_POWER1).unwrap();
+        let first = s.eval_expr("memoPower1 16 2").unwrap();
+        assert_eq!(first.value, "65536");
+        let second = s.eval_expr("memoPower1 16 2").unwrap();
+        assert_eq!(second.value, "65536");
+        assert!(
+            second.stats.emitted == 0,
+            "second call must not regenerate code (emitted {})",
+            second.stats.emitted
+        );
+        assert!(second.stats.steps < first.stats.steps);
+    }
+
+    #[test]
+    fn memo_power2_shares_generating_extensions() {
+        let mut s = Session::new().unwrap();
+        s.run(super::MEMO_POWER2).unwrap();
+        let big = s.eval_expr("memoPower2 60 2").unwrap();
+        assert_eq!(big.value, (1i64 << 60).to_string());
+        // A smaller exponent now reuses the memoized generating extensions.
+        let small = s.eval_expr("memoPower2 34 2").unwrap();
+        let fresh_session_steps = {
+            let mut s2 = Session::new().unwrap();
+            s2.run(super::MEMO_POWER2).unwrap();
+            s2.eval_expr("memoPower2 34 2").unwrap().stats.steps
+        };
+        assert!(
+            small.stats.steps < fresh_session_steps,
+            "sharing generating extensions must save work: {} vs {}",
+            small.stats.steps,
+            fresh_session_steps
+        );
+    }
+
+    #[test]
+    fn compose_gen_composes() {
+        let mut s = Session::new().unwrap();
+        s.run(super::COMPOSE_GEN).unwrap();
+        let out = s
+            .eval_expr(
+                "eval (composeGen (code (fn x => x * 2), code (fn x => x + 1))) 5",
+            )
+            .unwrap();
+        assert_eq!(out.value, "12");
+    }
+
+    #[test]
+    fn client_performs_multi_stage_specialization() {
+        let mut s = Session::new().unwrap();
+        s.run(super::EVAL_POLY).unwrap();
+        s.run(super::COMP_POLY).unwrap();
+        s.run(super::CLIENT).unwrap();
+        s.run("val stage1 = eval client").unwrap();
+        // stage1 3 builds the poly [21, 14, 7] and specializes it — at the
+        // run time of dynamically generated code.
+        let out = s.eval_expr("stage1 3 10").unwrap();
+        let expected = 21 + 10 * (14 + 10 * 7);
+        assert_eq!(out.value, expected.to_string());
+    }
+}

@@ -1,0 +1,186 @@
+//! Pretty rendering of machine and interpreter values against the
+//! datatype environment: constructors by name, lists as `[...]`.
+
+use ccam::value::Value;
+use mlbox_eval::value::RVal;
+use mlbox_ir::data::{ConId, DataEnv, CONS, NIL};
+
+/// Renders a CCAM value with constructor names and list sugar.
+pub fn render_machine(v: &Value, data: &DataEnv) -> String {
+    match v {
+        Value::Con(tag, payload) => render_con(
+            ConId(*tag),
+            payload.as_deref().map(|p| MachineOrEval::M(p)),
+            data,
+        ),
+        Value::Pair(p) => format!(
+            "({}, {})",
+            render_machine(&p.0, data),
+            render_machine(&p.1, data)
+        ),
+        Value::Ref(r) => format!("ref {}", render_machine(&r.borrow(), data)),
+        Value::Array(a) => {
+            let items: Vec<String> = a
+                .borrow()
+                .iter()
+                .map(|x| render_machine(x, data))
+                .collect();
+            format!("[|{}|]", items.join(", "))
+        }
+        other => other.to_string(),
+    }
+}
+
+/// Renders a reference-interpreter value with constructor names and list
+/// sugar. The format matches [`render_machine`], enabling textual
+/// differential comparison.
+pub fn render_eval(v: &RVal, data: &DataEnv) -> String {
+    match v {
+        RVal::Con(tag, payload) => {
+            render_con(*tag, payload.as_deref().map(MachineOrEval::E), data)
+        }
+        RVal::Pair(p) => format!(
+            "({}, {})",
+            render_eval(&p.0, data),
+            render_eval(&p.1, data)
+        ),
+        RVal::Ref(r) => format!("ref {}", render_eval(&r.borrow(), data)),
+        RVal::Array(a) => {
+            let items: Vec<String> = a.borrow().iter().map(|x| render_eval(x, data)).collect();
+            format!("[|{}|]", items.join(", "))
+        }
+        RVal::Gen(_) => "<fn>".to_string(),
+        other => other.to_string(),
+    }
+}
+
+enum MachineOrEval<'a> {
+    M(&'a Value),
+    E(&'a RVal),
+}
+
+impl MachineOrEval<'_> {
+    fn render(&self, data: &DataEnv) -> String {
+        match self {
+            MachineOrEval::M(v) => render_machine(v, data),
+            MachineOrEval::E(v) => render_eval(v, data),
+        }
+    }
+
+    fn as_cons_cell(&self) -> Option<(MachineOrEval<'_>, MachineOrEval<'_>)> {
+        match self {
+            MachineOrEval::M(Value::Pair(p)) => {
+                Some((MachineOrEval::M(&p.0), MachineOrEval::M(&p.1)))
+            }
+            MachineOrEval::E(RVal::Pair(p)) => {
+                Some((MachineOrEval::E(&p.0), MachineOrEval::E(&p.1)))
+            }
+            _ => None,
+        }
+    }
+
+    fn as_con(&self) -> Option<(ConId, Option<MachineOrEval<'_>>)> {
+        match self {
+            MachineOrEval::M(Value::Con(tag, payload)) => Some((
+                ConId(*tag),
+                payload.as_deref().map(|p| MachineOrEval::M(p)),
+            )),
+            MachineOrEval::E(RVal::Con(tag, payload)) => {
+                Some((*tag, payload.as_deref().map(MachineOrEval::E)))
+            }
+            _ => None,
+        }
+    }
+}
+
+fn render_con(tag: ConId, payload: Option<MachineOrEval<'_>>, data: &DataEnv) -> String {
+    // List sugar: nil → [], a :: rest → splice into the rest's brackets.
+    if tag == NIL {
+        return "[]".to_string();
+    }
+    if tag == CONS {
+        if let Some(cell) = &payload {
+            if let Some((head, tail)) = cell.as_cons_cell() {
+                let head_s = head.render(data);
+                if let Some((t, p)) = tail.as_con() {
+                    let tail_s = render_con(t, p, data);
+                    if let Some(inner) = tail_s
+                        .strip_prefix('[')
+                        .and_then(|s| s.strip_suffix(']'))
+                    {
+                        return if inner.is_empty() {
+                            format!("[{head_s}]")
+                        } else {
+                            format!("[{head_s}, {inner}]")
+                        };
+                    }
+                }
+            }
+        }
+        // Malformed cons cell (should not happen on typed programs).
+    }
+    let name = &data.con(tag).name;
+    match payload {
+        None => name.clone(),
+        Some(p) => format!("{} {}", name, wrap_if_spaced(&p.render(data))),
+    }
+}
+
+fn wrap_if_spaced(s: &str) -> String {
+    if s.contains(' ') && !s.starts_with('(') && !s.starts_with('[') {
+        format!("({s})")
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    fn list_value(items: &[i64]) -> Value {
+        let mut acc = Value::Con(NIL.0, None);
+        for &n in items.iter().rev() {
+            acc = Value::Con(
+                CONS.0,
+                Some(Rc::new(Value::pair(Value::Int(n), acc))),
+            );
+        }
+        acc
+    }
+
+    #[test]
+    fn lists_render_with_brackets() {
+        let data = DataEnv::new();
+        assert_eq!(render_machine(&list_value(&[]), &data), "[]");
+        assert_eq!(render_machine(&list_value(&[1]), &data), "[1]");
+        assert_eq!(render_machine(&list_value(&[1, 2, 3]), &data), "[1, 2, 3]");
+    }
+
+    #[test]
+    fn constructors_render_by_name() {
+        let mut data = DataEnv::new();
+        let d = data.declare(
+            "t".into(),
+            vec![],
+            vec![("A".into(), None), ("B".into(), None)],
+        );
+        let a = data.datatype(d).cons[0];
+        assert_eq!(render_machine(&Value::Con(a.0, None), &data), "A");
+    }
+
+    #[test]
+    fn eval_and_machine_render_identically() {
+        let data = DataEnv::new();
+        let m = list_value(&[4, 5]);
+        let e = {
+            let mut acc = RVal::Con(NIL, None);
+            for &n in [4i64, 5].iter().rev() {
+                acc = RVal::Con(CONS, Some(Rc::new(RVal::pair(RVal::Int(n), acc))));
+            }
+            acc
+        };
+        assert_eq!(render_machine(&m, &data), render_eval(&e, &data));
+    }
+}

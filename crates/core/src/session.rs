@@ -1,0 +1,419 @@
+//! The incremental MLbox session: parse → elaborate → type check →
+//! compile → run on the CCAM, one declaration at a time, with
+//! per-declaration reduction-step accounting (the measurement surface of
+//! the paper's Table 1).
+
+use crate::error::Error;
+use crate::prelude::PRELUDE;
+use crate::render::render_machine;
+use ccam::instr::{validate, Instr};
+use ccam::machine::{Machine, Stats};
+use ccam::value::Value;
+use mlbox_compile::compile::{compile_decl, compile_expr, DeclEffect};
+use mlbox_compile::ctx::Ctx;
+use mlbox_ir::core::CoreDecl;
+use mlbox_ir::data::DataEnv;
+use mlbox_ir::elab::Elab;
+use mlbox_syntax::parser::{parse_expr, parse_program};
+use mlbox_types::check::{Checker, TypeCtx};
+use std::rc::Rc;
+
+/// Configuration for a [`Session`].
+#[derive(Debug, Clone)]
+pub struct SessionOptions {
+    /// Load the prelude (`eval`, lists, option, tables). Default: true.
+    pub prelude: bool,
+    /// Step budget for the machine (`None` = unlimited).
+    pub fuel: Option<u64>,
+    /// Run the modal type checker before compiling. Default: true.
+    pub typecheck: bool,
+    /// Enable emission-time peephole optimization of generated code
+    /// (§4.2's envisioned "more sophisticated specialization system").
+    /// Default: false, matching the paper's measured system.
+    pub optimize: bool,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            prelude: true,
+            fuel: None,
+            typecheck: true,
+            optimize: false,
+        }
+    }
+}
+
+/// The result of processing one declaration.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Binding name, if the declaration bound one.
+    pub name: Option<String>,
+    /// Rendered principal type (empty if type checking is off).
+    pub ty: String,
+    /// Rendered value.
+    pub value: String,
+    /// The raw machine value.
+    pub raw: Value,
+    /// Machine statistics for this declaration alone.
+    pub stats: Stats,
+}
+
+/// An incremental MLbox evaluation session backed by the CCAM.
+///
+/// # Examples
+///
+/// ```
+/// use mlbox::Session;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut session = Session::new()?;
+/// let outcomes = session.run(
+///     "fun codePower e = if e = 0 then code (fn b => 1)
+///                        else let cogen p = codePower (e - 1)
+///                             in code (fn b => b * (p b)) end
+///      val square = eval (codePower 2);
+///      square 9",
+/// )?;
+/// assert_eq!(outcomes.last().unwrap().value, "81");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    elab: Elab,
+    checker: Checker,
+    ctx: Ctx,
+    env: Value,
+    machine: Machine,
+    options: SessionOptions,
+}
+
+impl Session {
+    /// A session with the default options (prelude loaded, type checking
+    /// on, no fuel limit).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the prelude fails to load (a crate bug).
+    pub fn new() -> Result<Session, Error> {
+        Session::with_options(SessionOptions::default())
+    }
+
+    /// A session with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the prelude fails to load.
+    pub fn with_options(options: SessionOptions) -> Result<Session, Error> {
+        let mut machine = match options.fuel {
+            Some(f) => Machine::with_fuel(f),
+            None => Machine::new(),
+        };
+        machine.set_optimize(options.optimize);
+        let mut s = Session {
+            elab: Elab::new(),
+            checker: Checker::new(),
+            ctx: Ctx::root(),
+            env: Value::Unit,
+            machine,
+            options: options.clone(),
+        };
+        if options.prelude {
+            s.run(PRELUDE)?;
+        }
+        Ok(s)
+    }
+
+    /// The datatype environment (for rendering values externally).
+    pub fn data(&self) -> &DataEnv {
+        &self.elab.data
+    }
+
+    /// Total machine statistics accumulated over the session.
+    pub fn stats(&self) -> Stats {
+        self.machine.stats()
+    }
+
+    /// Everything `print`ed so far; clears the buffer.
+    pub fn take_output(&mut self) -> String {
+        self.machine.take_output()
+    }
+
+    /// Non-fatal warnings accumulated since the last call (non-exhaustive
+    /// and redundant matches).
+    pub fn take_warnings(&mut self) -> Vec<mlbox_syntax::diag::Diagnostic> {
+        std::mem::take(&mut self.elab.warnings)
+    }
+
+    /// The constructor tag for a constructor name currently in scope
+    /// (latest declaration wins), for building machine values externally.
+    pub fn constructor_tag(&self, name: &str) -> Option<u32> {
+        let data = &self.elab.data;
+        let mut found = None;
+        for (_, info) in data.datatypes() {
+            for &c in &info.cons {
+                if data.con(c).name == name {
+                    found = Some(c.0);
+                }
+            }
+        }
+        found
+    }
+
+    fn static_err(&self, diag: mlbox_syntax::diag::Diagnostic, src: &str) -> Error {
+        Error::Static {
+            diag,
+            src: src.to_string(),
+        }
+    }
+
+    /// Parses and processes a program (a sequence of declarations),
+    /// returning one [`Outcome`] per core declaration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first static or dynamic error. Already-processed
+    /// declarations remain bound.
+    pub fn run(&mut self, src: &str) -> Result<Vec<Outcome>, Error> {
+        let program = parse_program(src).map_err(|d| self.static_err(d, src))?;
+        let mut outcomes = Vec::new();
+        for decl in &program.decls {
+            let core_decls = self
+                .elab
+                .elab_decl(decl)
+                .map_err(|d| self.static_err(d, src))?;
+            for cd in &core_decls {
+                outcomes.push(self.process_core_decl(cd, src)?);
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Evaluates a single expression in the current session environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first static or dynamic error.
+    pub fn eval_expr(&mut self, src: &str) -> Result<Outcome, Error> {
+        let surface = parse_expr(src).map_err(|d| self.static_err(d, src))?;
+        let core = self
+            .elab
+            .elab_expr(&surface)
+            .map_err(|d| self.static_err(d, src))?;
+        let decl = CoreDecl::Expr(core);
+        self.process_core_decl(&decl, src)
+    }
+
+    fn process_core_decl(&mut self, cd: &CoreDecl, src: &str) -> Result<Outcome, Error> {
+        // Type check.
+        let ty = if self.options.typecheck {
+            let tcx = TypeCtx {
+                data: &self.elab.data,
+                abbrevs: &self.elab.abbrevs,
+            };
+            let t = self
+                .checker
+                .check_decl(cd, tcx)
+                .map_err(|d| self.static_err(d, src))?;
+            self.checker.display_type(&t, &self.elab.data)
+        } else {
+            String::new()
+        };
+        // Compile.
+        let (code, new_ctx, effect) =
+            compile_decl(cd, &self.ctx).map_err(|d| self.static_err(d, src))?;
+        debug_assert!(validate(&code).is_ok(), "compiler produced nested emits");
+        // Run, measuring this declaration alone.
+        let before = self.machine.stats();
+        let result = self.machine.run(Rc::new(code), self.env.clone())?;
+        let after = self.machine.stats();
+        let stats = Stats {
+            steps: after.steps - before.steps,
+            emitted: after.emitted - before.emitted,
+            arenas: after.arenas - before.arenas,
+            calls: after.calls - before.calls,
+            max_stack: after.max_stack,
+        };
+        let (name, raw) = match effect {
+            DeclEffect::ExtendsEnv => {
+                self.env = result;
+                self.ctx = new_ctx;
+                let bound = match &self.env {
+                    Value::Pair(p) => p.1.clone(),
+                    other => other.clone(),
+                };
+                (decl_name(cd), bound)
+            }
+            DeclEffect::ProducesValue => (None, result),
+        };
+        Ok(Outcome {
+            name,
+            ty,
+            value: render_machine(&raw, &self.elab.data),
+            raw,
+            stats,
+        })
+    }
+
+    /// Applies a session-bound function to a machine value, returning the
+    /// result and the statistics of the call alone. This is the benchmark
+    /// harness's measurement primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `name` is not bound to a function, or the call
+    /// fails.
+    pub fn call(&mut self, name: &str, arg: Value) -> Result<(Value, Stats), Error> {
+        let src = format!("<call {name}>");
+        // Resolve through the elaborator so shadowing matches the surface
+        // language, then compile a direct application.
+        let surface =
+            parse_expr(name).map_err(|d| self.static_err(d, &src))?;
+        let core = self
+            .elab
+            .elab_expr(&surface)
+            .map_err(|d| self.static_err(d, &src))?;
+        let mut code = vec![Instr::Push];
+        code.extend(compile_expr(&core, &self.ctx).map_err(|d| self.static_err(d, &src))?);
+        code.extend([
+            Instr::Swap,
+            Instr::Quote(arg),
+            Instr::ConsPair,
+            Instr::App,
+        ]);
+        let before = self.machine.stats();
+        let result = self.machine.run(Rc::new(code), self.env.clone())?;
+        let after = self.machine.stats();
+        let stats = Stats {
+            steps: after.steps - before.steps,
+            emitted: after.emitted - before.emitted,
+            arenas: after.arenas - before.arenas,
+            calls: after.calls - before.calls,
+            max_stack: after.max_stack,
+        };
+        Ok((result, stats))
+    }
+
+    /// Renders a machine value with this session's datatype names.
+    pub fn render(&self, v: &Value) -> String {
+        render_machine(v, &self.elab.data)
+    }
+}
+
+fn decl_name(cd: &CoreDecl) -> Option<String> {
+    match cd {
+        CoreDecl::Val(n, _) | CoreDecl::Cogen(n, _) => Some(n.text().to_string()),
+        CoreDecl::Fun(defs) => defs.last().map(|d| d.name.text().to_string()),
+        CoreDecl::Expr(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_loads_prelude() {
+        let mut s = Session::new().unwrap();
+        let out = s.eval_expr("eval (lift 42)").unwrap();
+        assert_eq!(out.value, "42");
+        assert_eq!(out.ty, "int");
+    }
+
+    #[test]
+    fn prelude_list_functions() {
+        let mut s = Session::new().unwrap();
+        assert_eq!(
+            s.eval_expr("map (fn x => x * 2) [1, 2, 3]").unwrap().value,
+            "[2, 4, 6]"
+        );
+        assert_eq!(s.eval_expr("rev [1, 2, 3]").unwrap().value, "[3, 2, 1]");
+        assert_eq!(s.eval_expr("listLength [1, 2, 3]").unwrap().value, "3");
+        assert_eq!(
+            s.eval_expr("append ([1], [2, 3])").unwrap().value,
+            "[1, 2, 3]"
+        );
+    }
+
+    #[test]
+    fn prelude_tables_memoize() {
+        let mut s = Session::new().unwrap();
+        s.run("val t = newTable ()").unwrap();
+        assert_eq!(s.eval_expr("lookup (t, 3)").unwrap().value, "NONE");
+        s.run("add (t, (3, 99))").unwrap();
+        assert_eq!(s.eval_expr("lookup (t, 3)").unwrap().value, "SOME 99");
+    }
+
+    #[test]
+    fn outcome_stats_are_per_declaration() {
+        let mut s = Session::new().unwrap();
+        let o1 = s.eval_expr("1 + 1").unwrap();
+        let o2 = s.eval_expr("1 + 1").unwrap();
+        assert_eq!(o1.stats.steps, o2.stats.steps);
+        assert!(o1.stats.steps > 0);
+    }
+
+    #[test]
+    fn staging_error_is_reported_with_source() {
+        let mut s = Session::new().unwrap();
+        let err = s.eval_expr("fn y => code (fn x => x + y)").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("earlier stage") || msg.contains("not in scope"), "{msg}");
+    }
+
+    #[test]
+    fn call_measures_a_single_application() {
+        let mut s = Session::new().unwrap();
+        s.run("fun double x = x * 2").unwrap();
+        let (v, stats) = s.call("double", Value::Int(21)).unwrap();
+        assert_eq!(v.to_string(), "42");
+        assert!(stats.steps > 0 && stats.steps < 50);
+    }
+
+    #[test]
+    fn generation_shows_in_stats() {
+        let mut s = Session::new().unwrap();
+        s.run("val g = code (fn x => x + 1)").unwrap();
+        let out = s.eval_expr("eval g 1").unwrap();
+        assert_eq!(out.value, "2");
+        assert!(out.stats.emitted > 0, "invoking a generator emits code");
+        assert!(out.stats.calls > 0);
+    }
+
+    #[test]
+    fn fuel_option_limits_steps() {
+        let mut s = Session::with_options(SessionOptions {
+            fuel: Some(2_000),
+            ..SessionOptions::default()
+        })
+        .unwrap();
+        let err = s.run("fun loop n = loop n;\nloop 0").unwrap_err();
+        assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn print_output_is_captured() {
+        let mut s = Session::new().unwrap();
+        s.run("print \"hi \"; print \"there\"").unwrap();
+        assert_eq!(s.take_output(), "hi there");
+    }
+
+    #[test]
+    fn constructor_tag_lookup() {
+        let mut s = Session::new().unwrap();
+        s.run("datatype t = Alpha | Beta of int").unwrap();
+        assert!(s.constructor_tag("Alpha").is_some());
+        assert!(s.constructor_tag("Beta").is_some());
+        assert!(s.constructor_tag("Gamma").is_none());
+    }
+
+    #[test]
+    fn types_are_reported() {
+        let mut s = Session::new().unwrap();
+        let outs = s
+            .run("fun compPoly p = case p of nil => code (fn x => 0) | a :: p' => let cogen f = compPoly p' cogen a' = lift a in code (fn x => a' + (x * f x)) end")
+            .unwrap();
+        assert_eq!(outs[0].ty, "int list -> (int -> int) $");
+    }
+}

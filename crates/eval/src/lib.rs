@@ -1,0 +1,20 @@
+//! Reference big-step interpreter for the MLbox core IR, implementing the
+//! standard staged semantics of λ□ (Davies–Pfenning):
+//!
+//! - `code M` evaluates to a **suspension** ⟨M, δ⟩ capturing the modal
+//!   environment δ (code variables only — the value environment is *not*
+//!   captured, mirroring the typing rule that clears Γ under `code`);
+//! - `lift M` evaluates `M` to `v` and produces the quoting generator;
+//! - `let cogen u = M in N` binds the suspension in δ;
+//! - *using* a code variable in ordinary position evaluates its suspension
+//!   under an empty value environment.
+//!
+//! This is the semantics the modal type system is sound for, and the
+//! differential-testing oracle for the CCAM compiler: compiled programs
+//! must produce the same observable values as this interpreter.
+
+pub mod interp;
+pub mod value;
+
+pub use interp::{EvalError, Interp};
+pub use value::RVal;

@@ -1,0 +1,172 @@
+//! The datatype environment: user-declared datatypes plus the builtin
+//! `list` and `bool`-like primitives' constructor metadata.
+//!
+//! Constructors get globally unique [`ConId`]s, used as dispatch tags by
+//! the interpreter and the CCAM.
+
+use mlbox_syntax::ast::TyS;
+
+/// A globally unique constructor tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConId(pub u32);
+
+/// A datatype id (index into [`DataEnv::datatypes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DataId(pub u32);
+
+/// Metadata for one constructor.
+#[derive(Debug, Clone)]
+pub struct ConInfo {
+    /// Constructor name as written in source.
+    pub name: String,
+    /// The datatype the constructor belongs to.
+    pub data: DataId,
+    /// Position within the datatype's constructor list.
+    pub index: u32,
+    /// Argument type as written in the declaration (`None` for nullary).
+    /// Type variables refer to the datatype's `tyvars`.
+    pub arg: Option<TyS>,
+}
+
+impl ConInfo {
+    /// Whether the constructor carries a payload.
+    pub fn has_arg(&self) -> bool {
+        self.arg.is_some()
+    }
+}
+
+/// Metadata for one datatype.
+#[derive(Debug, Clone)]
+pub struct DataInfo {
+    /// Datatype name.
+    pub name: String,
+    /// Declared type parameters.
+    pub tyvars: Vec<String>,
+    /// The datatype's constructors.
+    pub cons: Vec<ConId>,
+}
+
+/// All datatypes known to a program, with constructor tag interning.
+#[derive(Debug, Clone, Default)]
+pub struct DataEnv {
+    datatypes: Vec<DataInfo>,
+    cons: Vec<ConInfo>,
+}
+
+/// The [`ConId`] of the builtin `nil` list constructor.
+pub const NIL: ConId = ConId(0);
+/// The [`ConId`] of the builtin `::` list constructor.
+pub const CONS: ConId = ConId(1);
+/// The [`DataId`] of the builtin `list` datatype.
+pub const LIST: DataId = DataId(0);
+
+impl DataEnv {
+    /// A fresh environment containing only the builtin `'a list` datatype
+    /// (`nil` and `::`).
+    pub fn new() -> Self {
+        let mut env = DataEnv::default();
+        let list = env.declare(
+            "list".to_string(),
+            vec!["a".to_string()],
+            vec![("nil".to_string(), None), ("::".to_string(), None)],
+        );
+        debug_assert_eq!(list, LIST);
+        // The `::` payload is `'a * 'a list`; we cannot express it as a
+        // surface `TyS` conveniently before parsing, so the type checker
+        // special-cases LIST/CONS. Mark it as carrying a payload:
+        env.cons[CONS.0 as usize].arg = Some(mlbox_syntax::span::Spanned::new(
+            mlbox_syntax::ast::Ty::Con("__cons_payload".to_string(), Vec::new()),
+            mlbox_syntax::span::Span::SYNTH,
+        ));
+        env
+    }
+
+    /// Declares a datatype; returns its id. Constructors are listed as
+    /// `(name, argument type)` pairs.
+    pub fn declare(
+        &mut self,
+        name: String,
+        tyvars: Vec<String>,
+        cons: Vec<(String, Option<TyS>)>,
+    ) -> DataId {
+        let data = DataId(self.datatypes.len() as u32);
+        let mut ids = Vec::with_capacity(cons.len());
+        for (index, (cname, arg)) in cons.into_iter().enumerate() {
+            let id = ConId(self.cons.len() as u32);
+            self.cons.push(ConInfo {
+                name: cname,
+                data,
+                index: index as u32,
+                arg,
+            });
+            ids.push(id);
+        }
+        self.datatypes.push(DataInfo {
+            name,
+            tyvars,
+            cons: ids,
+        });
+        data
+    }
+
+    /// Metadata for a constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this environment.
+    pub fn con(&self, id: ConId) -> &ConInfo {
+        &self.cons[id.0 as usize]
+    }
+
+    /// Metadata for a datatype.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this environment.
+    pub fn datatype(&self, id: DataId) -> &DataInfo {
+        &self.datatypes[id.0 as usize]
+    }
+
+    /// All datatypes, in declaration order.
+    pub fn datatypes(&self) -> impl Iterator<Item = (DataId, &DataInfo)> {
+        self.datatypes
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DataId(i as u32), d))
+    }
+
+    /// Number of interned constructors.
+    pub fn con_count(&self) -> usize {
+        self.cons.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_list_is_first() {
+        let env = DataEnv::new();
+        assert_eq!(env.con(NIL).name, "nil");
+        assert_eq!(env.con(CONS).name, "::");
+        assert!(env.con(CONS).has_arg());
+        assert!(!env.con(NIL).has_arg());
+        assert_eq!(env.datatype(LIST).name, "list");
+    }
+
+    #[test]
+    fn declare_assigns_sequential_tags() {
+        let mut env = DataEnv::new();
+        let d = env.declare(
+            "t".into(),
+            vec![],
+            vec![("A".into(), None), ("B".into(), None)],
+        );
+        let info = env.datatype(d).clone();
+        assert_eq!(info.cons.len(), 2);
+        assert_eq!(env.con(info.cons[0]).name, "A");
+        assert_eq!(env.con(info.cons[1]).index, 1);
+        assert_eq!(env.con(info.cons[1]).data, d);
+    }
+}

@@ -1,0 +1,369 @@
+//! Match exhaustiveness and redundancy analysis: the classic *usefulness*
+//! algorithm (Maranget-style) over a simplified pattern domain.
+//!
+//! A `case`/clausal-`fun` match is **non-exhaustive** when a wildcard row
+//! is still useful after all user rows, and an arm is **redundant** when
+//! it is not useful with respect to the arms above it. Both produce
+//! warnings (not errors), matching SML practice.
+
+use crate::data::{ConId, DataEnv};
+use mlbox_syntax::ast::{Pat, PatS};
+use std::collections::BTreeSet;
+
+/// A simplified (resolved, desugared) pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SPat {
+    /// Matches anything (wildcards, variables, unit).
+    Wild,
+    /// A datatype constructor with subpatterns (payload flattened to one).
+    Con(ConId, Vec<SPat>),
+    /// A tuple of the given arity.
+    Tuple(Vec<SPat>),
+    /// An integer literal.
+    Int(i64),
+    /// A boolean literal.
+    Bool(bool),
+    /// A string literal.
+    Str(String),
+}
+
+/// A resolver from surface patterns to [`SPat`]: the elaborator supplies
+/// constructor lookup.
+pub trait ConResolver {
+    /// Resolves a lowercase identifier to a constructor, if it is one.
+    fn resolve_con(&self, name: &str) -> Option<ConId>;
+    /// The datatype environment (constructor universe).
+    fn data_env(&self) -> &DataEnv;
+}
+
+/// Lowers a surface pattern. Returns `None` for patterns this analysis
+/// cannot model (none currently; kept fallible for future extensions).
+pub fn simplify(pat: &PatS, r: &dyn ConResolver) -> SPat {
+    match &pat.node {
+        Pat::Wild | Pat::Unit => SPat::Wild,
+        Pat::Var(x) => match r.resolve_con(x) {
+            Some(c) => SPat::Con(c, Vec::new()),
+            None => SPat::Wild,
+        },
+        Pat::Int(n) => SPat::Int(*n),
+        Pat::Bool(b) => SPat::Bool(*b),
+        Pat::Str(s) => SPat::Str(s.clone()),
+        Pat::Tuple(ps) => SPat::Tuple(ps.iter().map(|p| simplify(p, r)).collect()),
+        Pat::Con(name, arg) => match r.resolve_con(name) {
+            Some(c) => SPat::Con(c, vec![simplify(arg, r)]),
+            None => SPat::Wild, // elaboration reports the real error
+        },
+        Pat::Cons(h, t) => SPat::Con(
+            crate::data::CONS,
+            vec![SPat::Tuple(vec![simplify(h, r), simplify(t, r)])],
+        ),
+        Pat::List(ps) => {
+            let mut acc = SPat::Con(crate::data::NIL, Vec::new());
+            for p in ps.iter().rev() {
+                acc = SPat::Con(
+                    crate::data::CONS,
+                    vec![SPat::Tuple(vec![simplify(p, r), acc])],
+                );
+            }
+            acc
+        }
+        Pat::Ascribe(inner, _) => simplify(inner, r),
+    }
+}
+
+/// Head constructors appearing in the first column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Head {
+    Con(ConId),
+    Tuple(usize),
+    Int(i64),
+    Bool(bool),
+    Str(String),
+}
+
+fn head_of(p: &SPat) -> Option<Head> {
+    match p {
+        SPat::Wild => None,
+        SPat::Con(c, _) => Some(Head::Con(*c)),
+        SPat::Tuple(ps) => Some(Head::Tuple(ps.len())),
+        SPat::Int(n) => Some(Head::Int(*n)),
+        SPat::Bool(b) => Some(Head::Bool(*b)),
+        SPat::Str(s) => Some(Head::Str(s.clone())),
+    }
+}
+
+fn head_arity(h: &Head, data: &DataEnv) -> usize {
+    match h {
+        Head::Con(c) => usize::from(data.con(*c).has_arg()),
+        Head::Tuple(n) => *n,
+        _ => 0,
+    }
+}
+
+/// Specializes a row for head `h`: if the first pattern matches `h`, the
+/// row continues with the sub-patterns prepended; otherwise the row drops
+/// out.
+fn specialize_row(row: &[SPat], h: &Head, data: &DataEnv) -> Option<Vec<SPat>> {
+    let (first, rest) = row.split_first().expect("nonempty row");
+    let arity = head_arity(h, data);
+    let mut out: Vec<SPat>;
+    match (first, h) {
+        (SPat::Wild, _) => {
+            out = vec![SPat::Wild; arity];
+        }
+        (SPat::Con(c, args), Head::Con(hc)) if c == hc => {
+            out = args.clone();
+            // Nullary constructor stored with no args; normalize width.
+            out.resize(arity, SPat::Wild);
+        }
+        (SPat::Tuple(ps), Head::Tuple(n)) if ps.len() == *n => {
+            out = ps.clone();
+        }
+        (SPat::Int(a), Head::Int(b)) if a == b => out = Vec::new(),
+        (SPat::Bool(a), Head::Bool(b)) if a == b => out = Vec::new(),
+        (SPat::Str(a), Head::Str(b)) if a == b => out = Vec::new(),
+        _ => return None,
+    }
+    out.extend_from_slice(rest);
+    Some(out)
+}
+
+/// The default matrix: rows whose first pattern is a wildcard, with it
+/// removed.
+fn default_row(row: &[SPat]) -> Option<Vec<SPat>> {
+    let (first, rest) = row.split_first().expect("nonempty row");
+    match first {
+        SPat::Wild => Some(rest.to_vec()),
+        _ => None,
+    }
+}
+
+/// Whether the set of heads forms a complete signature for its type.
+fn signature_complete(heads: &[Head], data: &DataEnv) -> bool {
+    match heads.first() {
+        None => false,
+        Some(Head::Tuple(_)) => true, // a tuple type has one constructor
+        Some(Head::Con(c)) => {
+            let d = data.con(*c).data;
+            let all: BTreeSet<ConId> = data.datatype(d).cons.iter().copied().collect();
+            let seen: BTreeSet<ConId> = heads
+                .iter()
+                .filter_map(|h| match h {
+                    Head::Con(c) => Some(*c),
+                    _ => None,
+                })
+                .collect();
+            seen == all
+        }
+        Some(Head::Bool(_)) => {
+            heads.contains(&Head::Bool(true)) && heads.contains(&Head::Bool(false))
+        }
+        // Integers and strings are never covered by finitely many literals.
+        Some(Head::Int(_)) | Some(Head::Str(_)) => false,
+    }
+}
+
+/// Is the row `q` useful with respect to `matrix` (could it match
+/// something no earlier row matches)?
+pub fn useful(matrix: &[Vec<SPat>], q: &[SPat], data: &DataEnv) -> bool {
+    if q.is_empty() {
+        return matrix.is_empty();
+    }
+    match head_of(&q[0]) {
+        Some(h) => {
+            let sm: Vec<Vec<SPat>> = matrix
+                .iter()
+                .filter_map(|row| specialize_row(row, &h, data))
+                .collect();
+            let sq = specialize_row(q, &h, data).expect("q matches its own head");
+            useful(&sm, &sq, data)
+        }
+        None => {
+            // q starts with a wildcard: consider the heads in the matrix.
+            let mut heads = Vec::new();
+            for row in matrix {
+                if let Some(h) = head_of(&row[0]) {
+                    if !heads.contains(&h) {
+                        heads.push(h);
+                    }
+                }
+            }
+            if signature_complete(&heads, data) {
+                heads.into_iter().any(|h| {
+                    let sm: Vec<Vec<SPat>> = matrix
+                        .iter()
+                        .filter_map(|row| specialize_row(row, &h, data))
+                        .collect();
+                    let arity = head_arity(&h, data);
+                    let mut sq = vec![SPat::Wild; arity];
+                    sq.extend_from_slice(&q[1..]);
+                    useful(&sm, &sq, data)
+                })
+            } else {
+                let dm: Vec<Vec<SPat>> =
+                    matrix.iter().filter_map(|row| default_row(row)).collect();
+                useful(&dm, &q[1..], data)
+            }
+        }
+    }
+}
+
+/// Analysis result for a match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchReport {
+    /// The match does not cover every value.
+    pub non_exhaustive: bool,
+    /// Zero-based indices of arms that can never match.
+    pub redundant: Vec<usize>,
+}
+
+/// Analyzes a one-column match.
+pub fn analyze(pats: &[SPat], data: &DataEnv) -> MatchReport {
+    let mut matrix: Vec<Vec<SPat>> = Vec::with_capacity(pats.len());
+    let mut redundant = Vec::new();
+    for (i, p) in pats.iter().enumerate() {
+        let row = vec![p.clone()];
+        if !useful(&matrix, &row, data) {
+            redundant.push(i);
+        }
+        matrix.push(row);
+    }
+    let non_exhaustive = useful(&matrix, &[SPat::Wild], data);
+    MatchReport {
+        non_exhaustive,
+        redundant,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{DataEnv, CONS, NIL};
+
+    fn list_data() -> DataEnv {
+        DataEnv::new()
+    }
+
+    fn cons(h: SPat, t: SPat) -> SPat {
+        SPat::Con(CONS, vec![SPat::Tuple(vec![h, t])])
+    }
+
+    fn nil() -> SPat {
+        SPat::Con(NIL, Vec::new())
+    }
+
+    #[test]
+    fn nil_cons_is_exhaustive() {
+        let data = list_data();
+        let r = analyze(&[nil(), cons(SPat::Wild, SPat::Wild)], &data);
+        assert!(!r.non_exhaustive);
+        assert!(r.redundant.is_empty());
+    }
+
+    #[test]
+    fn missing_nil_is_reported() {
+        let data = list_data();
+        let r = analyze(&[cons(SPat::Wild, SPat::Wild)], &data);
+        assert!(r.non_exhaustive);
+    }
+
+    #[test]
+    fn wildcard_covers_everything() {
+        let data = list_data();
+        let r = analyze(&[SPat::Wild], &data);
+        assert!(!r.non_exhaustive);
+    }
+
+    #[test]
+    fn arm_after_wildcard_is_redundant() {
+        let data = list_data();
+        let r = analyze(&[SPat::Wild, nil()], &data);
+        assert_eq!(r.redundant, vec![1]);
+    }
+
+    #[test]
+    fn duplicate_constructor_is_redundant() {
+        let data = list_data();
+        let r = analyze(&[nil(), nil(), cons(SPat::Wild, SPat::Wild)], &data);
+        assert_eq!(r.redundant, vec![1]);
+        assert!(!r.non_exhaustive);
+    }
+
+    #[test]
+    fn int_literals_never_exhaust() {
+        let data = list_data();
+        let r = analyze(&[SPat::Int(0), SPat::Int(1)], &data);
+        assert!(r.non_exhaustive);
+        let r = analyze(&[SPat::Int(0), SPat::Wild], &data);
+        assert!(!r.non_exhaustive);
+    }
+
+    #[test]
+    fn bools_exhaust_with_both_literals() {
+        let data = list_data();
+        let r = analyze(&[SPat::Bool(true), SPat::Bool(false)], &data);
+        assert!(!r.non_exhaustive);
+        let r = analyze(&[SPat::Bool(true)], &data);
+        assert!(r.non_exhaustive);
+    }
+
+    #[test]
+    fn nested_lists_analyzed_deeply() {
+        let data = list_data();
+        // [nil, x :: nil] misses x :: y :: _.
+        let r = analyze(&[nil(), cons(SPat::Wild, nil())], &data);
+        assert!(r.non_exhaustive);
+        // Adding x :: y :: _ completes it.
+        let r = analyze(
+            &[
+                nil(),
+                cons(SPat::Wild, nil()),
+                cons(SPat::Wild, cons(SPat::Wild, SPat::Wild)),
+            ],
+            &data,
+        );
+        assert!(!r.non_exhaustive);
+    }
+
+    #[test]
+    fn tuples_expand_columns() {
+        let data = list_data();
+        // (nil, nil) | (_ :: _, _) | (_, _ :: _) is exhaustive.
+        let r = analyze(
+            &[
+                SPat::Tuple(vec![nil(), nil()]),
+                SPat::Tuple(vec![cons(SPat::Wild, SPat::Wild), SPat::Wild]),
+                SPat::Tuple(vec![SPat::Wild, cons(SPat::Wild, SPat::Wild)]),
+            ],
+            &data,
+        );
+        assert!(!r.non_exhaustive, "{r:?}");
+        // Dropping the last arm leaves (nil, _ :: _) uncovered.
+        let r = analyze(
+            &[
+                SPat::Tuple(vec![nil(), nil()]),
+                SPat::Tuple(vec![cons(SPat::Wild, SPat::Wild), SPat::Wild]),
+            ],
+            &data,
+        );
+        assert!(r.non_exhaustive);
+    }
+
+    #[test]
+    fn user_datatype_signature() {
+        let mut data = DataEnv::new();
+        let d = data.declare(
+            "t".into(),
+            vec![],
+            vec![("A".into(), None), ("B".into(), None), ("C".into(), None)],
+        );
+        let cs = data.datatype(d).cons.clone();
+        let a = SPat::Con(cs[0], vec![]);
+        let b = SPat::Con(cs[1], vec![]);
+        let c = SPat::Con(cs[2], vec![]);
+        let r = analyze(&[a.clone(), b.clone()], &data);
+        assert!(r.non_exhaustive);
+        let r = analyze(&[a, b, c], &data);
+        assert!(!r.non_exhaustive);
+    }
+}

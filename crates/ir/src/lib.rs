@@ -1,0 +1,33 @@
+//! Core intermediate representation and elaboration for MLbox.
+//!
+//! The elaborator lowers the parsed surface syntax (see [`mlbox_syntax`])
+//! to an explicit λ□ core IR: identifiers resolved, binders alpha-renamed,
+//! nested patterns compiled to single-level dispatch, and syntactic sugar
+//! expanded. The core IR is the shared input of the type checker
+//! (`mlbox-types`), the reference interpreter (`mlbox-eval`), and the CCAM
+//! compiler (`mlbox-compile`).
+//!
+//! # Examples
+//!
+//! ```
+//! use mlbox_ir::elab::Elab;
+//! use mlbox_syntax::parser::parse_expr;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let surface = parse_expr("fn p => let cogen f = p in code (fn x => f x) end")?;
+//! let core = Elab::new().elab_expr(&surface)?;
+//! # let _ = core;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod core;
+pub mod data;
+pub mod elab;
+pub mod exhaustive;
+pub mod name;
+
+pub use crate::core::{CExpr, CExprS, CaseArm, CoreDecl, FunDef, Lit, Prim};
+pub use data::{ConId, DataEnv, DataId, CONS, LIST, NIL};
+pub use elab::Elab;
+pub use name::{Name, NameGen};

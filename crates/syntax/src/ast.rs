@@ -1,0 +1,251 @@
+//! Surface abstract syntax for MLbox: core SML (no modules) extended with
+//! the modal staging constructs `code`, `lift`, and `let cogen`.
+
+use crate::span::{Span, Spanned};
+
+/// A spanned expression.
+pub type ExprS = Spanned<Expr>;
+/// A spanned pattern.
+pub type PatS = Spanned<Pat>;
+/// A spanned declaration.
+pub type DeclS = Spanned<Decl>;
+/// A spanned type expression.
+pub type TyS = Spanned<Ty>;
+
+/// A complete program: a sequence of top-level declarations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level declarations, in source order.
+    pub decls: Vec<DeclS>,
+}
+
+/// Surface type expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ty {
+    /// A type variable, e.g. `'a`.
+    Var(String),
+    /// A (possibly applied) type constructor, e.g. `int`, `int list`,
+    /// `(int, bool) table`. Arguments precede the constructor in the
+    /// concrete syntax.
+    Con(String, Vec<TyS>),
+    /// Function type `A -> B`.
+    Arrow(Box<TyS>, Box<TyS>),
+    /// Tuple type `A * B * C` (n >= 2).
+    Tuple(Vec<TyS>),
+    /// The modal type `A $` (the paper's `□A`): generators for code of
+    /// type `A`.
+    Box(Box<TyS>),
+}
+
+/// Surface patterns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pat {
+    /// Wildcard `_`.
+    Wild,
+    /// A lowercase identifier; resolved to a variable binding or a nullary
+    /// datatype constructor during elaboration.
+    Var(String),
+    /// Integer literal pattern.
+    Int(i64),
+    /// String literal pattern.
+    Str(String),
+    /// Boolean literal pattern.
+    Bool(bool),
+    /// Unit pattern `()`.
+    Unit,
+    /// Tuple pattern `(p1, ..., pn)` with n >= 2.
+    Tuple(Vec<PatS>),
+    /// List pattern `[p1, ..., pn]`.
+    List(Vec<PatS>),
+    /// Cons pattern `p :: q`.
+    Cons(Box<PatS>, Box<PatS>),
+    /// Constructor application pattern `C p`.
+    Con(String, Box<PatS>),
+    /// Type-ascribed pattern `p : ty`.
+    Ascribe(Box<PatS>, TyS),
+}
+
+/// Primitive binary operators (resolved during parsing from infix syntax).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Integer addition `+`.
+    Add,
+    /// Integer subtraction `-`.
+    Sub,
+    /// Integer multiplication `*`.
+    Mul,
+    /// Integer division `div`.
+    Div,
+    /// Integer remainder `mod`.
+    Mod,
+    /// Polymorphic-by-shape equality `=` (ints, bools, strings, unit).
+    Eq,
+    /// Inequality `<>`.
+    Ne,
+    /// Less-than `<`.
+    Lt,
+    /// Less-or-equal `<=`.
+    Le,
+    /// Greater-than `>`.
+    Gt,
+    /// Greater-or-equal `>=`.
+    Ge,
+    /// String concatenation `^`.
+    Concat,
+    /// Reference assignment `:=`.
+    Assign,
+}
+
+impl BinOp {
+    /// The operator's concrete syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "div",
+            BinOp::Mod => "mod",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Concat => "^",
+            BinOp::Assign => ":=",
+        }
+    }
+}
+
+/// Surface expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// Unit `()`.
+    Unit,
+    /// Identifier; resolved to a value variable, code variable, constructor,
+    /// or builtin during elaboration.
+    Var(String),
+    /// Tuple `(e1, ..., en)` with n >= 2.
+    Tuple(Vec<ExprS>),
+    /// List literal `[e1, ..., en]`.
+    List(Vec<ExprS>),
+    /// Cons `e :: f`.
+    Cons(Box<ExprS>, Box<ExprS>),
+    /// Application `f x`.
+    App(Box<ExprS>, Box<ExprS>),
+    /// Primitive binary operator.
+    BinOp(BinOp, Box<ExprS>, Box<ExprS>),
+    /// Unary negation `~e`.
+    Neg(Box<ExprS>),
+    /// Dereference `!e`.
+    Deref(Box<ExprS>),
+    /// Short-circuit conjunction `e andalso f`.
+    Andalso(Box<ExprS>, Box<ExprS>),
+    /// Short-circuit disjunction `e orelse f`.
+    Orelse(Box<ExprS>, Box<ExprS>),
+    /// Anonymous function `fn p => e`.
+    Fn(PatS, Box<ExprS>),
+    /// Conditional `if c then t else e`.
+    If(Box<ExprS>, Box<ExprS>, Box<ExprS>),
+    /// Loop `while c do e` (unit-valued).
+    While(Box<ExprS>, Box<ExprS>),
+    /// Case analysis `case e of p1 => e1 | ...`.
+    Case(Box<ExprS>, Vec<(PatS, ExprS)>),
+    /// `let decls in e1; ...; en end` (the body sequence evaluates left to
+    /// right, yielding the final expression).
+    Let(Vec<DeclS>, Vec<ExprS>),
+    /// Parenthesized sequence `(e1; ...; en)`.
+    Seq(Vec<ExprS>),
+    /// The modal introduction `code e`: a generator for code of `e`.
+    Code(Box<ExprS>),
+    /// `lift e`: evaluate `e` now, produce a generator that quotes the value.
+    Lift(Box<ExprS>),
+    /// Type ascription `e : ty`.
+    Ascribe(Box<ExprS>, TyS),
+}
+
+/// One clause of a clausal `fun` definition:
+/// `fun f p1 ... pn = rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clause {
+    /// Curried argument patterns (at least one).
+    pub params: Vec<PatS>,
+    /// Right-hand side.
+    pub rhs: ExprS,
+}
+
+/// One function in a (possibly mutually recursive) `fun ... and ...` group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunBind {
+    /// Function name.
+    pub name: String,
+    /// Name's source span.
+    pub name_span: Span,
+    /// Clauses, all with the same arity.
+    pub clauses: Vec<Clause>,
+}
+
+/// A datatype constructor declaration: name and optional argument type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConBind {
+    /// Constructor name.
+    pub name: String,
+    /// Argument type, if the constructor carries a payload.
+    pub arg: Option<TyS>,
+}
+
+/// Declarations (top level or within `let`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// `val p = e`.
+    Val(PatS, ExprS),
+    /// `fun f ... and g ...` — a mutually recursive group.
+    Fun(Vec<FunBind>),
+    /// `cogen u = e` — binds the code variable `u` to the generator `e`
+    /// (usable inside `let ... in ... end` and at top level).
+    Cogen(String, ExprS),
+    /// `datatype ('a, ...) t = C1 of ty | C2 | ...`.
+    Datatype {
+        /// Bound type variables.
+        tyvars: Vec<String>,
+        /// Datatype name.
+        name: String,
+        /// Constructors.
+        cons: Vec<ConBind>,
+    },
+    /// `type ('a, ...) t = ty` — a transparent abbreviation.
+    TypeAbbrev {
+        /// Bound type variables.
+        tyvars: Vec<String>,
+        /// Abbreviation name.
+        name: String,
+        /// Expansion.
+        body: TyS,
+    },
+    /// A bare top-level expression (evaluated for its result; the driver
+    /// reports the value of the last one). Written `e;` at top level.
+    Expr(ExprS),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_symbols() {
+        assert_eq!(BinOp::Add.symbol(), "+");
+        assert_eq!(BinOp::Assign.symbol(), ":=");
+        assert_eq!(BinOp::Div.symbol(), "div");
+    }
+
+    #[test]
+    fn program_default_is_empty() {
+        assert!(Program::default().decls.is_empty());
+    }
+}

@@ -1,0 +1,453 @@
+//! Hand-written lexer for the MLbox concrete syntax.
+//!
+//! Handles SML-style nested `(* ... *)` comments, `~`-negated integer
+//! literals (produced as `Tilde` followed by `Int`, recombined here when the
+//! tilde directly prefixes a digit), string escapes, and `'a`-style type
+//! variables.
+
+use crate::diag::{Diagnostic, Phase};
+use crate::span::Span;
+use crate::token::TokenKind;
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Lexes `src` into a token vector terminated by an [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] on malformed input: unterminated comments or
+/// strings, unknown characters, or integer literals that overflow `i64`.
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>, start: usize) -> Diagnostic {
+        Diagnostic::new(
+            Phase::Lex,
+            msg,
+            Span::new(start as u32, self.pos.max(start + 1) as u32),
+        )
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(b) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(start as u32, start as u32),
+                });
+                return Ok(out);
+            };
+            let kind = match b {
+                b'0'..=b'9' => self.int(false)?,
+                b'~' if self.peek2().is_some_and(|c| c.is_ascii_digit()) => {
+                    self.pos += 1;
+                    self.int(true)?
+                }
+                b'~' => {
+                    self.pos += 1;
+                    TokenKind::Tilde
+                }
+                b'"' => self.string()?,
+                b'\'' => self.tyvar()?,
+                b'a'..=b'z' | b'A'..=b'Z' => self.ident(),
+                b'_' => {
+                    // `_` alone is a wildcard; `_foo` is an identifier.
+                    if self
+                        .peek2()
+                        .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'\'')
+                    {
+                        self.ident()
+                    } else {
+                        self.pos += 1;
+                        TokenKind::Underscore
+                    }
+                }
+                b'(' => {
+                    self.pos += 1;
+                    TokenKind::LParen
+                }
+                b')' => {
+                    self.pos += 1;
+                    TokenKind::RParen
+                }
+                b'[' => {
+                    self.pos += 1;
+                    TokenKind::LBracket
+                }
+                b']' => {
+                    self.pos += 1;
+                    TokenKind::RBracket
+                }
+                b',' => {
+                    self.pos += 1;
+                    TokenKind::Comma
+                }
+                b';' => {
+                    self.pos += 1;
+                    TokenKind::Semi
+                }
+                b'|' => {
+                    self.pos += 1;
+                    TokenKind::Bar
+                }
+                b'*' => {
+                    self.pos += 1;
+                    TokenKind::Star
+                }
+                b'+' => {
+                    self.pos += 1;
+                    TokenKind::Plus
+                }
+                b'^' => {
+                    self.pos += 1;
+                    TokenKind::Caret
+                }
+                b'$' => {
+                    self.pos += 1;
+                    TokenKind::Dollar
+                }
+                b'!' => {
+                    self.pos += 1;
+                    TokenKind::Bang
+                }
+                b'=' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'>') {
+                        self.pos += 1;
+                        TokenKind::DArrow
+                    } else {
+                        TokenKind::Eq
+                    }
+                }
+                b'-' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'>') {
+                        self.pos += 1;
+                        TokenKind::Arrow
+                    } else {
+                        TokenKind::Minus
+                    }
+                }
+                b':' => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b':') => {
+                            self.pos += 1;
+                            TokenKind::ColonColon
+                        }
+                        Some(b'=') => {
+                            self.pos += 1;
+                            TokenKind::Assign
+                        }
+                        _ => TokenKind::Colon,
+                    }
+                }
+                b'<' => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'=') => {
+                            self.pos += 1;
+                            TokenKind::Le
+                        }
+                        Some(b'>') => {
+                            self.pos += 1;
+                            TokenKind::Ne
+                        }
+                        _ => TokenKind::Lt,
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        TokenKind::Ge
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                other => {
+                    self.pos += 1;
+                    return Err(self.err(
+                        format!("unexpected character `{}`", other as char),
+                        start,
+                    ));
+                }
+            };
+            out.push(Token {
+                kind,
+                span: Span::new(start as u32, self.pos as u32),
+            });
+        }
+    }
+
+    /// Skips whitespace and (nested) `(* ... *)` comments.
+    fn skip_trivia(&mut self) -> Result<(), Diagnostic> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'(') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'('), Some(b'*')) => {
+                                self.pos += 2;
+                                depth += 1;
+                            }
+                            (Some(b'*'), Some(b')')) => {
+                                self.pos += 2;
+                                depth -= 1;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(self.err("unterminated comment", start));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn int(&mut self, negate: bool) -> Result<TokenKind, Diagnostic> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let magnitude: i128 = text
+            .parse()
+            .map_err(|_| self.err("integer literal overflows i64", start))?;
+        let value = if negate { -magnitude } else { magnitude };
+        i64::try_from(value)
+            .map(TokenKind::Int)
+            .map_err(|_| self.err("integer literal overflows i64", start))
+    }
+
+    fn string(&mut self) -> Result<TokenKind, Diagnostic> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => return Err(self.err("unterminated string literal", start)),
+                Some(b'"') => return Ok(TokenKind::Str(out)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'"') => out.push('"'),
+                    _ => return Err(self.err("unknown string escape", self.pos.saturating_sub(2))),
+                },
+                Some(b) => out.push(b as char),
+            }
+        }
+    }
+
+    fn tyvar(&mut self) -> Result<TokenKind, Diagnostic> {
+        let start = self.pos;
+        self.pos += 1; // the quote
+        let name_start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == name_start {
+            return Err(self.err("expected type variable name after `'`", start));
+        }
+        Ok(TokenKind::TyVar(self.src[name_start..self.pos].to_string()))
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'\'')
+        {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_declaration() {
+        assert_eq!(
+            kinds("val x = 42"),
+            vec![
+                TokenKind::Val,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eq,
+                TokenKind::Int(42),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_literal() {
+        assert_eq!(kinds("~17")[0], TokenKind::Int(-17));
+        // `~` not followed by a digit is the negation operator.
+        assert_eq!(kinds("~x")[0], TokenKind::Tilde);
+    }
+
+    #[test]
+    fn modal_keywords() {
+        assert_eq!(
+            kinds("code lift cogen"),
+            vec![
+                TokenKind::Code,
+                TokenKind::Lift,
+                TokenKind::Cogen,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn compound_operators() {
+        assert_eq!(
+            kinds(":: := : => = -> <> <= >="),
+            vec![
+                TokenKind::ColonColon,
+                TokenKind::Assign,
+                TokenKind::Colon,
+                TokenKind::DArrow,
+                TokenKind::Eq,
+                TokenKind::Arrow,
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_comments() {
+        assert_eq!(
+            kinds("(* outer (* inner *) still outer *) 5"),
+            vec![TokenKind::Int(5), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("(* oops").is_err());
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb""#)[0],
+            TokenKind::Str("a\nb".to_string())
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"abc\ndef\"").is_err());
+    }
+
+    #[test]
+    fn tyvars() {
+        assert_eq!(kinds("'a")[0], TokenKind::TyVar("a".into()));
+        assert!(lex("' ").is_err());
+    }
+
+    #[test]
+    fn primed_identifiers() {
+        // SML allows primes in identifiers: a' , k'.
+        assert_eq!(kinds("a'")[0], TokenKind::Ident("a'".into()));
+    }
+
+    #[test]
+    fn dollar_type_operator() {
+        assert_eq!(
+            kinds("(int -> int) $"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Ident("int".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("int".into()),
+                TokenKind::RParen,
+                TokenKind::Dollar,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_cover_lexemes() {
+        let toks = lex("val xy").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 3));
+        assert_eq!(toks[1].span, Span::new(4, 6));
+    }
+
+    #[test]
+    fn int_overflow_errors() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn underscore_wildcard_vs_ident() {
+        assert_eq!(kinds("_")[0], TokenKind::Underscore);
+        assert_eq!(kinds("_x")[0], TokenKind::Ident("_x".into()));
+    }
+}

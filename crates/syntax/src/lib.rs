@@ -1,0 +1,36 @@
+//! Lexer, parser, surface AST, and pretty-printer for **MLbox** — the
+//! SML-like language with modal staging operators from *Run-time Code
+//! Generation and Modal-ML* (Wickline, Lee, Pfenning; PLDI 1998).
+//!
+//! The concrete syntax is core SML (no modules) extended with:
+//!
+//! - `code e` — introduce a generator for code of `e` (the paper's `code`),
+//! - `lift e` — evaluate `e` now and build a generator that quotes it,
+//! - `let cogen u = e in ... end` — bind a *code variable* `u`,
+//! - the postfix type operator `$` — the modal type `□A` of code generators.
+//!
+//! # Examples
+//!
+//! ```
+//! use mlbox_syntax::parser::parse_expr;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let e = parse_expr("let cogen f = compPoly p in code (fn x => f x) end")?;
+//! let printed = mlbox_syntax::pretty::pretty_expr(&e.node);
+//! assert!(printed.contains("cogen"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod token;
+
+pub use ast::{Decl, Expr, Pat, Program, Ty};
+pub use diag::{Diagnostic, Phase};
+pub use parser::{parse_expr, parse_program, parse_ty};
+pub use span::{Span, Spanned};

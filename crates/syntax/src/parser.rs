@@ -1,0 +1,1096 @@
+//! Recursive-descent parser for the MLbox concrete syntax.
+//!
+//! The grammar is the core-SML subset described in DESIGN.md §3.4 plus the
+//! modal constructs. Operator precedence follows SML: `orelse` < `andalso`
+//! < `:=` < comparisons < `::` (right) < `+ - ^` < `* div mod` <
+//! application < atomic. `fn`, `if`, `case`, `code`, and `lift` parse at
+//! the outermost expression level and extend as far right as possible.
+
+use crate::ast::*;
+use crate::diag::{Diagnostic, Phase};
+use crate::lexer::{lex, Token};
+use crate::span::{Span, Spanned};
+use crate::token::TokenKind;
+
+/// Parses a complete program (a sequence of declarations).
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse_program(src: &str) -> Result<Program, Diagnostic> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    let mut decls = Vec::new();
+    while !p.at(&TokenKind::Eof) {
+        decls.push(p.decl(true)?);
+        // Optional separating/terminating semicolons between top-level decls.
+        while p.eat(&TokenKind::Semi) {}
+    }
+    Ok(Program { decls })
+}
+
+/// Parses a single expression (the whole input must be one expression,
+/// optionally followed by semicolons).
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse_expr(src: &str) -> Result<ExprS, Diagnostic> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    let e = p.expr()?;
+    while p.eat(&TokenKind::Semi) {}
+    p.expect(TokenKind::Eof)?;
+    Ok(e)
+}
+
+/// Parses a single type expression.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse_ty(src: &str) -> Result<TyS, Diagnostic> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    let t = p.ty()?;
+    p.expect(TokenKind::Eof)?;
+    Ok(t)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, Diagnostic> {
+        if self.at(&kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Phase::Parse, msg, self.span())
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), Diagnostic> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let sp = self.span();
+                self.bump();
+                Ok((name, sp))
+            }
+            other => Err(self.err(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    // ---------------- declarations ----------------
+
+    fn decl(&mut self, top_level: bool) -> Result<DeclS, Diagnostic> {
+        let start = self.span();
+        match self.peek() {
+            TokenKind::Val => {
+                self.bump();
+                if self.eat(&TokenKind::Rec) {
+                    // `val rec f = fn p => e` — sugar for a single-function
+                    // recursive group.
+                    let (name, name_span) = self.ident()?;
+                    self.expect(TokenKind::Eq)?;
+                    let rhs = self.expr()?;
+                    let Expr::Fn(param, body) = rhs.node else {
+                        return Err(Diagnostic::new(
+                            Phase::Parse,
+                            "the right-hand side of `val rec` must be an fn-expression",
+                            rhs.span,
+                        ));
+                    };
+                    let span = start.merge(body.span);
+                    return Ok(Spanned::new(
+                        Decl::Fun(vec![FunBind {
+                            name,
+                            name_span,
+                            clauses: vec![Clause {
+                                params: vec![param],
+                                rhs: *body,
+                            }],
+                        }]),
+                        span,
+                    ));
+                }
+                let pat = self.pat()?;
+                self.expect(TokenKind::Eq)?;
+                let rhs = self.expr()?;
+                let span = start.merge(rhs.span);
+                Ok(Spanned::new(Decl::Val(pat, rhs), span))
+            }
+            TokenKind::Fun => {
+                self.bump();
+                let mut binds = vec![self.fun_bind()?];
+                while self.eat(&TokenKind::And) {
+                    binds.push(self.fun_bind()?);
+                }
+                let span = start.merge(self.prev_span());
+                Ok(Spanned::new(Decl::Fun(binds), span))
+            }
+            TokenKind::Cogen => {
+                self.bump();
+                let (name, _) = self.ident()?;
+                self.expect(TokenKind::Eq)?;
+                let rhs = self.expr()?;
+                let span = start.merge(rhs.span);
+                Ok(Spanned::new(Decl::Cogen(name, rhs), span))
+            }
+            TokenKind::Datatype => {
+                self.bump();
+                let tyvars = self.tyvar_seq()?;
+                let (name, _) = self.ident()?;
+                self.expect(TokenKind::Eq)?;
+                let mut cons = vec![self.con_bind()?];
+                while self.eat(&TokenKind::Bar) {
+                    cons.push(self.con_bind()?);
+                }
+                let span = start.merge(self.prev_span());
+                Ok(Spanned::new(Decl::Datatype { tyvars, name, cons }, span))
+            }
+            TokenKind::Type => {
+                self.bump();
+                let tyvars = self.tyvar_seq()?;
+                let (name, _) = self.ident()?;
+                self.expect(TokenKind::Eq)?;
+                let body = self.ty()?;
+                let span = start.merge(body.span);
+                Ok(Spanned::new(
+                    Decl::TypeAbbrev { tyvars, name, body },
+                    span,
+                ))
+            }
+            _ if top_level => {
+                let e = self.expr()?;
+                let span = e.span;
+                Ok(Spanned::new(Decl::Expr(e), span))
+            }
+            other => Err(self.err(format!(
+                "expected declaration, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    /// Parses `('a, 'b)` / `'a` / nothing before a type-constructor name.
+    fn tyvar_seq(&mut self) -> Result<Vec<String>, Diagnostic> {
+        match self.peek().clone() {
+            TokenKind::TyVar(v) => {
+                self.bump();
+                Ok(vec![v])
+            }
+            TokenKind::LParen if matches!(self.peek2(), TokenKind::TyVar(_)) => {
+                self.bump();
+                let mut vars = Vec::new();
+                loop {
+                    match self.peek().clone() {
+                        TokenKind::TyVar(v) => {
+                            self.bump();
+                            vars.push(v);
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "expected type variable, found {}",
+                                other.describe()
+                            )))
+                        }
+                    }
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+                Ok(vars)
+            }
+            _ => Ok(Vec::new()),
+        }
+    }
+
+    fn con_bind(&mut self) -> Result<ConBind, Diagnostic> {
+        let (name, _) = self.ident()?;
+        let arg = if self.eat(&TokenKind::Of) {
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        Ok(ConBind { name, arg })
+    }
+
+    fn fun_bind(&mut self) -> Result<FunBind, Diagnostic> {
+        let (name, name_span) = self.ident()?;
+        let mut clauses = vec![self.fun_clause()?];
+        // Further clauses: `| name pats = rhs`.
+        while self.at(&TokenKind::Bar) {
+            // Only continue if the token after `|` repeats the function name;
+            // otherwise the bar belongs to an enclosing `case`.
+            if let TokenKind::Ident(next) = self.peek2() {
+                if *next != name {
+                    break;
+                }
+            } else {
+                break;
+            }
+            self.bump(); // `|`
+            let (_, _) = self.ident()?;
+            clauses.push(self.fun_clause()?);
+        }
+        let arity = clauses[0].params.len();
+        if clauses.iter().any(|c| c.params.len() != arity) {
+            return Err(Diagnostic::new(
+                Phase::Parse,
+                format!("clauses of `{name}` have inconsistent numbers of arguments"),
+                name_span,
+            ));
+        }
+        Ok(FunBind {
+            name,
+            name_span,
+            clauses,
+        })
+    }
+
+    fn fun_clause(&mut self) -> Result<Clause, Diagnostic> {
+        let mut params = vec![self.atpat()?];
+        while self.starts_atpat() {
+            params.push(self.atpat()?);
+        }
+        self.expect(TokenKind::Eq)?;
+        let rhs = self.expr()?;
+        Ok(Clause { params, rhs })
+    }
+
+    // ---------------- patterns ----------------
+
+    fn pat(&mut self) -> Result<PatS, Diagnostic> {
+        let p = self.cons_pat()?;
+        if self.eat(&TokenKind::Colon) {
+            let ty = self.ty()?;
+            let span = p.span.merge(ty.span);
+            Ok(Spanned::new(Pat::Ascribe(Box::new(p), ty), span))
+        } else {
+            Ok(p)
+        }
+    }
+
+    fn cons_pat(&mut self) -> Result<PatS, Diagnostic> {
+        // cons is right-associative: p :: q :: r = p :: (q :: r)
+        let head = self.app_pat()?;
+        if self.eat(&TokenKind::ColonColon) {
+            let tail = self.cons_pat()?;
+            let span = head.span.merge(tail.span);
+            Ok(Spanned::new(Pat::Cons(Box::new(head), Box::new(tail)), span))
+        } else {
+            Ok(head)
+        }
+    }
+
+    fn app_pat(&mut self) -> Result<PatS, Diagnostic> {
+        // `C p` — a constructor applied to an atomic pattern.
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            let sp = self.span();
+            // Lookahead: identifier followed by an atomic pattern start.
+            let save = self.pos;
+            self.bump();
+            if self.starts_atpat() {
+                let arg = self.atpat()?;
+                let span = sp.merge(arg.span);
+                return Ok(Spanned::new(Pat::Con(name, Box::new(arg)), span));
+            }
+            self.pos = save;
+        }
+        self.atpat()
+    }
+
+    fn starts_atpat(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::Underscore
+                | TokenKind::Ident(_)
+                | TokenKind::Int(_)
+                | TokenKind::Str(_)
+                | TokenKind::True
+                | TokenKind::False
+                | TokenKind::LParen
+                | TokenKind::LBracket
+        )
+    }
+
+    fn atpat(&mut self) -> Result<PatS, Diagnostic> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::Underscore => {
+                self.bump();
+                Ok(Spanned::new(Pat::Wild, start))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Spanned::new(Pat::Var(name), start))
+            }
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Spanned::new(Pat::Int(n), start))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Spanned::new(Pat::Str(s), start))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Spanned::new(Pat::Bool(true), start))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Spanned::new(Pat::Bool(false), start))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                if self.at(&TokenKind::RParen) {
+                    self.bump();
+                    return Ok(Spanned::new(Pat::Unit, start.merge(self.prev_span())));
+                }
+                let mut pats = vec![self.pat()?];
+                while self.eat(&TokenKind::Comma) {
+                    pats.push(self.pat()?);
+                }
+                self.expect(TokenKind::RParen)?;
+                let span = start.merge(self.prev_span());
+                if pats.len() == 1 {
+                    let mut only = pats.pop().expect("one element");
+                    only.span = span;
+                    Ok(only)
+                } else {
+                    Ok(Spanned::new(Pat::Tuple(pats), span))
+                }
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut pats = Vec::new();
+                if !self.at(&TokenKind::RBracket) {
+                    pats.push(self.pat()?);
+                    while self.eat(&TokenKind::Comma) {
+                        pats.push(self.pat()?);
+                    }
+                }
+                self.expect(TokenKind::RBracket)?;
+                Ok(Spanned::new(Pat::List(pats), start.merge(self.prev_span())))
+            }
+            other => Err(self.err(format!("expected pattern, found {}", other.describe()))),
+        }
+    }
+
+    // ---------------- types ----------------
+
+    fn ty(&mut self) -> Result<TyS, Diagnostic> {
+        let lhs = self.ty_tuple()?;
+        if self.eat(&TokenKind::Arrow) {
+            let rhs = self.ty()?;
+            let span = lhs.span.merge(rhs.span);
+            Ok(Spanned::new(Ty::Arrow(Box::new(lhs), Box::new(rhs)), span))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn ty_tuple(&mut self) -> Result<TyS, Diagnostic> {
+        let first = self.ty_postfix()?;
+        if !self.at(&TokenKind::Star) {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
+        while self.eat(&TokenKind::Star) {
+            parts.push(self.ty_postfix()?);
+        }
+        let span = parts[0].span.merge(parts[parts.len() - 1].span);
+        Ok(Spanned::new(Ty::Tuple(parts), span))
+    }
+
+    fn ty_postfix(&mut self) -> Result<TyS, Diagnostic> {
+        let mut t = self.ty_atom()?;
+        loop {
+            match self.peek().clone() {
+                TokenKind::Ident(name) => {
+                    self.bump();
+                    let span = t.span.merge(self.prev_span());
+                    t = Spanned::new(Ty::Con(name, vec![t]), span);
+                }
+                TokenKind::Dollar => {
+                    self.bump();
+                    let span = t.span.merge(self.prev_span());
+                    t = Spanned::new(Ty::Box(Box::new(t)), span);
+                }
+                _ => return Ok(t),
+            }
+        }
+    }
+
+    fn ty_atom(&mut self) -> Result<TyS, Diagnostic> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::TyVar(v) => {
+                self.bump();
+                Ok(Spanned::new(Ty::Var(v), start))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Spanned::new(Ty::Con(name, Vec::new()), start))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let mut tys = vec![self.ty()?];
+                while self.eat(&TokenKind::Comma) {
+                    tys.push(self.ty()?);
+                }
+                self.expect(TokenKind::RParen)?;
+                let span = start.merge(self.prev_span());
+                if tys.len() == 1 {
+                    let mut only = tys.pop().expect("one element");
+                    only.span = span;
+                    Ok(only)
+                } else {
+                    // `(t1, t2) name` — multi-argument constructor application.
+                    let (name, _) = self.ident().map_err(|_| {
+                        Diagnostic::new(
+                            Phase::Parse,
+                            "expected type constructor after parenthesized type arguments",
+                            span,
+                        )
+                    })?;
+                    let span = span.merge(self.prev_span());
+                    Ok(Spanned::new(Ty::Con(name, tys), span))
+                }
+            }
+            other => Err(self.err(format!("expected type, found {}", other.describe()))),
+        }
+    }
+
+    // ---------------- expressions ----------------
+
+    fn expr(&mut self) -> Result<ExprS, Diagnostic> {
+        let start = self.span();
+        let e = match self.peek() {
+            TokenKind::Fn => {
+                self.bump();
+                let pat = self.atpat()?;
+                self.expect(TokenKind::DArrow)?;
+                let body = self.expr()?;
+                let span = start.merge(body.span);
+                return Ok(Spanned::new(Expr::Fn(pat, Box::new(body)), span));
+            }
+            TokenKind::If => {
+                self.bump();
+                let c = self.expr()?;
+                self.expect(TokenKind::Then)?;
+                let t = self.expr()?;
+                self.expect(TokenKind::Else)?;
+                let e = self.expr()?;
+                let span = start.merge(e.span);
+                return Ok(Spanned::new(
+                    Expr::If(Box::new(c), Box::new(t), Box::new(e)),
+                    span,
+                ));
+            }
+            TokenKind::While => {
+                self.bump();
+                let c = self.expr()?;
+                self.expect(TokenKind::Do)?;
+                let body = self.expr()?;
+                let span = start.merge(body.span);
+                return Ok(Spanned::new(
+                    Expr::While(Box::new(c), Box::new(body)),
+                    span,
+                ));
+            }
+            TokenKind::Case => {
+                self.bump();
+                let scrut = self.expr()?;
+                self.expect(TokenKind::Of)?;
+                let mut arms = vec![self.case_arm()?];
+                while self.eat(&TokenKind::Bar) {
+                    arms.push(self.case_arm()?);
+                }
+                let span = start.merge(self.prev_span());
+                return Ok(Spanned::new(Expr::Case(Box::new(scrut), arms), span));
+            }
+            TokenKind::Code => {
+                self.bump();
+                let body = self.expr()?;
+                let span = start.merge(body.span);
+                return Ok(Spanned::new(Expr::Code(Box::new(body)), span));
+            }
+            TokenKind::Lift => {
+                self.bump();
+                let body = self.expr()?;
+                let span = start.merge(body.span);
+                return Ok(Spanned::new(Expr::Lift(Box::new(body)), span));
+            }
+            _ => self.expr_ascribe()?,
+        };
+        Ok(e)
+    }
+
+    fn case_arm(&mut self) -> Result<(PatS, ExprS), Diagnostic> {
+        let pat = self.pat()?;
+        self.expect(TokenKind::DArrow)?;
+        let rhs = self.expr()?;
+        Ok((pat, rhs))
+    }
+
+    fn expr_ascribe(&mut self) -> Result<ExprS, Diagnostic> {
+        let e = self.expr_orelse()?;
+        if self.eat(&TokenKind::Colon) {
+            let ty = self.ty()?;
+            let span = e.span.merge(ty.span);
+            Ok(Spanned::new(Expr::Ascribe(Box::new(e), ty), span))
+        } else {
+            Ok(e)
+        }
+    }
+
+    fn expr_orelse(&mut self) -> Result<ExprS, Diagnostic> {
+        let mut lhs = self.expr_andalso()?;
+        while self.eat(&TokenKind::Orelse) {
+            let rhs = self.expr_andalso()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Spanned::new(Expr::Orelse(Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn expr_andalso(&mut self) -> Result<ExprS, Diagnostic> {
+        let mut lhs = self.expr_assign()?;
+        while self.eat(&TokenKind::Andalso) {
+            let rhs = self.expr_assign()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Spanned::new(Expr::Andalso(Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn expr_assign(&mut self) -> Result<ExprS, Diagnostic> {
+        let lhs = self.expr_cmp()?;
+        if self.eat(&TokenKind::Assign) {
+            let rhs = self.expr_cmp()?;
+            let span = lhs.span.merge(rhs.span);
+            Ok(Spanned::new(
+                Expr::BinOp(BinOp::Assign, Box::new(lhs), Box::new(rhs)),
+                span,
+            ))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn expr_cmp(&mut self) -> Result<ExprS, Diagnostic> {
+        let lhs = self.expr_cons()?;
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.expr_cons()?;
+        let span = lhs.span.merge(rhs.span);
+        Ok(Spanned::new(
+            Expr::BinOp(op, Box::new(lhs), Box::new(rhs)),
+            span,
+        ))
+    }
+
+    fn expr_cons(&mut self) -> Result<ExprS, Diagnostic> {
+        let head = self.expr_add()?;
+        if self.eat(&TokenKind::ColonColon) {
+            let tail = self.expr_cons()?; // right-associative
+            let span = head.span.merge(tail.span);
+            Ok(Spanned::new(
+                Expr::Cons(Box::new(head), Box::new(tail)),
+                span,
+            ))
+        } else {
+            Ok(head)
+        }
+    }
+
+    fn expr_add(&mut self) -> Result<ExprS, Diagnostic> {
+        let mut lhs = self.expr_mul()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                TokenKind::Caret => BinOp::Concat,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.expr_mul()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Spanned::new(Expr::BinOp(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+    }
+
+    fn expr_mul(&mut self) -> Result<ExprS, Diagnostic> {
+        let mut lhs = self.expr_prefix()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Div => BinOp::Div,
+                TokenKind::Mod => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.expr_prefix()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Spanned::new(Expr::BinOp(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+    }
+
+    fn expr_prefix(&mut self) -> Result<ExprS, Diagnostic> {
+        let start = self.span();
+        match self.peek() {
+            TokenKind::Tilde => {
+                self.bump();
+                let e = self.expr_prefix()?;
+                let span = start.merge(e.span);
+                Ok(Spanned::new(Expr::Neg(Box::new(e)), span))
+            }
+            TokenKind::Bang => {
+                self.bump();
+                let e = self.expr_prefix()?;
+                let span = start.merge(e.span);
+                Ok(Spanned::new(Expr::Deref(Box::new(e)), span))
+            }
+            _ => self.expr_app(),
+        }
+    }
+
+    fn expr_app(&mut self) -> Result<ExprS, Diagnostic> {
+        let mut head = self.atexpr()?;
+        while self.starts_atexpr() {
+            let arg = self.atexpr()?;
+            let span = head.span.merge(arg.span);
+            head = Spanned::new(Expr::App(Box::new(head), Box::new(arg)), span);
+        }
+        Ok(head)
+    }
+
+    fn starts_atexpr(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::Int(_)
+                | TokenKind::Str(_)
+                | TokenKind::Ident(_)
+                | TokenKind::True
+                | TokenKind::False
+                | TokenKind::LParen
+                | TokenKind::LBracket
+                | TokenKind::Let
+        )
+    }
+
+    fn atexpr(&mut self) -> Result<ExprS, Diagnostic> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::Let => {
+                // `let ... in ... end` is atomic in SML: it may appear as
+                // an operand or an application argument.
+                self.bump();
+                let mut decls = Vec::new();
+                while !self.at(&TokenKind::In) {
+                    decls.push(self.decl(false)?);
+                    while self.eat(&TokenKind::Semi) {}
+                }
+                self.expect(TokenKind::In)?;
+                let mut body = vec![self.expr()?];
+                while self.eat(&TokenKind::Semi) {
+                    if self.at(&TokenKind::End) {
+                        break;
+                    }
+                    body.push(self.expr()?);
+                }
+                self.expect(TokenKind::End)?;
+                let span = start.merge(self.prev_span());
+                Ok(Spanned::new(Expr::Let(decls, body), span))
+            }
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Spanned::new(Expr::Int(n), start))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Spanned::new(Expr::Str(s), start))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Spanned::new(Expr::Bool(true), start))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Spanned::new(Expr::Bool(false), start))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Spanned::new(Expr::Var(name), start))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                if self.at(&TokenKind::RParen) {
+                    self.bump();
+                    return Ok(Spanned::new(Expr::Unit, start.merge(self.prev_span())));
+                }
+                let first = self.expr()?;
+                if self.at(&TokenKind::Comma) {
+                    let mut parts = vec![first];
+                    while self.eat(&TokenKind::Comma) {
+                        parts.push(self.expr()?);
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    let span = start.merge(self.prev_span());
+                    Ok(Spanned::new(Expr::Tuple(parts), span))
+                } else if self.at(&TokenKind::Semi) {
+                    let mut parts = vec![first];
+                    while self.eat(&TokenKind::Semi) {
+                        parts.push(self.expr()?);
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    let span = start.merge(self.prev_span());
+                    Ok(Spanned::new(Expr::Seq(parts), span))
+                } else {
+                    self.expect(TokenKind::RParen)?;
+                    let mut only = first;
+                    only.span = start.merge(self.prev_span());
+                    Ok(only)
+                }
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut parts = Vec::new();
+                if !self.at(&TokenKind::RBracket) {
+                    parts.push(self.expr()?);
+                    while self.eat(&TokenKind::Comma) {
+                        parts.push(self.expr()?);
+                    }
+                }
+                self.expect(TokenKind::RBracket)?;
+                let span = start.merge(self.prev_span());
+                Ok(Spanned::new(Expr::List(parts), span))
+            }
+            other => Err(self.err(format!("expected expression, found {}", other.describe()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(src: &str) -> Expr {
+        parse_expr(src).unwrap().node
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(expr("42"), Expr::Int(42));
+        assert_eq!(expr("~3"), Expr::Int(-3));
+        assert_eq!(expr("true"), Expr::Bool(true));
+        assert_eq!(expr("()"), Expr::Unit);
+        assert_eq!(expr("\"hi\""), Expr::Str("hi".into()));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3)
+        let e = expr("1 + 2 * 3");
+        match e {
+            Expr::BinOp(BinOp::Add, l, r) => {
+                assert_eq!(l.node, Expr::Int(1));
+                assert!(matches!(r.node, Expr::BinOp(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn application_binds_tighter_than_ops() {
+        // f x + g y = (f x) + (g y)
+        let e = expr("f x + g y");
+        match e {
+            Expr::BinOp(BinOp::Add, l, r) => {
+                assert!(matches!(l.node, Expr::App(_, _)));
+                assert!(matches!(r.node, Expr::App(_, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cons_right_assoc() {
+        let e = expr("1 :: 2 :: nil");
+        match e {
+            Expr::Cons(h, t) => {
+                assert_eq!(h.node, Expr::Int(1));
+                assert!(matches!(t.node, Expr::Cons(_, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_below_cons() {
+        // a :: b = c :: d parses as (a::b) = (c::d)
+        assert!(matches!(
+            expr("a :: b = c :: d"),
+            Expr::BinOp(BinOp::Eq, _, _)
+        ));
+    }
+
+    #[test]
+    fn fn_extends_right() {
+        // fn x => x + 1 includes the addition in the body.
+        match expr("fn x => x + 1") {
+            Expr::Fn(_, body) => assert!(matches!(body.node, Expr::BinOp(BinOp::Add, _, _))),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn modal_constructs() {
+        assert!(matches!(expr("code (fn x => x)"), Expr::Code(_)));
+        assert!(matches!(expr("lift 3"), Expr::Lift(_)));
+        let src = "let cogen f = g in code (fn x => f x) end";
+        match expr(src) {
+            Expr::Let(decls, body) => {
+                assert!(matches!(decls[0].node, Decl::Cogen(_, _)));
+                assert!(matches!(body[0].node, Expr::Code(_)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_with_sequence_body() {
+        match expr("let val x = 1 in f x; g x end") {
+            Expr::Let(_, body) => assert_eq!(body.len(), 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tuple_and_seq() {
+        assert!(matches!(expr("(1, 2, 3)"), Expr::Tuple(v) if v.len() == 3));
+        assert!(matches!(expr("(a; b; c)"), Expr::Seq(v) if v.len() == 3));
+    }
+
+    #[test]
+    fn clausal_fun() {
+        let p = parse_program(
+            "fun evalPoly (x, nil) = 0\n  | evalPoly (x, a::p) = a + (x * evalPoly (x, p))",
+        )
+        .unwrap();
+        match &p.decls[0].node {
+            Decl::Fun(binds) => {
+                assert_eq!(binds.len(), 1);
+                assert_eq!(binds[0].clauses.len(), 2);
+                assert_eq!(binds[0].clauses[0].params.len(), 1);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mutual_fun_groups() {
+        let p = parse_program("fun even n = odd (n - 1) and odd n = even (n - 1)").unwrap();
+        match &p.decls[0].node {
+            Decl::Fun(binds) => {
+                assert_eq!(binds.len(), 2);
+                assert_eq!(binds[0].name, "even");
+                assert_eq!(binds[1].name, "odd");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_arity_rejected() {
+        assert!(parse_program("fun f x = 1 | f x y = 2").is_err());
+    }
+
+    #[test]
+    fn datatype_decl() {
+        let p = parse_program("datatype instruction = RET_A | RET_K of int | LD_IND of int")
+            .unwrap();
+        match &p.decls[0].node {
+            Decl::Datatype { name, cons, .. } => {
+                assert_eq!(name, "instruction");
+                assert_eq!(cons.len(), 3);
+                assert!(cons[0].arg.is_none());
+                assert!(cons[1].arg.is_some());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn type_abbreviation() {
+        let p = parse_program("type poly = int list").unwrap();
+        match &p.decls[0].node {
+            Decl::TypeAbbrev { name, body, .. } => {
+                assert_eq!(name, "poly");
+                assert!(matches!(&body.node, Ty::Con(n, args) if n == "list" && args.len() == 1));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn box_type_postfix() {
+        let t = parse_ty("(int -> int) $").unwrap();
+        assert!(matches!(t.node, Ty::Box(_)));
+        let t = parse_ty("int list $").unwrap();
+        match t.node {
+            Ty::Box(inner) => assert!(matches!(inner.node, Ty::Con(n, _) if n == "list")),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_arg_type_constructor() {
+        let t = parse_ty("(int, bool) table").unwrap();
+        assert!(matches!(t.node, Ty::Con(n, args) if n == "table" && args.len() == 2));
+    }
+
+    #[test]
+    fn arrow_right_assoc() {
+        let t = parse_ty("int -> int -> int").unwrap();
+        match t.node {
+            Ty::Arrow(_, r) => assert!(matches!(r.node, Ty::Arrow(_, _))),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tuple_type() {
+        let t = parse_ty("int * bool * string").unwrap();
+        assert!(matches!(t.node, Ty::Tuple(v) if v.len() == 3));
+    }
+
+    #[test]
+    fn case_with_constructor_patterns() {
+        let e = expr("case x of RET_A => a | RET_K k => k | _ => 0");
+        match e {
+            Expr::Case(_, arms) => {
+                assert_eq!(arms.len(), 3);
+                assert!(matches!(&arms[1].0.node, Pat::Con(n, _) if n == "RET_K"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_case_bars_attach_inward() {
+        // The inner case consumes both arms; the outer has one arm.
+        let e = expr("case x of a => case y of b => 1 | c => 2");
+        match e {
+            Expr::Case(_, arms) => {
+                assert_eq!(arms.len(), 1);
+                match &arms[0].1.node {
+                    Expr::Case(_, inner) => assert_eq!(inner.len(), 2),
+                    other => panic!("unexpected inner: {other:?}"),
+                }
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deref_and_assign() {
+        assert!(matches!(expr("!r"), Expr::Deref(_)));
+        assert!(matches!(expr("r := !r + 1"), Expr::BinOp(BinOp::Assign, _, _)));
+    }
+
+    #[test]
+    fn ascription() {
+        assert!(matches!(expr("x : int"), Expr::Ascribe(_, _)));
+    }
+
+    #[test]
+    fn cons_pattern_in_fun() {
+        let p = parse_program("fun f (a::p) = a").unwrap();
+        match &p.decls[0].node {
+            Decl::Fun(binds) => {
+                assert!(matches!(binds[0].clauses[0].params[0].node, Pat::Cons(_, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reports_found_token() {
+        let err = parse_expr("1 +").unwrap_err();
+        assert!(err.message.contains("expected expression"));
+    }
+
+    #[test]
+    fn empty_list() {
+        assert!(matches!(expr("[]"), Expr::List(v) if v.is_empty()));
+    }
+
+    #[test]
+    fn top_level_expression_decl() {
+        let p = parse_program("val x = 1; f x").unwrap();
+        assert_eq!(p.decls.len(), 2);
+        assert!(matches!(p.decls[1].node, Decl::Expr(_)));
+    }
+}

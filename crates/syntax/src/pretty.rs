@@ -1,0 +1,307 @@
+//! Pretty-printer for the surface AST.
+//!
+//! Output is valid MLbox concrete syntax (fully parenthesized where
+//! precedence could be ambiguous), so `parse . pretty . parse = parse` —
+//! a property exercised by the round-trip tests.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a program as concrete syntax, one declaration per line.
+pub fn pretty_program(p: &Program) -> String {
+    let mut out = String::new();
+    for d in &p.decls {
+        out.push_str(&pretty_decl(&d.node));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a declaration.
+pub fn pretty_decl(d: &Decl) -> String {
+    match d {
+        Decl::Val(p, e) => format!("val {} = {}", pretty_pat(&p.node), pretty_expr(&e.node)),
+        Decl::Cogen(u, e) => format!("cogen {} = {}", u, pretty_expr(&e.node)),
+        Decl::Fun(binds) => {
+            let mut out = String::new();
+            for (i, b) in binds.iter().enumerate() {
+                out.push_str(if i == 0 { "fun " } else { " and " });
+                for (j, c) in b.clauses.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(" | ");
+                    }
+                    out.push_str(&b.name);
+                    for p in &c.params {
+                        let _ = write!(out, " {}", pretty_atpat(&p.node));
+                    }
+                    let _ = write!(out, " = {}", pretty_expr(&c.rhs.node));
+                }
+            }
+            out
+        }
+        Decl::Datatype { tyvars, name, cons } => {
+            let mut out = String::from("datatype ");
+            out.push_str(&tyvar_prefix(tyvars));
+            out.push_str(name);
+            out.push_str(" = ");
+            for (i, c) in cons.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                out.push_str(&c.name);
+                if let Some(arg) = &c.arg {
+                    let _ = write!(out, " of {}", pretty_ty(&arg.node));
+                }
+            }
+            out
+        }
+        Decl::TypeAbbrev { tyvars, name, body } => {
+            format!(
+                "type {}{} = {}",
+                tyvar_prefix(tyvars),
+                name,
+                pretty_ty(&body.node)
+            )
+        }
+        Decl::Expr(e) => pretty_expr(&e.node),
+    }
+}
+
+fn tyvar_prefix(tyvars: &[String]) -> String {
+    match tyvars {
+        [] => String::new(),
+        [one] => format!("'{one} "),
+        many => {
+            let inner: Vec<String> = many.iter().map(|v| format!("'{v}")).collect();
+            format!("({}) ", inner.join(", "))
+        }
+    }
+}
+
+/// Renders a type.
+pub fn pretty_ty(t: &Ty) -> String {
+    match t {
+        Ty::Var(v) => format!("'{v}"),
+        Ty::Con(name, args) => match args.len() {
+            0 => name.clone(),
+            1 => format!("{} {}", pretty_ty_atom(&args[0].node), name),
+            _ => {
+                let inner: Vec<String> = args.iter().map(|a| pretty_ty(&a.node)).collect();
+                format!("({}) {}", inner.join(", "), name)
+            }
+        },
+        Ty::Arrow(a, b) => format!("{} -> {}", pretty_ty_atom(&a.node), pretty_ty(&b.node)),
+        Ty::Tuple(parts) => {
+            let inner: Vec<String> = parts.iter().map(|p| pretty_ty_atom(&p.node)).collect();
+            inner.join(" * ")
+        }
+        Ty::Box(inner) => format!("{} $", pretty_ty_atom(&inner.node)),
+    }
+}
+
+fn pretty_ty_atom(t: &Ty) -> String {
+    match t {
+        Ty::Var(_) | Ty::Con(_, _) => pretty_ty(t),
+        _ => format!("({})", pretty_ty(t)),
+    }
+}
+
+/// Renders a pattern.
+pub fn pretty_pat(p: &Pat) -> String {
+    match p {
+        Pat::Cons(h, t) => format!(
+            "{} :: {}",
+            pretty_atpat(&h.node),
+            pretty_pat(&t.node)
+        ),
+        Pat::Con(name, arg) => format!("{} {}", name, pretty_atpat(&arg.node)),
+        Pat::Ascribe(inner, ty) => {
+            format!("{} : {}", pretty_atpat(&inner.node), pretty_ty(&ty.node))
+        }
+        _ => pretty_atpat(p),
+    }
+}
+
+fn pretty_atpat(p: &Pat) -> String {
+    match p {
+        Pat::Wild => "_".to_string(),
+        Pat::Var(v) => v.clone(),
+        Pat::Int(n) => pretty_int(*n),
+        Pat::Str(s) => format!("{s:?}"),
+        Pat::Bool(b) => b.to_string(),
+        Pat::Unit => "()".to_string(),
+        Pat::Tuple(parts) => {
+            let inner: Vec<String> = parts.iter().map(|q| pretty_pat(&q.node)).collect();
+            format!("({})", inner.join(", "))
+        }
+        Pat::List(parts) => {
+            let inner: Vec<String> = parts.iter().map(|q| pretty_pat(&q.node)).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        other => format!("({})", pretty_pat(other)),
+    }
+}
+
+fn pretty_int(n: i64) -> String {
+    if n < 0 {
+        format!("~{}", n.unsigned_abs())
+    } else {
+        n.to_string()
+    }
+}
+
+/// Renders an expression.
+pub fn pretty_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(n) => pretty_int(*n),
+        Expr::Str(s) => format!("{s:?}"),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Unit => "()".to_string(),
+        Expr::Var(v) => v.clone(),
+        Expr::Tuple(parts) => {
+            let inner: Vec<String> = parts.iter().map(|x| pretty_expr(&x.node)).collect();
+            format!("({})", inner.join(", "))
+        }
+        Expr::List(parts) => {
+            let inner: Vec<String> = parts.iter().map(|x| pretty_expr(&x.node)).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Expr::Seq(parts) => {
+            let inner: Vec<String> = parts.iter().map(|x| pretty_expr(&x.node)).collect();
+            format!("({})", inner.join("; "))
+        }
+        Expr::Cons(h, t) => format!("({} :: {})", pretty_expr(&h.node), pretty_expr(&t.node)),
+        Expr::App(f, a) => format!("({} {})", pretty_expr(&f.node), pretty_expr(&a.node)),
+        Expr::BinOp(op, l, r) => format!(
+            "({} {} {})",
+            pretty_expr(&l.node),
+            op.symbol(),
+            pretty_expr(&r.node)
+        ),
+        Expr::Neg(x) => format!("(~ {})", pretty_expr(&x.node)),
+        Expr::Deref(x) => format!("(! {})", pretty_expr(&x.node)),
+        Expr::Andalso(l, r) => format!(
+            "({} andalso {})",
+            pretty_expr(&l.node),
+            pretty_expr(&r.node)
+        ),
+        Expr::Orelse(l, r) => format!(
+            "({} orelse {})",
+            pretty_expr(&l.node),
+            pretty_expr(&r.node)
+        ),
+        Expr::Fn(p, body) => format!(
+            "(fn {} => {})",
+            pretty_atpat(&p.node),
+            pretty_expr(&body.node)
+        ),
+        Expr::While(c, b) => format!(
+            "(while {} do {})",
+            pretty_expr(&c.node),
+            pretty_expr(&b.node)
+        ),
+        Expr::If(c, t, f) => format!(
+            "(if {} then {} else {})",
+            pretty_expr(&c.node),
+            pretty_expr(&t.node),
+            pretty_expr(&f.node)
+        ),
+        Expr::Case(scrut, arms) => {
+            let mut out = format!("(case {} of ", pretty_expr(&scrut.node));
+            for (i, (p, rhs)) in arms.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                let _ = write!(out, "{} => {}", pretty_pat(&p.node), pretty_expr(&rhs.node));
+            }
+            out.push(')');
+            out
+        }
+        Expr::Let(decls, body) => {
+            let mut out = String::from("let ");
+            for d in decls {
+                out.push_str(&pretty_decl(&d.node));
+                out.push(' ');
+            }
+            out.push_str("in ");
+            let inner: Vec<String> = body.iter().map(|x| pretty_expr(&x.node)).collect();
+            out.push_str(&inner.join("; "));
+            out.push_str(" end");
+            out
+        }
+        Expr::Code(x) => format!("(code ({}))", pretty_expr(&x.node)),
+        Expr::Lift(x) => format!("(lift ({}))", pretty_expr(&x.node)),
+        Expr::Ascribe(x, ty) => format!("({} : {})", pretty_expr(&x.node), pretty_ty(&ty.node)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program, parse_ty};
+
+    fn round_trip_expr(src: &str) {
+        let e1 = parse_expr(src).unwrap();
+        let printed = pretty_expr(&e1.node);
+        let e2 = parse_expr(&printed)
+            .unwrap_or_else(|d| panic!("reparse of {printed:?} failed: {d}"));
+        assert_eq!(strip(&e1.node), strip(&e2.node), "printed: {printed}");
+    }
+
+    /// Structural comparison ignoring spans: pretty-print both.
+    fn strip(e: &Expr) -> String {
+        pretty_expr(e)
+    }
+
+    #[test]
+    fn round_trips() {
+        for src in [
+            "1 + 2 * 3",
+            "fn x => x + 1",
+            "if a then b else c",
+            "let val x = 1 in x end",
+            "let cogen f = compPoly p in code (fn x => a' + (x * f x)) end",
+            "case xs of nil => 0 | a :: p => a",
+            "(1, 2, 3)",
+            "[1, 2, 3]",
+            "lift (a + b)",
+            "~5 + ~x",
+            "r := !r + 1",
+            "f x y z",
+            "\"str\\n\" ^ \"s\"",
+        ] {
+            round_trip_expr(src);
+        }
+    }
+
+    #[test]
+    fn ty_round_trips() {
+        for src in [
+            "int -> int",
+            "(int -> int) $",
+            "int * bool",
+            "(int, bool) table",
+            "int list list",
+            "'a -> 'b $",
+        ] {
+            let t1 = parse_ty(src).unwrap();
+            let printed = pretty_ty(&t1.node);
+            let t2 = parse_ty(&printed).unwrap();
+            assert_eq!(pretty_ty(&t1.node), pretty_ty(&t2.node), "printed: {printed}");
+        }
+    }
+
+    #[test]
+    fn program_round_trips() {
+        let src = "datatype t = A | B of int\nfun f A = 0 | f (B n) = n\nval x = f (B 3)";
+        let p1 = parse_program(src).unwrap();
+        let printed = pretty_program(&p1);
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(pretty_program(&p1), pretty_program(&p2));
+    }
+
+    #[test]
+    fn negative_ints_reparse() {
+        round_trip_expr("~2147483648");
+    }
+}

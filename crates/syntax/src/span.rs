@@ -1,0 +1,156 @@
+//! Byte-offset source spans and source-position bookkeeping.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start {start} after end {end}");
+        Span { start, end }
+    }
+
+    /// The zero-length span at offset 0, used for synthesized nodes.
+    pub const SYNTH: Span = Span { start: 0, end: 0 };
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers no characters.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// The source text the span covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is out of bounds for `src`.
+    pub fn text(self, src: &str) -> &str {
+        &src[self.start as usize..self.end as usize]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A 1-based line/column position, for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Computes the [`LineCol`] of a byte offset within `src`.
+///
+/// Offsets past the end of `src` are clamped to the final position.
+pub fn line_col(src: &str, offset: u32) -> LineCol {
+    let offset = (offset as usize).min(src.len());
+    let mut line = 1;
+    let mut col = 1;
+    for b in src.as_bytes()[..offset].iter() {
+        if *b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    LineCol { line, col }
+}
+
+/// A value paired with the source span it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Spanned<T> {
+    /// The carried value.
+    pub node: T,
+    /// Where the value came from in the source.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Pairs `node` with `span`.
+    pub fn new(node: T, span: Span) -> Self {
+        Spanned { node, span }
+    }
+
+    /// Applies `f` to the carried value, keeping the span.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Spanned<U> {
+        Spanned {
+            node: f(self.node),
+            span: self.span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn text_slices_source() {
+        let src = "let val x = 1";
+        assert_eq!(Span::new(4, 7).text(src), "val");
+    }
+
+    #[test]
+    fn line_col_basic() {
+        let src = "ab\ncde\nf";
+        assert_eq!(line_col(src, 0), LineCol { line: 1, col: 1 });
+        assert_eq!(line_col(src, 3), LineCol { line: 2, col: 1 });
+        assert_eq!(line_col(src, 5), LineCol { line: 2, col: 3 });
+        assert_eq!(line_col(src, 7), LineCol { line: 3, col: 1 });
+    }
+
+    #[test]
+    fn line_col_clamps() {
+        assert_eq!(line_col("x", 100), LineCol { line: 1, col: 2 });
+    }
+
+    #[test]
+    fn empty_span() {
+        assert!(Span::new(4, 4).is_empty());
+        assert_eq!(Span::new(4, 4).len(), 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Token kinds for the MLbox lexer.
+
+use std::fmt;
+
+/// A lexical token kind.
+///
+/// Identifier and literal payloads are stored out-of-band (the lexer
+/// produces [`crate::lexer::Token`] values carrying the source span, from
+/// which text is recovered); integer and string literals carry their decoded
+/// values directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // ---- literals and names ----
+    /// An integer literal (decoded; SML `~` negation is applied by the parser).
+    Int(i64),
+    /// A string literal with escapes decoded.
+    Str(String),
+    /// An alphanumeric identifier (may denote a variable, constructor, or
+    /// type name depending on context).
+    Ident(String),
+    /// A type variable such as `'a`.
+    TyVar(String),
+
+    // ---- keywords ----
+    /// `val`
+    Val,
+    /// `fun`
+    Fun,
+    /// `and`
+    And,
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `in`
+    In,
+    /// `end`
+    End,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `case`
+    Case,
+    /// `of`
+    Of,
+    /// `datatype`
+    Datatype,
+    /// `type`
+    Type,
+    /// `andalso`
+    Andalso,
+    /// `orelse`
+    Orelse,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `code` — introduces a code generator (modal □ introduction).
+    Code,
+    /// `lift` — residualizes a value into a generator.
+    Lift,
+    /// `cogen` — `let cogen u = M in N end` binds a code variable.
+    Cogen,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `rec`
+    Rec,
+
+    // ---- punctuation and operators ----
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `=>`
+    DArrow,
+    /// `->`
+    Arrow,
+    /// `|`
+    Bar,
+    /// `_`
+    Underscore,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `^` (string concatenation)
+    Caret,
+    /// `::` (list cons)
+    ColonColon,
+    /// `:` (type ascription)
+    Colon,
+    /// `$` (postfix □ type operator)
+    Dollar,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<>`
+    Ne,
+    /// `:=` (reference assignment)
+    Assign,
+    /// `!` (reference dereference)
+    Bang,
+    /// `~` (unary negation)
+    Tilde,
+    /// `div`
+    Div,
+    /// `mod`
+    Mod,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(s: &str) -> Option<TokenKind> {
+        Some(match s {
+            "val" => TokenKind::Val,
+            "fun" => TokenKind::Fun,
+            "and" => TokenKind::And,
+            "fn" => TokenKind::Fn,
+            "let" => TokenKind::Let,
+            "in" => TokenKind::In,
+            "end" => TokenKind::End,
+            "if" => TokenKind::If,
+            "then" => TokenKind::Then,
+            "else" => TokenKind::Else,
+            "case" => TokenKind::Case,
+            "of" => TokenKind::Of,
+            "datatype" => TokenKind::Datatype,
+            "type" => TokenKind::Type,
+            "andalso" => TokenKind::Andalso,
+            "orelse" => TokenKind::Orelse,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "code" => TokenKind::Code,
+            "lift" => TokenKind::Lift,
+            "cogen" => TokenKind::Cogen,
+            "while" => TokenKind::While,
+            "do" => TokenKind::Do,
+            "rec" => TokenKind::Rec,
+            "div" => TokenKind::Div,
+            "mod" => TokenKind::Mod,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable description used in parse-error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(n) => format!("integer literal `{n}`"),
+            TokenKind::Str(s) => format!("string literal {s:?}"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::TyVar(s) => format!("type variable `'{s}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{other}`"),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TokenKind::Int(n) => return write!(f, "{n}"),
+            TokenKind::Str(s) => return write!(f, "{s:?}"),
+            TokenKind::Ident(s) => return f.write_str(s),
+            TokenKind::TyVar(s) => return write!(f, "'{s}"),
+            TokenKind::Val => "val",
+            TokenKind::Fun => "fun",
+            TokenKind::And => "and",
+            TokenKind::Fn => "fn",
+            TokenKind::Let => "let",
+            TokenKind::In => "in",
+            TokenKind::End => "end",
+            TokenKind::If => "if",
+            TokenKind::Then => "then",
+            TokenKind::Else => "else",
+            TokenKind::Case => "case",
+            TokenKind::Of => "of",
+            TokenKind::Datatype => "datatype",
+            TokenKind::Type => "type",
+            TokenKind::Andalso => "andalso",
+            TokenKind::Orelse => "orelse",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::Code => "code",
+            TokenKind::Lift => "lift",
+            TokenKind::Cogen => "cogen",
+            TokenKind::While => "while",
+            TokenKind::Do => "do",
+            TokenKind::Rec => "rec",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Comma => ",",
+            TokenKind::Semi => ";",
+            TokenKind::Eq => "=",
+            TokenKind::DArrow => "=>",
+            TokenKind::Arrow => "->",
+            TokenKind::Bar => "|",
+            TokenKind::Underscore => "_",
+            TokenKind::Star => "*",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Caret => "^",
+            TokenKind::ColonColon => "::",
+            TokenKind::Colon => ":",
+            TokenKind::Dollar => "$",
+            TokenKind::Lt => "<",
+            TokenKind::Gt => ">",
+            TokenKind::Le => "<=",
+            TokenKind::Ge => ">=",
+            TokenKind::Ne => "<>",
+            TokenKind::Assign => ":=",
+            TokenKind::Bang => "!",
+            TokenKind::Tilde => "~",
+            TokenKind::Div => "div",
+            TokenKind::Mod => "mod",
+            TokenKind::Eof => "<eof>",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("cogen"), Some(TokenKind::Cogen));
+        assert_eq!(TokenKind::keyword("code"), Some(TokenKind::Code));
+        assert_eq!(TokenKind::keyword("lift"), Some(TokenKind::Lift));
+        assert_eq!(TokenKind::keyword("polyl"), None);
+    }
+
+    #[test]
+    fn display_round_trips_punctuation() {
+        assert_eq!(TokenKind::DArrow.to_string(), "=>");
+        assert_eq!(TokenKind::ColonColon.to_string(), "::");
+        assert_eq!(TokenKind::Dollar.to_string(), "$");
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        assert_eq!(TokenKind::Int(7).describe(), "integer literal `7`");
+        assert!(TokenKind::Eof.describe().contains("end of input"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property: pretty-printing a surface AST and re-parsing yields the same
+//! AST (modulo spans) — checked by comparing pretty-printed forms, which
+//! are injective on the generated fragment.
+
+use mlbox_syntax::ast::{BinOp, Expr, ExprS, Pat, PatS};
+use mlbox_syntax::parser::parse_expr;
+use mlbox_syntax::pretty::pretty_expr;
+use mlbox_syntax::span::{Span, Spanned};
+use proptest::prelude::*;
+
+fn sp<T>(node: T) -> Spanned<T> {
+    Spanned::new(node, Span::SYNTH)
+}
+
+fn var_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("x".to_string()),
+        Just("y".to_string()),
+        Just("zed".to_string()),
+        Just("a'".to_string()),
+    ]
+}
+
+fn pat_strategy() -> impl Strategy<Value = PatS> {
+    prop_oneof![
+        var_name().prop_map(|v| sp(Pat::Var(v))),
+        Just(sp(Pat::Wild)),
+        Just(sp(Pat::Unit)),
+        (var_name(), var_name())
+            .prop_map(|(a, b)| sp(Pat::Tuple(vec![sp(Pat::Var(a)), sp(Pat::Var(b))]))),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = ExprS> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(|n| sp(Expr::Int(n as i64))),
+        proptest::bool::ANY.prop_map(|b| sp(Expr::Bool(b))),
+        Just(sp(Expr::Unit)),
+        var_name().prop_map(|v| sp(Expr::Var(v))),
+        "[a-z ]{0,6}".prop_map(|s| sp(Expr::Str(s))),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        let op = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Mul),
+            Just(BinOp::Eq),
+            Just(BinOp::Lt),
+            Just(BinOp::Concat),
+        ];
+        prop_oneof![
+            (op, inner.clone(), inner.clone())
+                .prop_map(|(o, a, b)| sp(Expr::BinOp(o, Box::new(a), Box::new(b)))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| sp(Expr::App(Box::new(a), Box::new(b)))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| sp(Expr::If(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            ))),
+            (pat_strategy(), inner.clone())
+                .prop_map(|(p, b)| sp(Expr::Fn(p, Box::new(b)))),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(|v| sp(Expr::Tuple(v))),
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(|v| sp(Expr::List(v))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(h, t)| sp(Expr::Cons(Box::new(h), Box::new(t)))),
+            inner.clone().prop_map(|e| sp(Expr::Code(Box::new(e)))),
+            inner.clone().prop_map(|e| sp(Expr::Lift(Box::new(e)))),
+            inner.clone().prop_map(|e| sp(Expr::Neg(Box::new(e)))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| sp(Expr::Andalso(
+                Box::new(a),
+                Box::new(b)
+            ))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pretty_parse_round_trip(e in expr_strategy()) {
+        let printed = pretty_expr(&e.node);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|d| panic!("reparse failed on {printed:?}: {d}"));
+        prop_assert_eq!(pretty_expr(&reparsed.node), printed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(src in "\\PC{0,60}") {
+        // Errors are fine; panics are not.
+        let _ = parse_expr(&src);
+        let _ = mlbox_syntax::parser::parse_program(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("fn"), Just("=>"), Just("let"), Just("in"), Just("end"),
+                Just("code"), Just("lift"), Just("cogen"), Just("("), Just(")"),
+                Just("["), Just("]"), Just("::"), Just("+"), Just("*"),
+                Just("case"), Just("of"), Just("|"), Just("val"), Just("="),
+                Just("x"), Just("1"), Just("while"), Just("do"), Just("~"),
+                Just("$"), Just(":"), Just("rec"), Just("fun"), Just("and"),
+            ],
+            0..25
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = mlbox_syntax::parser::parse_program(&src);
+    }
+}

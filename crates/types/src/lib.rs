@@ -1,0 +1,38 @@
+//! Modal type checker for MLbox: Hindley–Milner inference with
+//! let-polymorphism (value restriction) over the dual-context typing rules
+//! of λ□ (the paper's Figure 2).
+//!
+//! The modal type `□A` (concrete syntax `A $`) classifies *generators for
+//! code of type `A`*. Two contexts are maintained — Δ for code variables,
+//! Γ for value variables — and checking `code M` clears Γ, so referencing
+//! a not-yet-available (or no-longer-available) variable is a **type
+//! error**, not a run-time crash: "a staging error becomes a type error
+//! which can be analyzed and fixed" (§1).
+//!
+//! # Examples
+//!
+//! ```
+//! use mlbox_ir::elab::Elab;
+//! use mlbox_syntax::parser::parse_expr;
+//! use mlbox_types::{Checker, TypeCtx};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut elab = Elab::new();
+//! let core = elab.elab_expr(&parse_expr("code (fn x => x + 1)")?)?;
+//! // A staging violation is elaborated fine but rejected by the checker:
+//! let bad = elab.elab_expr(&parse_expr("fn y => code (fn x => x + y)")?)?;
+//!
+//! let mut checker = Checker::new();
+//! let tcx = TypeCtx { data: &elab.data, abbrevs: &elab.abbrevs };
+//! let t = checker.infer(&core, tcx)?;
+//! assert_eq!(checker.display_type(&t, &elab.data), "(int -> int) $");
+//! assert!(checker.infer(&bad, tcx).is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod check;
+pub mod ty;
+
+pub use check::{Checker, TypeCtx};
+pub use ty::{render, Scheme, Type, TvGen};

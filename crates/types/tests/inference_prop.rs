@@ -1,0 +1,78 @@
+//! Type-inference properties over generated programs.
+
+use mlbox_ir::elab::Elab;
+use mlbox_syntax::parser::parse_expr;
+use mlbox_types::check::{Checker, TypeCtx};
+use proptest::prelude::*;
+
+fn infer(src: &str) -> Result<String, String> {
+    let e = parse_expr(src).map_err(|d| d.to_string())?;
+    let mut elab = Elab::new();
+    let core = elab.elab_expr(&e).map_err(|d| d.to_string())?;
+    let mut ck = Checker::new();
+    let tcx = TypeCtx {
+        data: &elab.data,
+        abbrevs: &elab.abbrevs,
+    };
+    let t = ck.infer(&core, tcx).map_err(|d| d.to_string())?;
+    Ok(ck.display_type(&t, &elab.data))
+}
+
+fn int_expr(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (0i64..100).prop_map(|n| n.to_string()),
+        Just("v".to_string()),
+    ];
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, a, b)| format!("(if {c} = {a} then {a} else {b})")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("(let val v = {a} in {b} end)")),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn generated_int_expressions_have_type_int(body in int_expr(4)) {
+        let t = infer(&format!("(fn v => {body}) 3")).unwrap();
+        prop_assert_eq!(t, "int");
+    }
+
+    #[test]
+    fn code_wraps_in_box(body in int_expr(3)) {
+        // `+ v` pins the parameter type (the body may shadow or ignore v).
+        let t = infer(&format!("code (fn v => {body} + v)")).unwrap();
+        prop_assert_eq!(t, "(int -> int) $");
+    }
+
+    #[test]
+    fn lift_wraps_in_box(body in int_expr(3)) {
+        let t = infer(&format!("(fn v => lift ({body} + v))")).unwrap();
+        prop_assert_eq!(t, "int -> int $");
+    }
+
+    #[test]
+    fn staging_violations_always_rejected(body in int_expr(2)) {
+        // y is a stage-0 value variable used inside code: always an error,
+        // whatever the surrounding expression shape.
+        let r = infer(&format!("fn y => code (fn v => {body} + y)"));
+        prop_assert!(r.is_err());
+    }
+
+    #[test]
+    fn eval_inverts_code(body in int_expr(3)) {
+        let direct = infer(&format!("(fn v => {body}) 1")).unwrap();
+        let staged = infer(&format!(
+            "(fn c => let cogen u = c in u end) (code (fn v => {body})) 1"
+        ))
+        .unwrap();
+        prop_assert_eq!(direct, staged);
+    }
+}

@@ -1,0 +1,45 @@
+//! The paper's §3.4 memoization example: cache specialized functions
+//! (`memoPower1`) and generating extensions (`memoPower2`) so repeated
+//! specialization requests do no repeated work.
+//!
+//! Run with: `cargo run --example memo_power`
+
+use mlbox::{programs, Session};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut s = Session::new()?;
+    s.run(programs::CODE_POWER)?;
+    s.run(programs::MEMO_POWER1)?;
+
+    println!("memoPower1 (cache the specialized function):");
+    let miss = s.eval_expr("memoPower1 16 2")?;
+    println!(
+        "  first call (miss): {} in {} steps, {} instrs generated",
+        miss.value, miss.stats.steps, miss.stats.emitted
+    );
+    let hit = s.eval_expr("memoPower1 16 2")?;
+    println!(
+        "  second call (hit): {} in {} steps, {} instrs generated",
+        hit.value, hit.stats.steps, hit.stats.emitted
+    );
+
+    println!("\nmemoPower2 (also share generating extensions across exponents):");
+    let mut s2 = Session::new()?;
+    s2.run(programs::MEMO_POWER2)?;
+    let first = s2.eval_expr("memoPower2 60 2")?;
+    println!("  2^60 from scratch: {} steps", first.stats.steps);
+    let reuse = s2.eval_expr("memoPower2 34 2")?;
+    println!(
+        "  2^34 reusing extensions 0..34: {} steps (= {})",
+        reuse.stats.steps, reuse.value
+    );
+    let mut cold = Session::new()?;
+    cold.run(programs::MEMO_POWER2)?;
+    let from_zero = cold.eval_expr("memoPower2 34 2")?;
+    println!(
+        "  2^34 in a cold session: {} steps — sharing saved {}",
+        from_zero.stats.steps,
+        from_zero.stats.steps - reuse.stats.steps
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: write a staged MLbox program, type-check it, compile it to
+//! the CCAM, generate code at run time, and observe the speedup.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mlbox::Session;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = Session::new()?;
+
+    // A staged power function: the exponent is early, the base is late.
+    // `codePower e` builds a *generator*; `eval` invokes it, emitting
+    // CCAM code specialized to that exponent.
+    let outcomes = session.run(
+        "fun codePower e =
+           if e = 0 then code (fn b => 1)
+           else let cogen p = codePower (e - 1)
+                in code (fn b => b * (p b)) end",
+    )?;
+    println!(
+        "codePower : {}  (the $ is the modal □ type of code generators)",
+        outcomes[0].ty
+    );
+
+    // Generate code for b^16 — once.
+    let gen = session.run("val pow16 = eval (codePower 16)")?;
+    println!(
+        "generated pow16: {} CCAM steps, {} instructions emitted",
+        gen[0].stats.steps, gen[0].stats.emitted
+    );
+
+    // The generated code is an ordinary function...
+    let fast = session.eval_expr("pow16 2")?;
+    println!("pow16 2 = {} in {} steps", fast.value, fast.stats.steps);
+
+    // ...and much cheaper than the unstaged equivalent.
+    session.run(
+        "fun power (e, b) = if e = 0 then 1 else b * power (e - 1, b)",
+    )?;
+    let slow = session.eval_expr("power (16, 2)")?;
+    println!("power (16, 2) = {} in {} steps", slow.value, slow.stats.steps);
+    println!(
+        "speedup: {:.1}x fewer reductions per call",
+        slow.stats.steps as f64 / fast.stats.steps as f64
+    );
+
+    // Staging errors are type errors (the paper's central claim):
+    let err = session
+        .eval_expr("fn y => code (fn x => x + y)")
+        .unwrap_err();
+    println!("\nstaging error caught statically:\n{err}");
+    Ok(())
+}

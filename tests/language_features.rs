@@ -1,0 +1,336 @@
+//! Broad surface-language coverage: the core-SML subset of §6
+//! ("datatypes, reference cells, and arrays"), pattern matching, and the
+//! prelude.
+
+use mlbox::Session;
+
+fn run(src: &str) -> String {
+    let mut s = Session::new().unwrap();
+    s.run(src).unwrap().last().unwrap().value.clone()
+}
+
+fn run_err(src: &str) -> String {
+    let mut s = Session::new().unwrap();
+    match s.run(src) {
+        Ok(_) => panic!("expected failure for {src}"),
+        Err(e) => e.to_string(),
+    }
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(run("1 + 2 * 3 - 4"), "3");
+    assert_eq!(run("(1 + 2) * (3 - 4)"), "-3");
+    assert_eq!(run("~7 mod 3"), "-1");
+    assert_eq!(run("17 div 5"), "3");
+    assert_eq!(run("band (12, 10)"), "8");
+}
+
+#[test]
+fn booleans_and_short_circuit() {
+    assert_eq!(run("true andalso false"), "false");
+    assert_eq!(run("false orelse true"), "true");
+    // Short-circuit: the right side must not run.
+    assert_eq!(
+        run("val r = ref 0\nval t = false andalso (r := 1; true);\n!r"),
+        "0"
+    );
+    assert_eq!(run("not (1 = 2)"), "true");
+}
+
+#[test]
+fn strings() {
+    assert_eq!(run("\"foo\" ^ \"bar\""), "\"foobar\"");
+    assert_eq!(run("size \"hello\""), "5");
+    assert_eq!(run("itos (6 * 7)"), "\"42\"");
+    // Comparison operators are typed at int only (SML overloading is out
+    // of scope); string comparison is a type error.
+    assert!(run_err("\"a\" < \"b\"").contains("mismatch"));
+}
+
+#[test]
+fn tuples() {
+    assert_eq!(run("(1, true, \"x\")"), "(1, (true, \"x\"))");
+    assert_eq!(run("val (a, b, c) = (1, 2, 3);\na + b * c"), "7");
+    assert_eq!(run("fst2 (9, 10) + snd2 (9, 10)"), "19");
+}
+
+#[test]
+fn lists_and_prelude() {
+    assert_eq!(run("[1, 2] = [1, 2]"), "true");
+    assert_eq!(run("map (fn x => x * x) [1, 2, 3]"), "[1, 4, 9]");
+    assert_eq!(run("rev (append ([1], [2, 3]))"), "[3, 2, 1]");
+    assert_eq!(run("foldl (fn (a, x) => a + x, 0, [1, 2, 3, 4])"), "10");
+    assert_eq!(run("nth ([5, 6, 7], 2)"), "7");
+    assert_eq!(run("tabulate (4, fn i => i * i)"), "[0, 1, 4, 9]");
+    assert_eq!(run("listLength []"), "0");
+}
+
+#[test]
+fn datatypes_with_payloads() {
+    let src = "\
+datatype expr = Num of int | Plus of expr * expr | Neg of expr
+fun evalE e =
+  case e of
+    Num n => n
+  | Plus (a, b) => evalE a + evalE b
+  | Neg a => ~(evalE a);
+evalE (Plus (Num 3, Neg (Num 5)))";
+    assert_eq!(run(src), "-2");
+}
+
+#[test]
+fn polymorphic_datatypes_and_option() {
+    assert_eq!(run("SOME 3"), "SOME 3");
+    assert_eq!(run("case SOME 4 of NONE => 0 | SOME n => n"), "4");
+    let src = "\
+datatype ('a, 'b) either = L of 'a | R of 'b
+fun getL e = case e of L a => SOME a | R b => NONE;
+(getL (L 3), getL (R true))";
+    assert_eq!(run(src), "(SOME 3, NONE)");
+}
+
+#[test]
+fn nested_patterns() {
+    assert_eq!(
+        run("fun f xs = case xs of (a, 1) :: (b, 2) :: nil => a + b | _ => 0;\nf [(10, 1), (20, 2)]"),
+        "30"
+    );
+    assert_eq!(
+        run("fun g x = case x of SOME (a :: _) => a | SOME nil => ~1 | NONE => ~2;\ng (SOME [7])"),
+        "7"
+    );
+}
+
+#[test]
+fn literal_patterns() {
+    let src = "\
+fun fib n = case n of 0 => 0 | 1 => 1 | k => fib (k - 1) + fib (k - 2);
+fib 10";
+    assert_eq!(run(src), "55");
+    assert_eq!(
+        run("fun f s = case s of \"yes\" => 1 | \"no\" => 0 | _ => ~1;\nf \"no\""),
+        "0"
+    );
+    assert_eq!(
+        run("fun b x = case x of true => \"t\" | false => \"f\";\nb false"),
+        "\"f\""
+    );
+}
+
+#[test]
+fn clausal_functions_with_overlap() {
+    let src = "\
+fun evalPoly (x, nil) = 0
+  | evalPoly (x, a::p) = a + (x * evalPoly (x, p));
+evalPoly (2, [1, 2, 3])";
+    assert_eq!(run(src), "17");
+}
+
+#[test]
+fn inexhaustive_match_fails_at_runtime() {
+    let err = run_err("fun f xs = case xs of a :: _ => a;\nf []");
+    assert!(err.contains("match failure"), "{err}");
+}
+
+#[test]
+fn references() {
+    assert_eq!(run("val r = ref 10\nval u = (r := !r + 1);\n!r"), "11");
+    // Reference identity.
+    assert_eq!(run("val r = ref 0\nval s = ref 0;\nr = r"), "true");
+    assert_eq!(run("val r = ref 0\nval s = ref 0;\nr = s"), "false");
+}
+
+#[test]
+fn arrays() {
+    let src = "\
+val a = array (5, 0)
+fun fill i = if i = 5 then () else (update (a, i, i * i); fill (i + 1))
+val u = fill 0;
+(sub (a, 4), length a)";
+    assert_eq!(run(src), "(16, 5)");
+    assert_eq!(run("fromList ([7, 8], 0)"), "[|7, 8|]");
+}
+
+#[test]
+fn array_bounds_fail() {
+    let err = run_err("val a = array (2, 0);\nsub (a, 5)");
+    assert!(err.contains("out of bounds"), "{err}");
+}
+
+#[test]
+fn division_by_zero_fails() {
+    assert!(run_err("1 div 0").contains("zero"));
+    assert!(run_err("1 mod 0").contains("zero"));
+}
+
+#[test]
+fn sequencing_and_let_bodies() {
+    assert_eq!(run("let val r = ref 0 in r := 5; !r + 1 end"), "6");
+    assert_eq!(run("(1; 2; 3)"), "3");
+}
+
+#[test]
+fn shadowing() {
+    assert_eq!(run("val x = 1\nval x = x + 1\nval x = x * 10;\nx"), "20");
+    assert_eq!(run("let val x = 1 in let val x = 2 in x end + x end"), "3");
+}
+
+#[test]
+fn higher_order_functions_and_currying() {
+    assert_eq!(run("fun add a b = a + b\nval add3 = add 3;\nadd3 4"), "7");
+    assert_eq!(run("compose (fn x => x * 2, fn x => x + 1) 5"), "12");
+}
+
+#[test]
+fn mutual_recursion() {
+    let src = "\
+fun isEven n = if n = 0 then true else isOdd (n - 1)
+and isOdd n = if n = 0 then false else isEven (n - 1);
+(isEven 100, isOdd 100)";
+    assert_eq!(run(src), "(true, false)");
+}
+
+#[test]
+fn type_abbreviations() {
+    assert_eq!(
+        run("type point = int * int\nfun dist ((a, b) : point) = a * a + b * b;\ndist ((3, 4))"),
+        "25"
+    );
+}
+
+#[test]
+fn recursion_under_code() {
+    let src = "\
+val g = code (fn n =>
+  let fun sum i = if i = 0 then 0 else i + sum (i - 1)
+  in sum n end);
+eval g 10";
+    assert_eq!(run(src), "55");
+}
+
+#[test]
+fn case_under_code() {
+    let src = "\
+datatype t = A | B of int
+val g = code (fn x => case x of A => 0 | B n => n * 2);
+(eval g (B 21), eval g A)";
+    assert_eq!(run(src), "(42, 0)");
+}
+
+#[test]
+fn lists_under_code() {
+    let src = "\
+val g = code (fn xs => case xs of nil => 0 | a :: _ => a);
+eval g [9, 8]";
+    assert_eq!(run(src), "9");
+}
+
+#[test]
+fn print_side_effects() {
+    let mut s = Session::new().unwrap();
+    s.run("print \"a\"; print (itos 42); print \"b\"").unwrap();
+    assert_eq!(s.take_output(), "a42b");
+}
+
+#[test]
+fn comments_are_ignored() {
+    assert_eq!(run("(* a comment (* nested *) *) 5"), "5");
+}
+
+#[test]
+fn wildcard_and_unit_patterns() {
+    assert_eq!(run("fun f _ = 7;\nf (1, 2)"), "7");
+    assert_eq!(run("fun g () = 8;\ng ()"), "8");
+}
+
+#[test]
+fn deep_recursion_on_the_machine_is_iterative() {
+    // The CCAM uses an explicit control stack; deep MLbox recursion must
+    // not overflow the Rust stack.
+    let src = "\
+fun count n = if n = 0 then 0 else 1 + count (n - 1);
+count 50000";
+    assert_eq!(run(src), "50000");
+}
+
+#[test]
+fn exhaustiveness_warnings() {
+    let mut s = Session::new().unwrap();
+    s.take_warnings();
+    // Non-exhaustive case.
+    s.run("fun f xs = case xs of a :: _ => a").unwrap();
+    let w = s.take_warnings();
+    assert!(
+        w.iter().any(|d| d.message.contains("not exhaustive")),
+        "{w:?}"
+    );
+    // Exhaustive case: no warning.
+    s.run("fun g xs = case xs of nil => 0 | a :: _ => a").unwrap();
+    assert!(s.take_warnings().is_empty());
+    // Redundant arm.
+    s.run("fun h x = case x of _ => 1 | 3 => 2").unwrap();
+    let w = s.take_warnings();
+    assert!(w.iter().any(|d| d.message.contains("redundant")), "{w:?}");
+    // Refutable val binding.
+    s.run("val (a :: _) = [1, 2]").unwrap();
+    let w = s.take_warnings();
+    assert!(
+        w.iter().any(|d| d.message.contains("not exhaustive")),
+        "{w:?}"
+    );
+}
+
+#[test]
+fn paper_programs_are_warning_clean_except_known() {
+    // The paper's polynomial programs are exhaustive; the prelude's `nth`
+    // is deliberately partial.
+    let mut s = Session::new().unwrap();
+    let prelude_warnings = s.take_warnings();
+    assert!(
+        prelude_warnings.iter().all(|d| {
+            // only nth is partial in the prelude
+            d.message.contains("not exhaustive")
+        }),
+        "{prelude_warnings:?}"
+    );
+    s.run(mlbox::programs::EVAL_POLY).unwrap();
+    s.run(mlbox::programs::COMP_POLY).unwrap();
+    assert!(s.take_warnings().is_empty());
+}
+
+#[test]
+fn while_loops() {
+    let src = "\
+val i = ref 0
+val acc = ref 0
+val u = while !i < 10 do (acc := !acc + !i; i := !i + 1);
+!acc";
+    assert_eq!(run(src), "45");
+    // Zero iterations.
+    assert_eq!(run("val r = ref 7\nval u = while false do r := 0;\n!r"), "7");
+}
+
+#[test]
+fn val_rec() {
+    assert_eq!(
+        run("val rec fact = fn n => if n = 0 then 1 else n * fact (n - 1);\nfact 5"),
+        "120"
+    );
+    let mut s = Session::new().unwrap();
+    let err = s.run("val rec x = 3").unwrap_err();
+    assert!(err.to_string().contains("fn-expression"), "{err}");
+}
+
+#[test]
+fn while_under_code() {
+    // A loop inside generated code (recursion specialized via merge_rec).
+    let src = "\
+val g = code (fn n =>
+  let val i = ref 0
+      val acc = ref 0
+      val u = while !i < n do (acc := !acc + !i; i := !i + 1)
+  in !acc end);
+eval g 10";
+    assert_eq!(run(src), "45");
+}

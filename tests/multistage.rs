@@ -1,0 +1,124 @@
+//! Multi-stage specialization tests: `code` under `code`, generators
+//! spliced across stages, and Fabius-style dynamic staging where the
+//! number of specializations depends on run-time values (§4.1).
+
+use mlbox::Session;
+
+#[test]
+fn two_literal_stages() {
+    let mut s = Session::new().unwrap();
+    s.run("val g2 = code (fn a => code (fn b => b * 2))").unwrap();
+    s.run("val stage1 = eval g2").unwrap();
+    s.run("val gen2 = stage1 7").unwrap();
+    let out = s.eval_expr("eval gen2 10").unwrap();
+    assert_eq!(out.value, "20");
+}
+
+#[test]
+fn inner_stage_uses_outer_late_value_via_lift() {
+    let mut s = Session::new().unwrap();
+    s.run("val g = code (fn a => let cogen a' = lift a in code (fn b => a' * 100 + b) end)")
+        .unwrap();
+    s.run("val mk = eval g").unwrap();
+    s.run("val gen42 = mk 42").unwrap();
+    let out = s.eval_expr("eval gen42 7").unwrap();
+    assert_eq!(out.value, "4207");
+    // Different stage-1 value → different generated code.
+    s.run("val gen9 = mk 9").unwrap();
+    assert_eq!(s.eval_expr("eval gen9 7").unwrap().value, "907");
+}
+
+#[test]
+fn three_stages() {
+    let mut s = Session::new().unwrap();
+    let src = "\
+val g3 = code (fn a =>
+  let cogen a' = lift a
+  in code (fn b =>
+       let cogen b' = lift b
+       in code (fn c => a' * 100 + b' * 10 + c) end)
+  end)";
+    s.run(src).unwrap();
+    s.run("val s1 = eval g3").unwrap();
+    s.run("val s2 = eval (s1 1)").unwrap();
+    s.run("val s3 = eval (s2 2)").unwrap();
+    assert_eq!(s.eval_expr("s3 3").unwrap().value, "123");
+}
+
+#[test]
+fn dynamic_number_of_stages() {
+    // Fabius-style dynamic staging: how often we re-specialize depends on
+    // run-time input (a chain of adders built one stage at a time).
+    let mut s = Session::new().unwrap();
+    let src = "\
+fun addN n =
+  if n = 0 then code (fn x => x)
+  else
+    let cogen rest = addN (n - 1)
+        cogen one = lift 1
+    in code (fn x => rest (x + one)) end";
+    s.run(src).unwrap();
+    for n in [0i64, 1, 5, 20] {
+        let out = s.eval_expr(&format!("eval (addN {n}) 100")).unwrap();
+        assert_eq!(out.value, (100 + n).to_string());
+    }
+}
+
+#[test]
+fn generator_spliced_into_another_generation() {
+    // let cogen u = <generator> in code (... u ...): u's code is spliced
+    // into the outer generation.
+    let mut s = Session::new().unwrap();
+    let src = "\
+val inc = code (fn x => x + 1)
+val usedTwice =
+  let cogen f = inc
+  in code (fn x => f (f x)) end";
+    s.run(src).unwrap();
+    assert_eq!(s.eval_expr("eval usedTwice 10").unwrap().value, "12");
+}
+
+#[test]
+fn two_stage_generator_spliced_into_another_generation() {
+    // The hard case for the closure-insertion technique: a generator
+    // whose *body contains another code* is spliced into a host
+    // generation; the inner stage must still resolve its variables.
+    let mut s = Session::new().unwrap();
+    let src = "\
+val twoStage = code (fn a => let cogen a' = lift a in code (fn b => a' + b) end)
+val host =
+  let cogen ts = twoStage
+  in code (fn n => ts (n * 10)) end
+val mk = eval host
+val gen2 = mk 5";
+    s.run(src).unwrap();
+    assert_eq!(s.eval_expr("eval gen2 3").unwrap().value, "53");
+}
+
+#[test]
+fn multi_stage_emission_happens_at_each_stage() {
+    let mut s = Session::new().unwrap();
+    s.run("val g2 = code (fn a => code (fn b => b * 2))").unwrap();
+    let o1 = s.run("val stage1 = eval g2").unwrap();
+    assert!(o1.last().unwrap().stats.emitted > 0, "stage-1 generation emits");
+    let o2 = s.run("val gen2 = stage1 7").unwrap();
+    // Applying stage1 runs generated code which *builds* the stage-2
+    // generator (a closure), but does not emit stage-2 code yet.
+    let o3 = s.run("val f = eval gen2").unwrap();
+    assert!(o3.last().unwrap().stats.emitted > 0, "stage-2 generation emits");
+    let _ = o2;
+}
+
+#[test]
+fn deeply_nested_generators_terminate() {
+    let mut s = Session::new().unwrap();
+    // 30 stages of lift-and-wrap, invoked iteratively.
+    let src = "\
+fun tower n =
+  if n = 0 then code (fn x => x)
+  else
+    let cogen rest = tower (n - 1)
+    in code (fn x => rest x + 1) end";
+    s.run(src).unwrap();
+    assert_eq!(s.eval_expr("eval (tower 30) 0").unwrap().value, "30");
+}

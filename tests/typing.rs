@@ -1,0 +1,148 @@
+//! The modal typing discipline (Figure 2): staging errors are type
+//! errors, □ types propagate correctly, and the value restriction holds.
+
+use mlbox::{Session, SessionOptions};
+
+fn infer(src: &str) -> Result<String, String> {
+    let mut s = Session::new().map_err(|e| e.to_string())?;
+    s.eval_expr(src)
+        .map(|o| o.ty)
+        .map_err(|e| e.to_string())
+}
+
+fn infer_decls(src: &str) -> Result<String, String> {
+    let mut s = Session::new().map_err(|e| e.to_string())?;
+    s.run(src)
+        .map(|outs| outs.last().map(|o| o.ty.clone()).unwrap_or_default())
+        .map_err(|e| e.to_string())
+}
+
+#[test]
+fn box_types_render_with_dollar() {
+    assert_eq!(infer("code (fn x => x + 1)").unwrap(), "(int -> int) $");
+    assert_eq!(infer("lift 3").unwrap(), "int $");
+    assert_eq!(infer("code (code true)").unwrap(), "bool $ $");
+}
+
+#[test]
+fn staging_violation_value_variable_under_code() {
+    // The paper's central design point: "A staging error becomes a type
+    // error which can be analyzed and fixed."
+    let err = infer("fn y => code (fn x => x + y)").unwrap_err();
+    assert!(err.contains("earlier stage"), "{err}");
+}
+
+#[test]
+fn lift_fixes_the_staging_violation() {
+    assert_eq!(
+        infer("fn y => let cogen y' = lift y in code (fn x => x + y') end").unwrap(),
+        "int -> (int -> int) $"
+    );
+}
+
+#[test]
+fn code_variables_usable_under_code() {
+    assert!(infer("fn c => let cogen f = c in code (fn x => f (x + 0)) end").is_ok());
+}
+
+#[test]
+fn code_variable_not_a_value_variable() {
+    // Using u where a generator is expected vs using the generator value:
+    // `let cogen u = c in u end` has the *unboxed* type.
+    let t = infer("fn c => let cogen u = c in u end").unwrap();
+    assert!(t.contains("$ ->"), "{t}");
+    assert!(!t.ends_with('$'), "{t}");
+}
+
+#[test]
+fn let_cogen_requires_a_generator() {
+    let err = infer("let cogen u = 3 in u end").unwrap_err();
+    assert!(err.contains("mismatch"), "{err}");
+}
+
+#[test]
+fn comp_poly_has_the_papers_type() {
+    let t = infer_decls(mlbox::programs::COMP_POLY.split("val codeGenerator").next().unwrap())
+        .unwrap();
+    // val compPoly : poly -> (int -> int) $
+    assert_eq!(t, "int list -> (int -> int) $");
+}
+
+#[test]
+fn bevalpf_has_the_papers_type() {
+    let mut s = Session::new().unwrap();
+    let outs = s.run(mlbox_bpf::mlsrc::BPF_ML).unwrap();
+    let bev = outs
+        .iter()
+        .find(|o| o.name.as_deref() == Some("bevalpf"))
+        .expect("bevalpf bound");
+    assert_eq!(
+        bev.ty,
+        "(instruction array * int) -> ((int * int * int array) -> int) $"
+    );
+}
+
+#[test]
+fn polymorphic_generators() {
+    // composeGen : ('b -> 'c)$ * ('a -> 'b)$ -> ('a -> 'c)$  (monomorphic
+    // rendering may pick concrete letters; check the shape).
+    let mut s = Session::new().unwrap();
+    let outs = s.run(mlbox::programs::COMPOSE_GEN).unwrap();
+    let t = &outs.last().unwrap().ty;
+    assert!(t.matches('$').count() == 3, "{t}");
+}
+
+#[test]
+fn value_restriction_applies_to_cogen() {
+    // An applied expression is not a value: its □-content stays mono.
+    // (This only checks it still typechecks and runs.)
+    let mut s = Session::new().unwrap();
+    s.run("fun idGen u = code (fn x => x)").unwrap();
+    assert!(s
+        .run("val r = let cogen g = idGen () in (g 1, g 2) end")
+        .is_ok());
+}
+
+#[test]
+fn branches_and_arms_must_agree() {
+    assert!(infer("if true then 1 else false").is_err());
+    assert!(infer_decls(
+        "datatype t = A | B\nfun f x = case x of A => 1 | B => true"
+    )
+    .is_err());
+}
+
+#[test]
+fn occurs_check_and_infinite_types() {
+    let err = infer("fn x => x x").unwrap_err();
+    assert!(err.contains("infinite"), "{err}");
+}
+
+#[test]
+fn ascriptions_constrain() {
+    assert!(infer("(fn x => x) : int -> int").is_ok());
+    assert!(infer("(fn x => x + 1) : bool -> bool").is_err());
+    assert!(infer("(code (fn x => x + 1)) : (int -> int) $").is_ok());
+}
+
+#[test]
+fn typecheck_can_be_disabled() {
+    // With the checker off, a staging violation is caught by the compiler
+    // instead (defense in depth).
+    let mut s = Session::with_options(SessionOptions {
+        typecheck: false,
+        ..Default::default()
+    })
+    .unwrap();
+    let err = s.eval_expr("fn y => code (fn x => x + y)").unwrap_err();
+    assert!(err.to_string().contains("earlier stage"), "{err}");
+}
+
+#[test]
+fn error_rendering_points_at_source() {
+    let mut s = Session::new().unwrap();
+    let err = s.run("val bad = fn y => code (fn x => x + y)").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains('^'), "{msg}");
+    assert!(msg.contains("code (fn x => x + y)"), "{msg}");
+}
