@@ -3,7 +3,7 @@
 
 use ccam::instr::{Instr, PrimOp};
 use ccam::machine::Machine;
-use ccam::value::Value;
+use ccam::value::{Arena, Value};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::rc::Rc;
 
@@ -30,9 +30,7 @@ fn bench_machine(c: &mut Criterion) {
 
     // Emission throughput: 1000 emits into one arena.
     let mut emit_code = vec![Instr::Push, Instr::NewArena, Instr::ConsPair];
-    emit_code.extend(
-        std::iter::repeat_with(|| Instr::Emit(Box::new(Instr::Id))).take(1000),
-    );
+    emit_code.extend(std::iter::repeat_with(|| Instr::Emit(Box::new(Instr::Id))).take(1000));
     let emit_code = Rc::new(emit_code);
     group.bench_function("emit_1000", |b| {
         let mut m = Machine::new();
@@ -54,6 +52,46 @@ fn bench_machine(c: &mut Criterion) {
     group.bench_function("generate_and_call", |b| {
         let mut m = Machine::new();
         b.iter(|| m.run(gen_call.clone(), Value::Unit).expect("run"))
+    });
+
+    // Specialize once, run many: repeated `call` of one finished
+    // generator state. The freeze cache means only the first call copies
+    // the arena; every later call re-enters the same snapshot.
+    let body: Vec<Instr> = std::iter::repeat_with(|| {
+        [
+            Instr::Push,
+            Instr::Quote(Value::Int(1)),
+            Instr::ConsPair,
+            Instr::Prim(PrimOp::Add),
+        ]
+    })
+    .take(100)
+    .flatten()
+    .collect();
+    let arena = Arena::new();
+    for i in &body {
+        arena.push(i.clone());
+    }
+    let gen = Value::pair(Value::Int(0), Value::Arena(arena));
+    let call_code = Rc::new(vec![Instr::Call]);
+    group.bench_function("specialize_once_run_many", |b| {
+        let mut m = Machine::new();
+        b.iter(|| m.run(call_code.clone(), gen.clone()).expect("run"))
+    });
+    // Contrast: a fresh arena per run pays the copy on every call.
+    group.bench_function("respecialize_every_run", |b| {
+        let mut m = Machine::new();
+        b.iter(|| {
+            let a = Arena::new();
+            for i in &body {
+                a.push(i.clone());
+            }
+            m.run(
+                call_code.clone(),
+                Value::pair(Value::Int(0), Value::Arena(a)),
+            )
+            .expect("run")
+        })
     });
 
     // Closure application: (closure, arg) |-> body.

@@ -21,9 +21,11 @@ fn bench_packet_filter(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("evalpf", name), pkt, |b, p| {
             b.iter(|| harness.interp(p).expect("interp"))
         });
-        group.bench_with_input(BenchmarkId::new("bevalpf_specialized", name), pkt, |b, p| {
-            b.iter(|| harness.specialized(p).expect("specialized"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bevalpf_specialized", name),
+            pkt,
+            |b, p| b.iter(|| harness.specialized(p).expect("specialized")),
+        );
         group.bench_with_input(BenchmarkId::new("native_rust", name), pkt, |b, p| {
             b.iter(|| run_filter(&filter, &p.bytes))
         });

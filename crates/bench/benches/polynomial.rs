@@ -17,7 +17,8 @@ fn bench_polynomial(c: &mut Criterion) {
         s.run(mlbox::programs::COMP_POLY).expect("compPoly");
         s.run(&format!("val thePoly = {poly}")).expect("poly");
         s.run("val specF = specPoly thePoly").expect("specF");
-        s.run("val stagedF = eval (compPoly thePoly)").expect("stagedF");
+        s.run("val stagedF = eval (compPoly thePoly)")
+            .expect("stagedF");
         s.run("val interpF = fn x => evalPoly (x, thePoly)")
             .expect("interpF");
 

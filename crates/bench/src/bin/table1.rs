@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! table1             # the Table 1 reproduction
+//! table1 --json      # the same rows as JSON, plus freeze-cache counters
 //! table1 sweep-poly  # polynomial-degree sweep (E6)
 //! table1 sweep-filter# filter-length sweep (E6)
 //! table1 crossover   # amortization break-even analysis (E6)
@@ -23,10 +24,16 @@ use mlbox_bpf::harness::FilterHarness;
 use mlbox_bpf::packet::PacketGen;
 
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "table1".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let mode = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "table1".into());
     let run = |name: &str| mode == name || mode == "all";
     if run("table1") {
-        table1();
+        table1(json);
     }
     if run("sweep-poly") {
         sweep_poly();
@@ -94,12 +101,17 @@ fn optimize_ablation() {
     let go = opt.specialize().expect("gen");
     let (_, sp) = plain.specialized(&telnet).expect("run");
     let (_, so) = opt.specialized(&telnet).expect("run");
-    println!("Telnet filter: plain gen {} / call {}; optimized gen {} / call {}\n", gp.steps, sp, go.steps, so);
+    println!(
+        "Telnet filter: plain gen {} / call {}; optimized gen {} / call {}\n",
+        gp.steps, sp, go.steps, so
+    );
 }
 
 /// The Table 1 reproduction: packet-filter rows measured through the BPF
-/// harness, polynomial rows via the §3.1 programs.
-fn table1() {
+/// harness, polynomial rows via the §3.1 programs. With `json`, the rows
+/// are emitted as a JSON object that additionally carries the harness
+/// session's freeze-cache counters.
+fn table1(json: bool) {
     let mut rows = Vec::new();
 
     // ---- Packet filter rows (E1) ----
@@ -142,13 +154,29 @@ fn table1() {
 
     // ---- Polynomial rows (E2, E3) ----
     let c = poly_costs("[2, 4, 0, 2333]", 47).expect("poly costs");
-    rows.push(Row::with_paper("evalPoly (47, polyl)", c.interp_per_call, 0, 807));
+    rows.push(Row::with_paper(
+        "evalPoly (47, polyl)",
+        c.interp_per_call,
+        0,
+        807,
+    ));
     rows.push(Row::with_paper("specPoly polyl", c.spec_build, 0, 443));
     rows.push(Row::with_paper("polylTarget 47", c.spec_per_call, 0, 175));
     rows.push(Row::with_paper("compPoly polyl", c.comp_build, 0, 553));
     rows.push(Row::with_paper("eval codeGenerator", c.generate, 0, 200));
     rows.push(Row::with_paper("mlPolyFun 47", c.staged_per_call, 0, 74));
 
+    if json {
+        println!(
+            "{}",
+            mlbox_bench::render_json(
+                "Table 1: Reduction steps on the CCAM for various functions in the text",
+                &rows,
+                &h.machine_stats(),
+            )
+        );
+        return;
+    }
     println!(
         "{}",
         render_table(
@@ -276,8 +304,10 @@ fn memo() {
     s.run(mlbox::programs::MEMO_POWER1).expect("memoPower1");
     let miss = s.eval_expr("memoPower1 16 2").expect("miss");
     let hit = s.eval_expr("memoPower1 16 2").expect("hit");
-    println!("memoPower1 16: miss {} steps ({} emitted), hit {} steps ({} emitted)",
-        miss.stats.steps, miss.stats.emitted, hit.stats.steps, hit.stats.emitted);
+    println!(
+        "memoPower1 16: miss {} steps ({} emitted), hit {} steps ({} emitted)",
+        miss.stats.steps, miss.stats.emitted, hit.stats.steps, hit.stats.emitted
+    );
 
     let mut s2 = mlbox::Session::new().expect("session");
     s2.run(mlbox::programs::MEMO_POWER2).expect("memoPower2");

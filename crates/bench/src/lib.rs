@@ -78,6 +78,44 @@ pub fn render_table(title: &str, rows: &[Row]) -> String {
     out
 }
 
+/// Renders the Table 1 rows plus the machine's freeze-cache counters as
+/// a JSON object (hand-rolled: the workspace carries no serialization
+/// dependency). `machine` should be the cumulative [`Stats`] of the
+/// session that produced the packet-filter rows, so `freezes` and
+/// `freeze_hits` describe how often generated code was actually copied
+/// out of an arena versus served from the cache.
+///
+/// [`Stats`]: ccam::machine::Stats
+pub fn render_json(title: &str, rows: &[Row], machine: &ccam::machine::Stats) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"title\": \"{}\",\n  \"rows\": [\n",
+        esc(title)
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        let paper = r
+            .paper
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "null".to_string());
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"steps\": {}, \"emitted\": {}, \"paper\": {}}}{}\n",
+            esc(&r.label),
+            r.steps,
+            r.emitted,
+            paper,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"freeze_cache\": {{\"freezes\": {}, \"freeze_hits\": {}, \"calls\": {}, \"steps\": {}}}\n}}",
+        machine.freezes, machine.freeze_hits, machine.calls, machine.steps
+    ));
+    out
+}
+
 /// A session preloaded with the paper's interpretive polynomial program
 /// (`evalPoly` and `polyl` — §3.1); the staging declarations are *not*
 /// yet run so their cost can be measured.
@@ -173,6 +211,26 @@ mod tests {
         assert!(t.contains("Computation"));
         assert!(t.contains("807"));
         assert!(t.contains('—'));
+    }
+
+    #[test]
+    fn json_rendering_includes_freeze_cache_counters() {
+        let rows = vec![
+            Row::with_paper("evalpf \"quoted\"", 10, 0, 9163),
+            Row::new("extra", 1, 2),
+        ];
+        let stats = ccam::machine::Stats {
+            freezes: 3,
+            freeze_hits: 7,
+            calls: 10,
+            steps: 123,
+            ..Default::default()
+        };
+        let j = render_json("Table 1", &rows, &stats);
+        assert!(j.contains("\"freezes\": 3"), "{j}");
+        assert!(j.contains("\"freeze_hits\": 7"), "{j}");
+        assert!(j.contains("\"paper\": null"), "{j}");
+        assert!(j.contains("evalpf \\\"quoted\\\""), "{j}");
     }
 
     #[test]

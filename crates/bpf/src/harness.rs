@@ -36,19 +36,14 @@ impl FilterHarness {
     ///
     /// Returns an error if the filter is statically invalid or any MLbox
     /// stage fails.
-    pub fn with_options(
-        filter: &[Insn],
-        options: SessionOptions,
-    ) -> Result<FilterHarness, Error> {
-        validate_filter(filter).map_err(|msg| {
-            Error::Static {
-                diag: mlbox_syntax::diag::Diagnostic::new(
-                    mlbox_syntax::diag::Phase::Elaborate,
-                    format!("invalid filter program: {msg}"),
-                    mlbox_syntax::span::Span::SYNTH,
-                ),
-                src: String::new(),
-            }
+    pub fn with_options(filter: &[Insn], options: SessionOptions) -> Result<FilterHarness, Error> {
+        validate_filter(filter).map_err(|msg| Error::Static {
+            diag: mlbox_syntax::diag::Diagnostic::new(
+                mlbox_syntax::diag::Phase::Elaborate,
+                format!("invalid filter program: {msg}"),
+                mlbox_syntax::span::Span::SYNTH,
+            ),
+            src: String::new(),
         })?;
         let mut session = Session::with_options(options)?;
         session.run(BPF_ML)?;
@@ -115,9 +110,9 @@ impl FilterHarness {
         if let Some(s) = self.memo_specialize_stats {
             return Ok(s);
         }
-        let outs = self
-            .session
-            .run("val pfmRaw = eval (mkMemoBev theFilter)\nval pfm = fn pkt => pfmRaw (0, 0, pkt)")?;
+        let outs = self.session.run(
+            "val pfmRaw = eval (mkMemoBev theFilter)\nval pfm = fn pkt => pfmRaw (0, 0, pkt)",
+        )?;
         let stats = outs.first().expect("one outcome").stats;
         self.memo_specialize_stats = Some(stats);
         Ok(stats)
@@ -133,6 +128,13 @@ impl FilterHarness {
         self.specialize_memo()?;
         let (v, stats) = self.session.call("pfm", packet_value(pkt))?;
         Ok((expect_int(&v)?, stats.steps))
+    }
+
+    /// Cumulative machine statistics for the whole session, including the
+    /// freeze-cache counters (`freezes`, `freeze_hits`). Combine with
+    /// [`Stats::delta_since`] to meter a window of calls.
+    pub fn machine_stats(&self) -> Stats {
+        self.session.stats()
     }
 
     /// Access to the underlying session (for custom measurements).
@@ -233,6 +235,25 @@ mod tests {
             let (v2, _) = h.specialized(&pkt).unwrap();
             assert_eq!(v2, 42);
         }
+    }
+
+    #[test]
+    fn specialized_runs_do_not_refreeze() {
+        // Specialization freezes the generated arena once; running the
+        // resulting closure afterwards is plain closure application and
+        // must not freeze (or re-copy) anything.
+        let filter = telnet_filter();
+        let mut h = FilterHarness::new(&filter).unwrap();
+        let mut g = PacketGen::new(24);
+        let pkt = g.workload(1, 0.5).remove(0);
+        h.specialized(&pkt).unwrap();
+        let before = h.machine_stats();
+        assert!(before.freezes > 0, "specialization must freeze");
+        for _ in 0..10 {
+            h.specialized(&pkt).unwrap();
+        }
+        let delta = h.machine_stats().delta_since(&before);
+        assert_eq!(delta.freezes, 0, "re-running must not re-freeze");
     }
 
     #[test]

@@ -106,7 +106,12 @@ mod tests {
     fn display_is_tcpdump_like() {
         assert_eq!(Insn::LdAbsH(12).to_string(), "ldh [12]");
         assert_eq!(
-            Insn::JeqK { k: 2048, jt: 0, jf: 8 }.to_string(),
+            Insn::JeqK {
+                k: 2048,
+                jt: 0,
+                jf: 8
+            }
+            .to_string(),
             "jeq #2048 jt 0 jf 8"
         );
     }

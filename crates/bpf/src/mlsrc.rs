@@ -272,7 +272,11 @@ mod tests {
     fn instruction_rendering() {
         assert_eq!(insn_to_ml(&Insn::RetK(0)), "RET_K 0");
         assert_eq!(
-            insn_to_ml(&Insn::JeqK { k: 2048, jt: 0, jf: 8 }),
+            insn_to_ml(&Insn::JeqK {
+                k: 2048,
+                jt: 0,
+                jf: 8
+            }),
             "JEQ (2048, 0, 8)"
         );
         assert_eq!(insn_to_ml(&Insn::RetK(-1)), "RET_K ~1");

@@ -15,7 +15,10 @@ pub fn run_filter(prog: &[Insn], pkt: &[u8]) -> i64 {
             return -1;
         };
         let ldb = |k: i64| -> Option<i64> {
-            usize::try_from(k).ok().and_then(|k| pkt.get(k)).map(|&b| b as i64)
+            usize::try_from(k)
+                .ok()
+                .and_then(|k| pkt.get(k))
+                .map(|&b| b as i64)
         };
         let ldh = |k: i64| -> Option<i64> {
             let hi = ldb(k)?;

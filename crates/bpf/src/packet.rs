@@ -201,10 +201,7 @@ mod tests {
         let p = g.telnet(10);
         // Ethernet 14 + IP 20 → TCP header; dst port at offset 36..38.
         assert_eq!(u16::from_be_bytes([p.bytes[36], p.bytes[37]]), 23);
-        assert_eq!(
-            u16::from_be_bytes([p.bytes[12], p.bytes[13]]),
-            ETHERTYPE_IP
-        );
+        assert_eq!(u16::from_be_bytes([p.bytes[12], p.bytes[13]]), ETHERTYPE_IP);
         assert_eq!(p.bytes[23], IPPROTO_TCP);
     }
 

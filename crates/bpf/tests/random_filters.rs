@@ -28,12 +28,7 @@ fn insn_strategy() -> impl Strategy<Value = Insn> {
 /// `ret` sentinels that every jump (offset < 3) stays in range.
 fn filter_strategy() -> impl Strategy<Value = Vec<Insn>> {
     proptest::collection::vec(insn_strategy(), 1..10).prop_map(|mut body| {
-        body.extend([
-            Insn::RetK(0),
-            Insn::RetK(1),
-            Insn::RetK(2),
-            Insn::RetA,
-        ]);
+        body.extend([Insn::RetK(0), Insn::RetK(1), Insn::RetK(2), Insn::RetA]);
         body
     })
 }

@@ -169,34 +169,70 @@ pub enum Instr {
     MergeRec(usize),
 }
 
+/// Number of distinct opcodes, for [`Instr::opcode`]-indexed tables.
+pub const OPCODE_COUNT: usize = 23;
+
+/// Mnemonics indexed by [`Instr::opcode`].
+pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
+    "id",
+    "fst",
+    "snd",
+    "push",
+    "swap",
+    "cons",
+    "app",
+    "quote",
+    "cur",
+    "emit",
+    "lift",
+    "arena",
+    "merge",
+    "call",
+    "branch",
+    "recclos",
+    "pack",
+    "switch",
+    "prim",
+    "fail",
+    "merge_branch",
+    "merge_switch",
+    "merge_rec",
+];
+
 impl Instr {
+    /// A dense opcode index in `0..OPCODE_COUNT` (operands elided), used
+    /// for per-opcode statistics tables.
+    pub fn opcode(&self) -> usize {
+        match self {
+            Instr::Id => 0,
+            Instr::Fst => 1,
+            Instr::Snd => 2,
+            Instr::Push => 3,
+            Instr::Swap => 4,
+            Instr::ConsPair => 5,
+            Instr::App => 6,
+            Instr::Quote(_) => 7,
+            Instr::Cur(_) => 8,
+            Instr::Emit(_) => 9,
+            Instr::LiftV => 10,
+            Instr::NewArena => 11,
+            Instr::Merge => 12,
+            Instr::Call => 13,
+            Instr::Branch(_, _) => 14,
+            Instr::RecClos(_) => 15,
+            Instr::Pack(_) => 16,
+            Instr::Switch(_) => 17,
+            Instr::Prim(_) => 18,
+            Instr::Fail(_) => 19,
+            Instr::MergeBranch => 20,
+            Instr::MergeSwitch(_) => 21,
+            Instr::MergeRec(_) => 22,
+        }
+    }
+
     /// A human-readable mnemonic (operands elided).
     pub fn mnemonic(&self) -> &'static str {
-        match self {
-            Instr::Id => "id",
-            Instr::Fst => "fst",
-            Instr::Snd => "snd",
-            Instr::Push => "push",
-            Instr::Swap => "swap",
-            Instr::ConsPair => "cons",
-            Instr::App => "app",
-            Instr::Quote(_) => "quote",
-            Instr::Cur(_) => "cur",
-            Instr::Emit(_) => "emit",
-            Instr::LiftV => "lift",
-            Instr::NewArena => "arena",
-            Instr::Merge => "merge",
-            Instr::Call => "call",
-            Instr::Branch(_, _) => "branch",
-            Instr::RecClos(_) => "recclos",
-            Instr::Pack(_) => "pack",
-            Instr::Switch(_) => "switch",
-            Instr::Prim(_) => "prim",
-            Instr::Fail(_) => "fail",
-            Instr::MergeBranch => "merge_branch",
-            Instr::MergeSwitch(_) => "merge_switch",
-            Instr::MergeRec(_) => "merge_rec",
-        }
+        OPCODE_NAMES[self.opcode()]
     }
 }
 

@@ -6,7 +6,7 @@
 //! semantics in O(1) per transfer. One executed instruction is one
 //! **reduction step** — the unit reported in the paper's Table 1.
 
-use crate::instr::{Code, Instr, PrimOp, SwitchArm, SwitchTable};
+use crate::instr::{Code, Instr, PrimOp, SwitchArm, SwitchTable, OPCODE_COUNT, OPCODE_NAMES};
 use crate::value::{Arena, Closure, RecGroup, Value};
 use std::cell::RefCell;
 use std::fmt;
@@ -65,10 +65,7 @@ impl fmt::Display for MachineError {
                 instr,
                 expected,
                 found,
-            } => write!(
-                f,
-                "`{instr}` expected {expected}, found {found}"
-            ),
+            } => write!(f, "`{instr}` expected {expected}, found {found}"),
             MachineError::DivideByZero => f.write_str("integer division by zero"),
             MachineError::IndexOutOfBounds { index, len } => {
                 write!(f, "array index {index} out of bounds for length {len}")
@@ -89,6 +86,30 @@ impl fmt::Display for MachineError {
 
 impl std::error::Error for MachineError {}
 
+/// SML `div`: floor division, rounding toward negative infinity
+/// (`~7 div 2 = ~4`), unlike Rust's truncating `/`. The divisor must be
+/// nonzero; `i64::MIN div -1` wraps like the other arithmetic primitives.
+pub fn floor_div(x: i64, y: i64) -> i64 {
+    let q = x.wrapping_div(y);
+    if x.wrapping_rem(y) != 0 && (x < 0) != (y < 0) {
+        q.wrapping_sub(1)
+    } else {
+        q
+    }
+}
+
+/// SML `mod`: the remainder matching [`floor_div`], taking the divisor's
+/// sign (`~7 mod 2 = 1`), unlike Rust's truncating `%`. The divisor must
+/// be nonzero.
+pub fn floor_mod(x: i64, y: i64) -> i64 {
+    let r = x.wrapping_rem(y);
+    if r != 0 && (r < 0) != (y < 0) {
+        r.wrapping_add(y)
+    } else {
+        r
+    }
+}
+
 /// Execution statistics, the paper's measurement surface.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Stats {
@@ -101,8 +122,69 @@ pub struct Stats {
     pub arenas: u64,
     /// `call` transfers into generated code.
     pub calls: u64,
+    /// Arena freezes that materialized code (cache misses). Each miss
+    /// copies — and, under `set_optimize`, re-optimizes — the arena.
+    pub freezes: u64,
+    /// Arena freezes served from the cached snapshot.
+    pub freeze_hits: u64,
     /// High-water mark of the value stack.
     pub max_stack: usize,
+    /// Per-opcode executed-step counts, when enabled by
+    /// [`Machine::set_count_opcodes`].
+    pub opcodes: Option<OpcodeCounts>,
+}
+
+impl Stats {
+    /// The change since an earlier snapshot of the same machine's stats
+    /// (`max_stack` is a high-water mark, not a delta, and is carried
+    /// over; per-opcode counts are differenced when both ends have them).
+    #[must_use]
+    pub fn delta_since(&self, before: &Stats) -> Stats {
+        Stats {
+            steps: self.steps - before.steps,
+            emitted: self.emitted - before.emitted,
+            arenas: self.arenas - before.arenas,
+            calls: self.calls - before.calls,
+            freezes: self.freezes - before.freezes,
+            freeze_hits: self.freeze_hits - before.freeze_hits,
+            max_stack: self.max_stack,
+            opcodes: match (&self.opcodes, &before.opcodes) {
+                (Some(after), Some(before)) => Some(after.delta_since(before)),
+                (after, _) => *after,
+            },
+        }
+    }
+}
+
+/// Executed-step counts per opcode, indexed by [`Instr::opcode`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpcodeCounts(pub [u64; OPCODE_COUNT]);
+
+impl OpcodeCounts {
+    /// The count for one mnemonic (0 for unknown mnemonics).
+    pub fn get(&self, mnemonic: &str) -> u64 {
+        OPCODE_NAMES
+            .iter()
+            .position(|&n| n == mnemonic)
+            .map_or(0, |i| self.0[i])
+    }
+
+    /// `(mnemonic, count)` pairs for every opcode with a nonzero count.
+    pub fn nonzero(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        OPCODE_NAMES
+            .iter()
+            .zip(self.0.iter())
+            .filter(|(_, &c)| c > 0)
+            .map(|(&n, &c)| (n, c))
+    }
+
+    fn delta_since(&self, before: &OpcodeCounts) -> OpcodeCounts {
+        let mut out = [0u64; OPCODE_COUNT];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.0[i] - before.0[i];
+        }
+        OpcodeCounts(out)
+    }
 }
 
 /// One control-stack frame: a code sequence plus the next instruction
@@ -142,6 +224,9 @@ pub struct Machine {
     control: Vec<Frame>,
     stats: Stats,
     fuel: Option<u64>,
+    /// `stats.steps` at the start of the current `run`, so the fuel
+    /// budget applies per run, not to the machine's lifetime total.
+    fuel_base: u64,
     output: String,
     trace: Option<Trace>,
     optimize: bool,
@@ -171,6 +256,7 @@ impl Machine {
             control: Vec::new(),
             stats: Stats::default(),
             fuel: None,
+            fuel_base: 0,
             output: String::new(),
             trace: None,
             optimize: false,
@@ -199,14 +285,22 @@ impl Machine {
         self.optimize
     }
 
-    /// Freezes an arena, applying the optimizer when enabled.
-    fn freeze(&self, arena: &Arena) -> Code {
-        let code = arena.freeze();
-        if self.optimize {
-            Rc::new(crate::opt::peephole(&code))
+    /// Freezes an arena, applying the optimizer when enabled. Served from
+    /// the arena's snapshot cache whenever the arena has not grown since
+    /// the previous freeze of the same flavor, so specialize-once /
+    /// run-many programs pay for copying and optimization once.
+    fn freeze(&mut self, arena: &Arena) -> Code {
+        let (code, hit) = if self.optimize {
+            arena.freeze_via(true, crate::opt::peephole)
         } else {
-            code
+            arena.freeze_via(false, |instrs| instrs.to_vec())
+        };
+        if hit {
+            self.stats.freeze_hits += 1;
+        } else {
+            self.stats.freezes += 1;
         }
+        code
     }
 
     /// Records the mnemonics of the first `limit` executed instructions
@@ -228,9 +322,21 @@ impl Machine {
         self.stats
     }
 
-    /// Clears accumulated statistics (the output buffer is kept).
+    /// Enables or disables per-opcode step counting (surfaced through
+    /// [`Stats::opcodes`]). Enabling zeroes any previous counts.
+    pub fn set_count_opcodes(&mut self, on: bool) {
+        self.stats.opcodes = on.then(OpcodeCounts::default);
+    }
+
+    /// Clears accumulated statistics (the output buffer is kept; opcode
+    /// counting stays enabled if it was).
     pub fn reset_stats(&mut self) {
-        self.stats = Stats::default();
+        let opcodes = self.stats.opcodes.map(|_| OpcodeCounts::default());
+        self.stats = Stats {
+            opcodes,
+            ..Stats::default()
+        };
+        self.fuel_base = 0;
     }
 
     /// Everything printed by `print` so far.
@@ -255,6 +361,7 @@ impl Machine {
         self.control.clear();
         self.stack.push(input);
         self.control.push(Frame { code, pc: 0 });
+        self.fuel_base = self.stats.steps;
         let result = self.steps_loop();
         if result.is_err() {
             self.stack.clear();
@@ -265,24 +372,27 @@ impl Machine {
 
     fn steps_loop(&mut self) -> Result<Value, MachineError> {
         loop {
-            // Fetch.
-            let instr = loop {
+            // Fetch: keep the current frame's code alive (an Rc bump, not
+            // an instruction copy) and dispatch on a borrowed instruction.
+            let (code, pc) = loop {
                 match self.control.last_mut() {
                     None => {
-                        return self.stack.pop().ok_or(MachineError::StackUnderflow {
-                            instr: "halt",
-                        });
+                        return self
+                            .stack
+                            .pop()
+                            .ok_or(MachineError::StackUnderflow { instr: "halt" });
                     }
                     Some(frame) => {
                         if frame.pc < frame.code.len() {
-                            let i = frame.code[frame.pc].clone();
+                            let pc = frame.pc;
                             frame.pc += 1;
-                            break i;
+                            break (frame.code.clone(), pc);
                         }
                         self.control.pop();
                     }
                 }
             };
+            let instr = &code[pc];
             // Account.
             if let Some(trace) = &mut self.trace {
                 if trace.mnemonics.len() < trace.limit {
@@ -290,8 +400,11 @@ impl Machine {
                 }
             }
             self.stats.steps += 1;
+            if let Some(counts) = &mut self.stats.opcodes {
+                counts.0[instr.opcode()] += 1;
+            }
             if let Some(fuel) = self.fuel {
-                if self.stats.steps > fuel {
+                if self.stats.steps - self.fuel_base > fuel {
                     return Err(MachineError::OutOfFuel { fuel });
                 }
             }
@@ -334,10 +447,7 @@ impl Machine {
     }
 
     /// Destructures `(v, arena)` from the top of stack, leaving nothing.
-    fn pop_gen_state(
-        &mut self,
-        instr: &'static str,
-    ) -> Result<(Value, Rc<Arena>), MachineError> {
+    fn pop_gen_state(&mut self, instr: &'static str) -> Result<(Value, Rc<Arena>), MachineError> {
         let (v, a) = self.pop_pair(instr)?;
         match a {
             Value::Arena(a) => Ok((v, a)),
@@ -345,7 +455,7 @@ impl Machine {
         }
     }
 
-    fn execute(&mut self, instr: Instr) -> Result<(), MachineError> {
+    fn execute(&mut self, instr: &Instr) -> Result<(), MachineError> {
         match instr {
             Instr::Id => {}
             Instr::Fst => {
@@ -375,16 +485,18 @@ impl Machine {
             Instr::App => self.apply()?,
             Instr::Quote(v) => {
                 let _ = self.pop("quote")?;
-                self.stack.push(v);
+                self.stack.push(v.clone());
             }
             Instr::Cur(code) => {
                 let env = self.pop("cur")?;
-                self.stack
-                    .push(Value::Closure(Rc::new(Closure { env, body: code })));
+                self.stack.push(Value::Closure(Rc::new(Closure {
+                    env,
+                    body: code.clone(),
+                })));
             }
             Instr::Emit(i) => {
                 let (v, arena) = self.pop_gen_state("emit")?;
-                arena.push((*i).clone());
+                arena.push((**i).clone());
                 self.stats.emitted += 1;
                 self.stack.push(Value::pair(v, Value::Arena(arena)));
             }
@@ -416,11 +528,7 @@ impl Machine {
                         }
                     },
                     other => {
-                        return Err(Self::mismatch(
-                            "merge",
-                            "(arena, (value, arena))",
-                            &other,
-                        ))
+                        return Err(Self::mismatch("merge", "(arena, (value, arena))", &other))
                     }
                 };
                 let body = self.freeze(&inner);
@@ -442,7 +550,7 @@ impl Machine {
                 };
                 self.stack.push(env);
                 self.control.push(Frame {
-                    code: if b { then_c } else { else_c },
+                    code: if b { then_c.clone() } else { else_c.clone() },
                     pc: 0,
                 });
             }
@@ -466,7 +574,7 @@ impl Machine {
             }
             Instr::Pack(tag) => {
                 let v = self.pop("pack")?;
-                self.stack.push(Value::Con(tag, Some(Rc::new(v))));
+                self.stack.push(Value::Con(*tag, Some(Rc::new(v))));
             }
             Instr::Switch(table) => {
                 let (env, scrut) = self.pop_pair("switch")?;
@@ -477,9 +585,7 @@ impl Machine {
                 match arm {
                     Some(SwitchArm { bind, code, .. }) => {
                         if *bind {
-                            let payload = payload
-                                .map(|p| (*p).clone())
-                                .unwrap_or(Value::Unit);
+                            let payload = payload.map(|p| (*p).clone()).unwrap_or(Value::Unit);
                             self.stack.push(Value::pair(env, payload));
                         } else {
                             self.stack.push(env);
@@ -501,7 +607,7 @@ impl Machine {
                     },
                 }
             }
-            Instr::Prim(op) => self.prim(op)?,
+            Instr::Prim(op) => self.prim(*op)?,
             Instr::Fail(msg) => return Err(MachineError::Fail(msg.to_string())),
             Instr::MergeBranch => {
                 // (((v,{P}), {A_then}), {A_else})
@@ -510,12 +616,21 @@ impl Machine {
                     return Err(Self::mismatch("merge_branch", "nested arenas", &rest));
                 };
                 let (gen_state, then_a) = (rest.0.clone(), rest.1.clone());
-                let (Value::Arena(then_a), Value::Arena(else_a)) = (then_a, else_a) else {
-                    return Err(MachineError::TypeMismatch {
-                        instr: "merge_branch",
-                        expected: "two arenas above the generation state",
-                        found: gen_state.to_string(),
-                    });
+                // Name the operand that is actually wrong, not the
+                // (usually well-formed) generation state beneath it.
+                let Value::Arena(then_a) = then_a else {
+                    return Err(Self::mismatch(
+                        "merge_branch",
+                        "an arena for the then-branch",
+                        &then_a,
+                    ));
+                };
+                let Value::Arena(else_a) = else_a else {
+                    return Err(Self::mismatch(
+                        "merge_branch",
+                        "an arena for the else-branch",
+                        &else_a,
+                    ));
                 };
                 let Value::Pair(gp) = gen_state else {
                     return Err(Self::mismatch("merge_branch", "(value, arena)", &gen_state));
@@ -573,9 +688,9 @@ impl Machine {
                 self.stack.push(Value::pair(v, Value::Arena(outer)));
             }
             Instr::MergeRec(n) => {
-                let mut bodies_rev = Vec::with_capacity(n);
+                let mut bodies_rev = Vec::with_capacity(*n);
                 let mut cur = self.pop("merge_rec")?;
-                for _ in 0..n {
+                for _ in 0..*n {
                     let Value::Pair(p) = cur else {
                         return Err(Self::mismatch("merge_rec", "stacked arenas", &cur));
                     };
@@ -690,20 +805,20 @@ impl Machine {
                         if *y == 0 {
                             return Err(MachineError::DivideByZero);
                         }
-                        Value::Int(x.wrapping_div(*y))
+                        Value::Int(floor_div(*x, *y))
                     }
                     (Mod, Value::Int(x), Value::Int(y)) => {
                         if *y == 0 {
                             return Err(MachineError::DivideByZero);
                         }
-                        Value::Int(x.wrapping_rem(*y))
+                        Value::Int(floor_mod(*x, *y))
                     }
-                    (Eq, a, b) => Value::Bool(
-                        a.structural_eq(b).ok_or(MachineError::EqualityUndefined)?,
-                    ),
-                    (Ne, a, b) => Value::Bool(
-                        !a.structural_eq(b).ok_or(MachineError::EqualityUndefined)?,
-                    ),
+                    (Eq, a, b) => {
+                        Value::Bool(a.structural_eq(b).ok_or(MachineError::EqualityUndefined)?)
+                    }
+                    (Ne, a, b) => {
+                        Value::Bool(!a.structural_eq(b).ok_or(MachineError::EqualityUndefined)?)
+                    }
                     (Lt, Value::Int(x), Value::Int(y)) => Value::Bool(x < y),
                     (Le, Value::Int(x), Value::Int(y)) => Value::Bool(x <= y),
                     (Gt, Value::Int(x), Value::Int(y)) => Value::Bool(x > y),
@@ -723,9 +838,8 @@ impl Machine {
                         Value::Unit
                     }
                     (MkArray, Value::Int(n), init) => {
-                        let len = usize::try_from(*n).map_err(|_| {
-                            MachineError::IndexOutOfBounds { index: *n, len: 0 }
-                        })?;
+                        let len = usize::try_from(*n)
+                            .map_err(|_| MachineError::IndexOutOfBounds { index: *n, len: 0 })?;
                         Value::Array(Rc::new(RefCell::new(vec![init.clone(); len])))
                     }
                     (ArrSub, Value::Array(arr), Value::Int(i)) => {
@@ -929,7 +1043,7 @@ mod tests {
                     Instr::Quote(Value::Int(0)),
                     Instr::Swap,
                     Instr::ConsPair,
-                    Instr::Snd, // n-1
+                    Instr::Snd,      // n-1
                     Instr::ConsPair, // (f, n-1)
                     Instr::App,
                 ]),
@@ -1031,8 +1145,184 @@ mod tests {
             Instr::ConsPair,
             Instr::App,
         ]);
-        let err = Machine::with_fuel(10_000).run(prog, Value::Unit).unwrap_err();
+        let err = Machine::with_fuel(10_000)
+            .run(prog, Value::Unit)
+            .unwrap_err();
         assert!(matches!(err, MachineError::OutOfFuel { .. }));
+    }
+
+    #[test]
+    fn fuel_budget_is_per_run() {
+        // 4 steps per run; 5 runs under an 8-step budget must all succeed
+        // even though lifetime steps (20) exceed the budget.
+        let mut m = Machine::with_fuel(8);
+        let prog = code(vec![
+            Instr::Push,
+            Instr::Quote(Value::Int(1)),
+            Instr::ConsPair,
+            Instr::Prim(PrimOp::Add),
+        ]);
+        for _ in 0..5 {
+            let out = m.run(prog.clone(), Value::Int(1)).unwrap();
+            assert!(matches!(out, Value::Int(2)));
+        }
+        assert_eq!(m.stats().steps, 20);
+    }
+
+    #[test]
+    fn division_primitives_floor_toward_negative_infinity() {
+        // SML: ~7 div 2 = ~4, ~7 mod 2 = 1; mod takes the divisor's sign.
+        let run_op = |op, x, y| {
+            Machine::new()
+                .run(
+                    code(vec![Instr::Prim(op)]),
+                    Value::pair(Value::Int(x), Value::Int(y)),
+                )
+                .unwrap()
+        };
+        assert!(matches!(run_op(PrimOp::Div, -7, 2), Value::Int(-4)));
+        assert!(matches!(run_op(PrimOp::Mod, -7, 2), Value::Int(1)));
+        assert!(matches!(run_op(PrimOp::Div, 7, -2), Value::Int(-4)));
+        assert!(matches!(run_op(PrimOp::Mod, 7, -2), Value::Int(-1)));
+        assert!(matches!(run_op(PrimOp::Div, -7, -2), Value::Int(3)));
+        assert!(matches!(run_op(PrimOp::Mod, -7, -2), Value::Int(-1)));
+    }
+
+    #[test]
+    fn floor_helpers_satisfy_the_division_identity() {
+        let cases = [
+            (7, 2),
+            (-7, 2),
+            (7, -2),
+            (-7, -2),
+            (6, 3),
+            (-6, 3),
+            (0, 5),
+            (i64::MAX, 7),
+            (i64::MIN + 1, 7),
+        ];
+        for (x, y) in cases {
+            let (q, r) = (floor_div(x, y), floor_mod(x, y));
+            assert_eq!(y.wrapping_mul(q).wrapping_add(r), x, "x={x} y={y}");
+            assert!(r == 0 || (r < 0) == (y < 0), "mod sign follows divisor");
+        }
+        // The one wrapping case, consistent with the other primitives.
+        assert_eq!(floor_div(i64::MIN, -1), i64::MIN);
+        assert_eq!(floor_mod(i64::MIN, -1), 0);
+    }
+
+    #[test]
+    fn merge_branch_reports_the_offending_operand() {
+        // ((((), {P}), 42), 43): the then/else slots hold ints, not arenas.
+        let gen = Value::pair(Value::Unit, Value::Arena(Arena::new()));
+        let bad = Value::pair(Value::pair(gen, Value::Int(42)), Value::Int(43));
+        let err = Machine::new()
+            .run(code(vec![Instr::MergeBranch]), bad)
+            .unwrap_err();
+        let MachineError::TypeMismatch {
+            expected, found, ..
+        } = err
+        else {
+            panic!("unexpected: {err:?}")
+        };
+        assert!(found.contains("42"), "names the bad operand, got {found:?}");
+        assert!(
+            expected.contains("then"),
+            "says which slot, got {expected:?}"
+        );
+    }
+
+    #[test]
+    fn repeated_calls_hit_the_freeze_cache() {
+        let a = Arena::new();
+        a.push(Instr::Quote(Value::Int(9)));
+        let gen = Value::pair(Value::Unit, Value::Arena(a));
+        let mut m = Machine::new();
+        let out = m
+            .run(
+                code(vec![
+                    Instr::Quote(gen.clone()),
+                    Instr::Call,
+                    Instr::Quote(gen.clone()),
+                    Instr::Call,
+                    Instr::Quote(gen),
+                    Instr::Call,
+                ]),
+                Value::Unit,
+            )
+            .unwrap();
+        assert!(matches!(out, Value::Int(9)));
+        let stats = m.stats();
+        assert_eq!(stats.calls, 3);
+        assert_eq!(stats.freezes, 1, "only the first call materializes code");
+        assert_eq!(stats.freeze_hits, 2);
+    }
+
+    #[test]
+    fn growth_between_calls_invalidates_the_freeze_cache() {
+        let a = Arena::new();
+        a.push(Instr::Quote(Value::Int(1)));
+        let gen = Value::pair(Value::Unit, Value::Arena(a.clone()));
+        let mut m = Machine::new();
+        let out = m
+            .run(
+                code(vec![Instr::Quote(gen.clone()), Instr::Call]),
+                Value::Unit,
+            )
+            .unwrap();
+        assert!(matches!(out, Value::Int(1)));
+        // The generator emits one more instruction; the next call must
+        // execute the extended code, not the cached snapshot.
+        a.push(Instr::Quote(Value::Int(2)));
+        let out = m
+            .run(code(vec![Instr::Quote(gen), Instr::Call]), Value::Unit)
+            .unwrap();
+        assert!(matches!(out, Value::Int(2)));
+        let stats = m.stats();
+        assert_eq!(stats.freezes, 2);
+        assert_eq!(stats.freeze_hits, 0);
+    }
+
+    #[test]
+    fn opcode_counts_are_optional_and_accurate() {
+        let mut m = Machine::new();
+        assert!(m.stats().opcodes.is_none(), "off by default");
+        m.set_count_opcodes(true);
+        m.run(
+            code(vec![
+                Instr::Push,
+                Instr::Quote(Value::Int(1)),
+                Instr::ConsPair,
+            ]),
+            Value::Unit,
+        )
+        .unwrap();
+        let stats = m.stats();
+        let counts = stats.opcodes.unwrap();
+        assert_eq!(counts.get("push"), 1);
+        assert_eq!(counts.get("quote"), 1);
+        assert_eq!(counts.get("cons"), 1);
+        assert_eq!(counts.get("app"), 0);
+        assert_eq!(counts.nonzero().map(|(_, c)| c).sum::<u64>(), stats.steps);
+        m.reset_stats();
+        assert_eq!(m.stats().steps, 0);
+        assert!(m.stats().opcodes.is_some(), "counting survives reset");
+    }
+
+    #[test]
+    fn stats_delta_since_subtracts_counters() {
+        let mut m = Machine::new();
+        let prog = code(vec![
+            Instr::Push,
+            Instr::Quote(Value::Int(1)),
+            Instr::ConsPair,
+        ]);
+        m.run(prog.clone(), Value::Unit).unwrap();
+        let before = m.stats();
+        m.run(prog, Value::Unit).unwrap();
+        let delta = m.stats().delta_since(&before);
+        assert_eq!(delta.steps, 3);
+        assert_eq!(delta.emitted, 0);
     }
 
     #[test]
@@ -1109,7 +1399,10 @@ mod tests {
                 Value::Unit,
             )
             .unwrap_err();
-        assert!(matches!(err, MachineError::IndexOutOfBounds { index: 5, len: 2 }));
+        assert!(matches!(
+            err,
+            MachineError::IndexOutOfBounds { index: 5, len: 2 }
+        ));
     }
 
     #[test]
@@ -1151,7 +1444,11 @@ mod tests {
         let mut m = Machine::new();
         m.set_trace(2);
         m.run(
-            code(vec![Instr::Push, Instr::Quote(Value::Int(1)), Instr::ConsPair]),
+            code(vec![
+                Instr::Push,
+                Instr::Quote(Value::Int(1)),
+                Instr::ConsPair,
+            ]),
             Value::Unit,
         )
         .unwrap();

@@ -29,11 +29,14 @@ use std::rc::Rc;
 pub fn peephole(code: &[Instr]) -> Vec<Instr> {
     let mut cur: Vec<Instr> = code.iter().map(optimize_nested).collect();
     for _ in 0..4 {
-        let next = pass(&cur);
-        if next.len() == cur.len() {
+        // A pass can rewrite without shrinking (e.g. constant-folding a
+        // chosen branch arm of the same length), so convergence is
+        // detected by an explicit change flag, not by length.
+        let (next, changed) = pass(&cur);
+        cur = next;
+        if !changed {
             break;
         }
-        cur = next;
     }
     cur
 }
@@ -127,6 +130,14 @@ fn fold_binop(op: PrimOp, a: &Value, b: &Value) -> Option<Value> {
         (PrimOp::Add, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_add(*y)),
         (PrimOp::Sub, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_sub(*y)),
         (PrimOp::Mul, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_mul(*y)),
+        // SML floor semantics, matching the machine's Div/Mod. A zero
+        // divisor is left for the runtime trap.
+        (PrimOp::Div, Value::Int(x), Value::Int(y)) if *y != 0 => {
+            Value::Int(crate::machine::floor_div(*x, *y))
+        }
+        (PrimOp::Mod, Value::Int(x), Value::Int(y)) if *y != 0 => {
+            Value::Int(crate::machine::floor_mod(*x, *y))
+        }
         (PrimOp::BitAnd, Value::Int(x), Value::Int(y)) => Value::Int(x & y),
         (PrimOp::Lt, Value::Int(x), Value::Int(y)) => Value::Bool(x < y),
         (PrimOp::Le, Value::Int(x), Value::Int(y)) => Value::Bool(x <= y),
@@ -156,6 +167,7 @@ fn right_identity(op: PrimOp, k: &Value) -> Identity {
         (PrimOp::Add, Value::Int(0)) => Identity::Pass,
         (PrimOp::Sub, Value::Int(0)) => Identity::Pass,
         (PrimOp::Mul, Value::Int(1)) => Identity::Pass,
+        (PrimOp::Div, Value::Int(1)) => Identity::Pass,
         (PrimOp::Mul, Value::Int(0)) => Identity::Absorb(Value::Int(0)),
         _ => Identity::No,
     }
@@ -170,8 +182,9 @@ enum Identity {
     No,
 }
 
-fn pass(code: &[Instr]) -> Vec<Instr> {
+fn pass(code: &[Instr]) -> (Vec<Instr>, bool) {
     let mut out: Vec<Instr> = Vec::with_capacity(code.len());
+    let mut changed = false;
     let mut i = 0;
     'outer: while i < code.len() {
         // Window: push; <A>; swap; <B>; cons; prim op
@@ -185,6 +198,7 @@ fn pass(code: &[Instr]) -> Vec<Instr> {
                     if let (Some(a), Some(b)) = (a_const, b_const) {
                         if let Some(v) = fold_binop(op, a, b) {
                             out.push(Instr::Quote(v));
+                            changed = true;
                             i = cons_idx + 2;
                             continue 'outer;
                         }
@@ -194,11 +208,13 @@ fn pass(code: &[Instr]) -> Vec<Instr> {
                         match left_identity(op, k) {
                             Identity::Pass => {
                                 out.extend(b_code.iter().cloned());
+                                changed = true;
                                 i = cons_idx + 2;
                                 continue 'outer;
                             }
                             Identity::Absorb(v) if all_pure(b_code) => {
                                 out.push(Instr::Quote(v));
+                                changed = true;
                                 i = cons_idx + 2;
                                 continue 'outer;
                             }
@@ -210,11 +226,13 @@ fn pass(code: &[Instr]) -> Vec<Instr> {
                         match right_identity(op, k) {
                             Identity::Pass => {
                                 out.extend(a_code.iter().cloned());
+                                changed = true;
                                 i = cons_idx + 2;
                                 continue 'outer;
                             }
                             Identity::Absorb(v) if all_pure(a_code) => {
                                 out.push(Instr::Quote(v));
+                                changed = true;
                                 i = cons_idx + 2;
                                 continue 'outer;
                             }
@@ -234,6 +252,7 @@ fn pass(code: &[Instr]) -> Vec<Instr> {
                 };
                 if let Some(v) = folded {
                     out.push(Instr::Quote(v));
+                    changed = true;
                     i += 2;
                     continue 'outer;
                 }
@@ -250,6 +269,7 @@ fn pass(code: &[Instr]) -> Vec<Instr> {
                 if let Some(Instr::Branch(t, e)) = code.get(i + 3) {
                     let chosen = if *b { t } else { e };
                     out.extend(chosen.iter().cloned());
+                    changed = true;
                     i += 4;
                     continue 'outer;
                 }
@@ -257,13 +277,14 @@ fn pass(code: &[Instr]) -> Vec<Instr> {
         }
         // Dead id.
         if matches!(code[i], Instr::Id) && code.len() > 1 {
+            changed = true;
             i += 1;
             continue 'outer;
         }
         out.push(code[i].clone());
         i += 1;
     }
-    out
+    (out, changed)
 }
 
 /// For `code[push_idx] = push`, recovers the `A` and `B` operand slices of
@@ -396,6 +417,69 @@ mod tests {
         ];
         let opt = peephole(&code);
         assert!(matches!(&opt[..], [Instr::Quote(Value::Int(1))]));
+    }
+
+    #[test]
+    fn same_length_rewrite_still_reaches_fixpoint() {
+        // Folding this constant branch replaces 4 instructions
+        // (push; quote; cons; branch) with a 4-instruction arm, so the
+        // length does not shrink on that pass; the arm must still be
+        // folded by the next pass rather than the rewrite being discarded.
+        let arm: Vec<Instr> = vec![
+            Instr::Quote(Value::Int(1)),
+            Instr::Prim(PrimOp::Neg),
+            Instr::Quote(Value::Int(2)),
+            Instr::Prim(PrimOp::Neg),
+        ];
+        let code = vec![
+            Instr::Push,
+            Instr::Quote(Value::Bool(true)),
+            Instr::ConsPair,
+            Instr::Branch(Rc::new(arm), Rc::new(vec![Instr::Fail("else".into())])),
+        ];
+        let opt = peephole(&code);
+        assert!(
+            !opt.iter().any(|i| matches!(i, Instr::Branch(_, _))),
+            "branch folded: {opt:?}"
+        );
+        assert!(
+            matches!(
+                &opt[..],
+                [Instr::Quote(Value::Int(-1)), Instr::Quote(Value::Int(-2))]
+            ),
+            "arm folded on the following pass: {opt:?}"
+        );
+    }
+
+    #[test]
+    fn div_and_mod_constants_fold_with_floor_semantics() {
+        for (op, want) in [(PrimOp::Div, -4), (PrimOp::Mod, 1)] {
+            let mut code = pair(
+                vec![Instr::Quote(Value::Int(-7))],
+                vec![Instr::Quote(Value::Int(2))],
+            );
+            code.push(Instr::Prim(op));
+            let opt = peephole(&code);
+            assert!(
+                matches!(&opt[..], [Instr::Quote(Value::Int(n))] if *n == want),
+                "{op:?}: {opt:?}"
+            );
+        }
+        // A zero divisor is left for the runtime trap.
+        let mut code = pair(
+            vec![Instr::Quote(Value::Int(1))],
+            vec![Instr::Quote(Value::Int(0))],
+        );
+        code.push(Instr::Prim(PrimOp::Div));
+        assert_eq!(peephole(&code).len(), code.len(), "not folded");
+    }
+
+    #[test]
+    fn div_by_one_eliminates() {
+        let mut code = pair(vec![Instr::Snd], vec![Instr::Quote(Value::Int(1))]);
+        code.push(Instr::Prim(PrimOp::Div));
+        let opt = peephole(&code);
+        assert!(matches!(&opt[..], [Instr::Snd]), "{opt:?}");
     }
 
     #[test]

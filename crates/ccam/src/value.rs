@@ -35,9 +35,17 @@ pub struct Closure {
 /// executable [`Code`] by `call` and `merge`. The implementation shares
 /// arenas by reference ([`Rc`]); the compiler threads each arena linearly,
 /// so the sharing is unobservable.
+///
+/// Freezing is cached: the arena remembers the last frozen snapshot (one
+/// slot for the plain contents, one for the optimized rendering) together
+/// with the arena length it covered. Instructions are only ever appended,
+/// so a length match proves the cached code is still the current contents,
+/// and re-freezing a finished generator returns the same [`Code`] without
+/// copying or re-optimizing.
 #[derive(Debug, Default)]
 pub struct Arena {
     instrs: RefCell<Vec<Instr>>,
+    cache: RefCell<[Option<(usize, Code)>; 2]>,
 }
 
 impl Arena {
@@ -46,7 +54,9 @@ impl Arena {
         Rc::new(Arena::default())
     }
 
-    /// Appends one instruction.
+    /// Appends one instruction. Cached freezes of shorter contents stay
+    /// valid as snapshots and are invalidated here only in the sense that
+    /// the next freeze sees a longer arena and rebuilds.
     pub fn push(&self, i: Instr) {
         self.instrs.borrow_mut().push(i);
     }
@@ -64,7 +74,27 @@ impl Arena {
     /// Freezes the current contents into executable code (the arena may
     /// continue to grow afterwards; the frozen code is a snapshot).
     pub fn freeze(&self) -> Code {
-        Rc::new(self.instrs.borrow().clone())
+        self.freeze_via(false, |instrs| instrs.to_vec()).0
+    }
+
+    /// Freezes through the cache slot picked by `optimized`, building the
+    /// instruction vector with `build` on a miss. Returns the code and
+    /// whether it was served from the cache.
+    pub fn freeze_via(
+        &self,
+        optimized: bool,
+        build: impl FnOnce(&[Instr]) -> Vec<Instr>,
+    ) -> (Code, bool) {
+        let slot = usize::from(optimized);
+        let len = self.instrs.borrow().len();
+        if let Some((cached_len, code)) = &self.cache.borrow()[slot] {
+            if *cached_len == len {
+                return (code.clone(), true);
+            }
+        }
+        let code = Rc::new(build(&self.instrs.borrow()));
+        self.cache.borrow_mut()[slot] = Some((len, code.clone()));
+        (code, false)
     }
 }
 
@@ -225,6 +255,25 @@ mod tests {
         a.push(Instr::Id);
         assert_eq!(a.len(), 3);
         assert_eq!(code.len(), 2, "frozen snapshot is immutable");
+    }
+
+    #[test]
+    fn freeze_is_cached_until_growth() {
+        let a = Arena::new();
+        a.push(Instr::Fst);
+        let c1 = a.freeze();
+        let c2 = a.freeze();
+        assert!(Rc::ptr_eq(&c1, &c2), "repeated freeze reuses the snapshot");
+        a.push(Instr::Snd);
+        let c3 = a.freeze();
+        assert!(!Rc::ptr_eq(&c1, &c3), "growth invalidates the cache");
+        assert_eq!(c3.len(), 2);
+        // The optimized slot is cached independently of the plain one.
+        let (o1, hit1) = a.freeze_via(true, |i| i.to_vec());
+        let (o2, hit2) = a.freeze_via(true, |i| i.to_vec());
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Rc::ptr_eq(&o1, &o2));
     }
 
     #[test]

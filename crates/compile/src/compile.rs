@@ -153,7 +153,11 @@ fn expr_into(e: &CExprS, ctx: &Ctx, out: &mut Vec<Instr>) -> Result<()> {
             out.push(Instr::Cur(rc(compile_expr(body, &inner)?)));
         }
         CExpr::App(f, a) => {
-            pair_into(|out| expr_into(f, ctx, out), |out| expr_into(a, ctx, out), out)?;
+            pair_into(
+                |out| expr_into(f, ctx, out),
+                |out| expr_into(a, ctx, out),
+                out,
+            )?;
             out.push(Instr::App);
         }
         CExpr::Prim(p, args) => {
@@ -442,7 +446,11 @@ fn gen_into(e: &CExprS, ctx: &Ctx, out: &mut Vec<Instr>) -> Result<()> {
             out.push(Instr::Merge); // (lenv, A@Cur(B))
         }
         CExpr::App(f, a) => {
-            gen_pair_into(|out| gen_into(f, ctx, out), |out| gen_into(a, ctx, out), out)?;
+            gen_pair_into(
+                |out| gen_into(f, ctx, out),
+                |out| gen_into(a, ctx, out),
+                out,
+            )?;
             emit(Instr::App, out);
         }
         CExpr::Prim(p, args) => {
@@ -624,7 +632,11 @@ pub fn compile_decl(d: &CoreDecl, ctx: &Ctx) -> Result<(Vec<Instr>, Ctx, DeclEff
             let mut code = vec![Instr::Push];
             expr_into(e, ctx, &mut code)?;
             code.push(Instr::ConsPair);
-            Ok((code, ctx.bind_early(n.clone(), Kind::Val), DeclEffect::ExtendsEnv))
+            Ok((
+                code,
+                ctx.bind_early(n.clone(), Kind::Val),
+                DeclEffect::ExtendsEnv,
+            ))
         }
         CoreDecl::Cogen(u, e) => {
             let mut code = vec![Instr::Push];
@@ -652,7 +664,11 @@ pub fn compile_decl(d: &CoreDecl, ctx: &Ctx) -> Result<(Vec<Instr>, Ctx, DeclEff
                 DeclEffect::ExtendsEnv,
             ))
         }
-        CoreDecl::Expr(e) => Ok((compile_expr(e, ctx)?, ctx.clone(), DeclEffect::ProducesValue)),
+        CoreDecl::Expr(e) => Ok((
+            compile_expr(e, ctx)?,
+            ctx.clone(),
+            DeclEffect::ProducesValue,
+        )),
     }
 }
 
@@ -735,13 +751,19 @@ mod tests {
 
     #[test]
     fn let_bindings() {
-        assert_eq!(run("let val x = 5 val y = x * x in y + x end").to_string(), "30");
+        assert_eq!(
+            run("let val x = 5 val y = x * x in y + x end").to_string(),
+            "30"
+        );
     }
 
     #[test]
     fn conditionals() {
         assert_eq!(run("if 1 < 2 then 10 else 20").to_string(), "10");
-        assert_eq!(run("if false then 1 else if true then 2 else 3").to_string(), "2");
+        assert_eq!(
+            run("if false then 1 else if true then 2 else 3").to_string(),
+            "2"
+        );
     }
 
     #[test]
@@ -756,8 +778,7 @@ mod tests {
     #[test]
     fn recursion_via_recclos() {
         assert_eq!(
-            run_program("fun fact n = if n = 0 then 1 else n * fact (n - 1);\nfact 6")
-                .to_string(),
+            run_program("fun fact n = if n = 0 then 1 else n * fact (n - 1);\nfact 6").to_string(),
             "720"
         );
     }
@@ -812,8 +833,7 @@ mod tests {
     #[test]
     fn lift_residualizes() {
         assert_eq!(
-            run_program("fun eval c = let cogen u = c in u end;\neval (lift (21 * 2))")
-                .to_string(),
+            run_program("fun eval c = let cogen u = c in u end;\neval (lift (21 * 2))").to_string(),
             "42"
         );
     }

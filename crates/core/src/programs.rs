@@ -244,9 +244,7 @@ mod tests {
         let mut s = Session::new().unwrap();
         s.run(super::COMPOSE_GEN).unwrap();
         let out = s
-            .eval_expr(
-                "eval (composeGen (code (fn x => x * 2), code (fn x => x + 1))) 5",
-            )
+            .eval_expr("eval (composeGen (code (fn x => x * 2), code (fn x => x + 1))) 5")
             .unwrap();
         assert_eq!(out.value, "12");
     }

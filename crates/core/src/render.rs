@@ -8,11 +8,9 @@ use mlbox_ir::data::{ConId, DataEnv, CONS, NIL};
 /// Renders a CCAM value with constructor names and list sugar.
 pub fn render_machine(v: &Value, data: &DataEnv) -> String {
     match v {
-        Value::Con(tag, payload) => render_con(
-            ConId(*tag),
-            payload.as_deref().map(|p| MachineOrEval::M(p)),
-            data,
-        ),
+        Value::Con(tag, payload) => {
+            render_con(ConId(*tag), payload.as_deref().map(MachineOrEval::M), data)
+        }
         Value::Pair(p) => format!(
             "({}, {})",
             render_machine(&p.0, data),
@@ -20,11 +18,7 @@ pub fn render_machine(v: &Value, data: &DataEnv) -> String {
         ),
         Value::Ref(r) => format!("ref {}", render_machine(&r.borrow(), data)),
         Value::Array(a) => {
-            let items: Vec<String> = a
-                .borrow()
-                .iter()
-                .map(|x| render_machine(x, data))
-                .collect();
+            let items: Vec<String> = a.borrow().iter().map(|x| render_machine(x, data)).collect();
             format!("[|{}|]", items.join(", "))
         }
         other => other.to_string(),
@@ -36,14 +30,8 @@ pub fn render_machine(v: &Value, data: &DataEnv) -> String {
 /// differential comparison.
 pub fn render_eval(v: &RVal, data: &DataEnv) -> String {
     match v {
-        RVal::Con(tag, payload) => {
-            render_con(*tag, payload.as_deref().map(MachineOrEval::E), data)
-        }
-        RVal::Pair(p) => format!(
-            "({}, {})",
-            render_eval(&p.0, data),
-            render_eval(&p.1, data)
-        ),
+        RVal::Con(tag, payload) => render_con(*tag, payload.as_deref().map(MachineOrEval::E), data),
+        RVal::Pair(p) => format!("({}, {})", render_eval(&p.0, data), render_eval(&p.1, data)),
         RVal::Ref(r) => format!("ref {}", render_eval(&r.borrow(), data)),
         RVal::Array(a) => {
             let items: Vec<String> = a.borrow().iter().map(|x| render_eval(x, data)).collect();
@@ -81,10 +69,9 @@ impl MachineOrEval<'_> {
 
     fn as_con(&self) -> Option<(ConId, Option<MachineOrEval<'_>>)> {
         match self {
-            MachineOrEval::M(Value::Con(tag, payload)) => Some((
-                ConId(*tag),
-                payload.as_deref().map(|p| MachineOrEval::M(p)),
-            )),
+            MachineOrEval::M(Value::Con(tag, payload)) => {
+                Some((ConId(*tag), payload.as_deref().map(MachineOrEval::M)))
+            }
             MachineOrEval::E(RVal::Con(tag, payload)) => {
                 Some((*tag, payload.as_deref().map(MachineOrEval::E)))
             }
@@ -104,9 +91,7 @@ fn render_con(tag: ConId, payload: Option<MachineOrEval<'_>>, data: &DataEnv) ->
                 let head_s = head.render(data);
                 if let Some((t, p)) = tail.as_con() {
                     let tail_s = render_con(t, p, data);
-                    if let Some(inner) = tail_s
-                        .strip_prefix('[')
-                        .and_then(|s| s.strip_suffix(']'))
+                    if let Some(inner) = tail_s.strip_prefix('[').and_then(|s| s.strip_suffix(']'))
                     {
                         return if inner.is_empty() {
                             format!("[{head_s}]")
@@ -142,10 +127,7 @@ mod tests {
     fn list_value(items: &[i64]) -> Value {
         let mut acc = Value::Con(NIL.0, None);
         for &n in items.iter().rev() {
-            acc = Value::Con(
-                CONS.0,
-                Some(Rc::new(Value::pair(Value::Int(n), acc))),
-            );
+            acc = Value::Con(CONS.0, Some(Rc::new(Value::pair(Value::Int(n), acc))));
         }
         acc
     }

@@ -31,6 +31,10 @@ pub struct SessionOptions {
     /// (§4.2's envisioned "more sophisticated specialization system").
     /// Default: false, matching the paper's measured system.
     pub optimize: bool,
+    /// Count executed steps per opcode (surfaced as
+    /// [`Stats::opcodes`]). Default: false — the count array is carried
+    /// in every stats snapshot, so it is opt-in.
+    pub count_opcodes: bool,
 }
 
 impl Default for SessionOptions {
@@ -40,6 +44,7 @@ impl Default for SessionOptions {
             fuel: None,
             typecheck: true,
             optimize: false,
+            count_opcodes: false,
         }
     }
 }
@@ -111,6 +116,7 @@ impl Session {
             None => Machine::new(),
         };
         machine.set_optimize(options.optimize);
+        machine.set_count_opcodes(options.count_opcodes);
         let mut s = Session {
             elab: Elab::new(),
             checker: Checker::new(),
@@ -227,14 +233,7 @@ impl Session {
         // Run, measuring this declaration alone.
         let before = self.machine.stats();
         let result = self.machine.run(Rc::new(code), self.env.clone())?;
-        let after = self.machine.stats();
-        let stats = Stats {
-            steps: after.steps - before.steps,
-            emitted: after.emitted - before.emitted,
-            arenas: after.arenas - before.arenas,
-            calls: after.calls - before.calls,
-            max_stack: after.max_stack,
-        };
+        let stats = self.machine.stats().delta_since(&before);
         let (name, raw) = match effect {
             DeclEffect::ExtendsEnv => {
                 self.env = result;
@@ -268,30 +267,17 @@ impl Session {
         let src = format!("<call {name}>");
         // Resolve through the elaborator so shadowing matches the surface
         // language, then compile a direct application.
-        let surface =
-            parse_expr(name).map_err(|d| self.static_err(d, &src))?;
+        let surface = parse_expr(name).map_err(|d| self.static_err(d, &src))?;
         let core = self
             .elab
             .elab_expr(&surface)
             .map_err(|d| self.static_err(d, &src))?;
         let mut code = vec![Instr::Push];
         code.extend(compile_expr(&core, &self.ctx).map_err(|d| self.static_err(d, &src))?);
-        code.extend([
-            Instr::Swap,
-            Instr::Quote(arg),
-            Instr::ConsPair,
-            Instr::App,
-        ]);
+        code.extend([Instr::Swap, Instr::Quote(arg), Instr::ConsPair, Instr::App]);
         let before = self.machine.stats();
         let result = self.machine.run(Rc::new(code), self.env.clone())?;
-        let after = self.machine.stats();
-        let stats = Stats {
-            steps: after.steps - before.steps,
-            emitted: after.emitted - before.emitted,
-            arenas: after.arenas - before.arenas,
-            calls: after.calls - before.calls,
-            max_stack: after.max_stack,
-        };
+        let stats = self.machine.stats().delta_since(&before);
         Ok((result, stats))
     }
 
@@ -359,7 +345,10 @@ mod tests {
         let mut s = Session::new().unwrap();
         let err = s.eval_expr("fn y => code (fn x => x + y)").unwrap_err();
         let msg = err.to_string();
-        assert!(msg.contains("earlier stage") || msg.contains("not in scope"), "{msg}");
+        assert!(
+            msg.contains("earlier stage") || msg.contains("not in scope"),
+            "{msg}"
+        );
     }
 
     #[test]
@@ -390,6 +379,38 @@ mod tests {
         .unwrap();
         let err = s.run("fun loop n = loop n;\nloop 0").unwrap_err();
         assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn freeze_counters_flow_through_session_stats() {
+        let mut s = Session::new().unwrap();
+        s.run("val g = code (fn x => x + 1)").unwrap();
+        let out = s.eval_expr("eval g 1").unwrap();
+        assert_eq!(out.value, "2");
+        assert!(out.stats.freezes > 0, "splicing freezes generated code");
+        // Repeating the splice freezes fresh arenas (eval builds a new
+        // arena per splice), so the per-outcome counters stay stable.
+        let again = s.eval_expr("eval g 1").unwrap();
+        assert_eq!(again.stats.freezes, out.stats.freezes);
+        assert_eq!(again.stats.steps, out.stats.steps);
+    }
+
+    #[test]
+    fn opcode_counting_is_an_option() {
+        let mut s = Session::with_options(SessionOptions {
+            count_opcodes: true,
+            ..SessionOptions::default()
+        })
+        .unwrap();
+        assert!(Session::new().unwrap().stats().opcodes.is_none());
+        let out = s.eval_expr("1 + 2").unwrap();
+        let counts = out.stats.opcodes.expect("enabled by the option");
+        assert!(counts.get("prim") > 0, "the addition shows up");
+        assert_eq!(
+            counts.nonzero().map(|(_, c)| c).sum::<u64>(),
+            out.stats.steps,
+            "per-opcode counts partition the per-declaration steps"
+        );
     }
 
     #[test]

@@ -191,12 +191,7 @@ impl Interp {
     /// # Errors
     ///
     /// Returns an [`EvalError`] on dynamic failure.
-    pub fn eval_in(
-        &mut self,
-        env: &Env,
-        cenv: &CodeEnv,
-        e: &CExprS,
-    ) -> Result<RVal, EvalError> {
+    pub fn eval_in(&mut self, env: &Env, cenv: &CodeEnv, e: &CExprS) -> Result<RVal, EvalError> {
         self.tick()?;
         match &e.node {
             CExpr::Lit(l) => Ok(match l {
@@ -218,9 +213,7 @@ impl Interp {
                     .ok_or_else(|| EvalError::Unbound(u.to_string()))?;
                 match rep {
                     GenRep::Quote(v) => Ok((*v).clone()),
-                    GenRep::Susp { body, cenv } => {
-                        self.eval_in(&Env::empty(), &cenv, &body)
-                    }
+                    GenRep::Susp { body, cenv } => self.eval_in(&Env::empty(), &cenv, &body),
                 }
             }
             CExpr::Lam(p, body) => Ok(RVal::Closure(Rc::new(RClosure {
@@ -281,7 +274,11 @@ impl Interp {
                 }
                 Ok(RVal::tuple(vs))
             }
-            CExpr::Proj { index, arity, tuple } => {
+            CExpr::Proj {
+                index,
+                arity,
+                tuple,
+            } => {
                 let mut v = self.eval_in(env, cenv, tuple)?;
                 // Right-nested pairs: snd × index, then fst unless last.
                 for _ in 0..*index {
@@ -330,16 +327,12 @@ impl Interp {
                 for arm in arms {
                     if arm.con == *tag {
                         return match (&arm.binder, payload) {
-                            (Some(b), Some(p)) => self.eval_in(
-                                &env.bind(b.clone(), (**p).clone()),
-                                cenv,
-                                &arm.rhs,
-                            ),
-                            (Some(b), None) => self.eval_in(
-                                &env.bind(b.clone(), RVal::Unit),
-                                cenv,
-                                &arm.rhs,
-                            ),
+                            (Some(b), Some(p)) => {
+                                self.eval_in(&env.bind(b.clone(), (**p).clone()), cenv, &arm.rhs)
+                            }
+                            (Some(b), None) => {
+                                self.eval_in(&env.bind(b.clone(), RVal::Unit), cenv, &arm.rhs)
+                            }
                             (None, _) => self.eval_in(env, cenv, &arm.rhs),
                         };
                     }
@@ -409,7 +402,27 @@ impl Interp {
         }
     }
 
+    // SML floor semantics for `div`/`mod` (`~7 div 2 = ~4`,
+    // `~7 mod 2 = 1`). Deliberately duplicated from the machine: this
+    // interpreter is the differential-testing oracle and must not depend
+    // on the crate it checks.
     fn prim(&mut self, p: Prim, mut args: Vec<RVal>) -> Result<RVal, EvalError> {
+        fn floor_div(x: i64, y: i64) -> i64 {
+            let q = x.wrapping_div(y);
+            if x.wrapping_rem(y) != 0 && (x < 0) != (y < 0) {
+                q.wrapping_sub(1)
+            } else {
+                q
+            }
+        }
+        fn floor_mod(x: i64, y: i64) -> i64 {
+            let r = x.wrapping_rem(y);
+            if r != 0 && (r < 0) != (y < 0) {
+                r.wrapping_add(y)
+            } else {
+                r
+            }
+        }
         fn int(v: &RVal) -> Result<i64, EvalError> {
             match v {
                 RVal::Int(n) => Ok(*n),
@@ -437,14 +450,14 @@ impl Interp {
                 if d == 0 {
                     return Err(EvalError::DivideByZero);
                 }
-                RVal::Int(int(&args[0])?.wrapping_div(d))
+                RVal::Int(floor_div(int(&args[0])?, d))
             }
             Prim::Mod => {
                 let d = int(&args[1])?;
                 if d == 0 {
                     return Err(EvalError::DivideByZero);
                 }
-                RVal::Int(int(&args[0])?.wrapping_rem(d))
+                RVal::Int(floor_mod(int(&args[0])?, d))
             }
             Prim::Neg => RVal::Int(int(&args[0])?.wrapping_neg()),
             Prim::Eq => RVal::Bool(
@@ -607,17 +620,27 @@ mod tests {
     }
 
     #[test]
+    fn division_floors_like_sml() {
+        assert_eq!(run("~7 div 2").to_string(), "-4");
+        assert_eq!(run("~7 mod 2").to_string(), "1");
+        assert_eq!(run("7 div ~2").to_string(), "-4");
+        assert_eq!(run("7 mod ~2").to_string(), "-1");
+        assert_eq!(run("~7 div ~2").to_string(), "3");
+        assert_eq!(run("~7 mod ~2").to_string(), "-1");
+    }
+
+    #[test]
     fn let_and_lambda() {
-        assert_eq!(run("let val f = fn x => x + 1 in f 41 end").to_string(), "42");
+        assert_eq!(
+            run("let val f = fn x => x + 1 in f 41 end").to_string(),
+            "42"
+        );
     }
 
     #[test]
     fn recursion() {
         assert_eq!(
-            run_program(
-                "fun fact n = if n = 0 then 1 else n * fact (n - 1);\nfact 10"
-            )
-            .to_string(),
+            run_program("fun fact n = if n = 0 then 1 else n * fact (n - 1);\nfact 10").to_string(),
             "3628800"
         );
     }

@@ -133,7 +133,11 @@ impl Elab {
     }
 
     fn lookup(&self, name: &str) -> Option<&Binding> {
-        self.scope.iter().rev().find(|(n, _)| n == name).map(|(_, b)| b)
+        self.scope
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b)
     }
 
     fn fresh(&mut self, text: &str) -> Name {
@@ -150,7 +154,8 @@ impl Elab {
 
     fn bind_val(&mut self, source: &str) -> Name {
         let n = self.fresh(source);
-        self.scope.push((source.to_string(), Binding::Val(n.clone())));
+        self.scope
+            .push((source.to_string(), Binding::Val(n.clone())));
         n
     }
 
@@ -430,11 +435,8 @@ impl Elab {
                 let mut acc = CExpr::Con(NIL, None).at(span);
                 for p in parts.iter().rev() {
                     let head = self.elab_expr(p)?;
-                    acc = CExpr::Con(
-                        CONS,
-                        Some(Box::new(CExpr::Tuple(vec![head, acc]).at(span))),
-                    )
-                    .at(span);
+                    acc = CExpr::Con(CONS, Some(Box::new(CExpr::Tuple(vec![head, acc]).at(span))))
+                        .at(span);
                 }
                 acc
             }
@@ -538,9 +540,7 @@ impl Elab {
                 .at(span);
                 let loop_body = CExpr::If(
                     Box::new(c),
-                    Box::new(
-                        CExpr::Let(seq, Box::new(body), Box::new(recall.clone())).at(span),
-                    ),
+                    Box::new(CExpr::Let(seq, Box::new(body), Box::new(recall.clone())).at(span)),
                     Box::new(CExpr::Lit(Lit::Unit).at(span)),
                 )
                 .at(span);
@@ -568,9 +568,7 @@ impl Elab {
                 }
                 // Body sequence: evaluate all, keep the last.
                 let mut rev = body.iter().rev();
-                let last = rev
-                    .next()
-                    .ok_or_else(|| self.err("empty let body", span))?;
+                let last = rev.next().ok_or_else(|| self.err("empty let body", span))?;
                 let mut acc = self.elab_expr(last)?;
                 for e in rev {
                     let v = self.elab_expr(e)?;
@@ -586,9 +584,7 @@ impl Elab {
             }
             Expr::Seq(parts) => {
                 let mut rev = parts.iter().rev();
-                let last = rev
-                    .next()
-                    .ok_or_else(|| self.err("empty sequence", span))?;
+                let last = rev.next().ok_or_else(|| self.err("empty sequence", span))?;
                 let mut acc = self.elab_expr(last)?;
                 for e in rev {
                     let v = self.elab_expr(e)?;
@@ -652,10 +648,7 @@ impl Elab {
             match self.lookup(x).cloned() {
                 Some(Binding::Con(c)) => {
                     if !self.data.con(c).has_arg() {
-                        return Err(self.err(
-                            format!("constructor `{x}` takes no argument"),
-                            span,
-                        ));
+                        return Err(self.err(format!("constructor `{x}` takes no argument"), span));
                     }
                     let arg = self.elab_expr(a)?;
                     return Ok(CExpr::Con(c, Some(Box::new(arg))).at(span));
@@ -678,8 +671,7 @@ impl Elab {
                         return Ok(CExpr::Prim(prim, vec![arg]).at(span));
                     }
                     let tmp = self.fresh("$t");
-                    let args =
-                        self.unpack_arg(CExpr::Var(tmp.clone()).at(span), unpack, span);
+                    let args = self.unpack_arg(CExpr::Var(tmp.clone()).at(span), unpack, span);
                     return Ok(CExpr::Let(
                         tmp,
                         Box::new(arg),
@@ -781,10 +773,7 @@ impl Elab {
     /// Runs the exhaustiveness/redundancy analysis on a match and records
     /// warnings.
     fn warn_match(&mut self, pats: &[ast::PatS], span: Span, what: &str) {
-        let spats: Vec<SPat> = pats
-            .iter()
-            .map(|p| exhaustive::simplify(p, self))
-            .collect();
+        let spats: Vec<SPat> = pats.iter().map(|p| exhaustive::simplify(p, self)).collect();
         let report = exhaustive::analyze(&spats, &self.data);
         if report.non_exhaustive {
             self.warnings.push(Diagnostic::new(
@@ -827,17 +816,15 @@ impl Elab {
         let mut acc = CExpr::Fail(Rc::from(fail_msg)).at(span);
         for (pat, rhs) in arms.iter().rev() {
             let k = self.fresh("$k");
-            let fail =
-                CExpr::App(
-                    Box::new(CExpr::Var(k.clone()).at(span)),
-                    Box::new(CExpr::Lit(Lit::Unit).at(span)),
-                )
-                .at(span);
+            let fail = CExpr::App(
+                Box::new(CExpr::Var(k.clone()).at(span)),
+                Box::new(CExpr::Lit(Lit::Unit).at(span)),
+            )
+            .at(span);
             let mark = self.scope_mark();
             let rhs_ref: &ast::ExprS = rhs;
-            let body = self.pat_test(occ.clone(), pat, &fail, &mut |this| {
-                this.elab_expr(rhs_ref)
-            })?;
+            let body =
+                self.pat_test(occ.clone(), pat, &fail, &mut |this| this.elab_expr(rhs_ref))?;
             self.scope_reset(mark);
             let kparam = self.fresh("$u");
             acc = CExpr::Let(
@@ -920,9 +907,7 @@ impl Elab {
                 Ok(CExpr::Let(n, Box::new(occ), Box::new(body)).at(span))
             }
             Pat::Int(n) => self.literal_test(occ, CExpr::Lit(Lit::Int(*n)).at(span), fail, succ),
-            Pat::Bool(b) => {
-                self.literal_test(occ, CExpr::Lit(Lit::Bool(*b)).at(span), fail, succ)
-            }
+            Pat::Bool(b) => self.literal_test(occ, CExpr::Lit(Lit::Bool(*b)).at(span), fail, succ),
             Pat::Str(s) => self.literal_test(
                 occ,
                 CExpr::Lit(Lit::Str(Rc::from(s.as_str()))).at(span),
@@ -950,15 +935,10 @@ impl Elab {
             }
             Pat::Con(cname, argp) => {
                 let Some(Binding::Con(c)) = self.lookup(cname).cloned() else {
-                    return Err(
-                        self.err(format!("`{cname}` is not a known constructor"), span)
-                    );
+                    return Err(self.err(format!("`{cname}` is not a known constructor"), span));
                 };
                 if !self.data.con(c).has_arg() {
-                    return Err(self.err(
-                        format!("constructor `{cname}` takes no argument"),
-                        span,
-                    ));
+                    return Err(self.err(format!("constructor `{cname}` takes no argument"), span));
                 }
                 let w = self.fresh("$w");
                 let wocc = CExpr::Var(w.clone()).at(span);
@@ -1018,10 +998,8 @@ impl Elab {
                 // Desugar `[p1, ..., pn]` to `p1 :: ... :: pn :: nil`.
                 let mut desugared = Spanned::new(Pat::Var("nil".to_string()), span);
                 for p in ps.iter().rev() {
-                    desugared = Spanned::new(
-                        Pat::Cons(Box::new(p.clone()), Box::new(desugared)),
-                        span,
-                    );
+                    desugared =
+                        Spanned::new(Pat::Cons(Box::new(p.clone()), Box::new(desugared)), span);
                 }
                 self.pat_test(occ, &desugared, fail, succ)
             }
@@ -1078,10 +1056,8 @@ impl ConResolver for Elab {
 /// Collects pattern-bound variable names in left-to-right order.
 fn collect_pattern_vars(elab: &Elab, pat: &ast::PatS, out: &mut Vec<String>) {
     match &pat.node {
-        Pat::Var(x) => {
-            if !elab.is_constructor(x) {
-                out.push(x.clone());
-            }
+        Pat::Var(x) if !elab.is_constructor(x) => {
+            out.push(x.clone());
         }
         Pat::Tuple(ps) | Pat::List(ps) => {
             for p in ps {
@@ -1176,7 +1152,10 @@ mod tests {
 
     #[test]
     fn andalso_desugars_to_if() {
-        assert!(matches!(elab("true andalso false").node, CExpr::If(_, _, _)));
+        assert!(matches!(
+            elab("true andalso false").node,
+            CExpr::If(_, _, _)
+        ));
     }
 
     #[test]
@@ -1245,10 +1224,9 @@ mod tests {
 
     #[test]
     fn case_on_constructors_dispatches() {
-        let p = parse_program(
-            "datatype t = A | B of int\nval r = fn x => case x of A => 0 | B n => n",
-        )
-        .unwrap();
+        let p =
+            parse_program("datatype t = A | B of int\nval r = fn x => case x of A => 0 | B n => n")
+                .unwrap();
         let mut elab = Elab::new();
         let decls = elab.elab_program(&p).unwrap();
         assert_eq!(decls.len(), 1); // datatype contributes no core decl

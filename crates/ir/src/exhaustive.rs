@@ -200,8 +200,7 @@ pub fn useful(matrix: &[Vec<SPat>], q: &[SPat], data: &DataEnv) -> bool {
                     useful(&sm, &sq, data)
                 })
             } else {
-                let dm: Vec<Vec<SPat>> =
-                    matrix.iter().filter_map(|row| default_row(row)).collect();
+                let dm: Vec<Vec<SPat>> = matrix.iter().filter_map(|row| default_row(row)).collect();
                 useful(&dm, &q[1..], data)
             }
         }

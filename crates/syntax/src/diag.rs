@@ -80,9 +80,11 @@ impl Diagnostic {
             for _ in 1..lc.col {
                 out.push(' ');
             }
-            let width = self.span.len().max(1).min(
-                line_text.len() as u32 + 1 - (lc.col - 1).min(line_text.len() as u32),
-            );
+            let width = self
+                .span
+                .len()
+                .max(1)
+                .min(line_text.len() as u32 + 1 - (lc.col - 1).min(line_text.len() as u32));
             for _ in 0..width.max(1) {
                 out.push('^');
             }
@@ -97,7 +99,11 @@ impl Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} error: {} (at {})", self.phase, self.message, self.span)
+        write!(
+            f,
+            "{} error: {} (at {})",
+            self.phase, self.message, self.span
+        )
     }
 }
 

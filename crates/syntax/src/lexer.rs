@@ -207,10 +207,9 @@ impl<'s> Lexer<'s> {
                 }
                 other => {
                     self.pos += 1;
-                    return Err(self.err(
-                        format!("unexpected character `{}`", other as char),
-                        start,
-                    ));
+                    return Err(
+                        self.err(format!("unexpected character `{}`", other as char), start)
+                    );
                 }
             };
             out.push(Token {
@@ -393,10 +392,7 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(
-            kinds(r#""a\nb""#)[0],
-            TokenKind::Str("a\nb".to_string())
-        );
+        assert_eq!(kinds(r#""a\nb""#)[0], TokenKind::Str("a\nb".to_string()));
     }
 
     #[test]

@@ -206,20 +206,14 @@ impl Parser {
                 self.expect(TokenKind::Eq)?;
                 let body = self.ty()?;
                 let span = start.merge(body.span);
-                Ok(Spanned::new(
-                    Decl::TypeAbbrev { tyvars, name, body },
-                    span,
-                ))
+                Ok(Spanned::new(Decl::TypeAbbrev { tyvars, name, body }, span))
             }
             _ if top_level => {
                 let e = self.expr()?;
                 let span = e.span;
                 Ok(Spanned::new(Decl::Expr(e), span))
             }
-            other => Err(self.err(format!(
-                "expected declaration, found {}",
-                other.describe()
-            ))),
+            other => Err(self.err(format!("expected declaration, found {}", other.describe()))),
         }
     }
 
@@ -329,7 +323,10 @@ impl Parser {
         if self.eat(&TokenKind::ColonColon) {
             let tail = self.cons_pat()?;
             let span = head.span.merge(tail.span);
-            Ok(Spanned::new(Pat::Cons(Box::new(head), Box::new(tail)), span))
+            Ok(Spanned::new(
+                Pat::Cons(Box::new(head), Box::new(tail)),
+                span,
+            ))
         } else {
             Ok(head)
         }
@@ -546,10 +543,7 @@ impl Parser {
                 self.expect(TokenKind::Do)?;
                 let body = self.expr()?;
                 let span = start.merge(body.span);
-                return Ok(Spanned::new(
-                    Expr::While(Box::new(c), Box::new(body)),
-                    span,
-                ));
+                return Ok(Spanned::new(Expr::While(Box::new(c), Box::new(body)), span));
             }
             TokenKind::Case => {
                 self.bump();
@@ -969,8 +963,8 @@ mod tests {
 
     #[test]
     fn datatype_decl() {
-        let p = parse_program("datatype instruction = RET_A | RET_K of int | LD_IND of int")
-            .unwrap();
+        let p =
+            parse_program("datatype instruction = RET_A | RET_K of int | LD_IND of int").unwrap();
         match &p.decls[0].node {
             Decl::Datatype { name, cons, .. } => {
                 assert_eq!(name, "instruction");
@@ -1057,7 +1051,10 @@ mod tests {
     #[test]
     fn deref_and_assign() {
         assert!(matches!(expr("!r"), Expr::Deref(_)));
-        assert!(matches!(expr("r := !r + 1"), Expr::BinOp(BinOp::Assign, _, _)));
+        assert!(matches!(
+            expr("r := !r + 1"),
+            Expr::BinOp(BinOp::Assign, _, _)
+        ));
     }
 
     #[test]
@@ -1070,7 +1067,10 @@ mod tests {
         let p = parse_program("fun f (a::p) = a").unwrap();
         match &p.decls[0].node {
             Decl::Fun(binds) => {
-                assert!(matches!(binds[0].clauses[0].params[0].node, Pat::Cons(_, _)));
+                assert!(matches!(
+                    binds[0].clauses[0].params[0].node,
+                    Pat::Cons(_, _)
+                ));
             }
             other => panic!("unexpected: {other:?}"),
         }

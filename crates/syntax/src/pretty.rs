@@ -109,11 +109,7 @@ fn pretty_ty_atom(t: &Ty) -> String {
 /// Renders a pattern.
 pub fn pretty_pat(p: &Pat) -> String {
     match p {
-        Pat::Cons(h, t) => format!(
-            "{} :: {}",
-            pretty_atpat(&h.node),
-            pretty_pat(&t.node)
-        ),
+        Pat::Cons(h, t) => format!("{} :: {}", pretty_atpat(&h.node), pretty_pat(&t.node)),
         Pat::Con(name, arg) => format!("{} {}", name, pretty_atpat(&arg.node)),
         Pat::Ascribe(inner, ty) => {
             format!("{} : {}", pretty_atpat(&inner.node), pretty_ty(&ty.node))
@@ -185,11 +181,7 @@ pub fn pretty_expr(e: &Expr) -> String {
             pretty_expr(&l.node),
             pretty_expr(&r.node)
         ),
-        Expr::Orelse(l, r) => format!(
-            "({} orelse {})",
-            pretty_expr(&l.node),
-            pretty_expr(&r.node)
-        ),
+        Expr::Orelse(l, r) => format!("({} orelse {})", pretty_expr(&l.node), pretty_expr(&r.node)),
         Expr::Fn(p, body) => format!(
             "(fn {} => {})",
             pretty_atpat(&p.node),
@@ -243,8 +235,8 @@ mod tests {
     fn round_trip_expr(src: &str) {
         let e1 = parse_expr(src).unwrap();
         let printed = pretty_expr(&e1.node);
-        let e2 = parse_expr(&printed)
-            .unwrap_or_else(|d| panic!("reparse of {printed:?} failed: {d}"));
+        let e2 =
+            parse_expr(&printed).unwrap_or_else(|d| panic!("reparse of {printed:?} failed: {d}"));
         assert_eq!(strip(&e1.node), strip(&e2.node), "printed: {printed}");
     }
 
@@ -287,7 +279,11 @@ mod tests {
             let t1 = parse_ty(src).unwrap();
             let printed = pretty_ty(&t1.node);
             let t2 = parse_ty(&printed).unwrap();
-            assert_eq!(pretty_ty(&t1.node), pretty_ty(&t2.node), "printed: {printed}");
+            assert_eq!(
+                pretty_ty(&t1.node),
+                pretty_ty(&t2.node),
+                "printed: {printed}"
+            );
         }
     }
 

@@ -48,8 +48,11 @@ fn expr_strategy() -> impl Strategy<Value = ExprS> {
             Just(BinOp::Concat),
         ];
         prop_oneof![
-            (op, inner.clone(), inner.clone())
-                .prop_map(|(o, a, b)| sp(Expr::BinOp(o, Box::new(a), Box::new(b)))),
+            (op, inner.clone(), inner.clone()).prop_map(|(o, a, b)| sp(Expr::BinOp(
+                o,
+                Box::new(a),
+                Box::new(b)
+            ))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| sp(Expr::App(Box::new(a), Box::new(b)))),
             (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| sp(Expr::If(
@@ -57,8 +60,7 @@ fn expr_strategy() -> impl Strategy<Value = ExprS> {
                 Box::new(t),
                 Box::new(f)
             ))),
-            (pat_strategy(), inner.clone())
-                .prop_map(|(p, b)| sp(Expr::Fn(p, Box::new(b)))),
+            (pat_strategy(), inner.clone()).prop_map(|(p, b)| sp(Expr::Fn(p, Box::new(b)))),
             proptest::collection::vec(inner.clone(), 2..4).prop_map(|v| sp(Expr::Tuple(v))),
             proptest::collection::vec(inner.clone(), 0..3).prop_map(|v| sp(Expr::List(v))),
             (inner.clone(), inner.clone())
@@ -66,10 +68,8 @@ fn expr_strategy() -> impl Strategy<Value = ExprS> {
             inner.clone().prop_map(|e| sp(Expr::Code(Box::new(e)))),
             inner.clone().prop_map(|e| sp(Expr::Lift(Box::new(e)))),
             inner.clone().prop_map(|e| sp(Expr::Neg(Box::new(e)))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| sp(Expr::Andalso(
-                Box::new(a),
-                Box::new(b)
-            ))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| sp(Expr::Andalso(Box::new(a), Box::new(b)))),
         ]
     })
 }

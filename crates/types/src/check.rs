@@ -51,7 +51,10 @@ impl Checker {
     fn unify_at(&self, a: &Type, b: &Type, span: Span, tcx: TypeCtx<'_>) -> Result<()> {
         unify(a, b, tcx.data).map_err(|e| {
             let msg = if e.occurs {
-                format!("cannot construct the infinite type {} = {}", e.expected, e.found)
+                format!(
+                    "cannot construct the infinite type {} = {}",
+                    e.expected, e.found
+                )
             } else {
                 format!("type mismatch: expected {}, found {}", e.expected, e.found)
             };
@@ -60,11 +63,19 @@ impl Checker {
     }
 
     fn lookup_gamma(&self, n: &Name) -> Option<&Scheme> {
-        self.gamma.iter().rev().find(|(m, _)| m == n).map(|(_, s)| s)
+        self.gamma
+            .iter()
+            .rev()
+            .find(|(m, _)| m == n)
+            .map(|(_, s)| s)
     }
 
     fn lookup_delta(&self, n: &Name) -> Option<&Scheme> {
-        self.delta.iter().rev().find(|(m, _)| m == n).map(|(_, s)| s)
+        self.delta
+            .iter()
+            .rev()
+            .find(|(m, _)| m == n)
+            .map(|(_, s)| s)
     }
 
     /// Type-checks a top-level declaration, extending Γ/Δ. Returns the
@@ -101,9 +112,9 @@ impl Checker {
                 self.delta.push((u.clone(), scheme));
                 Ok(t)
             }
-            CoreDecl::Fun(defs) => self.check_letrec(defs, tcx).map(|mut ts| {
-                ts.pop().unwrap_or(Type::Unit)
-            }),
+            CoreDecl::Fun(defs) => self
+                .check_letrec(defs, tcx)
+                .map(|mut ts| ts.pop().unwrap_or(Type::Unit)),
             CoreDecl::Expr(e) => self.infer(e, tcx),
         }
     }
@@ -173,12 +184,9 @@ impl Checker {
                 Ok(instantiate(&scheme, &mut self.gen))
             }
             CExpr::CodeVar(u) => {
-                let scheme = self
-                    .lookup_delta(u)
-                    .cloned()
-                    .ok_or_else(|| {
-                        self.err(format!("unbound code variable `{}`", u.text()), span)
-                    })?;
+                let scheme = self.lookup_delta(u).cloned().ok_or_else(|| {
+                    self.err(format!("unbound code variable `{}`", u.text()), span)
+                })?;
                 Ok(instantiate(&scheme, &mut self.gen))
             }
             CExpr::Lam(p, body) => {
@@ -245,7 +253,11 @@ impl Checker {
                 }
                 Ok(Type::Tuple(Rc::new(ts)))
             }
-            CExpr::Proj { index, arity, tuple } => {
+            CExpr::Proj {
+                index,
+                arity,
+                tuple,
+            } => {
                 let tup_t = self.infer(tuple, tcx)?;
                 let parts: Vec<Type> = (0..*arity).map(|_| self.gen.fresh()).collect();
                 let want = Type::Tuple(Rc::new(parts.clone()));
@@ -261,14 +273,12 @@ impl Checker {
                         self.unify_at(&got, &want, span_of(p), tcx)?;
                         Ok(result_t)
                     }
-                    (None, Some(_)) => Err(self.err(
-                        "constructor requires a payload but none was given",
-                        span,
-                    )),
-                    (Some(_), None) => Err(self.err(
-                        "constructor takes no payload but one was given",
-                        span,
-                    )),
+                    (None, Some(_)) => {
+                        Err(self.err("constructor requires a payload but none was given", span))
+                    }
+                    (Some(_), None) => {
+                        Err(self.err("constructor takes no payload but one was given", span))
+                    }
                 }
             }
             CExpr::Case {
@@ -280,13 +290,16 @@ impl Checker {
                 let result_t = self.gen.fresh();
                 // All arms must belong to one datatype; unify the scrutinee
                 // with it, instantiated once.
-                let first = arms.first().ok_or_else(|| {
-                    self.err("case expression has no arms", span)
-                })?;
+                let first = arms
+                    .first()
+                    .ok_or_else(|| self.err("case expression has no arms", span))?;
                 let d = tcx.data.con(first.con).data;
-                let args: Vec<Type> = (0..tcx.data.datatype(d).tyvars.len().max(
-                    usize::from(d == LIST),
-                ))
+                let args: Vec<Type> = (0..tcx
+                    .data
+                    .datatype(d)
+                    .tyvars
+                    .len()
+                    .max(usize::from(d == LIST)))
                     .map(|_| self.gen.fresh())
                     .collect();
                 let data_t = Type::Data(d, Rc::new(args.clone()));
@@ -365,12 +378,7 @@ impl Checker {
     }
 
     /// Instantiated payload/result types for a constructor.
-    fn con_type(
-        &mut self,
-        c: ConId,
-        tcx: TypeCtx<'_>,
-        span: Span,
-    ) -> Result<(Option<Type>, Type)> {
+    fn con_type(&mut self, c: ConId, tcx: TypeCtx<'_>, span: Span) -> Result<(Option<Type>, Type)> {
         let info = tcx.data.con(c);
         let d = info.data;
         let nvars = tcx.data.datatype(d).tyvars.len();
@@ -403,14 +411,11 @@ impl Checker {
             None => Ok(None),
             Some(ty) => {
                 let tyvars = &tcx.data.datatype(info.data).tyvars;
-                let mut scope: HashMap<String, Type> = tyvars
-                    .iter()
-                    .cloned()
-                    .zip(args.iter().cloned())
-                    .collect();
-                let t = self.convert_surface(ty, &mut scope, tcx).map_err(|d| {
-                    Diagnostic::new(Phase::Type, d.message, span)
-                })?;
+                let mut scope: HashMap<String, Type> =
+                    tyvars.iter().cloned().zip(args.iter().cloned()).collect();
+                let t = self
+                    .convert_surface(ty, &mut scope, tcx)
+                    .map_err(|d| Diagnostic::new(Phase::Type, d.message, span))?;
                 Ok(Some(t))
             }
         }
@@ -445,9 +450,9 @@ impl Checker {
                 }
                 Ok(Type::Tuple(Rc::new(ts)))
             }
-            surface::Ty::Box(inner) => Ok(Type::Box(Rc::new(
-                self.convert_surface(inner, scope, tcx)?,
-            ))),
+            surface::Ty::Box(inner) => {
+                Ok(Type::Box(Rc::new(self.convert_surface(inner, scope, tcx)?)))
+            }
             surface::Ty::Con(name, args) => {
                 let mut arg_ts = Vec::with_capacity(args.len());
                 for a in args {
@@ -459,9 +464,7 @@ impl Checker {
                     ("string", 0) => Ok(Type::Str),
                     ("unit", 0) => Ok(Type::Unit),
                     ("ref", 1) => Ok(Type::Ref(Rc::new(arg_ts.pop().expect("one arg")))),
-                    ("array", 1) => {
-                        Ok(Type::Array(Rc::new(arg_ts.pop().expect("one arg"))))
-                    }
+                    ("array", 1) => Ok(Type::Array(Rc::new(arg_ts.pop().expect("one arg")))),
                     _ => {
                         // `type` abbreviation?
                         if let Some(ab) = tcx.abbrevs.get(name) {
@@ -612,13 +615,9 @@ fn span_of(e: &CExprS) -> Span {
 /// The value restriction: only syntactic values may be generalized.
 fn is_value(e: &CExprS) -> bool {
     match &e.node {
-        CExpr::Lit(_)
-        | CExpr::Var(_)
-        | CExpr::Lam(_, _)
-        | CExpr::Code(_)
-        | CExpr::Fail(_) => true,
+        CExpr::Lit(_) | CExpr::Var(_) | CExpr::Lam(_, _) | CExpr::Code(_) | CExpr::Fail(_) => true,
         CExpr::Tuple(parts) => parts.iter().all(is_value),
-        CExpr::Con(_, payload) => payload.as_deref().map_or(true, is_value),
+        CExpr::Con(_, payload) => payload.as_deref().is_none_or(is_value),
         CExpr::Ascribe(inner, _) => is_value(inner),
         _ => false,
     }
@@ -685,9 +684,7 @@ mod tests {
     #[test]
     fn value_restriction_blocks_generalization() {
         // `(fn x => x) (fn y => y)` is not a value; its type stays mono.
-        let r = infer_str(
-            "let val id = (fn x => x) (fn y => y) in (id 1, id true) end",
-        );
+        let r = infer_str("let val id = (fn x => x) (fn y => y) in (id 1, id true) end");
         assert!(r.is_err());
     }
 
@@ -778,7 +775,10 @@ mod tests {
         assert_eq!(infer_str("ref 1").unwrap(), "int ref");
         assert_eq!(infer_str("!(ref 1)").unwrap(), "int");
         assert_eq!(infer_str("array (3, true)").unwrap(), "bool array");
-        assert_eq!(infer_str("fn a => sub (a, 0) + 1").unwrap(), "int array -> int");
+        assert_eq!(
+            infer_str("fn a => sub (a, 0) + 1").unwrap(),
+            "int array -> int"
+        );
     }
 
     #[test]
@@ -810,13 +810,22 @@ mod tests {
 
     #[test]
     fn equality_is_polymorphic() {
-        assert_eq!(infer_str("fn x => fn y => x = y").unwrap().matches("->").count(), 2);
+        assert_eq!(
+            infer_str("fn x => fn y => x = y")
+                .unwrap()
+                .matches("->")
+                .count(),
+            2
+        );
         assert_eq!(infer_str("[1] = [2]").unwrap(), "bool");
     }
 
     #[test]
     fn tuple_projection_via_patterns() {
-        assert_eq!(infer_str("fn (a, b) => a + b").unwrap(), "(int * int) -> int");
+        assert_eq!(
+            infer_str("fn (a, b) => a + b").unwrap(),
+            "(int * int) -> int"
+        );
     }
 
     #[test]

@@ -35,4 +35,4 @@ pub mod check;
 pub mod ty;
 
 pub use check::{Checker, TypeCtx};
-pub use ty::{render, Scheme, Type, TvGen};
+pub use ty::{render, Scheme, TvGen, Type};

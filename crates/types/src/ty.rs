@@ -348,7 +348,10 @@ pub fn render(t: &Type, data: &DataEnv) -> String {
                     1 => format!("{} {}", atom(&args[0], data), name),
                     _ => format!(
                         "({}) {}",
-                        args.iter().map(|a| go(a, data)).collect::<Vec<_>>().join(", "),
+                        args.iter()
+                            .map(|a| go(a, data))
+                            .collect::<Vec<_>>()
+                            .join(", "),
                         name
                     ),
                 }
@@ -431,10 +434,7 @@ mod tests {
 
     #[test]
     fn render_box_types() {
-        let t = Type::Box(Rc::new(Type::Arrow(
-            Rc::new(Type::Int),
-            Rc::new(Type::Int),
-        )));
+        let t = Type::Box(Rc::new(Type::Arrow(Rc::new(Type::Int), Rc::new(Type::Int))));
         assert_eq!(render(&t, &data()), "(int -> int) $");
     }
 

@@ -34,11 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("pow16 2 = {} in {} steps", fast.value, fast.stats.steps);
 
     // ...and much cheaper than the unstaged equivalent.
-    session.run(
-        "fun power (e, b) = if e = 0 then 1 else b * power (e - 1, b)",
-    )?;
+    session.run("fun power (e, b) = if e = 0 then 1 else b * power (e - 1, b)")?;
     let slow = session.eval_expr("power (16, 2)")?;
-    println!("power (16, 2) = {} in {} steps", slow.value, slow.stats.steps);
+    println!(
+        "power (16, 2) = {} in {} steps",
+        slow.value, slow.stats.steps
+    );
     println!(
         "speedup: {:.1}x fewer reductions per call",
         slow.stats.steps as f64 / fast.stats.steps as f64

@@ -22,6 +22,12 @@ fn corpus_agrees() {
         "1 + 2 * 3 - 4 div 2",
         "if 3 < 5 then ~1 else 1",
         "band (12, 10) + (7 mod 3)",
+        // SML floor division: div rounds toward negative infinity, mod
+        // takes the divisor's sign.
+        "(~7 div 2, ~7 mod 2)",
+        "(7 div ~2, 7 mod ~2)",
+        "(~7 div ~2, ~7 mod ~2)",
+        "eval (code (fn x => (x div ~3, x mod ~3))) ~10",
         // Functions and currying.
         "(fn x => fn y => x * 10 + y) 4 2",
         "let val f = fn (a, b) => a - b in f (10, 3) end",
@@ -75,13 +81,11 @@ fn int_expr(depth: u32) -> BoxedStrategy<String> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} - {b})")),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, a, b)| format!(
-                "(if {c} < {a} then {a} else {b})"
-            )),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, a, b)| format!("(if {c} < {a} then {a} else {b})")),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| format!("(let val v = {a} in {b} end)")),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| format!("((fn v => {b}) {a})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("((fn v => {b}) {a})")),
         ]
     })
     .boxed()
@@ -196,6 +200,31 @@ proptest! {
             ml_int(c), ml_int(t), ml_int(f)
         );
         assert_agree(&src).unwrap();
+    }
+
+    #[test]
+    fn negative_div_mod_agree_everywhere(
+        a in -60i64..60,
+        b in 1i64..10,
+        negate in proptest::bool::ANY,
+    ) {
+        // Machine vs oracle, and — with both operands lifted so the §4.2
+        // optimizer constant-folds the division — optimized vs plain.
+        let d = if negate { -b } else { b };
+        let src = format!(
+            "let cogen a' = lift {} cogen b' = lift {} in eval (code (fn u => (a' div b', a' mod b'))) end 0",
+            ml_int(a),
+            ml_int(d)
+        );
+        let plain = assert_agree(&src).unwrap();
+        use mlbox::{Session, SessionOptions};
+        let mut s = Session::with_options(SessionOptions {
+            optimize: true,
+            ..Default::default()
+        })
+        .unwrap();
+        let out = s.run(&src).unwrap();
+        prop_assert_eq!(&out.last().unwrap().value, &plain);
     }
 
     #[test]

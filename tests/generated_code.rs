@@ -92,7 +92,10 @@ fn generator_bodies_are_emit_sequences() {
     let body = closure_body(&g);
     let c = census(&body);
     assert!(c.contains_key("emit"), "census: {c:?}");
-    assert!(c.contains_key("merge"), "lambda bodies merge via Cur: {c:?}");
+    assert!(
+        c.contains_key("merge"),
+        "lambda bodies merge via Cur: {c:?}"
+    );
     // Structural validity: no nested emits anywhere.
     ccam::instr::validate(&body).unwrap();
 }

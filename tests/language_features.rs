@@ -21,7 +21,12 @@ fn run_err(src: &str) -> String {
 fn arithmetic_and_precedence() {
     assert_eq!(run("1 + 2 * 3 - 4"), "3");
     assert_eq!(run("(1 + 2) * (3 - 4)"), "-3");
-    assert_eq!(run("~7 mod 3"), "-1");
+    // SML div/mod floor toward negative infinity; mod follows the
+    // divisor's sign (Definition of Standard ML, not Rust's truncation).
+    assert_eq!(run("~7 mod 3"), "2");
+    assert_eq!(run("~7 div 3"), "-3");
+    assert_eq!(run("7 mod ~3"), "-2");
+    assert_eq!(run("7 div ~3"), "-3");
     assert_eq!(run("17 div 5"), "3");
     assert_eq!(run("band (12, 10)"), "8");
 }
@@ -266,7 +271,8 @@ fn exhaustiveness_warnings() {
         "{w:?}"
     );
     // Exhaustive case: no warning.
-    s.run("fun g xs = case xs of nil => 0 | a :: _ => a").unwrap();
+    s.run("fun g xs = case xs of nil => 0 | a :: _ => a")
+        .unwrap();
     assert!(s.take_warnings().is_empty());
     // Redundant arm.
     s.run("fun h x = case x of _ => 1 | 3 => 2").unwrap();
@@ -308,7 +314,10 @@ val u = while !i < 10 do (acc := !acc + !i; i := !i + 1);
 !acc";
     assert_eq!(run(src), "45");
     // Zero iterations.
-    assert_eq!(run("val r = ref 7\nval u = while false do r := 0;\n!r"), "7");
+    assert_eq!(
+        run("val r = ref 7\nval u = while false do r := 0;\n!r"),
+        "7"
+    );
 }
 
 #[test]

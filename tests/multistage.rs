@@ -7,7 +7,8 @@ use mlbox::Session;
 #[test]
 fn two_literal_stages() {
     let mut s = Session::new().unwrap();
-    s.run("val g2 = code (fn a => code (fn b => b * 2))").unwrap();
+    s.run("val g2 = code (fn a => code (fn b => b * 2))")
+        .unwrap();
     s.run("val stage1 = eval g2").unwrap();
     s.run("val gen2 = stage1 7").unwrap();
     let out = s.eval_expr("eval gen2 10").unwrap();
@@ -98,14 +99,21 @@ val gen2 = mk 5";
 #[test]
 fn multi_stage_emission_happens_at_each_stage() {
     let mut s = Session::new().unwrap();
-    s.run("val g2 = code (fn a => code (fn b => b * 2))").unwrap();
+    s.run("val g2 = code (fn a => code (fn b => b * 2))")
+        .unwrap();
     let o1 = s.run("val stage1 = eval g2").unwrap();
-    assert!(o1.last().unwrap().stats.emitted > 0, "stage-1 generation emits");
+    assert!(
+        o1.last().unwrap().stats.emitted > 0,
+        "stage-1 generation emits"
+    );
     let o2 = s.run("val gen2 = stage1 7").unwrap();
     // Applying stage1 runs generated code which *builds* the stage-2
     // generator (a closure), but does not emit stage-2 code yet.
     let o3 = s.run("val f = eval gen2").unwrap();
-    assert!(o3.last().unwrap().stats.emitted > 0, "stage-2 generation emits");
+    assert!(
+        o3.last().unwrap().stats.emitted > 0,
+        "stage-2 generation emits"
+    );
     let _ = o2;
 }
 

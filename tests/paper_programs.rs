@@ -110,7 +110,10 @@ fn section_3_2_library_client() {
     // Dynamically generated code invokes compPoly: stage-2 generation.
     let out = s.eval_expr("stage1 2 10").unwrap();
     assert_eq!(out.value, (14 + 10 * 7).to_string());
-    assert!(out.stats.emitted > 0, "stage-2 code was generated at run time");
+    assert!(
+        out.stats.emitted > 0,
+        "stage-2 code was generated at run time"
+    );
 }
 
 #[test]
@@ -135,7 +138,9 @@ fn section_3_4_code_power() {
     s.run(programs::CODE_POWER).unwrap();
     for (e, b, expect) in [(0i64, 5i64, 1i64), (1, 5, 5), (10, 2, 1024), (3, 7, 343)] {
         assert_eq!(
-            s.eval_expr(&format!("eval (codePower {e}) {b}")).unwrap().value,
+            s.eval_expr(&format!("eval (codePower {e}) {b}"))
+                .unwrap()
+                .value,
             expect.to_string()
         );
     }

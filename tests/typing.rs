@@ -5,9 +5,7 @@ use mlbox::{Session, SessionOptions};
 
 fn infer(src: &str) -> Result<String, String> {
     let mut s = Session::new().map_err(|e| e.to_string())?;
-    s.eval_expr(src)
-        .map(|o| o.ty)
-        .map_err(|e| e.to_string())
+    s.eval_expr(src).map(|o| o.ty).map_err(|e| e.to_string())
 }
 
 fn infer_decls(src: &str) -> Result<String, String> {
@@ -62,8 +60,13 @@ fn let_cogen_requires_a_generator() {
 
 #[test]
 fn comp_poly_has_the_papers_type() {
-    let t = infer_decls(mlbox::programs::COMP_POLY.split("val codeGenerator").next().unwrap())
-        .unwrap();
+    let t = infer_decls(
+        mlbox::programs::COMP_POLY
+            .split("val codeGenerator")
+            .next()
+            .unwrap(),
+    )
+    .unwrap();
     // val compPoly : poly -> (int -> int) $
     assert_eq!(t, "int list -> (int -> int) $");
 }
@@ -106,10 +109,7 @@ fn value_restriction_applies_to_cogen() {
 #[test]
 fn branches_and_arms_must_agree() {
     assert!(infer("if true then 1 else false").is_err());
-    assert!(infer_decls(
-        "datatype t = A | B\nfun f x = case x of A => 1 | B => true"
-    )
-    .is_err());
+    assert!(infer_decls("datatype t = A | B\nfun f x = case x of A => 1 | B => true").is_err());
 }
 
 #[test]

@@ -1,0 +1,93 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the API subset its property tests use: the [`strategy::Strategy`]
+//! trait with `prop_map` / `prop_recursive` / `boxed`, strategies for
+//! integer ranges, tuples, [`strategy::Just`], vectors
+//! ([`collection::vec`]), booleans ([`bool::ANY`]), `any::<T>()`, a tiny
+//! character-class subset of the string-regex strategies, and the
+//! [`proptest!`] / [`prop_oneof!`] / `prop_assert*` macros.
+//!
+//! Semantics differ from real proptest in one deliberate way: failing
+//! cases are reported but **not shrunk**, and no regression files are
+//! read or written (`*.proptest-regressions` files in the tree are
+//! ignored). Generation is deterministic per test name, so failures
+//! reproduce across runs.
+
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let mut rng = crate::test_runner::TestRng::deterministic("compose");
+        let s = (0i64..10, 5u8..6).prop_map(|(a, b)| a + i64::from(b));
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((5..15).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = crate::test_runner::TestRng::deterministic("arms");
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        let mut rng = crate::test_runner::TestRng::deterministic("rec");
+        let leaf = (0i64..10).prop_map(|n| n.to_string()).boxed();
+        let s = leaf.prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a}+{b})"))
+        });
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(!v.is_empty());
+        }
+    }
+
+    #[test]
+    fn string_classes_generate_members() {
+        let mut rng = crate::test_runner::TestRng::deterministic("str");
+        for _ in 0..100 {
+            let v = "[a-z ]{0,6}".generate(&mut rng);
+            assert!(v.len() <= 6);
+            assert!(v.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+            let p = "\\PC{0,10}".generate(&mut rng);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn collection_vec_respects_length_range() {
+        let mut rng = crate::test_runner::TestRng::deterministic("vec");
+        let s = crate::collection::vec(0i64..5, 2..6);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_binds_and_loops(a in 0i64..50, b in 0i64..50) {
+            prop_assume!(a != 49);
+            prop_assert!(a + b >= a);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! The usual `use proptest::prelude::*` surface.
+
+pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
