@@ -1,0 +1,36 @@
+//! Deep-environment access microbenchmark: the paper's pair-spine
+//! `fst^k; snd` access chains versus the fused single-dispatch `acc` of
+//! indexed environment mode (`SessionOptions::indexed_env`).
+//!
+//! Each iteration builds a fresh session (prelude off, so the environment
+//! holds exactly the workload's bindings) and evaluates a nest of `depth`
+//! `let` bindings whose body reads the outermost variable — the access
+//! that costs O(depth) dispatches on the spine and O(1) indexed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlbox::{Session, SessionOptions};
+use mlbox_bench::deep_env_program;
+
+fn bench_deep_env(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deep_env");
+    for depth in [8usize, 32, 128] {
+        let src = deep_env_program(depth);
+        for (name, indexed) in [("spine", false), ("indexed", true)] {
+            group.bench_function(format!("depth_{depth}_{name}"), |b| {
+                b.iter(|| {
+                    let mut s = Session::with_options(SessionOptions {
+                        prelude: false,
+                        indexed_env: indexed,
+                        ..SessionOptions::default()
+                    })
+                    .expect("session");
+                    s.eval_expr(&src).expect("run").stats.steps
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_deep_env);
+criterion_main!(benches);

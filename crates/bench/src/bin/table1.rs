@@ -5,11 +5,13 @@
 //!
 //! ```text
 //! table1             # the Table 1 reproduction
-//! table1 --json      # the same rows as JSON, plus freeze-cache counters
+//! table1 --json      # the same rows as JSON, plus an indexed-env
+//!                    # comparison column and freeze-cache counters
 //! table1 sweep-poly  # polynomial-degree sweep (E6)
 //! table1 sweep-filter# filter-length sweep (E6)
 //! table1 crossover   # amortization break-even analysis (E6)
 //! table1 memo        # memoization measurements (E4)
+//! table1 deep-env    # pair-spine vs indexed access on deep environments
 //! table1 all         # everything
 //! ```
 //!
@@ -18,7 +20,10 @@
 //! *shape* of the results is asserted in `tests/` and recorded in
 //! EXPERIMENTS.md.
 
-use mlbox_bench::{break_even, poly_costs, poly_literal, render_table, Row};
+use mlbox::SessionOptions;
+use mlbox_bench::{
+    break_even, deep_env_steps, poly_costs, poly_costs_with, poly_literal, render_table, Row,
+};
 use mlbox_bpf::filters::{chain_filter, telnet_filter};
 use mlbox_bpf::harness::FilterHarness;
 use mlbox_bpf::packet::PacketGen;
@@ -50,6 +55,22 @@ fn main() {
     if run("optimize") {
         optimize_ablation();
     }
+    if run("deep-env") {
+        deep_env();
+    }
+}
+
+/// Environment-representation comparison: reduction steps for a deep
+/// `let` nest under the default pair-spine accesses vs `indexed_env`.
+fn deep_env() {
+    println!("Deep-environment access (nested lets, one walk to the outermost binding)");
+    println!("{:>8} {:>12} {:>12}", "depth", "spine", "indexed");
+    for depth in [4usize, 8, 16, 32, 64, 128] {
+        let spine = deep_env_steps(depth, false).expect("spine run");
+        let indexed = deep_env_steps(depth, true).expect("indexed run");
+        println!("{depth:>8} {spine:>12} {indexed:>12}");
+    }
+    println!();
 }
 
 /// §4.2 ablation: the emission-time optimizer ("a more sophisticated
@@ -107,16 +128,15 @@ fn optimize_ablation() {
     );
 }
 
-/// The Table 1 reproduction: packet-filter rows measured through the BPF
-/// harness, polynomial rows via the §3.1 programs. With `json`, the rows
-/// are emitted as a JSON object that additionally carries the harness
-/// session's freeze-cache counters.
-fn table1(json: bool) {
+/// Measures all ten Table 1 rows under the given session options,
+/// returning the rows plus the packet-filter harness's cumulative machine
+/// statistics (for the freeze-cache counters in the JSON output).
+fn table1_rows(options: &SessionOptions) -> (Vec<Row>, ccam::machine::Stats) {
     let mut rows = Vec::new();
 
     // ---- Packet filter rows (E1) ----
     let filter = telnet_filter();
-    let mut h = FilterHarness::new(&filter).expect("harness");
+    let mut h = FilterHarness::with_options(&filter, options.clone()).expect("harness");
     let mut packets = PacketGen::new(1998);
     let telnet = packets.telnet(32);
 
@@ -153,7 +173,7 @@ fn table1(json: bool) {
     ));
 
     // ---- Polynomial rows (E2, E3) ----
-    let c = poly_costs("[2, 4, 0, 2333]", 47).expect("poly costs");
+    let c = poly_costs_with("[2, 4, 0, 2333]", 47, options.clone()).expect("poly costs");
     rows.push(Row::with_paper(
         "evalPoly (47, polyl)",
         c.interp_per_call,
@@ -165,14 +185,33 @@ fn table1(json: bool) {
     rows.push(Row::with_paper("compPoly polyl", c.comp_build, 0, 553));
     rows.push(Row::with_paper("eval codeGenerator", c.generate, 0, 200));
     rows.push(Row::with_paper("mlPolyFun 47", c.staged_per_call, 0, 74));
+    (rows, h.machine_stats())
+}
+
+/// The Table 1 reproduction: packet-filter rows measured through the BPF
+/// harness, polynomial rows via the §3.1 programs. With `json`, the rows
+/// are emitted as a JSON object that additionally carries an indexed-env
+/// comparison column (`steps_indexed`) and the harness session's
+/// freeze-cache counters.
+fn table1(json: bool) {
+    let (rows, stats) = table1_rows(&SessionOptions::default());
 
     if json {
+        let (indexed_rows, _) = table1_rows(&SessionOptions {
+            indexed_env: true,
+            ..SessionOptions::default()
+        });
+        let rows: Vec<Row> = rows
+            .into_iter()
+            .zip(indexed_rows)
+            .map(|(r, ir)| r.with_indexed(ir.steps))
+            .collect();
         println!(
             "{}",
             mlbox_bench::render_json(
                 "Table 1: Reduction steps on the CCAM for various functions in the text",
                 &rows,
-                &h.machine_stats(),
+                &stats,
             )
         );
         return;
@@ -184,12 +223,14 @@ fn table1(json: bool) {
             &rows
         )
     );
+    let (interp_steps, run_steps_n) = (rows[0].steps, rows[3].steps);
+    let (interp_per_call, staged_per_call) = (rows[4].steps, rows[9].steps);
     println!(
         "shape checks: bevalpf nth / evalpf = {:.2}x cheaper (paper {:.2}x); \
          mlPolyFun / evalPoly = {:.2}x cheaper (paper {:.2}x)\n",
         interp_steps as f64 / run_steps_n as f64,
         9163.0 / 1104.0,
-        c.interp_per_call as f64 / c.staged_per_call as f64,
+        interp_per_call as f64 / staged_per_call as f64,
         807.0 / 74.0,
     );
 }

@@ -5,19 +5,23 @@
 //! benches additionally report wall-clock time of the simulator, which
 //! tracks steps closely.
 
-use mlbox::{Error, Session};
+use mlbox::{Error, Session, SessionOptions};
 
 /// A measurement row: a computation's label and its reduction steps.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Row {
     /// What was measured (the paper's "Computation" column).
     pub label: String,
-    /// CCAM reduction steps.
+    /// CCAM reduction steps (default pair-spine environment mode — the
+    /// paper's cost model).
     pub steps: u64,
     /// Instructions emitted into arenas during the computation.
     pub emitted: u64,
     /// The paper's reported number, when the row reproduces one.
     pub paper: Option<u64>,
+    /// Steps for the same computation under `indexed_env` (fused `acc`
+    /// accesses), when the comparison was measured.
+    pub indexed_steps: Option<u64>,
 }
 
 impl Row {
@@ -28,6 +32,7 @@ impl Row {
             steps,
             emitted,
             paper: Some(paper),
+            indexed_steps: None,
         }
     }
 
@@ -38,7 +43,15 @@ impl Row {
             steps,
             emitted,
             paper: None,
+            indexed_steps: None,
         }
+    }
+
+    /// Attaches the indexed-mode measurement of the same computation.
+    #[must_use]
+    pub fn with_indexed(mut self, steps: u64) -> Row {
+        self.indexed_steps = Some(steps);
+        self
     }
 }
 
@@ -100,10 +113,15 @@ pub fn render_json(title: &str, rows: &[Row], machine: &ccam::machine::Stats) ->
             .paper
             .map(|p| p.to_string())
             .unwrap_or_else(|| "null".to_string());
+        let indexed = r
+            .indexed_steps
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "null".to_string());
         out.push_str(&format!(
-            "    {{\"label\": \"{}\", \"steps\": {}, \"emitted\": {}, \"paper\": {}}}{}\n",
+            "    {{\"label\": \"{}\", \"steps\": {}, \"steps_indexed\": {}, \"emitted\": {}, \"paper\": {}}}{}\n",
             esc(&r.label),
             r.steps,
+            indexed,
             r.emitted,
             paper,
             if i + 1 < rows.len() { "," } else { "" }
@@ -124,7 +142,16 @@ pub fn render_json(title: &str, rows: &[Row], machine: &ccam::machine::Stats) ->
 ///
 /// Propagates any pipeline error.
 pub fn poly_session() -> Result<Session, Error> {
-    let mut s = Session::new()?;
+    poly_session_with(SessionOptions::default())
+}
+
+/// [`poly_session`] with explicit session options (e.g. `indexed_env`).
+///
+/// # Errors
+///
+/// Propagates any pipeline error.
+pub fn poly_session_with(options: SessionOptions) -> Result<Session, Error> {
+    let mut s = Session::with_options(options)?;
     s.run(mlbox::programs::EVAL_POLY)?;
     Ok(s)
 }
@@ -167,7 +194,16 @@ pub struct PolyCosts {
 ///
 /// Propagates any pipeline error.
 pub fn poly_costs(poly: &str, base: i64) -> Result<PolyCosts, Error> {
-    let mut s = poly_session()?;
+    poly_costs_with(poly, base, SessionOptions::default())
+}
+
+/// [`poly_costs`] with explicit session options (e.g. `indexed_env`).
+///
+/// # Errors
+///
+/// Propagates any pipeline error.
+pub fn poly_costs_with(poly: &str, base: i64, options: SessionOptions) -> Result<PolyCosts, Error> {
+    let mut s = poly_session_with(options)?;
     s.run(&format!("val thePoly = {poly}"))?;
     let interp = s.eval_expr(&format!("evalPoly ({base}, thePoly)"))?;
     s.run(mlbox::programs::SPEC_POLY)?;
@@ -185,6 +221,41 @@ pub fn poly_costs(poly: &str, base: i64) -> Result<PolyCosts, Error> {
         generate: generate.last().expect("outcome").stats.steps,
         staged_per_call: staged_call.stats.steps,
     })
+}
+
+/// A deep-environment access workload: `depth` nested `let` bindings,
+/// whose body sums the *outermost* and innermost variables — so one access
+/// must walk the whole spine. In pair-spine mode that access costs
+/// `depth` dispatches (`fst^depth; snd`); in indexed mode it is a single
+/// `acc` dispatch.
+pub fn deep_env_program(depth: usize) -> String {
+    assert!(depth >= 1, "need at least one binding");
+    let mut s = String::from("let ");
+    for i in 0..depth {
+        if i == 0 {
+            s.push_str("val v0 = 1\n");
+        } else {
+            s.push_str(&format!("val v{i} = v{} + 1\n", i - 1));
+        }
+    }
+    s.push_str(&format!("in v0 + v{} end", depth - 1));
+    s
+}
+
+/// Reduction steps to evaluate [`deep_env_program`] at the given depth,
+/// with or without `indexed_env`. The session runs without the prelude so
+/// the measured environment contains exactly the workload's bindings.
+///
+/// # Errors
+///
+/// Propagates any pipeline error.
+pub fn deep_env_steps(depth: usize, indexed: bool) -> Result<u64, Error> {
+    let mut s = Session::with_options(SessionOptions {
+        prelude: false,
+        indexed_env: indexed,
+        ..SessionOptions::default()
+    })?;
+    Ok(s.eval_expr(&deep_env_program(depth))?.stats.steps)
 }
 
 /// The break-even point: how many uses amortize a one-time cost, given
@@ -248,6 +319,30 @@ mod tests {
         assert!(c.staged_per_call < c.spec_per_call, "{c:?}");
         assert!(c.spec_per_call < c.interp_per_call, "{c:?}");
         assert!(c.generate > 0 && c.comp_build > 0 && c.spec_build > 0);
+    }
+
+    #[test]
+    fn json_rendering_includes_indexed_comparison() {
+        let rows = vec![Row::with_paper("r", 100, 0, 90).with_indexed(60)];
+        let stats = ccam::machine::Stats::default();
+        let j = render_json("t", &rows, &stats);
+        assert!(j.contains("\"steps_indexed\": 60"), "{j}");
+    }
+
+    #[test]
+    fn deep_env_microbench_favors_indexed_mode() {
+        let depth = 48;
+        let spine = deep_env_steps(depth, false).unwrap();
+        let indexed = deep_env_steps(depth, true).unwrap();
+        assert!(
+            indexed < spine,
+            "indexed mode must need fewer steps on deep environments \
+             (indexed {indexed} vs spine {spine} at depth {depth})"
+        );
+        // The gap grows with depth: the deep access is O(depth) vs O(1).
+        let spine_gap = deep_env_steps(2 * depth, false).unwrap() - spine;
+        let indexed_gap = deep_env_steps(2 * depth, true).unwrap() - indexed;
+        assert!(indexed_gap < spine_gap, "{indexed_gap} vs {spine_gap}");
     }
 
     #[test]

@@ -25,12 +25,48 @@ fn render(code: &[Instr], depth: usize, out: &mut String) {
     }
 }
 
+/// The one-line rendering of an instruction that carries no nested code
+/// block: the mnemonic plus its operand, if any.
+fn inline_label(i: &Instr) -> String {
+    match i {
+        Instr::Acc(n) => format!("acc {n}"),
+        Instr::Quote(v) => format!("quote {v}"),
+        Instr::Prim(op) => format!("prim {op:?}"),
+        Instr::Pack(tag) => format!("pack {tag}"),
+        Instr::Fail(m) => format!("fail {m:?}"),
+        Instr::MergeSwitch(spec) => format!(
+            "merge_switch[{} arms{}]",
+            spec.arms.len(),
+            if spec.default { " + default" } else { "" }
+        ),
+        Instr::MergeRec(n) => format!("merge_rec[{n}]"),
+        // Operand-free instructions render as their mnemonic. The
+        // block-carrying ones (`cur`, `branch`, `switch`, `recclos`,
+        // `emit`) are rendered by `render_instr` and only reach here as
+        // a degenerate fallback.
+        Instr::Id
+        | Instr::Fst
+        | Instr::Snd
+        | Instr::Push
+        | Instr::Swap
+        | Instr::ConsPair
+        | Instr::App
+        | Instr::LiftV
+        | Instr::NewArena
+        | Instr::Merge
+        | Instr::Call
+        | Instr::MergeBranch
+        | Instr::Cur(_)
+        | Instr::Branch(_, _)
+        | Instr::Switch(_)
+        | Instr::RecClos(_)
+        | Instr::Emit(_) => i.mnemonic().to_string(),
+    }
+}
+
 fn render_instr(i: &Instr, depth: usize, out: &mut String) {
     indent(depth, out);
     match i {
-        Instr::Quote(v) => {
-            let _ = writeln!(out, "quote {v}");
-        }
         Instr::Cur(c) => {
             out.push_str("cur {\n");
             render(c, depth + 1, out);
@@ -38,15 +74,14 @@ fn render_instr(i: &Instr, depth: usize, out: &mut String) {
             out.push_str("}\n");
         }
         Instr::Emit(inner) => {
-            out.push_str("emit ");
             // Render the operand inline where simple; nested blocks indent.
             match &**inner {
                 Instr::Cur(_) | Instr::Branch(_, _) | Instr::Switch(_) | Instr::RecClos(_) => {
-                    out.push('\n');
+                    out.push_str("emit\n");
                     render_instr(inner, depth + 1, out);
                 }
                 simple => {
-                    let _ = writeln!(out, "[{}]", simple.mnemonic());
+                    let _ = writeln!(out, "emit [{}]", inline_label(simple));
                 }
             }
         }
@@ -89,28 +124,8 @@ fn render_instr(i: &Instr, depth: usize, out: &mut String) {
             indent(depth, out);
             out.push_str("}\n");
         }
-        Instr::Prim(op) => {
-            let _ = writeln!(out, "prim {op:?}");
-        }
-        Instr::Pack(tag) => {
-            let _ = writeln!(out, "pack {tag}");
-        }
-        Instr::Fail(m) => {
-            let _ = writeln!(out, "fail {m:?}");
-        }
-        Instr::MergeSwitch(spec) => {
-            let _ = writeln!(
-                out,
-                "merge_switch[{} arms{}]",
-                spec.arms.len(),
-                if spec.default { " + default" } else { "" }
-            );
-        }
-        Instr::MergeRec(n) => {
-            let _ = writeln!(out, "merge_rec[{n}]");
-        }
         simple => {
-            let _ = writeln!(out, "{}", simple.mnemonic());
+            let _ = writeln!(out, "{}", inline_label(simple));
         }
     }
 }
@@ -154,7 +169,27 @@ pub fn census(code: &[Instr]) -> BTreeMap<&'static str, usize> {
                 }
             }
             Instr::Emit(inner) => visit(inner, out),
-            _ => {}
+            // Exhaustive on purpose: a new instruction must declare
+            // whether it nests code the census should descend into.
+            Instr::Id
+            | Instr::Fst
+            | Instr::Snd
+            | Instr::Acc(_)
+            | Instr::Push
+            | Instr::Swap
+            | Instr::ConsPair
+            | Instr::App
+            | Instr::Quote(_)
+            | Instr::LiftV
+            | Instr::NewArena
+            | Instr::Merge
+            | Instr::Call
+            | Instr::Pack(_)
+            | Instr::Prim(_)
+            | Instr::Fail(_)
+            | Instr::MergeBranch
+            | Instr::MergeSwitch(_)
+            | Instr::MergeRec(_) => {}
         }
     }
     for i in code {

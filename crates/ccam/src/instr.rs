@@ -111,6 +111,13 @@ pub enum Instr {
     Fst,
     /// Project the second component of the top pair.
     Snd,
+    /// Indexed environment access: `Acc(n)` ≡ `Fst^n; Snd` fused into a
+    /// single dispatch — walk `n` links down the left-nested pair spine,
+    /// then take the second component. The compiler emits this in indexed
+    /// environment mode (`EnvMode::Indexed` in `mlbox-compile`); the
+    /// peephole optimizer also rewrites residual `Fst..Fst; Snd` chains
+    /// into it.
+    Acc(usize),
     /// Duplicate the top of the stack.
     Push,
     /// Exchange the two top stack entries.
@@ -170,7 +177,7 @@ pub enum Instr {
 }
 
 /// Number of distinct opcodes, for [`Instr::opcode`]-indexed tables.
-pub const OPCODE_COUNT: usize = 23;
+pub const OPCODE_COUNT: usize = 24;
 
 /// Mnemonics indexed by [`Instr::opcode`].
 pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
@@ -197,6 +204,7 @@ pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
     "merge_branch",
     "merge_switch",
     "merge_rec",
+    "acc",
 ];
 
 impl Instr {
@@ -227,6 +235,7 @@ impl Instr {
             Instr::MergeBranch => 20,
             Instr::MergeSwitch(_) => 21,
             Instr::MergeRec(_) => 22,
+            Instr::Acc(_) => 23,
         }
     }
 
@@ -291,7 +300,27 @@ pub fn validate(code: &[Instr]) -> Result<(), ValidateError> {
                 }
                 Ok(())
             }
-            _ => Ok(()),
+            // Exhaustive on purpose: adding an instruction must force a
+            // decision about whether it can carry nested code.
+            Instr::Id
+            | Instr::Fst
+            | Instr::Snd
+            | Instr::Acc(_)
+            | Instr::Push
+            | Instr::Swap
+            | Instr::ConsPair
+            | Instr::App
+            | Instr::Quote(_)
+            | Instr::LiftV
+            | Instr::NewArena
+            | Instr::Merge
+            | Instr::Call
+            | Instr::Pack(_)
+            | Instr::Prim(_)
+            | Instr::Fail(_)
+            | Instr::MergeBranch
+            | Instr::MergeSwitch(_)
+            | Instr::MergeRec(_) => Ok(()),
         }
     }
     for i in code {
@@ -333,5 +362,12 @@ mod tests {
         assert_eq!(Instr::Id.mnemonic(), "id");
         assert_eq!(Instr::Emit(Box::new(Instr::Id)).mnemonic(), "emit");
         assert_eq!(Instr::MergeBranch.mnemonic(), "merge_branch");
+        assert_eq!(Instr::Acc(3).mnemonic(), "acc");
+    }
+
+    #[test]
+    fn emitted_acc_is_legal() {
+        let ok = vec![Instr::Emit(Box::new(Instr::Acc(2)))];
+        assert!(validate(&ok).is_ok());
     }
 }

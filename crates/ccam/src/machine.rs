@@ -466,6 +466,26 @@ impl Machine {
                 let (_, b) = self.pop_pair("snd")?;
                 self.stack.push(b);
             }
+            Instr::Acc(n) => {
+                // Fused `fst^n; snd`: one dispatch, one reduction step,
+                // and no intermediate spine values pushed — the walk
+                // borrows the pair chain and clones only the result.
+                let v = self.pop("acc")?;
+                let out = {
+                    let mut cur = &v;
+                    for _ in 0..*n {
+                        match cur {
+                            Value::Pair(p) => cur = &p.0,
+                            other => return Err(Self::mismatch("acc", "a pair spine", other)),
+                        }
+                    }
+                    match cur {
+                        Value::Pair(p) => p.1.clone(),
+                        other => return Err(Self::mismatch("acc", "a pair spine", other)),
+                    }
+                };
+                self.stack.push(out);
+            }
             Instr::Push => {
                 let v = self.top("push")?.clone();
                 self.stack.push(v);
@@ -877,6 +897,55 @@ mod tests {
         let p = Value::pair(Value::Int(1), Value::Int(2));
         assert!(matches!(run(vec![Instr::Fst], p.clone()), Value::Int(1)));
         assert!(matches!(run(vec![Instr::Snd], p), Value::Int(2)));
+    }
+
+    #[test]
+    fn acc_walks_the_spine_in_one_step() {
+        // Spine ((((), 1), 2), 3): Acc(0) = snd, Acc(2) = fst;fst;snd.
+        let spine = Value::pair(
+            Value::pair(Value::pair(Value::Unit, Value::Int(1)), Value::Int(2)),
+            Value::Int(3),
+        );
+        for (n, want) in [(0usize, 3i64), (1, 2), (2, 1)] {
+            let mut m = Machine::new();
+            let out = m.run(code(vec![Instr::Acc(n)]), spine.clone()).unwrap();
+            assert!(matches!(out, Value::Int(v) if v == want), "Acc({n})");
+            assert_eq!(m.stats().steps, 1, "Acc({n}) is a single reduction step");
+        }
+    }
+
+    #[test]
+    fn acc_agrees_with_fst_chain_and_is_cheaper() {
+        let spine = Value::pair(
+            Value::pair(Value::pair(Value::Unit, Value::Int(7)), Value::Int(8)),
+            Value::Int(9),
+        );
+        let chain = vec![Instr::Fst, Instr::Fst, Instr::Snd];
+        let mut m1 = Machine::new();
+        let v1 = m1.run(code(chain), spine.clone()).unwrap();
+        let mut m2 = Machine::new();
+        let v2 = m2.run(code(vec![Instr::Acc(2)]), spine).unwrap();
+        assert_eq!(v1.to_string(), v2.to_string());
+        assert!(m2.stats().steps < m1.stats().steps);
+    }
+
+    #[test]
+    fn acc_off_the_spine_is_a_type_mismatch() {
+        let err = Machine::new()
+            .run(code(vec![Instr::Acc(1)]), Value::Int(5))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MachineError::TypeMismatch { instr: "acc", .. }
+        ));
+        let shallow = Value::pair(Value::Int(1), Value::Int(2));
+        let err = Machine::new()
+            .run(code(vec![Instr::Acc(3)]), shallow)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MachineError::TypeMismatch { instr: "acc", .. }
+        ));
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   `x - 0` reduce to `x`; `x * 0` and `0 * x` reduce to `quote 0` when
 //!   `x`'s code is effect-free;
 //! - **branch folding** — `branch` on a constant boolean condition;
-//! - **dead `id` removal**.
+//! - **dead `id` removal**;
+//! - **access fusion** — `fst^k; snd` chains (the CAM's O(depth)
+//!   environment walks) collapse into the single-dispatch `acc k`.
 //!
 //! The CAM pairing discipline makes operand boundaries recoverable: every
 //! `⟨A, B⟩ = push; A; swap; B; cons` is parenthesis-balanced in
@@ -60,7 +62,28 @@ fn optimize_nested(i: &Instr) -> Instr {
         Instr::RecClos(bodies) => Instr::RecClos(Rc::new(
             bodies.iter().map(|b| Rc::new(peephole(b))).collect(),
         )),
-        other => other.clone(),
+        // Exhaustive on purpose: a new instruction carrying nested code
+        // must be added above, not silently left unoptimized.
+        Instr::Id
+        | Instr::Fst
+        | Instr::Snd
+        | Instr::Acc(_)
+        | Instr::Push
+        | Instr::Swap
+        | Instr::ConsPair
+        | Instr::App
+        | Instr::Quote(_)
+        | Instr::Emit(_)
+        | Instr::LiftV
+        | Instr::NewArena
+        | Instr::Merge
+        | Instr::Call
+        | Instr::Pack(_)
+        | Instr::Prim(_)
+        | Instr::Fail(_)
+        | Instr::MergeBranch
+        | Instr::MergeSwitch(_)
+        | Instr::MergeRec(_) => i.clone(),
     }
 }
 
@@ -71,6 +94,7 @@ fn is_pure(i: &Instr) -> bool {
         Instr::Id
         | Instr::Fst
         | Instr::Snd
+        | Instr::Acc(_)
         | Instr::Push
         | Instr::Swap
         | Instr::ConsPair
@@ -95,7 +119,24 @@ fn is_pure(i: &Instr) -> bool {
                 | PrimOp::StrSize
                 | PrimOp::IntToString
         ),
-        _ => false,
+        // Exhaustive on purpose: a new instruction must be classified
+        // here, not silently treated as effectful (or worse, pure).
+        // `App`/`Branch`/`Switch`/`RecClos` can run arbitrary code or
+        // trap; `Div`/`Mod` and the array ops can trap; the five RTCG
+        // instructions and the merge family mutate arenas.
+        Instr::App
+        | Instr::Emit(_)
+        | Instr::LiftV
+        | Instr::NewArena
+        | Instr::Merge
+        | Instr::Call
+        | Instr::Branch(_, _)
+        | Instr::RecClos(_)
+        | Instr::Switch(_)
+        | Instr::Fail(_)
+        | Instr::MergeBranch
+        | Instr::MergeSwitch(_)
+        | Instr::MergeRec(_) => false,
     }
 }
 
@@ -273,6 +314,26 @@ fn pass(code: &[Instr]) -> (Vec<Instr>, bool) {
                     i += 4;
                     continue 'outer;
                 }
+            }
+        }
+        // fst^k; snd (k >= 1) — access fusion: an environment spine walk
+        // collapses into one `acc` dispatch. `fst^k; acc m` likewise
+        // deepens an already-fused access.
+        if matches!(code[i], Instr::Fst) {
+            let mut k = 1;
+            while matches!(code.get(i + k), Some(Instr::Fst)) {
+                k += 1;
+            }
+            let fused = match code.get(i + k) {
+                Some(Instr::Snd) => Some(k),
+                Some(Instr::Acc(m)) => Some(k + m),
+                _ => None,
+            };
+            if let Some(depth) = fused {
+                out.push(Instr::Acc(depth));
+                changed = true;
+                i += k + 1;
+                continue 'outer;
             }
         }
         // Dead id.
@@ -507,6 +568,40 @@ mod tests {
         let b = Machine::new().run(Rc::new(opt), input).unwrap();
         assert_eq!(a.to_string(), b.to_string());
         assert_eq!(a.to_string(), "12");
+    }
+
+    #[test]
+    fn fst_chains_fuse_into_acc() {
+        let code = vec![Instr::Fst, Instr::Fst, Instr::Fst, Instr::Snd];
+        let opt = peephole(&code);
+        assert!(matches!(&opt[..], [Instr::Acc(3)]), "{opt:?}");
+        // A bare snd (zero fsts) is left alone — same cost either way.
+        let code = vec![Instr::Snd];
+        assert!(matches!(&peephole(&code)[..], [Instr::Snd]));
+        // Fsts not followed by snd are not an access path.
+        let code = vec![Instr::Fst, Instr::Fst];
+        assert_eq!(peephole(&code).len(), 2);
+    }
+
+    #[test]
+    fn fst_before_acc_deepens_the_access() {
+        let code = vec![Instr::Fst, Instr::Acc(2)];
+        let opt = peephole(&code);
+        assert!(matches!(&opt[..], [Instr::Acc(3)]), "{opt:?}");
+    }
+
+    #[test]
+    fn fused_access_computes_the_same_value() {
+        let spine = Value::pair(
+            Value::pair(Value::pair(Value::Unit, Value::Int(5)), Value::Int(6)),
+            Value::Int(7),
+        );
+        let code = vec![Instr::Fst, Instr::Fst, Instr::Snd];
+        let opt = peephole(&code);
+        let a = Machine::new().run(Rc::new(code), spine.clone()).unwrap();
+        let b = Machine::new().run(Rc::new(opt), spine).unwrap();
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(a.to_string(), "5");
     }
 
     #[test]

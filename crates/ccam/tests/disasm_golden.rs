@@ -1,0 +1,110 @@
+//! Golden test: the disassembly of a program exercising the *entire*
+//! instruction set — including the merge family and the indexed-access
+//! extension — is pinned exactly. Adding an instruction without teaching
+//! the disassembler (and this test) about it fails here.
+
+use ccam::disasm::{census, disassemble};
+use ccam::instr::{Instr, MergeSwitchSpec, PrimOp, SwitchArm, SwitchTable, OPCODE_NAMES};
+use ccam::value::Value;
+use std::rc::Rc;
+
+/// One instance of every instruction, in opcode-table order where the
+/// rendering allows it.
+fn full_instruction_set() -> Vec<Instr> {
+    vec![
+        Instr::Id,
+        Instr::Fst,
+        Instr::Snd,
+        Instr::Acc(2),
+        Instr::Push,
+        Instr::Swap,
+        Instr::ConsPair,
+        Instr::App,
+        Instr::Quote(Value::Int(7)),
+        Instr::Cur(Rc::new(vec![Instr::Snd])),
+        Instr::Emit(Box::new(Instr::Acc(1))),
+        Instr::Emit(Box::new(Instr::Cur(Rc::new(vec![Instr::Id])))),
+        Instr::LiftV,
+        Instr::NewArena,
+        Instr::Merge,
+        Instr::Call,
+        Instr::Branch(Rc::new(vec![Instr::Id]), Rc::new(vec![Instr::Fst])),
+        Instr::RecClos(Rc::new(vec![Rc::new(vec![Instr::Snd])])),
+        Instr::Pack(3),
+        Instr::Switch(Rc::new(SwitchTable {
+            arms: vec![SwitchArm {
+                tag: 0,
+                bind: true,
+                code: Rc::new(vec![Instr::Snd]),
+            }],
+            default: Some(Rc::new(vec![Instr::Id])),
+        })),
+        Instr::Prim(PrimOp::Add),
+        Instr::Fail("boom".into()),
+        Instr::MergeBranch,
+        Instr::MergeSwitch(Rc::new(MergeSwitchSpec {
+            arms: vec![(0, false), (1, true)],
+            default: true,
+        })),
+        Instr::MergeRec(2),
+    ]
+}
+
+#[test]
+fn disassembly_of_the_full_instruction_set_is_golden() {
+    let expected = "\
+id
+fst
+snd
+acc 2
+push
+swap
+cons
+app
+quote 7
+cur {
+  snd
+}
+emit [acc 1]
+emit
+  cur {
+    id
+  }
+lift
+arena
+merge
+call
+branch {
+  id
+} else {
+  fst
+}
+recclos[1] {
+  snd
+  --
+}
+pack 3
+switch {
+  tag 0 (bind) =>
+    snd
+  default =>
+    id
+}
+prim Add
+fail \"boom\"
+merge_branch
+merge_switch[2 arms + default]
+merge_rec[2]
+";
+    assert_eq!(disassemble(&full_instruction_set()), expected);
+}
+
+#[test]
+fn full_instruction_set_really_is_full() {
+    // The census of the golden program must mention every opcode the
+    // machine defines, so the golden test cannot silently go stale.
+    let c = census(&full_instruction_set());
+    for name in OPCODE_NAMES {
+        assert!(c.contains_key(name), "golden program misses `{name}`");
+    }
+}

@@ -19,7 +19,7 @@
 //! | `code M` | `Cur([M]gen)` | closure insertion via `lift` (no nested emits) |
 //! | `lift M` | `[M]; Cur(lift)` | `[M]gen; Cur(lift)` emitted |
 
-use crate::ctx::{Ctx, Kind};
+use crate::ctx::{Ctx, EnvMode, Kind, Layout};
 use ccam::instr::{Code, Instr, MergeSwitchSpec, PrimOp, SwitchArm, SwitchTable};
 use ccam::value::Value;
 use mlbox_ir::core::{CExpr, CExprS, CoreDecl, Lit, Prim};
@@ -345,20 +345,25 @@ fn gen_pair_into(
     Ok(())
 }
 
+/// Projects `lenv` out of the generation state: with `depth` extra values
+/// stacked above `(lenv, arena)`, the state's stack shape is a left-nested
+/// spine of `depth + 1` entries over the base `lenv`, so the projection is
+/// that spine's base path (`fst^(depth+1)`). Routing through [`Layout`]
+/// keeps it the single authority on environment-shape walking.
+fn lenv_into(depth: usize, out: &mut Vec<Instr>) {
+    Layout::Spine { count: depth + 1 }.base_path_into(out);
+}
+
 /// Generates `body` into a fresh arena and leaves that arena *stacked*
 /// above the current generation state: from a top value `T` (the state
 /// with `depth` arenas already stacked on it), produces `(T, {body})`.
-///
-/// `lenv` is reached by `fst^(depth+1)`.
 fn subgen_into(
     body: impl FnOnce(&mut Vec<Instr>) -> Result<()>,
     depth: usize,
     out: &mut Vec<Instr>,
 ) -> Result<()> {
     out.push(Instr::Push);
-    for _ in 0..=depth {
-        out.push(Instr::Fst);
-    }
+    lenv_into(depth, out);
     out.push(Instr::Push);
     out.push(Instr::NewArena);
     out.push(Instr::ConsPair); // (lenv, {})
@@ -404,10 +409,10 @@ fn gen_into(e: &CExprS, ctx: &Ctx, out: &mut Vec<Instr>) -> Result<()> {
                 // current code" (§5).
                 let path = ctx.early_path(i);
                 out.push(Instr::Push);
-                out.push(Instr::Fst);
+                lenv_into(0, out);
                 out.push(Instr::Swap); // P :: lenv
                 out.push(Instr::Push);
-                out.push(Instr::Fst);
+                lenv_into(0, out);
                 out.extend(path); // g :: P :: lenv
                 out.push(Instr::Swap);
                 out.push(Instr::Snd); // A :: g :: lenv
@@ -435,7 +440,7 @@ fn gen_into(e: &CExprS, ctx: &Ctx, out: &mut Vec<Instr>) -> Result<()> {
             // main arena as a Cur.
             let inner = ctx.bind_late(p.clone(), Kind::Val);
             out.push(Instr::Push); // P :: P
-            out.push(Instr::Fst); // lenv :: P
+            lenv_into(0, out); // lenv :: P
             out.push(Instr::Push);
             out.push(Instr::NewArena);
             out.push(Instr::ConsPair); // (lenv, {}) :: P
@@ -564,7 +569,7 @@ fn gen_into(e: &CExprS, ctx: &Ctx, out: &mut Vec<Instr>) -> Result<()> {
             emit(Instr::Push, out); // runtime: duplicate the stage env
             out.push(Instr::Push); // P :: P
             out.push(Instr::Push); // P :: P :: P
-            out.push(Instr::Fst); // lenv :: P :: P
+            lenv_into(0, out); // lenv :: P :: P
             out.push(Instr::Cur(rc(vec![Instr::Cur(g_inner)]))); // c :: P :: P
             out.push(Instr::Swap); // P :: c :: P
             out.push(Instr::Snd); // A :: c :: P
@@ -674,13 +679,23 @@ pub fn compile_decl(d: &CoreDecl, ctx: &Ctx) -> Result<(Vec<Instr>, Ctx, DeclEff
 
 /// Compiles a whole program (declaration sequence) into a single code
 /// sequence mapping an initial environment (conventionally `()`) to the
-/// value of the last value-producing declaration.
+/// value of the last value-producing declaration, in the default
+/// pair-spine access mode.
 ///
 /// # Errors
 ///
 /// Propagates expression-compilation errors.
 pub fn compile_program(decls: &[CoreDecl]) -> Result<Vec<Instr>> {
-    let mut ctx = Ctx::root();
+    compile_program_with(decls, EnvMode::default())
+}
+
+/// Like [`compile_program`], with an explicit environment-access mode.
+///
+/// # Errors
+///
+/// Propagates expression-compilation errors.
+pub fn compile_program_with(decls: &[CoreDecl], mode: EnvMode) -> Result<Vec<Instr>> {
+    let mut ctx = Ctx::root_with(mode);
     let mut out = Vec::new();
     let mut last_produces_value = false;
     for d in decls {
@@ -1018,6 +1033,74 @@ val g = let cogen d = lift double in code (fn x => d (x + 1)) end
 val f = eval g;
 f 20";
         assert_eq!(run_program(src).to_string(), "42");
+    }
+
+    #[test]
+    fn indexed_mode_agrees_with_pair_spine() {
+        let programs = [
+            "let val x = 5 val y = x * x in y + x end",
+            "fun fact n = if n = 0 then 1 else n * fact (n - 1);\nfact 6",
+            "fun eval c = let cogen u = c in u end\n\
+             fun compPoly p =\n\
+               case p of nil => code (fn x => 0)\n\
+               | a :: p' => let cogen f = compPoly p' cogen a' = lift a\n\
+                            in code (fn x => a' + (x * f x)) end\n\
+             val f = eval (compPoly [2, 4, 0, 2333]);\n\
+             f 47",
+            "fun eval c = let cogen u = c in u end\n\
+             val twoStage =\n\
+               code (fn a => let cogen a' = lift a in code (fn b => a' + b) end)\n\
+             val g2 = eval twoStage 7\n\
+             val f = eval g2;\n\
+             f 10",
+        ];
+        for src in programs {
+            let p = parse_program(src).unwrap();
+            let decls = Elab::new().elab_program(&p).unwrap();
+            let run_mode = |mode| {
+                let code = compile_program_with(&decls, mode).unwrap();
+                validate(&code).unwrap();
+                let mut m = Machine::new();
+                let v = m.run(rc(code), Value::Unit).unwrap();
+                (v.to_string(), m.stats().steps)
+            };
+            let (v_spine, s_spine) = run_mode(EnvMode::PairSpine);
+            let (v_idx, s_idx) = run_mode(EnvMode::Indexed);
+            assert_eq!(v_spine, v_idx, "mode disagreement on {src:?}");
+            assert!(
+                s_idx <= s_spine,
+                "indexed mode took more steps ({s_idx} > {s_spine}) on {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_mode_emits_acc_into_arenas() {
+        // The generating translation must route late accesses through
+        // Layout::path: in indexed mode the arena receives `acc`, not
+        // `fst`/`snd` chains.
+        let src = "\
+fun eval c = let cogen u = c in u end
+val g = code (fn x => fn y => x + y)
+val f = eval g;
+f 1 2";
+        let p = parse_program(src).unwrap();
+        let decls = Elab::new().elab_program(&p).unwrap();
+        let code = compile_program_with(&decls, crate::ctx::EnvMode::Indexed).unwrap();
+        let counts = ccam::disasm::census(&code);
+        assert!(counts.contains_key("acc"), "no acc in compiled output");
+        let emits_acc = {
+            fn scan(code: &[Instr]) -> bool {
+                code.iter().any(|i| match i {
+                    Instr::Emit(inner) => matches!(**inner, Instr::Acc(_)),
+                    Instr::Cur(c) => scan(c),
+                    Instr::Branch(a, b) => scan(a) || scan(b),
+                    _ => false,
+                })
+            }
+            scan(&code)
+        };
+        assert!(emits_acc, "generating translation emitted no Acc");
     }
 
     #[test]

@@ -24,6 +24,25 @@ pub enum Kind {
     Cogen,
 }
 
+/// How variable accesses are compiled against the pair-spine environment.
+///
+/// The environment *representation* is the same left-nested pair spine in
+/// both modes; the modes differ only in the instruction sequences that
+/// walk it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnvMode {
+    /// The paper's access sequences: `fst^k; snd` chains, one reduction
+    /// step per link. This is the default — Table 1's reduction-step
+    /// counts are measured in this mode.
+    #[default]
+    PairSpine,
+    /// Fused indexed access: each spine walk compiles to a single
+    /// [`Instr::Acc`] dispatch (`acc n` ≡ `fst^n; snd`). Cheaper on deep
+    /// environments, but no longer step-for-step comparable with the
+    /// paper's cost model.
+    Indexed,
+}
+
 /// How the *early* (generation-time) environment value is shaped, for
 /// entries `0..early_count`.
 #[derive(Debug, Clone)]
@@ -48,18 +67,28 @@ pub enum Layout {
 
 impl Layout {
     /// Access path (as instructions) for entry `index` within an
-    /// environment value of this layout.
+    /// environment value of this layout, in the given access mode. This is
+    /// the single source of truth for access-path compilation: both the
+    /// ordinary and the generating translation obtain every variable
+    /// access from here (via [`Ctx::early_path`] / [`Ctx::late_path`]).
     ///
     /// # Panics
     ///
     /// Panics if `index` is not covered by the layout.
-    pub fn path(&self, index: usize) -> Vec<Instr> {
+    pub fn path(&self, index: usize, mode: EnvMode) -> Vec<Instr> {
         let mut out = Vec::new();
-        self.path_into(index, &mut out);
+        self.path_into(index, mode, &mut out);
         out
     }
 
-    fn path_into(&self, index: usize, out: &mut Vec<Instr>) {
+    fn path_into(&self, index: usize, mode: EnvMode, out: &mut Vec<Instr>) {
+        match mode {
+            EnvMode::PairSpine => self.spine_path_into(index, out),
+            EnvMode::Indexed => self.indexed_path_into(index, 0, out),
+        }
+    }
+
+    fn spine_path_into(&self, index: usize, out: &mut Vec<Instr>) {
         match self {
             Layout::Spine { count } => {
                 assert!(index < *count, "entry {index} outside spine of {count}");
@@ -82,9 +111,57 @@ impl Layout {
                     out.push(Instr::Snd);
                 } else {
                     out.push(Instr::Fst);
-                    early.path_into(index, out);
+                    early.spine_path_into(index, out);
                 }
             }
+        }
+    }
+
+    /// The indexed rendering of the same walk. `pending` counts `fst`s
+    /// owed by enclosing `Staged` layouts (descents into the early
+    /// component); since `acc n` ≡ `fst^n; snd`, they fuse into the next
+    /// `acc` instead of being emitted separately.
+    fn indexed_path_into(&self, index: usize, pending: usize, out: &mut Vec<Instr>) {
+        match self {
+            Layout::Spine { count } => {
+                assert!(index < *count, "entry {index} outside spine of {count}");
+                out.push(Instr::Acc(pending + count - 1 - index));
+            }
+            Layout::Staged {
+                early,
+                split,
+                count,
+            } => {
+                if index >= *split {
+                    assert!(index < *count, "entry {index} outside staged layout");
+                    // fst^pending; snd reaches the stage environment, then
+                    // one more fused walk reaches the entry.
+                    out.push(Instr::Acc(pending));
+                    out.push(Instr::Acc(count - 1 - index));
+                } else {
+                    early.indexed_path_into(index, pending + 1, out);
+                }
+            }
+        }
+    }
+
+    /// Path from a value of this layout to its opaque *base*: walk past
+    /// every entry of the spine (`fst^count`). The generating translation
+    /// uses this to project `lenv` out of the generation state, whose
+    /// stack shape is itself a left-nested spine over `lenv`. There is no
+    /// trailing `snd`, so the walk has no fused rendering.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`Layout::Staged`] layout, which has no spine base.
+    pub fn base_path_into(&self, out: &mut Vec<Instr>) {
+        match self {
+            Layout::Spine { count } => {
+                for _ in 0..*count {
+                    out.push(Instr::Fst);
+                }
+            }
+            Layout::Staged { .. } => panic!("a staged layout has no spine base"),
         }
     }
 
@@ -108,16 +185,29 @@ pub struct Ctx {
     division: usize,
     /// Layout of the early environment value (covers `0..division`).
     layout: Rc<Layout>,
+    /// How access paths are rendered ([`EnvMode::PairSpine`] by default).
+    mode: EnvMode,
 }
 
 impl Ctx {
-    /// The empty top-level context.
+    /// The empty top-level context, in the default pair-spine access mode.
     pub fn root() -> Ctx {
+        Ctx::root_with(EnvMode::default())
+    }
+
+    /// The empty top-level context with an explicit access mode.
+    pub fn root_with(mode: EnvMode) -> Ctx {
         Ctx {
             entries: Vec::new(),
             division: 0,
             layout: Rc::new(Layout::Spine { count: 0 }),
+            mode,
         }
+    }
+
+    /// The access mode this context compiles with.
+    pub fn mode(&self) -> EnvMode {
+        self.mode
     }
 
     /// Number of entries.
@@ -145,6 +235,7 @@ impl Ctx {
             entries,
             division: self.division,
             layout: self.layout.clone(),
+            mode: self.mode,
         }
     }
 
@@ -168,6 +259,7 @@ impl Ctx {
             entries,
             division,
             layout: Rc::new(Layout::Spine { count: division }),
+            mode: self.mode,
         }
     }
 
@@ -191,6 +283,7 @@ impl Ctx {
             entries: self.entries.clone(),
             division: count,
             layout,
+            mode: self.mode,
         }
     }
 
@@ -211,20 +304,17 @@ impl Ctx {
     /// layout.
     pub fn early_path(&self, index: usize) -> Vec<Instr> {
         debug_assert!(self.is_early(index));
-        self.layout.path(index)
+        self.layout.path(index, self.mode)
     }
 
     /// Access path for a late entry, relative to the run-time environment
-    /// spine of the generated code (never crosses the division).
+    /// spine of the generated code (never crosses the division): the
+    /// generated code's environment is a spine of all entries over an
+    /// opaque base, and late indices stay strictly inside it.
     pub fn late_path(&self, index: usize) -> Vec<Instr> {
         debug_assert!(!self.is_early(index));
         let n = self.entries.len();
-        let mut out = Vec::with_capacity(n - index);
-        for _ in 0..(n - 1 - index) {
-            out.push(Instr::Fst);
-        }
-        out.push(Instr::Snd);
-        out
+        Layout::Spine { count: n }.path(index, self.mode)
     }
 }
 
@@ -283,6 +373,84 @@ mod tests {
         let px = ctx.early_path(1);
         assert!(matches!(px[0], Instr::Snd));
         assert!(matches!(px[1], Instr::Snd));
+    }
+
+    #[test]
+    fn indexed_spine_paths_are_single_acc() {
+        let mut g = NameGen::new();
+        let ctx = Ctx::root_with(EnvMode::Indexed)
+            .bind_early(g.fresh("a"), Kind::Val)
+            .bind_early(g.fresh("b"), Kind::Val)
+            .bind_early(g.fresh("c"), Kind::Val);
+        assert!(matches!(ctx.early_path(2)[..], [Instr::Acc(0)]));
+        assert!(matches!(ctx.early_path(0)[..], [Instr::Acc(2)]));
+    }
+
+    #[test]
+    fn indexed_late_paths_are_single_acc() {
+        let mut g = NameGen::new();
+        let ctx = Ctx::root_with(EnvMode::Indexed)
+            .bind_early(g.fresh("a"), Kind::Val)
+            .enter_code()
+            .bind_late(g.fresh("x"), Kind::Val)
+            .bind_late(g.fresh("y"), Kind::Val);
+        assert!(matches!(ctx.late_path(2)[..], [Instr::Acc(0)]));
+        assert!(matches!(ctx.late_path(1)[..], [Instr::Acc(1)]));
+    }
+
+    #[test]
+    fn indexed_staged_paths_fuse_the_descent() {
+        let mut g = NameGen::new();
+        let ctx = Ctx::root_with(EnvMode::Indexed)
+            .bind_early(g.fresh("a"), Kind::Cogen)
+            .enter_code()
+            .bind_late(g.fresh("x"), Kind::Val)
+            .enter_code();
+        // a, on the early side: fst; snd fuses to acc 1.
+        assert!(matches!(ctx.early_path(0)[..], [Instr::Acc(1)]));
+        // x, on the stage side: snd; snd renders as acc 0; acc 0.
+        assert!(matches!(
+            ctx.early_path(1)[..],
+            [Instr::Acc(0), Instr::Acc(0)]
+        ));
+    }
+
+    #[test]
+    fn indexed_doubly_staged_paths_carry_pending_fsts() {
+        let mut g = NameGen::new();
+        let ctx = Ctx::root_with(EnvMode::Indexed)
+            .bind_early(g.fresh("a"), Kind::Cogen)
+            .enter_code()
+            .bind_late(g.fresh("x"), Kind::Val)
+            .enter_code()
+            .bind_late(g.fresh("y"), Kind::Val)
+            .enter_code();
+        // x sits on the stage side of the *inner* staged layout, reached
+        // through one early descent: fst; snd; snd ≡ acc 1; acc 0.
+        assert!(matches!(
+            ctx.early_path(1)[..],
+            [Instr::Acc(1), Instr::Acc(0)]
+        ));
+        // In pair-spine mode the same entry costs three instructions.
+        let spine = Ctx::root()
+            .bind_early(g.fresh("a"), Kind::Cogen)
+            .enter_code()
+            .bind_late(g.fresh("x"), Kind::Val)
+            .enter_code()
+            .bind_late(g.fresh("y"), Kind::Val)
+            .enter_code();
+        assert_eq!(spine.early_path(1).len(), 3);
+    }
+
+    #[test]
+    fn mode_survives_binds_and_enter_code() {
+        let mut g = NameGen::new();
+        let ctx = Ctx::root_with(EnvMode::Indexed)
+            .bind_early(g.fresh("a"), Kind::Val)
+            .enter_code()
+            .bind_late(g.fresh("x"), Kind::Val);
+        assert_eq!(ctx.mode(), EnvMode::Indexed);
+        assert_eq!(Ctx::root().mode(), EnvMode::PairSpine);
     }
 
     #[test]

@@ -34,5 +34,7 @@
 pub mod compile;
 pub mod ctx;
 
-pub use compile::{compile_decl, compile_expr, compile_gen, compile_program, DeclEffect};
-pub use ctx::{Ctx, Kind, Layout};
+pub use compile::{
+    compile_decl, compile_expr, compile_gen, compile_program, compile_program_with, DeclEffect,
+};
+pub use ctx::{Ctx, EnvMode, Kind, Layout};

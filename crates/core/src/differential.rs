@@ -9,7 +9,8 @@ use crate::prelude::PRELUDE;
 use crate::render::{render_eval, render_machine};
 use ccam::machine::Machine;
 use ccam::value::Value;
-use mlbox_compile::compile::compile_program;
+use mlbox_compile::compile::compile_program_with;
+use mlbox_compile::ctx::EnvMode;
 use mlbox_eval::Interp;
 use mlbox_ir::elab::Elab;
 use mlbox_syntax::parser::parse_program;
@@ -45,6 +46,18 @@ impl BothResults {
 /// end. A dynamic error on *both* back ends is not distinguished here;
 /// use the individual crates to compare failure behaviour.
 pub fn run_both(src: &str, with_prelude: bool) -> Result<BothResults, Error> {
+    run_both_with(src, with_prelude, EnvMode::default())
+}
+
+/// [`run_both`] with an explicit environment-access mode for the CCAM
+/// side (the interpreter has no machine environment, so only the compiled
+/// run is affected — agreement across modes is exactly what the
+/// differential suite checks).
+///
+/// # Errors
+///
+/// As for [`run_both`].
+pub fn run_both_with(src: &str, with_prelude: bool, mode: EnvMode) -> Result<BothResults, Error> {
     let full = if with_prelude {
         format!("{PRELUDE};\n{src}")
     } else {
@@ -72,7 +85,7 @@ pub fn run_both(src: &str, with_prelude: bool) -> Result<BothResults, Error> {
         })?;
     }
     // CCAM.
-    let code = compile_program(&decls).map_err(|diag| Error::Static {
+    let code = compile_program_with(&decls, mode).map_err(|diag| Error::Static {
         diag,
         src: full.clone(),
     })?;
@@ -137,6 +150,17 @@ fun compPoly p =
               in code (fn x => a' + (x * f x)) end;
 eval (compPoly [1, 2, 3]) 10";
         assert_eq!(assert_agree(src).unwrap(), "321");
+    }
+
+    #[test]
+    fn backends_agree_in_indexed_mode() {
+        for src in [
+            "let val x = 4 in x * x end",
+            "eval (code (fn x => x * 3)) 5",
+        ] {
+            let r = run_both_with(src, true, EnvMode::Indexed).unwrap();
+            assert!(r.agree(), "indexed-mode disagreement on {src}: {r:?}");
+        }
     }
 
     #[test]

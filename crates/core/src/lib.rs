@@ -58,6 +58,7 @@ pub mod render;
 pub mod session;
 
 pub use error::Error;
+pub use mlbox_compile::ctx::EnvMode;
 pub use render::{render_eval, render_machine};
 pub use session::{Outcome, Session, SessionOptions};
 

@@ -10,7 +10,7 @@ use ccam::instr::{validate, Instr};
 use ccam::machine::{Machine, Stats};
 use ccam::value::Value;
 use mlbox_compile::compile::{compile_decl, compile_expr, DeclEffect};
-use mlbox_compile::ctx::Ctx;
+use mlbox_compile::ctx::{Ctx, EnvMode};
 use mlbox_ir::core::CoreDecl;
 use mlbox_ir::data::DataEnv;
 use mlbox_ir::elab::Elab;
@@ -35,6 +35,11 @@ pub struct SessionOptions {
     /// [`Stats::opcodes`]). Default: false — the count array is carried
     /// in every stats snapshot, so it is opt-in.
     pub count_opcodes: bool,
+    /// Compile variable accesses as fused indexed lookups (`acc n`)
+    /// instead of the paper's `fst^n; snd` chains. Default: false, so the
+    /// reduction-step counts of Table 1 stay exactly the paper's cost
+    /// model; turn on to measure the indexed representation.
+    pub indexed_env: bool,
 }
 
 impl Default for SessionOptions {
@@ -45,6 +50,7 @@ impl Default for SessionOptions {
             typecheck: true,
             optimize: false,
             count_opcodes: false,
+            indexed_env: false,
         }
     }
 }
@@ -117,10 +123,15 @@ impl Session {
         };
         machine.set_optimize(options.optimize);
         machine.set_count_opcodes(options.count_opcodes);
+        let env_mode = if options.indexed_env {
+            EnvMode::Indexed
+        } else {
+            EnvMode::PairSpine
+        };
         let mut s = Session {
             elab: Elab::new(),
             checker: Checker::new(),
-            ctx: Ctx::root(),
+            ctx: Ctx::root_with(env_mode),
             env: Value::Unit,
             machine,
             options: options.clone(),
@@ -411,6 +422,39 @@ mod tests {
             out.stats.steps,
             "per-opcode counts partition the per-declaration steps"
         );
+    }
+
+    #[test]
+    fn indexed_env_agrees_and_is_no_slower() {
+        let run_mode = |indexed: bool| {
+            let mut s = Session::with_options(SessionOptions {
+                indexed_env: indexed,
+                ..SessionOptions::default()
+            })
+            .unwrap();
+            s.run("fun compPoly p = case p of nil => code (fn x => 0) | a :: p' => let cogen f = compPoly p' cogen a' = lift a in code (fn x => a' + (x * f x)) end\nval f = eval (compPoly [2, 4, 0, 2333])").unwrap();
+            let out = s.eval_expr("f 47").unwrap();
+            (out.value, out.stats.steps)
+        };
+        let (v_spine, s_spine) = run_mode(false);
+        let (v_idx, s_idx) = run_mode(true);
+        assert_eq!(v_spine, v_idx);
+        assert!(s_idx <= s_spine, "indexed env took more steps");
+    }
+
+    #[test]
+    fn indexed_env_executes_acc() {
+        let mut s = Session::with_options(SessionOptions {
+            indexed_env: true,
+            count_opcodes: true,
+            ..SessionOptions::default()
+        })
+        .unwrap();
+        let out = s
+            .eval_expr("let val a = 1 val b = 2 val c = 3 in a + b + c end")
+            .unwrap();
+        let counts = out.stats.opcodes.expect("enabled by the option");
+        assert!(counts.get("acc") > 0, "indexed accesses run as acc");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! construct; property-based tests then sweep randomly generated
 //! programs, both unstaged and staged.
 
-use mlbox::differential::{assert_agree, run_both};
+use mlbox::differential::{run_both, run_both_with};
+use mlbox::EnvMode;
 use proptest::prelude::*;
 
 /// Renders an integer in SML concrete syntax (`~` for negation).
@@ -13,6 +14,36 @@ fn ml_int(n: i64) -> String {
     } else {
         n.to_string()
     }
+}
+
+/// Asserts machine/interpreter agreement in *both* environment-access
+/// modes, and that the two compiled runs observe identical values and
+/// output. Returns the shared rendering.
+fn assert_agree_both_modes(src: &str) -> String {
+    let spine = run_both_with(src, true, EnvMode::PairSpine).unwrap();
+    assert!(
+        spine.agree(),
+        "pair-spine disagreement on:\n{src}\n machine: {} (out {:?})\n interp:  {} (out {:?})",
+        spine.machine,
+        spine.machine_output,
+        spine.interp,
+        spine.interp_output
+    );
+    let indexed = run_both_with(src, true, EnvMode::Indexed).unwrap();
+    assert!(
+        indexed.agree(),
+        "indexed disagreement on:\n{src}\n machine: {} (out {:?})\n interp:  {} (out {:?})",
+        indexed.machine,
+        indexed.machine_output,
+        indexed.interp,
+        indexed.interp_output
+    );
+    assert_eq!(
+        (&spine.machine, &spine.machine_output),
+        (&indexed.machine, &indexed.machine_output),
+        "environment modes disagree on:\n{src}"
+    );
+    spine.machine
 }
 
 #[test]
@@ -52,7 +83,7 @@ fn corpus_agrees() {
         // Generators with effects at generation time.
         "val r = ref 0\nfun g u = (r := !r + 1; code (fn x => x))\nval h = eval (g ());\n(h 5, !r)",
     ] {
-        assert_agree(src).unwrap();
+        assert_agree_both_modes(src);
     }
 }
 
@@ -97,7 +128,7 @@ proptest! {
     #[test]
     fn random_unstaged_programs_agree(body in int_expr(4), arg in -10i64..50) {
         let src = format!("(fn v => {body}) {}", ml_int(arg));
-        assert_agree(&src).unwrap();
+        assert_agree_both_modes(&src);
     }
 
     #[test]
@@ -109,7 +140,7 @@ proptest! {
             ml_int(early),
             ml_int(late)
         );
-        assert_agree(&src).unwrap();
+        assert_agree_both_modes(&src);
     }
 
     #[test]
@@ -121,7 +152,7 @@ proptest! {
              eval both {}",
             ml_int(arg)
         );
-        assert_agree(&src).unwrap();
+        assert_agree_both_modes(&src);
     }
 
     #[test]
@@ -135,7 +166,7 @@ proptest! {
             "fun sum xs = case xs of nil => 0 | a :: r => a + sum r;\n\
              (sum [{list}], listLength (rev [{list}]))"
         );
-        assert_agree(&src).unwrap();
+        assert_agree_both_modes(&src);
     }
 
     #[test]
@@ -152,7 +183,7 @@ proptest! {
              val staged = eval (compPoly [{list}]);\n\
              (staged {x}, evalPoly ({x}, [{list}]))"
         );
-        let result = assert_agree(&src).unwrap();
+        let result = assert_agree_both_modes(&src);
         // And the two components agree with each other.
         let inner = result.trim_start_matches('(').trim_end_matches(')');
         let (a, b) = inner.split_once(", ").expect("pair");
@@ -177,7 +208,7 @@ proptest! {
             ml_int(arms[0]),
             ml_int(k),
         );
-        assert_agree(&src).unwrap();
+        assert_agree_both_modes(&src);
         let _ = arg;
     }
 
@@ -189,7 +220,7 @@ proptest! {
                         else let cogen p = cp (e - 1) in code (fn b => b * (p b)) end;\n\
              (eval (cp {n}) 2, eval (cp {m}) 3)"
         );
-        assert_agree(&src).unwrap();
+        assert_agree_both_modes(&src);
     }
 
     #[test]
@@ -199,7 +230,7 @@ proptest! {
              (eval g 0, eval g ~10, eval g 10)",
             ml_int(c), ml_int(t), ml_int(f)
         );
-        assert_agree(&src).unwrap();
+        assert_agree_both_modes(&src);
     }
 
     #[test]
@@ -216,15 +247,18 @@ proptest! {
             ml_int(a),
             ml_int(d)
         );
-        let plain = assert_agree(&src).unwrap();
+        let plain = assert_agree_both_modes(&src);
         use mlbox::{Session, SessionOptions};
-        let mut s = Session::with_options(SessionOptions {
-            optimize: true,
-            ..Default::default()
-        })
-        .unwrap();
-        let out = s.run(&src).unwrap();
-        prop_assert_eq!(&out.last().unwrap().value, &plain);
+        for indexed_env in [false, true] {
+            let mut s = Session::with_options(SessionOptions {
+                optimize: true,
+                indexed_env,
+                ..Default::default()
+            })
+            .unwrap();
+            let out = s.run(&src).unwrap();
+            prop_assert_eq!(&out.last().unwrap().value, &plain);
+        }
     }
 
     #[test]
@@ -246,15 +280,18 @@ proptest! {
                let cogen f = compPoly r cogen a' = lift a in code (fn x => a' + (x * f x)) end;\n\
              (eval (compPoly [{list}]) {x}, evalPoly ({x}, [{list}]))"
         );
-        let mut s = Session::with_options(SessionOptions {
-            optimize: true,
-            ..Default::default()
-        })
-        .unwrap();
-        let out = s.run(&src).unwrap();
-        let v = &out.last().unwrap().value;
-        let inner = v.trim_start_matches('(').trim_end_matches(')');
-        let (a, b) = inner.split_once(", ").expect("pair");
-        prop_assert_eq!(a, b, "optimized staged vs interpreted");
+        for indexed_env in [false, true] {
+            let mut s = Session::with_options(SessionOptions {
+                optimize: true,
+                indexed_env,
+                ..Default::default()
+            })
+            .unwrap();
+            let out = s.run(&src).unwrap();
+            let v = &out.last().unwrap().value;
+            let inner = v.trim_start_matches('(').trim_end_matches(')');
+            let (a, b) = inner.split_once(", ").expect("pair");
+            prop_assert_eq!(a, b, "optimized staged vs interpreted");
+        }
     }
 }
