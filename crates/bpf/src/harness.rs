@@ -2,17 +2,18 @@
 //! binds a filter, and measures interpreted versus specialized execution
 //! in CCAM reduction steps — the experiment behind Table 1 rows 1–4.
 
-use crate::insn::{validate_filter, Insn};
+use crate::insn::{fingerprint, validate_filter, Insn};
 use crate::mlsrc::{filter_decl, packet_value, BPF_ML};
 use crate::packet::Packet;
 use ccam::machine::Stats;
 use ccam::value::Value;
-use mlbox::{Error, Session, SessionOptions};
+use mlbox::{CompiledFilter, Error, Session, SessionOptions};
 
 /// A session preloaded with `evalpf`/`bevalpf` and one bound filter.
 #[derive(Debug)]
 pub struct FilterHarness {
     session: Session,
+    filter: Vec<Insn>,
     filter_value: Value,
     specialize_stats: Option<Stats>,
     memo_specialize_stats: Option<Stats>,
@@ -51,10 +52,17 @@ impl FilterHarness {
         let filter_value = session.eval_expr("theFilter")?.raw;
         Ok(FilterHarness {
             session,
+            filter: filter.to_vec(),
             filter_value,
             specialize_stats: None,
             memo_specialize_stats: None,
         })
+    }
+
+    /// The stable fingerprint of the bound filter program
+    /// ([`crate::insn::fingerprint`]).
+    pub fn filter_fingerprint(&self) -> u64 {
+        fingerprint(&self.filter)
     }
 
     /// Runs the *interpretive* filter (`evalpf`) on a packet. Returns the
@@ -66,7 +74,7 @@ impl FilterHarness {
     pub fn interp(&mut self, pkt: &Packet) -> Result<(i64, u64), Error> {
         let arg = Value::pair(self.filter_value.clone(), packet_value(pkt));
         let (v, stats) = self.session.call("runpf", arg)?;
-        Ok((expect_int(&v)?, stats.steps))
+        Ok((expect_verdict(&v)?, stats.steps))
     }
 
     /// Specializes the filter once via `bevalpf` (binding `pfc`),
@@ -96,7 +104,7 @@ impl FilterHarness {
     pub fn specialized(&mut self, pkt: &Packet) -> Result<(i64, u64), Error> {
         self.specialize()?;
         let (v, stats) = self.session.call("pfc", packet_value(pkt))?;
-        Ok((expect_int(&v)?, stats.steps))
+        Ok((expect_verdict(&v)?, stats.steps))
     }
 
     /// Specializes via the memoizing staged interpreter (`mkMemoBev`,
@@ -127,7 +135,32 @@ impl FilterHarness {
     pub fn memo_specialized(&mut self, pkt: &Packet) -> Result<(i64, u64), Error> {
         self.specialize_memo()?;
         let (v, stats) = self.session.call("pfm", packet_value(pkt))?;
-        Ok((expect_int(&v)?, stats.steps))
+        Ok((expect_verdict(&v)?, stats.steps))
+    }
+
+    /// Specializes the filter via `bevalpf` and extracts the *generated*
+    /// closure into a thread-shareable [`CompiledFilter`]. The generator
+    /// runs here, once; workers instantiate machines from the artifact
+    /// and apply it to [`filter_arg`]-shaped packets without paying
+    /// generation again.
+    ///
+    /// Note the asymmetry with [`FilterHarness::specialized`]: that path
+    /// runs `compilepf`'s wrapper `fn pkt => f (0, 0, pkt)`, a closure
+    /// over the whole session environment (prelude tables are ref cells,
+    /// which can never cross threads). The artifact captures only the
+    /// code generated by `bevalpf (theFilter, 0)` — closed by
+    /// construction, every lifted constant an immediate — and the
+    /// `(A, X, pkt)` triple is built on the Rust side ([`filter_arg`])
+    /// instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if specialization fails or the generated value
+    /// cannot be extracted.
+    pub fn compile_artifact(&mut self) -> Result<CompiledFilter, Error> {
+        let fp = self.filter_fingerprint();
+        self.session
+            .compile_to_artifact("bevalpf (theFilter, 0)", fp)
     }
 
     /// Cumulative machine statistics for the whole session, including the
@@ -143,7 +176,21 @@ impl FilterHarness {
     }
 }
 
-fn expect_int(v: &Value) -> Result<i64, Error> {
+/// The machine-value argument a specialized filter body expects: the
+/// `(A, X, pkt)` triple with both registers zeroed, exactly what
+/// `compilepf`'s ML wrapper `fn pkt => f (0, 0, pkt)` would build.
+/// Artifact runners build it here instead so the entry point stays free
+/// of session state.
+pub fn filter_arg(pkt: &Packet) -> Value {
+    Value::tuple(vec![Value::Int(0), Value::Int(0), packet_value(pkt)])
+}
+
+/// Reads an integer verdict off a filter result.
+///
+/// # Errors
+///
+/// Returns a machine type-mismatch error if the value is not an integer.
+pub fn expect_verdict(v: &Value) -> Result<i64, Error> {
     match v {
         Value::Int(n) => Ok(*n),
         other => Err(Error::Machine(ccam::machine::MachineError::TypeMismatch {
@@ -254,6 +301,42 @@ mod tests {
         }
         let delta = h.machine_stats().delta_since(&before);
         assert_eq!(delta.freezes, 0, "re-running must not re-freeze");
+    }
+
+    #[test]
+    fn artifact_agrees_with_specialized_and_native() {
+        let filter = telnet_filter();
+        let mut h = FilterHarness::new(&filter).unwrap();
+        let artifact = h.compile_artifact().unwrap();
+        assert_eq!(artifact.source_fingerprint(), h.filter_fingerprint());
+        assert!(artifact.instructions() > 0);
+        let mut instance = artifact.instantiate();
+        let mut g = PacketGen::new(25);
+        for pkt in g.workload(8, 0.5) {
+            let (sv, _) = h.specialized(&pkt).unwrap();
+            let (raw, stats) = instance.run(filter_arg(&pkt)).unwrap();
+            let av = expect_verdict(&raw).unwrap();
+            assert_eq!(av, sv, "artifact verdict on {:?}", pkt.kind);
+            assert_eq!(av, run_filter(&filter, &pkt.bytes), "native agreement");
+            assert!(stats.steps > 0);
+            assert_eq!(stats.emitted, 0, "artifact runs must not generate");
+        }
+    }
+
+    #[test]
+    fn artifact_instances_cost_identical_steps_per_packet() {
+        let filter = telnet_filter();
+        let mut h = FilterHarness::new(&filter).unwrap();
+        let artifact = h.compile_artifact().unwrap();
+        let mut a = artifact.instantiate();
+        let mut b = artifact.instantiate();
+        let mut g = PacketGen::new(26);
+        for pkt in g.workload(6, 0.5) {
+            let (va, sa) = a.run(filter_arg(&pkt)).unwrap();
+            let (vb, sb) = b.run(filter_arg(&pkt)).unwrap();
+            assert_eq!(expect_verdict(&va).unwrap(), expect_verdict(&vb).unwrap());
+            assert_eq!(sa.steps, sb.steps, "per-packet cost is deterministic");
+        }
     }
 
     #[test]

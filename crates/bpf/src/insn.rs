@@ -5,10 +5,11 @@
 //! program counter, and reads a byte-addressed packet. Branch offsets are
 //! relative to the *next* instruction, as in BSD BPF.
 
+use mlbox::fingerprint::Fnv1a;
 use std::fmt;
 
 /// One BPF instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Insn {
     /// Return the accumulator.
     RetA,
@@ -71,6 +72,70 @@ impl fmt::Display for Insn {
     }
 }
 
+/// A stable 64-bit fingerprint of a filter program, used as the
+/// program half of the serving layer's specialization-cache key.
+///
+/// The digest hashes an explicit canonical encoding — a length prefix,
+/// then per instruction an opcode tag byte followed by its operands in
+/// declaration order — rather than `#[derive(Hash)]` output, so the
+/// value does not depend on the Rust release or the enum's in-memory
+/// layout. Re-encoding the same program always reproduces the same
+/// fingerprint; programs differing in any opcode, constant, or jump
+/// offset get different encodings (and, FNV collisions aside, different
+/// fingerprints).
+pub fn fingerprint(prog: &[Insn]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(prog.len() as u64);
+    for insn in prog {
+        match *insn {
+            Insn::RetA => h.write_u8(0),
+            Insn::RetK(k) => {
+                h.write_u8(1);
+                h.write_i64(k);
+            }
+            Insn::LdAbsH(k) => {
+                h.write_u8(2);
+                h.write_i64(k);
+            }
+            Insn::LdAbsB(k) => {
+                h.write_u8(3);
+                h.write_i64(k);
+            }
+            Insn::LdIndH(k) => {
+                h.write_u8(4);
+                h.write_i64(k);
+            }
+            Insn::LdIndB(k) => {
+                h.write_u8(5);
+                h.write_i64(k);
+            }
+            Insn::LdxMsh(k) => {
+                h.write_u8(6);
+                h.write_i64(k);
+            }
+            Insn::JeqK { k, jt, jf } => {
+                h.write_u8(7);
+                h.write_i64(k);
+                h.write_u8(jt);
+                h.write_u8(jf);
+            }
+            Insn::JgtK { k, jt, jf } => {
+                h.write_u8(8);
+                h.write_i64(k);
+                h.write_u8(jt);
+                h.write_u8(jf);
+            }
+            Insn::JsetK { k, jt, jf } => {
+                h.write_u8(9);
+                h.write_i64(k);
+                h.write_u8(jt);
+                h.write_u8(jf);
+            }
+        }
+    }
+    h.finish()
+}
+
 /// Checks the static validity of a filter program: all jump targets must
 /// land inside the program (BPF programs are loop-free by construction
 /// since jumps only go forward).
@@ -114,6 +179,50 @@ mod tests {
             .to_string(),
             "jeq #2048 jt 0 jf 8"
         );
+    }
+
+    #[test]
+    fn fingerprints_are_stable_across_reencodings() {
+        let build = || {
+            vec![
+                Insn::LdAbsH(12),
+                Insn::JeqK {
+                    k: 2048,
+                    jt: 0,
+                    jf: 2,
+                },
+                Insn::RetK(1),
+                Insn::RetK(0),
+            ]
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(fingerprint(&a), fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn distinct_filters_get_distinct_fingerprints() {
+        let filters: Vec<Vec<Insn>> = vec![
+            crate::filters::telnet_filter(),
+            crate::filters::port_filter(80),
+            crate::filters::port_filter(22),
+            crate::filters::multi_port_filter(&[22, 23, 80]),
+            crate::filters::chain_filter(4),
+            crate::filters::chain_filter(5),
+            vec![Insn::RetA],
+            vec![Insn::RetK(0)],
+            vec![Insn::RetK(1)],
+            // Same opcodes, different jump offsets.
+            vec![Insn::JeqK { k: 0, jt: 0, jf: 0 }, Insn::RetK(0)],
+            vec![Insn::JeqK { k: 0, jt: 0, jf: 0 }, Insn::RetK(9)],
+        ];
+        let mut seen = std::collections::HashMap::new();
+        for f in &filters {
+            if let Some(prev) = seen.insert(fingerprint(f), f.clone()) {
+                panic!("fingerprint collision between {prev:?} and {f:?}");
+            }
+        }
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub mod native;
 pub mod packet;
 
 pub use filters::{chain_filter, multi_port_filter, port_filter, telnet_filter};
-pub use harness::FilterHarness;
-pub use insn::Insn;
+pub use harness::{expect_verdict, filter_arg, FilterHarness};
+pub use insn::{fingerprint, Insn};
 pub use packet::{Packet, PacketGen};

@@ -54,8 +54,10 @@ pub mod disasm;
 pub mod instr;
 pub mod machine;
 pub mod opt;
+pub mod portable;
 pub mod value;
 
 pub use instr::{Code, Instr, PrimOp, SwitchArm, SwitchTable};
 pub use machine::{Machine, MachineError, Stats};
+pub use portable::{PortableCode, PortableInstr, PortableValue};
 pub use value::{Arena, ConTag, Value};

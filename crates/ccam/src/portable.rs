@@ -1,0 +1,738 @@
+//! Thread-shareable renderings of frozen code and first-order values.
+//!
+//! The machine's run-time representation is deliberately single-threaded:
+//! [`Code`] is `Rc<Vec<Instr>>`, values share structure through `Rc`, and
+//! arenas/references/arrays carry `RefCell`s. That is the right choice for
+//! the simulator's hot path, but it means a specialized program — the
+//! paper's *generate once, run many* artifact — cannot leave the thread
+//! that generated it.
+//!
+//! This module defines a parallel, immutable, `Send + Sync` representation
+//! ([`PortableInstr`], [`PortableValue`], [`PortableCode`]) plus two
+//! conversions:
+//!
+//! - **extraction** ([`PortableValue::extract`], [`extract_code`]):
+//!   deep-converts `Rc` structure to `Arc` structure, preserving sharing
+//!   (a code body referenced from two closures stays one allocation) and
+//!   *rejecting* anything whose semantics depend on shared mutation —
+//!   arenas still under construction, `ref` cells, arrays. Those are the
+//!   `Rc`-escape hatches that must not leak into a cross-thread artifact.
+//! - **hydration** ([`PortableValue::hydrate`], [`hydrate_code`]): the
+//!   inverse, rebuilding machine-native `Rc` structure inside whichever
+//!   thread wants to execute the code. Hydration cannot fail and again
+//!   preserves sharing.
+//!
+//! Extraction and hydration cost one pass each; afterwards execution pays
+//! no synchronization at all — every worker runs plain `Rc` values on its
+//! own [`crate::machine::Machine`].
+
+use crate::instr::{Code, Instr, MergeSwitchSpec, PrimOp, SwitchArm, SwitchTable};
+use crate::value::{Closure, ConTag, RecGroup, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// A thread-shareable instruction sequence.
+pub type PortableCode = Arc<Vec<PortableInstr>>;
+
+/// A thread-shareable closure (see [`Closure`]).
+#[derive(Debug)]
+pub struct PortableClosure {
+    /// Captured environment value.
+    pub env: PortableValue,
+    /// Body code.
+    pub body: PortableCode,
+}
+
+/// A thread-shareable recursive closure group (see [`RecGroup`]).
+#[derive(Debug)]
+pub struct PortableRecGroup {
+    /// The environment captured at group-creation time.
+    pub env: PortableValue,
+    /// One body per function in the group.
+    pub bodies: Arc<Vec<PortableCode>>,
+}
+
+/// One arm of a portable `switch` dispatch (see [`SwitchArm`]).
+#[derive(Debug, Clone)]
+pub struct PortableSwitchArm {
+    /// Tag to match.
+    pub tag: ConTag,
+    /// Whether the arm binds the constructor payload.
+    pub bind: bool,
+    /// Arm body.
+    pub code: PortableCode,
+}
+
+/// A portable `switch` dispatch table (see [`SwitchTable`]).
+#[derive(Debug, Clone)]
+pub struct PortableSwitchTable {
+    /// Arms in declaration order.
+    pub arms: Vec<PortableSwitchArm>,
+    /// Fallback code.
+    pub default: Option<PortableCode>,
+}
+
+/// A thread-shareable value: the immutable subset of [`Value`].
+///
+/// Mutable values (arenas, `ref` cells, arrays) have no portable
+/// rendering — sharing them across threads would either race or silently
+/// change semantics — so [`PortableValue::extract`] rejects them.
+#[derive(Debug, Clone)]
+pub enum PortableValue {
+    /// The unit value.
+    Unit,
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(Arc<str>),
+    /// A pair.
+    Pair(Arc<(PortableValue, PortableValue)>),
+    /// A closure.
+    Closure(Arc<PortableClosure>),
+    /// A member of a recursive closure group.
+    RecClosure {
+        /// The shared group.
+        group: Arc<PortableRecGroup>,
+        /// Which member this value is.
+        index: usize,
+    },
+    /// A datatype constructor application.
+    Con(ConTag, Option<Arc<PortableValue>>),
+}
+
+/// A thread-shareable instruction: the mirror of [`Instr`] with every
+/// `Rc` replaced by `Arc` and every embedded [`Value`] replaced by
+/// [`PortableValue`].
+#[derive(Debug, Clone)]
+pub enum PortableInstr {
+    /// No-op.
+    Id,
+    /// First projection.
+    Fst,
+    /// Second projection.
+    Snd,
+    /// Fused indexed environment access.
+    Acc(usize),
+    /// Duplicate the top of the stack.
+    Push,
+    /// Exchange the two top stack entries.
+    Swap,
+    /// Build a pair.
+    ConsPair,
+    /// Apply a closure.
+    App,
+    /// Push a constant.
+    Quote(PortableValue),
+    /// Build a closure.
+    Cur(PortableCode),
+    /// Append a static instruction to the arena under construction.
+    Emit(Box<PortableInstr>),
+    /// Residualize the current value into the arena.
+    LiftV,
+    /// Create a fresh arena.
+    NewArena,
+    /// Insert an arena into another as a `Cur` body.
+    Merge,
+    /// Splice generated code into the instruction stream.
+    Call,
+    /// Conditional.
+    Branch(PortableCode, PortableCode),
+    /// Recursive closure group.
+    RecClos(Arc<Vec<PortableCode>>),
+    /// Constructor application.
+    Pack(ConTag),
+    /// Constructor dispatch.
+    Switch(Arc<PortableSwitchTable>),
+    /// Primitive operation.
+    Prim(PrimOp),
+    /// Abort with a message.
+    Fail(Arc<str>),
+    /// Merge-family conditional.
+    MergeBranch,
+    /// Merge-family dispatch.
+    MergeSwitch(Arc<MergeSwitchSpec>),
+    /// Merge-family recursion.
+    MergeRec(usize),
+}
+
+// The entire point of this module: everything above must be shareable
+// across threads. Compile-time enforcement.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PortableValue>();
+    assert_send_sync::<PortableInstr>();
+    assert_send_sync::<PortableCode>();
+};
+
+/// Why a value could not be extracted into portable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractError {
+    /// The offending run-time representation ("code arena", "ref cell",
+    /// "array").
+    pub kind: &'static str,
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "value contains a {}, which is mutable shared state and cannot \
+             cross threads; only finished (frozen) code and first-order \
+             values are portable",
+            self.kind
+        )
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// Pointer-memoized extraction state: converting the same `Rc` twice must
+/// yield the same `Arc`, both to preserve sharing (hydration restores it)
+/// and to keep the conversion linear in the size of the object graph —
+/// generated code is often a DAG (memoized generating extensions reuse
+/// whole subtrees).
+#[derive(Default)]
+struct Extract {
+    codes: HashMap<*const Vec<Instr>, PortableCode>,
+    pairs: HashMap<*const (Value, Value), Arc<(PortableValue, PortableValue)>>,
+    closures: HashMap<*const Closure, Arc<PortableClosure>>,
+    groups: HashMap<*const RecGroup, Arc<PortableRecGroup>>,
+}
+
+impl Extract {
+    fn value(&mut self, v: &Value) -> Result<PortableValue, ExtractError> {
+        Ok(match v {
+            Value::Unit => PortableValue::Unit,
+            Value::Int(n) => PortableValue::Int(*n),
+            Value::Bool(b) => PortableValue::Bool(*b),
+            Value::Str(s) => PortableValue::Str(Arc::from(&**s)),
+            Value::Pair(p) => {
+                let key = Rc::as_ptr(p);
+                if let Some(done) = self.pairs.get(&key) {
+                    return Ok(PortableValue::Pair(done.clone()));
+                }
+                let pair = Arc::new((self.value(&p.0)?, self.value(&p.1)?));
+                self.pairs.insert(key, pair.clone());
+                PortableValue::Pair(pair)
+            }
+            Value::Closure(c) => {
+                let key = Rc::as_ptr(c);
+                if let Some(done) = self.closures.get(&key) {
+                    return Ok(PortableValue::Closure(done.clone()));
+                }
+                let closure = Arc::new(PortableClosure {
+                    env: self.value(&c.env)?,
+                    body: self.code(&c.body)?,
+                });
+                self.closures.insert(key, closure.clone());
+                PortableValue::Closure(closure)
+            }
+            Value::RecClosure { group, index } => {
+                let key = Rc::as_ptr(group);
+                let group = if let Some(done) = self.groups.get(&key) {
+                    done.clone()
+                } else {
+                    let bodies = group
+                        .bodies
+                        .iter()
+                        .map(|b| self.code(b))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let g = Arc::new(PortableRecGroup {
+                        env: self.value(&group.env)?,
+                        bodies: Arc::new(bodies),
+                    });
+                    self.groups.insert(key, g.clone());
+                    g
+                };
+                PortableValue::RecClosure {
+                    group,
+                    index: *index,
+                }
+            }
+            Value::Con(tag, payload) => PortableValue::Con(
+                *tag,
+                match payload {
+                    Some(p) => Some(Arc::new(self.value(p)?)),
+                    None => None,
+                },
+            ),
+            Value::Arena(_) => return Err(ExtractError { kind: "code arena" }),
+            Value::Ref(_) => return Err(ExtractError { kind: "ref cell" }),
+            Value::Array(_) => return Err(ExtractError { kind: "array" }),
+        })
+    }
+
+    fn code(&mut self, c: &Code) -> Result<PortableCode, ExtractError> {
+        let key = Rc::as_ptr(c);
+        if let Some(done) = self.codes.get(&key) {
+            return Ok(done.clone());
+        }
+        let instrs = c
+            .iter()
+            .map(|i| self.instr(i))
+            .collect::<Result<Vec<_>, _>>()?;
+        let code = Arc::new(instrs);
+        self.codes.insert(key, code.clone());
+        Ok(code)
+    }
+
+    fn instr(&mut self, i: &Instr) -> Result<PortableInstr, ExtractError> {
+        Ok(match i {
+            Instr::Id => PortableInstr::Id,
+            Instr::Fst => PortableInstr::Fst,
+            Instr::Snd => PortableInstr::Snd,
+            Instr::Acc(n) => PortableInstr::Acc(*n),
+            Instr::Push => PortableInstr::Push,
+            Instr::Swap => PortableInstr::Swap,
+            Instr::ConsPair => PortableInstr::ConsPair,
+            Instr::App => PortableInstr::App,
+            Instr::Quote(v) => PortableInstr::Quote(self.value(v)?),
+            Instr::Cur(c) => PortableInstr::Cur(self.code(c)?),
+            Instr::Emit(inner) => PortableInstr::Emit(Box::new(self.instr(inner)?)),
+            Instr::LiftV => PortableInstr::LiftV,
+            Instr::NewArena => PortableInstr::NewArena,
+            Instr::Merge => PortableInstr::Merge,
+            Instr::Call => PortableInstr::Call,
+            Instr::Branch(t, e) => PortableInstr::Branch(self.code(t)?, self.code(e)?),
+            Instr::RecClos(bodies) => {
+                let bodies = bodies
+                    .iter()
+                    .map(|b| self.code(b))
+                    .collect::<Result<Vec<_>, _>>()?;
+                PortableInstr::RecClos(Arc::new(bodies))
+            }
+            Instr::Pack(tag) => PortableInstr::Pack(*tag),
+            Instr::Switch(table) => {
+                let arms = table
+                    .arms
+                    .iter()
+                    .map(|a| {
+                        Ok(PortableSwitchArm {
+                            tag: a.tag,
+                            bind: a.bind,
+                            code: self.code(&a.code)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ExtractError>>()?;
+                let default = match &table.default {
+                    Some(d) => Some(self.code(d)?),
+                    None => None,
+                };
+                PortableInstr::Switch(Arc::new(PortableSwitchTable { arms, default }))
+            }
+            Instr::Prim(op) => PortableInstr::Prim(*op),
+            Instr::Fail(msg) => PortableInstr::Fail(Arc::from(&**msg)),
+            Instr::MergeBranch => PortableInstr::MergeBranch,
+            Instr::MergeSwitch(spec) => PortableInstr::MergeSwitch(Arc::new((**spec).clone())),
+            Instr::MergeRec(n) => PortableInstr::MergeRec(*n),
+        })
+    }
+}
+
+/// Pointer-memoized hydration state (the inverse of [`Extract`]).
+#[derive(Default)]
+struct Hydrate {
+    codes: HashMap<*const Vec<PortableInstr>, Code>,
+    pairs: HashMap<*const (PortableValue, PortableValue), Rc<(Value, Value)>>,
+    closures: HashMap<*const PortableClosure, Rc<Closure>>,
+    groups: HashMap<*const PortableRecGroup, Rc<RecGroup>>,
+}
+
+impl Hydrate {
+    fn value(&mut self, v: &PortableValue) -> Value {
+        match v {
+            PortableValue::Unit => Value::Unit,
+            PortableValue::Int(n) => Value::Int(*n),
+            PortableValue::Bool(b) => Value::Bool(*b),
+            PortableValue::Str(s) => Value::Str(Rc::from(&**s)),
+            PortableValue::Pair(p) => {
+                let key = Arc::as_ptr(p);
+                if let Some(done) = self.pairs.get(&key) {
+                    return Value::Pair(done.clone());
+                }
+                let pair = Rc::new((self.value(&p.0), self.value(&p.1)));
+                self.pairs.insert(key, pair.clone());
+                Value::Pair(pair)
+            }
+            PortableValue::Closure(c) => {
+                let key = Arc::as_ptr(c);
+                if let Some(done) = self.closures.get(&key) {
+                    return Value::Closure(done.clone());
+                }
+                let closure = Rc::new(Closure {
+                    env: self.value(&c.env),
+                    body: self.code(&c.body),
+                });
+                self.closures.insert(key, closure.clone());
+                Value::Closure(closure)
+            }
+            PortableValue::RecClosure { group, index } => {
+                let key = Arc::as_ptr(group);
+                let group = if let Some(done) = self.groups.get(&key) {
+                    done.clone()
+                } else {
+                    let g = Rc::new(RecGroup {
+                        env: self.value(&group.env),
+                        bodies: Rc::new(group.bodies.iter().map(|b| self.code(b)).collect()),
+                    });
+                    self.groups.insert(key, g.clone());
+                    g
+                };
+                Value::RecClosure {
+                    group,
+                    index: *index,
+                }
+            }
+            PortableValue::Con(tag, payload) => {
+                Value::Con(*tag, payload.as_ref().map(|p| Rc::new(self.value(p))))
+            }
+        }
+    }
+
+    fn code(&mut self, c: &PortableCode) -> Code {
+        let key = Arc::as_ptr(c);
+        if let Some(done) = self.codes.get(&key) {
+            return done.clone();
+        }
+        let code = Rc::new(c.iter().map(|i| self.instr(i)).collect::<Vec<_>>());
+        self.codes.insert(key, code.clone());
+        code
+    }
+
+    fn instr(&mut self, i: &PortableInstr) -> Instr {
+        match i {
+            PortableInstr::Id => Instr::Id,
+            PortableInstr::Fst => Instr::Fst,
+            PortableInstr::Snd => Instr::Snd,
+            PortableInstr::Acc(n) => Instr::Acc(*n),
+            PortableInstr::Push => Instr::Push,
+            PortableInstr::Swap => Instr::Swap,
+            PortableInstr::ConsPair => Instr::ConsPair,
+            PortableInstr::App => Instr::App,
+            PortableInstr::Quote(v) => Instr::Quote(self.value(v)),
+            PortableInstr::Cur(c) => Instr::Cur(self.code(c)),
+            PortableInstr::Emit(inner) => Instr::Emit(Box::new(self.instr(inner))),
+            PortableInstr::LiftV => Instr::LiftV,
+            PortableInstr::NewArena => Instr::NewArena,
+            PortableInstr::Merge => Instr::Merge,
+            PortableInstr::Call => Instr::Call,
+            PortableInstr::Branch(t, e) => Instr::Branch(self.code(t), self.code(e)),
+            PortableInstr::RecClos(bodies) => {
+                Instr::RecClos(Rc::new(bodies.iter().map(|b| self.code(b)).collect()))
+            }
+            PortableInstr::Pack(tag) => Instr::Pack(*tag),
+            PortableInstr::Switch(table) => {
+                let arms = table
+                    .arms
+                    .iter()
+                    .map(|a| SwitchArm {
+                        tag: a.tag,
+                        bind: a.bind,
+                        code: self.code(&a.code),
+                    })
+                    .collect();
+                let default = table.default.as_ref().map(|d| self.code(d));
+                Instr::Switch(Rc::new(SwitchTable { arms, default }))
+            }
+            PortableInstr::Prim(op) => Instr::Prim(*op),
+            PortableInstr::Fail(msg) => Instr::Fail(Rc::from(&**msg)),
+            PortableInstr::MergeBranch => Instr::MergeBranch,
+            PortableInstr::MergeSwitch(spec) => Instr::MergeSwitch(Rc::new((**spec).clone())),
+            PortableInstr::MergeRec(n) => Instr::MergeRec(*n),
+        }
+    }
+}
+
+impl PortableValue {
+    /// Extracts a machine value into portable form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExtractError`] if the value (transitively) contains an
+    /// arena, a `ref` cell, or an array.
+    pub fn extract(v: &Value) -> Result<PortableValue, ExtractError> {
+        Extract::default().value(v)
+    }
+
+    /// Rebuilds a machine-native value inside the calling thread.
+    /// Sharing present at extraction time is restored.
+    pub fn hydrate(&self) -> Value {
+        Hydrate::default().value(self)
+    }
+
+    /// Total number of instructions reachable from this value, counting
+    /// each shared code sequence once (the artifact-size metric).
+    pub fn instr_count(&self) -> usize {
+        let mut counter = InstrCount::default();
+        counter.value(self);
+        counter.total
+    }
+}
+
+/// Extracts a frozen code sequence into portable form.
+///
+/// # Errors
+///
+/// Returns an [`ExtractError`] if an embedded constant (`quote`)
+/// contains a non-portable value.
+pub fn extract_code(c: &Code) -> Result<PortableCode, ExtractError> {
+    Extract::default().code(c)
+}
+
+/// Rebuilds machine-native code inside the calling thread.
+pub fn hydrate_code(c: &PortableCode) -> Code {
+    Hydrate::default().code(c)
+}
+
+/// Visitor counting instructions, one visit per shared code block.
+#[derive(Default)]
+struct InstrCount {
+    total: usize,
+    seen: std::collections::HashSet<*const Vec<PortableInstr>>,
+}
+
+impl InstrCount {
+    fn value(&mut self, v: &PortableValue) {
+        match v {
+            PortableValue::Unit
+            | PortableValue::Int(_)
+            | PortableValue::Bool(_)
+            | PortableValue::Str(_)
+            | PortableValue::Con(_, None) => {}
+            PortableValue::Pair(p) => {
+                self.value(&p.0);
+                self.value(&p.1);
+            }
+            PortableValue::Closure(c) => {
+                self.value(&c.env);
+                self.code(&c.body);
+            }
+            PortableValue::RecClosure { group, .. } => {
+                self.value(&group.env);
+                for b in group.bodies.iter() {
+                    self.code(b);
+                }
+            }
+            PortableValue::Con(_, Some(p)) => self.value(p),
+        }
+    }
+
+    fn code(&mut self, c: &PortableCode) {
+        if !self.seen.insert(Arc::as_ptr(c)) {
+            return;
+        }
+        for i in c.iter() {
+            self.instr(i);
+        }
+    }
+
+    fn instr(&mut self, i: &PortableInstr) {
+        self.total += 1;
+        match i {
+            PortableInstr::Quote(v) => self.value(v),
+            PortableInstr::Cur(c) => self.code(c),
+            PortableInstr::Emit(inner) => self.instr(inner),
+            PortableInstr::Branch(t, e) => {
+                self.code(t);
+                self.code(e);
+            }
+            PortableInstr::RecClos(bodies) => {
+                for b in bodies.iter() {
+                    self.code(b);
+                }
+            }
+            PortableInstr::Switch(table) => {
+                for arm in &table.arms {
+                    self.code(&arm.code);
+                }
+                if let Some(d) = &table.default {
+                    self.code(d);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::value::Arena;
+    use std::cell::RefCell;
+
+    fn closure(env: Value, body: Vec<Instr>) -> Value {
+        Value::Closure(Rc::new(Closure {
+            env,
+            body: Rc::new(body),
+        }))
+    }
+
+    #[test]
+    fn first_order_values_roundtrip() {
+        let v = Value::tuple(vec![
+            Value::Int(-3),
+            Value::Bool(true),
+            Value::Str(Rc::from("hi")),
+            Value::Con(2, Some(Rc::new(Value::Unit))),
+        ]);
+        let p = PortableValue::extract(&v).unwrap();
+        assert_eq!(v.structural_eq(&p.hydrate()), Some(true));
+    }
+
+    #[test]
+    fn closures_roundtrip_and_still_run() {
+        // fn x => snd x + 1, captured env ().
+        let f = closure(
+            Value::Unit,
+            vec![
+                Instr::Snd,
+                Instr::Push,
+                Instr::Quote(Value::Int(1)),
+                Instr::ConsPair,
+                Instr::Prim(PrimOp::Add),
+            ],
+        );
+        let p = PortableValue::extract(&f).unwrap();
+        let g = p.hydrate();
+        let out = Machine::new()
+            .run(Rc::new(vec![Instr::App]), Value::pair(g, Value::Int(41)))
+            .unwrap();
+        assert!(matches!(out, Value::Int(42)));
+    }
+
+    #[test]
+    fn mutable_state_is_rejected() {
+        let cases = [
+            (Value::Arena(Arena::new()), "code arena"),
+            (Value::Ref(Rc::new(RefCell::new(Value::Unit))), "ref cell"),
+            (Value::Array(Rc::new(RefCell::new(vec![]))), "array"),
+        ];
+        for (v, kind) in cases {
+            // Bury it in a pair to check the traversal is transitive.
+            let buried = Value::pair(Value::Int(1), v);
+            let err = PortableValue::extract(&buried).unwrap_err();
+            assert_eq!(err.kind, kind);
+            assert!(err.to_string().contains(kind));
+        }
+    }
+
+    #[test]
+    fn shared_code_stays_shared_through_roundtrip() {
+        let body: Code = Rc::new(vec![Instr::Snd]);
+        let f = Value::pair(
+            closure(Value::Unit, vec![Instr::Cur(body.clone())]),
+            closure(Value::Unit, vec![Instr::Cur(body)]),
+        );
+        let p = PortableValue::extract(&f).unwrap();
+        // Extraction shares…
+        let (a, b) = match &p {
+            PortableValue::Pair(pair) => match (&pair.0, &pair.1) {
+                (PortableValue::Closure(a), PortableValue::Closure(b)) => (a.clone(), b.clone()),
+                other => panic!("unexpected: {other:?}"),
+            },
+            other => panic!("unexpected: {other:?}"),
+        };
+        let inner = |c: &Arc<PortableClosure>| match &c.body[0] {
+            PortableInstr::Cur(inner) => inner.clone(),
+            other => panic!("unexpected: {other:?}"),
+        };
+        assert!(Arc::ptr_eq(&inner(&a), &inner(&b)));
+        // …and hydration restores the sharing.
+        let h = p.hydrate();
+        let (ha, hb) = match &h {
+            Value::Pair(pair) => match (&pair.0, &pair.1) {
+                (Value::Closure(a), Value::Closure(b)) => (a.clone(), b.clone()),
+                other => panic!("unexpected: {other:?}"),
+            },
+            other => panic!("unexpected: {other:?}"),
+        };
+        let hinner = |c: &Rc<Closure>| match &c.body[0] {
+            Instr::Cur(inner) => inner.clone(),
+            other => panic!("unexpected: {other:?}"),
+        };
+        assert!(Rc::ptr_eq(&hinner(&ha), &hinner(&hb)));
+    }
+
+    #[test]
+    fn every_instruction_roundtrips() {
+        // One of each instruction, nested codes included, so adding an
+        // instruction without a portable rendering fails this test.
+        let sub: Code = Rc::new(vec![Instr::Id]);
+        let all = vec![
+            Instr::Id,
+            Instr::Fst,
+            Instr::Snd,
+            Instr::Acc(2),
+            Instr::Push,
+            Instr::Swap,
+            Instr::ConsPair,
+            Instr::App,
+            Instr::Quote(Value::Int(7)),
+            Instr::Cur(sub.clone()),
+            Instr::Emit(Box::new(Instr::Snd)),
+            Instr::LiftV,
+            Instr::NewArena,
+            Instr::Merge,
+            Instr::Call,
+            Instr::Branch(sub.clone(), sub.clone()),
+            Instr::RecClos(Rc::new(vec![sub.clone()])),
+            Instr::Pack(3),
+            Instr::Switch(Rc::new(SwitchTable {
+                arms: vec![SwitchArm {
+                    tag: 0,
+                    bind: true,
+                    code: sub.clone(),
+                }],
+                default: Some(sub),
+            })),
+            Instr::Prim(PrimOp::Mul),
+            Instr::Fail(Rc::from("boom")),
+            Instr::MergeBranch,
+            Instr::MergeSwitch(Rc::new(MergeSwitchSpec {
+                arms: vec![(0, true)],
+                default: true,
+            })),
+            Instr::MergeRec(2),
+        ];
+        let code: Code = Rc::new(all);
+        let portable = extract_code(&code).unwrap();
+        let back = hydrate_code(&portable);
+        assert_eq!(code.len(), back.len());
+        for (orig, round) in code.iter().zip(back.iter()) {
+            assert_eq!(orig.opcode(), round.opcode());
+        }
+    }
+
+    #[test]
+    fn instr_count_counts_shared_code_once() {
+        let body: Code = Rc::new(vec![Instr::Id, Instr::Snd]);
+        let v = Value::pair(
+            closure(Value::Unit, vec![Instr::Cur(body.clone())]),
+            closure(Value::Unit, vec![Instr::Cur(body)]),
+        );
+        let p = PortableValue::extract(&v).unwrap();
+        // Two Cur instructions + the shared 2-instruction body once.
+        assert_eq!(p.instr_count(), 2 + 2);
+    }
+
+    #[test]
+    fn portable_values_cross_threads() {
+        let f = closure(Value::Unit, vec![Instr::Snd]);
+        let p = PortableValue::extract(&f).unwrap();
+        let out = std::thread::spawn(move || {
+            let g = p.hydrate();
+            let v = Machine::new()
+                .run(Rc::new(vec![Instr::App]), Value::pair(g, Value::Int(9)))
+                .unwrap();
+            matches!(v, Value::Int(9))
+        })
+        .join()
+        .unwrap();
+        assert!(out);
+    }
+}

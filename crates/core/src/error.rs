@@ -20,6 +20,9 @@ pub enum Error {
     Machine(MachineError),
     /// A reference-interpreter run-time error.
     Eval(EvalError),
+    /// A value could not be packaged as a thread-shareable compiled
+    /// artifact (not a function, or captures mutable state).
+    Artifact(String),
 }
 
 impl Error {
@@ -38,6 +41,7 @@ impl fmt::Display for Error {
             Error::Static { diag, src } => f.write_str(&diag.render(src)),
             Error::Machine(e) => write!(f, "machine error: {e}"),
             Error::Eval(e) => write!(f, "evaluation error: {e}"),
+            Error::Artifact(msg) => write!(f, "artifact error: {msg}"),
         }
     }
 }
@@ -48,6 +52,7 @@ impl std::error::Error for Error {
             Error::Static { diag, .. } => Some(diag),
             Error::Machine(e) => Some(e),
             Error::Eval(e) => Some(e),
+            Error::Artifact(_) => None,
         }
     }
 }

@@ -1,0 +1,103 @@
+//! A tiny stable hasher for cache keys.
+//!
+//! The serving layer keys its specialization cache by (filter program,
+//! session options). `std::hash::DefaultHasher` makes no stability
+//! promises across Rust releases, and cache keys recorded in benchmark
+//! artifacts (`BENCH_serve.json`) should mean the same thing next year —
+//! so we fix the algorithm: FNV-1a, 64-bit, over an explicit canonical
+//! byte encoding chosen by each caller.
+
+/// An incremental FNV-1a 64-bit hasher.
+///
+/// # Examples
+///
+/// ```
+/// use mlbox::fingerprint::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.write(b"abc");
+/// let once = h.finish();
+/// let mut h2 = Fnv1a::new();
+/// h2.write(b"abc");
+/// assert_eq!(once, h2.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, b: u8) {
+        self.write(&[b]);
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, n: u64) {
+        self.write(&n.to_le_bytes());
+    }
+
+    /// Absorbs an `i64` in little-endian byte order.
+    pub fn write_i64(&mut self, n: i64) {
+        self.write(&n.to_le_bytes());
+    }
+
+    /// Absorbs a boolean as one byte.
+    pub fn write_bool(&mut self, b: bool) {
+        self.write_u8(u8::from(b));
+    }
+
+    /// The 64-bit digest of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        let digest = |s: &str| {
+            let mut h = Fnv1a::new();
+            h.write(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(digest(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(digest("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn field_order_matters() {
+        let mut a = Fnv1a::new();
+        a.write_bool(true);
+        a.write_bool(false);
+        let mut b = Fnv1a::new();
+        b.write_bool(false);
+        b.write_bool(true);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

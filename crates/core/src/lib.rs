@@ -50,13 +50,16 @@
 //! | [`mlbox_eval`] | reference staged interpreter (the semantics oracle) |
 //! | `mlbox` (this crate) | the pipeline, prelude, and the paper's programs |
 
+pub mod artifact;
 pub mod differential;
 pub mod error;
+pub mod fingerprint;
 pub mod prelude;
 pub mod programs;
 pub mod render;
 pub mod session;
 
+pub use artifact::{CompiledFilter, FilterInstance};
 pub use error::Error;
 pub use mlbox_compile::ctx::EnvMode;
 pub use render::{render_eval, render_machine};

@@ -3,11 +3,14 @@
 //! per-declaration reduction-step accounting (the measurement surface of
 //! the paper's Table 1).
 
+use crate::artifact::CompiledFilter;
 use crate::error::Error;
+use crate::fingerprint::Fnv1a;
 use crate::prelude::PRELUDE;
 use crate::render::render_machine;
 use ccam::instr::{validate, Instr};
 use ccam::machine::{Machine, Stats};
+use ccam::portable::PortableValue;
 use ccam::value::Value;
 use mlbox_compile::compile::{compile_decl, compile_expr, DeclEffect};
 use mlbox_compile::ctx::{Ctx, EnvMode};
@@ -52,6 +55,31 @@ impl Default for SessionOptions {
             count_opcodes: false,
             indexed_env: false,
         }
+    }
+}
+
+impl SessionOptions {
+    /// A stable fingerprint of every option that affects compiled code
+    /// or its measured cost. Two sessions whose options fingerprint
+    /// equally produce byte-identical code and step counts for the same
+    /// program, so the serving layer uses this as half of its cache key
+    /// (the other half fingerprints the filter program): artifacts
+    /// compiled under different modes can never alias.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_bool(self.prelude);
+        match self.fuel {
+            Some(f) => {
+                h.write_u8(1);
+                h.write_u64(f);
+            }
+            None => h.write_u8(0),
+        }
+        h.write_bool(self.typecheck);
+        h.write_bool(self.optimize);
+        h.write_bool(self.count_opcodes);
+        h.write_bool(self.indexed_env);
+        h.finish()
     }
 }
 
@@ -147,9 +175,23 @@ impl Session {
         &self.elab.data
     }
 
+    /// The options this session was built with.
+    pub fn options(&self) -> &SessionOptions {
+        &self.options
+    }
+
     /// Total machine statistics accumulated over the session.
     pub fn stats(&self) -> Stats {
         self.machine.stats()
+    }
+
+    /// Zeroes the accumulated machine statistics. Bindings, code, and
+    /// output are untouched — this only resets the counters, so a
+    /// long-lived session (e.g. a pool worker) can take cheap
+    /// per-request measurements without accumulating cross-request step
+    /// counts.
+    pub fn reset_stats(&mut self) {
+        self.machine.reset_stats();
     }
 
     /// Everything `print`ed so far; clears the buffer.
@@ -290,6 +332,85 @@ impl Session {
         let result = self.machine.run(Rc::new(code), self.env.clone())?;
         let stats = self.machine.stats().delta_since(&before);
         Ok((result, stats))
+    }
+
+    /// Runs the generating extension `generator` (an expression of type
+    /// `A $`) once, splices the generated code, and extracts the
+    /// resulting function into a thread-shareable [`CompiledFilter`].
+    /// The artifact can then be instantiated on any number of worker
+    /// threads without re-running the generator. `source_fingerprint`
+    /// identifies the source program the artifact was compiled from
+    /// (callers pick the scheme; the BPF harness fingerprints the filter
+    /// instruction sequence).
+    ///
+    /// Why not simply extract the value of `eval generator`? Because the
+    /// `call` instruction splices generated code over the environment at
+    /// the splice site, so the closure `eval` returns drags the whole
+    /// session environment behind it — prelude tables, the generator
+    /// itself, every `ref` and array ever bound — none of which can
+    /// cross threads. This method instead re-roots the splice on a
+    /// **unit** environment: the modal type discipline guarantees
+    /// generated code is closed (every residualized value is a `lift`ed
+    /// immediate in the instruction stream), so the artifact never needs
+    /// the environment it was generated in. Were that invariant ever
+    /// violated, the run fails fast with a machine error rather than
+    /// miscomputing.
+    ///
+    /// Like [`Session::call`], the expression is compiled directly
+    /// without a type-checking pass; passing a non-generator is a
+    /// dynamic error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a static or dynamic error from running the generator, or
+    /// an [`Error::Artifact`] if the generated value is not a function
+    /// or embeds mutable state (ref cells, arrays) that cannot cross
+    /// threads.
+    pub fn compile_to_artifact(
+        &mut self,
+        generator: &str,
+        source_fingerprint: u64,
+    ) -> Result<CompiledFilter, Error> {
+        let src = format!("<artifact {generator}>");
+        let surface = parse_expr(generator).map_err(|d| self.static_err(d, &src))?;
+        let core = self
+            .elab
+            .elab_expr(&surface)
+            .map_err(|d| self.static_err(d, &src))?;
+        // ⟨generator, fresh arena⟩; app — run the generating extension...
+        let mut code = vec![Instr::Push];
+        code.extend(compile_expr(&core, &self.ctx).map_err(|d| self.static_err(d, &src))?);
+        code.extend([
+            Instr::Swap,
+            Instr::NewArena,
+            Instr::ConsPair,
+            Instr::App,
+            // ...then rebuild the gen state (v, arena) as (unit, arena),
+            // so `call` splices the generated code over a unit
+            // environment instead of v (which reaches the session env).
+            Instr::Snd,
+            Instr::Push,
+            Instr::Quote(Value::Unit),
+            Instr::Swap,
+            Instr::ConsPair,
+            Instr::Call,
+        ]);
+        let result = self.machine.run(Rc::new(code), self.env.clone())?;
+        match &result {
+            Value::Closure(_) | Value::RecClosure { .. } => {}
+            other => {
+                return Err(Error::Artifact(format!(
+                    "artifact entry point is not a function: `{generator}` generated {other}"
+                )))
+            }
+        }
+        let entry = PortableValue::extract(&result)
+            .map_err(|e| Error::Artifact(format!("cannot extract `{generator}`: {e}")))?;
+        Ok(CompiledFilter::new(
+            entry,
+            self.options.clone(),
+            source_fingerprint,
+        ))
     }
 
     /// Renders a machine value with this session's datatype names.
@@ -471,6 +592,39 @@ mod tests {
         assert!(s.constructor_tag("Alpha").is_some());
         assert!(s.constructor_tag("Beta").is_some());
         assert!(s.constructor_tag("Gamma").is_none());
+    }
+
+    #[test]
+    fn options_fingerprint_separates_every_mode() {
+        let base = SessionOptions::default();
+        let fp = |o: &SessionOptions| o.fingerprint();
+        assert_eq!(fp(&base), fp(&base.clone()), "fingerprint is stable");
+        let mut optimize = base.clone();
+        optimize.optimize = true;
+        assert_ne!(fp(&base), fp(&optimize), "optimize must change the key");
+        let mut indexed = base.clone();
+        indexed.indexed_env = true;
+        assert_ne!(fp(&base), fp(&indexed), "indexed_env must change the key");
+        let mut counted = base.clone();
+        counted.count_opcodes = true;
+        assert_ne!(fp(&base), fp(&counted), "count_opcodes must change the key");
+        // The three non-default modes are also pairwise distinct.
+        assert_ne!(fp(&optimize), fp(&indexed));
+        assert_ne!(fp(&optimize), fp(&counted));
+        assert_ne!(fp(&indexed), fp(&counted));
+    }
+
+    #[test]
+    fn reset_stats_zeroes_the_counters() {
+        let mut s = Session::new().unwrap();
+        s.eval_expr("1 + 1").unwrap();
+        assert!(s.stats().steps > 0);
+        s.reset_stats();
+        assert_eq!(s.stats().steps, 0);
+        // The session still works afterwards, and measurements restart.
+        let out = s.eval_expr("2 + 2").unwrap();
+        assert_eq!(out.value, "4");
+        assert_eq!(s.stats().steps, out.stats.steps);
     }
 
     #[test]

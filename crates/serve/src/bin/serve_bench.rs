@@ -1,0 +1,349 @@
+//! `serve-bench` — throughput sweep for the filter-serving engine.
+//!
+//! Sweeps workers × batch size over the four Table 1 filters, with every
+//! packet verified against two oracles (the native BPF interpreter for
+//! verdicts; a single-threaded artifact instance for verdicts *and*
+//! per-packet reduction-step counts), and emits `BENCH_serve.json` on
+//! stdout. Progress goes to stderr.
+//!
+//! Usage:
+//!
+//! ```text
+//! serve-bench [--smoke] [--workers 1,2,4] [--batches 8,32] [--rounds N]
+//! ```
+//!
+//! `--smoke` is the CI configuration: 2 workers, one batch per filter.
+
+use mlbox::SessionOptions;
+use mlbox_bpf::harness::{expect_verdict, filter_arg};
+use mlbox_bpf::insn::Insn;
+use mlbox_bpf::native::run_filter;
+use mlbox_bpf::packet::Packet;
+use mlbox_bpf::{
+    chain_filter, multi_port_filter, port_filter, telnet_filter, FilterHarness, PacketGen,
+};
+use mlbox_serve::{FilterCache, PoolConfig, ServePool, Ticket};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Config {
+    smoke: bool,
+    workers_sweep: Vec<usize>,
+    batch_sizes: Vec<usize>,
+    rounds: usize,
+    packets_per_filter: usize,
+}
+
+fn parse_args() -> Config {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let list = |flag: &str, default: Vec<usize>| -> Vec<usize> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.split(',')
+                    .map(|n| n.parse().expect("numeric sweep value"))
+                    .collect()
+            })
+            .unwrap_or(default)
+    };
+    let scalar = |flag: &str, default: usize| -> usize { list(flag, vec![default])[0] };
+    if smoke {
+        Config {
+            smoke,
+            workers_sweep: list("--workers", vec![2]),
+            batch_sizes: list("--batches", vec![16]),
+            rounds: scalar("--rounds", 1),
+            packets_per_filter: 16,
+        }
+    } else {
+        Config {
+            smoke,
+            workers_sweep: list("--workers", vec![1, 2, 4]),
+            batch_sizes: list("--batches", vec![8, 32]),
+            rounds: scalar("--rounds", 3),
+            packets_per_filter: 64,
+        }
+    }
+}
+
+/// One filter's workload with oracle answers attached.
+struct Workload {
+    name: &'static str,
+    filter: Arc<Vec<Insn>>,
+    packets: Vec<Packet>,
+    /// Single-threaded artifact oracle: (verdict, steps) per packet.
+    expected: Vec<(i64, u64)>,
+    /// Steps the one-time specialization cost (for the report).
+    specialize_steps: u64,
+    /// Instructions in the extracted artifact.
+    artifact_instructions: usize,
+}
+
+fn build_workloads(config: &Config) -> Vec<Workload> {
+    let filters: Vec<(&'static str, Vec<Insn>)> = vec![
+        ("accept_telnet", telnet_filter()),
+        ("accept_port_80", port_filter(80)),
+        ("accept_ports_22_23_80", multi_port_filter(&[22, 23, 80])),
+        ("chain_8", chain_filter(8)),
+    ];
+    filters
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, filter))| {
+            let mut generator = PacketGen::new(41 + i as u64);
+            let packets = generator.workload(config.packets_per_filter, 0.5);
+            let mut harness = FilterHarness::new(&filter).expect("harness builds");
+            let specialize_steps = harness.specialize().expect("filter specializes").steps;
+            let artifact = harness.compile_artifact().expect("artifact extracts");
+            let artifact_instructions = artifact.instructions();
+            let mut instance = artifact.instantiate();
+            let expected = packets
+                .iter()
+                .map(|pkt| {
+                    let (value, stats) = instance.run(filter_arg(pkt)).expect("oracle run");
+                    let verdict = expect_verdict(&value).expect("integer verdict");
+                    assert_eq!(
+                        verdict,
+                        run_filter(&filter, &pkt.bytes),
+                        "{name}: oracle disagrees with the native interpreter"
+                    );
+                    (verdict, stats.steps)
+                })
+                .collect();
+            Workload {
+                name,
+                filter: Arc::new(filter),
+                packets,
+                expected,
+                specialize_steps,
+                artifact_instructions,
+            }
+        })
+        .collect()
+}
+
+struct SweepPoint {
+    workers: usize,
+    batch_size: usize,
+    batches: u64,
+    packets: u64,
+    steps: u64,
+    elapsed_secs: f64,
+}
+
+impl SweepPoint {
+    fn packets_per_sec(&self) -> f64 {
+        self.packets as f64 / self.elapsed_secs.max(1e-9)
+    }
+
+    fn steps_per_packet(&self) -> f64 {
+        self.steps as f64 / (self.packets as f64).max(1.0)
+    }
+}
+
+/// Runs one (workers, batch_size) sweep point against the shared cache,
+/// verifying every batch against the oracle.
+fn run_sweep_point(
+    config: &Config,
+    cache: &Arc<FilterCache>,
+    workloads: &[Workload],
+    workers: usize,
+    batch_size: usize,
+) -> SweepPoint {
+    let pool = ServePool::with_cache(
+        PoolConfig {
+            workers,
+            queue_depth: 64,
+            cache_capacity: 64,
+            options: SessionOptions::default(),
+        },
+        Arc::clone(cache),
+    );
+    let started = Instant::now();
+    let mut tickets: Vec<(usize, usize, Ticket)> = Vec::new();
+    for _ in 0..config.rounds {
+        for (w, workload) in workloads.iter().enumerate() {
+            for (chunk_index, chunk) in workload.packets.chunks(batch_size).enumerate() {
+                let ticket = pool.submit(Arc::clone(&workload.filter), chunk.to_vec());
+                tickets.push((w, chunk_index * batch_size, ticket));
+            }
+        }
+    }
+    let mut packets = 0u64;
+    let mut steps = 0u64;
+    let mut batches = 0u64;
+    for (w, offset, ticket) in tickets {
+        let workload = &workloads[w];
+        let result = ticket.wait();
+        let output = result
+            .outcome
+            .unwrap_or_else(|e| panic!("{}: batch failed: {e}", workload.name));
+        batches += 1;
+        for (i, (&verdict, &step_count)) in
+            output.verdicts.iter().zip(output.steps.iter()).enumerate()
+        {
+            let (expected_verdict, expected_steps) = workload.expected[offset + i];
+            assert_eq!(
+                verdict,
+                expected_verdict,
+                "{}: packet {} verdict diverged from the oracle",
+                workload.name,
+                offset + i
+            );
+            assert_eq!(
+                step_count,
+                expected_steps,
+                "{}: packet {} step count diverged from the oracle",
+                workload.name,
+                offset + i
+            );
+            packets += 1;
+            steps += step_count;
+        }
+    }
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    pool.shutdown();
+    SweepPoint {
+        workers,
+        batch_size,
+        batches,
+        packets,
+        steps,
+        elapsed_secs,
+    }
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let config = parse_args();
+    eprintln!("serve-bench: building workloads and oracles...");
+    let workloads = build_workloads(&config);
+    let distinct_filters = workloads.len() as u64;
+
+    // One cache for the whole sweep: pre-warm it (the only misses), then
+    // every batch in every sweep point must hit.
+    let cache = Arc::new(FilterCache::new(64));
+    let options = SessionOptions::default();
+    for workload in &workloads {
+        cache
+            .get_or_specialize(&workload.filter, &options)
+            .expect("pre-warm specialization");
+    }
+
+    let mut sweep = Vec::new();
+    for &workers in &config.workers_sweep {
+        for &batch_size in &config.batch_sizes {
+            eprintln!("serve-bench: workers={workers} batch={batch_size} ...");
+            let point = run_sweep_point(&config, &cache, &workloads, workers, batch_size);
+            eprintln!(
+                "serve-bench:   {} packets in {:.1} ms ({:.0} packets/sec, {:.1} steps/packet)",
+                point.packets,
+                point.elapsed_secs * 1e3,
+                point.packets_per_sec(),
+                point.steps_per_packet()
+            );
+            sweep.push(point);
+        }
+    }
+
+    // The acceptance identity: every request after pre-warm hits, so
+    // hit rate == (requests - distinct filters) / requests, *exactly*.
+    let stats = cache.stats();
+    assert_eq!(
+        stats.misses, distinct_filters,
+        "exactly one specialization per distinct filter"
+    );
+    assert_eq!(stats.evictions, 0, "the sweep must fit in the cache");
+    let requests = stats.requests();
+    assert_eq!(
+        stats.hits,
+        requests - distinct_filters,
+        "cache hit rate deviates from (requests - distinct)/requests"
+    );
+
+    // 1 -> max-workers scaling per batch size (for equal batch sizes and
+    // the same total work). Meaningful only when the host has cores to
+    // scale onto, so it is reported, not asserted.
+    let speedup = |from: usize, to: usize| -> Option<f64> {
+        let of = |w: usize, b: usize| {
+            sweep
+                .iter()
+                .find(|p| p.workers == w && p.batch_size == b)
+                .map(SweepPoint::packets_per_sec)
+        };
+        let mut ratios: Vec<f64> = Vec::new();
+        for &b in &config.batch_sizes {
+            if let (Some(base), Some(high)) = (of(from, b), of(to, b)) {
+                ratios.push(high / base);
+            }
+        }
+        ratios.iter().copied().reduce(f64::max)
+    };
+    let speedup_1_to_4 = speedup(1, 4);
+
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"serve\",\n");
+    out.push_str(&format!("  \"smoke\": {},\n", config.smoke));
+    out.push_str(&format!("  \"available_parallelism\": {parallelism},\n"));
+    out.push_str("  \"filters\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"bpf_len\": {}, \"artifact_instructions\": {}, \"specialize_steps\": {}, \"packets\": {}}}{}\n",
+            w.name,
+            w.filter.len(),
+            w.artifact_instructions,
+            w.specialize_steps,
+            w.packets.len(),
+            if i + 1 < workloads.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"cache\": {{\"requests\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {}}},\n",
+        requests,
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        json_f(stats.hit_rate())
+    ));
+    out.push_str("  \"oracle\": \"verified\",\n");
+    out.push_str("  \"sweep\": [\n");
+    for (i, p) in sweep.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"batch_size\": {}, \"batches\": {}, \"packets\": {}, \"elapsed_ms\": {}, \"packets_per_sec\": {}, \"steps_per_packet\": {}}}{}\n",
+            p.workers,
+            p.batch_size,
+            p.batches,
+            p.packets,
+            json_f(p.elapsed_secs * 1e3),
+            json_f(p.packets_per_sec()),
+            json_f(p.steps_per_packet()),
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    match speedup_1_to_4 {
+        Some(s) => out.push_str(&format!("  \"speedup_1_to_4\": {}\n", json_f(s))),
+        None => out.push_str("  \"speedup_1_to_4\": null\n"),
+    }
+    out.push_str("}\n");
+    print!("{out}");
+    eprintln!(
+        "serve-bench: ok ({requests} cache requests, hit rate {:.3})",
+        stats.hit_rate()
+    );
+}

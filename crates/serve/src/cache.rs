@@ -1,0 +1,335 @@
+//! The concurrent specialization cache.
+//!
+//! Keyed by (filter-program fingerprint, options fingerprint), so
+//! artifacts compiled under different machine modes can never alias.
+//! Entries are `OnceLock`s inside sharded `RwLock` maps: the shard lock
+//! is held only long enough to find or insert the entry, and the
+//! (expensive — a whole session build plus a generator run)
+//! specialization itself happens in `OnceLock::get_or_init`, where
+//! concurrent requesters of the *same* filter block until the one
+//! initializer finishes and requesters of *other* filters proceed
+//! untouched. N workers asking for one filter trigger exactly one
+//! specialization, by construction rather than by luck.
+
+use mlbox::fingerprint::Fnv1a;
+use mlbox::{CompiledFilter, SessionOptions};
+use mlbox_bpf::insn::{fingerprint, Insn};
+use mlbox_bpf::FilterHarness;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// What a cached specialization is indexed by. Both halves are stable
+/// fingerprints ([`mlbox_bpf::insn::fingerprint`],
+/// [`SessionOptions::fingerprint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Fingerprint of the filter program.
+    pub filter: u64,
+    /// Fingerprint of the session options the artifact is compiled under.
+    pub options: u64,
+}
+
+impl CacheKey {
+    /// The key for `filter` specialized under `options`.
+    pub fn new(filter: &[Insn], options: &SessionOptions) -> CacheKey {
+        CacheKey {
+            filter: fingerprint(filter),
+            options: options.fingerprint(),
+        }
+    }
+
+    fn shard_of(&self, shards: usize) -> usize {
+        // The halves are already FNV digests; fold and re-mix so shard
+        // choice doesn't correlate with the low bits of either.
+        let mut h = Fnv1a::new();
+        h.write_u64(self.filter);
+        h.write_u64(self.options);
+        (h.finish() % shards as u64) as usize
+    }
+}
+
+/// A point-in-time snapshot of cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from an already-initialized entry (including
+    /// requests that blocked on another thread's in-flight
+    /// specialization — the work was still done once).
+    pub hits: u64,
+    /// Requests whose initializer actually ran.
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total requests observed.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// hits / requests, or 0 for an untouched cache.
+    pub fn hit_rate(&self) -> f64 {
+        let req = self.requests();
+        if req == 0 {
+            0.0
+        } else {
+            self.hits as f64 / req as f64
+        }
+    }
+}
+
+type Entry<T> = Arc<OnceLock<Result<Arc<T>, String>>>;
+
+#[derive(Debug)]
+struct Shard<T> {
+    map: HashMap<CacheKey, Entry<T>>,
+    // Insertion order, for FIFO eviction: the artifacts are immutable
+    // and cheap to rebuild relative to bookkeeping an LRU under a write
+    // lock, so first-in-first-out is deliberate.
+    order: Vec<CacheKey>,
+}
+
+impl<T> Shard<T> {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+}
+
+/// A sharded, capacity-bounded, exactly-once concurrent cache.
+///
+/// Generic over the cached artifact so tests can exercise the
+/// concurrency contract with cheap payloads; the serving layer uses
+/// [`FilterCache`].
+#[derive(Debug)]
+pub struct SpecializationCache<T> {
+    shards: Vec<RwLock<Shard<T>>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+const SHARDS: usize = 8;
+
+impl<T> SpecializationCache<T> {
+    /// A cache holding at most (roughly) `capacity` entries, FIFO-evicted
+    /// per shard beyond that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        SpecializationCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(Shard::new())).collect(),
+            per_shard_capacity: capacity.div_ceil(SHARDS),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, running `init` to fill the entry if absent.
+    /// Exactly one concurrent caller per key runs `init`; the others
+    /// block until it finishes and share the result. Failures are cached
+    /// too — a filter that fails to specialize fails every request
+    /// identically instead of re-specializing per request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error `init` produced (now or on a previous request).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard lock is poisoned (a previous `init` panicked).
+    pub fn get_or_init(
+        &self,
+        key: CacheKey,
+        init: impl FnOnce() -> Result<Arc<T>, String>,
+    ) -> Result<Arc<T>, String> {
+        let shard = &self.shards[key.shard_of(SHARDS)];
+        // Fast path: the entry exists; never take the write lock.
+        let entry = shard
+            .read()
+            .expect("cache shard poisoned")
+            .map
+            .get(&key)
+            .cloned();
+        let entry = match entry {
+            Some(e) => e,
+            None => {
+                let mut guard = shard.write().expect("cache shard poisoned");
+                match guard.map.get(&key) {
+                    // Lost the insert race to another writer; use theirs.
+                    Some(e) => e.clone(),
+                    None => {
+                        if guard.map.len() >= self.per_shard_capacity {
+                            let oldest = guard.order.remove(0);
+                            guard.map.remove(&oldest);
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let entry = Entry::<T>::default();
+                        guard.map.insert(key, entry.clone());
+                        guard.order.push(key);
+                        entry
+                    }
+                }
+            }
+        };
+        // Initialize outside any shard lock: a slow specialization must
+        // not stall requests for other filters in the same shard.
+        let mut ran = false;
+        let result = entry
+            .get_or_init(|| {
+                ran = true;
+                init()
+            })
+            .clone();
+        // Only the caller whose initializer ran counts a miss, so
+        // misses == distinct keys exactly, even under contention.
+        if ran {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Current counters and residency.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.read().expect("cache shard poisoned").map.len())
+                .sum(),
+        }
+    }
+}
+
+/// The cache the serving layer actually uses: filter programs to
+/// [`CompiledFilter`] artifacts.
+pub type FilterCache = SpecializationCache<CompiledFilter>;
+
+impl FilterCache {
+    /// Returns the artifact for `filter` specialized under `options`,
+    /// building a one-shot harness session and running the generator if
+    /// (and only if) no other request has done so already.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered error if the filter is invalid or
+    /// specialization fails; the failure is cached.
+    pub fn get_or_specialize(
+        &self,
+        filter: &[Insn],
+        options: &SessionOptions,
+    ) -> Result<Arc<CompiledFilter>, String> {
+        let key = CacheKey::new(filter, options);
+        self.get_or_init(key, || {
+            let mut harness =
+                FilterHarness::with_options(filter, options.clone()).map_err(|e| e.to_string())?;
+            let artifact = harness.compile_artifact().map_err(|e| e.to_string())?;
+            Ok(Arc::new(artifact))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlbox_bpf::{port_filter, telnet_filter};
+
+    #[test]
+    fn misses_count_distinct_keys_and_hits_the_rest() {
+        let cache: SpecializationCache<u64> = SpecializationCache::new(16);
+        let k1 = CacheKey {
+            filter: 1,
+            options: 0,
+        };
+        let k2 = CacheKey {
+            filter: 2,
+            options: 0,
+        };
+        for _ in 0..5 {
+            cache.get_or_init(k1, || Ok(Arc::new(10))).unwrap();
+        }
+        for _ in 0..3 {
+            cache.get_or_init(k2, || Ok(Arc::new(20))).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 6);
+        assert_eq!(stats.requests(), 8);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn same_filter_different_options_do_not_alias() {
+        let filter = telnet_filter();
+        let plain = SessionOptions::default();
+        let optimized = SessionOptions {
+            optimize: true,
+            ..SessionOptions::default()
+        };
+        assert_ne!(
+            CacheKey::new(&filter, &plain),
+            CacheKey::new(&filter, &optimized)
+        );
+        let cache = FilterCache::new(16);
+        cache.get_or_specialize(&filter, &plain).unwrap();
+        cache.get_or_specialize(&filter, &optimized).unwrap();
+        assert_eq!(cache.stats().misses, 2, "one specialization per mode");
+    }
+
+    #[test]
+    fn failures_are_cached() {
+        let bad = vec![Insn::JeqK { k: 0, jt: 9, jf: 9 }];
+        let cache = FilterCache::new(16);
+        let opts = SessionOptions::default();
+        let e1 = cache.get_or_specialize(&bad, &opts).unwrap_err();
+        let e2 = cache.get_or_specialize(&bad, &opts).unwrap_err();
+        assert_eq!(e1, e2);
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1), "failure hits the cache");
+    }
+
+    #[test]
+    fn capacity_is_bounded_by_fifo_eviction() {
+        let cache: SpecializationCache<u64> = SpecializationCache::new(8);
+        // Per-shard capacity is 1, so hammering keys that land in one
+        // shard forces evictions.
+        let keys: Vec<CacheKey> = (0..64)
+            .map(|i| CacheKey {
+                filter: i,
+                options: 0,
+            })
+            .collect();
+        for k in &keys {
+            cache.get_or_init(*k, || Ok(Arc::new(k.filter))).unwrap();
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 8, "resident {} > capacity", stats.entries);
+        assert!(stats.evictions > 0);
+        assert_eq!(stats.misses, 64);
+    }
+
+    #[test]
+    fn cached_artifacts_are_shared_not_rebuilt() {
+        let cache = FilterCache::new(16);
+        let opts = SessionOptions::default();
+        let filter = port_filter(80);
+        let a = cache.get_or_specialize(&filter, &opts).unwrap();
+        let b = cache.get_or_specialize(&filter, &opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,30 @@
+//! **mlbox-serve** — a concurrent filter-serving engine over the CCAM.
+//!
+//! The paper's premise is *generate once, run many*: a generating
+//! extension pays its specialization cost once and the generated code is
+//! then run on a stream of inputs (Table 1's packet-filter rows). This
+//! crate makes that operational at production shape:
+//!
+//! - a **specialization cache** ([`cache`]) keyed by (filter-program
+//!   fingerprint, [`SessionOptions`](mlbox::SessionOptions) fingerprint),
+//!   guaranteeing that N workers requesting the same filter trigger
+//!   exactly one specialization;
+//! - a **batched worker pool** ([`pool`]) of threads that each own a
+//!   private [`Machine`](ccam::Machine), drain packet batches from a
+//!   bounded channel, and run them against cached
+//!   [`CompiledFilter`](mlbox::CompiledFilter) artifacts;
+//! - a `serve-bench` binary sweeping workers × batch size over the
+//!   Table 1 filters, verifying every verdict and step count against the
+//!   single-threaded oracle, and emitting `BENCH_serve.json`.
+//!
+//! Machines stay single-threaded — CCAM values are `Rc`/`RefCell`
+//! graphs, and sharing one machine behind a lock would serialize exactly
+//! the work we want to parallelize. What crosses threads is the frozen
+//! *artifact* (`Send + Sync` by construction); each worker hydrates it
+//! once into its own heap and runs packets locally.
+
+pub mod cache;
+pub mod pool;
+
+pub use cache::{CacheKey, CacheStats, FilterCache, SpecializationCache};
+pub use pool::{BatchOutput, BatchResult, PoolConfig, PoolReport, ServePool, Ticket, WorkerStats};

@@ -1,0 +1,389 @@
+//! The batched worker pool.
+//!
+//! Each worker thread owns a private [`Machine`] — CCAM values are
+//! `Rc`/`RefCell` graphs, so a shared machine behind a lock would
+//! serialize exactly the work the pool exists to parallelize. Workers
+//! drain [`BatchRequest`]s from one bounded channel (natural
+//! backpressure: `submit` blocks when the queue is full), resolve the
+//! filter through the shared [`FilterCache`], hydrate the artifact once
+//! into their own heap, and run the batch packet by packet, recording a
+//! verdict and a reduction-step count per packet.
+
+use crate::cache::{CacheKey, CacheStats, FilterCache};
+use ccam::machine::Machine;
+use ccam::value::Value;
+use mlbox::artifact::{app_code, apply, machine_for};
+use mlbox::SessionOptions;
+use mlbox_bpf::harness::{expect_verdict, filter_arg};
+use mlbox_bpf::insn::Insn;
+use mlbox_bpf::packet::Packet;
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Pool configuration.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker threads (each owns a machine).
+    pub workers: usize,
+    /// Bounded request-queue depth; `submit` blocks beyond it.
+    pub queue_depth: usize,
+    /// Capacity of the specialization cache created by
+    /// [`ServePool::new`] (ignored by [`ServePool::with_cache`]).
+    pub cache_capacity: usize,
+    /// Machine/compilation mode for every artifact the pool serves.
+    pub options: SessionOptions,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 2,
+            queue_depth: 64,
+            cache_capacity: 64,
+            options: SessionOptions::default(),
+        }
+    }
+}
+
+/// One unit of pool work: a filter and the packets to run through it.
+#[derive(Debug)]
+struct BatchRequest {
+    filter: Arc<Vec<Insn>>,
+    packets: Vec<Packet>,
+    reply: Sender<BatchResult>,
+}
+
+/// Per-packet results of one batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutput {
+    /// Filter verdict per packet, in submission order.
+    pub verdicts: Vec<i64>,
+    /// CCAM reduction steps per packet, in submission order.
+    pub steps: Vec<u64>,
+}
+
+/// What comes back for a submitted batch.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Which worker ran the batch.
+    pub worker: usize,
+    /// Fingerprint of the filter program the batch ran against.
+    pub filter_fingerprint: u64,
+    /// Per-packet outputs, or a rendered error (specialization or
+    /// machine failure).
+    pub outcome: Result<BatchOutput, String>,
+}
+
+/// A handle to one in-flight batch.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<BatchResult>,
+}
+
+impl Ticket {
+    /// Blocks until the batch completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool was torn down without answering (a bug — the
+    /// worker replies even on failure).
+    pub fn wait(self) -> BatchResult {
+        self.rx
+            .recv()
+            .expect("pool dropped a batch without replying")
+    }
+}
+
+/// Counters from one worker's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: usize,
+    /// Batches drained.
+    pub batches: u64,
+    /// Packets run.
+    pub packets: u64,
+    /// Total CCAM reduction steps across those packets.
+    pub steps: u64,
+    /// Artifact hydrations (local installs of cached artifacts).
+    pub installs: u64,
+}
+
+/// The pool's final accounting, returned by [`ServePool::shutdown`].
+#[derive(Debug, Clone)]
+pub struct PoolReport {
+    /// One entry per worker.
+    pub workers: Vec<WorkerStats>,
+    /// Shared-cache counters at shutdown.
+    pub cache: CacheStats,
+}
+
+impl PoolReport {
+    /// Packets run across all workers.
+    pub fn total_packets(&self) -> u64 {
+        self.workers.iter().map(|w| w.packets).sum()
+    }
+
+    /// Reduction steps across all workers.
+    pub fn total_steps(&self) -> u64 {
+        self.workers.iter().map(|w| w.steps).sum()
+    }
+}
+
+/// A running pool of filter-serving workers.
+#[derive(Debug)]
+pub struct ServePool {
+    tx: Option<SyncSender<BatchRequest>>,
+    handles: Vec<JoinHandle<WorkerStats>>,
+    cache: Arc<FilterCache>,
+}
+
+// Workers hydrate artifacts and run the CCAM, both of which recurse on
+// the Rust stack; give them room well beyond the 2 MiB default.
+const WORKER_STACK: usize = 64 * 1024 * 1024;
+
+impl ServePool {
+    /// Spawns `config.workers` workers around a fresh cache.
+    pub fn new(config: PoolConfig) -> ServePool {
+        let cache = Arc::new(FilterCache::new(config.cache_capacity));
+        ServePool::with_cache(config, cache)
+    }
+
+    /// Spawns workers around an existing (possibly pre-warmed, possibly
+    /// shared with other pools) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers` is zero or a worker thread cannot be
+    /// spawned.
+    pub fn with_cache(config: PoolConfig, cache: Arc<FilterCache>) -> ServePool {
+        assert!(config.workers > 0, "a pool needs at least one worker");
+        let (tx, rx) = sync_channel::<BatchRequest>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..config.workers)
+            .map(|index| {
+                let rx = Arc::clone(&rx);
+                let cache = Arc::clone(&cache);
+                let options = config.options.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{index}"))
+                    .stack_size(WORKER_STACK)
+                    .spawn(move || worker_loop(index, &rx, &cache, &options))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ServePool {
+            tx: Some(tx),
+            handles,
+            cache,
+        }
+    }
+
+    /// The pool's specialization cache (e.g. for pre-warming).
+    pub fn cache(&self) -> &Arc<FilterCache> {
+        &self.cache
+    }
+
+    /// Enqueues a batch; blocks while the queue is full. The returned
+    /// [`Ticket`] resolves when a worker finishes the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`ServePool::shutdown`] (impossible by
+    /// construction — `shutdown` consumes the pool).
+    pub fn submit(&self, filter: Arc<Vec<Insn>>, packets: Vec<Packet>) -> Ticket {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .as_ref()
+            .expect("pool is shut down")
+            .send(BatchRequest {
+                filter,
+                packets,
+                reply,
+            })
+            .expect("all pool workers died");
+        Ticket { rx }
+    }
+
+    /// Graceful shutdown: closes the queue, lets workers drain what was
+    /// already submitted, joins them, and returns the final accounting.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a worker panic.
+    pub fn shutdown(mut self) -> PoolReport {
+        self.tx = None; // disconnect: workers finish the queue, then exit
+        let workers = self
+            .handles
+            .drain(..)
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect();
+        PoolReport {
+            workers,
+            cache: self.cache.stats(),
+        }
+    }
+}
+
+impl Drop for ServePool {
+    fn drop(&mut self) {
+        // `shutdown` already drained `handles`; otherwise make sure no
+        // worker threads outlive the pool.
+        self.tx = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(
+    index: usize,
+    rx: &Mutex<Receiver<BatchRequest>>,
+    cache: &FilterCache,
+    options: &SessionOptions,
+) -> WorkerStats {
+    let mut machine = machine_for(options);
+    let app = app_code();
+    // This worker's hydrated entry points: the shared artifact is
+    // `Arc`ed portable data; each worker rebuilds it as `Rc` values in
+    // its own heap exactly once per filter.
+    let mut installed: HashMap<CacheKey, Value> = HashMap::new();
+    let mut stats = WorkerStats {
+        worker: index,
+        batches: 0,
+        packets: 0,
+        steps: 0,
+        installs: 0,
+    };
+    loop {
+        // Hold the receiver lock only for the dequeue, not the work.
+        let request = match rx.lock().expect("pool queue poisoned").recv() {
+            Ok(r) => r,
+            Err(_) => break, // queue closed and drained: graceful exit
+        };
+        let result = run_batch(
+            &mut machine,
+            &app,
+            cache,
+            options,
+            &mut installed,
+            &request,
+            &mut stats,
+        );
+        stats.batches += 1;
+        let fingerprint = mlbox_bpf::insn::fingerprint(&request.filter);
+        // A dropped ticket is the caller's business, not an error here.
+        let _ = request.reply.send(BatchResult {
+            worker: index,
+            filter_fingerprint: fingerprint,
+            outcome: result,
+        });
+    }
+    stats
+}
+
+fn run_batch(
+    machine: &mut Machine,
+    app: &ccam::instr::Code,
+    cache: &FilterCache,
+    options: &SessionOptions,
+    installed: &mut HashMap<CacheKey, Value>,
+    request: &BatchRequest,
+    stats: &mut WorkerStats,
+) -> Result<BatchOutput, String> {
+    let key = CacheKey::new(&request.filter, options);
+    // Every batch is one cache request — the hit/miss counters account
+    // for batches, not workers. The shared lookup is cheap (a read lock
+    // plus a `OnceLock` read); only the *hydration* of the artifact into
+    // this worker's Rc heap is memoized locally.
+    let artifact = cache.get_or_specialize(&request.filter, options)?;
+    let entry = match installed.get(&key) {
+        Some(v) => v.clone(),
+        None => {
+            let entry = artifact.hydrate_entry();
+            stats.installs += 1;
+            installed.insert(key, entry.clone());
+            entry
+        }
+    };
+    let mut verdicts = Vec::with_capacity(request.packets.len());
+    let mut steps = Vec::with_capacity(request.packets.len());
+    for pkt in &request.packets {
+        let (value, delta) =
+            apply(machine, app, &entry, filter_arg(pkt)).map_err(|e| e.to_string())?;
+        verdicts.push(expect_verdict(&value).map_err(|e| e.to_string())?);
+        steps.push(delta.steps);
+        stats.packets += 1;
+        stats.steps += delta.steps;
+    }
+    Ok(BatchOutput { verdicts, steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlbox_bpf::{port_filter, telnet_filter, FilterHarness, PacketGen};
+
+    #[test]
+    fn pool_serves_batches_and_shuts_down() {
+        let pool = ServePool::new(PoolConfig {
+            workers: 2,
+            ..PoolConfig::default()
+        });
+        let filter = Arc::new(telnet_filter());
+        let mut g = PacketGen::new(31);
+        let packets = g.workload(6, 0.5);
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|_| pool.submit(Arc::clone(&filter), packets.clone()))
+            .collect();
+        let mut outputs = Vec::new();
+        for t in tickets {
+            let result = t.wait();
+            outputs.push(result.outcome.expect("batch runs"));
+        }
+        // Same filter, same packets, any worker: identical answers.
+        for o in &outputs[1..] {
+            assert_eq!(o, &outputs[0]);
+        }
+        let report = pool.shutdown();
+        assert_eq!(report.total_packets(), 24);
+        assert_eq!(report.cache.misses, 1, "one specialization for 4 batches");
+        assert_eq!(report.cache.hits, 3);
+    }
+
+    #[test]
+    fn pool_matches_the_harness_oracle() {
+        let filter = port_filter(80);
+        let mut g = PacketGen::new(32);
+        let packets = g.workload(5, 0.4);
+        let mut oracle = FilterHarness::new(&filter).unwrap();
+        let mut instance = oracle.compile_artifact().unwrap().instantiate();
+        let pool = ServePool::new(PoolConfig::default());
+        let out = pool
+            .submit(Arc::new(filter), packets.clone())
+            .wait()
+            .outcome
+            .unwrap();
+        for (i, pkt) in packets.iter().enumerate() {
+            let (v, s) = instance.run(filter_arg(pkt)).unwrap();
+            assert_eq!(out.verdicts[i], expect_verdict(&v).unwrap());
+            assert_eq!(out.steps[i], s.steps, "packet {i} step count");
+        }
+    }
+
+    #[test]
+    fn specialization_failures_come_back_as_errors() {
+        let pool = ServePool::new(PoolConfig::default());
+        let bad = Arc::new(vec![Insn::JeqK { k: 0, jt: 9, jf: 9 }]);
+        let result = pool.submit(Arc::clone(&bad), vec![]).wait();
+        assert!(result.outcome.is_err());
+        // And the failure is cached, not recomputed.
+        let again = pool.submit(bad, vec![]).wait();
+        assert!(again.outcome.is_err());
+        let report = pool.shutdown();
+        assert_eq!(report.cache.misses, 1);
+        assert_eq!(report.cache.hits, 1);
+    }
+}
