@@ -1,44 +1,51 @@
 //! CCAM microbenchmarks: raw simulator throughput for the instruction
-//! classes the RTCG path exercises (dispatch, emission, call).
+//! classes the RTCG path exercises (dispatch, emission, call), plus a
+//! dispatch-throughput bench on the Table 1 packet filters — the
+//! workload the flat code segment is meant to speed up.
 
 use ccam::instr::{Instr, PrimOp};
 use ccam::machine::Machine;
+use ccam::seg::CodeSeg;
 use ccam::value::{Arena, Value};
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::rc::Rc;
+use std::time::Instant;
 
 fn bench_machine(c: &mut Criterion) {
     let mut group = c.benchmark_group("machine");
+    let seg = CodeSeg::new();
 
-    // Arithmetic loop: 1000 adds.
-    let add_code: Vec<Instr> = std::iter::repeat_with(|| {
-        [
-            Instr::Push,
-            Instr::Quote(Value::Int(1)),
-            Instr::ConsPair,
-            Instr::Prim(PrimOp::Add),
-        ]
-    })
-    .take(1000)
-    .flatten()
-    .collect();
-    let add_code = Rc::new(add_code);
+    // Arithmetic loop: 1000 adds of straight-line dispatch.
+    let add_code = seg.entry(
+        std::iter::repeat_with(|| {
+            [
+                Instr::Push,
+                Instr::Quote(Value::Int(1)),
+                Instr::ConsPair,
+                Instr::Prim(PrimOp::Add),
+            ]
+        })
+        .take(1000)
+        .flatten()
+        .collect(),
+    );
     group.bench_function("add_1000", |b| {
         let mut m = Machine::new();
         b.iter(|| m.run(add_code.clone(), Value::Int(0)).expect("run"))
     });
 
     // Emission throughput: 1000 emits into one arena.
-    let mut emit_code = vec![Instr::Push, Instr::NewArena, Instr::ConsPair];
-    emit_code.extend(std::iter::repeat_with(|| Instr::Emit(Box::new(Instr::Id))).take(1000));
-    let emit_code = Rc::new(emit_code);
+    let mut emit_instrs = vec![Instr::Push, Instr::NewArena, Instr::ConsPair];
+    emit_instrs.extend(std::iter::repeat_with(|| Instr::Emit(Box::new(Instr::Id))).take(1000));
+    let emit_code = seg.entry(emit_instrs);
     group.bench_function("emit_1000", |b| {
         let mut m = Machine::new();
         b.iter(|| m.run(emit_code.clone(), Value::Unit).expect("run"))
     });
 
-    // Generate-and-call round trip.
-    let gen_call = Rc::new(vec![
+    // Generate-and-call round trip. Each call freezes a fresh arena, so
+    // the generated blocks accumulate in the segment's tail — exactly the
+    // arena model run-time generation uses.
+    let gen_call = seg.entry(vec![
         Instr::Quote(Value::Int(7)),
         Instr::Push,
         Instr::NewArena,
@@ -56,7 +63,7 @@ fn bench_machine(c: &mut Criterion) {
 
     // Specialize once, run many: repeated `call` of one finished
     // generator state. The freeze cache means only the first call copies
-    // the arena; every later call re-enters the same snapshot.
+    // the arena; every later call re-enters the same frozen block.
     let body: Vec<Instr> = std::iter::repeat_with(|| {
         [
             Instr::Push,
@@ -73,12 +80,12 @@ fn bench_machine(c: &mut Criterion) {
         arena.push(i.clone());
     }
     let gen = Value::pair(Value::Int(0), Value::Arena(arena));
-    let call_code = Rc::new(vec![Instr::Call]);
+    let call_code = CodeSeg::new().entry(vec![Instr::Call]);
     group.bench_function("specialize_once_run_many", |b| {
         let mut m = Machine::new();
         b.iter(|| m.run(call_code.clone(), gen.clone()).expect("run"))
     });
-    // Contrast: a fresh arena per run pays the copy on every call.
+    // Contrast: a fresh arena per run pays the freeze on every call.
     group.bench_function("respecialize_every_run", |b| {
         let mut m = Machine::new();
         b.iter(|| {
@@ -95,12 +102,14 @@ fn bench_machine(c: &mut Criterion) {
     });
 
     // Closure application: (closure, arg) |-> body.
-    let apply_once = Rc::new(vec![Instr::App]);
+    let apply_once = CodeSeg::new().entry(vec![Instr::App]);
     group.bench_function("apply_closure", |b| {
         let mut m = Machine::new();
         let clos = {
-            let code = Rc::new(vec![Instr::Cur(Rc::new(vec![Instr::Snd]))]);
-            m.run(code, Value::Unit).expect("make closure")
+            let clos_seg = CodeSeg::new();
+            let body = clos_seg.add_block(vec![Instr::Snd]);
+            m.run(clos_seg.entry(vec![Instr::Cur(body)]), Value::Unit)
+                .expect("make closure")
         };
         let input = Value::pair(clos, Value::Int(5));
         b.iter(|| m.run(apply_once.clone(), input.clone()).expect("run"))
@@ -108,5 +117,47 @@ fn bench_machine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_machine);
+/// Dispatch throughput on the Table 1 filters: wall-clock steps/sec of
+/// the interpretive (`evalpf`) and specialized (`bevalpf`-generated)
+/// telnet filter on a telnet packet. The specialized path is pure
+/// dispatch over frozen flat code — the number this bench watches.
+fn bench_dispatch(c: &mut Criterion) {
+    use mlbox_bpf::filters::telnet_filter;
+    use mlbox_bpf::harness::FilterHarness;
+    use mlbox_bpf::packet::PacketGen;
+
+    let mut h = FilterHarness::new(&telnet_filter()).expect("harness");
+    let mut packets = PacketGen::new(1998);
+    let telnet = packets.telnet(32);
+    h.specialize().expect("specialize");
+
+    let mut group = c.benchmark_group("dispatch");
+    group.bench_function("interp_telnet_packet", |b| {
+        b.iter(|| h.interp(&telnet).expect("run"))
+    });
+    group.bench_function("specialized_telnet_packet", |b| {
+        b.iter(|| h.specialized(&telnet).expect("run"))
+    });
+    group.finish();
+
+    // Steps-per-second summary: measured over a fixed batch so the
+    // number is directly comparable across commits.
+    fn steps_per_sec(label: &str, mut run: impl FnMut() -> u64) {
+        let iters = 2_000u64;
+        let mut steps = 0u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            steps += run();
+        }
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "dispatch/{label}_steps_per_sec: {:.0} ({steps} steps over {iters} packets in {secs:.3}s)",
+            steps as f64 / secs,
+        );
+    }
+    steps_per_sec("interp", || h.interp(&telnet).expect("run").1);
+    steps_per_sec("specialized", || h.specialized(&telnet).expect("run").1);
+}
+
+criterion_group!(benches, bench_machine, bench_dispatch);
 criterion_main!(benches);

@@ -22,14 +22,23 @@
 
 use mlbox::SessionOptions;
 use mlbox_bench::{
-    break_even, deep_env_steps, poly_costs, poly_costs_with, poly_literal, render_table, Row,
+    break_even, deep_env_steps, poly_costs, poly_literal, render_table, table1_rows, Row,
 };
 use mlbox_bpf::filters::{chain_filter, telnet_filter};
 use mlbox_bpf::harness::FilterHarness;
 use mlbox_bpf::packet::PacketGen;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let limit = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(40usize);
+        args.drain(i..args.len().min(i + 2));
+        trace(limit);
+        return;
+    }
     let json = args.iter().any(|a| a == "--json");
     let mode = args
         .iter()
@@ -58,6 +67,29 @@ fn main() {
     if run("deep-env") {
         deep_env();
     }
+}
+
+/// `--trace N`: prints the first `N` executed instructions of the
+/// Table 1 staged polynomial call (`mlPolyFun 47`) as
+/// `(block, pc, mnemonic)` triples — the machine's bounded execution
+/// trace over the flat code segment.
+fn trace(limit: usize) {
+    let mut s = mlbox::Session::new().expect("session");
+    s.run(mlbox::programs::EVAL_POLY).expect("evalPoly");
+    s.run(mlbox::programs::COMP_POLY).expect("compPoly");
+    s.set_trace(limit);
+    let out = s.eval_expr("mlPolyFun 47").expect("call");
+    println!("first {limit} executed instructions of `mlPolyFun 47` (block, pc, mnemonic):");
+    let t = s.trace().expect("tracing enabled");
+    for e in &t.entries {
+        println!("  L{:<5} pc {:<4} {}", e.block, e.pc, e.mnemonic);
+    }
+    println!(
+        "… {} of {} steps shown; result {}",
+        t.entries.len(),
+        out.stats.steps,
+        out.value
+    );
 }
 
 /// Environment-representation comparison: reduction steps for a deep
@@ -128,66 +160,6 @@ fn optimize_ablation() {
     );
 }
 
-/// Measures all ten Table 1 rows under the given session options,
-/// returning the rows plus the packet-filter harness's cumulative machine
-/// statistics (for the freeze-cache counters in the JSON output).
-fn table1_rows(options: &SessionOptions) -> (Vec<Row>, ccam::machine::Stats) {
-    let mut rows = Vec::new();
-
-    // ---- Packet filter rows (E1) ----
-    let filter = telnet_filter();
-    let mut h = FilterHarness::with_options(&filter, options.clone()).expect("harness");
-    let mut packets = PacketGen::new(1998);
-    let telnet = packets.telnet(32);
-
-    let (v, interp_steps) = h.interp(&telnet).expect("interp");
-    assert!(v > 0, "telnet packet must be accepted");
-    rows.push(Row::with_paper(
-        "evalpf on first telnet packet",
-        interp_steps,
-        0,
-        9163,
-    ));
-    let (_, interp_steps_n) = h.interp(&telnet).expect("interp");
-    rows.push(Row::with_paper(
-        "evalpf on nth telnet packet",
-        interp_steps_n,
-        0,
-        9163,
-    ));
-    let gen_stats = h.specialize().expect("specialize");
-    let (v, run_steps) = h.specialized(&telnet).expect("specialized");
-    assert!(v > 0);
-    rows.push(Row::with_paper(
-        "bevalpf on first telnet packet",
-        gen_stats.steps + run_steps,
-        gen_stats.emitted,
-        11984,
-    ));
-    let (_, run_steps_n) = h.specialized(&telnet).expect("specialized");
-    rows.push(Row::with_paper(
-        "bevalpf on nth telnet packet",
-        run_steps_n,
-        0,
-        1104,
-    ));
-
-    // ---- Polynomial rows (E2, E3) ----
-    let c = poly_costs_with("[2, 4, 0, 2333]", 47, options.clone()).expect("poly costs");
-    rows.push(Row::with_paper(
-        "evalPoly (47, polyl)",
-        c.interp_per_call,
-        0,
-        807,
-    ));
-    rows.push(Row::with_paper("specPoly polyl", c.spec_build, 0, 443));
-    rows.push(Row::with_paper("polylTarget 47", c.spec_per_call, 0, 175));
-    rows.push(Row::with_paper("compPoly polyl", c.comp_build, 0, 553));
-    rows.push(Row::with_paper("eval codeGenerator", c.generate, 0, 200));
-    rows.push(Row::with_paper("mlPolyFun 47", c.staged_per_call, 0, 74));
-    (rows, h.machine_stats())
-}
-
 /// The Table 1 reproduction: packet-filter rows measured through the BPF
 /// harness, polynomial rows via the §3.1 programs. With `json`, the rows
 /// are emitted as a JSON object that additionally carries an indexed-env
@@ -206,12 +178,14 @@ fn table1(json: bool) {
             .zip(indexed_rows)
             .map(|(r, ir)| r.with_indexed(ir.steps))
             .collect();
+        let dispatch = mlbox_bench::dispatch_throughput(2_000).expect("dispatch");
         println!(
             "{}",
             mlbox_bench::render_json(
                 "Table 1: Reduction steps on the CCAM for various functions in the text",
                 &rows,
                 &stats,
+                &dispatch,
             )
         );
         return;

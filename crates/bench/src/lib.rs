@@ -6,6 +6,9 @@
 //! tracks steps closely.
 
 use mlbox::{Error, Session, SessionOptions};
+use mlbox_bpf::filters::telnet_filter;
+use mlbox_bpf::harness::FilterHarness;
+use mlbox_bpf::packet::PacketGen;
 
 /// A measurement row: a computation's label and its reduction steps.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,15 +94,139 @@ pub fn render_table(title: &str, rows: &[Row]) -> String {
     out
 }
 
+/// Measures all ten Table 1 rows under the given session options,
+/// returning the rows plus the packet-filter harness's cumulative machine
+/// statistics (for the freeze-cache counters in the JSON output). The
+/// numbers are deterministic — they are pinned by the golden lockfile in
+/// `tests/golden/table1_steps.json`.
+pub fn table1_rows(options: &SessionOptions) -> (Vec<Row>, ccam::machine::Stats) {
+    let mut rows = Vec::new();
+
+    // ---- Packet filter rows (E1) ----
+    let filter = telnet_filter();
+    let mut h = FilterHarness::with_options(&filter, options.clone()).expect("harness");
+    let mut packets = PacketGen::new(1998);
+    let telnet = packets.telnet(32);
+
+    let (v, interp_steps) = h.interp(&telnet).expect("interp");
+    assert!(v > 0, "telnet packet must be accepted");
+    rows.push(Row::with_paper(
+        "evalpf on first telnet packet",
+        interp_steps,
+        0,
+        9163,
+    ));
+    let (_, interp_steps_n) = h.interp(&telnet).expect("interp");
+    rows.push(Row::with_paper(
+        "evalpf on nth telnet packet",
+        interp_steps_n,
+        0,
+        9163,
+    ));
+    let gen_stats = h.specialize().expect("specialize");
+    let (v, run_steps) = h.specialized(&telnet).expect("specialized");
+    assert!(v > 0);
+    rows.push(Row::with_paper(
+        "bevalpf on first telnet packet",
+        gen_stats.steps + run_steps,
+        gen_stats.emitted,
+        11984,
+    ));
+    let (_, run_steps_n) = h.specialized(&telnet).expect("specialized");
+    rows.push(Row::with_paper(
+        "bevalpf on nth telnet packet",
+        run_steps_n,
+        0,
+        1104,
+    ));
+
+    // ---- Polynomial rows (E2, E3) ----
+    let c = poly_costs_with("[2, 4, 0, 2333]", 47, options.clone()).expect("poly costs");
+    rows.push(Row::with_paper(
+        "evalPoly (47, polyl)",
+        c.interp_per_call,
+        0,
+        807,
+    ));
+    rows.push(Row::with_paper("specPoly polyl", c.spec_build, 0, 443));
+    rows.push(Row::with_paper("polylTarget 47", c.spec_per_call, 0, 175));
+    rows.push(Row::with_paper("compPoly polyl", c.comp_build, 0, 553));
+    rows.push(Row::with_paper("eval codeGenerator", c.generate, 0, 200));
+    rows.push(Row::with_paper("mlPolyFun 47", c.staged_per_call, 0, 74));
+    (rows, h.machine_stats())
+}
+
+/// Wall-clock dispatch throughput of one Table 1 filter workload.
+#[derive(Debug, Clone)]
+pub struct DispatchRow {
+    /// What was measured.
+    pub label: String,
+    /// Total reduction steps executed over the batch.
+    pub steps: u64,
+    /// Wall-clock nanoseconds for the batch.
+    pub nanos: u128,
+}
+
+impl DispatchRow {
+    /// Reduction steps dispatched per second of wall-clock time.
+    pub fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 * 1e9 / (self.nanos.max(1)) as f64
+    }
+}
+
+/// Measures dispatch throughput (steps/sec) of the interpretive and
+/// specialized telnet filter over `iters` packets each — the wall-clock
+/// counterpart of the Table 1 step counts, reported in
+/// `BENCH_table1.json`. Wall-clock numbers vary run to run; only the
+/// step counts are golden.
+///
+/// # Errors
+///
+/// Propagates any pipeline error.
+pub fn dispatch_throughput(iters: u64) -> Result<Vec<DispatchRow>, Error> {
+    /// One filter run: returns (verdict, reduction steps).
+    type FilterRun<'a> = &'a mut dyn FnMut(&mut FilterHarness) -> Result<(i64, u64), Error>;
+    let mut h = FilterHarness::new(&telnet_filter())?;
+    let mut packets = PacketGen::new(1998);
+    let telnet = packets.telnet(32);
+    h.specialize()?;
+    let mut measure = |label: &str, run: FilterRun| -> Result<DispatchRow, Error> {
+        let mut steps = 0u64;
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            steps += run(&mut h)?.1;
+        }
+        Ok(DispatchRow {
+            label: label.into(),
+            steps,
+            nanos: start.elapsed().as_nanos(),
+        })
+    };
+    Ok(vec![
+        measure("evalpf dispatch on telnet packets", &mut |h| {
+            h.interp(&telnet)
+        })?,
+        measure("bevalpf specialized dispatch on telnet packets", &mut |h| {
+            h.specialized(&telnet)
+        })?,
+    ])
+}
+
 /// Renders the Table 1 rows plus the machine's freeze-cache counters as
 /// a JSON object (hand-rolled: the workspace carries no serialization
 /// dependency). `machine` should be the cumulative [`Stats`] of the
 /// session that produced the packet-filter rows, so `freezes` and
 /// `freeze_hits` describe how often generated code was actually copied
-/// out of an arena versus served from the cache.
+/// out of an arena versus served from the cache. `dispatch` rows (wall
+/// clock, non-golden) are appended when non-empty.
 ///
 /// [`Stats`]: ccam::machine::Stats
-pub fn render_json(title: &str, rows: &[Row], machine: &ccam::machine::Stats) -> String {
+pub fn render_json(
+    title: &str,
+    rows: &[Row],
+    machine: &ccam::machine::Stats,
+    dispatch: &[DispatchRow],
+) -> String {
     fn esc(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
     }
@@ -128,9 +255,25 @@ pub fn render_json(title: &str, rows: &[Row], machine: &ccam::machine::Stats) ->
         ));
     }
     out.push_str(&format!(
-        "  ],\n  \"freeze_cache\": {{\"freezes\": {}, \"freeze_hits\": {}, \"calls\": {}, \"steps\": {}}}\n}}",
+        "  ],\n  \"freeze_cache\": {{\"freezes\": {}, \"freeze_hits\": {}, \"calls\": {}, \"steps\": {}}}",
         machine.freezes, machine.freeze_hits, machine.calls, machine.steps
     ));
+    if dispatch.is_empty() {
+        out.push_str("\n}");
+        return out;
+    }
+    out.push_str(",\n  \"dispatch\": [\n");
+    for (i, d) in dispatch.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"steps\": {}, \"nanos\": {}, \"steps_per_sec\": {:.0}}}{}\n",
+            esc(&d.label),
+            d.steps,
+            d.nanos,
+            d.steps_per_sec(),
+            if i + 1 < dispatch.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}");
     out
 }
 
@@ -297,11 +440,19 @@ mod tests {
             steps: 123,
             ..Default::default()
         };
-        let j = render_json("Table 1", &rows, &stats);
+        let j = render_json("Table 1", &rows, &stats, &[]);
         assert!(j.contains("\"freezes\": 3"), "{j}");
         assert!(j.contains("\"freeze_hits\": 7"), "{j}");
         assert!(j.contains("\"paper\": null"), "{j}");
         assert!(j.contains("evalpf \\\"quoted\\\""), "{j}");
+        assert!(!j.contains("dispatch"), "empty dispatch is omitted: {j}");
+        let d = DispatchRow {
+            label: "d".into(),
+            steps: 2_000,
+            nanos: 1_000_000,
+        };
+        let j = render_json("Table 1", &rows, &stats, &[d]);
+        assert!(j.contains("\"steps_per_sec\": 2000000"), "{j}");
     }
 
     #[test]
@@ -325,7 +476,7 @@ mod tests {
     fn json_rendering_includes_indexed_comparison() {
         let rows = vec![Row::with_paper("r", 100, 0, 90).with_indexed(60)];
         let stats = ccam::machine::Stats::default();
-        let j = render_json("t", &rows, &stats);
+        let j = render_json("t", &rows, &stats, &[]);
         assert!(j.contains("\"steps_indexed\": 60"), "{j}");
     }
 

@@ -1,49 +1,114 @@
-//! Disassembler: renders CCAM code as indented text, for debugging,
+//! Disassembler: renders CCAM code as block-labelled text, for debugging,
 //! documentation, and golden tests.
+//!
+//! Code is flat ([`crate::seg::CodeSeg`]), so a listing is a sequence of
+//! labelled blocks rather than an indented tree: the entry block prints
+//! first, and every block it (transitively) references follows, one
+//! instruction per line. Labels are assigned in first-reference discovery
+//! order starting from `L0` for the entry, so the listing is stable under
+//! unrelated segment growth — two structurally identical programs
+//! disassemble identically no matter where their blocks sit in the
+//! segment.
 
 use crate::instr::Instr;
+use crate::seg::{BlockId, CodeSeg};
 use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
-/// Renders a code sequence, one instruction per line, nested code blocks
-/// indented.
-pub fn disassemble(code: &[Instr]) -> String {
+/// Renders the block `entry` of `seg` and every block reachable from it.
+pub fn disassemble(seg: &CodeSeg, entry: BlockId) -> String {
+    let mut labels = Labels::new(entry);
     let mut out = String::new();
-    render(code, 0, &mut out);
+    let mut next = 0usize;
+    while next < labels.order.len() {
+        let block = labels.order[next];
+        if next > 0 {
+            out.push('\n');
+        }
+        let _ = writeln!(out, "L{next}:");
+        for i in seg.block_to_vec(block) {
+            let _ = writeln!(out, "  {}", label(&i, &mut labels));
+        }
+        next += 1;
+    }
     out
 }
 
-fn indent(depth: usize, out: &mut String) {
-    for _ in 0..depth {
-        out.push_str("  ");
+/// Display-label assignment: block ids renumbered in discovery order.
+struct Labels {
+    names: HashMap<BlockId, usize>,
+    order: Vec<BlockId>,
+}
+
+impl Labels {
+    fn new(entry: BlockId) -> Labels {
+        let mut l = Labels {
+            names: HashMap::new(),
+            order: Vec::new(),
+        };
+        l.name(entry);
+        l
+    }
+
+    /// The display name of `b`, assigning the next number on first sight.
+    fn name(&mut self, b: BlockId) -> String {
+        let n = *self.names.entry(b).or_insert_with(|| {
+            self.order.push(b);
+            self.order.len() - 1
+        });
+        format!("L{n}")
     }
 }
 
-fn render(code: &[Instr], depth: usize, out: &mut String) {
-    for i in code {
-        render_instr(i, depth, out);
-    }
-}
-
-/// The one-line rendering of an instruction that carries no nested code
-/// block: the mnemonic plus its operand, if any.
-fn inline_label(i: &Instr) -> String {
+/// The one-line rendering of an instruction: the mnemonic plus its
+/// operand, if any. Block operands render as labels (registering the
+/// blocks for listing).
+fn label(i: &Instr, labels: &mut Labels) -> String {
     match i {
         Instr::Acc(n) => format!("acc {n}"),
         Instr::Quote(v) => format!("quote {v}"),
         Instr::Prim(op) => format!("prim {op:?}"),
         Instr::Pack(tag) => format!("pack {tag}"),
         Instr::Fail(m) => format!("fail {m:?}"),
+        Instr::Cur(c) => format!("cur {}", labels.name(*c)),
+        Instr::Branch(t, e) => {
+            let t = labels.name(*t);
+            let e = labels.name(*e);
+            format!("branch {t} else {e}")
+        }
+        Instr::Switch(table) => {
+            let mut s = String::from("switch {");
+            for (k, arm) in table.arms.iter().enumerate() {
+                if k > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    " tag {}{} => {}",
+                    arm.tag,
+                    if arm.bind { " (bind)" } else { "" },
+                    labels.name(arm.code)
+                );
+            }
+            if let Some(d) = table.default {
+                let _ = write!(s, ", default => {}", labels.name(d));
+            }
+            s.push_str(" }");
+            s
+        }
+        Instr::RecClos(bodies) => {
+            let names: Vec<String> = bodies.iter().map(|b| labels.name(*b)).collect();
+            format!("recclos[{}]", names.join(", "))
+        }
+        Instr::Emit(inner) => format!("emit [{}]", label(inner, labels)),
         Instr::MergeSwitch(spec) => format!(
             "merge_switch[{} arms{}]",
             spec.arms.len(),
             if spec.default { " + default" } else { "" }
         ),
         Instr::MergeRec(n) => format!("merge_rec[{n}]"),
-        // Operand-free instructions render as their mnemonic. The
-        // block-carrying ones (`cur`, `branch`, `switch`, `recclos`,
-        // `emit`) are rendered by `render_instr` and only reach here as
-        // a degenerate fallback.
+        // Operand-free instructions render as their mnemonic.
         Instr::Id
         | Instr::Fst
         | Instr::Snd
@@ -55,178 +120,137 @@ fn inline_label(i: &Instr) -> String {
         | Instr::NewArena
         | Instr::Merge
         | Instr::Call
-        | Instr::MergeBranch
-        | Instr::Cur(_)
-        | Instr::Branch(_, _)
-        | Instr::Switch(_)
-        | Instr::RecClos(_)
-        | Instr::Emit(_) => i.mnemonic().to_string(),
-    }
-}
-
-fn render_instr(i: &Instr, depth: usize, out: &mut String) {
-    indent(depth, out);
-    match i {
-        Instr::Cur(c) => {
-            out.push_str("cur {\n");
-            render(c, depth + 1, out);
-            indent(depth, out);
-            out.push_str("}\n");
-        }
-        Instr::Emit(inner) => {
-            // Render the operand inline where simple; nested blocks indent.
-            match &**inner {
-                Instr::Cur(_) | Instr::Branch(_, _) | Instr::Switch(_) | Instr::RecClos(_) => {
-                    out.push_str("emit\n");
-                    render_instr(inner, depth + 1, out);
-                }
-                simple => {
-                    let _ = writeln!(out, "emit [{}]", inline_label(simple));
-                }
-            }
-        }
-        Instr::Branch(a, b) => {
-            out.push_str("branch {\n");
-            render(a, depth + 1, out);
-            indent(depth, out);
-            out.push_str("} else {\n");
-            render(b, depth + 1, out);
-            indent(depth, out);
-            out.push_str("}\n");
-        }
-        Instr::Switch(table) => {
-            out.push_str("switch {\n");
-            for arm in &table.arms {
-                indent(depth + 1, out);
-                let _ = writeln!(
-                    out,
-                    "tag {}{} =>",
-                    arm.tag,
-                    if arm.bind { " (bind)" } else { "" }
-                );
-                render(&arm.code, depth + 2, out);
-            }
-            if let Some(d) = &table.default {
-                indent(depth + 1, out);
-                out.push_str("default =>\n");
-                render(d, depth + 2, out);
-            }
-            indent(depth, out);
-            out.push_str("}\n");
-        }
-        Instr::RecClos(bodies) => {
-            let _ = writeln!(out, "recclos[{}] {{", bodies.len());
-            for b in bodies.iter() {
-                render(b, depth + 1, out);
-                indent(depth + 1, out);
-                out.push_str("--\n");
-            }
-            indent(depth, out);
-            out.push_str("}\n");
-        }
-        simple => {
-            let _ = writeln!(out, "{}", inline_label(simple));
-        }
+        | Instr::MergeBranch => i.mnemonic().to_string(),
     }
 }
 
 /// Counts instructions by mnemonic, recursing into `Cur`, `Branch`,
-/// `Switch`, `RecClos`, and `Emit` operands. Useful for asserting
-/// properties of *generated* code — e.g. that specialization eliminated
-/// all `switch` dispatch.
-pub fn census(code: &[Instr]) -> BTreeMap<&'static str, usize> {
+/// `Switch`, `RecClos`, and `Emit` operands **per reference**: a block
+/// referenced twice is counted twice, matching what would execute if both
+/// references ran. Useful for asserting properties of *generated* code —
+/// e.g. that specialization eliminated all `switch` dispatch.
+pub fn census(seg: &CodeSeg, entry: BlockId) -> BTreeMap<&'static str, usize> {
     let mut out = BTreeMap::new();
-    fn visit(i: &Instr, out: &mut BTreeMap<&'static str, usize>) {
-        *out.entry(i.mnemonic()).or_insert(0) += 1;
-        match i {
-            Instr::Cur(c) => {
-                for j in c.iter() {
-                    visit(j, out);
-                }
-            }
-            Instr::Branch(a, b) => {
-                for j in a.iter().chain(b.iter()) {
-                    visit(j, out);
-                }
-            }
-            Instr::Switch(t) => {
-                for arm in &t.arms {
-                    for j in arm.code.iter() {
-                        visit(j, out);
-                    }
-                }
-                if let Some(d) = &t.default {
-                    for j in d.iter() {
-                        visit(j, out);
-                    }
-                }
-            }
-            Instr::RecClos(bodies) => {
-                for b in bodies.iter() {
-                    for j in b.iter() {
-                        visit(j, out);
-                    }
-                }
-            }
-            Instr::Emit(inner) => visit(inner, out),
-            // Exhaustive on purpose: a new instruction must declare
-            // whether it nests code the census should descend into.
-            Instr::Id
-            | Instr::Fst
-            | Instr::Snd
-            | Instr::Acc(_)
-            | Instr::Push
-            | Instr::Swap
-            | Instr::ConsPair
-            | Instr::App
-            | Instr::Quote(_)
-            | Instr::LiftV
-            | Instr::NewArena
-            | Instr::Merge
-            | Instr::Call
-            | Instr::Pack(_)
-            | Instr::Prim(_)
-            | Instr::Fail(_)
-            | Instr::MergeBranch
-            | Instr::MergeSwitch(_)
-            | Instr::MergeRec(_) => {}
-        }
-    }
-    for i in code {
-        visit(i, &mut out);
-    }
+    visit_block(seg, entry, &mut out);
     out
+}
+
+fn visit_block(seg: &CodeSeg, b: BlockId, out: &mut BTreeMap<&'static str, usize>) {
+    // Copy the block out so no segment borrow is held across recursion.
+    for i in seg.block_to_vec(b) {
+        visit(seg, &i, out);
+    }
+}
+
+fn visit(seg: &CodeSeg, i: &Instr, out: &mut BTreeMap<&'static str, usize>) {
+    *out.entry(i.mnemonic()).or_insert(0) += 1;
+    match i {
+        Instr::Cur(c) => visit_block(seg, *c, out),
+        Instr::Branch(a, b) => {
+            visit_block(seg, *a, out);
+            visit_block(seg, *b, out);
+        }
+        Instr::Switch(t) => {
+            for arm in &t.arms {
+                visit_block(seg, arm.code, out);
+            }
+            if let Some(d) = t.default {
+                visit_block(seg, d, out);
+            }
+        }
+        Instr::RecClos(bodies) => {
+            for b in bodies.iter() {
+                visit_block(seg, *b, out);
+            }
+        }
+        Instr::Emit(inner) => visit(seg, inner, out),
+        // Exhaustive on purpose: a new instruction must declare whether
+        // it references code the census should descend into.
+        Instr::Id
+        | Instr::Fst
+        | Instr::Snd
+        | Instr::Acc(_)
+        | Instr::Push
+        | Instr::Swap
+        | Instr::ConsPair
+        | Instr::App
+        | Instr::Quote(_)
+        | Instr::LiftV
+        | Instr::NewArena
+        | Instr::Merge
+        | Instr::Call
+        | Instr::Pack(_)
+        | Instr::Prim(_)
+        | Instr::Fail(_)
+        | Instr::MergeBranch
+        | Instr::MergeSwitch(_)
+        | Instr::MergeRec(_) => {}
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::value::Value;
-    use std::rc::Rc;
 
     #[test]
-    fn renders_nested_blocks() {
-        let code = vec![
+    fn renders_labelled_blocks() {
+        let seg = CodeSeg::new();
+        let body = seg.add_block(vec![Instr::Snd, Instr::Quote(Value::Int(3))]);
+        let entry = seg.add_block(vec![
             Instr::Push,
-            Instr::Cur(Rc::new(vec![Instr::Snd, Instr::Quote(Value::Int(3))])),
+            Instr::Cur(body),
             Instr::Emit(Box::new(Instr::App)),
-        ];
-        let text = disassemble(&code);
-        assert!(text.contains("push"));
-        assert!(text.contains("cur {"));
-        assert!(text.contains("  snd"));
-        assert!(text.contains("quote 3"));
-        assert!(text.contains("emit [app]"));
+        ]);
+        let text = disassemble(&seg, entry);
+        assert!(text.starts_with("L0:\n"), "{text}");
+        assert!(text.contains("  push\n"));
+        assert!(text.contains("  cur L1\n"));
+        assert!(text.contains("  emit [app]\n"));
+        assert!(text.contains("L1:\n"));
+        assert!(text.contains("  snd\n"));
+        assert!(text.contains("  quote 3\n"));
+    }
+
+    #[test]
+    fn labels_are_discovery_order_not_block_ids() {
+        // The same program laid out at different segment offsets must
+        // disassemble identically.
+        let mk = |seg: &CodeSeg| {
+            let body = seg.add_block(vec![Instr::Snd]);
+            seg.add_block(vec![Instr::Cur(body), Instr::App])
+        };
+        let a = CodeSeg::new();
+        let ea = mk(&a);
+        let b = CodeSeg::new();
+        b.add_block(vec![Instr::Id; 7]); // shift every subsequent block id
+        let eb = mk(&b);
+        assert_eq!(disassemble(&a, ea), disassemble(&b, eb));
+    }
+
+    #[test]
+    fn shared_blocks_list_once_but_census_counts_per_reference() {
+        let seg = CodeSeg::new();
+        let body = seg.add_block(vec![Instr::Snd]);
+        let entry = seg.add_block(vec![Instr::Cur(body), Instr::Cur(body)]);
+        let text = disassemble(&seg, entry);
+        assert_eq!(text.matches("L1:").count(), 1, "{text}");
+        assert!(text.contains("  cur L1\n  cur L1\n"), "{text}");
+        let c = census(&seg, entry);
+        assert_eq!(c["cur"], 2);
+        assert_eq!(c["snd"], 2, "counted per reference");
     }
 
     #[test]
     fn census_counts_recursively() {
-        let code = vec![
+        let seg = CodeSeg::new();
+        let body = seg.add_block(vec![Instr::Snd, Instr::Push]);
+        let entry = seg.add_block(vec![
             Instr::Push,
-            Instr::Cur(Rc::new(vec![Instr::Snd, Instr::Push])),
+            Instr::Cur(body),
             Instr::Emit(Box::new(Instr::App)),
-        ];
-        let c = census(&code);
+        ]);
+        let c = census(&seg, entry);
         assert_eq!(c["push"], 2);
         assert_eq!(c["cur"], 1);
         assert_eq!(c["emit"], 1);
@@ -235,12 +259,26 @@ mod tests {
     }
 
     #[test]
-    fn renders_branch() {
-        let code = vec![Instr::Branch(
-            Rc::new(vec![Instr::Id]),
-            Rc::new(vec![Instr::Fst]),
-        )];
-        let text = disassemble(&code);
-        assert!(text.contains("} else {"));
+    fn renders_branch_and_switch() {
+        use crate::instr::{SwitchArm, SwitchTable};
+        use std::rc::Rc;
+        let seg = CodeSeg::new();
+        let t = seg.add_block(vec![Instr::Id]);
+        let e = seg.add_block(vec![Instr::Fst]);
+        let arm = seg.add_block(vec![Instr::Snd]);
+        let entry = seg.add_block(vec![
+            Instr::Branch(t, e),
+            Instr::Switch(Rc::new(SwitchTable {
+                arms: vec![SwitchArm {
+                    tag: 4,
+                    bind: true,
+                    code: arm,
+                }],
+                default: None,
+            })),
+        ]);
+        let text = disassemble(&seg, entry);
+        assert!(text.contains("branch L1 else L2"), "{text}");
+        assert!(text.contains("switch { tag 4 (bind) => L3 }"), "{text}");
     }
 }

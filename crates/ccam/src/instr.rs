@@ -6,13 +6,17 @@
 //! recursion, datatypes, primitives, and the *merge family* used to build
 //! specialized branch/dispatch/recursive code inside arenas (DESIGN.md
 //! §3.1).
+//!
+//! Instructions are **flat**: nested code (`cur` bodies, branch arms,
+//! switch arms, recursive groups) is referenced by [`BlockId`] into the
+//! containing [`CodeSeg`](crate::seg::CodeSeg) rather than owned as a
+//! nested vector, so an instruction is meaningful only relative to its
+//! segment (DESIGN.md §10).
 
+use crate::seg::{BlockId, CodeSeg};
 use crate::value::{ConTag, Value};
 use std::fmt;
 use std::rc::Rc;
-
-/// An executable instruction sequence.
-pub type Code = Rc<Vec<Instr>>;
 
 /// One arm of a `switch` dispatch.
 #[derive(Debug, Clone)]
@@ -22,8 +26,8 @@ pub struct SwitchArm {
     /// Whether the arm binds the constructor payload
     /// (top becomes `(env, payload)`; otherwise just `env`).
     pub bind: bool,
-    /// Arm body.
-    pub code: Code,
+    /// Arm body, a block of the containing segment.
+    pub code: BlockId,
 }
 
 /// The dispatch table of a `switch` instruction.
@@ -31,8 +35,8 @@ pub struct SwitchArm {
 pub struct SwitchTable {
     /// Arms in declaration order.
     pub arms: Vec<SwitchArm>,
-    /// Fallback code (top becomes `env`).
-    pub default: Option<Code>,
+    /// Fallback block (top becomes `env`).
+    pub default: Option<BlockId>,
 }
 
 /// The shape of a `merge_switch`: which tags/binders the generated
@@ -130,8 +134,9 @@ pub enum Instr {
     // ---- constants and closures ----
     /// Replace the top with a constant (the paper's `'v`).
     Quote(Value),
-    /// Build a closure capturing the top value.
-    Cur(Code),
+    /// Build a closure capturing the top value; the body is a block of
+    /// the containing segment.
+    Cur(BlockId),
 
     // ---- run-time code generation (the paper's five) ----
     /// Append a (static) instruction to the arena in the top pair
@@ -149,12 +154,12 @@ pub enum Instr {
     Call,
 
     // ---- extensions: control, data, primitives ----
-    /// Top is `(env, bool)`; leave `env`, run the chosen branch.
-    Branch(Code, Code),
+    /// Top is `(env, bool)`; leave `env`, run the chosen branch block.
+    Branch(BlockId, BlockId),
     /// Build a recursive closure group capturing the top environment and
     /// extend the environment with all members:
     /// `env` becomes `((env, f1), ..., fn)`.
-    RecClos(Rc<Vec<Code>>),
+    RecClos(Rc<Vec<BlockId>>),
     /// Wrap the top value in a constructor with a payload.
     Pack(ConTag),
     /// Top is `(env, con)`; dispatch on the constructor tag.
@@ -263,13 +268,21 @@ impl std::error::Error for ValidateError {}
 /// Checks the paper's structural invariant: **no nested emits** —
 /// `emit(emit(i))` must never occur, at any depth inside `Cur`/`Branch`/
 /// `Switch`/`RecClos` bodies (§4.2: "nested emits are not allowed on the
-/// CCAM").
+/// CCAM"). Block references in `code` are resolved against `seg`.
 ///
 /// # Errors
 ///
 /// Returns a [`ValidateError`] locating the first nested emit.
-pub fn validate(code: &[Instr]) -> Result<(), ValidateError> {
-    fn visit(i: &Instr) -> Result<(), ValidateError> {
+pub fn validate(seg: &CodeSeg, code: &[Instr]) -> Result<(), ValidateError> {
+    fn visit_block(seg: &CodeSeg, b: BlockId) -> Result<(), ValidateError> {
+        // Copy the block out so the segment is not borrowed across the
+        // recursion (validation is not a hot path).
+        for i in seg.block_to_vec(b) {
+            visit(seg, &i)?;
+        }
+        Ok(())
+    }
+    fn visit(seg: &CodeSeg, i: &Instr) -> Result<(), ValidateError> {
         match i {
             Instr::Emit(inner) => {
                 if matches!(**inner, Instr::Emit(_)) {
@@ -278,25 +291,25 @@ pub fn validate(code: &[Instr]) -> Result<(), ValidateError> {
                             .to_string(),
                     });
                 }
-                visit(inner)
+                visit(seg, inner)
             }
-            Instr::Cur(c) => validate(c),
+            Instr::Cur(c) => visit_block(seg, *c),
             Instr::Branch(a, b) => {
-                validate(a)?;
-                validate(b)
+                visit_block(seg, *a)?;
+                visit_block(seg, *b)
             }
             Instr::Switch(table) => {
                 for arm in &table.arms {
-                    validate(&arm.code)?;
+                    visit_block(seg, arm.code)?;
                 }
-                if let Some(d) = &table.default {
-                    validate(d)?;
+                if let Some(d) = table.default {
+                    visit_block(seg, d)?;
                 }
                 Ok(())
             }
             Instr::RecClos(bodies) => {
-                for b in bodies.iter() {
-                    validate(b)?;
+                for &b in bodies.iter() {
+                    visit_block(seg, b)?;
                 }
                 Ok(())
             }
@@ -324,7 +337,7 @@ pub fn validate(code: &[Instr]) -> Result<(), ValidateError> {
         }
     }
     for i in code {
-        visit(i)?;
+        visit(seg, i)?;
     }
     Ok(())
 }
@@ -335,26 +348,29 @@ mod tests {
 
     #[test]
     fn nested_emit_is_rejected() {
+        let seg = CodeSeg::new();
         let bad = vec![Instr::Emit(Box::new(Instr::Emit(Box::new(Instr::Id))))];
-        assert!(validate(&bad).is_err());
+        assert!(validate(&seg, &bad).is_err());
     }
 
     #[test]
     fn emit_of_cur_with_emits_is_legal() {
         // The closure-insertion technique: a statically compiled Cur body
         // may contain emits; that is not a *nested* emit.
-        let inner: Code = Rc::new(vec![Instr::Emit(Box::new(Instr::Id))]);
+        let seg = CodeSeg::new();
+        let inner = seg.add_block(vec![Instr::Emit(Box::new(Instr::Id))]);
         let ok = vec![Instr::Emit(Box::new(Instr::Cur(inner)))];
-        assert!(validate(&ok).is_ok());
+        assert!(validate(&seg, &ok).is_ok());
     }
 
     #[test]
     fn deep_nested_emit_found_inside_cur() {
-        let inner: Code = Rc::new(vec![Instr::Emit(Box::new(Instr::Emit(Box::new(
+        let seg = CodeSeg::new();
+        let inner = seg.add_block(vec![Instr::Emit(Box::new(Instr::Emit(Box::new(
             Instr::Id,
         ))))]);
         let bad = vec![Instr::Cur(inner)];
-        assert!(validate(&bad).is_err());
+        assert!(validate(&seg, &bad).is_err());
     }
 
     #[test]
@@ -367,7 +383,8 @@ mod tests {
 
     #[test]
     fn emitted_acc_is_legal() {
+        let seg = CodeSeg::new();
         let ok = vec![Instr::Emit(Box::new(Instr::Acc(2)))];
-        assert!(validate(&ok).is_ok());
+        assert!(validate(&seg, &ok).is_ok());
     }
 }

@@ -18,6 +18,13 @@
 //! with values embedded in the instruction stream as immediates. Nested
 //! emits are structurally rejected ([`instr::validate`]).
 //!
+//! Code is **flat**: all instructions live in a contiguous [`seg::CodeSeg`]
+//! arena, nested code (closure bodies, branch arms, …) is referenced by
+//! [`seg::BlockId`] into the segment's block table, and run-time generation
+//! appends frozen blocks to the segment's growable tail. Machine frames
+//! are `(segment, block, pc)` triples, so dispatch walks a contiguous
+//! slice with no per-step reference counting.
+//!
 //! The simulator counts **reduction steps** (one per executed instruction),
 //! the measurement unit of the paper's Table 1, plus emitted-instruction,
 //! arena, and call counters.
@@ -29,13 +36,14 @@
 //! ```
 //! use ccam::instr::Instr;
 //! use ccam::machine::Machine;
+//! use ccam::seg::CodeSeg;
 //! use ccam::value::Value;
-//! use std::rc::Rc;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // With 42 as the current value: create an arena, residualize 42 into
 //! // it (emitting `quote 42`), and call the generated code.
-//! let prog = Rc::new(vec![
+//! let seg = CodeSeg::new();
+//! let prog = seg.entry(vec![
 //!     Instr::Push,
 //!     Instr::NewArena,
 //!     Instr::ConsPair,   // (42, {})
@@ -55,9 +63,11 @@ pub mod instr;
 pub mod machine;
 pub mod opt;
 pub mod portable;
+pub mod seg;
 pub mod value;
 
-pub use instr::{Code, Instr, PrimOp, SwitchArm, SwitchTable};
+pub use instr::{Instr, PrimOp, SwitchArm, SwitchTable};
 pub use machine::{Machine, MachineError, Stats};
 pub use portable::{PortableCode, PortableInstr, PortableValue};
+pub use seg::{BlockId, CodeBuilder, CodeRef, CodeSeg};
 pub use value::{Arena, ConTag, Value};

@@ -1,12 +1,18 @@
 //! The CCAM simulator: configurations `⟨S, P⟩` and the transition relation
 //! of Figure 3 (plus the documented extensions).
 //!
-//! Instruction sequences are executed through a control stack of frames
-//! rather than literal `P'@P` appending, which implements the same
-//! semantics in O(1) per transfer. One executed instruction is one
-//! **reduction step** — the unit reported in the paper's Table 1.
+//! Code is executed from flat [`CodeSeg`] segments: a control-stack frame
+//! is a `(segment, block, pc)` triple, and the dispatch loop walks the
+//! block's contiguous instruction range directly — one borrow of the
+//! segment per frame activation, **zero reference-count traffic per
+//! instruction**. Instructions that transfer control or append frozen
+//! blocks to a segment (application, branching, `call`, the merge family)
+//! leave the fast path; everything else executes inline over the borrowed
+//! slice. One executed instruction is one **reduction step** — the unit
+//! reported in the paper's Table 1.
 
-use crate::instr::{Code, Instr, PrimOp, SwitchArm, SwitchTable, OPCODE_COUNT, OPCODE_NAMES};
+use crate::instr::{Instr, PrimOp, SwitchArm, SwitchTable, OPCODE_COUNT, OPCODE_NAMES};
+use crate::seg::{BlockId, CodeRef, CodeSeg};
 use crate::value::{Arena, Closure, RecGroup, Value};
 use std::cell::RefCell;
 use std::fmt;
@@ -187,11 +193,12 @@ impl OpcodeCounts {
     }
 }
 
-/// One control-stack frame: a code sequence plus the next instruction
-/// index.
+/// One control-stack frame: a block of a segment plus the next
+/// instruction index within it.
 #[derive(Debug, Clone)]
 struct Frame {
-    code: Code,
+    seg: CodeSeg,
+    block: BlockId,
     pc: usize,
 }
 
@@ -206,12 +213,13 @@ struct Frame {
 /// ```
 /// use ccam::instr::{Instr, PrimOp};
 /// use ccam::machine::Machine;
+/// use ccam::seg::CodeSeg;
 /// use ccam::value::Value;
-/// use std::rc::Rc;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// // Compute (3, 4) |-> 3 + 4.
-/// let code = Rc::new(vec![Instr::Prim(PrimOp::Add)]);
+/// let seg = CodeSeg::new();
+/// let code = seg.entry(vec![Instr::Prim(PrimOp::Add)]);
 /// let mut m = Machine::new();
 /// let out = m.run(code, Value::pair(Value::Int(3), Value::Int(4)))?;
 /// assert!(matches!(out, Value::Int(7)));
@@ -232,14 +240,33 @@ pub struct Machine {
     optimize: bool,
 }
 
-/// A bounded execution trace: the mnemonics of the first `limit` executed
-/// instructions.
+/// One recorded execution position: which block of the running segment,
+/// the instruction index within it, and the instruction's mnemonic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Block index of the executing frame.
+    pub block: u32,
+    /// Instruction index within the block.
+    pub pc: usize,
+    /// The executed instruction's mnemonic.
+    pub mnemonic: &'static str,
+}
+
+/// A bounded execution trace: the `(block, pc, mnemonic)` of the first
+/// `limit` executed instructions.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    /// Executed-instruction mnemonics, in order.
-    pub mnemonics: Vec<&'static str>,
+    /// Executed instructions, in order.
+    pub entries: Vec<TraceEntry>,
     /// Maximum number of entries recorded.
     pub limit: usize,
+}
+
+impl Trace {
+    /// Just the mnemonics, in execution order.
+    pub fn mnemonics(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.mnemonic).collect()
+    }
 }
 
 impl Default for Machine {
@@ -289,11 +316,11 @@ impl Machine {
     /// the arena's snapshot cache whenever the arena has not grown since
     /// the previous freeze of the same flavor, so specialize-once /
     /// run-many programs pay for copying and optimization once.
-    fn freeze(&mut self, arena: &Arena) -> Code {
+    fn freeze(&mut self, arena: &Arena) -> CodeRef {
         let (code, hit) = if self.optimize {
             arena.freeze_via(true, crate::opt::peephole)
         } else {
-            arena.freeze_via(false, |instrs| instrs.to_vec())
+            arena.freeze_via(false, |_, instrs| instrs.to_vec())
         };
         if hit {
             self.stats.freeze_hits += 1;
@@ -303,11 +330,12 @@ impl Machine {
         code
     }
 
-    /// Records the mnemonics of the first `limit` executed instructions
-    /// (for debugging and tests). Replaces any existing trace.
+    /// Records the `(block, pc, mnemonic)` of the first `limit` executed
+    /// instructions (for debugging and tests). Replaces any existing
+    /// trace.
     pub fn set_trace(&mut self, limit: usize) {
         self.trace = Some(Trace {
-            mnemonics: Vec::new(),
+            entries: Vec::new(),
             limit,
         });
     }
@@ -356,11 +384,15 @@ impl Machine {
     ///
     /// Returns a [`MachineError`] on dynamic failure; the machine's stack
     /// and control are cleared, but statistics and output are kept.
-    pub fn run(&mut self, code: Code, input: Value) -> Result<Value, MachineError> {
+    pub fn run(&mut self, code: CodeRef, input: Value) -> Result<Value, MachineError> {
         self.stack.clear();
         self.control.clear();
         self.stack.push(input);
-        self.control.push(Frame { code, pc: 0 });
+        self.control.push(Frame {
+            seg: code.seg,
+            block: code.block,
+            pc: 0,
+        });
         self.fuel_base = self.stats.steps;
         let result = self.steps_loop();
         if result.is_err() {
@@ -371,47 +403,191 @@ impl Machine {
     }
 
     fn steps_loop(&mut self) -> Result<Value, MachineError> {
-        loop {
-            // Fetch: keep the current frame's code alive (an Rc bump, not
-            // an instruction copy) and dispatch on a borrowed instruction.
-            let (code, pc) = loop {
-                match self.control.last_mut() {
-                    None => {
-                        return self
-                            .stack
-                            .pop()
-                            .ok_or(MachineError::StackUnderflow { instr: "halt" });
-                    }
-                    Some(frame) => {
-                        if frame.pc < frame.code.len() {
-                            let pc = frame.pc;
-                            frame.pc += 1;
-                            break (frame.code.clone(), pc);
-                        }
-                        self.control.pop();
-                    }
+        'frames: loop {
+            // Resolve the top frame once: clone the segment handle (one
+            // Rc bump per frame activation, not per step), look up the
+            // block's range, and borrow the segment's instruction vector
+            // for the whole dispatch run.
+            let (seg, block, start, len, mut pc) = match self.control.last() {
+                None => {
+                    return self
+                        .stack
+                        .pop()
+                        .ok_or(MachineError::StackUnderflow { instr: "halt" });
+                }
+                Some(frame) => {
+                    let (start, len) = frame.seg.block_bounds(frame.block);
+                    (frame.seg.clone(), frame.block, start, len, frame.pc)
                 }
             };
-            let instr = &code[pc];
-            // Account.
-            if let Some(trace) = &mut self.trace {
-                if trace.mnemonics.len() < trace.limit {
-                    trace.mnemonics.push(instr.mnemonic());
+            let instrs = seg.borrow_instrs();
+            while pc < len {
+                let instr = &instrs[start + pc];
+                pc += 1;
+                // Account.
+                if let Some(trace) = &mut self.trace {
+                    if trace.entries.len() < trace.limit {
+                        trace.entries.push(TraceEntry {
+                            block: block.0,
+                            pc: pc - 1,
+                            mnemonic: instr.mnemonic(),
+                        });
+                    }
+                }
+                self.stats.steps += 1;
+                if let Some(counts) = &mut self.stats.opcodes {
+                    counts.0[instr.opcode()] += 1;
+                }
+                if let Some(fuel) = self.fuel {
+                    if self.stats.steps - self.fuel_base > fuel {
+                        return Err(MachineError::OutOfFuel { fuel });
+                    }
+                }
+                match instr {
+                    // Straight-line instructions execute inline over the
+                    // borrowed slice. None of these appends to a segment's
+                    // instruction vector (`emit`/`lift` push to the
+                    // arena's *staging* buffer) or touches the control
+                    // stack, so the borrow stays valid.
+                    Instr::Id => {}
+                    Instr::Fst => {
+                        let (a, _) = self.pop_pair("fst")?;
+                        self.stack.push(a);
+                    }
+                    Instr::Snd => {
+                        let (_, b) = self.pop_pair("snd")?;
+                        self.stack.push(b);
+                    }
+                    Instr::Acc(n) => {
+                        // Fused `fst^n; snd`: one dispatch, one reduction
+                        // step, and no intermediate spine values pushed —
+                        // the walk borrows the pair chain and clones only
+                        // the result.
+                        let v = self.pop("acc")?;
+                        let out = {
+                            let mut cur = &v;
+                            for _ in 0..*n {
+                                match cur {
+                                    Value::Pair(p) => cur = &p.0,
+                                    other => {
+                                        return Err(Self::mismatch("acc", "a pair spine", other))
+                                    }
+                                }
+                            }
+                            match cur {
+                                Value::Pair(p) => p.1.clone(),
+                                other => return Err(Self::mismatch("acc", "a pair spine", other)),
+                            }
+                        };
+                        self.stack.push(out);
+                    }
+                    Instr::Push => {
+                        let v = self.top("push")?.clone();
+                        self.stack.push(v);
+                    }
+                    Instr::Swap => {
+                        let n = self.stack.len();
+                        if n < 2 {
+                            return Err(MachineError::StackUnderflow { instr: "swap" });
+                        }
+                        self.stack.swap(n - 1, n - 2);
+                    }
+                    Instr::ConsPair => {
+                        let v = self.pop("cons")?;
+                        let u = self.pop("cons")?;
+                        self.stack.push(Value::pair(u, v));
+                    }
+                    Instr::Quote(v) => {
+                        let _ = self.pop("quote")?;
+                        self.stack.push(v.clone());
+                    }
+                    Instr::Cur(body) => {
+                        let env = self.pop("cur")?;
+                        self.stack.push(Value::Closure(Rc::new(Closure {
+                            env,
+                            body: CodeRef {
+                                seg: seg.clone(),
+                                block: *body,
+                            },
+                        })));
+                    }
+                    Instr::Emit(i) => {
+                        let (v, arena) = self.pop_gen_state("emit")?;
+                        // Block operands are relative to the executing
+                        // segment; rewrite them if the arena freezes into
+                        // a different one (identity in the common case).
+                        arena.push(arena.seg().import_instr(&seg, i));
+                        self.stats.emitted += 1;
+                        self.stack.push(Value::pair(v, Value::Arena(arena)));
+                    }
+                    Instr::LiftV => {
+                        let (v, arena) = self.pop_gen_state("lift")?;
+                        arena.push(Instr::Quote(v.clone()));
+                        self.stats.emitted += 1;
+                        self.stack.push(Value::pair(v, Value::Arena(arena)));
+                    }
+                    Instr::NewArena => {
+                        let _ = self.pop("arena")?;
+                        self.stats.arenas += 1;
+                        // Bind the arena to the executing segment: frozen
+                        // code lands in the segment's growable tail.
+                        self.stack.push(Value::Arena(Arena::in_seg(&seg)));
+                    }
+                    Instr::RecClos(bodies) => {
+                        let env = self.pop("recclos")?;
+                        let group = Rc::new(RecGroup {
+                            env,
+                            seg: seg.clone(),
+                            bodies: bodies.clone(),
+                        });
+                        let mut acc = group.env.clone();
+                        for index in 0..bodies.len() {
+                            acc = Value::pair(
+                                acc,
+                                Value::RecClosure {
+                                    group: group.clone(),
+                                    index,
+                                },
+                            );
+                        }
+                        self.stack.push(acc);
+                    }
+                    Instr::Pack(tag) => {
+                        let v = self.pop("pack")?;
+                        self.stack.push(Value::Con(*tag, Some(Rc::new(v))));
+                    }
+                    Instr::Prim(op) => self.prim(*op)?,
+                    Instr::Fail(msg) => return Err(MachineError::Fail(msg.to_string())),
+                    // Control transfers and segment mutators: these push
+                    // frames or freeze arena contents into a segment, so
+                    // they must not run under the instruction borrow.
+                    // Clone the single instruction, release the borrow,
+                    // save the pc, and re-resolve the top frame after.
+                    Instr::App
+                    | Instr::Branch(_, _)
+                    | Instr::Switch(_)
+                    | Instr::Call
+                    | Instr::Merge
+                    | Instr::MergeBranch
+                    | Instr::MergeSwitch(_)
+                    | Instr::MergeRec(_) => {
+                        let owned = instr.clone();
+                        drop(instrs);
+                        self.control.last_mut().expect("frame present mid-block").pc = pc;
+                        self.execute_transfer(&seg, owned)?;
+                        if self.stack.len() > self.stats.max_stack {
+                            self.stats.max_stack = self.stack.len();
+                        }
+                        continue 'frames;
+                    }
+                }
+                if self.stack.len() > self.stats.max_stack {
+                    self.stats.max_stack = self.stack.len();
                 }
             }
-            self.stats.steps += 1;
-            if let Some(counts) = &mut self.stats.opcodes {
-                counts.0[instr.opcode()] += 1;
-            }
-            if let Some(fuel) = self.fuel {
-                if self.stats.steps - self.fuel_base > fuel {
-                    return Err(MachineError::OutOfFuel { fuel });
-                }
-            }
-            self.execute(instr)?;
-            if self.stack.len() > self.stats.max_stack {
-                self.stats.max_stack = self.stack.len();
-            }
+            // Block exhausted: return to the caller's frame.
+            drop(instrs);
+            self.control.pop();
         }
     }
 
@@ -455,81 +631,68 @@ impl Machine {
         }
     }
 
-    fn execute(&mut self, instr: &Instr) -> Result<(), MachineError> {
+    fn enter(&mut self, code: CodeRef) {
+        self.control.push(Frame {
+            seg: code.seg,
+            block: code.block,
+            pc: 0,
+        });
+    }
+
+    /// Executes one control-transfer or segment-mutating instruction.
+    /// `seg` is the segment of the frame the instruction came from (block
+    /// operands are relative to it).
+    fn execute_transfer(&mut self, seg: &CodeSeg, instr: Instr) -> Result<(), MachineError> {
         match instr {
-            Instr::Id => {}
-            Instr::Fst => {
-                let (a, _) = self.pop_pair("fst")?;
-                self.stack.push(a);
-            }
-            Instr::Snd => {
-                let (_, b) = self.pop_pair("snd")?;
-                self.stack.push(b);
-            }
-            Instr::Acc(n) => {
-                // Fused `fst^n; snd`: one dispatch, one reduction step,
-                // and no intermediate spine values pushed — the walk
-                // borrows the pair chain and clones only the result.
-                let v = self.pop("acc")?;
-                let out = {
-                    let mut cur = &v;
-                    for _ in 0..*n {
-                        match cur {
-                            Value::Pair(p) => cur = &p.0,
-                            other => return Err(Self::mismatch("acc", "a pair spine", other)),
-                        }
-                    }
-                    match cur {
-                        Value::Pair(p) => p.1.clone(),
-                        other => return Err(Self::mismatch("acc", "a pair spine", other)),
-                    }
-                };
-                self.stack.push(out);
-            }
-            Instr::Push => {
-                let v = self.top("push")?.clone();
-                self.stack.push(v);
-            }
-            Instr::Swap => {
-                let n = self.stack.len();
-                if n < 2 {
-                    return Err(MachineError::StackUnderflow { instr: "swap" });
-                }
-                self.stack.swap(n - 1, n - 2);
-            }
-            Instr::ConsPair => {
-                let v = self.pop("cons")?;
-                let u = self.pop("cons")?;
-                self.stack.push(Value::pair(u, v));
-            }
             Instr::App => self.apply()?,
-            Instr::Quote(v) => {
-                let _ = self.pop("quote")?;
-                self.stack.push(v.clone());
+            Instr::Branch(then_b, else_b) => {
+                let (env, b) = self.pop_pair("branch")?;
+                let Value::Bool(b) = b else {
+                    return Err(Self::mismatch("branch", "(env, bool)", &b));
+                };
+                self.stack.push(env);
+                self.enter(CodeRef {
+                    seg: seg.clone(),
+                    block: if b { then_b } else { else_b },
+                });
             }
-            Instr::Cur(code) => {
-                let env = self.pop("cur")?;
-                self.stack.push(Value::Closure(Rc::new(Closure {
-                    env,
-                    body: code.clone(),
-                })));
+            Instr::Switch(table) => {
+                let (env, scrut) = self.pop_pair("switch")?;
+                let Value::Con(tag, payload) = scrut else {
+                    return Err(Self::mismatch("switch", "(env, constructor)", &scrut));
+                };
+                let arm = table.arms.iter().find(|a| a.tag == tag);
+                match arm {
+                    Some(SwitchArm { bind, code, .. }) => {
+                        if *bind {
+                            let payload = payload.map(|p| (*p).clone()).unwrap_or(Value::Unit);
+                            self.stack.push(Value::pair(env, payload));
+                        } else {
+                            self.stack.push(env);
+                        }
+                        self.enter(CodeRef {
+                            seg: seg.clone(),
+                            block: *code,
+                        });
+                    }
+                    None => match table.default {
+                        Some(code) => {
+                            self.stack.push(env);
+                            self.enter(CodeRef {
+                                seg: seg.clone(),
+                                block: code,
+                            });
+                        }
+                        None => return Err(MachineError::NoMatchingArm { tag }),
+                    },
+                }
             }
-            Instr::Emit(i) => {
-                let (v, arena) = self.pop_gen_state("emit")?;
-                arena.push((**i).clone());
-                self.stats.emitted += 1;
-                self.stack.push(Value::pair(v, Value::Arena(arena)));
-            }
-            Instr::LiftV => {
-                let (v, arena) = self.pop_gen_state("lift")?;
-                arena.push(Instr::Quote(v.clone()));
-                self.stats.emitted += 1;
-                self.stack.push(Value::pair(v, Value::Arena(arena)));
-            }
-            Instr::NewArena => {
-                let _ = self.pop("arena")?;
-                self.stats.arenas += 1;
-                self.stack.push(Value::Arena(Arena::new()));
+            Instr::Call => {
+                let (v, arena) = self.pop_gen_state("call")?;
+                self.stack.push(v);
+                self.stats.calls += 1;
+                let code = self.freeze(&arena);
+                self.enter(code);
             }
             Instr::Merge => {
                 let (first, second) = self.pop_pair("merge")?;
@@ -552,83 +715,11 @@ impl Machine {
                     }
                 };
                 let body = self.freeze(&inner);
-                outer.push(Instr::Cur(body));
+                let block = outer.seg().import_block(&body.seg, body.block);
+                outer.push(Instr::Cur(block));
                 self.stats.emitted += 1;
                 self.stack.push(Value::pair(v, Value::Arena(outer)));
             }
-            Instr::Call => {
-                let (v, arena) = self.pop_gen_state("call")?;
-                self.stack.push(v);
-                self.stats.calls += 1;
-                let code = self.freeze(&arena);
-                self.control.push(Frame { code, pc: 0 });
-            }
-            Instr::Branch(then_c, else_c) => {
-                let (env, b) = self.pop_pair("branch")?;
-                let Value::Bool(b) = b else {
-                    return Err(Self::mismatch("branch", "(env, bool)", &b));
-                };
-                self.stack.push(env);
-                self.control.push(Frame {
-                    code: if b { then_c.clone() } else { else_c.clone() },
-                    pc: 0,
-                });
-            }
-            Instr::RecClos(bodies) => {
-                let env = self.pop("recclos")?;
-                let group = Rc::new(RecGroup {
-                    env,
-                    bodies: bodies.clone(),
-                });
-                let mut acc = group.env.clone();
-                for index in 0..bodies.len() {
-                    acc = Value::pair(
-                        acc,
-                        Value::RecClosure {
-                            group: group.clone(),
-                            index,
-                        },
-                    );
-                }
-                self.stack.push(acc);
-            }
-            Instr::Pack(tag) => {
-                let v = self.pop("pack")?;
-                self.stack.push(Value::Con(*tag, Some(Rc::new(v))));
-            }
-            Instr::Switch(table) => {
-                let (env, scrut) = self.pop_pair("switch")?;
-                let Value::Con(tag, payload) = scrut else {
-                    return Err(Self::mismatch("switch", "(env, constructor)", &scrut));
-                };
-                let arm = table.arms.iter().find(|a| a.tag == tag);
-                match arm {
-                    Some(SwitchArm { bind, code, .. }) => {
-                        if *bind {
-                            let payload = payload.map(|p| (*p).clone()).unwrap_or(Value::Unit);
-                            self.stack.push(Value::pair(env, payload));
-                        } else {
-                            self.stack.push(env);
-                        }
-                        self.control.push(Frame {
-                            code: code.clone(),
-                            pc: 0,
-                        });
-                    }
-                    None => match &table.default {
-                        Some(code) => {
-                            self.stack.push(env);
-                            self.control.push(Frame {
-                                code: code.clone(),
-                                pc: 0,
-                            });
-                        }
-                        None => return Err(MachineError::NoMatchingArm { tag }),
-                    },
-                }
-            }
-            Instr::Prim(op) => self.prim(*op)?,
-            Instr::Fail(msg) => return Err(MachineError::Fail(msg.to_string())),
             Instr::MergeBranch => {
                 // (((v,{P}), {A_then}), {A_else})
                 let (rest, else_a) = self.pop_pair("merge_branch")?;
@@ -660,7 +751,9 @@ impl Machine {
                     return Err(Self::mismatch("merge_branch", "(value, arena)", &outer));
                 };
                 let (then_c, else_c) = (self.freeze(&then_a), self.freeze(&else_a));
-                outer.push(Instr::Branch(then_c, else_c));
+                let then_b = outer.seg().import_block(&then_c.seg, then_c.block);
+                let else_b = outer.seg().import_block(&else_c.seg, else_c.block);
+                outer.push(Instr::Branch(then_b, else_b));
                 self.stats.emitted += 1;
                 self.stack.push(Value::pair(v, Value::Arena(outer)));
             }
@@ -689,7 +782,8 @@ impl Machine {
                 };
                 let default = if spec.default {
                     let a = arenas.pop().expect("default arena present");
-                    Some(self.freeze(&a))
+                    let c = self.freeze(&a);
+                    Some(outer.seg().import_block(&c.seg, c.block))
                 } else {
                     None
                 };
@@ -697,10 +791,13 @@ impl Machine {
                     .arms
                     .iter()
                     .zip(arenas)
-                    .map(|(&(tag, bind), a)| SwitchArm {
-                        tag,
-                        bind,
-                        code: self.freeze(&a),
+                    .map(|(&(tag, bind), a)| {
+                        let c = self.freeze(&a);
+                        SwitchArm {
+                            tag,
+                            bind,
+                            code: outer.seg().import_block(&c.seg, c.block),
+                        }
                     })
                     .collect();
                 outer.push(Instr::Switch(Rc::new(SwitchTable { arms, default })));
@@ -708,9 +805,9 @@ impl Machine {
                 self.stack.push(Value::pair(v, Value::Arena(outer)));
             }
             Instr::MergeRec(n) => {
-                let mut bodies_rev = Vec::with_capacity(*n);
+                let mut bodies_rev = Vec::with_capacity(n);
                 let mut cur = self.pop("merge_rec")?;
-                for _ in 0..*n {
+                for _ in 0..n {
                     let Value::Pair(p) = cur else {
                         return Err(Self::mismatch("merge_rec", "stacked arenas", &cur));
                     };
@@ -718,7 +815,7 @@ impl Machine {
                     let Value::Arena(a) = a else {
                         return Err(Self::mismatch("merge_rec", "an arena", &a));
                     };
-                    bodies_rev.push(self.freeze(&a));
+                    bodies_rev.push(a);
                     cur = rest;
                 }
                 bodies_rev.reverse();
@@ -729,10 +826,18 @@ impl Machine {
                 let Value::Arena(outer) = outer else {
                     return Err(Self::mismatch("merge_rec", "(value, arena)", &outer));
                 };
-                outer.push(Instr::RecClos(Rc::new(bodies_rev)));
+                let bodies = bodies_rev
+                    .iter()
+                    .map(|a| {
+                        let c = self.freeze(a);
+                        outer.seg().import_block(&c.seg, c.block)
+                    })
+                    .collect();
+                outer.push(Instr::RecClos(Rc::new(bodies)));
                 self.stats.emitted += 1;
                 self.stack.push(Value::pair(v, Value::Arena(outer)));
             }
+            other => unreachable!("not a transfer instruction: {other:?}"),
         }
         Ok(())
     }
@@ -742,10 +847,7 @@ impl Machine {
         match f {
             Value::Closure(c) => {
                 self.stack.push(Value::pair(c.env.clone(), arg));
-                self.control.push(Frame {
-                    code: c.body.clone(),
-                    pc: 0,
-                });
+                self.enter(c.body.clone());
                 Ok(())
             }
             Value::RecClosure { group, index } => {
@@ -761,9 +863,9 @@ impl Machine {
                     );
                 }
                 self.stack.push(Value::pair(acc, arg));
-                self.control.push(Frame {
-                    code: group.bodies[index].clone(),
-                    pc: 0,
+                self.enter(CodeRef {
+                    seg: group.seg.clone(),
+                    block: group.bodies[index],
                 });
                 Ok(())
             }
@@ -884,12 +986,12 @@ impl Machine {
 mod tests {
     use super::*;
 
-    fn code(instrs: Vec<Instr>) -> Code {
-        Rc::new(instrs)
+    fn entry(instrs: Vec<Instr>) -> CodeRef {
+        CodeSeg::new().entry(instrs)
     }
 
     fn run(instrs: Vec<Instr>, input: Value) -> Value {
-        Machine::new().run(code(instrs), input).unwrap()
+        Machine::new().run(entry(instrs), input).unwrap()
     }
 
     #[test]
@@ -908,7 +1010,7 @@ mod tests {
         );
         for (n, want) in [(0usize, 3i64), (1, 2), (2, 1)] {
             let mut m = Machine::new();
-            let out = m.run(code(vec![Instr::Acc(n)]), spine.clone()).unwrap();
+            let out = m.run(entry(vec![Instr::Acc(n)]), spine.clone()).unwrap();
             assert!(matches!(out, Value::Int(v) if v == want), "Acc({n})");
             assert_eq!(m.stats().steps, 1, "Acc({n}) is a single reduction step");
         }
@@ -922,9 +1024,9 @@ mod tests {
         );
         let chain = vec![Instr::Fst, Instr::Fst, Instr::Snd];
         let mut m1 = Machine::new();
-        let v1 = m1.run(code(chain), spine.clone()).unwrap();
+        let v1 = m1.run(entry(chain), spine.clone()).unwrap();
         let mut m2 = Machine::new();
-        let v2 = m2.run(code(vec![Instr::Acc(2)]), spine).unwrap();
+        let v2 = m2.run(entry(vec![Instr::Acc(2)]), spine).unwrap();
         assert_eq!(v1.to_string(), v2.to_string());
         assert!(m2.stats().steps < m1.stats().steps);
     }
@@ -932,7 +1034,7 @@ mod tests {
     #[test]
     fn acc_off_the_spine_is_a_type_mismatch() {
         let err = Machine::new()
-            .run(code(vec![Instr::Acc(1)]), Value::Int(5))
+            .run(entry(vec![Instr::Acc(1)]), Value::Int(5))
             .unwrap_err();
         assert!(matches!(
             err,
@@ -940,7 +1042,7 @@ mod tests {
         ));
         let shallow = Value::pair(Value::Int(1), Value::Int(2));
         let err = Machine::new()
-            .run(code(vec![Instr::Acc(3)]), shallow)
+            .run(entry(vec![Instr::Acc(3)]), shallow)
             .unwrap_err();
         assert!(matches!(
             err,
@@ -973,35 +1075,32 @@ mod tests {
     #[test]
     fn cur_app_is_beta() {
         // (fn x => snd x) 7 — body `snd` receives (env, 7).
-        let body = code(vec![Instr::Snd]);
-        let out = run(
-            vec![
-                Instr::Push,
-                Instr::Cur(body),
-                Instr::Swap,
-                Instr::Quote(Value::Int(7)),
-                Instr::ConsPair,
-                Instr::App,
-            ],
-            Value::Unit,
-        );
+        let seg = CodeSeg::new();
+        let body = seg.add_block(vec![Instr::Snd]);
+        let prog = seg.entry(vec![
+            Instr::Push,
+            Instr::Cur(body),
+            Instr::Swap,
+            Instr::Quote(Value::Int(7)),
+            Instr::ConsPair,
+            Instr::App,
+        ]);
+        let out = Machine::new().run(prog, Value::Unit).unwrap();
         assert!(matches!(out, Value::Int(7)));
     }
 
     #[test]
     fn branch_on_bool() {
-        let out = run(
-            vec![
-                Instr::Push,
-                Instr::Quote(Value::Bool(true)),
-                Instr::ConsPair,
-                Instr::Branch(
-                    code(vec![Instr::Quote(Value::Int(1))]),
-                    code(vec![Instr::Quote(Value::Int(2))]),
-                ),
-            ],
-            Value::Unit,
-        );
+        let seg = CodeSeg::new();
+        let t = seg.add_block(vec![Instr::Quote(Value::Int(1))]);
+        let e = seg.add_block(vec![Instr::Quote(Value::Int(2))]);
+        let prog = seg.entry(vec![
+            Instr::Push,
+            Instr::Quote(Value::Bool(true)),
+            Instr::ConsPair,
+            Instr::Branch(t, e),
+        ]);
+        let out = Machine::new().run(prog, Value::Unit).unwrap();
         assert!(matches!(out, Value::Int(1)));
     }
 
@@ -1024,6 +1123,25 @@ mod tests {
     }
 
     #[test]
+    fn machine_arenas_freeze_into_the_program_segment() {
+        let seg = CodeSeg::new();
+        let prog = seg.entry(vec![
+            Instr::Push,
+            Instr::NewArena,
+            Instr::ConsPair,
+            Instr::Emit(Box::new(Instr::Fst)),
+        ]);
+        let out = Machine::new().run(prog, Value::Unit).unwrap();
+        let Value::Pair(p) = out else { panic!() };
+        let Value::Arena(a) = &p.1 else { panic!() };
+        let frozen = a.freeze();
+        assert!(
+            CodeSeg::ptr_eq(&frozen.seg, &seg),
+            "generated code lands in the tail of the executing segment"
+        );
+    }
+
+    #[test]
     fn lift_residualizes_the_early_value() {
         // (42, arena) --lift--> arena holds Quote(42).
         let out = run(
@@ -1038,7 +1156,7 @@ mod tests {
         );
         let Value::Pair(p) = out else { panic!() };
         let Value::Arena(a) = &p.1 else { panic!() };
-        let frozen = a.freeze();
+        let frozen = a.freeze().to_vec();
         assert!(matches!(&frozen[0], Instr::Quote(Value::Int(42))));
     }
 
@@ -1078,14 +1196,37 @@ mod tests {
         );
         let Value::Pair(p) = out else { panic!() };
         let Value::Arena(outer) = &p.1 else { panic!() };
-        assert!(matches!(&outer.freeze()[0], Instr::Cur(_)));
+        assert!(matches!(&outer.freeze().to_vec()[0], Instr::Cur(_)));
     }
 
     #[test]
     fn recclos_supports_recursion() {
         // f n = if n = 0 then 0 else f (n - 1); apply to 5 → 0.
         // Body env after app: ((env0, f), n).
-        let body = code(vec![
+        let seg = CodeSeg::new();
+        let then_b = seg.add_block(vec![Instr::Quote(Value::Int(0))]);
+        let else_b = seg.add_block(vec![
+            // f (n - 1): build (f, n-1), app.
+            Instr::Push,
+            Instr::Fst,
+            Instr::Snd, // f
+            Instr::Swap,
+            Instr::Push,
+            Instr::Snd, // n
+            Instr::Push,
+            Instr::Quote(Value::Int(1)),
+            Instr::ConsPair,
+            Instr::Prim(PrimOp::Sub),
+            Instr::Swap,
+            Instr::Fst, // discard dup'd env... (cleanup)
+            Instr::Quote(Value::Int(0)),
+            Instr::Swap,
+            Instr::ConsPair,
+            Instr::Snd,      // n-1
+            Instr::ConsPair, // (f, n-1)
+            Instr::App,
+        ]);
+        let body = seg.add_block(vec![
             Instr::Push,
             Instr::Snd, // n
             Instr::Push,
@@ -1093,32 +1234,9 @@ mod tests {
             Instr::ConsPair, // (n, 0)
             Instr::Prim(PrimOp::Eq),
             Instr::ConsPair, // (fullenv, bool)
-            Instr::Branch(
-                code(vec![Instr::Quote(Value::Int(0))]),
-                code(vec![
-                    // f (n - 1): build (f, n-1), app.
-                    Instr::Push,
-                    Instr::Fst,
-                    Instr::Snd, // f
-                    Instr::Swap,
-                    Instr::Push,
-                    Instr::Snd, // n
-                    Instr::Push,
-                    Instr::Quote(Value::Int(1)),
-                    Instr::ConsPair,
-                    Instr::Prim(PrimOp::Sub),
-                    Instr::Swap,
-                    Instr::Fst, // discard dup'd env... (cleanup)
-                    Instr::Quote(Value::Int(0)),
-                    Instr::Swap,
-                    Instr::ConsPair,
-                    Instr::Snd,      // n-1
-                    Instr::ConsPair, // (f, n-1)
-                    Instr::App,
-                ]),
-            ),
+            Instr::Branch(then_b, else_b),
         ]);
-        let prog = vec![
+        let prog = seg.entry(vec![
             Instr::RecClos(Rc::new(vec![body])),
             Instr::Snd, // the closure
             Instr::Push,
@@ -1126,38 +1244,39 @@ mod tests {
             Instr::Quote(Value::Int(5)),
             Instr::ConsPair,
             Instr::App,
-        ];
-        let out = run(prog, Value::Unit);
+        ]);
+        let out = Machine::new().run(prog, Value::Unit).unwrap();
         assert!(matches!(out, Value::Int(0)));
     }
 
     #[test]
     fn switch_dispatches_and_binds() {
+        let seg = CodeSeg::new();
+        let arm0 = seg.add_block(vec![Instr::Quote(Value::Int(-1))]);
+        let arm1 = seg.add_block(vec![Instr::Snd]);
         let table = SwitchTable {
             arms: vec![
                 SwitchArm {
                     tag: 0,
                     bind: false,
-                    code: code(vec![Instr::Quote(Value::Int(-1))]),
+                    code: arm0,
                 },
                 SwitchArm {
                     tag: 1,
                     bind: true,
-                    code: code(vec![Instr::Snd]),
+                    code: arm1,
                 },
             ],
             default: None,
         };
         let scrut = Value::Con(1, Some(Rc::new(Value::Int(7))));
-        let out = run(
-            vec![
-                Instr::Push,
-                Instr::Quote(scrut),
-                Instr::ConsPair,
-                Instr::Switch(Rc::new(table)),
-            ],
-            Value::Unit,
-        );
+        let prog = seg.entry(vec![
+            Instr::Push,
+            Instr::Quote(scrut),
+            Instr::ConsPair,
+            Instr::Switch(Rc::new(table)),
+        ]);
+        let out = Machine::new().run(prog, Value::Unit).unwrap();
         assert!(matches!(out, Value::Int(7)));
     }
 
@@ -1170,7 +1289,7 @@ mod tests {
         let scrut = Value::Con(9, None);
         let err = Machine::new()
             .run(
-                code(vec![
+                entry(vec![
                     Instr::Push,
                     Instr::Quote(scrut),
                     Instr::ConsPair,
@@ -1186,7 +1305,7 @@ mod tests {
     fn division_by_zero_errors() {
         let err = Machine::new()
             .run(
-                code(vec![Instr::Prim(PrimOp::Div)]),
+                entry(vec![Instr::Prim(PrimOp::Div)]),
                 Value::pair(Value::Int(1), Value::Int(0)),
             )
             .unwrap_err();
@@ -1196,7 +1315,8 @@ mod tests {
     #[test]
     fn fuel_limits_execution() {
         // An infinite loop: f x = f x.
-        let body = code(vec![
+        let seg = CodeSeg::new();
+        let body = seg.add_block(vec![
             Instr::Push,
             Instr::Fst,
             Instr::Snd, // f
@@ -1205,7 +1325,7 @@ mod tests {
             Instr::ConsPair,
             Instr::App,
         ]);
-        let prog = code(vec![
+        let prog = seg.entry(vec![
             Instr::RecClos(Rc::new(vec![body])),
             Instr::Snd,
             Instr::Push,
@@ -1225,7 +1345,7 @@ mod tests {
         // 4 steps per run; 5 runs under an 8-step budget must all succeed
         // even though lifetime steps (20) exceed the budget.
         let mut m = Machine::with_fuel(8);
-        let prog = code(vec![
+        let prog = entry(vec![
             Instr::Push,
             Instr::Quote(Value::Int(1)),
             Instr::ConsPair,
@@ -1244,7 +1364,7 @@ mod tests {
         let run_op = |op, x, y| {
             Machine::new()
                 .run(
-                    code(vec![Instr::Prim(op)]),
+                    entry(vec![Instr::Prim(op)]),
                     Value::pair(Value::Int(x), Value::Int(y)),
                 )
                 .unwrap()
@@ -1286,7 +1406,7 @@ mod tests {
         let gen = Value::pair(Value::Unit, Value::Arena(Arena::new()));
         let bad = Value::pair(Value::pair(gen, Value::Int(42)), Value::Int(43));
         let err = Machine::new()
-            .run(code(vec![Instr::MergeBranch]), bad)
+            .run(entry(vec![Instr::MergeBranch]), bad)
             .unwrap_err();
         let MachineError::TypeMismatch {
             expected, found, ..
@@ -1309,7 +1429,7 @@ mod tests {
         let mut m = Machine::new();
         let out = m
             .run(
-                code(vec![
+                entry(vec![
                     Instr::Quote(gen.clone()),
                     Instr::Call,
                     Instr::Quote(gen.clone()),
@@ -1335,7 +1455,7 @@ mod tests {
         let mut m = Machine::new();
         let out = m
             .run(
-                code(vec![Instr::Quote(gen.clone()), Instr::Call]),
+                entry(vec![Instr::Quote(gen.clone()), Instr::Call]),
                 Value::Unit,
             )
             .unwrap();
@@ -1344,7 +1464,7 @@ mod tests {
         // execute the extended code, not the cached snapshot.
         a.push(Instr::Quote(Value::Int(2)));
         let out = m
-            .run(code(vec![Instr::Quote(gen), Instr::Call]), Value::Unit)
+            .run(entry(vec![Instr::Quote(gen), Instr::Call]), Value::Unit)
             .unwrap();
         assert!(matches!(out, Value::Int(2)));
         let stats = m.stats();
@@ -1358,7 +1478,7 @@ mod tests {
         assert!(m.stats().opcodes.is_none(), "off by default");
         m.set_count_opcodes(true);
         m.run(
-            code(vec![
+            entry(vec![
                 Instr::Push,
                 Instr::Quote(Value::Int(1)),
                 Instr::ConsPair,
@@ -1381,7 +1501,7 @@ mod tests {
     #[test]
     fn stats_delta_since_subtracts_counters() {
         let mut m = Machine::new();
-        let prog = code(vec![
+        let prog = entry(vec![
             Instr::Push,
             Instr::Quote(Value::Int(1)),
             Instr::ConsPair,
@@ -1398,7 +1518,7 @@ mod tests {
     fn stats_count_steps_and_emits() {
         let mut m = Machine::new();
         m.run(
-            code(vec![
+            entry(vec![
                 Instr::Push,
                 Instr::NewArena,
                 Instr::ConsPair,
@@ -1417,7 +1537,7 @@ mod tests {
     fn print_accumulates_output() {
         let mut m = Machine::new();
         m.run(
-            code(vec![
+            entry(vec![
                 Instr::Quote(Value::Str(Rc::from("hello "))),
                 Instr::Prim(PrimOp::Print),
                 Instr::Quote(Value::Str(Rc::from("world"))),
@@ -1435,7 +1555,7 @@ mod tests {
         // array (3, 0); update (a, 1, 5); sub (a, 1)
         let out = m
             .run(
-                code(vec![
+                entry(vec![
                     Instr::Quote(Value::pair(Value::Int(3), Value::Int(0))),
                     Instr::Prim(PrimOp::MkArray),
                     Instr::Push,
@@ -1457,7 +1577,7 @@ mod tests {
     fn array_out_of_bounds_errors() {
         let err = Machine::new()
             .run(
-                code(vec![
+                entry(vec![
                     Instr::Quote(Value::pair(Value::Int(2), Value::Int(0))),
                     Instr::Prim(PrimOp::MkArray),
                     Instr::Push,
@@ -1478,11 +1598,11 @@ mod tests {
     fn equality_on_closures_is_an_error() {
         let f = Value::Closure(Rc::new(Closure {
             env: Value::Unit,
-            body: code(vec![]),
+            body: entry(vec![]),
         }));
         let err = Machine::new()
             .run(
-                code(vec![Instr::Prim(PrimOp::Eq)]),
+                entry(vec![Instr::Prim(PrimOp::Eq)]),
                 Value::pair(f.clone(), f),
             )
             .unwrap_err();
@@ -1513,7 +1633,7 @@ mod tests {
         let mut m = Machine::new();
         m.set_trace(2);
         m.run(
-            code(vec![
+            entry(vec![
                 Instr::Push,
                 Instr::Quote(Value::Int(1)),
                 Instr::ConsPair,
@@ -1522,7 +1642,32 @@ mod tests {
         )
         .unwrap();
         let t = m.trace().unwrap();
-        assert_eq!(t.mnemonics, vec!["push", "quote"], "bounded at limit");
+        assert_eq!(t.mnemonics(), vec!["push", "quote"], "bounded at limit");
+    }
+
+    #[test]
+    fn tracing_records_block_and_pc() {
+        let seg = CodeSeg::new();
+        let body = seg.add_block(vec![Instr::Snd]);
+        let prog = seg.entry(vec![
+            Instr::Push,
+            Instr::Cur(body),
+            Instr::Swap,
+            Instr::Quote(Value::Int(7)),
+            Instr::ConsPair,
+            Instr::App,
+        ]);
+        let mut m = Machine::new();
+        m.set_trace(16);
+        m.run(prog.clone(), Value::Unit).unwrap();
+        let t = m.trace().unwrap();
+        // The entry block is block 1 (the body was added first), and the
+        // applied closure body runs as block 0 at pc 0.
+        assert_eq!(t.entries[0].block, prog.block.0);
+        assert_eq!(t.entries[0].pc, 0);
+        assert_eq!(t.entries[1].pc, 1);
+        let last = t.entries.last().unwrap();
+        assert_eq!((last.block, last.pc, last.mnemonic), (body.0, 0, "snd"));
     }
 
     #[test]

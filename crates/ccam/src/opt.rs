@@ -17,24 +17,31 @@
 //! - **access fusion** — `fst^k; snd` chains (the CAM's O(depth)
 //!   environment walks) collapse into the single-dispatch `acc k`.
 //!
+//! Code is flat: nested blocks are rewritten by [`optimize_block`], which
+//! appends the optimized rendering to the same segment and memoizes the
+//! mapping per segment, so shared blocks are optimized once no matter how
+//! many instructions reference them.
+//!
 //! The CAM pairing discipline makes operand boundaries recoverable: every
 //! `⟨A, B⟩ = push; A; swap; B; cons` is parenthesis-balanced in
 //! `push`/`cons`, so the extent of a compiled operand can be found by
 //! depth counting.
 
 use crate::instr::{Instr, PrimOp, SwitchArm, SwitchTable};
+use crate::seg::{BlockId, CodeSeg};
 use crate::value::Value;
 use std::rc::Rc;
 
-/// Optimizes a code sequence (recursively through nested code blocks).
+/// Optimizes a code sequence whose block references resolve in `seg`
+/// (recursively through nested blocks, which are rewritten in `seg`).
 /// The result computes the same values in the same order of effects.
-pub fn peephole(code: &[Instr]) -> Vec<Instr> {
-    let mut cur: Vec<Instr> = code.iter().map(optimize_nested).collect();
+pub fn peephole(seg: &CodeSeg, code: &[Instr]) -> Vec<Instr> {
+    let mut cur: Vec<Instr> = code.iter().map(|i| optimize_nested(seg, i)).collect();
     for _ in 0..4 {
         // A pass can rewrite without shrinking (e.g. constant-folding a
         // chosen branch arm of the same length), so convergence is
         // detected by an explicit change flag, not by length.
-        let (next, changed) = pass(&cur);
+        let (next, changed) = pass(seg, &cur);
         cur = next;
         if !changed {
             break;
@@ -43,10 +50,25 @@ pub fn peephole(code: &[Instr]) -> Vec<Instr> {
     cur
 }
 
-fn optimize_nested(i: &Instr) -> Instr {
+/// Optimizes one block of `seg`, appending the optimized rendering as a
+/// new block of the same segment and returning its id. Memoized per
+/// segment: a block referenced by many instructions is optimized once,
+/// and re-optimizing an already-optimized block is the identity.
+pub fn optimize_block(seg: &CodeSeg, b: BlockId) -> BlockId {
+    if let Some(done) = seg.opt_memo_get(b) {
+        return done;
+    }
+    let optimized = peephole(seg, &seg.block_to_vec(b));
+    let nb = seg.add_block(optimized);
+    seg.opt_memo_put(b, nb);
+    seg.opt_memo_put(nb, nb);
+    nb
+}
+
+fn optimize_nested(seg: &CodeSeg, i: &Instr) -> Instr {
     match i {
-        Instr::Cur(c) => Instr::Cur(Rc::new(peephole(c))),
-        Instr::Branch(a, b) => Instr::Branch(Rc::new(peephole(a)), Rc::new(peephole(b))),
+        Instr::Cur(c) => Instr::Cur(optimize_block(seg, *c)),
+        Instr::Branch(a, b) => Instr::Branch(optimize_block(seg, *a), optimize_block(seg, *b)),
         Instr::Switch(t) => Instr::Switch(Rc::new(SwitchTable {
             arms: t
                 .arms
@@ -54,13 +76,13 @@ fn optimize_nested(i: &Instr) -> Instr {
                 .map(|arm| SwitchArm {
                     tag: arm.tag,
                     bind: arm.bind,
-                    code: Rc::new(peephole(&arm.code)),
+                    code: optimize_block(seg, arm.code),
                 })
                 .collect(),
-            default: t.default.as_ref().map(|d| Rc::new(peephole(d))),
+            default: t.default.map(|d| optimize_block(seg, d)),
         })),
         Instr::RecClos(bodies) => Instr::RecClos(Rc::new(
-            bodies.iter().map(|b| Rc::new(peephole(b))).collect(),
+            bodies.iter().map(|b| optimize_block(seg, *b)).collect(),
         )),
         // Exhaustive on purpose: a new instruction carrying nested code
         // must be added above, not silently left unoptimized.
@@ -223,7 +245,7 @@ enum Identity {
     No,
 }
 
-fn pass(code: &[Instr]) -> (Vec<Instr>, bool) {
+fn pass(seg: &CodeSeg, code: &[Instr]) -> (Vec<Instr>, bool) {
     let mut out: Vec<Instr> = Vec::with_capacity(code.len());
     let mut changed = false;
     let mut i = 0;
@@ -298,18 +320,18 @@ fn pass(code: &[Instr]) -> (Vec<Instr>, bool) {
                     continue 'outer;
                 }
             }
-            // push; quote b; cons; branch(T, E) — constant condition.
-            // (The compiled `if` is push; <C>; cons; branch.)
         }
         // push; quote b; cons; branch — fold a constant conditional: the
-        // environment copy is consumed by the branch anyway.
+        // environment copy is consumed by the branch anyway. The chosen
+        // arm's instructions are inlined from its block (same segment, so
+        // any block references they carry stay valid).
         if matches!(code[i], Instr::Push) {
             if let (Some(Instr::Quote(Value::Bool(b))), Some(Instr::ConsPair)) =
                 (code.get(i + 1), code.get(i + 2))
             {
                 if let Some(Instr::Branch(t, e)) = code.get(i + 3) {
-                    let chosen = if *b { t } else { e };
-                    out.extend(chosen.iter().cloned());
+                    let chosen = if *b { *t } else { *e };
+                    out.extend(seg.block_to_vec(chosen));
                     changed = true;
                     i += 4;
                     continue 'outer;
@@ -399,12 +421,13 @@ mod tests {
 
     #[test]
     fn constant_addition_folds() {
+        let seg = CodeSeg::new();
         let mut code = pair(
             vec![Instr::Quote(Value::Int(2))],
             vec![Instr::Quote(Value::Int(3))],
         );
         code.push(Instr::Prim(PrimOp::Add));
-        let opt = peephole(&code);
+        let opt = peephole(&seg, &code);
         assert_eq!(opt.len(), 1);
         assert!(matches!(&opt[0], Instr::Quote(Value::Int(5))));
     }
@@ -412,26 +435,29 @@ mod tests {
     #[test]
     fn add_zero_left_eliminates() {
         // 0 + snd  →  snd
+        let seg = CodeSeg::new();
         let mut code = pair(vec![Instr::Quote(Value::Int(0))], vec![Instr::Snd]);
         code.push(Instr::Prim(PrimOp::Add));
-        let opt = peephole(&code);
+        let opt = peephole(&seg, &code);
         assert!(matches!(&opt[..], [Instr::Snd]), "{opt:?}");
     }
 
     #[test]
     fn mul_one_right_eliminates() {
+        let seg = CodeSeg::new();
         let mut code = pair(vec![Instr::Snd], vec![Instr::Quote(Value::Int(1))]);
         code.push(Instr::Prim(PrimOp::Mul));
-        let opt = peephole(&code);
+        let opt = peephole(&seg, &code);
         assert!(matches!(&opt[..], [Instr::Snd]), "{opt:?}");
     }
 
     #[test]
     fn mul_zero_absorbs_pure_operand_only() {
         // snd * 0 → quote 0 (snd is pure).
+        let seg = CodeSeg::new();
         let mut code = pair(vec![Instr::Snd], vec![Instr::Quote(Value::Int(0))]);
         code.push(Instr::Prim(PrimOp::Mul));
-        let opt = peephole(&code);
+        let opt = peephole(&seg, &code);
         assert!(matches!(&opt[..], [Instr::Quote(Value::Int(0))]));
         // print "x" * 0 must NOT be eliminated (effect!).
         let mut code = pair(
@@ -442,13 +468,14 @@ mod tests {
             vec![Instr::Quote(Value::Int(0))],
         );
         code.push(Instr::Prim(PrimOp::Mul));
-        let opt = peephole(&code);
+        let opt = peephole(&seg, &code);
         assert!(opt.len() > 1, "effectful operand preserved: {opt:?}");
     }
 
     #[test]
     fn nested_operands_are_balanced() {
         // (1 + 2) + snd — inner pair folds, outer keeps snd.
+        let seg = CodeSeg::new();
         let inner = {
             let mut c = pair(
                 vec![Instr::Quote(Value::Int(1))],
@@ -459,7 +486,7 @@ mod tests {
         };
         let mut code = pair(inner, vec![Instr::Snd]);
         code.push(Instr::Prim(PrimOp::Add));
-        let opt = peephole(&code);
+        let opt = peephole(&seg, &code);
         // After folding: ⟨quote 3, snd⟩; add.
         assert!(opt.iter().any(|i| matches!(i, Instr::Quote(Value::Int(3)))));
         assert!(opt.len() < code.len());
@@ -467,16 +494,16 @@ mod tests {
 
     #[test]
     fn constant_branch_folds() {
+        let seg = CodeSeg::new();
+        let t = seg.add_block(vec![Instr::Quote(Value::Int(1))]);
+        let e = seg.add_block(vec![Instr::Quote(Value::Int(2))]);
         let code = vec![
             Instr::Push,
             Instr::Quote(Value::Bool(true)),
             Instr::ConsPair,
-            Instr::Branch(
-                Rc::new(vec![Instr::Quote(Value::Int(1))]),
-                Rc::new(vec![Instr::Quote(Value::Int(2))]),
-            ),
+            Instr::Branch(t, e),
         ];
-        let opt = peephole(&code);
+        let opt = peephole(&seg, &code);
         assert!(matches!(&opt[..], [Instr::Quote(Value::Int(1))]));
     }
 
@@ -486,19 +513,21 @@ mod tests {
         // (push; quote; cons; branch) with a 4-instruction arm, so the
         // length does not shrink on that pass; the arm must still be
         // folded by the next pass rather than the rewrite being discarded.
-        let arm: Vec<Instr> = vec![
+        let seg = CodeSeg::new();
+        let arm = seg.add_block(vec![
             Instr::Quote(Value::Int(1)),
             Instr::Prim(PrimOp::Neg),
             Instr::Quote(Value::Int(2)),
             Instr::Prim(PrimOp::Neg),
-        ];
+        ]);
+        let other = seg.add_block(vec![Instr::Fail("else".into())]);
         let code = vec![
             Instr::Push,
             Instr::Quote(Value::Bool(true)),
             Instr::ConsPair,
-            Instr::Branch(Rc::new(arm), Rc::new(vec![Instr::Fail("else".into())])),
+            Instr::Branch(arm, other),
         ];
-        let opt = peephole(&code);
+        let opt = peephole(&seg, &code);
         assert!(
             !opt.iter().any(|i| matches!(i, Instr::Branch(_, _))),
             "branch folded: {opt:?}"
@@ -514,13 +543,14 @@ mod tests {
 
     #[test]
     fn div_and_mod_constants_fold_with_floor_semantics() {
+        let seg = CodeSeg::new();
         for (op, want) in [(PrimOp::Div, -4), (PrimOp::Mod, 1)] {
             let mut code = pair(
                 vec![Instr::Quote(Value::Int(-7))],
                 vec![Instr::Quote(Value::Int(2))],
             );
             code.push(Instr::Prim(op));
-            let opt = peephole(&code);
+            let opt = peephole(&seg, &code);
             assert!(
                 matches!(&opt[..], [Instr::Quote(Value::Int(n))] if *n == want),
                 "{op:?}: {opt:?}"
@@ -532,20 +562,22 @@ mod tests {
             vec![Instr::Quote(Value::Int(0))],
         );
         code.push(Instr::Prim(PrimOp::Div));
-        assert_eq!(peephole(&code).len(), code.len(), "not folded");
+        assert_eq!(peephole(&seg, &code).len(), code.len(), "not folded");
     }
 
     #[test]
     fn div_by_one_eliminates() {
+        let seg = CodeSeg::new();
         let mut code = pair(vec![Instr::Snd], vec![Instr::Quote(Value::Int(1))]);
         code.push(Instr::Prim(PrimOp::Div));
-        let opt = peephole(&code);
+        let opt = peephole(&seg, &code);
         assert!(matches!(&opt[..], [Instr::Snd]), "{opt:?}");
     }
 
     #[test]
     fn optimized_code_computes_the_same_value() {
         // ((4 * 1) + (0 + snd)) applied to (_, 8).
+        let seg = CodeSeg::new();
         let mul = {
             let mut c = pair(
                 vec![Instr::Quote(Value::Int(4))],
@@ -561,51 +593,55 @@ mod tests {
         };
         let mut code = pair(mul, add0);
         code.push(Instr::Prim(PrimOp::Add));
-        let opt = peephole(&code);
+        let opt = peephole(&seg, &code);
         assert!(opt.len() < code.len());
         let input = Value::pair(Value::Unit, Value::Int(8));
-        let a = Machine::new().run(Rc::new(code), input.clone()).unwrap();
-        let b = Machine::new().run(Rc::new(opt), input).unwrap();
+        let a = Machine::new().run(seg.entry(code), input.clone()).unwrap();
+        let b = Machine::new().run(seg.entry(opt), input).unwrap();
         assert_eq!(a.to_string(), b.to_string());
         assert_eq!(a.to_string(), "12");
     }
 
     #[test]
     fn fst_chains_fuse_into_acc() {
+        let seg = CodeSeg::new();
         let code = vec![Instr::Fst, Instr::Fst, Instr::Fst, Instr::Snd];
-        let opt = peephole(&code);
+        let opt = peephole(&seg, &code);
         assert!(matches!(&opt[..], [Instr::Acc(3)]), "{opt:?}");
         // A bare snd (zero fsts) is left alone — same cost either way.
         let code = vec![Instr::Snd];
-        assert!(matches!(&peephole(&code)[..], [Instr::Snd]));
+        assert!(matches!(&peephole(&seg, &code)[..], [Instr::Snd]));
         // Fsts not followed by snd are not an access path.
         let code = vec![Instr::Fst, Instr::Fst];
-        assert_eq!(peephole(&code).len(), 2);
+        assert_eq!(peephole(&seg, &code).len(), 2);
     }
 
     #[test]
     fn fst_before_acc_deepens_the_access() {
+        let seg = CodeSeg::new();
         let code = vec![Instr::Fst, Instr::Acc(2)];
-        let opt = peephole(&code);
+        let opt = peephole(&seg, &code);
         assert!(matches!(&opt[..], [Instr::Acc(3)]), "{opt:?}");
     }
 
     #[test]
     fn fused_access_computes_the_same_value() {
+        let seg = CodeSeg::new();
         let spine = Value::pair(
             Value::pair(Value::pair(Value::Unit, Value::Int(5)), Value::Int(6)),
             Value::Int(7),
         );
         let code = vec![Instr::Fst, Instr::Fst, Instr::Snd];
-        let opt = peephole(&code);
-        let a = Machine::new().run(Rc::new(code), spine.clone()).unwrap();
-        let b = Machine::new().run(Rc::new(opt), spine).unwrap();
+        let opt = peephole(&seg, &code);
+        let a = Machine::new().run(seg.entry(code), spine.clone()).unwrap();
+        let b = Machine::new().run(seg.entry(opt), spine).unwrap();
         assert_eq!(a.to_string(), b.to_string());
         assert_eq!(a.to_string(), "5");
     }
 
     #[test]
     fn recurses_into_cur_bodies() {
+        let seg = CodeSeg::new();
         let body = {
             let mut c = pair(
                 vec![Instr::Quote(Value::Int(1))],
@@ -614,9 +650,23 @@ mod tests {
             c.push(Instr::Prim(PrimOp::Add));
             c
         };
-        let code = vec![Instr::Cur(Rc::new(body))];
-        let opt = peephole(&code);
+        let code = vec![Instr::Cur(seg.add_block(body))];
+        let opt = peephole(&seg, &code);
         let Instr::Cur(b) = &opt[0] else { panic!() };
-        assert_eq!(b.len(), 1);
+        assert_eq!(seg.block_bounds(*b).1, 1);
+    }
+
+    #[test]
+    fn shared_blocks_are_optimized_once() {
+        let seg = CodeSeg::new();
+        let body = seg.add_block(vec![Instr::Quote(Value::Int(1)), Instr::Prim(PrimOp::Neg)]);
+        let code = vec![Instr::Cur(body), Instr::Cur(body)];
+        let opt = peephole(&seg, &code);
+        let (Instr::Cur(a), Instr::Cur(b)) = (&opt[0], &opt[1]) else {
+            panic!("{opt:?}")
+        };
+        assert_eq!(a, b, "memoized: both references rewrite to one block");
+        // And re-optimizing the result is the identity.
+        assert_eq!(optimize_block(&seg, *a), *a);
     }
 }

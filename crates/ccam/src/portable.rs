@@ -1,57 +1,103 @@
 //! Thread-shareable renderings of frozen code and first-order values.
 //!
 //! The machine's run-time representation is deliberately single-threaded:
-//! [`Code`] is `Rc<Vec<Instr>>`, values share structure through `Rc`, and
-//! arenas/references/arrays carry `RefCell`s. That is the right choice for
-//! the simulator's hot path, but it means a specialized program — the
-//! paper's *generate once, run many* artifact — cannot leave the thread
-//! that generated it.
+//! code lives in a [`CodeSeg`] (an `Rc`-shared, `RefCell`-grown arena),
+//! values share structure through `Rc`, and arenas/references/arrays carry
+//! `RefCell`s. That is the right choice for the simulator's hot path, but
+//! it means a specialized program — the paper's *generate once, run many*
+//! artifact — cannot leave the thread that generated it.
 //!
 //! This module defines a parallel, immutable, `Send + Sync` representation
-//! ([`PortableInstr`], [`PortableValue`], [`PortableCode`]) plus two
-//! conversions:
+//! ([`PortableSeg`], [`PortableInstr`], [`PortableValue`],
+//! [`PortableCode`]) plus two conversions:
 //!
-//! - **extraction** ([`PortableValue::extract`], [`extract_code`]):
-//!   deep-converts `Rc` structure to `Arc` structure, preserving sharing
-//!   (a code body referenced from two closures stays one allocation) and
-//!   *rejecting* anything whose semantics depend on shared mutation —
-//!   arenas still under construction, `ref` cells, arrays. Those are the
-//!   `Rc`-escape hatches that must not leak into a cross-thread artifact.
+//! - **extraction** ([`PortableValue::extract`], [`extract_code`]): walks
+//!   the reachable blocks of the source segment(s) and packs them into one
+//!   dense [`PortableSeg`] — a flat instruction vector plus a block table,
+//!   mirroring [`CodeSeg`] itself — preserving sharing (a block referenced
+//!   from two closures is packed once) and *rejecting* anything whose
+//!   semantics depend on shared mutation: arenas still under construction,
+//!   `ref` cells, arrays. Those are the escape hatches that must not leak
+//!   into a cross-thread artifact.
 //! - **hydration** ([`PortableValue::hydrate`], [`hydrate_code`]): the
-//!   inverse, rebuilding machine-native `Rc` structure inside whichever
-//!   thread wants to execute the code. Hydration cannot fail and again
-//!   preserves sharing.
+//!   inverse, rebuilding a machine-native segment inside whichever thread
+//!   wants to execute the code. Because the portable form is already flat
+//!   with index-based block references, hydration is a single pass that
+//!   copies the block table verbatim — portable block `i` becomes
+//!   [`BlockId`]`(i)` of one fresh segment — rather than a pointer-chasing
+//!   graph walk.
 //!
 //! Extraction and hydration cost one pass each; afterwards execution pays
 //! no synchronization at all — every worker runs plain `Rc` values on its
 //! own [`crate::machine::Machine`].
 
-use crate::instr::{Code, Instr, MergeSwitchSpec, PrimOp, SwitchArm, SwitchTable};
+use crate::instr::{Instr, MergeSwitchSpec, PrimOp, SwitchArm, SwitchTable};
+use crate::seg::{BlockId, CodeRef, CodeSeg};
 use crate::value::{Closure, ConTag, RecGroup, Value};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
 
-/// A thread-shareable instruction sequence.
-pub type PortableCode = Arc<Vec<PortableInstr>>;
+/// A thread-shareable code segment: the portable mirror of [`CodeSeg`].
+/// Immutable once built; shared by reference between every value and
+/// instruction extracted together.
+#[derive(Debug)]
+pub struct PortableSegData {
+    /// All instructions, block after block.
+    pub instrs: Vec<PortableInstr>,
+    /// The block table: `(start, len)` ranges into `instrs`, indexed by
+    /// portable block number.
+    pub blocks: Vec<(u32, u32)>,
+}
 
-/// A thread-shareable closure (see [`Closure`]).
+/// Shared handle to a [`PortableSegData`].
+pub type PortableSeg = Arc<PortableSegData>;
+
+impl PortableSegData {
+    /// The instructions of one block.
+    pub fn block(&self, b: u32) -> &[PortableInstr] {
+        let (start, len) = self.blocks[b as usize];
+        &self.instrs[start as usize..(start + len) as usize]
+    }
+}
+
+/// A thread-shareable reference to executable code: a portable segment
+/// plus the entry block to run.
+#[derive(Debug, Clone)]
+pub struct PortableCode {
+    /// The segment holding the instructions.
+    pub seg: PortableSeg,
+    /// The entry block.
+    pub block: u32,
+}
+
+impl PortableCode {
+    /// The entry block's instructions.
+    pub fn instrs(&self) -> &[PortableInstr] {
+        self.seg.block(self.block)
+    }
+}
+
+/// A thread-shareable closure body or value graph root (see
+/// [`crate::value::Closure`]). Block references are portable block
+/// numbers into the owning [`PortableValue`]'s segment.
 #[derive(Debug)]
 pub struct PortableClosure {
     /// Captured environment value.
-    pub env: PortableValue,
-    /// Body code.
-    pub body: PortableCode,
+    pub env: PortableVal,
+    /// Body block.
+    pub body: u32,
 }
 
-/// A thread-shareable recursive closure group (see [`RecGroup`]).
+/// A thread-shareable recursive closure group (see
+/// [`crate::value::RecGroup`]).
 #[derive(Debug)]
 pub struct PortableRecGroup {
     /// The environment captured at group-creation time.
-    pub env: PortableValue,
-    /// One body per function in the group.
-    pub bodies: Arc<Vec<PortableCode>>,
+    pub env: PortableVal,
+    /// One body block per function in the group.
+    pub bodies: Arc<Vec<u32>>,
 }
 
 /// One arm of a portable `switch` dispatch (see [`SwitchArm`]).
@@ -61,8 +107,8 @@ pub struct PortableSwitchArm {
     pub tag: ConTag,
     /// Whether the arm binds the constructor payload.
     pub bind: bool,
-    /// Arm body.
-    pub code: PortableCode,
+    /// Arm body block.
+    pub code: u32,
 }
 
 /// A portable `switch` dispatch table (see [`SwitchTable`]).
@@ -70,17 +116,19 @@ pub struct PortableSwitchArm {
 pub struct PortableSwitchTable {
     /// Arms in declaration order.
     pub arms: Vec<PortableSwitchArm>,
-    /// Fallback code.
-    pub default: Option<PortableCode>,
+    /// Fallback block.
+    pub default: Option<u32>,
 }
 
-/// A thread-shareable value: the immutable subset of [`Value`].
+/// The immutable subset of [`Value`], with code as portable block
+/// numbers. Always paired with the [`PortableSeg`] those numbers index
+/// into — see [`PortableValue`], the self-contained wrapper.
 ///
 /// Mutable values (arenas, `ref` cells, arrays) have no portable
 /// rendering — sharing them across threads would either race or silently
 /// change semantics — so [`PortableValue::extract`] rejects them.
 #[derive(Debug, Clone)]
-pub enum PortableValue {
+pub enum PortableVal {
     /// The unit value.
     Unit,
     /// An integer.
@@ -90,7 +138,7 @@ pub enum PortableValue {
     /// A string.
     Str(Arc<str>),
     /// A pair.
-    Pair(Arc<(PortableValue, PortableValue)>),
+    Pair(Arc<(PortableVal, PortableVal)>),
     /// A closure.
     Closure(Arc<PortableClosure>),
     /// A member of a recursive closure group.
@@ -101,12 +149,22 @@ pub enum PortableValue {
         index: usize,
     },
     /// A datatype constructor application.
-    Con(ConTag, Option<Arc<PortableValue>>),
+    Con(ConTag, Option<Arc<PortableVal>>),
+}
+
+/// A self-contained thread-shareable value: a [`PortableVal`] graph plus
+/// the [`PortableSeg`] its block numbers index into.
+#[derive(Debug, Clone)]
+pub struct PortableValue {
+    /// The segment holding every code block the value references.
+    pub seg: PortableSeg,
+    /// The value graph.
+    pub root: PortableVal,
 }
 
 /// A thread-shareable instruction: the mirror of [`Instr`] with every
-/// `Rc` replaced by `Arc` and every embedded [`Value`] replaced by
-/// [`PortableValue`].
+/// block reference flattened to a portable block number and every
+/// embedded [`Value`] replaced by [`PortableVal`].
 #[derive(Debug, Clone)]
 pub enum PortableInstr {
     /// No-op.
@@ -126,9 +184,9 @@ pub enum PortableInstr {
     /// Apply a closure.
     App,
     /// Push a constant.
-    Quote(PortableValue),
+    Quote(PortableVal),
     /// Build a closure.
-    Cur(PortableCode),
+    Cur(u32),
     /// Append a static instruction to the arena under construction.
     Emit(Box<PortableInstr>),
     /// Residualize the current value into the arena.
@@ -140,9 +198,9 @@ pub enum PortableInstr {
     /// Splice generated code into the instruction stream.
     Call,
     /// Conditional.
-    Branch(PortableCode, PortableCode),
+    Branch(u32, u32),
     /// Recursive closure group.
-    RecClos(Arc<Vec<PortableCode>>),
+    RecClos(Arc<Vec<u32>>),
     /// Constructor application.
     Pack(ConTag),
     /// Constructor dispatch.
@@ -164,8 +222,10 @@ pub enum PortableInstr {
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<PortableValue>();
+    assert_send_sync::<PortableVal>();
     assert_send_sync::<PortableInstr>();
     assert_send_sync::<PortableCode>();
+    assert_send_sync::<PortableSeg>();
 };
 
 /// Why a value could not be extracted into portable form.
@@ -190,46 +250,85 @@ impl fmt::Display for ExtractError {
 
 impl std::error::Error for ExtractError {}
 
-/// Pointer-memoized extraction state: converting the same `Rc` twice must
-/// yield the same `Arc`, both to preserve sharing (hydration restores it)
-/// and to keep the conversion linear in the size of the object graph —
-/// generated code is often a DAG (memoized generating extensions reuse
-/// whole subtrees).
+/// Extraction state. Blocks are memoized per `(segment identity, block)`,
+/// both to preserve sharing (hydration restores it) and to keep the
+/// conversion linear in the size of the object graph — generated code is
+/// often a DAG (memoized generating extensions reuse whole blocks).
+/// Value-level sharing (pairs, closures, groups) is memoized by pointer
+/// for the same reason.
 #[derive(Default)]
 struct Extract {
-    codes: HashMap<*const Vec<Instr>, PortableCode>,
-    pairs: HashMap<*const (Value, Value), Arc<(PortableValue, PortableValue)>>,
+    instrs: Vec<PortableInstr>,
+    blocks: Vec<(u32, u32)>,
+    /// `(CodeSeg::addr, block id)` → portable block number. The source
+    /// segments are kept alive by the value under extraction, so the
+    /// addresses are stable for the duration.
+    block_memo: HashMap<(usize, u32), u32>,
+    pairs: HashMap<*const (Value, Value), Arc<(PortableVal, PortableVal)>>,
     closures: HashMap<*const Closure, Arc<PortableClosure>>,
     groups: HashMap<*const RecGroup, Arc<PortableRecGroup>>,
 }
 
 impl Extract {
-    fn value(&mut self, v: &Value) -> Result<PortableValue, ExtractError> {
+    fn finish(self) -> PortableSeg {
+        Arc::new(PortableSegData {
+            instrs: self.instrs,
+            blocks: self.blocks,
+        })
+    }
+
+    /// Packs one block of `seg` (and, transitively, every block it
+    /// references) into the portable segment, returning its portable
+    /// block number.
+    fn block(&mut self, seg: &CodeSeg, b: BlockId) -> Result<u32, ExtractError> {
+        let key = (seg.addr(), b.0);
+        if let Some(done) = self.block_memo.get(&key) {
+            return Ok(*done);
+        }
+        // Reserve the number first so sharing within the block's own
+        // reference graph resolves; the range is filled in below.
+        let number = u32::try_from(self.blocks.len()).expect("portable segment exceeds u32 blocks");
+        self.blocks.push((0, 0));
+        self.block_memo.insert(key, number);
+        let converted = seg
+            .block_to_vec(b)
+            .iter()
+            .map(|i| self.instr(seg, i))
+            .collect::<Result<Vec<_>, _>>()?;
+        let start =
+            u32::try_from(self.instrs.len()).expect("portable segment exceeds u32 instructions");
+        let len = u32::try_from(converted.len()).expect("block exceeds u32 instructions");
+        self.instrs.extend(converted);
+        self.blocks[number as usize] = (start, len);
+        Ok(number)
+    }
+
+    fn value(&mut self, v: &Value) -> Result<PortableVal, ExtractError> {
         Ok(match v {
-            Value::Unit => PortableValue::Unit,
-            Value::Int(n) => PortableValue::Int(*n),
-            Value::Bool(b) => PortableValue::Bool(*b),
-            Value::Str(s) => PortableValue::Str(Arc::from(&**s)),
+            Value::Unit => PortableVal::Unit,
+            Value::Int(n) => PortableVal::Int(*n),
+            Value::Bool(b) => PortableVal::Bool(*b),
+            Value::Str(s) => PortableVal::Str(Arc::from(&**s)),
             Value::Pair(p) => {
                 let key = Rc::as_ptr(p);
                 if let Some(done) = self.pairs.get(&key) {
-                    return Ok(PortableValue::Pair(done.clone()));
+                    return Ok(PortableVal::Pair(done.clone()));
                 }
                 let pair = Arc::new((self.value(&p.0)?, self.value(&p.1)?));
                 self.pairs.insert(key, pair.clone());
-                PortableValue::Pair(pair)
+                PortableVal::Pair(pair)
             }
             Value::Closure(c) => {
                 let key = Rc::as_ptr(c);
                 if let Some(done) = self.closures.get(&key) {
-                    return Ok(PortableValue::Closure(done.clone()));
+                    return Ok(PortableVal::Closure(done.clone()));
                 }
                 let closure = Arc::new(PortableClosure {
                     env: self.value(&c.env)?,
-                    body: self.code(&c.body)?,
+                    body: self.block(&c.body.seg, c.body.block)?,
                 });
                 self.closures.insert(key, closure.clone());
-                PortableValue::Closure(closure)
+                PortableVal::Closure(closure)
             }
             Value::RecClosure { group, index } => {
                 let key = Rc::as_ptr(group);
@@ -239,7 +338,7 @@ impl Extract {
                     let bodies = group
                         .bodies
                         .iter()
-                        .map(|b| self.code(b))
+                        .map(|b| self.block(&group.seg, *b))
                         .collect::<Result<Vec<_>, _>>()?;
                     let g = Arc::new(PortableRecGroup {
                         env: self.value(&group.env)?,
@@ -248,12 +347,12 @@ impl Extract {
                     self.groups.insert(key, g.clone());
                     g
                 };
-                PortableValue::RecClosure {
+                PortableVal::RecClosure {
                     group,
                     index: *index,
                 }
             }
-            Value::Con(tag, payload) => PortableValue::Con(
+            Value::Con(tag, payload) => PortableVal::Con(
                 *tag,
                 match payload {
                     Some(p) => Some(Arc::new(self.value(p)?)),
@@ -266,21 +365,7 @@ impl Extract {
         })
     }
 
-    fn code(&mut self, c: &Code) -> Result<PortableCode, ExtractError> {
-        let key = Rc::as_ptr(c);
-        if let Some(done) = self.codes.get(&key) {
-            return Ok(done.clone());
-        }
-        let instrs = c
-            .iter()
-            .map(|i| self.instr(i))
-            .collect::<Result<Vec<_>, _>>()?;
-        let code = Arc::new(instrs);
-        self.codes.insert(key, code.clone());
-        Ok(code)
-    }
-
-    fn instr(&mut self, i: &Instr) -> Result<PortableInstr, ExtractError> {
+    fn instr(&mut self, seg: &CodeSeg, i: &Instr) -> Result<PortableInstr, ExtractError> {
         Ok(match i {
             Instr::Id => PortableInstr::Id,
             Instr::Fst => PortableInstr::Fst,
@@ -291,17 +376,19 @@ impl Extract {
             Instr::ConsPair => PortableInstr::ConsPair,
             Instr::App => PortableInstr::App,
             Instr::Quote(v) => PortableInstr::Quote(self.value(v)?),
-            Instr::Cur(c) => PortableInstr::Cur(self.code(c)?),
-            Instr::Emit(inner) => PortableInstr::Emit(Box::new(self.instr(inner)?)),
+            Instr::Cur(c) => PortableInstr::Cur(self.block(seg, *c)?),
+            Instr::Emit(inner) => PortableInstr::Emit(Box::new(self.instr(seg, inner)?)),
             Instr::LiftV => PortableInstr::LiftV,
             Instr::NewArena => PortableInstr::NewArena,
             Instr::Merge => PortableInstr::Merge,
             Instr::Call => PortableInstr::Call,
-            Instr::Branch(t, e) => PortableInstr::Branch(self.code(t)?, self.code(e)?),
+            Instr::Branch(t, e) => {
+                PortableInstr::Branch(self.block(seg, *t)?, self.block(seg, *e)?)
+            }
             Instr::RecClos(bodies) => {
                 let bodies = bodies
                     .iter()
-                    .map(|b| self.code(b))
+                    .map(|b| self.block(seg, *b))
                     .collect::<Result<Vec<_>, _>>()?;
                 PortableInstr::RecClos(Arc::new(bodies))
             }
@@ -314,12 +401,12 @@ impl Extract {
                         Ok(PortableSwitchArm {
                             tag: a.tag,
                             bind: a.bind,
-                            code: self.code(&a.code)?,
+                            code: self.block(seg, a.code)?,
                         })
                     })
                     .collect::<Result<Vec<_>, ExtractError>>()?;
-                let default = match &table.default {
-                    Some(d) => Some(self.code(d)?),
+                let default = match table.default {
+                    Some(d) => Some(self.block(seg, d)?),
                     None => None,
                 };
                 PortableInstr::Switch(Arc::new(PortableSwitchTable { arms, default }))
@@ -333,23 +420,31 @@ impl Extract {
     }
 }
 
-/// Pointer-memoized hydration state (the inverse of [`Extract`]).
-#[derive(Default)]
+/// Hydration state: one fresh [`CodeSeg`] per portable segment (shared by
+/// every value hydrated together), plus pointer memos restoring
+/// value-level sharing.
 struct Hydrate {
-    codes: HashMap<*const Vec<PortableInstr>, Code>,
-    pairs: HashMap<*const (PortableValue, PortableValue), Rc<(Value, Value)>>,
+    seg: CodeSeg,
+    pairs: HashMap<*const (PortableVal, PortableVal), Rc<(Value, Value)>>,
     closures: HashMap<*const PortableClosure, Rc<Closure>>,
     groups: HashMap<*const PortableRecGroup, Rc<RecGroup>>,
 }
 
 impl Hydrate {
-    fn value(&mut self, v: &PortableValue) -> Value {
+    fn code(&self, b: u32) -> CodeRef {
+        CodeRef {
+            seg: self.seg.clone(),
+            block: BlockId(b),
+        }
+    }
+
+    fn value(&mut self, v: &PortableVal) -> Value {
         match v {
-            PortableValue::Unit => Value::Unit,
-            PortableValue::Int(n) => Value::Int(*n),
-            PortableValue::Bool(b) => Value::Bool(*b),
-            PortableValue::Str(s) => Value::Str(Rc::from(&**s)),
-            PortableValue::Pair(p) => {
+            PortableVal::Unit => Value::Unit,
+            PortableVal::Int(n) => Value::Int(*n),
+            PortableVal::Bool(b) => Value::Bool(*b),
+            PortableVal::Str(s) => Value::Str(Rc::from(&**s)),
+            PortableVal::Pair(p) => {
                 let key = Arc::as_ptr(p);
                 if let Some(done) = self.pairs.get(&key) {
                     return Value::Pair(done.clone());
@@ -358,26 +453,27 @@ impl Hydrate {
                 self.pairs.insert(key, pair.clone());
                 Value::Pair(pair)
             }
-            PortableValue::Closure(c) => {
+            PortableVal::Closure(c) => {
                 let key = Arc::as_ptr(c);
                 if let Some(done) = self.closures.get(&key) {
                     return Value::Closure(done.clone());
                 }
                 let closure = Rc::new(Closure {
                     env: self.value(&c.env),
-                    body: self.code(&c.body),
+                    body: self.code(c.body),
                 });
                 self.closures.insert(key, closure.clone());
                 Value::Closure(closure)
             }
-            PortableValue::RecClosure { group, index } => {
+            PortableVal::RecClosure { group, index } => {
                 let key = Arc::as_ptr(group);
                 let group = if let Some(done) = self.groups.get(&key) {
                     done.clone()
                 } else {
                     let g = Rc::new(RecGroup {
                         env: self.value(&group.env),
-                        bodies: Rc::new(group.bodies.iter().map(|b| self.code(b)).collect()),
+                        seg: self.seg.clone(),
+                        bodies: Rc::new(group.bodies.iter().map(|b| BlockId(*b)).collect()),
                     });
                     self.groups.insert(key, g.clone());
                     g
@@ -387,174 +483,135 @@ impl Hydrate {
                     index: *index,
                 }
             }
-            PortableValue::Con(tag, payload) => {
+            PortableVal::Con(tag, payload) => {
                 Value::Con(*tag, payload.as_ref().map(|p| Rc::new(self.value(p))))
             }
-        }
-    }
-
-    fn code(&mut self, c: &PortableCode) -> Code {
-        let key = Arc::as_ptr(c);
-        if let Some(done) = self.codes.get(&key) {
-            return done.clone();
-        }
-        let code = Rc::new(c.iter().map(|i| self.instr(i)).collect::<Vec<_>>());
-        self.codes.insert(key, code.clone());
-        code
-    }
-
-    fn instr(&mut self, i: &PortableInstr) -> Instr {
-        match i {
-            PortableInstr::Id => Instr::Id,
-            PortableInstr::Fst => Instr::Fst,
-            PortableInstr::Snd => Instr::Snd,
-            PortableInstr::Acc(n) => Instr::Acc(*n),
-            PortableInstr::Push => Instr::Push,
-            PortableInstr::Swap => Instr::Swap,
-            PortableInstr::ConsPair => Instr::ConsPair,
-            PortableInstr::App => Instr::App,
-            PortableInstr::Quote(v) => Instr::Quote(self.value(v)),
-            PortableInstr::Cur(c) => Instr::Cur(self.code(c)),
-            PortableInstr::Emit(inner) => Instr::Emit(Box::new(self.instr(inner))),
-            PortableInstr::LiftV => Instr::LiftV,
-            PortableInstr::NewArena => Instr::NewArena,
-            PortableInstr::Merge => Instr::Merge,
-            PortableInstr::Call => Instr::Call,
-            PortableInstr::Branch(t, e) => Instr::Branch(self.code(t), self.code(e)),
-            PortableInstr::RecClos(bodies) => {
-                Instr::RecClos(Rc::new(bodies.iter().map(|b| self.code(b)).collect()))
-            }
-            PortableInstr::Pack(tag) => Instr::Pack(*tag),
-            PortableInstr::Switch(table) => {
-                let arms = table
-                    .arms
-                    .iter()
-                    .map(|a| SwitchArm {
-                        tag: a.tag,
-                        bind: a.bind,
-                        code: self.code(&a.code),
-                    })
-                    .collect();
-                let default = table.default.as_ref().map(|d| self.code(d));
-                Instr::Switch(Rc::new(SwitchTable { arms, default }))
-            }
-            PortableInstr::Prim(op) => Instr::Prim(*op),
-            PortableInstr::Fail(msg) => Instr::Fail(Rc::from(&**msg)),
-            PortableInstr::MergeBranch => Instr::MergeBranch,
-            PortableInstr::MergeSwitch(spec) => Instr::MergeSwitch(Rc::new((**spec).clone())),
-            PortableInstr::MergeRec(n) => Instr::MergeRec(*n),
         }
     }
 }
 
 impl PortableValue {
-    /// Extracts a machine value into portable form.
+    /// Extracts a machine value into portable form, packing every
+    /// reachable code block into one dense portable segment.
     ///
     /// # Errors
     ///
     /// Returns an [`ExtractError`] if the value (transitively) contains an
     /// arena, a `ref` cell, or an array.
     pub fn extract(v: &Value) -> Result<PortableValue, ExtractError> {
-        Extract::default().value(v)
+        let mut e = Extract::default();
+        let root = e.value(v)?;
+        Ok(PortableValue {
+            seg: e.finish(),
+            root,
+        })
     }
 
-    /// Rebuilds a machine-native value inside the calling thread.
-    /// Sharing present at extraction time is restored.
+    /// Rebuilds a machine-native value inside the calling thread: one
+    /// fresh segment (the block table copies over verbatim), then the
+    /// value graph. Sharing present at extraction time is restored.
     pub fn hydrate(&self) -> Value {
-        Hydrate::default().value(self)
+        let mut h = hydrate_seg(&self.seg);
+        h.value(&self.root)
     }
 
     /// Total number of instructions reachable from this value, counting
-    /// each shared code sequence once (the artifact-size metric).
+    /// each shared block once (the artifact-size metric). Because
+    /// extraction packs exactly the reachable blocks, this is simply the
+    /// portable segment's length.
     pub fn instr_count(&self) -> usize {
-        let mut counter = InstrCount::default();
-        counter.value(self);
-        counter.total
+        self.seg.instrs.len()
     }
 }
 
-/// Extracts a frozen code sequence into portable form.
+/// Extracts a frozen code reference into portable form.
 ///
 /// # Errors
 ///
 /// Returns an [`ExtractError`] if an embedded constant (`quote`)
 /// contains a non-portable value.
-pub fn extract_code(c: &Code) -> Result<PortableCode, ExtractError> {
-    Extract::default().code(c)
+pub fn extract_code(c: &CodeRef) -> Result<PortableCode, ExtractError> {
+    let mut e = Extract::default();
+    let block = e.block(&c.seg, c.block)?;
+    Ok(PortableCode {
+        seg: e.finish(),
+        block,
+    })
 }
 
-/// Rebuilds machine-native code inside the calling thread.
-pub fn hydrate_code(c: &PortableCode) -> Code {
-    Hydrate::default().code(c)
+/// Rebuilds machine-native code inside the calling thread (one fresh
+/// segment per call).
+pub fn hydrate_code(c: &PortableCode) -> CodeRef {
+    let h = hydrate_seg(&c.seg);
+    h.code(c.block)
 }
 
-/// Visitor counting instructions, one visit per shared code block.
-#[derive(Default)]
-struct InstrCount {
-    total: usize,
-    seen: std::collections::HashSet<*const Vec<PortableInstr>>,
-}
-
-impl InstrCount {
-    fn value(&mut self, v: &PortableValue) {
-        match v {
-            PortableValue::Unit
-            | PortableValue::Int(_)
-            | PortableValue::Bool(_)
-            | PortableValue::Str(_)
-            | PortableValue::Con(_, None) => {}
-            PortableValue::Pair(p) => {
-                self.value(&p.0);
-                self.value(&p.1);
-            }
-            PortableValue::Closure(c) => {
-                self.value(&c.env);
-                self.code(&c.body);
-            }
-            PortableValue::RecClosure { group, .. } => {
-                self.value(&group.env);
-                for b in group.bodies.iter() {
-                    self.code(b);
-                }
-            }
-            PortableValue::Con(_, Some(p)) => self.value(p),
-        }
+/// Rebuilds the whole portable segment as one machine segment in a single
+/// pass, block table carried over verbatim (portable block `i` becomes
+/// `BlockId(i)`).
+fn hydrate_seg(p: &PortableSeg) -> Hydrate {
+    let seg = CodeSeg::new();
+    let mut h = Hydrate {
+        seg: seg.clone(),
+        pairs: HashMap::new(),
+        closures: HashMap::new(),
+        groups: HashMap::new(),
+    };
+    for b in 0..p.blocks.len() {
+        let instrs: Vec<Instr> = p
+            .block(b as u32)
+            .iter()
+            .map(|i| hydrate_instr(&mut h, i))
+            .collect();
+        h.seg.add_block(instrs);
     }
+    h
+}
 
-    fn code(&mut self, c: &PortableCode) {
-        if !self.seen.insert(Arc::as_ptr(c)) {
-            return;
+/// Converts one portable instruction back to machine form. Block numbers
+/// map to [`BlockId`]s directly (the hydrated segment's block table is a
+/// verbatim copy of the portable one); `Quote`d values are rebuilt
+/// through `h` so value-level sharing is restored.
+fn hydrate_instr(h: &mut Hydrate, i: &PortableInstr) -> Instr {
+    match i {
+        PortableInstr::Id => Instr::Id,
+        PortableInstr::Fst => Instr::Fst,
+        PortableInstr::Snd => Instr::Snd,
+        PortableInstr::Acc(n) => Instr::Acc(*n),
+        PortableInstr::Push => Instr::Push,
+        PortableInstr::Swap => Instr::Swap,
+        PortableInstr::ConsPair => Instr::ConsPair,
+        PortableInstr::App => Instr::App,
+        PortableInstr::Quote(v) => Instr::Quote(h.value(v)),
+        PortableInstr::Cur(c) => Instr::Cur(BlockId(*c)),
+        PortableInstr::Emit(inner) => Instr::Emit(Box::new(hydrate_instr(h, inner))),
+        PortableInstr::LiftV => Instr::LiftV,
+        PortableInstr::NewArena => Instr::NewArena,
+        PortableInstr::Merge => Instr::Merge,
+        PortableInstr::Call => Instr::Call,
+        PortableInstr::Branch(t, e) => Instr::Branch(BlockId(*t), BlockId(*e)),
+        PortableInstr::RecClos(bodies) => {
+            Instr::RecClos(Rc::new(bodies.iter().map(|b| BlockId(*b)).collect()))
         }
-        for i in c.iter() {
-            self.instr(i);
+        PortableInstr::Pack(tag) => Instr::Pack(*tag),
+        PortableInstr::Switch(table) => {
+            let arms = table
+                .arms
+                .iter()
+                .map(|a| SwitchArm {
+                    tag: a.tag,
+                    bind: a.bind,
+                    code: BlockId(a.code),
+                })
+                .collect();
+            let default = table.default.map(BlockId);
+            Instr::Switch(Rc::new(SwitchTable { arms, default }))
         }
-    }
-
-    fn instr(&mut self, i: &PortableInstr) {
-        self.total += 1;
-        match i {
-            PortableInstr::Quote(v) => self.value(v),
-            PortableInstr::Cur(c) => self.code(c),
-            PortableInstr::Emit(inner) => self.instr(inner),
-            PortableInstr::Branch(t, e) => {
-                self.code(t);
-                self.code(e);
-            }
-            PortableInstr::RecClos(bodies) => {
-                for b in bodies.iter() {
-                    self.code(b);
-                }
-            }
-            PortableInstr::Switch(table) => {
-                for arm in &table.arms {
-                    self.code(&arm.code);
-                }
-                if let Some(d) = &table.default {
-                    self.code(d);
-                }
-            }
-            _ => {}
-        }
+        PortableInstr::Prim(op) => Instr::Prim(*op),
+        PortableInstr::Fail(msg) => Instr::Fail(Rc::from(&**msg)),
+        PortableInstr::MergeBranch => Instr::MergeBranch,
+        PortableInstr::MergeSwitch(spec) => Instr::MergeSwitch(Rc::new((**spec).clone())),
+        PortableInstr::MergeRec(n) => Instr::MergeRec(*n),
     }
 }
 
@@ -568,8 +625,12 @@ mod tests {
     fn closure(env: Value, body: Vec<Instr>) -> Value {
         Value::Closure(Rc::new(Closure {
             env,
-            body: Rc::new(body),
+            body: CodeSeg::new().entry(body),
         }))
+    }
+
+    fn app() -> CodeRef {
+        CodeSeg::new().entry(vec![Instr::App])
     }
 
     #[test]
@@ -582,6 +643,7 @@ mod tests {
         ]);
         let p = PortableValue::extract(&v).unwrap();
         assert_eq!(v.structural_eq(&p.hydrate()), Some(true));
+        assert_eq!(p.instr_count(), 0, "no code reachable");
     }
 
     #[test]
@@ -600,7 +662,7 @@ mod tests {
         let p = PortableValue::extract(&f).unwrap();
         let g = p.hydrate();
         let out = Machine::new()
-            .run(Rc::new(vec![Instr::App]), Value::pair(g, Value::Int(41)))
+            .run(app(), Value::pair(g, Value::Int(41)))
             .unwrap();
         assert!(matches!(out, Value::Int(42)));
     }
@@ -623,27 +685,26 @@ mod tests {
 
     #[test]
     fn shared_code_stays_shared_through_roundtrip() {
-        let body: Code = Rc::new(vec![Instr::Snd]);
-        let f = Value::pair(
-            closure(Value::Unit, vec![Instr::Cur(body.clone())]),
-            closure(Value::Unit, vec![Instr::Cur(body)]),
-        );
+        // Two closures over one segment sharing one body block.
+        let seg = CodeSeg::new();
+        let body = seg.add_block(vec![Instr::Snd]);
+        let mk = || {
+            Value::Closure(Rc::new(Closure {
+                env: Value::Unit,
+                body: CodeRef {
+                    seg: seg.clone(),
+                    block: body,
+                },
+            }))
+        };
+        let f = Value::pair(mk(), mk());
         let p = PortableValue::extract(&f).unwrap();
-        // Extraction shares…
-        let (a, b) = match &p {
-            PortableValue::Pair(pair) => match (&pair.0, &pair.1) {
-                (PortableValue::Closure(a), PortableValue::Closure(b)) => (a.clone(), b.clone()),
-                other => panic!("unexpected: {other:?}"),
-            },
-            other => panic!("unexpected: {other:?}"),
-        };
-        let inner = |c: &Arc<PortableClosure>| match &c.body[0] {
-            PortableInstr::Cur(inner) => inner.clone(),
-            other => panic!("unexpected: {other:?}"),
-        };
-        assert!(Arc::ptr_eq(&inner(&a), &inner(&b)));
-        // …and hydration restores the sharing.
+        // Extraction packs the shared block once…
+        assert_eq!(p.seg.blocks.len(), 1);
+        assert_eq!(p.instr_count(), 1);
         let h = p.hydrate();
+        // …and hydration restores the sharing: both closures reference
+        // the same block of the same fresh segment.
         let (ha, hb) = match &h {
             Value::Pair(pair) => match (&pair.0, &pair.1) {
                 (Value::Closure(a), Value::Closure(b)) => (a.clone(), b.clone()),
@@ -651,18 +712,15 @@ mod tests {
             },
             other => panic!("unexpected: {other:?}"),
         };
-        let hinner = |c: &Rc<Closure>| match &c.body[0] {
-            Instr::Cur(inner) => inner.clone(),
-            other => panic!("unexpected: {other:?}"),
-        };
-        assert!(Rc::ptr_eq(&hinner(&ha), &hinner(&hb)));
+        assert!(CodeRef::same_block(&ha.body, &hb.body));
     }
 
     #[test]
     fn every_instruction_roundtrips() {
-        // One of each instruction, nested codes included, so adding an
+        // One of each instruction, nested blocks included, so adding an
         // instruction without a portable rendering fails this test.
-        let sub: Code = Rc::new(vec![Instr::Id]);
+        let seg = CodeSeg::new();
+        let sub = seg.add_block(vec![Instr::Id]);
         let all = vec![
             Instr::Id,
             Instr::Fst,
@@ -673,20 +731,20 @@ mod tests {
             Instr::ConsPair,
             Instr::App,
             Instr::Quote(Value::Int(7)),
-            Instr::Cur(sub.clone()),
+            Instr::Cur(sub),
             Instr::Emit(Box::new(Instr::Snd)),
             Instr::LiftV,
             Instr::NewArena,
             Instr::Merge,
             Instr::Call,
-            Instr::Branch(sub.clone(), sub.clone()),
-            Instr::RecClos(Rc::new(vec![sub.clone()])),
+            Instr::Branch(sub, sub),
+            Instr::RecClos(Rc::new(vec![sub])),
             Instr::Pack(3),
             Instr::Switch(Rc::new(SwitchTable {
                 arms: vec![SwitchArm {
                     tag: 0,
                     bind: true,
-                    code: sub.clone(),
+                    code: sub,
                 }],
                 default: Some(sub),
             })),
@@ -699,25 +757,55 @@ mod tests {
             })),
             Instr::MergeRec(2),
         ];
-        let code: Code = Rc::new(all);
+        let code = seg.entry(all);
         let portable = extract_code(&code).unwrap();
         let back = hydrate_code(&portable);
         assert_eq!(code.len(), back.len());
-        for (orig, round) in code.iter().zip(back.iter()) {
+        for (orig, round) in code.to_vec().iter().zip(back.to_vec().iter()) {
             assert_eq!(orig.opcode(), round.opcode());
         }
     }
 
     #[test]
+    fn quoted_closures_roundtrip() {
+        // LiftV residualizes closures as `quote` immediates in generated
+        // code; those must survive extraction inside code, not just at
+        // the value layer.
+        let inner = closure(Value::Unit, vec![Instr::Snd]);
+        let seg = CodeSeg::new();
+        let code = seg.entry(vec![
+            Instr::Push,
+            Instr::Quote(inner),
+            Instr::Swap,
+            Instr::Quote(Value::Int(5)),
+            Instr::ConsPair,
+            Instr::App,
+        ]);
+        let p = extract_code(&code).unwrap();
+        let back = hydrate_code(&p);
+        let out = Machine::new().run(back, Value::Unit).unwrap();
+        assert!(matches!(out, Value::Int(5)), "{out}");
+    }
+
+    #[test]
     fn instr_count_counts_shared_code_once() {
-        let body: Code = Rc::new(vec![Instr::Id, Instr::Snd]);
-        let v = Value::pair(
-            closure(Value::Unit, vec![Instr::Cur(body.clone())]),
-            closure(Value::Unit, vec![Instr::Cur(body)]),
-        );
+        let seg = CodeSeg::new();
+        let body = seg.add_block(vec![Instr::Id, Instr::Snd]);
+        let mk = || {
+            Value::Closure(Rc::new(Closure {
+                env: Value::Unit,
+                body: CodeRef {
+                    seg: seg.clone(),
+                    block: body,
+                },
+            }))
+        };
+        let v = Value::pair(mk(), mk());
         let p = PortableValue::extract(&v).unwrap();
-        // Two Cur instructions + the shared 2-instruction body once.
-        assert_eq!(p.instr_count(), 2 + 2);
+        // The shared 2-instruction body packs once. (The old tree
+        // representation also counted the `cur` instructions of each
+        // closure body; closures now point straight at blocks.)
+        assert_eq!(p.instr_count(), 2);
     }
 
     #[test]
@@ -727,7 +815,7 @@ mod tests {
         let out = std::thread::spawn(move || {
             let g = p.hydrate();
             let v = Machine::new()
-                .run(Rc::new(vec![Instr::App]), Value::pair(g, Value::Int(9)))
+                .run(app(), Value::pair(g, Value::Int(9)))
                 .unwrap();
             matches!(v, Value::Int(9))
         })

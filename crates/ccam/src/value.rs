@@ -1,6 +1,7 @@
 //! Run-time values of the CCAM.
 
-use crate::instr::{Code, Instr};
+use crate::instr::Instr;
+use crate::seg::{BlockId, CodeRef, CodeSeg};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -15,8 +16,10 @@ pub type ConTag = u32;
 pub struct RecGroup {
     /// The environment captured at group-creation time.
     pub env: Value,
-    /// One body per function in the group.
-    pub bodies: Rc<Vec<Code>>,
+    /// The segment the bodies live in.
+    pub seg: CodeSeg,
+    /// One body block per function in the group.
+    pub bodies: Rc<Vec<BlockId>>,
 }
 
 /// A non-recursive closure `[v : P]`.
@@ -25,76 +28,121 @@ pub struct Closure {
     /// Captured environment value.
     pub env: Value,
     /// Body code.
-    pub body: Code,
+    pub body: CodeRef,
 }
 
 /// An arena: a dynamically created code sequence under construction
 /// (the paper's `{P}`).
 ///
-/// Arenas are appended to by `emit`/`lift`/`merge` and frozen into
-/// executable [`Code`] by `call` and `merge`. The implementation shares
-/// arenas by reference ([`Rc`]); the compiler threads each arena linearly,
-/// so the sharing is unobservable.
+/// An arena is a **staging buffer plus a target segment**: `emit`/`lift`/
+/// `merge` append instructions to the staging buffer, and `call`/`merge`
+/// freeze the buffer into a block at the growable tail of the segment.
+/// The machine binds each arena to the segment of the frame that created
+/// it, so generated code lands in the same contiguous segment as the
+/// generator — the paper's arena model with flat addressing. The
+/// implementation shares arenas by reference ([`Rc`]); the compiler
+/// threads each arena linearly, so the sharing is unobservable.
 ///
-/// Freezing is cached: the arena remembers the last frozen snapshot (one
+/// Freezing is cached: the arena remembers the last frozen block (one
 /// slot for the plain contents, one for the optimized rendering) together
-/// with the arena length it covered. Instructions are only ever appended,
-/// so a length match proves the cached code is still the current contents,
-/// and re-freezing a finished generator returns the same [`Code`] without
-/// copying or re-optimizing.
-#[derive(Debug, Default)]
+/// with the staging length it covered. Instructions are only ever
+/// appended, so a length match proves the cached block is still the
+/// current contents, and re-freezing a finished generator returns the
+/// same block without copying or re-optimizing.
+#[derive(Debug)]
 pub struct Arena {
-    instrs: RefCell<Vec<Instr>>,
-    cache: RefCell<[Option<(usize, Code)>; 2]>,
+    staging: RefCell<Vec<Instr>>,
+    seg: CodeSeg,
+    cache: RefCell<[Option<(usize, BlockId)>; 2]>,
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Arena {
+            staging: RefCell::new(Vec::new()),
+            seg: CodeSeg::new(),
+            cache: RefCell::new([None, None]),
+        }
+    }
 }
 
 impl Arena {
-    /// A fresh empty arena.
+    /// A fresh empty arena freezing into its own new segment.
     pub fn new() -> Rc<Self> {
         Rc::new(Arena::default())
+    }
+
+    /// A fresh empty arena freezing into `seg` (the machine binds arenas
+    /// to the executing frame's segment).
+    pub fn in_seg(seg: &CodeSeg) -> Rc<Self> {
+        Rc::new(Arena {
+            staging: RefCell::new(Vec::new()),
+            seg: seg.clone(),
+            cache: RefCell::new([None, None]),
+        })
+    }
+
+    /// The segment frozen blocks land in.
+    pub fn seg(&self) -> &CodeSeg {
+        &self.seg
     }
 
     /// Appends one instruction. Cached freezes of shorter contents stay
     /// valid as snapshots and are invalidated here only in the sense that
     /// the next freeze sees a longer arena and rebuilds.
     pub fn push(&self, i: Instr) {
-        self.instrs.borrow_mut().push(i);
+        self.staging.borrow_mut().push(i);
     }
 
     /// Number of instructions emitted so far.
     pub fn len(&self) -> usize {
-        self.instrs.borrow().len()
+        self.staging.borrow().len()
     }
 
     /// Whether nothing has been emitted yet.
     pub fn is_empty(&self) -> bool {
-        self.instrs.borrow().is_empty()
+        self.staging.borrow().is_empty()
     }
 
-    /// Freezes the current contents into executable code (the arena may
-    /// continue to grow afterwards; the frozen code is a snapshot).
-    pub fn freeze(&self) -> Code {
-        self.freeze_via(false, |instrs| instrs.to_vec()).0
+    /// Freezes the current contents into an executable block at the
+    /// segment tail (the arena may continue to grow afterwards; the
+    /// frozen block is a snapshot).
+    pub fn freeze(&self) -> CodeRef {
+        self.freeze_via(false, |_, instrs| instrs.to_vec()).0
     }
 
     /// Freezes through the cache slot picked by `optimized`, building the
-    /// instruction vector with `build` on a miss. Returns the code and
-    /// whether it was served from the cache.
+    /// instruction vector with `build` (given the target segment, so the
+    /// optimizer can register rewritten blocks) on a miss. Returns the
+    /// code and whether it was served from the cache.
     pub fn freeze_via(
         &self,
         optimized: bool,
-        build: impl FnOnce(&[Instr]) -> Vec<Instr>,
-    ) -> (Code, bool) {
+        build: impl FnOnce(&CodeSeg, &[Instr]) -> Vec<Instr>,
+    ) -> (CodeRef, bool) {
         let slot = usize::from(optimized);
-        let len = self.instrs.borrow().len();
-        if let Some((cached_len, code)) = &self.cache.borrow()[slot] {
-            if *cached_len == len {
-                return (code.clone(), true);
+        let len = self.staging.borrow().len();
+        if let Some((cached_len, block)) = self.cache.borrow()[slot] {
+            if cached_len == len {
+                return (
+                    CodeRef {
+                        seg: self.seg.clone(),
+                        block,
+                    },
+                    true,
+                );
             }
         }
-        let code = Rc::new(build(&self.instrs.borrow()));
-        self.cache.borrow_mut()[slot] = Some((len, code.clone()));
-        (code, false)
+        let built = build(&self.seg, &self.staging.borrow());
+        let block = self.seg.add_block(built);
+        self.cache.borrow_mut()[slot] = Some((len, block));
+        (
+            CodeRef {
+                seg: self.seg.clone(),
+                block,
+            },
+            false,
+        )
     }
 }
 
@@ -263,17 +311,37 @@ mod tests {
         a.push(Instr::Fst);
         let c1 = a.freeze();
         let c2 = a.freeze();
-        assert!(Rc::ptr_eq(&c1, &c2), "repeated freeze reuses the snapshot");
+        assert!(
+            CodeRef::same_block(&c1, &c2),
+            "repeated freeze reuses the snapshot"
+        );
         a.push(Instr::Snd);
         let c3 = a.freeze();
-        assert!(!Rc::ptr_eq(&c1, &c3), "growth invalidates the cache");
+        assert!(
+            !CodeRef::same_block(&c1, &c3),
+            "growth invalidates the cache"
+        );
         assert_eq!(c3.len(), 2);
         // The optimized slot is cached independently of the plain one.
-        let (o1, hit1) = a.freeze_via(true, |i| i.to_vec());
-        let (o2, hit2) = a.freeze_via(true, |i| i.to_vec());
+        let (o1, hit1) = a.freeze_via(true, |_, i| i.to_vec());
+        let (o2, hit2) = a.freeze_via(true, |_, i| i.to_vec());
         assert!(!hit1);
         assert!(hit2);
-        assert!(Rc::ptr_eq(&o1, &o2));
+        assert!(CodeRef::same_block(&o1, &o2));
+    }
+
+    #[test]
+    fn frozen_blocks_share_one_segment_tail() {
+        let a = Arena::new();
+        a.push(Instr::Fst);
+        let c1 = a.freeze();
+        a.push(Instr::Snd);
+        let c2 = a.freeze();
+        assert!(
+            CodeSeg::ptr_eq(&c1.seg, &c2.seg),
+            "successive freezes append to one segment"
+        );
+        assert!(CodeSeg::ptr_eq(a.seg(), &c1.seg));
     }
 
     #[test]

@@ -2,16 +2,29 @@
 //! instruction set — including the merge family and the indexed-access
 //! extension — is pinned exactly. Adding an instruction without teaching
 //! the disassembler (and this test) about it fails here.
+//!
+//! Code is flat: the program is one segment, nested code is a labelled
+//! block, and the listing shows the entry block followed by every
+//! referenced block in discovery order.
 
 use ccam::disasm::{census, disassemble};
 use ccam::instr::{Instr, MergeSwitchSpec, PrimOp, SwitchArm, SwitchTable, OPCODE_NAMES};
+use ccam::seg::{BlockId, CodeSeg};
 use ccam::value::Value;
 use std::rc::Rc;
 
 /// One instance of every instruction, in opcode-table order where the
-/// rendering allows it.
-fn full_instruction_set() -> Vec<Instr> {
-    vec![
+/// rendering allows it, laid out flat in one segment.
+fn full_instruction_set() -> (CodeSeg, BlockId) {
+    let seg = CodeSeg::new();
+    let cur_body = seg.add_block(vec![Instr::Snd]);
+    let emitted_body = seg.add_block(vec![Instr::Id]);
+    let then_arm = seg.add_block(vec![Instr::Id]);
+    let else_arm = seg.add_block(vec![Instr::Fst]);
+    let rec_body = seg.add_block(vec![Instr::Snd]);
+    let switch_arm = seg.add_block(vec![Instr::Snd]);
+    let switch_default = seg.add_block(vec![Instr::Id]);
+    let entry = seg.add_block(vec![
         Instr::Id,
         Instr::Fst,
         Instr::Snd,
@@ -21,23 +34,23 @@ fn full_instruction_set() -> Vec<Instr> {
         Instr::ConsPair,
         Instr::App,
         Instr::Quote(Value::Int(7)),
-        Instr::Cur(Rc::new(vec![Instr::Snd])),
+        Instr::Cur(cur_body),
         Instr::Emit(Box::new(Instr::Acc(1))),
-        Instr::Emit(Box::new(Instr::Cur(Rc::new(vec![Instr::Id])))),
+        Instr::Emit(Box::new(Instr::Cur(emitted_body))),
         Instr::LiftV,
         Instr::NewArena,
         Instr::Merge,
         Instr::Call,
-        Instr::Branch(Rc::new(vec![Instr::Id]), Rc::new(vec![Instr::Fst])),
-        Instr::RecClos(Rc::new(vec![Rc::new(vec![Instr::Snd])])),
+        Instr::Branch(then_arm, else_arm),
+        Instr::RecClos(Rc::new(vec![rec_body])),
         Instr::Pack(3),
         Instr::Switch(Rc::new(SwitchTable {
             arms: vec![SwitchArm {
                 tag: 0,
                 bind: true,
-                code: Rc::new(vec![Instr::Snd]),
+                code: switch_arm,
             }],
-            default: Some(Rc::new(vec![Instr::Id])),
+            default: Some(switch_default),
         })),
         Instr::Prim(PrimOp::Add),
         Instr::Fail("boom".into()),
@@ -47,64 +60,84 @@ fn full_instruction_set() -> Vec<Instr> {
             default: true,
         })),
         Instr::MergeRec(2),
-    ]
+    ]);
+    (seg, entry)
 }
 
 #[test]
 fn disassembly_of_the_full_instruction_set_is_golden() {
     let expected = "\
-id
-fst
-snd
-acc 2
-push
-swap
-cons
-app
-quote 7
-cur {
-  snd
-}
-emit [acc 1]
-emit
-  cur {
-    id
-  }
-lift
-arena
-merge
-call
-branch {
+L0:
   id
-} else {
   fst
-}
-recclos[1] {
   snd
-  --
-}
-pack 3
-switch {
-  tag 0 (bind) =>
-    snd
-  default =>
-    id
-}
-prim Add
-fail \"boom\"
-merge_branch
-merge_switch[2 arms + default]
-merge_rec[2]
+  acc 2
+  push
+  swap
+  cons
+  app
+  quote 7
+  cur L1
+  emit [acc 1]
+  emit [cur L2]
+  lift
+  arena
+  merge
+  call
+  branch L3 else L4
+  recclos[L5]
+  pack 3
+  switch { tag 0 (bind) => L6, default => L7 }
+  prim Add
+  fail \"boom\"
+  merge_branch
+  merge_switch[2 arms + default]
+  merge_rec[2]
+
+L1:
+  snd
+
+L2:
+  id
+
+L3:
+  id
+
+L4:
+  fst
+
+L5:
+  snd
+
+L6:
+  snd
+
+L7:
+  id
 ";
-    assert_eq!(disassemble(&full_instruction_set()), expected);
+    let (seg, entry) = full_instruction_set();
+    assert_eq!(disassemble(&seg, entry), expected);
 }
 
 #[test]
 fn full_instruction_set_really_is_full() {
     // The census of the golden program must mention every opcode the
     // machine defines, so the golden test cannot silently go stale.
-    let c = census(&full_instruction_set());
+    let (seg, entry) = full_instruction_set();
+    let c = census(&seg, entry);
     for name in OPCODE_NAMES {
         assert!(c.contains_key(name), "golden program misses `{name}`");
     }
+}
+
+#[test]
+fn listing_is_independent_of_block_layout() {
+    // The same program at different segment offsets (and with unrelated
+    // blocks interleaved) must produce the identical listing — labels are
+    // discovery-ordered, not raw block ids.
+    let (seg_a, entry_a) = full_instruction_set();
+    let shifted = CodeSeg::new();
+    shifted.add_block(vec![Instr::Id; 13]);
+    let entry_b = shifted.import_block(&seg_a, entry_a);
+    assert_eq!(disassemble(&seg_a, entry_a), disassemble(&shifted, entry_b));
 }

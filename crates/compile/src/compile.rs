@@ -18,9 +18,16 @@
 //! | `M N` | `⟨[M],[N]⟩; app` | emitted pair + `app̄` |
 //! | `code M` | `Cur([M]gen)` | closure insertion via `lift` (no nested emits) |
 //! | `lift M` | `[M]; Cur(lift)` | `[M]gen; Cur(lift)` emitted |
+//!
+//! Compilation emits **flat code**: every function works through a
+//! [`CodeBuilder`] targeting one [`CodeSeg`], and nested code (closure
+//! bodies, branch arms, switch arms, recursive groups) is finished into
+//! the segment as a block and referenced by [`ccam::seg::BlockId`] —
+//! there is no tree of owned `Vec<Instr>`s at any point.
 
 use crate::ctx::{Ctx, EnvMode, Kind, Layout};
-use ccam::instr::{Code, Instr, MergeSwitchSpec, PrimOp, SwitchArm, SwitchTable};
+use ccam::instr::{Instr, MergeSwitchSpec, PrimOp, SwitchArm, SwitchTable};
+use ccam::seg::{CodeBuilder, CodeRef, CodeSeg};
 use ccam::value::Value;
 use mlbox_ir::core::{CExpr, CExprS, CoreDecl, Lit, Prim};
 use mlbox_syntax::diag::{Diagnostic, Phase};
@@ -73,33 +80,31 @@ fn prim_op(p: Prim) -> PrimOp {
     }
 }
 
-fn rc(code: Vec<Instr>) -> Code {
-    Rc::new(code)
-}
-
 // ---------------------------------------------------------------------
 // Ordinary translation [M]E
 // ---------------------------------------------------------------------
 
 /// Compiles `e` in context `ctx` to code mapping the environment value to
-/// the value of `e`.
+/// the value of `e`. The instructions are returned raw (for splicing into
+/// a larger sequence); nested blocks have already been registered in
+/// `seg`, so the result is only executable against that segment.
 ///
 /// # Errors
 ///
 /// Returns a diagnostic for variables that violate the staging discipline
 /// (these are caught earlier by the type checker; the compiler re-checks
 /// defensively).
-pub fn compile_expr(e: &CExprS, ctx: &Ctx) -> Result<Vec<Instr>> {
-    let mut out = Vec::new();
-    expr_into(e, ctx, &mut out)?;
-    Ok(out)
+pub fn compile_expr(e: &CExprS, ctx: &Ctx, seg: &CodeSeg) -> Result<Vec<Instr>> {
+    let mut b = CodeBuilder::new(seg);
+    expr_into(e, ctx, &mut b)?;
+    Ok(b.into_instrs())
 }
 
 /// Emits `⟨A, B⟩ = push; A; swap; B; cons`.
 fn pair_into(
-    a: impl FnOnce(&mut Vec<Instr>) -> Result<()>,
-    b: impl FnOnce(&mut Vec<Instr>) -> Result<()>,
-    out: &mut Vec<Instr>,
+    a: impl FnOnce(&mut CodeBuilder) -> Result<()>,
+    b: impl FnOnce(&mut CodeBuilder) -> Result<()>,
+    out: &mut CodeBuilder,
 ) -> Result<()> {
     out.push(Instr::Push);
     a(out)?;
@@ -109,7 +114,15 @@ fn pair_into(
     Ok(())
 }
 
-fn expr_into(e: &CExprS, ctx: &Ctx, out: &mut Vec<Instr>) -> Result<()> {
+/// Compiles `e` into a block of the builder's segment (a closure body,
+/// branch arm, …) and returns its id.
+fn expr_block(e: &CExprS, ctx: &Ctx, out: &CodeBuilder) -> Result<ccam::seg::BlockId> {
+    let mut child = out.child();
+    expr_into(e, ctx, &mut child)?;
+    Ok(child.finish_block())
+}
+
+fn expr_into(e: &CExprS, ctx: &Ctx, out: &mut CodeBuilder) -> Result<()> {
     let span = e.span;
     match &e.node {
         CExpr::Lit(l) => out.push(Instr::Quote(lit_value(l))),
@@ -150,7 +163,8 @@ fn expr_into(e: &CExprS, ctx: &Ctx, out: &mut Vec<Instr>) -> Result<()> {
         }
         CExpr::Lam(p, body) => {
             let inner = ctx.bind_early(p.clone(), Kind::Val);
-            out.push(Instr::Cur(rc(compile_expr(body, &inner)?)));
+            let block = expr_block(body, &inner, out)?;
+            out.push(Instr::Cur(block));
         }
         CExpr::App(f, a) => {
             pair_into(
@@ -187,10 +201,9 @@ fn expr_into(e: &CExprS, ctx: &Ctx, out: &mut Vec<Instr>) -> Result<()> {
             out.push(Instr::Push);
             expr_into(c, ctx, out)?;
             out.push(Instr::ConsPair);
-            out.push(Instr::Branch(
-                rc(compile_expr(t, ctx)?),
-                rc(compile_expr(f, ctx)?),
-            ));
+            let t = expr_block(t, ctx, out)?;
+            let f = expr_block(f, ctx, out)?;
+            out.push(Instr::Branch(t, f));
         }
         CExpr::Let(n, rhs, body) => {
             out.push(Instr::Push);
@@ -207,7 +220,7 @@ fn expr_into(e: &CExprS, ctx: &Ctx, out: &mut Vec<Instr>) -> Result<()> {
             let mut bodies = Vec::with_capacity(defs.len());
             for def in defs.iter() {
                 let def_ctx = group_ctx.bind_early(def.param.clone(), Kind::Val);
-                bodies.push(rc(compile_expr(&def.body, &def_ctx)?));
+                bodies.push(expr_block(&def.body, &def_ctx, out)?);
             }
             out.push(Instr::RecClos(Rc::new(bodies)));
             expr_into(body, &group_ctx, out)?;
@@ -249,28 +262,31 @@ fn expr_into(e: &CExprS, ctx: &Ctx, out: &mut Vec<Instr>) -> Result<()> {
                 let (bind, code) = match &arm.binder {
                     Some(b) => {
                         let inner = ctx.bind_early(b.clone(), Kind::Val);
-                        (true, compile_expr(&arm.rhs, &inner)?)
+                        (true, expr_block(&arm.rhs, &inner, out)?)
                     }
-                    None => (false, compile_expr(&arm.rhs, ctx)?),
+                    None => (false, expr_block(&arm.rhs, ctx, out)?),
                 };
                 table.arms.push(SwitchArm {
                     tag: arm.con.0,
                     bind,
-                    code: rc(code),
+                    code,
                 });
             }
             if let Some(d) = default {
-                table.default = Some(rc(compile_expr(d, ctx)?));
+                table.default = Some(expr_block(d, ctx, out)?);
             }
             out.push(Instr::Switch(Rc::new(table)));
         }
         CExpr::Code(body) => {
             let inner = ctx.enter_code();
-            out.push(Instr::Cur(rc(compile_gen(body, &inner)?)));
+            let mut child = out.child();
+            gen_into(body, &inner, &mut child)?;
+            out.push(Instr::Cur(child.finish_block()));
         }
         CExpr::Lift(inner) => {
             expr_into(inner, ctx, out)?;
-            out.push(Instr::Cur(rc(vec![Instr::LiftV])));
+            let lift = out.seg().add_block(vec![Instr::LiftV]);
+            out.push(Instr::Cur(lift));
         }
         CExpr::LetCogen(u, m, n) => {
             out.push(Instr::Push);
@@ -285,7 +301,7 @@ fn expr_into(e: &CExprS, ctx: &Ctx, out: &mut Vec<Instr>) -> Result<()> {
     Ok(())
 }
 
-fn tuple_into(parts: &[CExprS], ctx: &Ctx, out: &mut Vec<Instr>) -> Result<()> {
+fn tuple_into(parts: &[CExprS], ctx: &Ctx, out: &mut CodeBuilder) -> Result<()> {
     // Right-nested: (a, (b, c)).
     match parts {
         [] => unreachable!("tuples have arity >= 2"),
@@ -305,19 +321,20 @@ fn tuple_into(parts: &[CExprS], ctx: &Ctx, out: &mut Vec<Instr>) -> Result<()> {
 /// Compiles `e` as a generating-extension body: the produced code threads
 /// a generation state `(lenv, arena)` on top of the stack and appends the
 /// specialized code of `e` to the arena. `ctx` must have been built with
-/// [`Ctx::enter_code`] at the `code` boundary.
+/// [`Ctx::enter_code`] at the `code` boundary. Nested blocks land in
+/// `seg`, as for [`compile_expr`].
 ///
 /// # Errors
 ///
 /// Returns a diagnostic if an early *value* variable occurs (the modal
 /// typing discipline forbids it), or for unbound variables.
-pub fn compile_gen(e: &CExprS, ctx: &Ctx) -> Result<Vec<Instr>> {
-    let mut out = Vec::new();
-    gen_into(e, ctx, &mut out)?;
-    Ok(out)
+pub fn compile_gen(e: &CExprS, ctx: &Ctx, seg: &CodeSeg) -> Result<Vec<Instr>> {
+    let mut b = CodeBuilder::new(seg);
+    gen_into(e, ctx, &mut b)?;
+    Ok(b.into_instrs())
 }
 
-fn emit(i: Instr, out: &mut Vec<Instr>) {
+fn emit(i: Instr, out: &mut CodeBuilder) {
     debug_assert!(
         !matches!(i, Instr::Emit(_)),
         "nested emit constructed by the compiler"
@@ -325,7 +342,7 @@ fn emit(i: Instr, out: &mut Vec<Instr>) {
     out.push(Instr::Emit(Box::new(i)));
 }
 
-fn emit_all(instrs: Vec<Instr>, out: &mut Vec<Instr>) {
+fn emit_all(instrs: Vec<Instr>, out: &mut CodeBuilder) {
     for i in instrs {
         emit(i, out);
     }
@@ -333,9 +350,9 @@ fn emit_all(instrs: Vec<Instr>, out: &mut Vec<Instr>) {
 
 /// Emitted pairing: `⟨A, B⟩` with every structural instruction emitted.
 fn gen_pair_into(
-    a: impl FnOnce(&mut Vec<Instr>) -> Result<()>,
-    b: impl FnOnce(&mut Vec<Instr>) -> Result<()>,
-    out: &mut Vec<Instr>,
+    a: impl FnOnce(&mut CodeBuilder) -> Result<()>,
+    b: impl FnOnce(&mut CodeBuilder) -> Result<()>,
+    out: &mut CodeBuilder,
 ) -> Result<()> {
     emit(Instr::Push, out);
     a(out)?;
@@ -350,17 +367,19 @@ fn gen_pair_into(
 /// spine of `depth + 1` entries over the base `lenv`, so the projection is
 /// that spine's base path (`fst^(depth+1)`). Routing through [`Layout`]
 /// keeps it the single authority on environment-shape walking.
-fn lenv_into(depth: usize, out: &mut Vec<Instr>) {
-    Layout::Spine { count: depth + 1 }.base_path_into(out);
+fn lenv_into(depth: usize, out: &mut CodeBuilder) {
+    let mut path = Vec::new();
+    Layout::Spine { count: depth + 1 }.base_path_into(&mut path);
+    out.extend(path);
 }
 
 /// Generates `body` into a fresh arena and leaves that arena *stacked*
 /// above the current generation state: from a top value `T` (the state
 /// with `depth` arenas already stacked on it), produces `(T, {body})`.
 fn subgen_into(
-    body: impl FnOnce(&mut Vec<Instr>) -> Result<()>,
+    body: impl FnOnce(&mut CodeBuilder) -> Result<()>,
     depth: usize,
-    out: &mut Vec<Instr>,
+    out: &mut CodeBuilder,
 ) -> Result<()> {
     out.push(Instr::Push);
     lenv_into(depth, out);
@@ -373,7 +392,7 @@ fn subgen_into(
     Ok(())
 }
 
-fn gen_into(e: &CExprS, ctx: &Ctx, out: &mut Vec<Instr>) -> Result<()> {
+fn gen_into(e: &CExprS, ctx: &Ctx, out: &mut CodeBuilder) -> Result<()> {
     let span = e.span;
     match &e.node {
         CExpr::Lit(l) => emit(Instr::Quote(lit_value(l)), out),
@@ -565,12 +584,15 @@ fn gen_into(e: &CExprS, ctx: &Ctx, out: &mut Vec<Instr>) -> Result<()> {
             // residualize it via `lift`; and emit code applying it to the
             // stage environment. No nested emits are ever constructed.
             let inner_ctx = ctx.enter_code();
-            let g_inner = rc(compile_gen(body, &inner_ctx)?);
+            let mut inner = out.child();
+            gen_into(body, &inner_ctx, &mut inner)?;
+            let g_inner = inner.finish_block();
+            let c_body = out.seg().add_block(vec![Instr::Cur(g_inner)]);
             emit(Instr::Push, out); // runtime: duplicate the stage env
             out.push(Instr::Push); // P :: P
             out.push(Instr::Push); // P :: P :: P
             lenv_into(0, out); // lenv :: P :: P
-            out.push(Instr::Cur(rc(vec![Instr::Cur(g_inner)]))); // c :: P :: P
+            out.push(Instr::Cur(c_body)); // c :: P :: P
             out.push(Instr::Swap); // P :: c :: P
             out.push(Instr::Snd); // A :: c :: P
             out.push(Instr::ConsPair); // (c, A) :: P
@@ -583,7 +605,8 @@ fn gen_into(e: &CExprS, ctx: &Ctx, out: &mut Vec<Instr>) -> Result<()> {
         }
         CExpr::Lift(inner) => {
             gen_into(inner, ctx, out)?;
-            emit(Instr::Cur(rc(vec![Instr::LiftV])), out);
+            let lift = out.seg().add_block(vec![Instr::LiftV]);
+            emit(Instr::Cur(lift), out);
         }
         CExpr::LetCogen(u, m, n) => {
             emit(Instr::Push, out);
@@ -598,7 +621,7 @@ fn gen_into(e: &CExprS, ctx: &Ctx, out: &mut Vec<Instr>) -> Result<()> {
     Ok(())
 }
 
-fn gen_tuple_into(parts: &[CExprS], ctx: &Ctx, out: &mut Vec<Instr>) -> Result<()> {
+fn gen_tuple_into(parts: &[CExprS], ctx: &Ctx, out: &mut CodeBuilder) -> Result<()> {
     match parts {
         [] => unreachable!("tuples have arity >= 2"),
         [last] => gen_into(last, ctx, out),
@@ -625,30 +648,37 @@ pub enum DeclEffect {
     ProducesValue,
 }
 
-/// Compiles one core declaration. Returns the code, the extended context,
-/// and whether the code extends the environment or produces a value.
+/// Compiles one core declaration into `seg`. Returns the (raw) code, the
+/// extended context, and whether the code extends the environment or
+/// produces a value.
 ///
 /// # Errors
 ///
 /// Propagates expression-compilation errors.
-pub fn compile_decl(d: &CoreDecl, ctx: &Ctx) -> Result<(Vec<Instr>, Ctx, DeclEffect)> {
+pub fn compile_decl(
+    d: &CoreDecl,
+    ctx: &Ctx,
+    seg: &CodeSeg,
+) -> Result<(Vec<Instr>, Ctx, DeclEffect)> {
     match d {
         CoreDecl::Val(n, e) => {
-            let mut code = vec![Instr::Push];
-            expr_into(e, ctx, &mut code)?;
-            code.push(Instr::ConsPair);
+            let mut b = CodeBuilder::new(seg);
+            b.push(Instr::Push);
+            expr_into(e, ctx, &mut b)?;
+            b.push(Instr::ConsPair);
             Ok((
-                code,
+                b.into_instrs(),
                 ctx.bind_early(n.clone(), Kind::Val),
                 DeclEffect::ExtendsEnv,
             ))
         }
         CoreDecl::Cogen(u, e) => {
-            let mut code = vec![Instr::Push];
-            expr_into(e, ctx, &mut code)?;
-            code.push(Instr::ConsPair);
+            let mut b = CodeBuilder::new(seg);
+            b.push(Instr::Push);
+            expr_into(e, ctx, &mut b)?;
+            b.push(Instr::ConsPair);
             Ok((
-                code,
+                b.into_instrs(),
                 ctx.bind_early(u.clone(), Kind::Cogen),
                 DeclEffect::ExtendsEnv,
             ))
@@ -658,10 +688,11 @@ pub fn compile_decl(d: &CoreDecl, ctx: &Ctx) -> Result<(Vec<Instr>, Ctx, DeclEff
             for def in defs.iter() {
                 group_ctx = group_ctx.bind_early(def.name.clone(), Kind::Val);
             }
+            let b = CodeBuilder::new(seg);
             let mut bodies = Vec::with_capacity(defs.len());
             for def in defs.iter() {
                 let def_ctx = group_ctx.bind_early(def.param.clone(), Kind::Val);
-                bodies.push(rc(compile_expr(&def.body, &def_ctx)?));
+                bodies.push(expr_block(&def.body, &def_ctx, &b)?);
             }
             Ok((
                 vec![Instr::RecClos(Rc::new(bodies))],
@@ -670,22 +701,22 @@ pub fn compile_decl(d: &CoreDecl, ctx: &Ctx) -> Result<(Vec<Instr>, Ctx, DeclEff
             ))
         }
         CoreDecl::Expr(e) => Ok((
-            compile_expr(e, ctx)?,
+            compile_expr(e, ctx, seg)?,
             ctx.clone(),
             DeclEffect::ProducesValue,
         )),
     }
 }
 
-/// Compiles a whole program (declaration sequence) into a single code
-/// sequence mapping an initial environment (conventionally `()`) to the
-/// value of the last value-producing declaration, in the default
-/// pair-spine access mode.
+/// Compiles a whole program (declaration sequence) into one entry block
+/// of a fresh segment, mapping an initial environment (conventionally
+/// `()`) to the value of the last value-producing declaration, in the
+/// default pair-spine access mode.
 ///
 /// # Errors
 ///
 /// Propagates expression-compilation errors.
-pub fn compile_program(decls: &[CoreDecl]) -> Result<Vec<Instr>> {
+pub fn compile_program(decls: &[CoreDecl]) -> Result<CodeRef> {
     compile_program_with(decls, EnvMode::default())
 }
 
@@ -694,12 +725,13 @@ pub fn compile_program(decls: &[CoreDecl]) -> Result<Vec<Instr>> {
 /// # Errors
 ///
 /// Propagates expression-compilation errors.
-pub fn compile_program_with(decls: &[CoreDecl], mode: EnvMode) -> Result<Vec<Instr>> {
+pub fn compile_program_with(decls: &[CoreDecl], mode: EnvMode) -> Result<CodeRef> {
+    let seg = CodeSeg::new();
     let mut ctx = Ctx::root_with(mode);
-    let mut out = Vec::new();
+    let mut out = CodeBuilder::new(&seg);
     let mut last_produces_value = false;
     for d in decls {
-        let (code, new_ctx, effect) = compile_decl(d, &ctx)?;
+        let (code, new_ctx, effect) = compile_decl(d, &ctx, &seg)?;
         match effect {
             DeclEffect::ExtendsEnv => {
                 out.extend(code);
@@ -725,7 +757,7 @@ pub fn compile_program_with(decls: &[CoreDecl], mode: EnvMode) -> Result<Vec<Ins
         // Surface the most recent binding as the program value.
         out.push(Instr::Snd);
     }
-    Ok(out)
+    Ok(out.finish_entry())
 }
 
 #[cfg(test)]
@@ -739,17 +771,18 @@ mod tests {
     fn run(src: &str) -> ccam::value::Value {
         let e = parse_expr(src).unwrap();
         let core = Elab::new().elab_expr(&e).unwrap();
-        let code = compile_expr(&core, &Ctx::root()).unwrap();
-        validate(&code).unwrap();
-        Machine::new().run(rc(code), Value::Unit).unwrap()
+        let seg = CodeSeg::new();
+        let code = compile_expr(&core, &Ctx::root(), &seg).unwrap();
+        validate(&seg, &code).unwrap();
+        Machine::new().run(seg.entry(code), Value::Unit).unwrap()
     }
 
     fn run_program(src: &str) -> ccam::value::Value {
         let p = parse_program(src).unwrap();
         let decls = Elab::new().elab_program(&p).unwrap();
         let code = compile_program(&decls).unwrap();
-        validate(&code).unwrap();
-        Machine::new().run(rc(code), Value::Unit).unwrap()
+        validate(&code.seg, &code.to_vec()).unwrap();
+        Machine::new().run(code, Value::Unit).unwrap()
     }
 
     #[test]
@@ -905,7 +938,7 @@ f 47";
             let decls = Elab::new().elab_program(&p).unwrap();
             let code = compile_program(&decls).unwrap();
             let mut m = Machine::new();
-            let v = m.run(rc(code), Value::Unit).unwrap();
+            let v = m.run(code, Value::Unit).unwrap();
             (v.to_string(), m.stats().steps)
         };
         let (v1, _steps_interp) = run_steps(&interp_src);
@@ -952,7 +985,7 @@ eval twoStage";
         let p = parse_program(src).unwrap();
         let decls = Elab::new().elab_program(&p).unwrap();
         let code = compile_program(&decls).unwrap();
-        validate(&code).unwrap();
+        validate(&code.seg, &code.to_vec()).unwrap();
     }
 
     #[test]
@@ -960,7 +993,7 @@ eval twoStage";
         let src = "fn y => code (fn x => x + y)";
         let e = parse_expr(src).unwrap();
         let core = Elab::new().elab_expr(&e).unwrap();
-        let errd = compile_expr(&core, &Ctx::root()).unwrap_err();
+        let errd = compile_expr(&core, &Ctx::root(), &CodeSeg::new()).unwrap_err();
         assert!(errd.message.contains("earlier stage"), "{}", errd.message);
     }
 
@@ -1059,9 +1092,9 @@ f 20";
             let decls = Elab::new().elab_program(&p).unwrap();
             let run_mode = |mode| {
                 let code = compile_program_with(&decls, mode).unwrap();
-                validate(&code).unwrap();
+                validate(&code.seg, &code.to_vec()).unwrap();
                 let mut m = Machine::new();
-                let v = m.run(rc(code), Value::Unit).unwrap();
+                let v = m.run(code, Value::Unit).unwrap();
                 (v.to_string(), m.stats().steps)
             };
             let (v_spine, s_spine) = run_mode(EnvMode::PairSpine);
@@ -1087,18 +1120,20 @@ f 1 2";
         let p = parse_program(src).unwrap();
         let decls = Elab::new().elab_program(&p).unwrap();
         let code = compile_program_with(&decls, crate::ctx::EnvMode::Indexed).unwrap();
-        let counts = ccam::disasm::census(&code);
+        let counts = ccam::disasm::census(&code.seg, code.block);
         assert!(counts.contains_key("acc"), "no acc in compiled output");
         let emits_acc = {
-            fn scan(code: &[Instr]) -> bool {
+            fn scan(seg: &CodeSeg, code: &[Instr]) -> bool {
                 code.iter().any(|i| match i {
                     Instr::Emit(inner) => matches!(**inner, Instr::Acc(_)),
-                    Instr::Cur(c) => scan(c),
-                    Instr::Branch(a, b) => scan(a) || scan(b),
+                    Instr::Cur(c) => scan(seg, &seg.block_to_vec(*c)),
+                    Instr::Branch(a, b) => {
+                        scan(seg, &seg.block_to_vec(*a)) || scan(seg, &seg.block_to_vec(*b))
+                    }
                     _ => false,
                 })
             }
-            scan(&code)
+            scan(&code.seg, &code.to_vec())
         };
         assert!(emits_acc, "generating translation emitted no Acc");
     }
@@ -1111,5 +1146,30 @@ fun eval c = let cogen u = c in u end
 val g = code (fn x => x + 1);
 eval g 1 + eval g 2";
         assert_eq!(run_program(src).to_string(), "5");
+    }
+
+    #[test]
+    fn program_compiles_into_one_segment() {
+        // Everything — decl code, closure bodies, generator bodies —
+        // must land in the single program segment.
+        let src = "\
+fun eval c = let cogen u = c in u end
+val g = code (fn x => x + 1)
+val f = eval g;
+f 1";
+        let p = parse_program(src).unwrap();
+        let decls = Elab::new().elab_program(&p).unwrap();
+        let code = compile_program(&decls).unwrap();
+        assert!(code.seg.num_blocks() > 1, "nested blocks registered");
+        // Executing may append frozen blocks to the same segment's tail.
+        let before = code.seg.num_blocks();
+        let mut m = Machine::new();
+        let seg = code.seg.clone();
+        let v = m.run(code, Value::Unit).unwrap();
+        assert_eq!(v.to_string(), "2");
+        assert!(
+            seg.num_blocks() > before,
+            "generated code froze into the program segment"
+        );
     }
 }

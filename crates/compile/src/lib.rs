@@ -17,15 +17,14 @@
 //! use mlbox_syntax::parser::parse_program;
 //! use ccam::machine::Machine;
 //! use ccam::value::Value;
-//! use std::rc::Rc;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let prog = parse_program(
 //!     "fun eval c = let cogen u = c in u end;\n eval (lift (2 + 2))",
 //! )?;
 //! let decls = Elab::new().elab_program(&prog)?;
-//! let code = compile_program(&decls)?;
-//! let out = Machine::new().run(Rc::new(code), Value::Unit)?;
+//! let code = compile_program(&decls)?; // a CodeRef into one flat segment
+//! let out = Machine::new().run(code, Value::Unit)?;
 //! assert_eq!(out.to_string(), "4");
 //! # Ok(())
 //! # }

@@ -14,11 +14,11 @@
 //! [`instantiate`]: CompiledFilter::instantiate
 
 use crate::session::SessionOptions;
-use ccam::instr::{Code, Instr};
+use ccam::instr::Instr;
 use ccam::machine::{Machine, MachineError, Stats};
 use ccam::portable::PortableValue;
+use ccam::seg::{CodeRef, CodeSeg};
 use ccam::value::Value;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// A frozen, validated, thread-shareable compiled filter.
@@ -119,8 +119,8 @@ pub fn machine_for(options: &SessionOptions) -> Machine {
 /// runner. Using one shared entry sequence (bare `app` on a
 /// `(closure, argument)` pair) guarantees the oracle and every pool
 /// worker pay *identical* step counts for the same packet.
-pub fn app_code() -> Code {
-    Rc::new(vec![Instr::App])
+pub fn app_code() -> CodeRef {
+    CodeSeg::new().entry(vec![Instr::App])
 }
 
 /// Applies `entry` to `arg` on `machine`, returning the result and the
@@ -132,7 +132,7 @@ pub fn app_code() -> Code {
 /// Returns any CCAM run-time error from the application.
 pub fn apply(
     machine: &mut Machine,
-    app: &Code,
+    app: &CodeRef,
     entry: &Value,
     arg: Value,
 ) -> Result<(Value, Stats), MachineError> {
@@ -148,7 +148,7 @@ pub fn apply(
 pub struct FilterInstance {
     machine: Machine,
     entry: Value,
-    app: Code,
+    app: CodeRef,
 }
 
 impl FilterInstance {

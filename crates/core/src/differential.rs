@@ -15,7 +15,6 @@ use mlbox_eval::Interp;
 use mlbox_ir::elab::Elab;
 use mlbox_syntax::parser::parse_program;
 use mlbox_types::check::{Checker, TypeCtx};
-use std::rc::Rc;
 
 /// The two rendered results of a differential run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,7 +89,7 @@ pub fn run_both_with(src: &str, with_prelude: bool, mode: EnvMode) -> Result<Bot
         src: full.clone(),
     })?;
     let mut machine = Machine::new();
-    let m_val = machine.run(Rc::new(code), Value::Unit)?;
+    let m_val = machine.run(code, Value::Unit)?;
     // Interpreter.
     let mut interp = Interp::new();
     let i_val = interp.eval_decls(&decls)?;

@@ -9,8 +9,9 @@ use crate::fingerprint::Fnv1a;
 use crate::prelude::PRELUDE;
 use crate::render::render_machine;
 use ccam::instr::{validate, Instr};
-use ccam::machine::{Machine, Stats};
+use ccam::machine::{Machine, Stats, Trace};
 use ccam::portable::PortableValue;
+use ccam::seg::CodeSeg;
 use ccam::value::Value;
 use mlbox_compile::compile::{compile_decl, compile_expr, DeclEffect};
 use mlbox_compile::ctx::{Ctx, EnvMode};
@@ -19,7 +20,6 @@ use mlbox_ir::data::DataEnv;
 use mlbox_ir::elab::Elab;
 use mlbox_syntax::parser::{parse_expr, parse_program};
 use mlbox_types::check::{Checker, TypeCtx};
-use std::rc::Rc;
 
 /// Configuration for a [`Session`].
 #[derive(Debug, Clone)]
@@ -125,6 +125,10 @@ pub struct Session {
     ctx: Ctx,
     env: Value,
     machine: Machine,
+    /// The one code segment every declaration compiles into. Run-time
+    /// generation freezes into its growable tail, so the whole session —
+    /// compiled and generated code alike — is a single flat arena.
+    seg: CodeSeg,
     options: SessionOptions,
 }
 
@@ -162,6 +166,7 @@ impl Session {
             ctx: Ctx::root_with(env_mode),
             env: Value::Unit,
             machine,
+            seg: CodeSeg::new(),
             options: options.clone(),
         };
         if options.prelude {
@@ -197,6 +202,17 @@ impl Session {
     /// Everything `print`ed so far; clears the buffer.
     pub fn take_output(&mut self) -> String {
         self.machine.take_output()
+    }
+
+    /// Records the first `limit` executed instructions of subsequent runs
+    /// as `(block, pc, mnemonic)` entries (see [`Machine::set_trace`]).
+    pub fn set_trace(&mut self, limit: usize) {
+        self.machine.set_trace(limit);
+    }
+
+    /// The bounded execution trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.machine.trace()
     }
 
     /// Non-fatal warnings accumulated since the last call (non-exhaustive
@@ -281,11 +297,14 @@ impl Session {
         };
         // Compile.
         let (code, new_ctx, effect) =
-            compile_decl(cd, &self.ctx).map_err(|d| self.static_err(d, src))?;
-        debug_assert!(validate(&code).is_ok(), "compiler produced nested emits");
+            compile_decl(cd, &self.ctx, &self.seg).map_err(|d| self.static_err(d, src))?;
+        debug_assert!(
+            validate(&self.seg, &code).is_ok(),
+            "compiler produced nested emits"
+        );
         // Run, measuring this declaration alone.
         let before = self.machine.stats();
-        let result = self.machine.run(Rc::new(code), self.env.clone())?;
+        let result = self.machine.run(self.seg.entry(code), self.env.clone())?;
         let stats = self.machine.stats().delta_since(&before);
         let (name, raw) = match effect {
             DeclEffect::ExtendsEnv => {
@@ -326,10 +345,12 @@ impl Session {
             .elab_expr(&surface)
             .map_err(|d| self.static_err(d, &src))?;
         let mut code = vec![Instr::Push];
-        code.extend(compile_expr(&core, &self.ctx).map_err(|d| self.static_err(d, &src))?);
+        code.extend(
+            compile_expr(&core, &self.ctx, &self.seg).map_err(|d| self.static_err(d, &src))?,
+        );
         code.extend([Instr::Swap, Instr::Quote(arg), Instr::ConsPair, Instr::App]);
         let before = self.machine.stats();
-        let result = self.machine.run(Rc::new(code), self.env.clone())?;
+        let result = self.machine.run(self.seg.entry(code), self.env.clone())?;
         let stats = self.machine.stats().delta_since(&before);
         Ok((result, stats))
     }
@@ -379,7 +400,9 @@ impl Session {
             .map_err(|d| self.static_err(d, &src))?;
         // ⟨generator, fresh arena⟩; app — run the generating extension...
         let mut code = vec![Instr::Push];
-        code.extend(compile_expr(&core, &self.ctx).map_err(|d| self.static_err(d, &src))?);
+        code.extend(
+            compile_expr(&core, &self.ctx, &self.seg).map_err(|d| self.static_err(d, &src))?,
+        );
         code.extend([
             Instr::Swap,
             Instr::NewArena,
@@ -395,7 +418,7 @@ impl Session {
             Instr::ConsPair,
             Instr::Call,
         ]);
-        let result = self.machine.run(Rc::new(code), self.env.clone())?;
+        let result = self.machine.run(self.seg.entry(code), self.env.clone())?;
         match &result {
             Value::Closure(_) | Value::RecClosure { .. } => {}
             other => {

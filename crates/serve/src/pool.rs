@@ -286,7 +286,7 @@ fn worker_loop(
 
 fn run_batch(
     machine: &mut Machine,
-    app: &ccam::instr::Code,
+    app: &ccam::CodeRef,
     cache: &FilterCache,
     options: &SessionOptions,
     installed: &mut HashMap<CacheKey, Value>,

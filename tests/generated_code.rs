@@ -11,11 +11,19 @@ use mlbox_bpf::filters::telnet_filter;
 use mlbox_bpf::harness::FilterHarness;
 
 /// Extracts the body of a session value that is a closure.
-fn closure_body(v: &Value) -> ccam::instr::Code {
+fn closure_body(v: &Value) -> ccam::CodeRef {
     match v {
         Value::Closure(c) => c.body.clone(),
         other => panic!("expected a closure, got {other}"),
     }
+}
+
+fn body_census(body: &ccam::CodeRef) -> std::collections::BTreeMap<&'static str, usize> {
+    census(&body.seg, body.block)
+}
+
+fn body_disasm(body: &ccam::CodeRef) -> String {
+    disassemble(&body.seg, body.block)
 }
 
 #[test]
@@ -25,7 +33,7 @@ fn comp_poly_generated_code_has_no_dispatch() {
     s.run(programs::COMP_POLY).unwrap();
     let f = s.eval_expr("mlPolyFun").unwrap().raw;
     let body = closure_body(&f);
-    let c = census(&body);
+    let c = body_census(&body);
 
     // The list representation is *interpreted away*: no switch (datatype
     // dispatch), no fail, no pack — only arithmetic and closure plumbing.
@@ -39,7 +47,7 @@ fn comp_poly_generated_code_has_no_dispatch() {
     }
     // The four coefficients are embedded as immediates.
     assert!(c["quote"] >= 4, "census: {c:?}");
-    let text = disassemble(&body);
+    let text = body_disasm(&body);
     assert!(text.contains("quote 2333"), "constants inline:\n{text}");
 }
 
@@ -50,11 +58,11 @@ fn interpreter_compiled_code_still_has_dispatch() {
     let mut s = Session::new().unwrap();
     s.run(programs::EVAL_POLY).unwrap();
     let f = s.eval_expr("evalPoly").unwrap().raw;
-    let body = match &f {
-        Value::RecClosure { group, .. } => group.bodies[0].clone(),
+    let (seg, body) = match &f {
+        Value::RecClosure { group, .. } => (group.seg.clone(), group.bodies[0]),
         other => panic!("expected a recursive closure, got {other}"),
     };
-    let c = census(&body);
+    let c = census(&seg, body);
     assert!(c.contains_key("switch"), "census: {c:?}");
 }
 
@@ -69,14 +77,14 @@ fn bevalpf_specialized_filter_has_no_instruction_dispatch() {
         .unwrap()
         .raw;
     let body = closure_body(&generated);
-    let c = census(&body);
+    let c = body_census(&body);
     // The BPF instruction datatype is never examined at packet time...
     assert!(!c.contains_key("switch"), "census: {c:?}");
     assert!(!c.contains_key("fail"), "census: {c:?}");
     // ...but the residual *packet* tests remain as branches.
     assert!(c.contains_key("branch"), "census: {c:?}");
     // Filter constants (ethertype 2048, port 23, ...) are immediates.
-    let text = disassemble(&body);
+    let text = body_disasm(&body);
     assert!(text.contains("quote 2048"), "{text}");
     assert!(text.contains("quote 23"), "{text}");
 }
@@ -90,14 +98,14 @@ fn generator_bodies_are_emit_sequences() {
     s.run("val g = code (fn x => x * 2 + 1)").unwrap();
     let g = s.eval_expr("g").unwrap().raw;
     let body = closure_body(&g);
-    let c = census(&body);
+    let c = body_census(&body);
     assert!(c.contains_key("emit"), "census: {c:?}");
     assert!(
         c.contains_key("merge"),
         "lambda bodies merge via Cur: {c:?}"
     );
     // Structural validity: no nested emits anywhere.
-    ccam::instr::validate(&body).unwrap();
+    ccam::instr::validate(&body.seg, &body.to_vec()).unwrap();
 }
 
 #[test]
@@ -108,7 +116,7 @@ fn lift_embeds_closure_values_as_immediates() {
         .unwrap();
     s.run("val f = eval g").unwrap();
     let f = s.eval_expr("f").unwrap().raw;
-    let text = disassemble(&closure_body(&f));
+    let text = body_disasm(&closure_body(&f));
     // The lifted closure appears as a quoted immediate operand.
     assert!(text.contains("quote <fn"), "{text}");
 }
@@ -124,7 +132,7 @@ fn generated_code_size_tracks_polynomial_degree() {
         s.run(&format!("val f = eval (compPoly [{}])", poly.join(", ")))
             .unwrap();
         let f = s.eval_expr("f").unwrap().raw;
-        let c = census(&closure_body(&f));
+        let c = body_census(&closure_body(&f));
         sizes.push(c.values().sum::<usize>());
     }
     // Linear growth: each extra coefficient adds a constant chunk.
@@ -149,7 +157,7 @@ fn optimizer_eliminates_the_zero_coefficient() {
         s.run(programs::COMP_POLY).unwrap();
         let steps = s.eval_expr("mlPolyFun 47").unwrap();
         let f = s.eval_expr("mlPolyFun").unwrap().raw;
-        let size: usize = census(&closure_body(&f)).values().sum();
+        let size: usize = body_census(&closure_body(&f)).values().sum();
         (steps.value.clone(), steps.stats.steps, size)
     };
     let (v_plain, steps_plain, size_plain) = run_with(false);
