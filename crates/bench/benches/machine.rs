@@ -85,6 +85,14 @@ fn bench_machine(c: &mut Criterion) {
         let mut m = Machine::new();
         b.iter(|| m.run(call_code.clone(), gen.clone()).expect("run"))
     });
+    // Same workload with superinstruction fusion: the freeze path fuses
+    // the generated block once, so every later call dispatches the
+    // shorter fused stream.
+    group.bench_function("specialize_once_run_many_fused", |b| {
+        let mut m = Machine::new();
+        m.set_fuse(true);
+        b.iter(|| m.run(call_code.clone(), gen.clone()).expect("run"))
+    });
     // Contrast: a fresh arena per run pays the freeze on every call.
     group.bench_function("respecialize_every_run", |b| {
         let mut m = Machine::new();
@@ -122,6 +130,7 @@ fn bench_machine(c: &mut Criterion) {
 /// telnet filter on a telnet packet. The specialized path is pure
 /// dispatch over frozen flat code — the number this bench watches.
 fn bench_dispatch(c: &mut Criterion) {
+    use mlbox::SessionOptions;
     use mlbox_bpf::filters::telnet_filter;
     use mlbox_bpf::harness::FilterHarness;
     use mlbox_bpf::packet::PacketGen;
@@ -131,12 +140,30 @@ fn bench_dispatch(c: &mut Criterion) {
     let telnet = packets.telnet(32);
     h.specialize().expect("specialize");
 
+    // The same filters compiled under superinstruction fusion, for the
+    // headline before/after comparison.
+    let mut hf = FilterHarness::with_options(
+        &telnet_filter(),
+        SessionOptions {
+            fuse: true,
+            ..SessionOptions::default()
+        },
+    )
+    .expect("fused harness");
+    hf.specialize().expect("specialize fused");
+
     let mut group = c.benchmark_group("dispatch");
     group.bench_function("interp_telnet_packet", |b| {
         b.iter(|| h.interp(&telnet).expect("run"))
     });
     group.bench_function("specialized_telnet_packet", |b| {
         b.iter(|| h.specialized(&telnet).expect("run"))
+    });
+    group.bench_function("interp_telnet_packet_fused", |b| {
+        b.iter(|| hf.interp(&telnet).expect("run"))
+    });
+    group.bench_function("specialized_telnet_packet_fused", |b| {
+        b.iter(|| hf.specialized(&telnet).expect("run"))
     });
     group.finish();
 
@@ -157,6 +184,10 @@ fn bench_dispatch(c: &mut Criterion) {
     }
     steps_per_sec("interp", || h.interp(&telnet).expect("run").1);
     steps_per_sec("specialized", || h.specialized(&telnet).expect("run").1);
+    steps_per_sec("interp_fused", || hf.interp(&telnet).expect("run").1);
+    steps_per_sec("specialized_fused", || {
+        hf.specialized(&telnet).expect("run").1
+    });
 }
 
 criterion_group!(benches, bench_machine, bench_dispatch);

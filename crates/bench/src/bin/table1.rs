@@ -6,7 +6,10 @@
 //! ```text
 //! table1             # the Table 1 reproduction
 //! table1 --json      # the same rows as JSON, plus an indexed-env
-//!                    # comparison column and freeze-cache counters
+//!                    # comparison column, a fused-mode section
+//!                    # (rows_fused), and freeze-cache counters
+//! table1 --profile-pairs # dynamic opcode-pair histogram of the Table 1
+//!                    # workloads (the superinstruction selection data)
 //! table1 sweep-poly  # polynomial-degree sweep (E6)
 //! table1 sweep-filter# filter-length sweep (E6)
 //! table1 crossover   # amortization break-even analysis (E6)
@@ -37,6 +40,10 @@ fn main() {
             .unwrap_or(40usize);
         args.drain(i..args.len().min(i + 2));
         trace(limit);
+        return;
+    }
+    if args.iter().any(|a| a == "--profile-pairs") {
+        profile_pairs();
         return;
     }
     let json = args.iter().any(|a| a == "--json");
@@ -89,6 +96,93 @@ fn trace(limit: usize) {
         t.entries.len(),
         out.stats.steps,
         out.value
+    );
+}
+
+/// `--profile-pairs`: runs the Table 1 workloads (polynomials + telnet
+/// filter) with the machine's dynamic opcode-pair histogram enabled and
+/// prints the hottest adjacent pairs — the measurement behind the fused
+/// superinstruction selection (DESIGN.md §11, EXPERIMENTS.md). Pairs a
+/// fused opcode already covers are annotated with its mnemonic.
+fn profile_pairs() {
+    use ccam::instr::{OPCODE_COUNT, OPCODE_NAMES};
+    let mut hist = vec![[0u64; OPCODE_COUNT]; OPCODE_COUNT];
+    let mut merge = |p: Option<&ccam::machine::PairCounts>| {
+        let p = p.expect("profiling enabled");
+        for (row, src) in hist.iter_mut().zip(p.iter()) {
+            for (c, s) in row.iter_mut().zip(src.iter()) {
+                *c += s;
+            }
+        }
+    };
+
+    // Polynomial workloads: interpret, generate, run staged.
+    let mut s = mlbox::Session::new().expect("session");
+    s.set_profile_pairs(true);
+    s.run(mlbox::programs::EVAL_POLY).expect("evalPoly");
+    s.run(mlbox::programs::COMP_POLY).expect("compPoly");
+    s.eval_expr("evalPoly (47, polyl)").expect("interp");
+    s.run("val f = eval (compPoly polyl)").expect("generate");
+    s.eval_expr("f 47").expect("staged call");
+    merge(s.pair_profile());
+
+    // Telnet filter workloads: interpret, specialize, run specialized.
+    let mut h = FilterHarness::new(&telnet_filter()).expect("harness");
+    h.session_mut().set_profile_pairs(true);
+    let telnet = PacketGen::new(1998).telnet(32);
+    h.interp(&telnet).expect("interp");
+    h.specialize().expect("specialize");
+    h.specialized(&telnet).expect("specialized");
+    merge(h.session_mut().pair_profile());
+
+    /// The fused opcode that covers an adjacent pair, if one exists.
+    fn fused_as(a: &str, b: &str) -> Option<&'static str> {
+        match (a, b) {
+            ("push", "acc" | "snd") => Some("push_acc"),
+            ("push", "quote") => Some("push_quote"),
+            ("quote", "cons") => Some("quote_cons"),
+            ("swap", "cons") => Some("swap_cons"),
+            ("cons", "app") => Some("cons_app"),
+            ("acc" | "snd", "app") => Some("acc_app"),
+            ("fst", "fst" | "snd" | "acc") => Some("acc (chain collapse)"),
+            _ => None,
+        }
+    }
+
+    let total: u64 = hist.iter().flatten().sum();
+    let mut pairs: Vec<(u64, usize, usize)> = Vec::new();
+    for (a, row) in hist.iter().enumerate() {
+        for (b, &count) in row.iter().enumerate() {
+            if count > 0 {
+                pairs.push((count, a, b));
+            }
+        }
+    }
+    pairs.sort_by_key(|p| std::cmp::Reverse(p.0));
+    println!("Dynamic opcode-pair frequency over the Table 1 workloads ({total} adjacent pairs)");
+    println!(
+        "{:>4}  {:>7}  {:>5}  {:22}  fused as",
+        "rank", "count", "share", "pair"
+    );
+    let mut covered = 0u64;
+    for (rank, (count, a, b)) in pairs.iter().take(16).enumerate() {
+        let (an, bn) = (OPCODE_NAMES[*a], OPCODE_NAMES[*b]);
+        let fused = fused_as(an, bn);
+        if fused.is_some() {
+            covered += count;
+        }
+        println!(
+            "{:>4}  {:>7}  {:>4.1}%  {:22}  {}",
+            rank + 1,
+            count,
+            100.0 * *count as f64 / total as f64,
+            format!("{an}; {bn}"),
+            fused.unwrap_or("—")
+        );
+    }
+    println!(
+        "top-16 pairs covered by a fused opcode: {:.1}% of all adjacent dispatches\n",
+        100.0 * covered as f64 / total as f64
     );
 }
 
@@ -178,12 +272,21 @@ fn table1(json: bool) {
             .zip(indexed_rows)
             .map(|(r, ir)| r.with_indexed(ir.steps))
             .collect();
-        let dispatch = mlbox_bench::dispatch_throughput(2_000).expect("dispatch");
+        let fuse_options = SessionOptions {
+            fuse: true,
+            ..SessionOptions::default()
+        };
+        let (fused_rows, _) = table1_rows(&fuse_options);
+        let mut dispatch = mlbox_bench::dispatch_throughput(2_000).expect("dispatch");
+        dispatch.extend(
+            mlbox_bench::dispatch_throughput_with(2_000, &fuse_options).expect("fused dispatch"),
+        );
         println!(
             "{}",
             mlbox_bench::render_json(
                 "Table 1: Reduction steps on the CCAM for various functions in the text",
                 &rows,
+                &fused_rows,
                 &stats,
                 &dispatch,
             )

@@ -184,9 +184,24 @@ impl DispatchRow {
 ///
 /// Propagates any pipeline error.
 pub fn dispatch_throughput(iters: u64) -> Result<Vec<DispatchRow>, Error> {
+    dispatch_throughput_with(iters, &SessionOptions::default())
+}
+
+/// [`dispatch_throughput`] under explicit session options. Rows measured
+/// in a non-default mode carry the mode in their label (`(fused)`), so
+/// default and fused measurements can share one `dispatch` array.
+///
+/// # Errors
+///
+/// Propagates any pipeline error.
+pub fn dispatch_throughput_with(
+    iters: u64,
+    options: &SessionOptions,
+) -> Result<Vec<DispatchRow>, Error> {
     /// One filter run: returns (verdict, reduction steps).
     type FilterRun<'a> = &'a mut dyn FnMut(&mut FilterHarness) -> Result<(i64, u64), Error>;
-    let mut h = FilterHarness::new(&telnet_filter())?;
+    let suffix = if options.fuse { " (fused)" } else { "" };
+    let mut h = FilterHarness::with_options(&telnet_filter(), options.clone())?;
     let mut packets = PacketGen::new(1998);
     let telnet = packets.telnet(32);
     h.specialize()?;
@@ -197,7 +212,7 @@ pub fn dispatch_throughput(iters: u64) -> Result<Vec<DispatchRow>, Error> {
             steps += run(&mut h)?.1;
         }
         Ok(DispatchRow {
-            label: label.into(),
+            label: format!("{label}{suffix}"),
             steps,
             nanos: start.elapsed().as_nanos(),
         })
@@ -217,13 +232,18 @@ pub fn dispatch_throughput(iters: u64) -> Result<Vec<DispatchRow>, Error> {
 /// dependency). `machine` should be the cumulative [`Stats`] of the
 /// session that produced the packet-filter rows, so `freezes` and
 /// `freeze_hits` describe how often generated code was actually copied
-/// out of an arena versus served from the cache. `dispatch` rows (wall
-/// clock, non-golden) are appended when non-empty.
+/// out of an arena versus served from the cache. `fused` rows (the same
+/// computations under `SessionOptions::fuse`) render as a separate
+/// `rows_fused` array whose lines carry `steps_fused` — and deliberately
+/// *not* `steps_indexed` — so line-oriented golden diffs of the two mode
+/// columns stay independent. `dispatch` rows (wall clock, non-golden)
+/// are appended when non-empty.
 ///
 /// [`Stats`]: ccam::machine::Stats
 pub fn render_json(
     title: &str,
     rows: &[Row],
+    fused: &[Row],
     machine: &ccam::machine::Stats,
     dispatch: &[DispatchRow],
 ) -> String {
@@ -254,8 +274,22 @@ pub fn render_json(
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ]");
+    if !fused.is_empty() {
+        out.push_str(",\n  \"rows_fused\": [\n");
+        for (i, r) in fused.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"steps_fused\": {}, \"emitted\": {}}}{}\n",
+                esc(&r.label),
+                r.steps,
+                r.emitted,
+                if i + 1 < fused.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]");
+    }
     out.push_str(&format!(
-        "  ],\n  \"freeze_cache\": {{\"freezes\": {}, \"freeze_hits\": {}, \"calls\": {}, \"steps\": {}}}",
+        ",\n  \"freeze_cache\": {{\"freezes\": {}, \"freeze_hits\": {}, \"calls\": {}, \"steps\": {}}}",
         machine.freezes, machine.freeze_hits, machine.calls, machine.steps
     ));
     if dispatch.is_empty() {
@@ -440,18 +474,19 @@ mod tests {
             steps: 123,
             ..Default::default()
         };
-        let j = render_json("Table 1", &rows, &stats, &[]);
+        let j = render_json("Table 1", &rows, &[], &stats, &[]);
         assert!(j.contains("\"freezes\": 3"), "{j}");
         assert!(j.contains("\"freeze_hits\": 7"), "{j}");
         assert!(j.contains("\"paper\": null"), "{j}");
         assert!(j.contains("evalpf \\\"quoted\\\""), "{j}");
         assert!(!j.contains("dispatch"), "empty dispatch is omitted: {j}");
+        assert!(!j.contains("rows_fused"), "empty fused is omitted: {j}");
         let d = DispatchRow {
             label: "d".into(),
             steps: 2_000,
             nanos: 1_000_000,
         };
-        let j = render_json("Table 1", &rows, &stats, &[d]);
+        let j = render_json("Table 1", &rows, &[], &stats, &[d]);
         assert!(j.contains("\"steps_per_sec\": 2000000"), "{j}");
     }
 
@@ -476,8 +511,31 @@ mod tests {
     fn json_rendering_includes_indexed_comparison() {
         let rows = vec![Row::with_paper("r", 100, 0, 90).with_indexed(60)];
         let stats = ccam::machine::Stats::default();
-        let j = render_json("t", &rows, &stats, &[]);
+        let j = render_json("t", &rows, &[], &stats, &[]);
         assert!(j.contains("\"steps_indexed\": 60"), "{j}");
+    }
+
+    #[test]
+    fn json_fused_rows_never_share_lines_with_the_mode_columns() {
+        // The CI golden diff greps `"steps_indexed"|"freeze_cache"` for
+        // the default/indexed pin and `"steps_fused"` for the fused pin:
+        // the two line sets must be disjoint so each lockfile diff sees
+        // only its own column.
+        let rows = vec![Row::with_paper("r", 100, 0, 90).with_indexed(60)];
+        let fused = vec![Row::new("r", 80, 0)];
+        let stats = ccam::machine::Stats::default();
+        let j = render_json("t", &rows, &fused, &stats, &[]);
+        assert!(j.contains("\"rows_fused\""), "{j}");
+        for line in j.lines() {
+            if line.contains("\"steps_fused\"") {
+                assert!(!line.contains("\"steps_indexed\""), "{line}");
+                assert!(!line.contains("\"freeze_cache\""), "{line}");
+                assert_eq!(
+                    line.trim().trim_end_matches(','),
+                    "{\"label\": \"r\", \"steps_fused\": 80, \"emitted\": 0}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -108,6 +108,10 @@ fn label(i: &Instr, labels: &mut Labels) -> String {
             if spec.default { " + default" } else { "" }
         ),
         Instr::MergeRec(n) => format!("merge_rec[{n}]"),
+        Instr::PushAcc(n) => format!("push_acc {n}"),
+        Instr::AccApp(n) => format!("acc_app {n}"),
+        Instr::QuoteCons(v) => format!("quote_cons {v}"),
+        Instr::PushQuote(v) => format!("push_quote {v}"),
         // Operand-free instructions render as their mnemonic.
         Instr::Id
         | Instr::Fst
@@ -120,7 +124,9 @@ fn label(i: &Instr, labels: &mut Labels) -> String {
         | Instr::NewArena
         | Instr::Merge
         | Instr::Call
-        | Instr::MergeBranch => i.mnemonic().to_string(),
+        | Instr::MergeBranch
+        | Instr::SwapCons
+        | Instr::ConsApp => i.mnemonic().to_string(),
     }
 }
 
@@ -184,7 +190,13 @@ fn visit(seg: &CodeSeg, i: &Instr, out: &mut BTreeMap<&'static str, usize>) {
         | Instr::Fail(_)
         | Instr::MergeBranch
         | Instr::MergeSwitch(_)
-        | Instr::MergeRec(_) => {}
+        | Instr::MergeRec(_)
+        | Instr::PushAcc(_)
+        | Instr::QuoteCons(_)
+        | Instr::SwapCons
+        | Instr::ConsApp
+        | Instr::AccApp(_)
+        | Instr::PushQuote(_) => {}
     }
 }
 

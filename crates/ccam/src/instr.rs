@@ -169,6 +169,27 @@ pub enum Instr {
     /// Abort with a message (inexhaustive match).
     Fail(Rc<str>),
 
+    // ---- superinstructions (the fusion layer, DESIGN.md §11) ----
+    /// Fused `Push; Acc(n)`: keep the top value and push its `n`th
+    /// environment slot in one dispatch. `PushAcc(0)` also covers the
+    /// fused `Push; Snd`. Produced only by `opt::fuse`; never emitted
+    /// directly by the compiler.
+    PushAcc(usize),
+    /// Fused `Quote(v); ConsPair`: pop the top, pop `u`, push `(u, v)`.
+    QuoteCons(Value),
+    /// Fused `Swap; ConsPair`: pop `t` then `n`, push `(t, n)` — a pair
+    /// built with the operands in stack order instead of reversed.
+    SwapCons,
+    /// Fused `ConsPair; App`: pop the argument and the closure and apply,
+    /// without materializing the intermediate pair on the stack.
+    ConsApp,
+    /// Fused `Acc(n); App` (and `Snd; App` as `AccApp(0)`): fetch the
+    /// closure/argument pair from environment slot `n` and apply it.
+    AccApp(usize),
+    /// Fused `Push; Quote(v)`: keep the top value and push the constant
+    /// `v` above it.
+    PushQuote(Value),
+
     // ---- the merge family (specialized control inside arenas) ----
     /// Top is `(((v,{P}), {A_then}), {A_else})`; append
     /// `Branch(A_then, A_else)` to `{P}`, leaving `(v, {P})`.
@@ -182,7 +203,7 @@ pub enum Instr {
 }
 
 /// Number of distinct opcodes, for [`Instr::opcode`]-indexed tables.
-pub const OPCODE_COUNT: usize = 24;
+pub const OPCODE_COUNT: usize = 30;
 
 /// Mnemonics indexed by [`Instr::opcode`].
 pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
@@ -210,6 +231,12 @@ pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
     "merge_switch",
     "merge_rec",
     "acc",
+    "push_acc",
+    "quote_cons",
+    "swap_cons",
+    "cons_app",
+    "acc_app",
+    "push_quote",
 ];
 
 impl Instr {
@@ -241,6 +268,12 @@ impl Instr {
             Instr::MergeSwitch(_) => 21,
             Instr::MergeRec(_) => 22,
             Instr::Acc(_) => 23,
+            Instr::PushAcc(_) => 24,
+            Instr::QuoteCons(_) => 25,
+            Instr::SwapCons => 26,
+            Instr::ConsApp => 27,
+            Instr::AccApp(_) => 28,
+            Instr::PushQuote(_) => 29,
         }
     }
 
@@ -333,7 +366,13 @@ pub fn validate(seg: &CodeSeg, code: &[Instr]) -> Result<(), ValidateError> {
             | Instr::Fail(_)
             | Instr::MergeBranch
             | Instr::MergeSwitch(_)
-            | Instr::MergeRec(_) => Ok(()),
+            | Instr::MergeRec(_)
+            | Instr::PushAcc(_)
+            | Instr::QuoteCons(_)
+            | Instr::SwapCons
+            | Instr::ConsApp
+            | Instr::AccApp(_)
+            | Instr::PushQuote(_) => Ok(()),
         }
     }
     for i in code {

@@ -133,6 +133,11 @@ pub struct Stats {
     pub freezes: u64,
     /// Arena freezes served from the cached snapshot.
     pub freeze_hits: u64,
+    /// Reduction steps executed by fused superinstructions (the fusion
+    /// layer of DESIGN.md §11). Each fused dispatch does the work of two
+    /// or more unfused steps, so this meters how much of a run the fusion
+    /// pass actually covered.
+    pub fused: u64,
     /// High-water mark of the value stack.
     pub max_stack: usize,
     /// Per-opcode executed-step counts, when enabled by
@@ -153,6 +158,7 @@ impl Stats {
             calls: self.calls - before.calls,
             freezes: self.freezes - before.freezes,
             freeze_hits: self.freeze_hits - before.freeze_hits,
+            fused: self.fused - before.fused,
             max_stack: self.max_stack,
             opcodes: match (&self.opcodes, &before.opcodes) {
                 (Some(after), Some(before)) => Some(after.delta_since(before)),
@@ -238,7 +244,20 @@ pub struct Machine {
     output: String,
     trace: Option<Trace>,
     optimize: bool,
+    fuse: bool,
+    /// Dynamic opcode-pair frequency profile, when enabled by
+    /// [`Machine::set_profile_pairs`]. Boxed: the table is
+    /// `OPCODE_COUNT²` counters, too large to live inline in every
+    /// machine.
+    pair_profile: Option<Box<PairCounts>>,
 }
+
+/// An opcode-pair frequency table: `counts[a][b]` is how many times
+/// opcode `b` executed immediately after opcode `a` within one
+/// straight-line dispatch run (control transfers reset the chain). This
+/// is the dynamic profile that justifies the fused opcodes of the
+/// superinstruction layer (DESIGN.md §11).
+pub type PairCounts = [[u64; OPCODE_COUNT]; OPCODE_COUNT];
 
 /// One recorded execution position: which block of the running segment,
 /// the instruction index within it, and the instruction's mnemonic.
@@ -287,6 +306,8 @@ impl Machine {
             output: String::new(),
             trace: None,
             optimize: false,
+            fuse: false,
+            pair_profile: None,
         }
     }
 
@@ -312,15 +333,49 @@ impl Machine {
         self.optimize
     }
 
+    /// Enables superinstruction fusion (DESIGN.md §11): arenas are
+    /// rewritten by [`crate::opt::fuse`] when frozen, so generated code
+    /// dispatches fused opcodes. Composes with [`Machine::set_optimize`]
+    /// (peephole first, then fusion); statically compiled code is fused
+    /// by the session layer when the same flag is set there.
+    pub fn set_fuse(&mut self, on: bool) {
+        self.fuse = on;
+    }
+
+    /// Whether superinstruction fusion is enabled.
+    pub fn fuse(&self) -> bool {
+        self.fuse
+    }
+
+    /// Enables or disables dynamic opcode-pair profiling (surfaced
+    /// through [`Machine::pair_profile`]). Enabling zeroes any previous
+    /// counts.
+    pub fn set_profile_pairs(&mut self, on: bool) {
+        self.pair_profile = on.then(|| Box::new([[0u64; OPCODE_COUNT]; OPCODE_COUNT]));
+    }
+
+    /// The opcode-pair frequency table, if profiling is enabled.
+    pub fn pair_profile(&self) -> Option<&PairCounts> {
+        self.pair_profile.as_deref()
+    }
+
     /// Freezes an arena, applying the optimizer when enabled. Served from
     /// the arena's snapshot cache whenever the arena has not grown since
     /// the previous freeze of the same flavor, so specialize-once /
     /// run-many programs pay for copying and optimization once.
     fn freeze(&mut self, arena: &Arena) -> CodeRef {
-        let (code, hit) = if self.optimize {
-            arena.freeze_via(true, crate::opt::peephole)
-        } else {
-            arena.freeze_via(false, |_, instrs| instrs.to_vec())
+        // One cache slot per (optimize, fuse) flavor, so machines with
+        // different flags sharing an arena never serve each other's
+        // rendering.
+        let slot = usize::from(self.optimize) + 2 * usize::from(self.fuse);
+        let (code, hit) = match (self.optimize, self.fuse) {
+            (false, false) => arena.freeze_slot(slot, |_, instrs| instrs.to_vec()),
+            (true, false) => arena.freeze_slot(slot, crate::opt::peephole),
+            (false, true) => arena.freeze_slot(slot, crate::opt::fuse),
+            (true, true) => arena.freeze_slot(slot, |seg, instrs| {
+                let optimized = crate::opt::peephole(seg, instrs);
+                crate::opt::fuse(seg, &optimized)
+            }),
         };
         if hit {
             self.stats.freeze_hits += 1;
@@ -421,10 +476,21 @@ impl Machine {
                 }
             };
             let instrs = seg.borrow_instrs();
+            // Opcode-pair chain for the dynamic profile: adjacency is
+            // only meaningful within one straight-line run, so the chain
+            // restarts at every frame activation.
+            let mut prev_op: Option<usize> = None;
             while pc < len {
                 let instr = &instrs[start + pc];
                 pc += 1;
                 // Account.
+                if let Some(hist) = &mut self.pair_profile {
+                    let op = instr.opcode();
+                    if let Some(p) = prev_op {
+                        hist[p][op] += 1;
+                    }
+                    prev_op = Some(op);
+                }
                 if let Some(trace) = &mut self.trace {
                     if trace.entries.len() < trace.limit {
                         trace.entries.push(TraceEntry {
@@ -558,6 +624,68 @@ impl Machine {
                     }
                     Instr::Prim(op) => self.prim(*op)?,
                     Instr::Fail(msg) => return Err(MachineError::Fail(msg.to_string())),
+                    // Fused superinstructions (straight-line): each does
+                    // the work of the opcode pair it replaced in one
+                    // reduction step (DESIGN.md §11).
+                    Instr::PushAcc(n) => {
+                        // `push; acc n` without the duplicate: peek the
+                        // top, walk the spine, push only the result.
+                        let out = {
+                            let v = self
+                                .stack
+                                .last()
+                                .ok_or(MachineError::StackUnderflow { instr: "push_acc" })?;
+                            let mut cur = v;
+                            for _ in 0..*n {
+                                match cur {
+                                    Value::Pair(p) => cur = &p.0,
+                                    other => {
+                                        return Err(Self::mismatch(
+                                            "push_acc",
+                                            "a pair spine",
+                                            other,
+                                        ))
+                                    }
+                                }
+                            }
+                            match cur {
+                                Value::Pair(p) => p.1.clone(),
+                                other => {
+                                    return Err(Self::mismatch("push_acc", "a pair spine", other))
+                                }
+                            }
+                        };
+                        self.stats.fused += 1;
+                        self.stack.push(out);
+                    }
+                    Instr::QuoteCons(v) => {
+                        // `quote v; cons`: the quoted constant replaces
+                        // the top, then pairs with the value beneath.
+                        let _ = self.pop("quote_cons")?;
+                        let u = self.pop("quote_cons")?;
+                        self.stats.fused += 1;
+                        self.stack.push(Value::pair(u, v.clone()));
+                    }
+                    Instr::SwapCons => {
+                        // `swap; cons`: a pair with the operands in stack
+                        // order (top first) instead of reversed.
+                        let t = self.pop("swap_cons")?;
+                        let u = self.pop("swap_cons")?;
+                        self.stats.fused += 1;
+                        self.stack.push(Value::pair(t, u));
+                    }
+                    Instr::PushQuote(v) => {
+                        // `push; quote v`: keep the top, push the
+                        // constant above it. A lone `push` underflows on
+                        // an empty stack, so the fused form must too.
+                        if self.stack.is_empty() {
+                            return Err(MachineError::StackUnderflow {
+                                instr: "push_quote",
+                            });
+                        }
+                        self.stats.fused += 1;
+                        self.stack.push(v.clone());
+                    }
                     // Control transfers and segment mutators: these push
                     // frames or freeze arena contents into a segment, so
                     // they must not run under the instruction borrow.
@@ -570,7 +698,9 @@ impl Machine {
                     | Instr::Merge
                     | Instr::MergeBranch
                     | Instr::MergeSwitch(_)
-                    | Instr::MergeRec(_) => {
+                    | Instr::MergeRec(_)
+                    | Instr::ConsApp
+                    | Instr::AccApp(_) => {
                         let owned = instr.clone();
                         drop(instrs);
                         self.control.last_mut().expect("frame present mid-block").pc = pc;
@@ -645,6 +775,42 @@ impl Machine {
     fn execute_transfer(&mut self, seg: &CodeSeg, instr: Instr) -> Result<(), MachineError> {
         match instr {
             Instr::App => self.apply()?,
+            Instr::ConsApp => {
+                // Fused `cons; app`: apply without materializing the
+                // (closure, argument) pair on the stack.
+                let arg = self.pop("cons_app")?;
+                let f = self.pop("cons_app")?;
+                self.stats.fused += 1;
+                self.apply_to(f, arg)?;
+            }
+            Instr::AccApp(n) => {
+                // Fused `acc n; app` (`snd; app` when n = 0): fetch the
+                // (closure, argument) pair from the environment spine and
+                // apply it in one dispatch.
+                let v = self.pop("acc_app")?;
+                let w = {
+                    let mut cur = &v;
+                    for _ in 0..n {
+                        match cur {
+                            Value::Pair(p) => cur = &p.0,
+                            other => return Err(Self::mismatch("acc_app", "a pair spine", other)),
+                        }
+                    }
+                    match cur {
+                        Value::Pair(p) => p.1.clone(),
+                        other => return Err(Self::mismatch("acc_app", "a pair spine", other)),
+                    }
+                };
+                let Value::Pair(p) = w else {
+                    return Err(Self::mismatch("acc_app", "a (closure, argument) pair", &w));
+                };
+                let (f, arg) = match Rc::try_unwrap(p) {
+                    Ok(pair) => pair,
+                    Err(p) => (p.0.clone(), p.1.clone()),
+                };
+                self.stats.fused += 1;
+                self.apply_to(f, arg)?;
+            }
             Instr::Branch(then_b, else_b) => {
                 let (env, b) = self.pop_pair("branch")?;
                 let Value::Bool(b) = b else {
@@ -844,6 +1010,10 @@ impl Machine {
 
     fn apply(&mut self) -> Result<(), MachineError> {
         let (f, arg) = self.pop_pair("app")?;
+        self.apply_to(f, arg)
+    }
+
+    fn apply_to(&mut self, f: Value, arg: Value) -> Result<(), MachineError> {
         match f {
             Value::Closure(c) => {
                 self.stack.push(Value::pair(c.env.clone(), arg));
@@ -1674,5 +1844,157 @@ mod tests {
     fn machine_errors_display() {
         assert!(MachineError::DivideByZero.to_string().contains("zero"));
         assert!(MachineError::Fail("m".into()).to_string().contains('m'));
+    }
+
+    #[test]
+    fn fused_opcodes_agree_with_their_pairs_and_count_as_fused() {
+        // Each fused opcode computes exactly what the pair it replaces
+        // computes, in one reduction step, and bumps `Stats::fused`.
+        let spine = Value::pair(
+            Value::pair(Value::pair(Value::Unit, Value::Int(1)), Value::Int(2)),
+            Value::Int(3),
+        );
+        let cases: Vec<(Vec<Instr>, Vec<Instr>, Value)> = vec![
+            (
+                vec![
+                    Instr::Push,
+                    Instr::Acc(1),
+                    Instr::Swap,
+                    Instr::Snd,
+                    Instr::ConsPair,
+                ],
+                vec![Instr::PushAcc(1), Instr::Swap, Instr::Snd, Instr::ConsPair],
+                spine.clone(),
+            ),
+            (
+                vec![
+                    Instr::Push,
+                    Instr::Swap,
+                    Instr::Quote(Value::Int(9)),
+                    Instr::ConsPair,
+                ],
+                vec![Instr::Push, Instr::Swap, Instr::QuoteCons(Value::Int(9))],
+                spine.clone(),
+            ),
+            (
+                vec![
+                    Instr::Push,
+                    Instr::Snd,
+                    Instr::Swap,
+                    Instr::ConsPair,
+                    Instr::Fst,
+                ],
+                vec![Instr::PushAcc(0), Instr::SwapCons, Instr::Fst],
+                spine.clone(),
+            ),
+            (
+                vec![Instr::Push, Instr::Quote(Value::Int(4)), Instr::ConsPair],
+                vec![Instr::PushQuote(Value::Int(4)), Instr::ConsPair],
+                spine.clone(),
+            ),
+        ];
+        for (plain, fused, input) in cases {
+            let mut m1 = Machine::new();
+            let v1 = m1.run(entry(plain.clone()), input.clone()).unwrap();
+            let mut m2 = Machine::new();
+            let v2 = m2.run(entry(fused.clone()), input).unwrap();
+            assert_eq!(v1.to_string(), v2.to_string(), "{plain:?} vs {fused:?}");
+            assert_eq!(m1.stats().fused, 0, "plain code dispatches no fused ops");
+            assert!(m2.stats().fused > 0, "{fused:?}");
+            assert!(m2.stats().steps < m1.stats().steps, "{fused:?}");
+        }
+    }
+
+    #[test]
+    fn fused_application_transfers_like_cons_app() {
+        // (fn x => snd x) 7 via ConsApp and via AccApp.
+        let seg = CodeSeg::new();
+        let body = seg.add_block(vec![Instr::Snd]);
+        let prog = seg.entry(vec![
+            Instr::Push,
+            Instr::Cur(body),
+            Instr::Swap,
+            Instr::Quote(Value::Int(7)),
+            Instr::ConsApp,
+        ]);
+        let mut m = Machine::new();
+        let out = m.run(prog, Value::Unit).unwrap();
+        assert!(matches!(out, Value::Int(7)));
+        assert_eq!(m.stats().fused, 1);
+
+        // AccApp(0): env is (_, (closure, arg)); snd; app in one step.
+        let seg = CodeSeg::new();
+        let body = seg.add_block(vec![Instr::Snd]);
+        let mk = seg.entry(vec![Instr::Cur(body)]);
+        let clos = Machine::new().run(mk, Value::Unit).unwrap();
+        let env = Value::pair(Value::Unit, Value::pair(clos, Value::Int(11)));
+        let seg2 = CodeSeg::new();
+        let prog = seg2.entry(vec![Instr::AccApp(0)]);
+        let mut m = Machine::new();
+        let out = m.run(prog, env).unwrap();
+        assert!(matches!(out, Value::Int(11)));
+        assert_eq!(m.stats().fused, 1);
+    }
+
+    #[test]
+    fn fuse_flag_fuses_frozen_generated_code() {
+        // A generator emits the stereotyped push/quote/cons/add sequence;
+        // with `set_fuse` the freeze rewrites it so the call dispatches
+        // fused opcodes — and the unfused machine agrees on the value.
+        let a = Arena::new();
+        for _ in 0..10 {
+            a.push(Instr::Push);
+            a.push(Instr::Quote(Value::Int(1)));
+            a.push(Instr::ConsPair);
+            a.push(Instr::Prim(PrimOp::Add));
+        }
+        let gen = Value::pair(Value::Int(0), Value::Arena(a));
+        let prog = entry(vec![Instr::Call]);
+
+        let mut plain = Machine::new();
+        let v1 = plain.run(prog.clone(), gen.clone()).unwrap();
+        assert_eq!(plain.stats().fused, 0);
+
+        let mut fusing = Machine::new();
+        fusing.set_fuse(true);
+        let v2 = fusing.run(prog.clone(), gen.clone()).unwrap();
+        assert_eq!(v1.to_string(), v2.to_string());
+        assert!(fusing.stats().fused > 0, "frozen code was fused");
+        assert!(
+            fusing.stats().steps < plain.stats().steps,
+            "fusion reduces the step count: {} vs {}",
+            fusing.stats().steps,
+            plain.stats().steps
+        );
+
+        // The two flavors freeze into distinct cache slots: running the
+        // same generator on the plain machine again is still unfused.
+        let mut plain2 = Machine::new();
+        let v3 = plain2.run(prog, gen).unwrap();
+        assert_eq!(v1.to_string(), v3.to_string());
+        assert_eq!(plain2.stats().fused, 0, "fuse slot does not leak");
+    }
+
+    #[test]
+    fn pair_profile_counts_adjacent_dispatches() {
+        let mut m = Machine::new();
+        assert!(m.pair_profile().is_none(), "off by default");
+        m.set_profile_pairs(true);
+        m.run(
+            entry(vec![
+                Instr::Push,
+                Instr::Quote(Value::Int(1)),
+                Instr::ConsPair,
+            ]),
+            Value::Unit,
+        )
+        .unwrap();
+        let hist = m.pair_profile().unwrap();
+        let op = |name: &str| OPCODE_NAMES.iter().position(|n| *n == name).unwrap();
+        assert_eq!(hist[op("push")][op("quote")], 1);
+        assert_eq!(hist[op("quote")][op("cons")], 1);
+        assert_eq!(hist[op("cons")][op("push")], 0, "no wraparound");
+        let total: u64 = hist.iter().flatten().sum();
+        assert_eq!(total, 2, "n instructions -> n-1 adjacent pairs");
     }
 }

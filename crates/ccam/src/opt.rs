@@ -105,8 +105,123 @@ fn optimize_nested(seg: &CodeSeg, i: &Instr) -> Instr {
         | Instr::Fail(_)
         | Instr::MergeBranch
         | Instr::MergeSwitch(_)
-        | Instr::MergeRec(_) => i.clone(),
+        | Instr::MergeRec(_)
+        | Instr::PushAcc(_)
+        | Instr::QuoteCons(_)
+        | Instr::SwapCons
+        | Instr::ConsApp
+        | Instr::AccApp(_)
+        | Instr::PushQuote(_) => i.clone(),
     }
+}
+
+/// Superinstruction fusion (DESIGN.md §11): rewrites the hottest adjacent
+/// opcode pairs of the CAM's stereotyped sequences into single fused
+/// dispatches. Unlike [`peephole`] this pass never folds constants or
+/// changes the computation — every fused opcode performs exactly the work
+/// of the pair it replaces, in one reduction step. The `fst^k; snd → acc`
+/// collapse is included so fusion composes with (and without) the
+/// peephole: `push; fst; fst; snd` becomes `push_acc 2` either way.
+pub fn fuse(seg: &CodeSeg, code: &[Instr]) -> Vec<Instr> {
+    let mut cur: Vec<Instr> = code.iter().map(|i| fuse_nested(seg, i)).collect();
+    for _ in 0..4 {
+        let (next, changed) = fuse_pass(&cur);
+        cur = next;
+        if !changed {
+            break;
+        }
+    }
+    cur
+}
+
+/// Fuses one block of `seg`, appending the fused rendering as a new block
+/// of the same segment and returning its id. Memoized per segment, like
+/// [`optimize_block`]: shared blocks are fused once, and re-fusing an
+/// already-fused block is the identity.
+pub fn fuse_block(seg: &CodeSeg, b: BlockId) -> BlockId {
+    if let Some(done) = seg.fuse_memo_get(b) {
+        return done;
+    }
+    let fused = fuse(seg, &seg.block_to_vec(b));
+    let nb = seg.add_block(fused);
+    seg.fuse_memo_put(b, nb);
+    seg.fuse_memo_put(nb, nb);
+    nb
+}
+
+fn fuse_nested(seg: &CodeSeg, i: &Instr) -> Instr {
+    match i {
+        Instr::Cur(c) => Instr::Cur(fuse_block(seg, *c)),
+        Instr::Branch(a, b) => Instr::Branch(fuse_block(seg, *a), fuse_block(seg, *b)),
+        Instr::Switch(t) => Instr::Switch(Rc::new(SwitchTable {
+            arms: t
+                .arms
+                .iter()
+                .map(|arm| SwitchArm {
+                    tag: arm.tag,
+                    bind: arm.bind,
+                    code: fuse_block(seg, arm.code),
+                })
+                .collect(),
+            default: t.default.map(|d| fuse_block(seg, d)),
+        })),
+        Instr::RecClos(bodies) => Instr::RecClos(Rc::new(
+            bodies.iter().map(|b| fuse_block(seg, *b)).collect(),
+        )),
+        // `Emit` carries a single static instruction, never a fusable
+        // sequence; fusion of emitted code happens when its arena freezes.
+        other => other.clone(),
+    }
+}
+
+/// One greedy left-to-right fusion pass over a straight-line sequence.
+fn fuse_pass(code: &[Instr]) -> (Vec<Instr>, bool) {
+    let mut out: Vec<Instr> = Vec::with_capacity(code.len());
+    let mut changed = false;
+    let mut i = 0;
+    'outer: while i < code.len() {
+        // fst^k; snd / fst^k; acc m — same access collapse as the
+        // peephole, repeated here so fusion alone produces `acc`s for the
+        // pair rules below to consume.
+        if matches!(code[i], Instr::Fst) {
+            let mut k = 1;
+            while matches!(code.get(i + k), Some(Instr::Fst)) {
+                k += 1;
+            }
+            let fused = match code.get(i + k) {
+                Some(Instr::Snd) => Some(k),
+                Some(Instr::Acc(m)) => Some(k + m),
+                _ => None,
+            };
+            if let Some(depth) = fused {
+                out.push(Instr::Acc(depth));
+                changed = true;
+                i += k + 1;
+                continue 'outer;
+            }
+        }
+        // Adjacent-pair superinstructions.
+        let fused = match (&code[i], code.get(i + 1)) {
+            (Instr::Push, Some(Instr::Acc(n))) => Some(Instr::PushAcc(*n)),
+            (Instr::Push, Some(Instr::Snd)) => Some(Instr::PushAcc(0)),
+            (Instr::Push, Some(Instr::Quote(v))) => Some(Instr::PushQuote(v.clone())),
+            (Instr::Quote(v), Some(Instr::ConsPair)) => Some(Instr::QuoteCons(v.clone())),
+            (Instr::Swap, Some(Instr::ConsPair)) => Some(Instr::SwapCons),
+            (Instr::ConsPair, Some(Instr::App)) => Some(Instr::ConsApp),
+            (Instr::Acc(n), Some(Instr::App)) => Some(Instr::AccApp(*n)),
+            (Instr::Snd, Some(Instr::App)) => Some(Instr::AccApp(0)),
+            _ => None,
+        };
+        if let Some(f) = fused {
+            out.push(f);
+            changed = true;
+            i += 2;
+            continue 'outer;
+        }
+        out.push(code[i].clone());
+        i += 1;
+    }
+    (out, changed)
 }
 
 /// Whether executing this instruction can have an observable effect
@@ -122,7 +237,11 @@ fn is_pure(i: &Instr) -> bool {
         | Instr::ConsPair
         | Instr::Quote(_)
         | Instr::Cur(_)
-        | Instr::Pack(_) => true,
+        | Instr::Pack(_)
+        | Instr::PushAcc(_)
+        | Instr::QuoteCons(_)
+        | Instr::SwapCons
+        | Instr::PushQuote(_) => true,
         Instr::Prim(op) => matches!(
             op,
             PrimOp::Add
@@ -158,7 +277,9 @@ fn is_pure(i: &Instr) -> bool {
         | Instr::Fail(_)
         | Instr::MergeBranch
         | Instr::MergeSwitch(_)
-        | Instr::MergeRec(_) => false,
+        | Instr::MergeRec(_)
+        | Instr::ConsApp
+        | Instr::AccApp(_) => false,
     }
 }
 
@@ -668,5 +789,115 @@ mod tests {
         assert_eq!(a, b, "memoized: both references rewrite to one block");
         // And re-optimizing the result is the identity.
         assert_eq!(optimize_block(&seg, *a), *a);
+    }
+
+    #[test]
+    fn fusion_rewrites_the_stereotyped_pairs() {
+        let seg = CodeSeg::new();
+        // ⟨acc 1, quote 3⟩; app — the CAM's function-application shape.
+        let code = vec![
+            Instr::Push,
+            Instr::Acc(1),
+            Instr::Swap,
+            Instr::Quote(Value::Int(3)),
+            Instr::ConsPair,
+            Instr::App,
+        ];
+        let fused = fuse(&seg, &code);
+        assert!(
+            matches!(
+                &fused[..],
+                [
+                    Instr::PushAcc(1),
+                    Instr::Swap,
+                    Instr::QuoteCons(Value::Int(3)),
+                    Instr::App
+                ]
+            ),
+            "{fused:?}"
+        );
+    }
+
+    #[test]
+    fn fusion_composes_with_access_collapse() {
+        let seg = CodeSeg::new();
+        // push; fst; fst; snd — fusion alone collapses the access chain
+        // and then consumes the resulting acc.
+        let code = vec![Instr::Push, Instr::Fst, Instr::Fst, Instr::Snd];
+        let fused = fuse(&seg, &code);
+        assert!(matches!(&fused[..], [Instr::PushAcc(2)]), "{fused:?}");
+        // snd; app and cons; app become single transfers.
+        let code = vec![Instr::Snd, Instr::App];
+        assert!(matches!(&fuse(&seg, &code)[..], [Instr::AccApp(0)]));
+        let code = vec![Instr::Swap, Instr::ConsPair, Instr::App];
+        let fused = fuse(&seg, &code);
+        assert!(
+            matches!(&fused[..], [Instr::SwapCons, Instr::App]),
+            "greedy left-to-right: swap;cons wins over cons;app: {fused:?}"
+        );
+    }
+
+    #[test]
+    fn fusion_never_folds_constants() {
+        // ⟨quote 2, quote 3⟩; add — the peephole folds this to quote 5;
+        // fusion must keep the arithmetic (it only merges dispatches).
+        let seg = CodeSeg::new();
+        let mut code = pair(
+            vec![Instr::Quote(Value::Int(2))],
+            vec![Instr::Quote(Value::Int(3))],
+        );
+        code.push(Instr::Prim(PrimOp::Add));
+        let fused = fuse(&seg, &code);
+        assert!(
+            fused.iter().any(|i| matches!(i, Instr::Prim(PrimOp::Add))),
+            "{fused:?}"
+        );
+        assert!(!fused
+            .iter()
+            .any(|i| matches!(i, Instr::Quote(Value::Int(5)))));
+    }
+
+    #[test]
+    fn fused_code_computes_the_same_value() {
+        // ((4 * 1) + (0 + snd)) applied to (_, 8) — same program as the
+        // peephole agreement test, now fused instead of optimized.
+        let seg = CodeSeg::new();
+        let mul = {
+            let mut c = pair(
+                vec![Instr::Quote(Value::Int(4))],
+                vec![Instr::Quote(Value::Int(1))],
+            );
+            c.push(Instr::Prim(PrimOp::Mul));
+            c
+        };
+        let add0 = {
+            let mut c = pair(vec![Instr::Quote(Value::Int(0))], vec![Instr::Snd]);
+            c.push(Instr::Prim(PrimOp::Add));
+            c
+        };
+        let mut code = pair(mul, add0);
+        code.push(Instr::Prim(PrimOp::Add));
+        let fused = fuse(&seg, &code);
+        assert!(fused.len() < code.len(), "{fused:?}");
+        let input = Value::pair(Value::Unit, Value::Int(8));
+        let a = Machine::new().run(seg.entry(code), input.clone()).unwrap();
+        let b = Machine::new().run(seg.entry(fused), input).unwrap();
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(a.to_string(), "12");
+    }
+
+    #[test]
+    fn fusion_recurses_into_shared_blocks_once() {
+        let seg = CodeSeg::new();
+        let body = seg.add_block(vec![Instr::Push, Instr::Snd]);
+        let code = vec![Instr::Cur(body), Instr::Cur(body)];
+        let fused = fuse(&seg, &code);
+        let (Instr::Cur(a), Instr::Cur(b)) = (&fused[0], &fused[1]) else {
+            panic!("{fused:?}")
+        };
+        assert_eq!(a, b, "memoized: both references rewrite to one block");
+        assert!(matches!(&seg.block_to_vec(*a)[..], [Instr::PushAcc(0)]));
+        // And re-fusing the result is the identity.
+        assert_eq!(fuse_block(&seg, *a), *a);
     }
 }

@@ -215,6 +215,18 @@ pub enum PortableInstr {
     MergeSwitch(Arc<MergeSwitchSpec>),
     /// Merge-family recursion.
     MergeRec(usize),
+    /// Fused `push; acc n`.
+    PushAcc(usize),
+    /// Fused `quote v; cons`.
+    QuoteCons(PortableVal),
+    /// Fused `swap; cons`.
+    SwapCons,
+    /// Fused `cons; app`.
+    ConsApp,
+    /// Fused `acc n; app`.
+    AccApp(usize),
+    /// Fused `push; quote v`.
+    PushQuote(PortableVal),
 }
 
 // The entire point of this module: everything above must be shareable
@@ -416,6 +428,12 @@ impl Extract {
             Instr::MergeBranch => PortableInstr::MergeBranch,
             Instr::MergeSwitch(spec) => PortableInstr::MergeSwitch(Arc::new((**spec).clone())),
             Instr::MergeRec(n) => PortableInstr::MergeRec(*n),
+            Instr::PushAcc(n) => PortableInstr::PushAcc(*n),
+            Instr::QuoteCons(v) => PortableInstr::QuoteCons(self.value(v)?),
+            Instr::SwapCons => PortableInstr::SwapCons,
+            Instr::ConsApp => PortableInstr::ConsApp,
+            Instr::AccApp(n) => PortableInstr::AccApp(*n),
+            Instr::PushQuote(v) => PortableInstr::PushQuote(self.value(v)?),
         })
     }
 }
@@ -612,6 +630,12 @@ fn hydrate_instr(h: &mut Hydrate, i: &PortableInstr) -> Instr {
         PortableInstr::MergeBranch => Instr::MergeBranch,
         PortableInstr::MergeSwitch(spec) => Instr::MergeSwitch(Rc::new((**spec).clone())),
         PortableInstr::MergeRec(n) => Instr::MergeRec(*n),
+        PortableInstr::PushAcc(n) => Instr::PushAcc(*n),
+        PortableInstr::QuoteCons(v) => Instr::QuoteCons(h.value(v)),
+        PortableInstr::SwapCons => Instr::SwapCons,
+        PortableInstr::ConsApp => Instr::ConsApp,
+        PortableInstr::AccApp(n) => Instr::AccApp(*n),
+        PortableInstr::PushQuote(v) => Instr::PushQuote(h.value(v)),
     }
 }
 
@@ -756,6 +780,12 @@ mod tests {
                 default: true,
             })),
             Instr::MergeRec(2),
+            Instr::PushAcc(1),
+            Instr::QuoteCons(Value::Int(8)),
+            Instr::SwapCons,
+            Instr::ConsApp,
+            Instr::AccApp(0),
+            Instr::PushQuote(Value::Bool(false)),
         ];
         let code = seg.entry(all);
         let portable = extract_code(&code).unwrap();

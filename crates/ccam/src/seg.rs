@@ -43,6 +43,8 @@ struct SegInner {
     blocks: RefCell<Vec<Block>>,
     /// Peephole memo: source block → optimized block (see `opt`).
     opt_memo: RefCell<HashMap<u32, u32>>,
+    /// Fusion memo: source block → fused block (see `opt::fuse`).
+    fuse_memo: RefCell<HashMap<u32, u32>>,
 }
 
 /// A contiguous code segment. Cheap to clone (a reference-counted
@@ -193,6 +195,16 @@ impl CodeSeg {
 
     pub(crate) fn opt_memo_put(&self, from: BlockId, to: BlockId) {
         self.0.opt_memo.borrow_mut().insert(from.0, to.0);
+    }
+
+    /// The fusion memo (source block → fused block), shared by all
+    /// handles to this segment.
+    pub(crate) fn fuse_memo_get(&self, b: BlockId) -> Option<BlockId> {
+        self.0.fuse_memo.borrow().get(&b.0).copied().map(BlockId)
+    }
+
+    pub(crate) fn fuse_memo_put(&self, from: BlockId, to: BlockId) {
+        self.0.fuse_memo.borrow_mut().insert(from.0, to.0);
     }
 }
 

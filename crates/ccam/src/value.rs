@@ -44,16 +44,16 @@ pub struct Closure {
 /// threads each arena linearly, so the sharing is unobservable.
 ///
 /// Freezing is cached: the arena remembers the last frozen block (one
-/// slot for the plain contents, one for the optimized rendering) together
-/// with the staging length it covered. Instructions are only ever
-/// appended, so a length match proves the cached block is still the
-/// current contents, and re-freezing a finished generator returns the
-/// same block without copying or re-optimizing.
+/// slot per rendering flavor — plain, optimized, fused, and
+/// optimized-then-fused) together with the staging length it covered.
+/// Instructions are only ever appended, so a length match proves the
+/// cached block is still the current contents, and re-freezing a finished
+/// generator returns the same block without copying or re-optimizing.
 #[derive(Debug)]
 pub struct Arena {
     staging: RefCell<Vec<Instr>>,
     seg: CodeSeg,
-    cache: RefCell<[Option<(usize, BlockId)>; 2]>,
+    cache: RefCell<[Option<(usize, BlockId)>; 4]>,
 }
 
 impl Default for Arena {
@@ -61,7 +61,7 @@ impl Default for Arena {
         Arena {
             staging: RefCell::new(Vec::new()),
             seg: CodeSeg::new(),
-            cache: RefCell::new([None, None]),
+            cache: RefCell::new([None; 4]),
         }
     }
 }
@@ -78,7 +78,7 @@ impl Arena {
         Rc::new(Arena {
             staging: RefCell::new(Vec::new()),
             seg: seg.clone(),
-            cache: RefCell::new([None, None]),
+            cache: RefCell::new([None; 4]),
         })
     }
 
@@ -120,7 +120,22 @@ impl Arena {
         optimized: bool,
         build: impl FnOnce(&CodeSeg, &[Instr]) -> Vec<Instr>,
     ) -> (CodeRef, bool) {
-        let slot = usize::from(optimized);
+        self.freeze_slot(usize::from(optimized), build)
+    }
+
+    /// Freezes through an explicit cache slot — one per rendering flavor
+    /// (0 plain, 1 optimized, 2 fused, 3 optimized-then-fused), so
+    /// machines running with different flags never serve each other's
+    /// rendering of the same arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn freeze_slot(
+        &self,
+        slot: usize,
+        build: impl FnOnce(&CodeSeg, &[Instr]) -> Vec<Instr>,
+    ) -> (CodeRef, bool) {
         let len = self.staging.borrow().len();
         if let Some((cached_len, block)) = self.cache.borrow()[slot] {
             if cached_len == len {

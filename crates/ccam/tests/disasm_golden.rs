@@ -1,7 +1,8 @@
 //! Golden test: the disassembly of a program exercising the *entire*
-//! instruction set — including the merge family and the indexed-access
-//! extension — is pinned exactly. Adding an instruction without teaching
-//! the disassembler (and this test) about it fails here.
+//! instruction set — including the merge family, the indexed-access
+//! extension, and the fused superinstructions — is pinned exactly.
+//! Adding an instruction without teaching the disassembler (and this
+//! test) about it fails here.
 //!
 //! Code is flat: the program is one segment, nested code is a labelled
 //! block, and the listing shows the entry block followed by every
@@ -60,6 +61,12 @@ fn full_instruction_set() -> (CodeSeg, BlockId) {
             default: true,
         })),
         Instr::MergeRec(2),
+        Instr::PushAcc(1),
+        Instr::QuoteCons(Value::Int(8)),
+        Instr::SwapCons,
+        Instr::ConsApp,
+        Instr::AccApp(0),
+        Instr::PushQuote(Value::Bool(true)),
     ]);
     (seg, entry)
 }
@@ -93,6 +100,12 @@ L0:
   merge_branch
   merge_switch[2 arms + default]
   merge_rec[2]
+  push_acc 1
+  quote_cons 8
+  swap_cons
+  cons_app
+  acc_app 0
+  push_quote true
 
 L1:
   snd

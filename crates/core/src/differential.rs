@@ -57,6 +57,25 @@ pub fn run_both(src: &str, with_prelude: bool) -> Result<BothResults, Error> {
 ///
 /// As for [`run_both`].
 pub fn run_both_with(src: &str, with_prelude: bool, mode: EnvMode) -> Result<BothResults, Error> {
+    run_both_full(src, with_prelude, mode, false)
+}
+
+/// [`run_both_with`] with superinstruction fusion optionally enabled on
+/// the CCAM side: the compiled entry block is rewritten by
+/// [`ccam::opt::fuse`] and the machine freezes generated code through the
+/// fused slot, exactly as a fused [`Session`](crate::Session) would.
+/// Together with [`EnvMode`] this spans the full 2×2 execution-mode
+/// matrix the differential suite checks.
+///
+/// # Errors
+///
+/// As for [`run_both`].
+pub fn run_both_full(
+    src: &str,
+    with_prelude: bool,
+    mode: EnvMode,
+    fuse: bool,
+) -> Result<BothResults, Error> {
     let full = if with_prelude {
         format!("{PRELUDE};\n{src}")
     } else {
@@ -84,11 +103,15 @@ pub fn run_both_with(src: &str, with_prelude: bool, mode: EnvMode) -> Result<Bot
         })?;
     }
     // CCAM.
-    let code = compile_program_with(&decls, mode).map_err(|diag| Error::Static {
+    let mut code = compile_program_with(&decls, mode).map_err(|diag| Error::Static {
         diag,
         src: full.clone(),
     })?;
     let mut machine = Machine::new();
+    if fuse {
+        code.block = ccam::opt::fuse_block(&code.seg, code.block);
+        machine.set_fuse(true);
+    }
     let m_val = machine.run(code, Value::Unit)?;
     // Interpreter.
     let mut interp = Interp::new();
@@ -159,6 +182,19 @@ eval (compPoly [1, 2, 3]) 10";
         ] {
             let r = run_both_with(src, true, EnvMode::Indexed).unwrap();
             assert!(r.agree(), "indexed-mode disagreement on {src}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn backends_agree_in_fused_mode() {
+        for src in [
+            "let val x = 4 in x * x end",
+            "eval (code (fn x => x * 3)) 5",
+        ] {
+            for mode in [EnvMode::PairSpine, EnvMode::Indexed] {
+                let r = run_both_full(src, true, mode, true).unwrap();
+                assert!(r.agree(), "fused {mode:?} disagreement on {src}: {r:?}");
+            }
         }
     }
 

@@ -43,6 +43,12 @@ pub struct SessionOptions {
     /// reduction-step counts of Table 1 stay exactly the paper's cost
     /// model; turn on to measure the indexed representation.
     pub indexed_env: bool,
+    /// Rewrite the hottest adjacent opcode pairs into fused
+    /// superinstructions (DESIGN.md §11), both in statically compiled
+    /// code and — via the freeze path — in run-time generated code.
+    /// Default: false, so Table 1's step counts stay the paper's cost
+    /// model; turn on to measure dispatch-fused execution.
+    pub fuse: bool,
 }
 
 impl Default for SessionOptions {
@@ -54,6 +60,7 @@ impl Default for SessionOptions {
             optimize: false,
             count_opcodes: false,
             indexed_env: false,
+            fuse: false,
         }
     }
 }
@@ -79,6 +86,7 @@ impl SessionOptions {
         h.write_bool(self.optimize);
         h.write_bool(self.count_opcodes);
         h.write_bool(self.indexed_env);
+        h.write_bool(self.fuse);
         h.finish()
     }
 }
@@ -155,6 +163,7 @@ impl Session {
         };
         machine.set_optimize(options.optimize);
         machine.set_count_opcodes(options.count_opcodes);
+        machine.set_fuse(options.fuse);
         let env_mode = if options.indexed_env {
             EnvMode::Indexed
         } else {
@@ -213,6 +222,18 @@ impl Session {
     /// The bounded execution trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.machine.trace()
+    }
+
+    /// Records the dynamic frequency of adjacent opcode pairs on
+    /// subsequent runs — the measurement behind the superinstruction
+    /// selection (`table1 --profile-pairs`, DESIGN.md §11).
+    pub fn set_profile_pairs(&mut self, on: bool) {
+        self.machine.set_profile_pairs(on);
+    }
+
+    /// The opcode-pair histogram, if profiling was enabled.
+    pub fn pair_profile(&self) -> Option<&ccam::machine::PairCounts> {
+        self.machine.pair_profile()
     }
 
     /// Non-fatal warnings accumulated since the last call (non-exhaustive
@@ -280,6 +301,19 @@ impl Session {
         self.process_core_decl(&decl, src)
     }
 
+    /// Applies the superinstruction-fusion pass to statically compiled
+    /// code when the session runs in fused mode. Run-time generated code
+    /// is fused separately, when its arena freezes (the machine's fuse
+    /// flag selects the fused freeze slot), so static and generated code
+    /// execute under the same dispatch regime.
+    fn finish_code(&self, code: Vec<Instr>) -> Vec<Instr> {
+        if self.options.fuse {
+            ccam::opt::fuse(&self.seg, &code)
+        } else {
+            code
+        }
+    }
+
     fn process_core_decl(&mut self, cd: &CoreDecl, src: &str) -> Result<Outcome, Error> {
         // Type check.
         let ty = if self.options.typecheck {
@@ -303,6 +337,7 @@ impl Session {
             "compiler produced nested emits"
         );
         // Run, measuring this declaration alone.
+        let code = self.finish_code(code);
         let before = self.machine.stats();
         let result = self.machine.run(self.seg.entry(code), self.env.clone())?;
         let stats = self.machine.stats().delta_since(&before);
@@ -349,6 +384,7 @@ impl Session {
             compile_expr(&core, &self.ctx, &self.seg).map_err(|d| self.static_err(d, &src))?,
         );
         code.extend([Instr::Swap, Instr::Quote(arg), Instr::ConsPair, Instr::App]);
+        let code = self.finish_code(code);
         let before = self.machine.stats();
         let result = self.machine.run(self.seg.entry(code), self.env.clone())?;
         let stats = self.machine.stats().delta_since(&before);
@@ -418,6 +454,7 @@ impl Session {
             Instr::ConsPair,
             Instr::Call,
         ]);
+        let code = self.finish_code(code);
         let result = self.machine.run(self.seg.entry(code), self.env.clone())?;
         match &result {
             Value::Closure(_) | Value::RecClosure { .. } => {}
@@ -631,10 +668,54 @@ mod tests {
         let mut counted = base.clone();
         counted.count_opcodes = true;
         assert_ne!(fp(&base), fp(&counted), "count_opcodes must change the key");
-        // The three non-default modes are also pairwise distinct.
+        let mut fused = base.clone();
+        fused.fuse = true;
+        assert_ne!(fp(&base), fp(&fused), "fuse must change the key");
+        // The four non-default modes are also pairwise distinct.
         assert_ne!(fp(&optimize), fp(&indexed));
         assert_ne!(fp(&optimize), fp(&counted));
+        assert_ne!(fp(&optimize), fp(&fused));
         assert_ne!(fp(&indexed), fp(&counted));
+        assert_ne!(fp(&indexed), fp(&fused));
+        assert_ne!(fp(&counted), fp(&fused));
+    }
+
+    #[test]
+    fn fuse_agrees_and_takes_fewer_steps() {
+        let run_mode = |fuse: bool| {
+            let mut s = Session::with_options(SessionOptions {
+                fuse,
+                ..SessionOptions::default()
+            })
+            .unwrap();
+            s.run("fun compPoly p = case p of nil => code (fn x => 0) | a :: p' => let cogen f = compPoly p' cogen a' = lift a in code (fn x => a' + (x * f x)) end\nval f = eval (compPoly [2, 4, 0, 2333])").unwrap();
+            let out = s.eval_expr("f 47").unwrap();
+            (out.value, out.stats.steps, out.stats.fused)
+        };
+        let (v_plain, s_plain, f_plain) = run_mode(false);
+        let (v_fused, s_fused, f_fused) = run_mode(true);
+        assert_eq!(v_plain, v_fused);
+        assert_eq!(f_plain, 0, "default mode dispatches no fused opcodes");
+        assert!(f_fused > 0, "generated code was fused at freeze time");
+        assert!(s_fused < s_plain, "fusion must drop the step count");
+    }
+
+    #[test]
+    fn fuse_dispatches_fused_opcodes_in_static_code() {
+        let mut s = Session::with_options(SessionOptions {
+            fuse: true,
+            count_opcodes: true,
+            ..SessionOptions::default()
+        })
+        .unwrap();
+        let out = s.eval_expr("1 + 2").unwrap();
+        let counts = out.stats.opcodes.expect("enabled by the option");
+        assert!(
+            counts.get("quote_cons") > 0 || counts.get("push_quote") > 0,
+            "static code runs fused: {:?}",
+            counts.nonzero().collect::<Vec<_>>()
+        );
+        assert!(out.stats.fused > 0);
     }
 
     #[test]

@@ -9,10 +9,13 @@
 //! Usage:
 //!
 //! ```text
-//! serve-bench [--smoke] [--workers 1,2,4] [--batches 8,32] [--rounds N]
+//! serve-bench [--smoke] [--fuse] [--workers 1,2,4] [--batches 8,32] [--rounds N]
 //! ```
 //!
 //! `--smoke` is the CI configuration: 2 workers, one batch per filter.
+//! `--fuse` runs the whole sweep (oracle included) under
+//! `SessionOptions::fuse`, so artifacts carry fused superinstructions
+//! and the per-packet step oracle checks the fused cost model.
 
 use mlbox::SessionOptions;
 use mlbox_bpf::harness::{expect_verdict, filter_arg};
@@ -32,11 +35,20 @@ struct Config {
     batch_sizes: Vec<usize>,
     rounds: usize,
     packets_per_filter: usize,
+    /// The one options value used for the oracle harness, the pre-warm,
+    /// and every pool worker — they must agree, or the exact per-packet
+    /// step assertions (and the one-miss-per-filter cache identity)
+    /// would compare different execution modes.
+    options: SessionOptions,
 }
 
 fn parse_args() -> Config {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let options = SessionOptions {
+        fuse: args.iter().any(|a| a == "--fuse"),
+        ..SessionOptions::default()
+    };
     let list = |flag: &str, default: Vec<usize>| -> Vec<usize> {
         args.iter()
             .position(|a| a == flag)
@@ -56,6 +68,7 @@ fn parse_args() -> Config {
             batch_sizes: list("--batches", vec![16]),
             rounds: scalar("--rounds", 1),
             packets_per_filter: 16,
+            options,
         }
     } else {
         Config {
@@ -64,6 +77,7 @@ fn parse_args() -> Config {
             batch_sizes: list("--batches", vec![8, 32]),
             rounds: scalar("--rounds", 3),
             packets_per_filter: 64,
+            options,
         }
     }
 }
@@ -94,7 +108,8 @@ fn build_workloads(config: &Config) -> Vec<Workload> {
         .map(|(i, (name, filter))| {
             let mut generator = PacketGen::new(41 + i as u64);
             let packets = generator.workload(config.packets_per_filter, 0.5);
-            let mut harness = FilterHarness::new(&filter).expect("harness builds");
+            let mut harness = FilterHarness::with_options(&filter, config.options.clone())
+                .expect("harness builds");
             let specialize_steps = harness.specialize().expect("filter specializes").steps;
             let artifact = harness.compile_artifact().expect("artifact extracts");
             let artifact_instructions = artifact.instructions();
@@ -157,7 +172,7 @@ fn run_sweep_point(
             workers,
             queue_depth: 64,
             cache_capacity: 64,
-            options: SessionOptions::default(),
+            options: config.options.clone(),
         },
         Arc::clone(cache),
     );
@@ -232,10 +247,9 @@ fn main() {
     // One cache for the whole sweep: pre-warm it (the only misses), then
     // every batch in every sweep point must hit.
     let cache = Arc::new(FilterCache::new(64));
-    let options = SessionOptions::default();
     for workload in &workloads {
         cache
-            .get_or_specialize(&workload.filter, &options)
+            .get_or_specialize(&workload.filter, &config.options)
             .expect("pre-warm specialization");
     }
 
@@ -298,6 +312,7 @@ fn main() {
     out.push_str("{\n");
     out.push_str("  \"bench\": \"serve\",\n");
     out.push_str(&format!("  \"smoke\": {},\n", config.smoke));
+    out.push_str(&format!("  \"fuse\": {},\n", config.options.fuse));
     out.push_str(&format!("  \"available_parallelism\": {parallelism},\n"));
     out.push_str("  \"filters\": [\n");
     for (i, w) in workloads.iter().enumerate() {

@@ -292,6 +292,33 @@ mod tests {
     }
 
     #[test]
+    fn fused_and_unfused_artifacts_never_alias() {
+        // A fused artifact has a different instruction stream (and step
+        // counts) than the default one; serving it from the unfused slot
+        // would silently change the cost model mid-flight.
+        let filter = telnet_filter();
+        let plain = SessionOptions::default();
+        let fused = SessionOptions {
+            fuse: true,
+            ..SessionOptions::default()
+        };
+        assert_ne!(
+            CacheKey::new(&filter, &plain),
+            CacheKey::new(&filter, &fused)
+        );
+        let cache = FilterCache::new(16);
+        let a = cache.get_or_specialize(&filter, &plain).unwrap();
+        let b = cache.get_or_specialize(&filter, &fused).unwrap();
+        assert_eq!(cache.stats().misses, 2, "one specialization per mode");
+        assert!(
+            b.instructions() < a.instructions(),
+            "the fused artifact carries fused (fewer) instructions: {} vs {}",
+            b.instructions(),
+            a.instructions()
+        );
+    }
+
+    #[test]
     fn failures_are_cached() {
         let bad = vec![Insn::JeqK { k: 0, jt: 9, jf: 9 }];
         let cache = FilterCache::new(16);

@@ -3,7 +3,7 @@
 //! construct; property-based tests then sweep randomly generated
 //! programs, both unstaged and staged.
 
-use mlbox::differential::{run_both, run_both_with};
+use mlbox::differential::{run_both, run_both_full};
 use mlbox::EnvMode;
 use proptest::prelude::*;
 
@@ -16,34 +16,34 @@ fn ml_int(n: i64) -> String {
     }
 }
 
-/// Asserts machine/interpreter agreement in *both* environment-access
-/// modes, and that the two compiled runs observe identical values and
-/// output. Returns the shared rendering.
+/// Asserts machine/interpreter agreement across the full 2×2
+/// execution-mode matrix — environment access (pair-spine vs indexed) ×
+/// superinstruction fusion (off vs on) — and that all four compiled runs
+/// observe identical values and output. Returns the shared rendering.
 fn assert_agree_both_modes(src: &str) -> String {
-    let spine = run_both_with(src, true, EnvMode::PairSpine).unwrap();
-    assert!(
-        spine.agree(),
-        "pair-spine disagreement on:\n{src}\n machine: {} (out {:?})\n interp:  {} (out {:?})",
-        spine.machine,
-        spine.machine_output,
-        spine.interp,
-        spine.interp_output
-    );
-    let indexed = run_both_with(src, true, EnvMode::Indexed).unwrap();
-    assert!(
-        indexed.agree(),
-        "indexed disagreement on:\n{src}\n machine: {} (out {:?})\n interp:  {} (out {:?})",
-        indexed.machine,
-        indexed.machine_output,
-        indexed.interp,
-        indexed.interp_output
-    );
-    assert_eq!(
-        (&spine.machine, &spine.machine_output),
-        (&indexed.machine, &indexed.machine_output),
-        "environment modes disagree on:\n{src}"
-    );
-    spine.machine
+    let mut baseline: Option<(String, String)> = None;
+    for mode in [EnvMode::PairSpine, EnvMode::Indexed] {
+        for fuse in [false, true] {
+            let r = run_both_full(src, true, mode, fuse).unwrap();
+            assert!(
+                r.agree(),
+                "{mode:?}/fuse={fuse} disagreement on:\n{src}\n machine: {} (out {:?})\n interp:  {} (out {:?})",
+                r.machine,
+                r.machine_output,
+                r.interp,
+                r.interp_output
+            );
+            match &baseline {
+                None => baseline = Some((r.machine, r.machine_output)),
+                Some((v, o)) => assert_eq!(
+                    (v, o),
+                    (&r.machine, &r.machine_output),
+                    "execution modes disagree ({mode:?}, fuse={fuse}) on:\n{src}"
+                ),
+            }
+        }
+    }
+    baseline.unwrap().0
 }
 
 #[test]
@@ -249,10 +249,11 @@ proptest! {
         );
         let plain = assert_agree_both_modes(&src);
         use mlbox::{Session, SessionOptions};
-        for indexed_env in [false, true] {
+        for (indexed_env, fuse) in [(false, false), (true, false), (false, true), (true, true)] {
             let mut s = Session::with_options(SessionOptions {
                 optimize: true,
                 indexed_env,
+                fuse,
                 ..Default::default()
             })
             .unwrap();
