@@ -1,31 +1,32 @@
 //! Deep-environment access microbenchmark: the paper's pair-spine
 //! `fst^k; snd` access chains versus the fused single-dispatch `acc` of
-//! indexed environment mode (`SessionOptions::indexed_env`).
+//! indexed environment mode (`SessionOptions::indexed_env`) versus the
+//! O(1) slot loads of flat frame mode (`SessionOptions::flat_env`).
 //!
-//! Each iteration builds a fresh session (prelude off, so the environment
-//! holds exactly the workload's bindings) and evaluates a nest of `depth`
-//! `let` bindings whose body reads the outermost variable — the access
-//! that costs O(depth) dispatches on the spine and O(1) indexed.
+//! Each mode compiles the workload **once**; the measured iteration is a
+//! single `Session::call` of `sweep`, a function that builds a
+//! `depth`-deep `let` nest and then reads the outermost binding 32
+//! times. That keeps parsing and compilation out of the loop, so the
+//! timings isolate what the modes actually differ on: environment
+//! extension and access. Per call the spine pays `reads × depth` `fst`
+//! dispatches, indexed mode pays `reads` `acc` dispatches that each
+//! still walk `depth` pair nodes, and flat mode answers every read with
+//! one bounds-checked slot load.
 
+use ccam::value::Value;
 use criterion::{criterion_group, criterion_main, Criterion};
-use mlbox::{Session, SessionOptions};
-use mlbox_bench::deep_env_program;
+use mlbox::Session;
+use mlbox_bench::{deep_access_program, deep_env_modes};
 
 fn bench_deep_env(c: &mut Criterion) {
     let mut group = c.benchmark_group("deep_env");
     for depth in [8usize, 32, 128] {
-        let src = deep_env_program(depth);
-        for (name, indexed) in [("spine", false), ("indexed", true)] {
+        let src = deep_access_program(depth, 32);
+        for (name, options) in deep_env_modes() {
+            let mut s = Session::with_options(options).expect("session");
+            s.run(&src).expect("compile sweep");
             group.bench_function(format!("depth_{depth}_{name}"), |b| {
-                b.iter(|| {
-                    let mut s = Session::with_options(SessionOptions {
-                        prelude: false,
-                        indexed_env: indexed,
-                        ..SessionOptions::default()
-                    })
-                    .expect("session");
-                    s.eval_expr(&src).expect("run").stats.steps
-                })
+                b.iter(|| s.call("sweep", Value::Int(1)).expect("call").1)
             });
         }
     }

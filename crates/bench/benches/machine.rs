@@ -152,6 +152,18 @@ fn bench_dispatch(c: &mut Criterion) {
     .expect("fused harness");
     hf.specialize().expect("specialize fused");
 
+    // And under flat frame environments: the same step counts as
+    // indexed mode, but every `acc` is an O(1) slot load.
+    let mut hflat = FilterHarness::with_options(
+        &telnet_filter(),
+        SessionOptions {
+            flat_env: true,
+            ..SessionOptions::default()
+        },
+    )
+    .expect("flat harness");
+    hflat.specialize().expect("specialize flat");
+
     let mut group = c.benchmark_group("dispatch");
     group.bench_function("interp_telnet_packet", |b| {
         b.iter(|| h.interp(&telnet).expect("run"))
@@ -164,6 +176,12 @@ fn bench_dispatch(c: &mut Criterion) {
     });
     group.bench_function("specialized_telnet_packet_fused", |b| {
         b.iter(|| hf.specialized(&telnet).expect("run"))
+    });
+    group.bench_function("interp_telnet_packet_flat_env", |b| {
+        b.iter(|| hflat.interp(&telnet).expect("run"))
+    });
+    group.bench_function("specialized_telnet_packet_flat_env", |b| {
+        b.iter(|| hflat.specialized(&telnet).expect("run"))
     });
     group.finish();
 
@@ -187,6 +205,10 @@ fn bench_dispatch(c: &mut Criterion) {
     steps_per_sec("interp_fused", || hf.interp(&telnet).expect("run").1);
     steps_per_sec("specialized_fused", || {
         hf.specialized(&telnet).expect("run").1
+    });
+    steps_per_sec("interp_flat_env", || hflat.interp(&telnet).expect("run").1);
+    steps_per_sec("specialized_flat_env", || {
+        hflat.specialized(&telnet).expect("run").1
     });
 }
 

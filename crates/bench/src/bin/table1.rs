@@ -6,15 +6,17 @@
 //! ```text
 //! table1             # the Table 1 reproduction
 //! table1 --json      # the same rows as JSON, plus an indexed-env
-//!                    # comparison column, a fused-mode section
-//!                    # (rows_fused), and freeze-cache counters
+//!                    # comparison column, fused-mode and flat-env
+//!                    # sections (rows_fused, rows_flat_env), and
+//!                    # freeze-cache counters
 //! table1 --profile-pairs # dynamic opcode-pair histogram of the Table 1
 //!                    # workloads (the superinstruction selection data)
 //! table1 sweep-poly  # polynomial-degree sweep (E6)
 //! table1 sweep-filter# filter-length sweep (E6)
 //! table1 crossover   # amortization break-even analysis (E6)
 //! table1 memo        # memoization measurements (E4)
-//! table1 deep-env    # pair-spine vs indexed access on deep environments
+//! table1 deep-env    # pair-spine vs indexed vs flat access on deep
+//!                    # environments (--json: the BENCH_deep_env rows)
 //! table1 all         # everything
 //! ```
 //!
@@ -72,7 +74,7 @@ fn main() {
         optimize_ablation();
     }
     if run("deep-env") {
-        deep_env();
+        deep_env(json && mode == "deep-env");
     }
 }
 
@@ -187,14 +189,29 @@ fn profile_pairs() {
 }
 
 /// Environment-representation comparison: reduction steps for a deep
-/// `let` nest under the default pair-spine accesses vs `indexed_env`.
-fn deep_env() {
+/// `let` nest under the default pair-spine accesses, `indexed_env`, and
+/// `flat_env` frames. With `json`, emits the `BENCH_deep_env.json`
+/// artifact shape instead.
+fn deep_env(json: bool) {
+    const DEPTHS: [usize; 6] = [4, 8, 16, 32, 64, 128];
+    if json {
+        println!(
+            "{}",
+            mlbox_bench::deep_env_json(&DEPTHS).expect("deep-env sweep")
+        );
+        return;
+    }
+    let [(_, spine_opts), (_, indexed_opts), (_, flat_opts)] = mlbox_bench::deep_env_modes();
     println!("Deep-environment access (nested lets, one walk to the outermost binding)");
-    println!("{:>8} {:>12} {:>12}", "depth", "spine", "indexed");
-    for depth in [4usize, 8, 16, 32, 64, 128] {
-        let spine = deep_env_steps(depth, false).expect("spine run");
-        let indexed = deep_env_steps(depth, true).expect("indexed run");
-        println!("{depth:>8} {spine:>12} {indexed:>12}");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "depth", "spine", "indexed", "flat"
+    );
+    for depth in DEPTHS {
+        let spine = deep_env_steps(depth, &spine_opts).expect("spine run");
+        let indexed = deep_env_steps(depth, &indexed_opts).expect("indexed run");
+        let flat = deep_env_steps(depth, &flat_opts).expect("flat run");
+        println!("{depth:>8} {spine:>12} {indexed:>12} {flat:>12}");
     }
     println!();
 }
@@ -277,6 +294,10 @@ fn table1(json: bool) {
             ..SessionOptions::default()
         };
         let (fused_rows, _) = table1_rows(&fuse_options);
+        let (flat_rows, _) = table1_rows(&SessionOptions {
+            flat_env: true,
+            ..SessionOptions::default()
+        });
         let mut dispatch = mlbox_bench::dispatch_throughput(2_000).expect("dispatch");
         dispatch.extend(
             mlbox_bench::dispatch_throughput_with(2_000, &fuse_options).expect("fused dispatch"),
@@ -287,6 +308,7 @@ fn table1(json: bool) {
                 "Table 1: Reduction steps on the CCAM for various functions in the text",
                 &rows,
                 &fused_rows,
+                &flat_rows,
                 &stats,
                 &dispatch,
             )

@@ -236,14 +236,18 @@ pub fn dispatch_throughput_with(
 /// computations under `SessionOptions::fuse`) render as a separate
 /// `rows_fused` array whose lines carry `steps_fused` — and deliberately
 /// *not* `steps_indexed` — so line-oriented golden diffs of the two mode
-/// columns stay independent. `dispatch` rows (wall clock, non-golden)
-/// are appended when non-empty.
+/// columns stay independent. `flat` rows (the same computations under
+/// `SessionOptions::flat_env`) likewise render as their own
+/// `rows_flat_env` array keyed `steps_flat_env`, keeping all three
+/// lockfile greps line-disjoint. `dispatch` rows (wall clock,
+/// non-golden) are appended when non-empty.
 ///
 /// [`Stats`]: ccam::machine::Stats
 pub fn render_json(
     title: &str,
     rows: &[Row],
     fused: &[Row],
+    flat: &[Row],
     machine: &ccam::machine::Stats,
     dispatch: &[DispatchRow],
 ) -> String {
@@ -284,6 +288,19 @@ pub fn render_json(
                 r.steps,
                 r.emitted,
                 if i + 1 < fused.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]");
+    }
+    if !flat.is_empty() {
+        out.push_str(",\n  \"rows_flat_env\": [\n");
+        for (i, r) in flat.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"steps_flat_env\": {}, \"emitted\": {}}}{}\n",
+                esc(&r.label),
+                r.steps,
+                r.emitted,
+                if i + 1 < flat.len() { "," } else { "" }
             ));
         }
         out.push_str("  ]");
@@ -419,20 +436,101 @@ pub fn deep_env_program(depth: usize) -> String {
     s
 }
 
-/// Reduction steps to evaluate [`deep_env_program`] at the given depth,
-/// with or without `indexed_env`. The session runs without the prelude so
-/// the measured environment contains exactly the workload's bindings.
+/// An access-heavy variant of the deep-environment workload, packaged as
+/// a reusable function so a benchmark can compile it once and measure
+/// only environment accesses: `sweep` builds a `depth`-deep `let` nest
+/// over its argument and then reads the *outermost* binding `reads`
+/// times. Per call, pair-spine mode pays `reads × depth` `fst`
+/// dispatches, indexed mode pays `reads` single-dispatch `acc`s that
+/// each still walk `depth` pair nodes, and flat mode answers each read
+/// with one bounds-checked slot load.
+pub fn deep_access_program(depth: usize, reads: usize) -> String {
+    assert!(depth >= 1, "need at least one binding");
+    assert!(reads >= 1, "need at least one read");
+    let mut s = String::from("fun sweep u = let val v0 = u\n");
+    for i in 1..depth {
+        s.push_str(&format!("val v{i} = v{} + 1\n", i - 1));
+    }
+    s.push_str("in ");
+    s.push_str(&vec!["v0"; reads].join(" + "));
+    s.push_str(" end");
+    s
+}
+
+/// Reduction steps to evaluate [`deep_env_program`] at the given depth
+/// under the given session options (the prelude is always disabled so the
+/// measured environment contains exactly the workload's bindings).
 ///
 /// # Errors
 ///
 /// Propagates any pipeline error.
-pub fn deep_env_steps(depth: usize, indexed: bool) -> Result<u64, Error> {
+pub fn deep_env_steps(depth: usize, options: &SessionOptions) -> Result<u64, Error> {
     let mut s = Session::with_options(SessionOptions {
         prelude: false,
-        indexed_env: indexed,
-        ..SessionOptions::default()
+        ..options.clone()
     })?;
     Ok(s.eval_expr(&deep_env_program(depth))?.stats.steps)
+}
+
+/// The three environment representations the deep-env sweep compares,
+/// as `(column label, options)` pairs: the paper's pair spine, fused
+/// indexed accesses, and flat `Vec`-backed frames.
+pub fn deep_env_modes() -> [(&'static str, SessionOptions); 3] {
+    let base = SessionOptions {
+        prelude: false,
+        ..SessionOptions::default()
+    };
+    [
+        ("spine", base.clone()),
+        (
+            "indexed",
+            SessionOptions {
+                indexed_env: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "flat",
+            SessionOptions {
+                flat_env: true,
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Renders the deep-environment sweep as JSON (the `BENCH_deep_env.json`
+/// CI artifact): one row per depth carrying the step counts of all three
+/// environment representations (`steps`, `steps_indexed`,
+/// `steps_flat_env`). Step counts are deterministic; flat-mode counts
+/// equal indexed-mode counts by construction (same access paths), which
+/// the renderer asserts.
+///
+/// # Errors
+///
+/// Propagates any pipeline error.
+pub fn deep_env_json(depths: &[usize]) -> Result<String, Error> {
+    let modes = deep_env_modes();
+    let mut out = String::from(
+        "{\n  \"title\": \"Deep-environment access: pair spine vs indexed vs flat frames\",\n  \"rows\": [\n",
+    );
+    for (i, &depth) in depths.iter().enumerate() {
+        let [spine, indexed, flat] = [
+            deep_env_steps(depth, &modes[0].1)?,
+            deep_env_steps(depth, &modes[1].1)?,
+            deep_env_steps(depth, &modes[2].1)?,
+        ];
+        assert_eq!(
+            flat, indexed,
+            "flat mode must dispatch exactly indexed mode's step count"
+        );
+        out.push_str(&format!(
+            "    {{\"depth\": {depth}, \"steps\": {spine}, \"steps_indexed\": {indexed}, \"steps_flat_env\": {flat}}}{}\n",
+            if i + 1 < depths.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}");
+    Ok(out)
 }
 
 /// The break-even point: how many uses amortize a one-time cost, given
@@ -474,19 +572,20 @@ mod tests {
             steps: 123,
             ..Default::default()
         };
-        let j = render_json("Table 1", &rows, &[], &stats, &[]);
+        let j = render_json("Table 1", &rows, &[], &[], &stats, &[]);
         assert!(j.contains("\"freezes\": 3"), "{j}");
         assert!(j.contains("\"freeze_hits\": 7"), "{j}");
         assert!(j.contains("\"paper\": null"), "{j}");
         assert!(j.contains("evalpf \\\"quoted\\\""), "{j}");
         assert!(!j.contains("dispatch"), "empty dispatch is omitted: {j}");
         assert!(!j.contains("rows_fused"), "empty fused is omitted: {j}");
+        assert!(!j.contains("rows_flat_env"), "empty flat is omitted: {j}");
         let d = DispatchRow {
             label: "d".into(),
             steps: 2_000,
             nanos: 1_000_000,
         };
-        let j = render_json("Table 1", &rows, &[], &stats, &[d]);
+        let j = render_json("Table 1", &rows, &[], &[], &stats, &[d]);
         assert!(j.contains("\"steps_per_sec\": 2000000"), "{j}");
     }
 
@@ -511,28 +610,41 @@ mod tests {
     fn json_rendering_includes_indexed_comparison() {
         let rows = vec![Row::with_paper("r", 100, 0, 90).with_indexed(60)];
         let stats = ccam::machine::Stats::default();
-        let j = render_json("t", &rows, &[], &stats, &[]);
+        let j = render_json("t", &rows, &[], &[], &stats, &[]);
         assert!(j.contains("\"steps_indexed\": 60"), "{j}");
     }
 
     #[test]
     fn json_fused_rows_never_share_lines_with_the_mode_columns() {
         // The CI golden diff greps `"steps_indexed"|"freeze_cache"` for
-        // the default/indexed pin and `"steps_fused"` for the fused pin:
-        // the two line sets must be disjoint so each lockfile diff sees
-        // only its own column.
+        // the default/indexed pin, `"steps_fused"` for the fused pin,
+        // and `"steps_flat_env"` for the flat pin: the three line sets
+        // must be pairwise disjoint so each lockfile diff sees only its
+        // own column.
         let rows = vec![Row::with_paper("r", 100, 0, 90).with_indexed(60)];
         let fused = vec![Row::new("r", 80, 0)];
+        let flat = vec![Row::new("r", 60, 0)];
         let stats = ccam::machine::Stats::default();
-        let j = render_json("t", &rows, &fused, &stats, &[]);
+        let j = render_json("t", &rows, &fused, &flat, &stats, &[]);
         assert!(j.contains("\"rows_fused\""), "{j}");
+        assert!(j.contains("\"rows_flat_env\""), "{j}");
         for line in j.lines() {
             if line.contains("\"steps_fused\"") {
                 assert!(!line.contains("\"steps_indexed\""), "{line}");
+                assert!(!line.contains("\"steps_flat_env\""), "{line}");
                 assert!(!line.contains("\"freeze_cache\""), "{line}");
                 assert_eq!(
                     line.trim().trim_end_matches(','),
                     "{\"label\": \"r\", \"steps_fused\": 80, \"emitted\": 0}"
+                );
+            }
+            if line.contains("\"steps_flat_env\"") {
+                assert!(!line.contains("\"steps_indexed\""), "{line}");
+                assert!(!line.contains("\"steps_fused\""), "{line}");
+                assert!(!line.contains("\"freeze_cache\""), "{line}");
+                assert_eq!(
+                    line.trim().trim_end_matches(','),
+                    "{\"label\": \"r\", \"steps_flat_env\": 60, \"emitted\": 0}"
                 );
             }
         }
@@ -540,18 +652,54 @@ mod tests {
 
     #[test]
     fn deep_env_microbench_favors_indexed_mode() {
+        let [(_, spine_opts), (_, indexed_opts), (_, flat_opts)] = deep_env_modes();
         let depth = 48;
-        let spine = deep_env_steps(depth, false).unwrap();
-        let indexed = deep_env_steps(depth, true).unwrap();
+        let spine = deep_env_steps(depth, &spine_opts).unwrap();
+        let indexed = deep_env_steps(depth, &indexed_opts).unwrap();
         assert!(
             indexed < spine,
             "indexed mode must need fewer steps on deep environments \
              (indexed {indexed} vs spine {spine} at depth {depth})"
         );
+        // Flat mode dispatches the identical access paths; only the
+        // machine-level representation (and wall clock) differs.
+        let flat = deep_env_steps(depth, &flat_opts).unwrap();
+        assert_eq!(flat, indexed, "flat step counts equal indexed");
         // The gap grows with depth: the deep access is O(depth) vs O(1).
-        let spine_gap = deep_env_steps(2 * depth, false).unwrap() - spine;
-        let indexed_gap = deep_env_steps(2 * depth, true).unwrap() - indexed;
+        let spine_gap = deep_env_steps(2 * depth, &spine_opts).unwrap() - spine;
+        let indexed_gap = deep_env_steps(2 * depth, &indexed_opts).unwrap() - indexed;
         assert!(indexed_gap < spine_gap, "{indexed_gap} vs {spine_gap}");
+    }
+
+    #[test]
+    fn deep_access_program_agrees_across_modes_and_flat_saves_steps() {
+        let src = deep_access_program(16, 8);
+        let mut per_mode = Vec::new();
+        for (name, opts) in deep_env_modes() {
+            let mut s = Session::with_options(opts).unwrap();
+            s.run(&src).unwrap();
+            let (v, stats) = s.call("sweep", ccam::value::Value::Int(1)).unwrap();
+            // depth-16 nest over u=1, eight reads of v0 (= u).
+            assert_eq!(v.to_string(), "8", "{name}");
+            per_mode.push((name, stats.steps));
+        }
+        let (spine, indexed, flat) = (per_mode[0].1, per_mode[1].1, per_mode[2].1);
+        assert_eq!(flat, indexed, "flat step counts equal indexed");
+        assert!(
+            indexed < spine,
+            "per-call sweep must cost fewer dispatches off the spine \
+             (indexed {indexed} vs spine {spine})"
+        );
+    }
+
+    #[test]
+    fn deep_env_json_carries_all_three_columns() {
+        let j = deep_env_json(&[4, 8]).unwrap();
+        assert!(j.contains("\"depth\": 4"), "{j}");
+        assert!(j.contains("\"steps\": "), "{j}");
+        assert!(j.contains("\"steps_indexed\": "), "{j}");
+        assert!(j.contains("\"steps_flat_env\": "), "{j}");
+        assert_eq!(j.matches("\"depth\"").count(), 2, "{j}");
     }
 
     #[test]

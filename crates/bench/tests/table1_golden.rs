@@ -14,6 +14,7 @@ use mlbox_bench::table1_rows;
 
 const GOLDEN: &str = include_str!("../../../tests/golden/table1_steps.json");
 const GOLDEN_FUSED: &str = include_str!("../../../tests/golden/table1_steps_fused.json");
+const GOLDEN_FLAT: &str = include_str!("../../../tests/golden/table1_steps_flat_env.json");
 
 /// Pulls `"key": <u64>` out of a JSON-ish line. Hand-rolled — the
 /// workspace carries no JSON dependency, and the lockfile's layout is
@@ -86,6 +87,55 @@ fn table1_step_counts_match_the_golden_lockfile() {
     assert_eq!(stats.freeze_hits, field(cache_line, "freeze_hits").unwrap());
     assert_eq!(stats.calls, field(cache_line, "calls").unwrap());
     assert_eq!(stats.steps, field(cache_line, "steps").unwrap());
+}
+
+#[test]
+fn flat_env_table1_step_counts_match_their_own_lockfile_and_equal_indexed() {
+    let golden: Vec<(&str, u64, u64)> = GOLDEN_FLAT
+        .lines()
+        .filter(|l| l.contains("\"label\""))
+        .map(|l| {
+            (
+                label(l).expect("label"),
+                field(l, "steps_flat_env").expect("steps_flat_env"),
+                field(l, "emitted").expect("emitted"),
+            )
+        })
+        .collect();
+    assert_eq!(golden.len(), 10, "Table 1 has ten rows");
+
+    let (indexed_rows, _) = table1_rows(&SessionOptions {
+        indexed_env: true,
+        ..SessionOptions::default()
+    });
+    let (flat_rows, _) = table1_rows(&SessionOptions {
+        flat_env: true,
+        ..SessionOptions::default()
+    });
+    assert_eq!(flat_rows.len(), golden.len());
+    for ((frow, irow), (glabel, gsteps, gemitted)) in flat_rows
+        .iter()
+        .zip(&indexed_rows)
+        .enumerate()
+        .map(|(i, r)| (r, golden[i]))
+    {
+        assert_eq!(frow.label, glabel);
+        assert_eq!(
+            frow.steps, gsteps,
+            "`{glabel}`: flat-env steps drifted from the lockfile"
+        );
+        assert_eq!(
+            frow.emitted, gemitted,
+            "`{glabel}`: flat-env emitted count drifted from the lockfile"
+        );
+        // Flat mode renders exactly the indexed access paths; the two
+        // columns must agree step for step — the flat win is wall
+        // clock, not the step metric.
+        assert_eq!(
+            frow.steps, irow.steps,
+            "`{glabel}`: flat steps diverged from indexed steps"
+        );
+    }
 }
 
 #[test]

@@ -126,7 +126,8 @@ fn label(i: &Instr, labels: &mut Labels) -> String {
         | Instr::Call
         | Instr::MergeBranch
         | Instr::SwapCons
-        | Instr::ConsApp => i.mnemonic().to_string(),
+        | Instr::ConsApp
+        | Instr::EnvCons => i.mnemonic().to_string(),
     }
 }
 
@@ -196,7 +197,8 @@ fn visit(seg: &CodeSeg, i: &Instr, out: &mut BTreeMap<&'static str, usize>) {
         | Instr::SwapCons
         | Instr::ConsApp
         | Instr::AccApp(_)
-        | Instr::PushQuote(_) => {}
+        | Instr::PushQuote(_)
+        | Instr::EnvCons => {}
     }
 }
 
@@ -268,6 +270,21 @@ mod tests {
         assert_eq!(c["emit"], 1);
         assert_eq!(c["app"], 1);
         assert_eq!(c["snd"], 1);
+    }
+
+    #[test]
+    fn renders_env_cons() {
+        let seg = CodeSeg::new();
+        let entry = seg.add_block(vec![
+            Instr::Push,
+            Instr::Quote(Value::Int(9)),
+            Instr::EnvCons,
+            Instr::Acc(0),
+        ]);
+        let text = disassemble(&seg, entry);
+        assert_eq!(text, "L0:\n  push\n  quote 9\n  env_cons\n  acc 0\n");
+        let c = census(&seg, entry);
+        assert_eq!(c["env_cons"], 1);
     }
 
     #[test]

@@ -189,6 +189,15 @@ pub enum Instr {
     /// Fused `Push; Quote(v)`: keep the top value and push the constant
     /// `v` above it.
     PushQuote(Value),
+    /// Environment extension for flat-frame mode (`EnvMode::Flat`): pop
+    /// the binding `v` then the environment `E`; push `E` extended with
+    /// `v` as a contiguous [`Frame`](crate::value::Frame) slot.
+    /// Semantically identical to [`Instr::ConsPair`] on an environment
+    /// spine — the frame denotes exactly the pair `(E, v)` — but `Acc(n)`
+    /// against the result is a bounds-checked index, not a spine walk.
+    /// Emitted only by the flat-mode compiler at `let`/declaration
+    /// extension sites.
+    EnvCons,
 
     // ---- the merge family (specialized control inside arenas) ----
     /// Top is `(((v,{P}), {A_then}), {A_else})`; append
@@ -203,7 +212,7 @@ pub enum Instr {
 }
 
 /// Number of distinct opcodes, for [`Instr::opcode`]-indexed tables.
-pub const OPCODE_COUNT: usize = 30;
+pub const OPCODE_COUNT: usize = 31;
 
 /// Mnemonics indexed by [`Instr::opcode`].
 pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
@@ -237,6 +246,7 @@ pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
     "cons_app",
     "acc_app",
     "push_quote",
+    "env_cons",
 ];
 
 impl Instr {
@@ -274,6 +284,7 @@ impl Instr {
             Instr::ConsApp => 27,
             Instr::AccApp(_) => 28,
             Instr::PushQuote(_) => 29,
+            Instr::EnvCons => 30,
         }
     }
 
@@ -372,7 +383,8 @@ pub fn validate(seg: &CodeSeg, code: &[Instr]) -> Result<(), ValidateError> {
             | Instr::SwapCons
             | Instr::ConsApp
             | Instr::AccApp(_)
-            | Instr::PushQuote(_) => Ok(()),
+            | Instr::PushQuote(_)
+            | Instr::EnvCons => Ok(()),
         }
     }
     for i in code {

@@ -238,9 +238,14 @@ pub struct Machine {
     control: Vec<Frame>,
     stats: Stats,
     fuel: Option<u64>,
-    /// `stats.steps` at the start of the current `run`, so the fuel
-    /// budget applies per run, not to the machine's lifetime total.
-    fuel_base: u64,
+    /// Fuel units spent by the current `run` (the budget is per run, not
+    /// the machine's lifetime total). Distinct from `stats.steps`: a
+    /// fused superinstruction counts one *step* but charges fuel for
+    /// every component it replaced, so a fuel budget bounds the same
+    /// amount of work in every execution mode (`indexed_env`, `fuse`,
+    /// flat environments) — fusion can't be used to smuggle extra work
+    /// past a per-run limit.
+    fuel_spent: u64,
     output: String,
     trace: Option<Trace>,
     optimize: bool,
@@ -302,7 +307,7 @@ impl Machine {
             control: Vec::new(),
             stats: Stats::default(),
             fuel: None,
-            fuel_base: 0,
+            fuel_spent: 0,
             output: String::new(),
             trace: None,
             optimize: false,
@@ -385,6 +390,22 @@ impl Machine {
         code
     }
 
+    /// Fuel units one instruction charges: the number of unfused
+    /// pair-spine reduction steps it stands for. `Acc(n)` replaces
+    /// `fst^n; snd`, each fused superinstruction replaces the pair it
+    /// covers, and `env_cons` replaces exactly one `cons`. Keeping fuel
+    /// in these units makes a fuel budget exhaust at the same point in
+    /// every execution mode — the cost model the budget was set against
+    /// is the paper's, not whichever dispatch encoding happens to run.
+    fn fuel_cost(i: &Instr) -> u64 {
+        match i {
+            Instr::Acc(n) => *n as u64 + 1,
+            Instr::PushAcc(n) | Instr::AccApp(n) => *n as u64 + 2,
+            Instr::QuoteCons(_) | Instr::SwapCons | Instr::ConsApp | Instr::PushQuote(_) => 2,
+            _ => 1,
+        }
+    }
+
     /// Records the `(block, pc, mnemonic)` of the first `limit` executed
     /// instructions (for debugging and tests). Replaces any existing
     /// trace.
@@ -419,7 +440,7 @@ impl Machine {
             opcodes,
             ..Stats::default()
         };
-        self.fuel_base = 0;
+        self.fuel_spent = 0;
     }
 
     /// Everything printed by `print` so far.
@@ -448,7 +469,7 @@ impl Machine {
             block: code.block,
             pc: 0,
         });
-        self.fuel_base = self.stats.steps;
+        self.fuel_spent = 0;
         let result = self.steps_loop();
         if result.is_err() {
             self.stack.clear();
@@ -505,7 +526,8 @@ impl Machine {
                     counts.0[instr.opcode()] += 1;
                 }
                 if let Some(fuel) = self.fuel {
-                    if self.stats.steps - self.fuel_base > fuel {
+                    self.fuel_spent += Self::fuel_cost(instr);
+                    if self.fuel_spent > fuel {
                         return Err(MachineError::OutOfFuel { fuel });
                     }
                 }
@@ -517,34 +539,49 @@ impl Machine {
                     // stack, so the borrow stays valid.
                     Instr::Id => {}
                     Instr::Fst => {
-                        let (a, _) = self.pop_pair("fst")?;
-                        self.stack.push(a);
+                        let v = self.pop("fst")?;
+                        match v {
+                            Value::Pair(p) => {
+                                let a = match Rc::try_unwrap(p) {
+                                    Ok(pair) => pair.0,
+                                    Err(p) => p.0.clone(),
+                                };
+                                self.stack.push(a);
+                            }
+                            v @ Value::Frame(_) => {
+                                let a = v.env_fst().expect("frame has a first component");
+                                self.stack.push(a);
+                            }
+                            other => return Err(Self::mismatch("fst", "a pair", &other)),
+                        }
                     }
                     Instr::Snd => {
-                        let (_, b) = self.pop_pair("snd")?;
-                        self.stack.push(b);
+                        let v = self.pop("snd")?;
+                        match v {
+                            Value::Pair(p) => {
+                                let b = match Rc::try_unwrap(p) {
+                                    Ok(pair) => pair.1,
+                                    Err(p) => p.1.clone(),
+                                };
+                                self.stack.push(b);
+                            }
+                            v @ Value::Frame(_) => {
+                                let b = v.env_snd().expect("frame has a second component");
+                                self.stack.push(b);
+                            }
+                            other => return Err(Self::mismatch("snd", "a pair", &other)),
+                        }
                     }
                     Instr::Acc(n) => {
                         // Fused `fst^n; snd`: one dispatch, one reduction
-                        // step, and no intermediate spine values pushed —
-                        // the walk borrows the pair chain and clones only
-                        // the result.
+                        // step, and no intermediate spine values pushed.
+                        // Pair nodes are walked one link per cell; frame
+                        // nodes (flat environments) answer with a single
+                        // bounds-checked index.
                         let v = self.pop("acc")?;
-                        let out = {
-                            let mut cur = &v;
-                            for _ in 0..*n {
-                                match cur {
-                                    Value::Pair(p) => cur = &p.0,
-                                    other => {
-                                        return Err(Self::mismatch("acc", "a pair spine", other))
-                                    }
-                                }
-                            }
-                            match cur {
-                                Value::Pair(p) => p.1.clone(),
-                                other => return Err(Self::mismatch("acc", "a pair spine", other)),
-                            }
-                        };
+                        let out = v
+                            .env_acc(*n)
+                            .ok_or_else(|| Self::mismatch("acc", "an environment spine", &v))?;
                         self.stack.push(out);
                     }
                     Instr::Push => {
@@ -629,31 +666,15 @@ impl Machine {
                     // reduction step (DESIGN.md §11).
                     Instr::PushAcc(n) => {
                         // `push; acc n` without the duplicate: peek the
-                        // top, walk the spine, push only the result.
+                        // top, resolve the access, push only the result.
                         let out = {
                             let v = self
                                 .stack
                                 .last()
                                 .ok_or(MachineError::StackUnderflow { instr: "push_acc" })?;
-                            let mut cur = v;
-                            for _ in 0..*n {
-                                match cur {
-                                    Value::Pair(p) => cur = &p.0,
-                                    other => {
-                                        return Err(Self::mismatch(
-                                            "push_acc",
-                                            "a pair spine",
-                                            other,
-                                        ))
-                                    }
-                                }
-                            }
-                            match cur {
-                                Value::Pair(p) => p.1.clone(),
-                                other => {
-                                    return Err(Self::mismatch("push_acc", "a pair spine", other))
-                                }
-                            }
+                            v.env_acc(*n).ok_or_else(|| {
+                                Self::mismatch("push_acc", "an environment spine", v)
+                            })?
                         };
                         self.stats.fused += 1;
                         self.stack.push(out);
@@ -685,6 +706,15 @@ impl Machine {
                         }
                         self.stats.fused += 1;
                         self.stack.push(v.clone());
+                    }
+                    Instr::EnvCons => {
+                        // Flat-mode environment extension: like `cons`,
+                        // but the result is a contiguous frame — appended
+                        // in place when the environment is uniquely
+                        // owned, chained otherwise.
+                        let v = self.pop("env_cons")?;
+                        let env = self.pop("env_cons")?;
+                        self.stack.push(Value::env_extend(env, v));
                     }
                     // Control transfers and segment mutators: these push
                     // frames or freeze arena contents into a segment, so
@@ -785,22 +815,12 @@ impl Machine {
             }
             Instr::AccApp(n) => {
                 // Fused `acc n; app` (`snd; app` when n = 0): fetch the
-                // (closure, argument) pair from the environment spine and
-                // apply it in one dispatch.
+                // (closure, argument) pair from the environment and apply
+                // it in one dispatch.
                 let v = self.pop("acc_app")?;
-                let w = {
-                    let mut cur = &v;
-                    for _ in 0..n {
-                        match cur {
-                            Value::Pair(p) => cur = &p.0,
-                            other => return Err(Self::mismatch("acc_app", "a pair spine", other)),
-                        }
-                    }
-                    match cur {
-                        Value::Pair(p) => p.1.clone(),
-                        other => return Err(Self::mismatch("acc_app", "a pair spine", other)),
-                    }
-                };
+                let w = v
+                    .env_acc(n)
+                    .ok_or_else(|| Self::mismatch("acc_app", "an environment spine", &v))?;
                 let Value::Pair(p) = w else {
                     return Err(Self::mismatch("acc_app", "a (closure, argument) pair", &w));
                 };
@@ -1016,6 +1036,11 @@ impl Machine {
     fn apply_to(&mut self, f: Value, arg: Value) -> Result<(), MachineError> {
         match f {
             Value::Closure(c) => {
+                // Always a genuine pair, even over a frame environment:
+                // generating extensions are applied to arenas and their
+                // state `(lenv, A)` is destructured as a literal pair by
+                // the RTCG instructions. Frames are built only by
+                // `env_cons`; `acc` walks mixed pair/frame spines.
                 self.stack.push(Value::pair(c.env.clone(), arg));
                 self.enter(c.body.clone());
                 Ok(())
@@ -1526,6 +1551,117 @@ mod tests {
             assert!(matches!(out, Value::Int(2)));
         }
         assert_eq!(m.stats().steps, 20);
+    }
+
+    #[test]
+    fn env_cons_builds_frames_acc_indexes_them() {
+        // let v0 = 10 in let v1 = 20 in v0 + v1 — flat encoding: each
+        // extension is env_cons, each access a single Acc.
+        let prog = entry(vec![
+            Instr::Push,
+            Instr::Quote(Value::Int(10)),
+            Instr::EnvCons,
+            Instr::Push,
+            Instr::Quote(Value::Int(20)),
+            Instr::EnvCons,
+            Instr::Push,
+            Instr::Acc(1),
+            Instr::Swap,
+            Instr::Acc(0),
+            Instr::ConsPair,
+            Instr::Prim(PrimOp::Add),
+        ]);
+        let mut m = Machine::new();
+        let out = m.run(prog, Value::Unit).unwrap();
+        assert!(matches!(out, Value::Int(30)));
+    }
+
+    #[test]
+    fn fst_snd_project_frames_like_the_spine_they_denote() {
+        let env = Value::env_extend(Value::env_extend(Value::Unit, Value::Int(1)), Value::Int(2));
+        let out = Machine::new()
+            .run(entry(vec![Instr::Snd]), env.clone())
+            .unwrap();
+        assert!(matches!(out, Value::Int(2)));
+        let out = Machine::new()
+            .run(entry(vec![Instr::Fst, Instr::Snd]), env)
+            .unwrap();
+        assert!(matches!(out, Value::Int(1)));
+    }
+
+    #[test]
+    fn closure_over_frame_env_binds_a_pair_and_acc_walks_the_mixed_spine() {
+        // cur captures a frame env; application always binds with a
+        // genuine pair (the RTCG state must stay destructurable), so the
+        // body sees Pair(frame, arg): Acc(0) is the argument and Acc(1)
+        // resolves through the frame.
+        let seg = CodeSeg::new();
+        let body = seg.add_block(vec![
+            Instr::Push,
+            Instr::Acc(0),
+            Instr::Swap,
+            Instr::Acc(1),
+            Instr::ConsPair,
+            Instr::Prim(PrimOp::Sub),
+        ]);
+        let prog = seg.entry(vec![
+            Instr::Push,
+            Instr::Quote(Value::Int(100)),
+            Instr::EnvCons,
+            Instr::Cur(body),
+            Instr::Push,
+            Instr::Swap,
+            Instr::Quote(Value::Int(7)),
+            Instr::ConsPair,
+            Instr::App,
+        ]);
+        let out = Machine::new().run(prog, Value::Unit).unwrap();
+        // arg - binding = 7 - 100
+        assert!(matches!(out, Value::Int(-93)));
+    }
+
+    #[test]
+    fn fuel_charges_fused_opcodes_their_component_count() {
+        // `push; acc 3` (2 steps, 2+3+1... i.e. 1 + 4 fuel) vs the fused
+        // `push_acc 3` (1 step, same 5 fuel): both must exhaust the same
+        // budget at the same point.
+        let deep = Value::pair(
+            Value::pair(
+                Value::pair(Value::pair(Value::Unit, Value::Int(1)), Value::Int(2)),
+                Value::Int(3),
+            ),
+            Value::Int(4),
+        );
+        let plain = vec![Instr::Push, Instr::Acc(3), Instr::ConsPair];
+        let fused = vec![Instr::PushAcc(3), Instr::ConsPair];
+        // Plain: push(1) + acc3(4) + cons(1) = 6 fuel; fused: 5 + 1 = 6.
+        for budget in [5u64, 6] {
+            let mut m1 = Machine::with_fuel(budget);
+            let r1 = m1.run(entry(plain.clone()), deep.clone());
+            let mut m2 = Machine::with_fuel(budget);
+            let r2 = m2.run(entry(fused.clone()), deep.clone());
+            assert_eq!(
+                r1.is_err(),
+                r2.is_err(),
+                "fuel {budget}: fused and plain disagree on exhaustion"
+            );
+        }
+        // And the spine-walk equivalent (fst;fst;fst;snd) matches Acc(3).
+        let chain = vec![
+            Instr::Push,
+            Instr::Fst,
+            Instr::Fst,
+            Instr::Fst,
+            Instr::Snd,
+            Instr::ConsPair,
+        ];
+        for budget in [5u64, 6] {
+            let mut m1 = Machine::with_fuel(budget);
+            let r1 = m1.run(entry(chain.clone()), deep.clone());
+            let mut m2 = Machine::with_fuel(budget);
+            let r2 = m2.run(entry(plain.clone()), deep.clone());
+            assert_eq!(r1.is_err(), r2.is_err(), "fuel {budget}");
+        }
     }
 
     #[test]

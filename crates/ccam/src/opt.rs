@@ -111,7 +111,8 @@ fn optimize_nested(seg: &CodeSeg, i: &Instr) -> Instr {
         | Instr::SwapCons
         | Instr::ConsApp
         | Instr::AccApp(_)
-        | Instr::PushQuote(_) => i.clone(),
+        | Instr::PushQuote(_)
+        | Instr::EnvCons => i.clone(),
     }
 }
 
@@ -241,7 +242,10 @@ fn is_pure(i: &Instr) -> bool {
         | Instr::PushAcc(_)
         | Instr::QuoteCons(_)
         | Instr::SwapCons
-        | Instr::PushQuote(_) => true,
+        | Instr::PushQuote(_)
+        // Extends the environment spine as a frame slot — an allocation,
+        // like `ConsPair`, with no observable effect.
+        | Instr::EnvCons => true,
         Instr::Prim(op) => matches!(
             op,
             PrimOp::Add

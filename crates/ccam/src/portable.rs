@@ -33,7 +33,7 @@
 
 use crate::instr::{Instr, MergeSwitchSpec, PrimOp, SwitchArm, SwitchTable};
 use crate::seg::{BlockId, CodeRef, CodeSeg};
-use crate::value::{Closure, ConTag, RecGroup, Value};
+use crate::value::{Closure, ConTag, Frame, RecGroup, Value};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
@@ -100,6 +100,17 @@ pub struct PortableRecGroup {
     pub bodies: Arc<Vec<u32>>,
 }
 
+/// A thread-shareable contiguous environment frame (see
+/// [`crate::value::Frame`]): the flat-environment-mode rendering of a
+/// pair spine.
+#[derive(Debug)]
+pub struct PortableFrame {
+    /// The enclosing environment.
+    pub link: PortableVal,
+    /// Bindings, oldest first.
+    pub slots: Vec<PortableVal>,
+}
+
 /// One arm of a portable `switch` dispatch (see [`SwitchArm`]).
 #[derive(Debug, Clone)]
 pub struct PortableSwitchArm {
@@ -139,6 +150,8 @@ pub enum PortableVal {
     Str(Arc<str>),
     /// A pair.
     Pair(Arc<(PortableVal, PortableVal)>),
+    /// A contiguous environment frame (flat environment mode only).
+    Frame(Arc<PortableFrame>),
     /// A closure.
     Closure(Arc<PortableClosure>),
     /// A member of a recursive closure group.
@@ -160,6 +173,11 @@ pub struct PortableValue {
     pub seg: PortableSeg,
     /// The value graph.
     pub root: PortableVal,
+    /// Whether the graph (including `quote` immediates in reachable
+    /// code) contains [`PortableVal::Frame`] environments — set at
+    /// extraction time so consumers can refuse to hydrate a
+    /// flat-environment artifact into a pair-spine session.
+    uses_frames: bool,
 }
 
 /// A thread-shareable instruction: the mirror of [`Instr`] with every
@@ -227,6 +245,8 @@ pub enum PortableInstr {
     AccApp(usize),
     /// Fused `push; quote v`.
     PushQuote(PortableVal),
+    /// Environment extension as a frame slot (flat environment mode).
+    EnvCons,
 }
 
 // The entire point of this module: everything above must be shareable
@@ -277,8 +297,10 @@ struct Extract {
     /// addresses are stable for the duration.
     block_memo: HashMap<(usize, u32), u32>,
     pairs: HashMap<*const (Value, Value), Arc<(PortableVal, PortableVal)>>,
+    frames: HashMap<*const Frame, Arc<PortableFrame>>,
     closures: HashMap<*const Closure, Arc<PortableClosure>>,
     groups: HashMap<*const RecGroup, Arc<PortableRecGroup>>,
+    uses_frames: bool,
 }
 
 impl Extract {
@@ -329,6 +351,23 @@ impl Extract {
                 let pair = Arc::new((self.value(&p.0)?, self.value(&p.1)?));
                 self.pairs.insert(key, pair.clone());
                 PortableVal::Pair(pair)
+            }
+            Value::Frame(f) => {
+                self.uses_frames = true;
+                let key = Rc::as_ptr(f);
+                if let Some(done) = self.frames.get(&key) {
+                    return Ok(PortableVal::Frame(done.clone()));
+                }
+                let frame = Arc::new(PortableFrame {
+                    link: self.value(&f.link)?,
+                    slots: f
+                        .slots
+                        .iter()
+                        .map(|s| self.value(s))
+                        .collect::<Result<Vec<_>, _>>()?,
+                });
+                self.frames.insert(key, frame.clone());
+                PortableVal::Frame(frame)
             }
             Value::Closure(c) => {
                 let key = Rc::as_ptr(c);
@@ -434,6 +473,7 @@ impl Extract {
             Instr::ConsApp => PortableInstr::ConsApp,
             Instr::AccApp(n) => PortableInstr::AccApp(*n),
             Instr::PushQuote(v) => PortableInstr::PushQuote(self.value(v)?),
+            Instr::EnvCons => PortableInstr::EnvCons,
         })
     }
 }
@@ -444,6 +484,7 @@ impl Extract {
 struct Hydrate {
     seg: CodeSeg,
     pairs: HashMap<*const (PortableVal, PortableVal), Rc<(Value, Value)>>,
+    frames: HashMap<*const PortableFrame, Rc<Frame>>,
     closures: HashMap<*const PortableClosure, Rc<Closure>>,
     groups: HashMap<*const PortableRecGroup, Rc<RecGroup>>,
 }
@@ -470,6 +511,18 @@ impl Hydrate {
                 let pair = Rc::new((self.value(&p.0), self.value(&p.1)));
                 self.pairs.insert(key, pair.clone());
                 Value::Pair(pair)
+            }
+            PortableVal::Frame(f) => {
+                let key = Arc::as_ptr(f);
+                if let Some(done) = self.frames.get(&key) {
+                    return Value::Frame(done.clone());
+                }
+                let frame = Rc::new(Frame {
+                    link: self.value(&f.link),
+                    slots: f.slots.iter().map(|s| self.value(s)).collect(),
+                });
+                self.frames.insert(key, frame.clone());
+                Value::Frame(frame)
             }
             PortableVal::Closure(c) => {
                 let key = Arc::as_ptr(c);
@@ -519,10 +572,21 @@ impl PortableValue {
     pub fn extract(v: &Value) -> Result<PortableValue, ExtractError> {
         let mut e = Extract::default();
         let root = e.value(v)?;
+        let uses_frames = e.uses_frames;
         Ok(PortableValue {
             seg: e.finish(),
             root,
+            uses_frames,
         })
+    }
+
+    /// Whether the value graph contains contiguous environment frames
+    /// ([`PortableVal::Frame`]). Frames only exist under the flat
+    /// environment mode; a consumer running a different mode must refuse
+    /// to hydrate such a value rather than silently mixing
+    /// representations with different step counts.
+    pub fn uses_frames(&self) -> bool {
+        self.uses_frames
     }
 
     /// Rebuilds a machine-native value inside the calling thread: one
@@ -572,6 +636,7 @@ fn hydrate_seg(p: &PortableSeg) -> Hydrate {
     let mut h = Hydrate {
         seg: seg.clone(),
         pairs: HashMap::new(),
+        frames: HashMap::new(),
         closures: HashMap::new(),
         groups: HashMap::new(),
     };
@@ -636,6 +701,7 @@ fn hydrate_instr(h: &mut Hydrate, i: &PortableInstr) -> Instr {
         PortableInstr::ConsApp => Instr::ConsApp,
         PortableInstr::AccApp(n) => Instr::AccApp(*n),
         PortableInstr::PushQuote(v) => Instr::PushQuote(h.value(v)),
+        PortableInstr::EnvCons => Instr::EnvCons,
     }
 }
 
@@ -786,6 +852,7 @@ mod tests {
             Instr::ConsApp,
             Instr::AccApp(0),
             Instr::PushQuote(Value::Bool(false)),
+            Instr::EnvCons,
         ];
         let code = seg.entry(all);
         let portable = extract_code(&code).unwrap();
@@ -794,6 +861,50 @@ mod tests {
         for (orig, round) in code.to_vec().iter().zip(back.to_vec().iter()) {
             assert_eq!(orig.opcode(), round.opcode());
         }
+    }
+
+    #[test]
+    fn frame_environments_roundtrip_and_are_flagged() {
+        // A closure whose captured environment is a frame — what flat
+        // environment mode produces — survives extraction faithfully
+        // (same representation, so same step counts on hydrate), and the
+        // artifact is flagged so mismatched consumers can refuse it.
+        let env = Value::env_extend(
+            Value::env_extend(Value::Unit, Value::Int(10)),
+            Value::Int(20),
+        );
+        // After application the argument is slot 0, so acc 2 reads the
+        // deepest captured binding.
+        let f = closure(env, vec![Instr::Acc(2)]);
+        let p = PortableValue::extract(&f).unwrap();
+        assert!(p.uses_frames());
+        let g = p.hydrate();
+        let Value::Closure(c) = &g else {
+            panic!("{g:?}")
+        };
+        assert!(matches!(c.env, Value::Frame(_)), "representation kept");
+        let out = Machine::new()
+            .run(app(), Value::pair(g, Value::Unit))
+            .unwrap();
+        assert!(matches!(out, Value::Int(10)), "{out}");
+        // Pair-spine values are not flagged.
+        let plain = closure(Value::pair(Value::Unit, Value::Int(1)), vec![Instr::Snd]);
+        assert!(!PortableValue::extract(&plain).unwrap().uses_frames());
+    }
+
+    #[test]
+    fn shared_frames_stay_shared_through_roundtrip() {
+        let env = Value::env_extend(Value::Unit, Value::Int(1));
+        let v = Value::pair(env.clone(), env);
+        let p = PortableValue::extract(&v).unwrap();
+        let h = p.hydrate();
+        let Value::Pair(pair) = &h else {
+            panic!("{h:?}")
+        };
+        let (Value::Frame(a), Value::Frame(b)) = (&pair.0, &pair.1) else {
+            panic!("{h:?}")
+        };
+        assert!(Rc::ptr_eq(a, b), "frame sharing restored");
     }
 
     #[test]

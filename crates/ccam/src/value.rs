@@ -31,6 +31,28 @@ pub struct Closure {
     pub body: CodeRef,
 }
 
+/// A contiguous environment frame (`EnvMode::Flat`).
+///
+/// A frame with slots `[s0, …, s_{k-1}]` denotes exactly the pair spine
+/// `((…(link, s0)…), s_{k-1})`: `slots[k-1]` is the innermost (most
+/// recent) binding and `link` is the environment the frame extends.
+/// `Instr::Acc(n)` resolves against a frame by indexing `slots[k-1-n]`
+/// when `n < k` — a bounds-checked load instead of an `n`-cell spine
+/// walk — and otherwise continues into `link` with `n - k`.
+///
+/// Frames chain: extending a *shared* frame (one also captured by a
+/// closure) must not mutate it, so the machine starts a fresh frame whose
+/// `link` is the shared one. Extending a uniquely-owned frame appends to
+/// `slots` in place, which is what keeps a straight-line `let` nest in
+/// one contiguous allocation.
+#[derive(Debug)]
+pub struct Frame {
+    /// The environment this frame extends (spine tail).
+    pub link: Value,
+    /// Bindings, oldest first; never empty.
+    pub slots: Vec<Value>,
+}
+
 /// An arena: a dynamically created code sequence under construction
 /// (the paper's `{P}`).
 ///
@@ -177,6 +199,9 @@ pub enum Value {
     Str(Rc<str>),
     /// A pair (also the environment spine and tuple encoding).
     Pair(Rc<(Value, Value)>),
+    /// A contiguous environment frame (`EnvMode::Flat` only; never a
+    /// surface value).
+    Frame(Rc<Frame>),
     /// A closure `[v : P]`.
     Closure(Rc<Closure>),
     /// A member of a recursive closure group.
@@ -216,33 +241,193 @@ impl Value {
         acc
     }
 
+    /// Shared frames up to this many slots are extended by copying
+    /// (keeping the frame compact for O(1) access) rather than by
+    /// chaining a new one-slot frame. Bounds the copy at a constant
+    /// while keeping access chains `depth / COMPACT_SLOTS` nodes long —
+    /// without it, top-level declarations (whose frame the session
+    /// always shares) would degenerate into a one-slot-per-node spine.
+    const COMPACT_SLOTS: usize = 16;
+
+    /// A fresh frame's slot vector, over-allocated a little: most scopes
+    /// bind more than once, and slack here converts the follow-up
+    /// in-place extensions into plain pushes instead of reallocations.
+    fn first_slots(binding: Value) -> Vec<Value> {
+        let mut slots = Vec::with_capacity(4);
+        slots.push(binding);
+        slots
+    }
+
+    /// Extends an environment with one binding — the dynamics of
+    /// `Instr::EnvCons`. A uniquely-owned frame grows in place; a shared
+    /// frame (captured by some closure or the session) is either copied
+    /// while small (see [`Self::COMPACT_SLOTS`]) or linked to from a
+    /// fresh frame; any other environment value becomes the `link` of a
+    /// first frame. Frames are immutable as values, so every branch
+    /// denotes the same extended environment.
+    #[inline]
+    pub fn env_extend(env: Value, binding: Value) -> Value {
+        match env {
+            Value::Frame(mut frame) => {
+                if let Some(f) = Rc::get_mut(&mut frame) {
+                    f.slots.push(binding);
+                    Value::Frame(frame)
+                } else if frame.slots.len() < Self::COMPACT_SLOTS {
+                    let mut slots = Vec::with_capacity(frame.slots.len() + 4);
+                    slots.extend(frame.slots.iter().cloned());
+                    slots.push(binding);
+                    Value::Frame(Rc::new(Frame {
+                        link: frame.link.clone(),
+                        slots,
+                    }))
+                } else {
+                    Value::Frame(Rc::new(Frame {
+                        link: Value::Frame(frame),
+                        slots: Self::first_slots(binding),
+                    }))
+                }
+            }
+            other => Value::Frame(Rc::new(Frame {
+                link: other,
+                slots: Self::first_slots(binding),
+            })),
+        }
+    }
+
+    /// Resolves `Acc(n)` against a mixed pair/frame environment spine:
+    /// `n` applications of `fst` followed by `snd`. Frames answer in one
+    /// bounds-checked index per frame node. `None` when the spine runs
+    /// out before the access lands.
+    #[inline]
+    pub fn env_acc(&self, mut n: usize) -> Option<Value> {
+        let mut cur = self;
+        loop {
+            match cur {
+                Value::Pair(p) => {
+                    if n == 0 {
+                        return Some(p.1.clone());
+                    }
+                    n -= 1;
+                    cur = &p.0;
+                }
+                Value::Frame(f) => {
+                    let k = f.slots.len();
+                    if n < k {
+                        return Some(f.slots[k - 1 - n].clone());
+                    }
+                    n -= k;
+                    cur = &f.link;
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// `fst` of an environment node: for a pair the left half, for a
+    /// frame the frame minus its innermost slot (the `link` when only one
+    /// slot remains). `None` on non-environment values.
+    #[inline]
+    pub fn env_fst(&self) -> Option<Value> {
+        match self {
+            Value::Pair(p) => Some(p.0.clone()),
+            Value::Frame(f) => Some(match f.slots.len() {
+                0 | 1 => f.link.clone(),
+                k => Value::Frame(Rc::new(Frame {
+                    link: f.link.clone(),
+                    slots: f.slots[..k - 1].to_vec(),
+                })),
+            }),
+            _ => None,
+        }
+    }
+
+    /// `snd` of an environment node: for a pair the right half, for a
+    /// frame the innermost slot. `None` on non-environment values.
+    #[inline]
+    pub fn env_snd(&self) -> Option<Value> {
+        match self {
+            Value::Pair(p) => Some(p.1.clone()),
+            Value::Frame(f) => f.slots.last().cloned(),
+            _ => None,
+        }
+    }
+
     /// Structural equality as used by the `=` primitive: defined for
     /// unit, integers, booleans, strings, pairs, and constructors;
     /// reference cells and arrays compare by identity. Returns `None` for
     /// closures and arenas (equality is not defined on them).
+    ///
+    /// Iterative (explicit worklist): the `=` primitive is reachable from
+    /// user programs with arbitrarily deep spines, and a recursive
+    /// traversal overflows the Rust stack around a few tens of thousands
+    /// of cells.
     pub fn structural_eq(&self, other: &Value) -> Option<bool> {
-        match (self, other) {
-            (Value::Unit, Value::Unit) => Some(true),
-            (Value::Int(a), Value::Int(b)) => Some(a == b),
-            (Value::Bool(a), Value::Bool(b)) => Some(a == b),
-            (Value::Str(a), Value::Str(b)) => Some(a == b),
-            (Value::Pair(a), Value::Pair(b)) => {
-                Some(a.0.structural_eq(&b.0)? && a.1.structural_eq(&b.1)?)
-            }
-            (Value::Con(ta, pa), Value::Con(tb, pb)) => {
-                if ta != tb {
-                    return Some(false);
+        let mut work: Vec<(&Value, &Value)> = vec![(self, other)];
+        while let Some((a, b)) = work.pop() {
+            match (a, b) {
+                (Value::Unit, Value::Unit) => {}
+                (Value::Int(a), Value::Int(b)) => {
+                    if a != b {
+                        return Some(false);
+                    }
                 }
-                match (pa, pb) {
-                    (None, None) => Some(true),
-                    (Some(a), Some(b)) => a.structural_eq(b),
-                    _ => Some(false),
+                (Value::Bool(a), Value::Bool(b)) => {
+                    if a != b {
+                        return Some(false);
+                    }
                 }
+                (Value::Str(a), Value::Str(b)) => {
+                    if a != b {
+                        return Some(false);
+                    }
+                }
+                (Value::Pair(a), Value::Pair(b)) => {
+                    if !Rc::ptr_eq(a, b) {
+                        // Left half on top of the stack: preserves the
+                        // recursive version's left-to-right short-circuit.
+                        work.push((&a.1, &b.1));
+                        work.push((&a.0, &b.0));
+                    }
+                }
+                (Value::Frame(a), Value::Frame(b)) => {
+                    // Frames are an internal environment representation;
+                    // `=` never sees one from a well-typed program. Equal
+                    // chunking compares structurally, anything else is
+                    // undefined (like closures).
+                    if !Rc::ptr_eq(a, b) {
+                        if a.slots.len() != b.slots.len() {
+                            return None;
+                        }
+                        work.push((&a.link, &b.link));
+                        for (x, y) in a.slots.iter().zip(b.slots.iter()) {
+                            work.push((x, y));
+                        }
+                    }
+                }
+                (Value::Con(ta, pa), Value::Con(tb, pb)) => {
+                    if ta != tb {
+                        return Some(false);
+                    }
+                    match (pa, pb) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => work.push((a, b)),
+                        _ => return Some(false),
+                    }
+                }
+                (Value::Ref(a), Value::Ref(b)) => {
+                    if !Rc::ptr_eq(a, b) {
+                        return Some(false);
+                    }
+                }
+                (Value::Array(a), Value::Array(b)) => {
+                    if !Rc::ptr_eq(a, b) {
+                        return Some(false);
+                    }
+                }
+                _ => return None,
             }
-            (Value::Ref(a), Value::Ref(b)) => Some(Rc::ptr_eq(a, b)),
-            (Value::Array(a), Value::Array(b)) => Some(Rc::ptr_eq(a, b)),
-            _ => None,
         }
+        Some(true)
     }
 }
 
@@ -254,6 +439,18 @@ impl fmt::Display for Value {
             Value::Bool(b) => write!(f, "{b}"),
             Value::Str(s) => write!(f, "{s:?}"),
             Value::Pair(p) => write!(f, "({}, {})", p.0, p.1),
+            Value::Frame(fr) => {
+                // Rendered exactly as the pair spine the frame denotes,
+                // so both environment representations print alike.
+                for _ in &fr.slots {
+                    f.write_str("(")?;
+                }
+                write!(f, "{}", fr.link)?;
+                for s in &fr.slots {
+                    write!(f, ", {s})")?;
+                }
+                Ok(())
+            }
             Value::Closure(_) => f.write_str("<fn>"),
             Value::RecClosure { .. } => f.write_str("<fn rec>"),
             Value::Con(tag, None) => write!(f, "con{tag}"),
@@ -357,6 +554,69 @@ mod tests {
             "successive freezes append to one segment"
         );
         assert!(CodeSeg::ptr_eq(a.seg(), &c1.seg));
+    }
+
+    #[test]
+    fn structural_eq_is_iterative_on_deep_spines() {
+        // Regression: the recursive version overflowed the stack on the
+        // deep environments `table1 deep-env` builds. 100k cells must
+        // compare without recursing on the Rust stack. (The spines are
+        // torn down iteratively too, to keep Drop off the deep path.)
+        let depth = 100_000;
+        let build = || {
+            let mut v = Value::Unit;
+            for i in 0..depth {
+                v = Value::pair(v, Value::Int(i));
+            }
+            v
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.structural_eq(&b), Some(true));
+        let c = Value::pair(a.clone(), Value::Int(-1));
+        let d = Value::pair(b.clone(), Value::Int(-2));
+        assert_eq!(c.structural_eq(&d), Some(false));
+        for mut v in [a, b, c, d] {
+            while let Value::Pair(p) = v {
+                match Rc::try_unwrap(p) {
+                    Ok((fst, _)) => v = fst,
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frames_denote_their_pair_spine() {
+        // ((((), 1), 2), 3) as one frame.
+        let env = Value::env_extend(
+            Value::env_extend(Value::env_extend(Value::Unit, Value::Int(1)), Value::Int(2)),
+            Value::Int(3),
+        );
+        match &env {
+            Value::Frame(f) => assert_eq!(f.slots.len(), 3, "unique frames grow in place"),
+            other => panic!("expected frame, got {other}"),
+        }
+        // Acc(n) agrees with the spine reading.
+        assert!(matches!(env.env_acc(0), Some(Value::Int(3))));
+        assert!(matches!(env.env_acc(1), Some(Value::Int(2))));
+        assert!(matches!(env.env_acc(2), Some(Value::Int(1))));
+        assert!(env.env_acc(3).is_none(), "unit link ends the spine");
+        // fst/snd agree too.
+        assert!(matches!(env.env_snd(), Some(Value::Int(3))));
+        let rest = env.env_fst().expect("fst");
+        assert!(matches!(rest.env_snd(), Some(Value::Int(2))));
+        // Display matches the equivalent pair spine.
+        let spine = Value::pair(
+            Value::pair(Value::pair(Value::Unit, Value::Int(1)), Value::Int(2)),
+            Value::Int(3),
+        );
+        assert_eq!(env.to_string(), spine.to_string());
+        // Extending a shared frame must not mutate it.
+        let shared = env.clone();
+        let extended = Value::env_extend(env, Value::Int(4));
+        assert!(matches!(shared.env_acc(0), Some(Value::Int(3))));
+        assert!(matches!(extended.env_acc(0), Some(Value::Int(4))));
+        assert!(matches!(extended.env_acc(3), Some(Value::Int(1))));
     }
 
     #[test]

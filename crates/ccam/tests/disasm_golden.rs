@@ -67,6 +67,7 @@ fn full_instruction_set() -> (CodeSeg, BlockId) {
         Instr::ConsApp,
         Instr::AccApp(0),
         Instr::PushQuote(Value::Bool(true)),
+        Instr::EnvCons,
     ]);
     (seg, entry)
 }
@@ -106,6 +107,7 @@ L0:
   cons_app
   acc_app 0
   push_quote true
+  env_cons
 
 L1:
   snd

@@ -100,6 +100,18 @@ pub fn compile_expr(e: &CExprS, ctx: &Ctx, seg: &CodeSeg) -> Result<Vec<Instr>> 
     Ok(b.into_instrs())
 }
 
+/// The environment-extension instruction for the mode: flat mode grows a
+/// contiguous frame ([`Instr::EnvCons`]), the spine modes cons a pair.
+/// Only genuine extension sites (`let`, `let cogen`, `val`/`cogen`
+/// declarations) use this; scratch pairs consumed by `branch`, `switch`,
+/// or `app` stay [`Instr::ConsPair`] in every mode.
+fn env_cons(mode: EnvMode) -> Instr {
+    match mode {
+        EnvMode::Flat => Instr::EnvCons,
+        EnvMode::PairSpine | EnvMode::Indexed => Instr::ConsPair,
+    }
+}
+
 /// Emits `⟨A, B⟩ = push; A; swap; B; cons`.
 fn pair_into(
     a: impl FnOnce(&mut CodeBuilder) -> Result<()>,
@@ -208,7 +220,7 @@ fn expr_into(e: &CExprS, ctx: &Ctx, out: &mut CodeBuilder) -> Result<()> {
         CExpr::Let(n, rhs, body) => {
             out.push(Instr::Push);
             expr_into(rhs, ctx, out)?;
-            out.push(Instr::ConsPair);
+            out.push(env_cons(ctx.mode()));
             let inner = ctx.bind_early(n.clone(), Kind::Val);
             expr_into(body, &inner, out)?;
         }
@@ -291,7 +303,7 @@ fn expr_into(e: &CExprS, ctx: &Ctx, out: &mut CodeBuilder) -> Result<()> {
         CExpr::LetCogen(u, m, n) => {
             out.push(Instr::Push);
             expr_into(m, ctx, out)?;
-            out.push(Instr::ConsPair);
+            out.push(env_cons(ctx.mode()));
             let inner = ctx.bind_early(u.clone(), Kind::Cogen);
             expr_into(n, &inner, out)?;
         }
@@ -511,7 +523,7 @@ fn gen_into(e: &CExprS, ctx: &Ctx, out: &mut CodeBuilder) -> Result<()> {
         CExpr::Let(n, rhs, body) => {
             emit(Instr::Push, out);
             gen_into(rhs, ctx, out)?;
-            emit(Instr::ConsPair, out);
+            emit(env_cons(ctx.mode()), out);
             let inner = ctx.bind_late(n.clone(), Kind::Val);
             gen_into(body, &inner, out)?;
         }
@@ -611,7 +623,7 @@ fn gen_into(e: &CExprS, ctx: &Ctx, out: &mut CodeBuilder) -> Result<()> {
         CExpr::LetCogen(u, m, n) => {
             emit(Instr::Push, out);
             gen_into(m, ctx, out)?;
-            emit(Instr::ConsPair, out);
+            emit(env_cons(ctx.mode()), out);
             let inner = ctx.bind_late(u.clone(), Kind::Cogen);
             gen_into(n, &inner, out)?;
         }
@@ -665,7 +677,7 @@ pub fn compile_decl(
             let mut b = CodeBuilder::new(seg);
             b.push(Instr::Push);
             expr_into(e, ctx, &mut b)?;
-            b.push(Instr::ConsPair);
+            b.push(env_cons(ctx.mode()));
             Ok((
                 b.into_instrs(),
                 ctx.bind_early(n.clone(), Kind::Val),
@@ -676,7 +688,7 @@ pub fn compile_decl(
             let mut b = CodeBuilder::new(seg);
             b.push(Instr::Push);
             expr_into(e, ctx, &mut b)?;
-            b.push(Instr::ConsPair);
+            b.push(env_cons(ctx.mode()));
             Ok((
                 b.into_instrs(),
                 ctx.bind_early(u.clone(), Kind::Cogen),
@@ -1105,6 +1117,63 @@ f 20";
                 "indexed mode took more steps ({s_idx} > {s_spine}) on {src:?}"
             );
         }
+    }
+
+    #[test]
+    fn flat_mode_agrees_with_both_spine_modes() {
+        let programs = [
+            "let val x = 5 val y = x * x in y + x end",
+            "fun fact n = if n = 0 then 1 else n * fact (n - 1);\nfact 6",
+            "fun eval c = let cogen u = c in u end\n\
+             fun compPoly p =\n\
+               case p of nil => code (fn x => 0)\n\
+               | a :: p' => let cogen f = compPoly p' cogen a' = lift a\n\
+                            in code (fn x => a' + (x * f x)) end\n\
+             val f = eval (compPoly [2, 4, 0, 2333]);\n\
+             f 47",
+            "fun eval c = let cogen u = c in u end\n\
+             val twoStage =\n\
+               code (fn a => let cogen a' = lift a in code (fn b => a' + b) end)\n\
+             val g2 = eval twoStage 7\n\
+             val f = eval g2;\n\
+             f 10",
+        ];
+        for src in programs {
+            let p = parse_program(src).unwrap();
+            let decls = Elab::new().elab_program(&p).unwrap();
+            let run_mode = |mode| {
+                let code = compile_program_with(&decls, mode).unwrap();
+                validate(&code.seg, &code.to_vec()).unwrap();
+                let mut m = Machine::new();
+                let v = m.run(code, Value::Unit).unwrap();
+                (v.to_string(), m.stats().steps)
+            };
+            let (v_spine, _) = run_mode(EnvMode::PairSpine);
+            let (v_idx, s_idx) = run_mode(EnvMode::Indexed);
+            let (v_flat, s_flat) = run_mode(EnvMode::Flat);
+            assert_eq!(v_spine, v_flat, "flat disagreement on {src:?}");
+            assert_eq!(v_idx, v_flat);
+            // env_cons costs one step like cons, and flat access paths
+            // render exactly as indexed ones, so the step counts match.
+            assert_eq!(s_flat, s_idx, "flat steps diverge from indexed on {src:?}");
+        }
+    }
+
+    #[test]
+    fn flat_mode_emits_env_cons_at_extension_sites_only() {
+        let src = "let val x = 5 in if x < 9 then x else 0 end";
+        let e = parse_expr(src).unwrap();
+        let core = Elab::new().elab_expr(&e).unwrap();
+        let seg = CodeSeg::new();
+        let code = compile_expr(&core, &Ctx::root_with(EnvMode::Flat), &seg).unwrap();
+        validate(&seg, &code).unwrap();
+        let entry = seg.entry(code);
+        let counts = ccam::disasm::census(&entry.seg, entry.block);
+        assert_eq!(counts["env_cons"], 1, "the let extends the env");
+        // The branch scratch pair and the `<` operand pair stay pairs.
+        assert_eq!(counts["cons"], 2);
+        let v = Machine::new().run(entry, Value::Unit).unwrap();
+        assert_eq!(v.to_string(), "5");
     }
 
     #[test]

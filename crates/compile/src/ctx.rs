@@ -24,11 +24,14 @@ pub enum Kind {
     Cogen,
 }
 
-/// How variable accesses are compiled against the pair-spine environment.
+/// How variable accesses are compiled against the environment.
 ///
-/// The environment *representation* is the same left-nested pair spine in
-/// both modes; the modes differ only in the instruction sequences that
-/// walk it.
+/// [`PairSpine`](EnvMode::PairSpine) and [`Indexed`](EnvMode::Indexed)
+/// share the left-nested pair-spine *representation* and differ only in
+/// the instruction sequences that walk it. [`Flat`](EnvMode::Flat) also
+/// changes the representation: bindings extend contiguous frames
+/// ([`ccam::value::Frame`]) via [`Instr::EnvCons`], so `acc n` is a
+/// bounds-checked slot index instead of an O(n) spine walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EnvMode {
     /// The paper's access sequences: `fst^k; snd` chains, one reduction
@@ -41,6 +44,13 @@ pub enum EnvMode {
     /// environments, but no longer step-for-step comparable with the
     /// paper's cost model.
     Indexed,
+    /// Indexed access over contiguous frames: paths render exactly as in
+    /// [`Indexed`](EnvMode::Indexed) mode (the machine resolves `acc n`
+    /// against frames and pairs alike), but environment-extension sites
+    /// compile to [`Instr::EnvCons`] so the environment grows as a
+    /// `Vec`-backed frame and each access is O(1). Step counts equal
+    /// indexed mode's; the win is wall-clock time.
+    Flat,
 }
 
 /// How the *early* (generation-time) environment value is shaped, for
@@ -84,7 +94,10 @@ impl Layout {
     fn path_into(&self, index: usize, mode: EnvMode, out: &mut Vec<Instr>) {
         match mode {
             EnvMode::PairSpine => self.spine_path_into(index, out),
-            EnvMode::Indexed => self.indexed_path_into(index, 0, out),
+            // Flat mode's accesses render exactly as indexed mode's: the
+            // machine resolves `acc n` against frames and pairs alike,
+            // so only extension sites differ (see the compiler).
+            EnvMode::Indexed | EnvMode::Flat => self.indexed_path_into(index, 0, out),
         }
     }
 
@@ -440,6 +453,26 @@ mod tests {
             .bind_late(g.fresh("y"), Kind::Val)
             .enter_code();
         assert_eq!(spine.early_path(1).len(), 3);
+    }
+
+    #[test]
+    fn flat_paths_render_exactly_like_indexed_paths() {
+        let build = |mode| {
+            let mut g = NameGen::new();
+            Ctx::root_with(mode)
+                .bind_early(g.fresh("a"), Kind::Cogen)
+                .enter_code()
+                .bind_late(g.fresh("x"), Kind::Val)
+                .enter_code()
+        };
+        let flat = build(EnvMode::Flat);
+        let indexed = build(EnvMode::Indexed);
+        for i in 0..2 {
+            assert_eq!(
+                format!("{:?}", flat.early_path(i)),
+                format!("{:?}", indexed.early_path(i))
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //!
 //! [`instantiate`]: CompiledFilter::instantiate
 
+use crate::error::Error;
 use crate::session::SessionOptions;
 use ccam::instr::Instr;
 use ccam::machine::{Machine, MachineError, Stats};
@@ -88,6 +89,44 @@ impl CompiledFilter {
     /// thread. Sharing inside the artifact is preserved.
     pub fn hydrate_entry(&self) -> Value {
         self.entry.hydrate()
+    }
+
+    /// Checks that this artifact's value representation is sound for a
+    /// consumer compiled under `consumer` options. An artifact whose
+    /// value graph carries contiguous frames (it was generated with
+    /// `flat_env`) must never hydrate into a session using a different
+    /// environment mode: the consumer's step accounting assumes the
+    /// pair-spine cost model, and silently running frame-backed
+    /// closures would corrupt the measurement the serving oracle
+    /// compares. The options fingerprint already keeps such artifacts
+    /// in separate cache slots; this is the belt-and-braces check at
+    /// the hydration boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Artifact`] on a representation mismatch.
+    pub fn check_compatible(&self, consumer: &SessionOptions) -> Result<(), Error> {
+        if self.entry.uses_frames() && !consumer.flat_env {
+            return Err(Error::Artifact(
+                "artifact carries flat-env frame environments but the \
+                 consuming session is not in flat_env mode; rebuild the \
+                 artifact under the consumer's options"
+                    .to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the entry point for a consumer running under `consumer`
+    /// options, first rejecting representation mismatches
+    /// (see [`check_compatible`](CompiledFilter::check_compatible)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Artifact`] on a representation mismatch.
+    pub fn hydrate_entry_for(&self, consumer: &SessionOptions) -> Result<Value, Error> {
+        self.check_compatible(consumer)?;
+        Ok(self.entry.hydrate())
     }
 
     /// A fresh single-threaded runner for this artifact: its own
@@ -258,6 +297,53 @@ mod tests {
         let mut s = Session::new().unwrap();
         let err = s.compile_to_artifact("lift 42", 0).unwrap_err();
         assert!(err.to_string().contains("not a function"), "{err}");
+    }
+
+    #[test]
+    fn flat_env_artifacts_refuse_pair_spine_consumers() {
+        let flat = SessionOptions {
+            flat_env: true,
+            ..SessionOptions::default()
+        };
+        let mut s = Session::with_options(flat.clone()).unwrap();
+        // `f` closes over the frame-backed session environment, and
+        // lifting it residualizes that frame into the generated code.
+        s.run("val a = 1;\nval b = 2;\nval f = fn x => x + a + b")
+            .unwrap();
+        let artifact = s
+            .compile_to_artifact("let cogen c = lift f in code (fn x => c x) end", 0)
+            .unwrap();
+        assert!(
+            artifact.entry().uses_frames(),
+            "the lifted closure must carry its frame environment"
+        );
+        // The artifact runs correctly under its own options...
+        let mut instance = artifact.instantiate();
+        let (v, _) = instance.run(Value::Int(4)).unwrap();
+        assert_eq!(v.to_string(), "7");
+        // ...checked hydration under matching options succeeds...
+        artifact.hydrate_entry_for(&flat).unwrap();
+        // ...and a pair-spine consumer is refused rather than silently
+        // mis-measured.
+        let err = artifact
+            .hydrate_entry_for(&SessionOptions::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("flat-env"), "{err}");
+    }
+
+    #[test]
+    fn frame_free_artifacts_hydrate_for_any_consumer() {
+        let artifact = power_artifact();
+        assert!(!artifact.entry().uses_frames());
+        artifact
+            .hydrate_entry_for(&SessionOptions::default())
+            .unwrap();
+        artifact
+            .hydrate_entry_for(&SessionOptions {
+                flat_env: true,
+                ..SessionOptions::default()
+            })
+            .unwrap();
     }
 
     #[test]

@@ -191,10 +191,21 @@ eval (compPoly [1, 2, 3]) 10";
             "let val x = 4 in x * x end",
             "eval (code (fn x => x * 3)) 5",
         ] {
-            for mode in [EnvMode::PairSpine, EnvMode::Indexed] {
+            for mode in [EnvMode::PairSpine, EnvMode::Indexed, EnvMode::Flat] {
                 let r = run_both_full(src, true, mode, true).unwrap();
                 assert!(r.agree(), "fused {mode:?} disagreement on {src}: {r:?}");
             }
+        }
+    }
+
+    #[test]
+    fn backends_agree_in_flat_mode() {
+        for src in [
+            "let val x = 4 in x * x end",
+            "eval (code (fn x => x * 3)) 5",
+        ] {
+            let r = run_both_with(src, true, EnvMode::Flat).unwrap();
+            assert!(r.agree(), "flat-mode disagreement on {src}: {r:?}");
         }
     }
 

@@ -43,6 +43,13 @@ pub struct SessionOptions {
     /// reduction-step counts of Table 1 stay exactly the paper's cost
     /// model; turn on to measure the indexed representation.
     pub indexed_env: bool,
+    /// Grow the environment as contiguous `Vec`-backed frames
+    /// (`env_cons`) so each `acc n` is an O(1) slot load instead of a
+    /// spine walk (DESIGN.md §12). Implies indexed-style access paths and
+    /// wins over [`indexed_env`](SessionOptions::indexed_env) when both
+    /// are set. Default: false, keeping the paper's pair-spine
+    /// representation and Table 1's exact cost model.
+    pub flat_env: bool,
     /// Rewrite the hottest adjacent opcode pairs into fused
     /// superinstructions (DESIGN.md §11), both in statically compiled
     /// code and — via the freeze path — in run-time generated code.
@@ -60,6 +67,7 @@ impl Default for SessionOptions {
             optimize: false,
             count_opcodes: false,
             indexed_env: false,
+            flat_env: false,
             fuse: false,
         }
     }
@@ -86,6 +94,7 @@ impl SessionOptions {
         h.write_bool(self.optimize);
         h.write_bool(self.count_opcodes);
         h.write_bool(self.indexed_env);
+        h.write_bool(self.flat_env);
         h.write_bool(self.fuse);
         h.finish()
     }
@@ -164,7 +173,9 @@ impl Session {
         machine.set_optimize(options.optimize);
         machine.set_count_opcodes(options.count_opcodes);
         machine.set_fuse(options.fuse);
-        let env_mode = if options.indexed_env {
+        let env_mode = if options.flat_env {
+            EnvMode::Flat
+        } else if options.indexed_env {
             EnvMode::Indexed
         } else {
             EnvMode::PairSpine
@@ -345,10 +356,9 @@ impl Session {
             DeclEffect::ExtendsEnv => {
                 self.env = result;
                 self.ctx = new_ctx;
-                let bound = match &self.env {
-                    Value::Pair(p) => p.1.clone(),
-                    other => other.clone(),
-                };
+                // In flat mode the declaration extends a frame, not a
+                // pair; `env_snd` projects the binding from either.
+                let bound = self.env.env_snd().unwrap_or_else(|| self.env.clone());
                 (decl_name(cd), bound)
             }
             DeclEffect::ProducesValue => (None, result),
@@ -624,6 +634,53 @@ mod tests {
     }
 
     #[test]
+    fn flat_env_agrees_with_both_spine_modes_and_matches_indexed_steps() {
+        let run_mode = |opts: SessionOptions| {
+            let mut s = Session::with_options(opts).unwrap();
+            s.run("fun compPoly p = case p of nil => code (fn x => 0) | a :: p' => let cogen f = compPoly p' cogen a' = lift a in code (fn x => a' + (x * f x)) end\nval f = eval (compPoly [2, 4, 0, 2333])").unwrap();
+            let out = s.eval_expr("f 47").unwrap();
+            (out.value, out.stats.steps)
+        };
+        let (v_spine, _) = run_mode(SessionOptions::default());
+        let (v_idx, s_idx) = run_mode(SessionOptions {
+            indexed_env: true,
+            ..SessionOptions::default()
+        });
+        let (v_flat, s_flat) = run_mode(SessionOptions {
+            flat_env: true,
+            ..SessionOptions::default()
+        });
+        assert_eq!(v_spine, v_flat);
+        assert_eq!(v_idx, v_flat);
+        assert_eq!(
+            s_flat, s_idx,
+            "flat mode renders the same access paths as indexed mode"
+        );
+    }
+
+    #[test]
+    fn flat_env_wins_over_indexed_env() {
+        // Both flags set: the session compiles in flat mode, so the
+        // environment really is frame-backed (the declaration's bound
+        // value still projects correctly via env_snd).
+        let mut s = Session::with_options(SessionOptions {
+            indexed_env: true,
+            flat_env: true,
+            count_opcodes: true,
+            ..SessionOptions::default()
+        })
+        .unwrap();
+        let outs = s.run("val x = 41;\nx + 1").unwrap();
+        assert_eq!(outs[0].value, "41");
+        assert_eq!(outs[1].value, "42");
+        let counts = outs[0].stats.opcodes.expect("enabled");
+        assert!(
+            counts.get("env_cons") > 0,
+            "a flat-mode `val` extends the environment with env_cons"
+        );
+    }
+
+    #[test]
     fn indexed_env_executes_acc() {
         let mut s = Session::with_options(SessionOptions {
             indexed_env: true,
@@ -671,13 +728,20 @@ mod tests {
         let mut fused = base.clone();
         fused.fuse = true;
         assert_ne!(fp(&base), fp(&fused), "fuse must change the key");
-        // The four non-default modes are also pairwise distinct.
+        let mut flat = base.clone();
+        flat.flat_env = true;
+        assert_ne!(fp(&base), fp(&flat), "flat_env must change the key");
+        // The five non-default modes are also pairwise distinct.
         assert_ne!(fp(&optimize), fp(&indexed));
         assert_ne!(fp(&optimize), fp(&counted));
         assert_ne!(fp(&optimize), fp(&fused));
+        assert_ne!(fp(&optimize), fp(&flat));
         assert_ne!(fp(&indexed), fp(&counted));
         assert_ne!(fp(&indexed), fp(&fused));
+        assert_ne!(fp(&indexed), fp(&flat));
         assert_ne!(fp(&counted), fp(&fused));
+        assert_ne!(fp(&counted), fp(&flat));
+        assert_ne!(fp(&fused), fp(&flat));
     }
 
     #[test]

@@ -9,13 +9,16 @@
 //! Usage:
 //!
 //! ```text
-//! serve-bench [--smoke] [--fuse] [--workers 1,2,4] [--batches 8,32] [--rounds N]
+//! serve-bench [--smoke] [--fuse] [--flat-env] [--workers 1,2,4] [--batches 8,32] [--rounds N]
 //! ```
 //!
 //! `--smoke` is the CI configuration: 2 workers, one batch per filter.
 //! `--fuse` runs the whole sweep (oracle included) under
 //! `SessionOptions::fuse`, so artifacts carry fused superinstructions
 //! and the per-packet step oracle checks the fused cost model.
+//! `--flat-env` does the same under `SessionOptions::flat_env`, so
+//! artifacts carry frame environments and the oracle checks flat-mode
+//! step counts.
 
 use mlbox::SessionOptions;
 use mlbox_bpf::harness::{expect_verdict, filter_arg};
@@ -47,6 +50,7 @@ fn parse_args() -> Config {
     let smoke = args.iter().any(|a| a == "--smoke");
     let options = SessionOptions {
         fuse: args.iter().any(|a| a == "--fuse"),
+        flat_env: args.iter().any(|a| a == "--flat-env"),
         ..SessionOptions::default()
     };
     let list = |flag: &str, default: Vec<usize>| -> Vec<usize> {
@@ -313,6 +317,7 @@ fn main() {
     out.push_str("  \"bench\": \"serve\",\n");
     out.push_str(&format!("  \"smoke\": {},\n", config.smoke));
     out.push_str(&format!("  \"fuse\": {},\n", config.options.fuse));
+    out.push_str(&format!("  \"flat_env\": {},\n", config.options.flat_env));
     out.push_str(&format!("  \"available_parallelism\": {parallelism},\n"));
     out.push_str("  \"filters\": [\n");
     for (i, w) in workloads.iter().enumerate() {

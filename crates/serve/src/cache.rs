@@ -319,6 +319,29 @@ mod tests {
     }
 
     #[test]
+    fn flat_env_and_default_artifacts_never_alias() {
+        // A flat-env artifact compiles `acc n`/`env_cons` streams and
+        // may carry frame-backed values; serving it from the pair-spine
+        // slot (or vice versa) would change both the instruction stream
+        // and the step accounting. The options fingerprint must keep the
+        // two modes in separate cache entries.
+        let filter = telnet_filter();
+        let plain = SessionOptions::default();
+        let flat = SessionOptions {
+            flat_env: true,
+            ..SessionOptions::default()
+        };
+        assert_ne!(
+            CacheKey::new(&filter, &plain),
+            CacheKey::new(&filter, &flat)
+        );
+        let cache = FilterCache::new(16);
+        cache.get_or_specialize(&filter, &plain).unwrap();
+        cache.get_or_specialize(&filter, &flat).unwrap();
+        assert_eq!(cache.stats().misses, 2, "one specialization per mode");
+    }
+
+    #[test]
     fn failures_are_cached() {
         let bad = vec![Insn::JeqK { k: 0, jt: 9, jf: 9 }];
         let cache = FilterCache::new(16);

@@ -302,7 +302,13 @@ fn run_batch(
     let entry = match installed.get(&key) {
         Some(v) => v.clone(),
         None => {
-            let entry = artifact.hydrate_entry();
+            // Checked hydration: a frame-bearing (flat_env) artifact
+            // must never install into a worker running another env
+            // mode. The cache key already separates the modes, so this
+            // only fires if an artifact was handed over out of band.
+            let entry = artifact
+                .hydrate_entry_for(options)
+                .map_err(|e| e.to_string())?;
             stats.installs += 1;
             installed.insert(key, entry.clone());
             entry

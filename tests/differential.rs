@@ -16,13 +16,14 @@ fn ml_int(n: i64) -> String {
     }
 }
 
-/// Asserts machine/interpreter agreement across the full 2×2
-/// execution-mode matrix — environment access (pair-spine vs indexed) ×
-/// superinstruction fusion (off vs on) — and that all four compiled runs
-/// observe identical values and output. Returns the shared rendering.
+/// Asserts machine/interpreter agreement across the full 3×2
+/// execution-mode matrix — environment access (pair-spine vs indexed vs
+/// flat frames) × superinstruction fusion (off vs on) — and that all six
+/// compiled runs observe identical values and output. Returns the shared
+/// rendering.
 fn assert_agree_both_modes(src: &str) -> String {
     let mut baseline: Option<(String, String)> = None;
-    for mode in [EnvMode::PairSpine, EnvMode::Indexed] {
+    for mode in [EnvMode::PairSpine, EnvMode::Indexed, EnvMode::Flat] {
         for fuse in [false, true] {
             let r = run_both_full(src, true, mode, fuse).unwrap();
             assert!(
@@ -84,6 +85,61 @@ fn corpus_agrees() {
         "val r = ref 0\nfun g u = (r := !r + 1; code (fn x => x))\nval h = eval (g ());\n(h 5, !r)",
     ] {
         assert_agree_both_modes(src);
+    }
+}
+
+#[test]
+fn fuel_exhaustion_parity_across_all_modes() {
+    // Fuel is charged in pair-spine units (`acc n` costs n+1, a fused
+    // superinstruction the sum of its components, `env_cons` one cons),
+    // so a budget must exhaust at exactly the same point in every
+    // execution mode — fusion or flat environments can't smuggle extra
+    // work past a limit, nor make a budget spuriously tighter.
+    use mlbox::{Session, SessionOptions};
+    let prog = "fun cp e = if e = 0 then code (fn b => 1)\n\
+                else let cogen p = cp (e - 1) in code (fn b => b * (p b)) end;\n\
+                eval (cp 6) 2";
+    let opts = |flat: bool, indexed: bool, fuse: bool| SessionOptions {
+        indexed_env: indexed,
+        flat_env: flat,
+        fuse,
+        ..Default::default()
+    };
+    let runs_with = |o: &SessionOptions, fuel: u64| -> bool {
+        let mut o = o.clone();
+        o.fuel = Some(fuel);
+        match Session::with_options(o) {
+            Ok(mut s) => s.run(prog).is_ok(),
+            // The prelude itself ran out of fuel.
+            Err(_) => false,
+        }
+    };
+    // Bisect the default mode's minimal sufficient budget...
+    let base = opts(false, false, false);
+    let (mut lo, mut hi) = (1u64, 10_000_000u64);
+    assert!(runs_with(&base, hi), "budget ceiling too small");
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if runs_with(&base, mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let minimal = lo;
+    // ...and every mode combination must exhaust at exactly that point.
+    for (flat, indexed) in [(false, false), (false, true), (true, false)] {
+        for fuse in [false, true] {
+            let o = opts(flat, indexed, fuse);
+            assert!(
+                runs_with(&o, minimal),
+                "flat={flat} indexed={indexed} fuse={fuse} fails at the minimal budget {minimal}"
+            );
+            assert!(
+                !runs_with(&o, minimal - 1),
+                "flat={flat} indexed={indexed} fuse={fuse} succeeds below the minimal budget {minimal}"
+            );
+        }
     }
 }
 
