@@ -93,6 +93,14 @@ fn bench_machine(c: &mut Criterion) {
         m.set_fuse(true);
         b.iter(|| m.run(call_code.clone(), gen.clone()).expect("run"))
     });
+    // Same workload through the thread-coded native tier: the first call
+    // lowers the frozen block into pre-decoded op closures; every later
+    // call is an indirect call per step with no operand decode.
+    group.bench_function("specialize_once_run_many_native", |b| {
+        let mut m = Machine::new();
+        m.set_native(true);
+        b.iter(|| m.run(call_code.clone(), gen.clone()).expect("run"))
+    });
     // Contrast: a fresh arena per run pays the freeze on every call.
     group.bench_function("respecialize_every_run", |b| {
         let mut m = Machine::new();
@@ -164,6 +172,18 @@ fn bench_dispatch(c: &mut Criterion) {
     .expect("flat harness");
     hflat.specialize().expect("specialize flat");
 
+    // And through the thread-coded native tier: identical step counts,
+    // pre-decoded dispatch.
+    let mut hnative = FilterHarness::with_options(
+        &telnet_filter(),
+        SessionOptions {
+            native: true,
+            ..SessionOptions::default()
+        },
+    )
+    .expect("native harness");
+    hnative.specialize().expect("specialize native");
+
     let mut group = c.benchmark_group("dispatch");
     group.bench_function("interp_telnet_packet", |b| {
         b.iter(|| h.interp(&telnet).expect("run"))
@@ -182,6 +202,12 @@ fn bench_dispatch(c: &mut Criterion) {
     });
     group.bench_function("specialized_telnet_packet_flat_env", |b| {
         b.iter(|| hflat.specialized(&telnet).expect("run"))
+    });
+    group.bench_function("interp_telnet_packet_native", |b| {
+        b.iter(|| hnative.interp(&telnet).expect("run"))
+    });
+    group.bench_function("specialized_telnet_packet_native", |b| {
+        b.iter(|| hnative.specialized(&telnet).expect("run"))
     });
     group.finish();
 
@@ -209,6 +235,10 @@ fn bench_dispatch(c: &mut Criterion) {
     steps_per_sec("interp_flat_env", || hflat.interp(&telnet).expect("run").1);
     steps_per_sec("specialized_flat_env", || {
         hflat.specialized(&telnet).expect("run").1
+    });
+    steps_per_sec("interp_native", || hnative.interp(&telnet).expect("run").1);
+    steps_per_sec("specialized_native", || {
+        hnative.specialized(&telnet).expect("run").1
     });
 }
 

@@ -3,6 +3,7 @@
 //! synthetic telnet and non-telnet packets.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlbox::SessionOptions;
 use mlbox_bpf::filters::telnet_filter;
 use mlbox_bpf::harness::FilterHarness;
 use mlbox_bpf::native::run_filter;
@@ -12,6 +13,18 @@ fn bench_packet_filter(c: &mut Criterion) {
     let filter = telnet_filter();
     let mut harness = FilterHarness::new(&filter).expect("harness");
     harness.specialize().expect("specialize");
+    // The same specialized filter through the CCAM's thread-coded tier
+    // (`SessionOptions::native`) — the closest the simulator gets to the
+    // hand-written Rust interpreter below.
+    let mut harness_native = FilterHarness::with_options(
+        &filter,
+        SessionOptions {
+            native: true,
+            ..SessionOptions::default()
+        },
+    )
+    .expect("native harness");
+    harness_native.specialize().expect("specialize native");
     let mut packets = PacketGen::new(1998);
     let telnet = packets.telnet(32);
     let web = packets.tcp(80, 32);
@@ -25,6 +38,11 @@ fn bench_packet_filter(c: &mut Criterion) {
             BenchmarkId::new("bevalpf_specialized", name),
             pkt,
             |b, p| b.iter(|| harness.specialized(p).expect("specialized")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bevalpf_specialized_native_tier", name),
+            pkt,
+            |b, p| b.iter(|| harness_native.specialized(p).expect("specialized")),
         );
         group.bench_with_input(BenchmarkId::new("native_rust", name), pkt, |b, p| {
             b.iter(|| run_filter(&filter, &p.bytes))

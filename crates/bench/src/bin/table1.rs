@@ -6,9 +6,9 @@
 //! ```text
 //! table1             # the Table 1 reproduction
 //! table1 --json      # the same rows as JSON, plus an indexed-env
-//!                    # comparison column, fused-mode and flat-env
-//!                    # sections (rows_fused, rows_flat_env), and
-//!                    # freeze-cache counters
+//!                    # comparison column, fused-mode, flat-env, and
+//!                    # native-tier sections (rows_fused, rows_flat_env,
+//!                    # rows_native), and freeze-cache counters
 //! table1 --profile-pairs # dynamic opcode-pair histogram of the Table 1
 //!                    # workloads (the superinstruction selection data)
 //! table1 sweep-poly  # polynomial-degree sweep (E6)
@@ -293,14 +293,22 @@ fn table1(json: bool) {
             fuse: true,
             ..SessionOptions::default()
         };
+        let native_options = SessionOptions {
+            native: true,
+            ..SessionOptions::default()
+        };
         let (fused_rows, _) = table1_rows(&fuse_options);
         let (flat_rows, _) = table1_rows(&SessionOptions {
             flat_env: true,
             ..SessionOptions::default()
         });
+        let (native_rows, _) = table1_rows(&native_options);
         let mut dispatch = mlbox_bench::dispatch_throughput(2_000).expect("dispatch");
         dispatch.extend(
             mlbox_bench::dispatch_throughput_with(2_000, &fuse_options).expect("fused dispatch"),
+        );
+        dispatch.extend(
+            mlbox_bench::dispatch_throughput_with(2_000, &native_options).expect("native dispatch"),
         );
         println!(
             "{}",
@@ -309,6 +317,7 @@ fn table1(json: bool) {
                 &rows,
                 &fused_rows,
                 &flat_rows,
+                &native_rows,
                 &stats,
                 &dispatch,
             )

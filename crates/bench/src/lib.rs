@@ -200,7 +200,12 @@ pub fn dispatch_throughput_with(
 ) -> Result<Vec<DispatchRow>, Error> {
     /// One filter run: returns (verdict, reduction steps).
     type FilterRun<'a> = &'a mut dyn FnMut(&mut FilterHarness) -> Result<(i64, u64), Error>;
-    let suffix = if options.fuse { " (fused)" } else { "" };
+    let suffix = match (options.fuse, options.native) {
+        (true, true) => " (fused, native)",
+        (true, false) => " (fused)",
+        (false, true) => " (native)",
+        (false, false) => "",
+    };
     let mut h = FilterHarness::with_options(&telnet_filter(), options.clone())?;
     let mut packets = PacketGen::new(1998);
     let telnet = packets.telnet(32);
@@ -238,9 +243,11 @@ pub fn dispatch_throughput_with(
 /// *not* `steps_indexed` — so line-oriented golden diffs of the two mode
 /// columns stay independent. `flat` rows (the same computations under
 /// `SessionOptions::flat_env`) likewise render as their own
-/// `rows_flat_env` array keyed `steps_flat_env`, keeping all three
-/// lockfile greps line-disjoint. `dispatch` rows (wall clock,
-/// non-golden) are appended when non-empty.
+/// `rows_flat_env` array keyed `steps_flat_env`, and `native` rows (the
+/// same computations through the thread-coded tier,
+/// `SessionOptions::native`) as `rows_native` keyed `steps_native`,
+/// keeping all four lockfile greps line-disjoint. `dispatch` rows (wall
+/// clock, non-golden) are appended when non-empty.
 ///
 /// [`Stats`]: ccam::machine::Stats
 pub fn render_json(
@@ -248,6 +255,7 @@ pub fn render_json(
     rows: &[Row],
     fused: &[Row],
     flat: &[Row],
+    native: &[Row],
     machine: &ccam::machine::Stats,
     dispatch: &[DispatchRow],
 ) -> String {
@@ -301,6 +309,19 @@ pub fn render_json(
                 r.steps,
                 r.emitted,
                 if i + 1 < flat.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]");
+    }
+    if !native.is_empty() {
+        out.push_str(",\n  \"rows_native\": [\n");
+        for (i, r) in native.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"steps_native\": {}, \"emitted\": {}}}{}\n",
+                esc(&r.label),
+                r.steps,
+                r.emitted,
+                if i + 1 < native.len() { "," } else { "" }
             ));
         }
         out.push_str("  ]");
@@ -572,7 +593,7 @@ mod tests {
             steps: 123,
             ..Default::default()
         };
-        let j = render_json("Table 1", &rows, &[], &[], &stats, &[]);
+        let j = render_json("Table 1", &rows, &[], &[], &[], &stats, &[]);
         assert!(j.contains("\"freezes\": 3"), "{j}");
         assert!(j.contains("\"freeze_hits\": 7"), "{j}");
         assert!(j.contains("\"paper\": null"), "{j}");
@@ -580,12 +601,13 @@ mod tests {
         assert!(!j.contains("dispatch"), "empty dispatch is omitted: {j}");
         assert!(!j.contains("rows_fused"), "empty fused is omitted: {j}");
         assert!(!j.contains("rows_flat_env"), "empty flat is omitted: {j}");
+        assert!(!j.contains("rows_native"), "empty native is omitted: {j}");
         let d = DispatchRow {
             label: "d".into(),
             steps: 2_000,
             nanos: 1_000_000,
         };
-        let j = render_json("Table 1", &rows, &[], &[], &stats, &[d]);
+        let j = render_json("Table 1", &rows, &[], &[], &[], &stats, &[d]);
         assert!(j.contains("\"steps_per_sec\": 2000000"), "{j}");
     }
 
@@ -610,7 +632,7 @@ mod tests {
     fn json_rendering_includes_indexed_comparison() {
         let rows = vec![Row::with_paper("r", 100, 0, 90).with_indexed(60)];
         let stats = ccam::machine::Stats::default();
-        let j = render_json("t", &rows, &[], &[], &stats, &[]);
+        let j = render_json("t", &rows, &[], &[], &[], &stats, &[]);
         assert!(j.contains("\"steps_indexed\": 60"), "{j}");
     }
 
@@ -618,20 +640,23 @@ mod tests {
     fn json_fused_rows_never_share_lines_with_the_mode_columns() {
         // The CI golden diff greps `"steps_indexed"|"freeze_cache"` for
         // the default/indexed pin, `"steps_fused"` for the fused pin,
-        // and `"steps_flat_env"` for the flat pin: the three line sets
-        // must be pairwise disjoint so each lockfile diff sees only its
-        // own column.
+        // `"steps_flat_env"` for the flat pin, and `"steps_native"` for
+        // the native pin: the four line sets must be pairwise disjoint
+        // so each lockfile diff sees only its own column.
         let rows = vec![Row::with_paper("r", 100, 0, 90).with_indexed(60)];
         let fused = vec![Row::new("r", 80, 0)];
         let flat = vec![Row::new("r", 60, 0)];
+        let native = vec![Row::new("r", 100, 0)];
         let stats = ccam::machine::Stats::default();
-        let j = render_json("t", &rows, &fused, &flat, &stats, &[]);
+        let j = render_json("t", &rows, &fused, &flat, &native, &stats, &[]);
         assert!(j.contains("\"rows_fused\""), "{j}");
         assert!(j.contains("\"rows_flat_env\""), "{j}");
+        assert!(j.contains("\"rows_native\""), "{j}");
         for line in j.lines() {
             if line.contains("\"steps_fused\"") {
                 assert!(!line.contains("\"steps_indexed\""), "{line}");
                 assert!(!line.contains("\"steps_flat_env\""), "{line}");
+                assert!(!line.contains("\"steps_native\""), "{line}");
                 assert!(!line.contains("\"freeze_cache\""), "{line}");
                 assert_eq!(
                     line.trim().trim_end_matches(','),
@@ -641,10 +666,21 @@ mod tests {
             if line.contains("\"steps_flat_env\"") {
                 assert!(!line.contains("\"steps_indexed\""), "{line}");
                 assert!(!line.contains("\"steps_fused\""), "{line}");
+                assert!(!line.contains("\"steps_native\""), "{line}");
                 assert!(!line.contains("\"freeze_cache\""), "{line}");
                 assert_eq!(
                     line.trim().trim_end_matches(','),
                     "{\"label\": \"r\", \"steps_flat_env\": 60, \"emitted\": 0}"
+                );
+            }
+            if line.contains("\"steps_native\"") {
+                assert!(!line.contains("\"steps_indexed\""), "{line}");
+                assert!(!line.contains("\"steps_fused\""), "{line}");
+                assert!(!line.contains("\"steps_flat_env\""), "{line}");
+                assert!(!line.contains("\"freeze_cache\""), "{line}");
+                assert_eq!(
+                    line.trim().trim_end_matches(','),
+                    "{\"label\": \"r\", \"steps_native\": 100, \"emitted\": 0}"
                 );
             }
         }

@@ -586,10 +586,7 @@ mod tests {
         assert!(matches!(&opt[..], [Instr::Quote(Value::Int(0))]));
         // print "x" * 0 must NOT be eliminated (effect!).
         let mut code = pair(
-            vec![
-                Instr::Quote(Value::Str("x".into())),
-                Instr::Prim(PrimOp::Print),
-            ],
+            vec![Instr::Quote(Value::str("x")), Instr::Prim(PrimOp::Print)],
             vec![Instr::Quote(Value::Int(0))],
         );
         code.push(Instr::Prim(PrimOp::Mul));

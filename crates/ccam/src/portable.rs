@@ -342,7 +342,7 @@ impl Extract {
             Value::Unit => PortableVal::Unit,
             Value::Int(n) => PortableVal::Int(*n),
             Value::Bool(b) => PortableVal::Bool(*b),
-            Value::Str(s) => PortableVal::Str(Arc::from(&**s)),
+            Value::Str(s) => PortableVal::Str(Arc::from(s.as_str())),
             Value::Pair(p) => {
                 let key = Rc::as_ptr(p);
                 if let Some(done) = self.pairs.get(&key) {
@@ -400,7 +400,7 @@ impl Extract {
                 };
                 PortableVal::RecClosure {
                     group,
-                    index: *index,
+                    index: *index as usize,
                 }
             }
             Value::Con(tag, payload) => PortableVal::Con(
@@ -502,7 +502,7 @@ impl Hydrate {
             PortableVal::Unit => Value::Unit,
             PortableVal::Int(n) => Value::Int(*n),
             PortableVal::Bool(b) => Value::Bool(*b),
-            PortableVal::Str(s) => Value::Str(Rc::from(&**s)),
+            PortableVal::Str(s) => Value::str(&**s),
             PortableVal::Pair(p) => {
                 let key = Arc::as_ptr(p);
                 if let Some(done) = self.pairs.get(&key) {
@@ -551,7 +551,7 @@ impl Hydrate {
                 };
                 Value::RecClosure {
                     group,
-                    index: *index,
+                    index: u32::try_from(*index).expect("rec group exceeds u32 members"),
                 }
             }
             PortableVal::Con(tag, payload) => {
@@ -728,7 +728,7 @@ mod tests {
         let v = Value::tuple(vec![
             Value::Int(-3),
             Value::Bool(true),
-            Value::Str(Rc::from("hi")),
+            Value::str("hi"),
             Value::Con(2, Some(Rc::new(Value::Unit))),
         ]);
         let p = PortableValue::extract(&v).unwrap();

@@ -45,6 +45,8 @@ struct SegInner {
     opt_memo: RefCell<HashMap<u32, u32>>,
     /// Fusion memo: source block → fused block (see `opt::fuse`).
     fuse_memo: RefCell<HashMap<u32, u32>>,
+    /// Thread-coded lowerings: block → its native tier (see `native`).
+    native_memo: RefCell<HashMap<u32, Rc<crate::native::NativeBlock>>>,
 }
 
 /// A contiguous code segment. Cheap to clone (a reference-counted
@@ -205,6 +207,17 @@ impl CodeSeg {
 
     pub(crate) fn fuse_memo_put(&self, from: BlockId, to: BlockId) {
         self.0.fuse_memo.borrow_mut().insert(from.0, to.0);
+    }
+
+    /// The thread-coded lowering memo (block → native tier), shared by
+    /// all handles to this segment. Blocks are immutable ranges, so a
+    /// cached lowering never goes stale.
+    pub(crate) fn native_memo_get(&self, b: BlockId) -> Option<Rc<crate::native::NativeBlock>> {
+        self.0.native_memo.borrow().get(&b.0).cloned()
+    }
+
+    pub(crate) fn native_memo_put(&self, b: BlockId, lowered: Rc<crate::native::NativeBlock>) {
+        self.0.native_memo.borrow_mut().insert(b.0, lowered);
     }
 }
 

@@ -66,8 +66,8 @@ pub struct Frame {
 /// threads each arena linearly, so the sharing is unobservable.
 ///
 /// Freezing is cached: the arena remembers the last frozen block (one
-/// slot per rendering flavor — plain, optimized, fused, and
-/// optimized-then-fused) together with the staging length it covered.
+/// slot per machine flavor — the optimize × fuse × native lattice)
+/// together with the staging length it covered.
 /// Instructions are only ever appended, so a length match proves the
 /// cached block is still the current contents, and re-freezing a finished
 /// generator returns the same block without copying or re-optimizing.
@@ -75,7 +75,7 @@ pub struct Frame {
 pub struct Arena {
     staging: RefCell<Vec<Instr>>,
     seg: CodeSeg,
-    cache: RefCell<[Option<(usize, BlockId)>; 4]>,
+    cache: RefCell<[Option<(usize, BlockId)>; Self::FLAVOR_SLOTS]>,
 }
 
 impl Default for Arena {
@@ -83,12 +83,16 @@ impl Default for Arena {
         Arena {
             staging: RefCell::new(Vec::new()),
             seg: CodeSeg::new(),
-            cache: RefCell::new([None; 4]),
+            cache: RefCell::new([None; Self::FLAVOR_SLOTS]),
         }
     }
 }
 
 impl Arena {
+    /// One freeze-cache slot per machine flavor: the optimize × fuse ×
+    /// native bit lattice (`Machine::freeze_flavor`).
+    pub const FLAVOR_SLOTS: usize = 8;
+
     /// A fresh empty arena freezing into its own new segment.
     pub fn new() -> Rc<Self> {
         Rc::new(Arena::default())
@@ -100,7 +104,7 @@ impl Arena {
         Rc::new(Arena {
             staging: RefCell::new(Vec::new()),
             seg: seg.clone(),
-            cache: RefCell::new([None; 4]),
+            cache: RefCell::new([None; Self::FLAVOR_SLOTS]),
         })
     }
 
@@ -145,10 +149,10 @@ impl Arena {
         self.freeze_slot(usize::from(optimized), build)
     }
 
-    /// Freezes through an explicit cache slot — one per rendering flavor
-    /// (0 plain, 1 optimized, 2 fused, 3 optimized-then-fused), so
-    /// machines running with different flags never serve each other's
-    /// rendering of the same arena.
+    /// Freezes through an explicit cache slot — one per machine flavor
+    /// (`Machine::freeze_flavor`: bit 0 optimize, bit 1 fuse, bit 2
+    /// native), so machines running with different flags never serve
+    /// each other's rendering of the same arena.
     ///
     /// # Panics
     ///
@@ -185,8 +189,16 @@ impl Arena {
 
 /// A CCAM value.
 ///
-/// Values are cheaply cloneable (interior [`Rc`]s). Tuples are represented
-/// as right-nested pairs: `(a, b, c)` is `Pair(a, Pair(b, c))`.
+/// Values are cheaply cloneable (interior [`Rc`]s) and deliberately
+/// **two words** (16 bytes): the machine stack and environment frames
+/// are `Vec<Value>`s on the hot path, so every byte of the enum is paid
+/// per slot, per push. Keeping it at payload-plus-tag means strings ride
+/// behind a thin pointer ([`Rc<String>`], not the fat `Rc<str>`) and the
+/// recursive-closure index is a `u32` packed next to the group pointer.
+/// `size_of_value_stays_two_words` in the test module pins the bound.
+///
+/// Tuples are represented as right-nested pairs: `(a, b, c)` is
+/// `Pair(a, Pair(b, c))`.
 #[derive(Debug, Clone)]
 pub enum Value {
     /// The unit value `()`.
@@ -195,8 +207,8 @@ pub enum Value {
     Int(i64),
     /// A boolean.
     Bool(bool),
-    /// A string.
-    Str(Rc<str>),
+    /// A string (thin pointer; see [`Value::str`]).
+    Str(Rc<String>),
     /// A pair (also the environment spine and tuple encoding).
     Pair(Rc<(Value, Value)>),
     /// A contiguous environment frame (`EnvMode::Flat` only; never a
@@ -209,7 +221,7 @@ pub enum Value {
         /// The shared group.
         group: Rc<RecGroup>,
         /// Which member this value is.
-        index: usize,
+        index: u32,
     },
     /// A datatype constructor application.
     Con(ConTag, Option<Rc<Value>>),
@@ -225,6 +237,11 @@ impl Value {
     /// Builds a pair.
     pub fn pair(a: Value, b: Value) -> Value {
         Value::Pair(Rc::new((a, b)))
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(Rc::new(s.into()))
     }
 
     /// Builds a right-nested tuple from components.
@@ -474,6 +491,19 @@ impl fmt::Display for Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn size_of_value_stays_two_words() {
+        // The machine stack and flat environment frames are Vec<Value>;
+        // every variant must fit in payload + tag. Growing this (e.g. by
+        // widening RecClosure's index or fattening Str back to Rc<str>)
+        // is a hot-path regression, not a refactor.
+        assert!(
+            std::mem::size_of::<Value>() <= 16,
+            "Value grew past two words: {} bytes",
+            std::mem::size_of::<Value>()
+        );
+    }
 
     #[test]
     fn tuple_is_right_nested() {

@@ -45,7 +45,7 @@ fn lit_value(l: &Lit) -> Value {
     match l {
         Lit::Int(n) => Value::Int(*n),
         Lit::Bool(b) => Value::Bool(*b),
-        Lit::Str(s) => Value::Str(s.clone()),
+        Lit::Str(s) => Value::str(&**s),
         Lit::Unit => Value::Unit,
     }
 }

@@ -152,6 +152,7 @@ pub fn machine_for(options: &SessionOptions) -> Machine {
     machine.set_optimize(options.optimize);
     machine.set_count_opcodes(options.count_opcodes);
     machine.set_fuse(options.fuse);
+    machine.set_native(options.native);
     machine
 }
 

@@ -56,6 +56,14 @@ pub struct SessionOptions {
     /// Default: false, so Table 1's step counts stay the paper's cost
     /// model; turn on to measure dispatch-fused execution.
     pub fuse: bool,
+    /// Execute through the thread-coded native tier (DESIGN.md §13):
+    /// blocks are lowered once into flat arrays of pre-decoded op
+    /// closures — frozen generated code eagerly at freeze time, static
+    /// code on first activation — so the dispatch loop is an indirect
+    /// call per step instead of a decode-and-match. Observable semantics,
+    /// step counts, traces, and fuel accounting are identical to the
+    /// interpreter; only wall-clock changes. Default: false.
+    pub native: bool,
 }
 
 impl Default for SessionOptions {
@@ -69,6 +77,7 @@ impl Default for SessionOptions {
             indexed_env: false,
             flat_env: false,
             fuse: false,
+            native: false,
         }
     }
 }
@@ -96,6 +105,7 @@ impl SessionOptions {
         h.write_bool(self.indexed_env);
         h.write_bool(self.flat_env);
         h.write_bool(self.fuse);
+        h.write_bool(self.native);
         h.finish()
     }
 }
@@ -173,6 +183,7 @@ impl Session {
         machine.set_optimize(options.optimize);
         machine.set_count_opcodes(options.count_opcodes);
         machine.set_fuse(options.fuse);
+        machine.set_native(options.native);
         let env_mode = if options.flat_env {
             EnvMode::Flat
         } else if options.indexed_env {
@@ -731,17 +742,37 @@ mod tests {
         let mut flat = base.clone();
         flat.flat_env = true;
         assert_ne!(fp(&base), fp(&flat), "flat_env must change the key");
-        // The five non-default modes are also pairwise distinct.
-        assert_ne!(fp(&optimize), fp(&indexed));
-        assert_ne!(fp(&optimize), fp(&counted));
-        assert_ne!(fp(&optimize), fp(&fused));
-        assert_ne!(fp(&optimize), fp(&flat));
-        assert_ne!(fp(&indexed), fp(&counted));
-        assert_ne!(fp(&indexed), fp(&fused));
-        assert_ne!(fp(&indexed), fp(&flat));
-        assert_ne!(fp(&counted), fp(&fused));
-        assert_ne!(fp(&counted), fp(&flat));
-        assert_ne!(fp(&fused), fp(&flat));
+        let mut native = base.clone();
+        native.native = true;
+        assert_ne!(fp(&base), fp(&native), "native must change the key");
+        // The six non-default modes are also pairwise distinct.
+        let modes = [&optimize, &indexed, &counted, &fused, &flat, &native];
+        for (i, a) in modes.iter().enumerate() {
+            for b in &modes[i + 1..] {
+                assert_ne!(fp(a), fp(b));
+            }
+        }
+    }
+
+    #[test]
+    fn native_tier_agrees_with_the_interpreter_end_to_end() {
+        let run_mode = |native: bool| {
+            let mut s = Session::with_options(SessionOptions {
+                native,
+                ..SessionOptions::default()
+            })
+            .unwrap();
+            s.run("fun compPoly p = case p of nil => code (fn x => 0) | a :: p' => let cogen f = compPoly p' cogen a' = lift a in code (fn x => a' + (x * f x)) end\nval f = eval (compPoly [2, 4, 0, 2333])").unwrap();
+            let out = s.eval_expr("f 47").unwrap();
+            (out.value, out.stats.steps)
+        };
+        let (v_interp, s_interp) = run_mode(false);
+        let (v_native, s_native) = run_mode(true);
+        assert_eq!(v_interp, v_native);
+        assert_eq!(
+            s_interp, s_native,
+            "thread-coded execution must not change the step count"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! Usage:
 //!
 //! ```text
-//! serve-bench [--smoke] [--fuse] [--flat-env] [--workers 1,2,4] [--batches 8,32] [--rounds N]
+//! serve-bench [--smoke] [--fuse] [--flat-env] [--native] [--workers 1,2,4] [--batches 8,32] [--rounds N]
 //! ```
 //!
 //! `--smoke` is the CI configuration: 2 workers, one batch per filter.
@@ -19,6 +19,9 @@
 //! `--flat-env` does the same under `SessionOptions::flat_env`, so
 //! artifacts carry frame environments and the oracle checks flat-mode
 //! step counts.
+//! `--native` runs every worker (and the oracle) through the
+//! thread-coded native tier (`SessionOptions::native`); step counts are
+//! identical to the interpreter, only dispatch changes.
 
 use mlbox::SessionOptions;
 use mlbox_bpf::harness::{expect_verdict, filter_arg};
@@ -51,6 +54,7 @@ fn parse_args() -> Config {
     let options = SessionOptions {
         fuse: args.iter().any(|a| a == "--fuse"),
         flat_env: args.iter().any(|a| a == "--flat-env"),
+        native: args.iter().any(|a| a == "--native"),
         ..SessionOptions::default()
     };
     let list = |flag: &str, default: Vec<usize>| -> Vec<usize> {
@@ -318,6 +322,7 @@ fn main() {
     out.push_str(&format!("  \"smoke\": {},\n", config.smoke));
     out.push_str(&format!("  \"fuse\": {},\n", config.options.fuse));
     out.push_str(&format!("  \"flat_env\": {},\n", config.options.flat_env));
+    out.push_str(&format!("  \"native\": {},\n", config.options.native));
     out.push_str(&format!("  \"available_parallelism\": {parallelism},\n"));
     out.push_str("  \"filters\": [\n");
     for (i, w) in workloads.iter().enumerate() {
