@@ -66,9 +66,11 @@ pub mod opt;
 pub mod portable;
 pub mod seg;
 pub mod value;
+pub mod wire;
 
 pub use instr::{Instr, PrimOp, SwitchArm, SwitchTable};
 pub use machine::{Machine, MachineError, Stats};
 pub use portable::{PortableCode, PortableInstr, PortableValue};
 pub use seg::{BlockId, CodeBuilder, CodeRef, CodeSeg};
 pub use value::{Arena, ConTag, Value};
+pub use wire::{decode_value, encode_value, WireError};

@@ -580,6 +580,18 @@ impl PortableValue {
         })
     }
 
+    /// Assembles a portable value from already-validated parts. Only the
+    /// wire decoder uses this: `uses_frames` is an invariant of the graph
+    /// (recomputed during decode, never trusted from the producer), so the
+    /// constructor stays crate-private.
+    pub(crate) fn from_parts(seg: PortableSeg, root: PortableVal, uses_frames: bool) -> Self {
+        PortableValue {
+            seg,
+            root,
+            uses_frames,
+        }
+    }
+
     /// Whether the value graph contains contiguous environment frames
     /// ([`PortableVal::Frame`]). Frames only exist under the flat
     /// environment mode; a consumer running a different mode must refuse

@@ -1,0 +1,1062 @@
+//! Byte-level encoding of portable code and values.
+//!
+//! [`crate::portable`] makes a frozen artifact *thread*-shareable; this
+//! module makes it *process*-shareable: a hand-rolled, deterministic,
+//! versionable byte rendering of a [`PortableValue`] — the portable
+//! segment (block table plus instruction stream) followed by the value
+//! graph — so specialized code can be written to disk, shipped across
+//! processes, and rebuilt without re-running the generator.
+//!
+//! This is the raw *payload* codec: no header, no checksum, no
+//! fingerprints. The framed artifact container (magic, format version,
+//! fingerprints, section lengths, trailing checksum) lives one layer up
+//! in `mlbox::wire`, which wraps these bytes; keeping the payload codec
+//! here keeps the instruction/value encodings next to the types they
+//! mirror, so adding an instruction without a wire rendering fails to
+//! compile.
+//!
+//! Properties the codec guarantees:
+//!
+//! - **Determinism**: encoding is a pre-order walk of the value graph
+//!   and block table; no hash-map iteration order leaks into the bytes.
+//!   `encode(decode(bytes)) == bytes` for every accepted input.
+//! - **Sharing preservation**: shared nodes (pairs, frames, closures,
+//!   recursive groups) are encoded once and back-referenced by index,
+//!   so hydration after a decode restores exactly the sharing the
+//!   extraction saw — `instr_count` and step counts survive the disk.
+//! - **Totality of decode**: every read is bounds-checked, untrusted
+//!   counts never pre-allocate, block references are validated against
+//!   the block table, and nesting depth is capped
+//!   ([`MAX_DECODE_DEPTH`]) so a malicious input errors instead of
+//!   exhausting the stack. Decode never panics.
+
+use crate::instr::{MergeSwitchSpec, PrimOp};
+use crate::portable::{
+    PortableClosure, PortableFrame, PortableInstr, PortableRecGroup, PortableSegData,
+    PortableSwitchArm, PortableSwitchTable, PortableVal, PortableValue,
+};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Decode-side cap on value/instruction nesting. Adversarial inputs can
+/// nest one level per byte; without a cap a few kilobytes of `pair` tags
+/// would exhaust the Rust stack inside a decode that should just fail —
+/// on *any* stack, including a 2 MiB test thread running an unoptimized
+/// build, which is why the cap is conservative. Genuine artifacts nest
+/// far shallower: code nests by block *reference* (not recursion),
+/// flat-mode environments are single frames, and back-references keep
+/// shared spines from re-encoding at depth.
+pub const MAX_DECODE_DEPTH: usize = 512;
+
+/// Why a byte buffer is not a valid wire payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before a read completed.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes that were left.
+        remaining: usize,
+    },
+    /// A structurally invalid encoding (bad tag, dangling block or
+    /// back-reference, malformed UTF-8, …).
+    Corrupt(&'static str),
+    /// Value/instruction nesting exceeded [`MAX_DECODE_DEPTH`].
+    TooDeep,
+    /// Decode finished with input left over.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, remaining } => write!(
+                f,
+                "truncated wire payload: read of {needed} byte(s) with {remaining} remaining"
+            ),
+            WireError::Corrupt(what) => write!(f, "corrupt wire payload: {what}"),
+            WireError::TooDeep => write!(
+                f,
+                "wire payload nests deeper than {MAX_DECODE_DEPTH} levels"
+            ),
+            WireError::TrailingBytes(n) => {
+                write!(f, "wire payload has {n} trailing byte(s) after the value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------
+// Primitive writers/readers. All integers are little-endian and
+// fixed-width; strings are u32-length-prefixed UTF-8.
+// ---------------------------------------------------------------------
+
+/// An append-only byte sink for the encoder.
+#[derive(Default)]
+struct Writer {
+    bytes: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, b: u8) {
+        self.bytes.push(b);
+    }
+
+    fn u32(&mut self, n: u32) {
+        self.bytes.extend_from_slice(&n.to_le_bytes());
+    }
+
+    fn i64(&mut self, n: i64) {
+        self.bytes.extend_from_slice(&n.to_le_bytes());
+    }
+
+    fn usize_u32(&mut self, n: usize) {
+        self.u32(u32::try_from(n).expect("wire payload exceeds u32 count"));
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize_u32(s.len());
+        self.bytes.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// A bounds-checked cursor over the input for the decoder.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Corrupt("boolean byte is neither 0 nor 1")),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn str(&mut self) -> Result<&'a str, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|_| WireError::Corrupt("string is not UTF-8"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Value tags. Shared nodes (pair, frame, closure, rec group) are encoded
+// inline on first encounter and as TAG_BACKREF afterwards; back-reference
+// indices count shared nodes in order of first emission, which the
+// decoder reproduces exactly.
+// ---------------------------------------------------------------------
+
+const TAG_UNIT: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_BOOL: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_PAIR: u8 = 4;
+const TAG_FRAME: u8 = 5;
+const TAG_CLOSURE: u8 = 6;
+const TAG_RECCLOSURE: u8 = 7;
+const TAG_CON: u8 = 8;
+const TAG_BACKREF: u8 = 9;
+
+/// Inside `TAG_RECCLOSURE`: the group follows inline (first encounter).
+const GROUP_INLINE: u8 = 0;
+/// Inside `TAG_RECCLOSURE`: the group is a back-reference.
+const GROUP_BACKREF: u8 = 1;
+
+/// A decoded shared node, held in the back-reference table.
+#[derive(Clone)]
+enum Shared {
+    Pair(Arc<(PortableVal, PortableVal)>),
+    Frame(Arc<PortableFrame>),
+    Closure(Arc<PortableClosure>),
+    Group(Arc<PortableRecGroup>),
+}
+
+// ---------------------------------------------------------------------
+// PrimOp <-> byte. An explicit exhaustive table in both directions, so a
+// new primitive without a wire number fails to compile.
+// ---------------------------------------------------------------------
+
+fn prim_to_byte(op: PrimOp) -> u8 {
+    match op {
+        PrimOp::Add => 0,
+        PrimOp::Sub => 1,
+        PrimOp::Mul => 2,
+        PrimOp::Div => 3,
+        PrimOp::Mod => 4,
+        PrimOp::Neg => 5,
+        PrimOp::Eq => 6,
+        PrimOp::Ne => 7,
+        PrimOp::Lt => 8,
+        PrimOp::Le => 9,
+        PrimOp::Gt => 10,
+        PrimOp::Ge => 11,
+        PrimOp::Concat => 12,
+        PrimOp::BitAnd => 13,
+        PrimOp::Not => 14,
+        PrimOp::StrSize => 15,
+        PrimOp::IntToString => 16,
+        PrimOp::Print => 17,
+        PrimOp::Ref => 18,
+        PrimOp::Deref => 19,
+        PrimOp::Assign => 20,
+        PrimOp::MkArray => 21,
+        PrimOp::ArrSub => 22,
+        PrimOp::ArrUpdate => 23,
+        PrimOp::ArrLen => 24,
+    }
+}
+
+fn prim_from_byte(b: u8) -> Result<PrimOp, WireError> {
+    Ok(match b {
+        0 => PrimOp::Add,
+        1 => PrimOp::Sub,
+        2 => PrimOp::Mul,
+        3 => PrimOp::Div,
+        4 => PrimOp::Mod,
+        5 => PrimOp::Neg,
+        6 => PrimOp::Eq,
+        7 => PrimOp::Ne,
+        8 => PrimOp::Lt,
+        9 => PrimOp::Le,
+        10 => PrimOp::Gt,
+        11 => PrimOp::Ge,
+        12 => PrimOp::Concat,
+        13 => PrimOp::BitAnd,
+        14 => PrimOp::Not,
+        15 => PrimOp::StrSize,
+        16 => PrimOp::IntToString,
+        17 => PrimOp::Print,
+        18 => PrimOp::Ref,
+        19 => PrimOp::Deref,
+        20 => PrimOp::Assign,
+        21 => PrimOp::MkArray,
+        22 => PrimOp::ArrSub,
+        23 => PrimOp::ArrUpdate,
+        24 => PrimOp::ArrLen,
+        _ => return Err(WireError::Corrupt("unknown primitive opcode")),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Instruction opcodes on the wire reuse `Instr::opcode` numbering (the
+// dense index used by the per-opcode statistics tables and the
+// disassembler), so the hex dump of an artifact reads against the same
+// numbering every other tool prints.
+// ---------------------------------------------------------------------
+
+const OP_ID: u8 = 0;
+const OP_FST: u8 = 1;
+const OP_SND: u8 = 2;
+const OP_PUSH: u8 = 3;
+const OP_SWAP: u8 = 4;
+const OP_CONSPAIR: u8 = 5;
+const OP_APP: u8 = 6;
+const OP_QUOTE: u8 = 7;
+const OP_CUR: u8 = 8;
+const OP_EMIT: u8 = 9;
+const OP_LIFTV: u8 = 10;
+const OP_NEWARENA: u8 = 11;
+const OP_MERGE: u8 = 12;
+const OP_CALL: u8 = 13;
+const OP_BRANCH: u8 = 14;
+const OP_RECCLOS: u8 = 15;
+const OP_PACK: u8 = 16;
+const OP_SWITCH: u8 = 17;
+const OP_PRIM: u8 = 18;
+const OP_FAIL: u8 = 19;
+const OP_MERGEBRANCH: u8 = 20;
+const OP_MERGESWITCH: u8 = 21;
+const OP_MERGEREC: u8 = 22;
+const OP_ACC: u8 = 23;
+const OP_PUSHACC: u8 = 24;
+const OP_QUOTECONS: u8 = 25;
+const OP_SWAPCONS: u8 = 26;
+const OP_CONSAPP: u8 = 27;
+const OP_ACCAPP: u8 = 28;
+const OP_PUSHQUOTE: u8 = 29;
+const OP_ENVCONS: u8 = 30;
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Encode {
+    out: Writer,
+    /// Address of a shared node's allocation → its back-reference index.
+    /// Addresses are stable for the duration: the value under encoding
+    /// keeps every node alive.
+    shared: HashMap<usize, u32>,
+}
+
+impl Encode {
+    /// Registers a shared node the moment its inline encoding *starts*
+    /// (pre-order), mirroring the decoder's reserve-then-fill. Returns
+    /// `Some(index)` if the node was already emitted.
+    fn share(&mut self, addr: usize) -> Option<u32> {
+        if let Some(&idx) = self.shared.get(&addr) {
+            return Some(idx);
+        }
+        let idx = u32::try_from(self.shared.len()).expect("wire payload exceeds u32 shared nodes");
+        self.shared.insert(addr, idx);
+        None
+    }
+
+    fn value(&mut self, v: &PortableVal) {
+        match v {
+            PortableVal::Unit => self.out.u8(TAG_UNIT),
+            PortableVal::Int(n) => {
+                self.out.u8(TAG_INT);
+                self.out.i64(*n);
+            }
+            PortableVal::Bool(b) => {
+                self.out.u8(TAG_BOOL);
+                self.out.u8(u8::from(*b));
+            }
+            PortableVal::Str(s) => {
+                self.out.u8(TAG_STR);
+                self.out.str(s);
+            }
+            PortableVal::Pair(p) => {
+                if let Some(idx) = self.share(Arc::as_ptr(p) as usize) {
+                    self.out.u8(TAG_BACKREF);
+                    self.out.u32(idx);
+                    return;
+                }
+                self.out.u8(TAG_PAIR);
+                self.value(&p.0);
+                self.value(&p.1);
+            }
+            PortableVal::Frame(fr) => {
+                if let Some(idx) = self.share(Arc::as_ptr(fr) as usize) {
+                    self.out.u8(TAG_BACKREF);
+                    self.out.u32(idx);
+                    return;
+                }
+                self.out.u8(TAG_FRAME);
+                self.value(&fr.link);
+                self.out.usize_u32(fr.slots.len());
+                for s in &fr.slots {
+                    self.value(s);
+                }
+            }
+            PortableVal::Closure(c) => {
+                if let Some(idx) = self.share(Arc::as_ptr(c) as usize) {
+                    self.out.u8(TAG_BACKREF);
+                    self.out.u32(idx);
+                    return;
+                }
+                self.out.u8(TAG_CLOSURE);
+                self.value(&c.env);
+                self.out.u32(c.body);
+            }
+            PortableVal::RecClosure { group, index } => {
+                self.out.u8(TAG_RECCLOSURE);
+                if let Some(idx) = self.share(Arc::as_ptr(group) as usize) {
+                    self.out.u8(GROUP_BACKREF);
+                    self.out.u32(idx);
+                } else {
+                    self.out.u8(GROUP_INLINE);
+                    self.value(&group.env);
+                    self.out.usize_u32(group.bodies.len());
+                    for b in group.bodies.iter() {
+                        self.out.u32(*b);
+                    }
+                }
+                self.out.usize_u32(*index);
+            }
+            PortableVal::Con(tag, payload) => {
+                self.out.u8(TAG_CON);
+                self.out.u32(*tag);
+                match payload {
+                    Some(p) => {
+                        self.out.u8(1);
+                        self.value(p);
+                    }
+                    None => self.out.u8(0),
+                }
+            }
+        }
+    }
+
+    fn instr(&mut self, i: &PortableInstr) {
+        match i {
+            PortableInstr::Id => self.out.u8(OP_ID),
+            PortableInstr::Fst => self.out.u8(OP_FST),
+            PortableInstr::Snd => self.out.u8(OP_SND),
+            PortableInstr::Push => self.out.u8(OP_PUSH),
+            PortableInstr::Swap => self.out.u8(OP_SWAP),
+            PortableInstr::ConsPair => self.out.u8(OP_CONSPAIR),
+            PortableInstr::App => self.out.u8(OP_APP),
+            PortableInstr::Quote(v) => {
+                self.out.u8(OP_QUOTE);
+                self.value(v);
+            }
+            PortableInstr::Cur(b) => {
+                self.out.u8(OP_CUR);
+                self.out.u32(*b);
+            }
+            PortableInstr::Emit(inner) => {
+                self.out.u8(OP_EMIT);
+                self.instr(inner);
+            }
+            PortableInstr::LiftV => self.out.u8(OP_LIFTV),
+            PortableInstr::NewArena => self.out.u8(OP_NEWARENA),
+            PortableInstr::Merge => self.out.u8(OP_MERGE),
+            PortableInstr::Call => self.out.u8(OP_CALL),
+            PortableInstr::Branch(t, e) => {
+                self.out.u8(OP_BRANCH);
+                self.out.u32(*t);
+                self.out.u32(*e);
+            }
+            PortableInstr::RecClos(bodies) => {
+                self.out.u8(OP_RECCLOS);
+                self.out.usize_u32(bodies.len());
+                for b in bodies.iter() {
+                    self.out.u32(*b);
+                }
+            }
+            PortableInstr::Pack(tag) => {
+                self.out.u8(OP_PACK);
+                self.out.u32(*tag);
+            }
+            PortableInstr::Switch(table) => {
+                self.out.u8(OP_SWITCH);
+                self.out.usize_u32(table.arms.len());
+                for arm in &table.arms {
+                    self.out.u32(arm.tag);
+                    self.out.u8(u8::from(arm.bind));
+                    self.out.u32(arm.code);
+                }
+                match table.default {
+                    Some(d) => {
+                        self.out.u8(1);
+                        self.out.u32(d);
+                    }
+                    None => self.out.u8(0),
+                }
+            }
+            PortableInstr::Prim(op) => {
+                self.out.u8(OP_PRIM);
+                self.out.u8(prim_to_byte(*op));
+            }
+            PortableInstr::Fail(msg) => {
+                self.out.u8(OP_FAIL);
+                self.out.str(msg);
+            }
+            PortableInstr::MergeBranch => self.out.u8(OP_MERGEBRANCH),
+            PortableInstr::MergeSwitch(spec) => {
+                self.out.u8(OP_MERGESWITCH);
+                self.out.usize_u32(spec.arms.len());
+                for (tag, bind) in &spec.arms {
+                    self.out.u32(*tag);
+                    self.out.u8(u8::from(*bind));
+                }
+                self.out.u8(u8::from(spec.default));
+            }
+            PortableInstr::MergeRec(n) => {
+                self.out.u8(OP_MERGEREC);
+                self.out.usize_u32(*n);
+            }
+            PortableInstr::Acc(n) => {
+                self.out.u8(OP_ACC);
+                self.out.usize_u32(*n);
+            }
+            PortableInstr::PushAcc(n) => {
+                self.out.u8(OP_PUSHACC);
+                self.out.usize_u32(*n);
+            }
+            PortableInstr::QuoteCons(v) => {
+                self.out.u8(OP_QUOTECONS);
+                self.value(v);
+            }
+            PortableInstr::SwapCons => self.out.u8(OP_SWAPCONS),
+            PortableInstr::ConsApp => self.out.u8(OP_CONSAPP),
+            PortableInstr::AccApp(n) => {
+                self.out.u8(OP_ACCAPP);
+                self.out.usize_u32(*n);
+            }
+            PortableInstr::PushQuote(v) => {
+                self.out.u8(OP_PUSHQUOTE);
+                self.value(v);
+            }
+            PortableInstr::EnvCons => self.out.u8(OP_ENVCONS),
+        }
+    }
+
+    fn seg(&mut self, seg: &PortableSegData) {
+        self.out.usize_u32(seg.blocks.len());
+        for b in 0..seg.blocks.len() {
+            let instrs = seg.block(b as u32);
+            self.out.usize_u32(instrs.len());
+            for i in instrs {
+                self.instr(i);
+            }
+        }
+    }
+}
+
+/// Encodes a portable value — its segment, then its value graph — as a
+/// deterministic, self-delimiting byte payload.
+pub fn encode_value(v: &PortableValue) -> Vec<u8> {
+    let mut e = Encode::default();
+    e.seg(&v.seg);
+    e.value(&v.root);
+    e.out.bytes
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+struct Decode<'a> {
+    input: Reader<'a>,
+    /// Shared nodes in first-emission order. `None` marks a node whose
+    /// inline encoding is still being decoded (its index is reserved, but
+    /// a back-reference to it would be a cycle — impossible for the DAGs
+    /// extraction produces, so it is rejected as corrupt).
+    shared: Vec<Option<Shared>>,
+    /// Number of blocks in the segment, for validating block references.
+    blocks: u32,
+    /// Set when any frame decodes anywhere in the payload (value graph or
+    /// `quote` immediates) — recomputed rather than trusted from the
+    /// producer, because `uses_frames` gates the flat-env compatibility
+    /// check at hydration time.
+    uses_frames: bool,
+}
+
+impl<'a> Decode<'a> {
+    fn block_ref(&mut self) -> Result<u32, WireError> {
+        let b = self.input.u32()?;
+        if b >= self.blocks {
+            return Err(WireError::Corrupt("block reference out of range"));
+        }
+        Ok(b)
+    }
+
+    fn value(&mut self, depth: usize) -> Result<PortableVal, WireError> {
+        if depth >= MAX_DECODE_DEPTH {
+            return Err(WireError::TooDeep);
+        }
+        Ok(match self.input.u8()? {
+            TAG_UNIT => PortableVal::Unit,
+            TAG_INT => PortableVal::Int(self.input.i64()?),
+            TAG_BOOL => PortableVal::Bool(self.input.bool()?),
+            TAG_STR => PortableVal::Str(Arc::from(self.input.str()?)),
+            TAG_PAIR => {
+                let slot = self.reserve();
+                let a = self.value(depth + 1)?;
+                let b = self.value(depth + 1)?;
+                let pair = Arc::new((a, b));
+                self.shared[slot] = Some(Shared::Pair(pair.clone()));
+                PortableVal::Pair(pair)
+            }
+            TAG_FRAME => {
+                self.uses_frames = true;
+                let slot = self.reserve();
+                let link = self.value(depth + 1)?;
+                let count = self.input.u32()? as usize;
+                let mut slots = Vec::new();
+                for _ in 0..count {
+                    slots.push(self.value(depth + 1)?);
+                }
+                let frame = Arc::new(PortableFrame { link, slots });
+                self.shared[slot] = Some(Shared::Frame(frame.clone()));
+                PortableVal::Frame(frame)
+            }
+            TAG_CLOSURE => {
+                let slot = self.reserve();
+                let env = self.value(depth + 1)?;
+                let body = self.block_ref()?;
+                let closure = Arc::new(PortableClosure { env, body });
+                self.shared[slot] = Some(Shared::Closure(closure.clone()));
+                PortableVal::Closure(closure)
+            }
+            TAG_RECCLOSURE => {
+                let group = match self.input.u8()? {
+                    GROUP_INLINE => {
+                        let slot = self.reserve();
+                        let env = self.value(depth + 1)?;
+                        let count = self.input.u32()? as usize;
+                        let mut bodies = Vec::new();
+                        for _ in 0..count {
+                            bodies.push(self.block_ref()?);
+                        }
+                        let group = Arc::new(PortableRecGroup {
+                            env,
+                            bodies: Arc::new(bodies),
+                        });
+                        self.shared[slot] = Some(Shared::Group(group.clone()));
+                        group
+                    }
+                    GROUP_BACKREF => match self.backref()? {
+                        Shared::Group(g) => g,
+                        _ => {
+                            return Err(WireError::Corrupt(
+                                "rec-closure back-reference is not a group",
+                            ))
+                        }
+                    },
+                    _ => return Err(WireError::Corrupt("unknown rec-group marker")),
+                };
+                let index = self.input.u32()? as usize;
+                if index >= group.bodies.len() {
+                    return Err(WireError::Corrupt("rec-closure index out of range"));
+                }
+                PortableVal::RecClosure { group, index }
+            }
+            TAG_CON => {
+                let tag = self.input.u32()?;
+                let payload = match self.input.u8()? {
+                    0 => None,
+                    1 => Some(Arc::new(self.value(depth + 1)?)),
+                    _ => return Err(WireError::Corrupt("unknown constructor payload marker")),
+                };
+                PortableVal::Con(tag, payload)
+            }
+            TAG_BACKREF => match self.backref()? {
+                Shared::Pair(p) => PortableVal::Pair(p),
+                Shared::Frame(f) => {
+                    // Already counted at its inline decode, but cheap to
+                    // keep the invariant obvious.
+                    self.uses_frames = true;
+                    PortableVal::Frame(f)
+                }
+                Shared::Closure(c) => PortableVal::Closure(c),
+                Shared::Group(_) => {
+                    return Err(WireError::Corrupt(
+                        "value back-reference resolves to a rec group",
+                    ))
+                }
+            },
+            _ => return Err(WireError::Corrupt("unknown value tag")),
+        })
+    }
+
+    fn reserve(&mut self) -> usize {
+        self.shared.push(None);
+        self.shared.len() - 1
+    }
+
+    fn backref(&mut self) -> Result<Shared, WireError> {
+        let idx = self.input.u32()? as usize;
+        match self.shared.get(idx) {
+            Some(Some(node)) => Ok(node.clone()),
+            Some(None) => Err(WireError::Corrupt("cyclic back-reference")),
+            None => Err(WireError::Corrupt("dangling back-reference")),
+        }
+    }
+
+    fn instr(&mut self, depth: usize) -> Result<PortableInstr, WireError> {
+        if depth >= MAX_DECODE_DEPTH {
+            return Err(WireError::TooDeep);
+        }
+        Ok(match self.input.u8()? {
+            OP_ID => PortableInstr::Id,
+            OP_FST => PortableInstr::Fst,
+            OP_SND => PortableInstr::Snd,
+            OP_PUSH => PortableInstr::Push,
+            OP_SWAP => PortableInstr::Swap,
+            OP_CONSPAIR => PortableInstr::ConsPair,
+            OP_APP => PortableInstr::App,
+            OP_QUOTE => PortableInstr::Quote(self.value(depth + 1)?),
+            OP_CUR => PortableInstr::Cur(self.block_ref()?),
+            OP_EMIT => PortableInstr::Emit(Box::new(self.instr(depth + 1)?)),
+            OP_LIFTV => PortableInstr::LiftV,
+            OP_NEWARENA => PortableInstr::NewArena,
+            OP_MERGE => PortableInstr::Merge,
+            OP_CALL => PortableInstr::Call,
+            OP_BRANCH => PortableInstr::Branch(self.block_ref()?, self.block_ref()?),
+            OP_RECCLOS => {
+                let count = self.input.u32()? as usize;
+                let mut bodies = Vec::new();
+                for _ in 0..count {
+                    bodies.push(self.block_ref()?);
+                }
+                PortableInstr::RecClos(Arc::new(bodies))
+            }
+            OP_PACK => PortableInstr::Pack(self.input.u32()?),
+            OP_SWITCH => {
+                let count = self.input.u32()? as usize;
+                let mut arms = Vec::new();
+                for _ in 0..count {
+                    let tag = self.input.u32()?;
+                    let bind = self.input.bool()?;
+                    let code = self.block_ref()?;
+                    arms.push(PortableSwitchArm { tag, bind, code });
+                }
+                let default = match self.input.u8()? {
+                    0 => None,
+                    1 => Some(self.block_ref()?),
+                    _ => return Err(WireError::Corrupt("unknown switch default marker")),
+                };
+                PortableInstr::Switch(Arc::new(PortableSwitchTable { arms, default }))
+            }
+            OP_PRIM => PortableInstr::Prim(prim_from_byte(self.input.u8()?)?),
+            OP_FAIL => PortableInstr::Fail(Arc::from(self.input.str()?)),
+            OP_MERGEBRANCH => PortableInstr::MergeBranch,
+            OP_MERGESWITCH => {
+                let count = self.input.u32()? as usize;
+                let mut arms = Vec::new();
+                for _ in 0..count {
+                    let tag = self.input.u32()?;
+                    let bind = self.input.bool()?;
+                    arms.push((tag, bind));
+                }
+                let default = self.input.bool()?;
+                PortableInstr::MergeSwitch(Arc::new(MergeSwitchSpec { arms, default }))
+            }
+            OP_MERGEREC => PortableInstr::MergeRec(self.input.u32()? as usize),
+            OP_ACC => PortableInstr::Acc(self.input.u32()? as usize),
+            OP_PUSHACC => PortableInstr::PushAcc(self.input.u32()? as usize),
+            OP_QUOTECONS => PortableInstr::QuoteCons(self.value(depth + 1)?),
+            OP_SWAPCONS => PortableInstr::SwapCons,
+            OP_CONSAPP => PortableInstr::ConsApp,
+            OP_ACCAPP => PortableInstr::AccApp(self.input.u32()? as usize),
+            OP_PUSHQUOTE => PortableInstr::PushQuote(self.value(depth + 1)?),
+            OP_ENVCONS => PortableInstr::EnvCons,
+            _ => return Err(WireError::Corrupt("unknown instruction opcode")),
+        })
+    }
+
+    fn seg(&mut self) -> Result<PortableSegData, WireError> {
+        let block_count = self.input.u32()?;
+        self.blocks = block_count;
+        let mut instrs = Vec::new();
+        let mut blocks = Vec::new();
+        for _ in 0..block_count {
+            let len = self.input.u32()?;
+            let start = u32::try_from(instrs.len())
+                .map_err(|_| WireError::Corrupt("segment exceeds u32 instructions"))?;
+            for _ in 0..len {
+                instrs.push(self.instr(0)?);
+            }
+            blocks.push((start, len));
+        }
+        Ok(PortableSegData { instrs, blocks })
+    }
+}
+
+/// Decodes a payload produced by [`encode_value`], consuming the entire
+/// input.
+///
+/// The `uses_frames` flag of the result is recomputed from what actually
+/// decodes (never trusted from the producer), so the flat-env
+/// compatibility check downstream keeps its meaning.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncation, unknown tags, dangling or
+/// cyclic references, out-of-range block numbers, over-deep nesting, or
+/// leftover bytes. Never panics.
+pub fn decode_value(bytes: &[u8]) -> Result<PortableValue, WireError> {
+    let mut d = Decode {
+        input: Reader::new(bytes),
+        shared: Vec::new(),
+        blocks: 0,
+        uses_frames: false,
+    };
+    let seg = d.seg()?;
+    let root = d.value(0)?;
+    if d.input.remaining() > 0 {
+        return Err(WireError::TrailingBytes(d.input.remaining()));
+    }
+    Ok(PortableValue::from_parts(
+        Arc::new(seg),
+        root,
+        d.uses_frames,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+    use crate::seg::{CodeRef, CodeSeg};
+    use crate::value::{Closure, Value};
+    use std::rc::Rc;
+
+    fn closure(env: Value, body: Vec<Instr>) -> Value {
+        Value::Closure(Rc::new(Closure {
+            env,
+            body: CodeSeg::new().entry(body),
+        }))
+    }
+
+    fn roundtrip(v: &Value) -> (PortableValue, Vec<u8>) {
+        let p = PortableValue::extract(v).unwrap();
+        let bytes = encode_value(&p);
+        let back = decode_value(&bytes).unwrap();
+        assert_eq!(
+            encode_value(&back),
+            bytes,
+            "decode-encode is not the identity on bytes"
+        );
+        (back, bytes)
+    }
+
+    #[test]
+    fn first_order_values_roundtrip() {
+        let v = Value::tuple(vec![
+            Value::Int(-3),
+            Value::Bool(true),
+            Value::str("hi"),
+            Value::Con(2, Some(Rc::new(Value::Unit))),
+        ]);
+        let (back, _) = roundtrip(&v);
+        assert_eq!(v.structural_eq(&back.hydrate()), Some(true));
+    }
+
+    #[test]
+    fn closures_roundtrip_and_still_run() {
+        let f = closure(
+            Value::Unit,
+            vec![
+                Instr::Snd,
+                Instr::Push,
+                Instr::Quote(Value::Int(1)),
+                Instr::ConsPair,
+                Instr::Prim(PrimOp::Add),
+            ],
+        );
+        let (back, _) = roundtrip(&f);
+        let g = back.hydrate();
+        let app: CodeRef = CodeSeg::new().entry(vec![Instr::App]);
+        let out = crate::machine::Machine::new()
+            .run(app, Value::pair(g, Value::Int(41)))
+            .unwrap();
+        assert!(matches!(out, Value::Int(42)));
+    }
+
+    #[test]
+    fn sharing_survives_the_wire() {
+        let seg = CodeSeg::new();
+        let body = seg.add_block(vec![Instr::Snd]);
+        let shared = Value::Closure(Rc::new(Closure {
+            env: Value::pair(Value::Int(1), Value::Int(2)),
+            body: CodeRef {
+                seg: seg.clone(),
+                block: body,
+            },
+        }));
+        let v = Value::pair(shared.clone(), shared);
+        let (back, _) = roundtrip(&v);
+        // One closure, one block, shared pair env — instruction count and
+        // block count survive, so step counts will too.
+        assert_eq!(back.instr_count(), 1);
+        let h = back.hydrate();
+        let Value::Pair(p) = &h else { panic!("{h:?}") };
+        let (Value::Closure(a), Value::Closure(b)) = (&p.0, &p.1) else {
+            panic!("{h:?}")
+        };
+        assert!(Rc::ptr_eq(a, b), "closure sharing restored after decode");
+    }
+
+    #[test]
+    fn frames_are_flagged_by_recomputation() {
+        let env = Value::env_extend(Value::Unit, Value::Int(10));
+        let f = closure(env, vec![Instr::Acc(1)]);
+        let p = PortableValue::extract(&f).unwrap();
+        assert!(p.uses_frames());
+        let back = decode_value(&encode_value(&p)).unwrap();
+        assert!(back.uses_frames(), "frame flag recomputed on decode");
+        let plain = closure(Value::pair(Value::Unit, Value::Int(1)), vec![Instr::Snd]);
+        let p = PortableValue::extract(&plain).unwrap();
+        let back = decode_value(&encode_value(&p)).unwrap();
+        assert!(!back.uses_frames());
+    }
+
+    #[test]
+    fn every_instruction_crosses_the_wire() {
+        use crate::instr::{MergeSwitchSpec, SwitchArm, SwitchTable};
+        let seg = CodeSeg::new();
+        let sub = seg.add_block(vec![Instr::Id]);
+        let all = vec![
+            Instr::Id,
+            Instr::Fst,
+            Instr::Snd,
+            Instr::Acc(2),
+            Instr::Push,
+            Instr::Swap,
+            Instr::ConsPair,
+            Instr::App,
+            Instr::Quote(Value::Int(7)),
+            Instr::Cur(sub),
+            Instr::Emit(Box::new(Instr::Snd)),
+            Instr::LiftV,
+            Instr::NewArena,
+            Instr::Merge,
+            Instr::Call,
+            Instr::Branch(sub, sub),
+            Instr::RecClos(Rc::new(vec![sub])),
+            Instr::Pack(3),
+            Instr::Switch(Rc::new(SwitchTable {
+                arms: vec![SwitchArm {
+                    tag: 0,
+                    bind: true,
+                    code: sub,
+                }],
+                default: Some(sub),
+            })),
+            Instr::Prim(PrimOp::Mul),
+            Instr::Fail(Rc::from("boom")),
+            Instr::MergeBranch,
+            Instr::MergeSwitch(Rc::new(MergeSwitchSpec {
+                arms: vec![(0, true)],
+                default: true,
+            })),
+            Instr::MergeRec(2),
+            Instr::PushAcc(1),
+            Instr::QuoteCons(Value::Int(8)),
+            Instr::SwapCons,
+            Instr::ConsApp,
+            Instr::AccApp(0),
+            Instr::PushQuote(Value::Bool(false)),
+            Instr::EnvCons,
+        ];
+        let code = seg.entry(all);
+        let f = Value::Closure(Rc::new(Closure {
+            env: Value::Unit,
+            body: code.clone(),
+        }));
+        let p = PortableValue::extract(&f).unwrap();
+        let bytes = encode_value(&p);
+        let back = decode_value(&bytes).unwrap();
+        assert_eq!(encode_value(&back), bytes);
+        assert_eq!(back.instr_count(), p.instr_count());
+    }
+
+    #[test]
+    fn truncation_always_errors_never_panics() {
+        let f = closure(
+            Value::pair(Value::str("abc"), Value::Int(5)),
+            vec![
+                Instr::Quote(Value::Int(1)),
+                Instr::Prim(PrimOp::Add),
+                Instr::Fail(Rc::from("nope")),
+            ],
+        );
+        let p = PortableValue::extract(&f).unwrap();
+        let bytes = encode_value(&p);
+        for len in 0..bytes.len() {
+            assert!(
+                decode_value(&bytes[..len]).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_never_panic() {
+        let f = closure(
+            Value::tuple(vec![Value::Int(1), Value::str("x"), Value::Bool(true)]),
+            vec![Instr::Snd, Instr::Prim(PrimOp::Add)],
+        );
+        let p = PortableValue::extract(&f).unwrap();
+        let bytes = encode_value(&p);
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                // Either outcome is acceptable at the payload layer (the
+                // container checksum catches silent mutations); the
+                // requirement is no panic.
+                let _ = decode_value(&corrupt);
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_nesting_errors_instead_of_overflowing() {
+        // A payload of nothing but pair tags: blocks=0, then pair, pair,
+        // pair, ... — each level claims two children and recursion would
+        // run one level per byte.
+        let mut bytes = vec![0, 0, 0, 0]; // zero blocks
+        bytes.extend(std::iter::repeat_n(TAG_PAIR, MAX_DECODE_DEPTH + 10));
+        assert_eq!(decode_value(&bytes).unwrap_err(), WireError::TooDeep);
+    }
+
+    #[test]
+    fn dangling_and_cyclic_backrefs_are_rejected() {
+        // blocks=0, then a bare backref to index 0 (nothing emitted).
+        let mut bytes = vec![0, 0, 0, 0, TAG_BACKREF];
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_value(&bytes),
+            Err(WireError::Corrupt("dangling back-reference"))
+        ));
+        // blocks=0, then a pair whose first child back-references the
+        // pair itself (index 0, still unfilled): a cycle.
+        let mut bytes = vec![0, 0, 0, 0, TAG_PAIR, TAG_BACKREF];
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.push(TAG_UNIT);
+        assert!(matches!(
+            decode_value(&bytes),
+            Err(WireError::Corrupt("cyclic back-reference"))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let p = PortableValue::extract(&Value::Int(3)).unwrap();
+        let mut bytes = encode_value(&p);
+        bytes.push(0);
+        assert_eq!(
+            decode_value(&bytes).unwrap_err(),
+            WireError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn out_of_range_block_refs_are_rejected() {
+        // blocks=0, then a closure with env=unit and body block 7.
+        let mut bytes = vec![0, 0, 0, 0, TAG_CLOSURE, TAG_UNIT];
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(
+            decode_value(&bytes),
+            Err(WireError::Corrupt("block reference out of range"))
+        ));
+    }
+}

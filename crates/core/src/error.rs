@@ -23,6 +23,9 @@ pub enum Error {
     /// A value could not be packaged as a thread-shareable compiled
     /// artifact (not a function, or captures mutable state).
     Artifact(String),
+    /// A persisted artifact container failed to parse (truncated,
+    /// corrupt, wrong version, …).
+    Wire(crate::wire::WireError),
 }
 
 impl Error {
@@ -42,6 +45,7 @@ impl fmt::Display for Error {
             Error::Machine(e) => write!(f, "machine error: {e}"),
             Error::Eval(e) => write!(f, "evaluation error: {e}"),
             Error::Artifact(msg) => write!(f, "artifact error: {msg}"),
+            Error::Wire(e) => write!(f, "artifact wire error: {e}"),
         }
     }
 }
@@ -53,7 +57,14 @@ impl std::error::Error for Error {
             Error::Machine(e) => Some(e),
             Error::Eval(e) => Some(e),
             Error::Artifact(_) => None,
+            Error::Wire(e) => Some(e),
         }
+    }
+}
+
+impl From<crate::wire::WireError> for Error {
+    fn from(e: crate::wire::WireError) -> Self {
+        Error::Wire(e)
     }
 }
 

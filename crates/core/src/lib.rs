@@ -58,6 +58,7 @@ pub mod prelude;
 pub mod programs;
 pub mod render;
 pub mod session;
+pub mod wire;
 
 pub use artifact::{CompiledFilter, FilterInstance};
 pub use error::Error;

@@ -1,0 +1,82 @@
+//! Pins the artifact wire format byte-for-byte.
+//!
+//! The canonical artifact — the §3.4 staged power function specialized
+//! at exponent 2, default options, source fingerprint `0x1998`, exactly
+//! what the `wire-dump` binary emits — must encode to the hex in
+//! `tests/golden/artifact_wire.hex`. Any drift is a wire format change:
+//! artifacts persisted by earlier builds would stop (or worse, subtly
+//! change how they) decode. A deliberate format change must bump
+//! `mlbox::wire::FORMAT_VERSION` and regenerate the lockfile:
+//!
+//! ```text
+//! cargo run -p mlbox --bin wire-dump > tests/golden/artifact_wire.hex
+//! ```
+//!
+//! CI runs the same diff as a workflow step, and the decode direction is
+//! pinned too: the golden *bytes* must still decode, hydrate, and
+//! compute 6² with the same reduction-step count.
+
+use mlbox::{CompiledFilter, Session};
+
+const GOLDEN_HEX: &str = include_str!("../../../tests/golden/artifact_wire.hex");
+
+const GOLDEN_PROGRAM: &str = "fun codePower e = if e = 0 then code (fn b => 1)
+                   else let cogen p = codePower (e - 1)
+                        in code (fn b => b * (p b)) end";
+
+fn golden_artifact() -> CompiledFilter {
+    let mut session = Session::new().unwrap();
+    session.run(GOLDEN_PROGRAM).unwrap();
+    session.compile_to_artifact("codePower 2", 0x1998).unwrap()
+}
+
+fn hex_lines(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    for chunk in bytes.chunks(32) {
+        for b in chunk {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn golden_bytes() -> Vec<u8> {
+    let digits: Vec<u8> = GOLDEN_HEX.bytes().filter(u8::is_ascii_hexdigit).collect();
+    assert_eq!(digits.len() % 2, 0, "lockfile has a dangling hex digit");
+    digits
+        .chunks(2)
+        .map(|pair| u8::from_str_radix(std::str::from_utf8(pair).unwrap(), 16).unwrap())
+        .collect()
+}
+
+#[test]
+fn encoding_matches_the_golden_lockfile() {
+    let got = hex_lines(&golden_artifact().to_wire_bytes());
+    assert_eq!(
+        got.trim_end(),
+        GOLDEN_HEX.trim_end(),
+        "wire encoding drifted from tests/golden/artifact_wire.hex — \
+         if intentional, bump FORMAT_VERSION and regenerate with \
+         `cargo run -p mlbox --bin wire-dump`"
+    );
+}
+
+#[test]
+fn golden_bytes_still_decode_and_run() {
+    let decoded = CompiledFilter::from_wire_bytes(&golden_bytes()).unwrap();
+    assert_eq!(decoded.source_fingerprint(), 0x1998);
+
+    // The pinned bytes must serve exactly like a fresh compile: same
+    // answer, same reduction-step count (the cost model is part of the
+    // format contract).
+    let fresh = golden_artifact();
+    let (fresh_value, fresh_stats) = fresh.instantiate().run(ccam::value::Value::Int(6)).unwrap();
+    let (value, stats) = decoded
+        .instantiate()
+        .run(ccam::value::Value::Int(6))
+        .unwrap();
+    assert_eq!(value.to_string(), "36");
+    assert_eq!(value.to_string(), fresh_value.to_string());
+    assert_eq!(stats.steps, fresh_stats.steps);
+}

@@ -9,10 +9,18 @@
 //! Usage:
 //!
 //! ```text
-//! serve-bench [--smoke] [--fuse] [--flat-env] [--native] [--workers 1,2,4] [--batches 8,32] [--rounds N]
+//! serve-bench [--smoke] [--fuse] [--flat-env] [--native] [--persist]
+//!             [--workers 1,2,4] [--batches 8,32] [--rounds N] [--tenants N]
 //! ```
 //!
 //! `--smoke` is the CI configuration: 2 workers, one batch per filter.
+//! `--persist` switches to the persistence benchmark: it measures
+//! cold-start (loading a stored artifact vs. re-running the generator)
+//! for the Table 1 filters, then drives a multi-tenant sweep through a
+//! disk-backed pool whose cache is deliberately smaller than the filter
+//! population — evicted artifacts must come back from the store, not
+//! the generator — and emits `BENCH_serve_persist.json` instead of
+//! `BENCH_serve.json`. `--tenants N` overrides the sweep's tenant count.
 //! `--fuse` runs the whole sweep (oracle included) under
 //! `SessionOptions::fuse`, so artifacts carry fused superinstructions
 //! and the per-packet step oracle checks the fused cost model.
@@ -31,12 +39,15 @@ use mlbox_bpf::packet::Packet;
 use mlbox_bpf::{
     chain_filter, multi_port_filter, port_filter, telnet_filter, FilterHarness, PacketGen,
 };
-use mlbox_serve::{FilterCache, PoolConfig, ServePool, Ticket};
+use mlbox_serve::{AdmissionError, ArtifactStore, FilterCache, PoolConfig, ServePool, Ticket};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
 struct Config {
     smoke: bool,
+    persist: bool,
+    tenants: usize,
     workers_sweep: Vec<usize>,
     batch_sizes: Vec<usize>,
     rounds: usize,
@@ -69,9 +80,12 @@ fn parse_args() -> Config {
             .unwrap_or(default)
     };
     let scalar = |flag: &str, default: usize| -> usize { list(flag, vec![default])[0] };
+    let persist = args.iter().any(|a| a == "--persist");
     if smoke {
         Config {
             smoke,
+            persist,
+            tenants: scalar("--tenants", 48),
             workers_sweep: list("--workers", vec![2]),
             batch_sizes: list("--batches", vec![16]),
             rounds: scalar("--rounds", 1),
@@ -81,6 +95,8 @@ fn parse_args() -> Config {
     } else {
         Config {
             smoke,
+            persist,
+            tenants: scalar("--tenants", 2048),
             workers_sweep: list("--workers", vec![1, 2, 4]),
             batch_sizes: list("--batches", vec![8, 32]),
             rounds: scalar("--rounds", 3),
@@ -181,6 +197,7 @@ fn run_sweep_point(
             queue_depth: 64,
             cache_capacity: 64,
             options: config.options.clone(),
+            store: None,
         },
         Arc::clone(cache),
     );
@@ -246,8 +263,294 @@ fn json_f(x: f64) -> String {
     }
 }
 
+/// Cold-start numbers for one filter: what re-running the generator
+/// costs vs. loading the persisted artifact.
+struct ColdStart {
+    name: &'static str,
+    compile_ms: f64,
+    load_ms: f64,
+    speedup: f64,
+}
+
+/// Measures compile-vs-load for the Table 1 filters against `store`.
+/// Compile = build a harness session and extract the artifact (what a
+/// cold process without a store must do); load = read, decode, verify,
+/// and compatibility-check the stored container (what a cold process
+/// with a store does). Both are min-of-reps; every loaded artifact is
+/// verified to serve the same verdicts as the native interpreter.
+fn measure_cold_start(config: &Config, store: &ArtifactStore) -> Vec<ColdStart> {
+    let filters: Vec<(&'static str, Vec<Insn>)> = vec![
+        ("accept_telnet", telnet_filter()),
+        ("accept_port_80", port_filter(80)),
+        ("accept_ports_22_23_80", multi_port_filter(&[22, 23, 80])),
+        ("chain_8", chain_filter(8)),
+    ];
+    let compile_reps = if config.smoke { 2 } else { 5 };
+    let load_reps = if config.smoke { 20 } else { 100 };
+    filters
+        .into_iter()
+        .map(|(name, filter)| {
+            let fingerprint = mlbox_bpf::insn::fingerprint(&filter);
+            let mut compile_ms = f64::INFINITY;
+            let mut artifact = None;
+            for _ in 0..compile_reps {
+                let started = Instant::now();
+                let mut harness = FilterHarness::with_options(&filter, config.options.clone())
+                    .expect("harness builds");
+                let compiled = harness.compile_artifact().expect("artifact extracts");
+                compile_ms = compile_ms.min(started.elapsed().as_secs_f64() * 1e3);
+                artifact = Some(compiled);
+            }
+            store.save(&artifact.expect("compiled")).expect("save");
+            let mut load_ms = f64::INFINITY;
+            let mut loaded = None;
+            for _ in 0..load_reps {
+                let started = Instant::now();
+                let from_disk = store
+                    .load(fingerprint, &config.options)
+                    .expect("store readable")
+                    .expect("artifact was just saved");
+                load_ms = load_ms.min(started.elapsed().as_secs_f64() * 1e3);
+                loaded = Some(from_disk);
+            }
+            // The loaded artifact must actually serve correctly.
+            let mut instance = loaded.expect("loaded").instantiate();
+            let packets = PacketGen::new(97).workload(4, 0.5);
+            for pkt in &packets {
+                let (value, _) = instance.run(filter_arg(pkt)).expect("loaded artifact runs");
+                assert_eq!(
+                    expect_verdict(&value).expect("integer verdict"),
+                    run_filter(&filter, &pkt.bytes),
+                    "{name}: loaded artifact diverges from the native interpreter"
+                );
+            }
+            let speedup = compile_ms / load_ms.max(1e-9);
+            eprintln!(
+                "serve-bench:   {name}: compile {compile_ms:.3} ms, load {load_ms:.3} ms \
+                 ({speedup:.0}x)"
+            );
+            ColdStart {
+                name,
+                compile_ms,
+                load_ms,
+                speedup,
+            }
+        })
+        .collect()
+}
+
+/// One tenant of the multi-tenant sweep.
+struct Tenant {
+    filter: Arc<Vec<Insn>>,
+    packets: Vec<Packet>,
+}
+
+/// The `--persist` benchmark: cold-start measurement plus a
+/// store-backed multi-tenant sweep with a deliberately undersized
+/// cache, emitting `BENCH_serve_persist.json` on stdout.
+fn run_persist(config: &Config) {
+    let root = std::env::temp_dir().join(format!("mlbox-serve-bench-{}", std::process::id()));
+    let store = Arc::new(ArtifactStore::open(&root).expect("open artifact store"));
+
+    eprintln!(
+        "serve-bench: measuring cold start (store at {})...",
+        root.display()
+    );
+    let cold = measure_cold_start(config, &store);
+    let min_speedup = cold.iter().map(|c| c.speedup).fold(f64::INFINITY, f64::min);
+    assert!(
+        min_speedup >= 10.0,
+        "cold-start from the store must be >=10x faster than recompiling \
+         (measured {min_speedup:.1}x)"
+    );
+
+    // The tenant sweep: `filters` distinct filter programs shared by
+    // `tenants` tenants, served through a cache that cannot hold the
+    // whole population (9 filters into capacity 8 is one per shard, so
+    // at least one shard must evict). Every artifact that comes back
+    // after eviction is a store load, not a generator run — the sweep
+    // asserts the generator ran exactly once per distinct filter.
+    let nfilters = if config.smoke { 9 } else { 32 };
+    let tenants = config.tenants;
+    let cache_capacity = 8;
+    let filters: Vec<Arc<Vec<Insn>>> = (0..nfilters)
+        .map(|i| {
+            let port = 2000 + i as u16;
+            Arc::new(if i % 2 == 0 {
+                port_filter(port)
+            } else {
+                multi_port_filter(&[22, 80, port])
+            })
+        })
+        .collect();
+    let workload: Vec<Tenant> = (0..tenants)
+        .map(|t| {
+            let mut generator = PacketGen::new(1000 + t as u64);
+            Tenant {
+                filter: Arc::clone(&filters[t % nfilters]),
+                packets: generator.workload(4, 0.5),
+            }
+        })
+        .collect();
+
+    // Pre-populate the store — the cold-process scenario: yesterday's
+    // artifacts are on disk, today's process serves from them. With the
+    // store populated up front, the sweep's save counter measures
+    // generator runs *during serving* exactly (a concurrent first-touch
+    // could otherwise double-specialize one filter benignly).
+    for filter in &filters {
+        let mut harness =
+            FilterHarness::with_options(filter, config.options.clone()).expect("harness builds");
+        let artifact = harness.compile_artifact().expect("artifact extracts");
+        store.save(&artifact).expect("save");
+    }
+    let saves_before_sweep = store.stats().saves;
+
+    eprintln!(
+        "serve-bench: sweeping {tenants} tenants x {nfilters} filters \
+         (cache capacity {cache_capacity})..."
+    );
+    let pool = ServePool::new(PoolConfig {
+        workers: 2,
+        queue_depth: 32,
+        cache_capacity,
+        options: config.options.clone(),
+        store: Some(Arc::clone(&store)),
+    });
+    let started = Instant::now();
+    let mut pending: VecDeque<(usize, Ticket)> = VecDeque::new();
+    let mut packets_total = 0u64;
+    let mut verify = |t: usize, ticket: Ticket| {
+        let tenant: &Tenant = &workload[t];
+        let output = ticket
+            .wait()
+            .outcome
+            .unwrap_or_else(|e| panic!("tenant {t}: batch failed: {e}"));
+        for (i, (&verdict, pkt)) in output.verdicts.iter().zip(&tenant.packets).enumerate() {
+            assert_eq!(
+                verdict,
+                run_filter(&tenant.filter, &pkt.bytes),
+                "tenant {t}: packet {i} verdict diverged from the native interpreter"
+            );
+            packets_total += 1;
+        }
+    };
+    for (t, tenant) in workload.iter().enumerate() {
+        loop {
+            match pool.try_submit(Arc::clone(&tenant.filter), tenant.packets.clone()) {
+                Ok(ticket) => {
+                    pending.push_back((t, ticket));
+                    break;
+                }
+                // Admission control in action: the queue is full, so
+                // drain the oldest in-flight batch and try again.
+                Err(AdmissionError::QueueFull { .. }) => {
+                    let (done, ticket) = pending.pop_front().expect("work is in flight");
+                    verify(done, ticket);
+                }
+                Err(AdmissionError::PoolClosed) => panic!("pool closed mid-sweep"),
+            }
+        }
+    }
+    for (t, ticket) in pending {
+        verify(t, ticket);
+    }
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    let report = pool.shutdown();
+    let store_stats = store.stats();
+
+    // The whole point of the store tier: across every tenant request and
+    // every eviction, the generator never ran during serving — every
+    // cache miss was answered from disk.
+    assert_eq!(
+        store_stats.saves, saves_before_sweep,
+        "the generator must not run while serving a populated store"
+    );
+    assert!(
+        report.cache.evictions > 0,
+        "the sweep must overflow the cache to exercise the store tier"
+    );
+    assert!(
+        store_stats.loads > 0,
+        "evicted artifacts must come back from the store"
+    );
+    assert_eq!(packets_total, (tenants * 4) as u64);
+
+    let resident = store.len().expect("store readable");
+    let _ = std::fs::remove_dir_all(&root);
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"serve_persist\",\n");
+    out.push_str(&format!("  \"smoke\": {},\n", config.smoke));
+    out.push_str(&format!("  \"fuse\": {},\n", config.options.fuse));
+    out.push_str(&format!("  \"flat_env\": {},\n", config.options.flat_env));
+    out.push_str(&format!("  \"native\": {},\n", config.options.native));
+    out.push_str("  \"cold_start\": [\n");
+    for (i, c) in cold.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"compile_ms\": {}, \"load_ms\": {}, \"speedup\": {}}}{}\n",
+            c.name,
+            json_f(c.compile_ms),
+            json_f(c.load_ms),
+            json_f(c.speedup),
+            if i + 1 < cold.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"cold_start_min_speedup\": {},\n",
+        json_f(min_speedup)
+    ));
+    out.push_str(&format!(
+        "  \"sweep\": {{\"tenants\": {tenants}, \"filters\": {nfilters}, \
+         \"cache_capacity\": {cache_capacity}, \"packets\": {packets_total}, \
+         \"elapsed_ms\": {}}},\n",
+        json_f(elapsed_secs * 1e3)
+    ));
+    out.push_str(&format!(
+        "  \"cache\": {{\"requests\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+         \"expired\": {}, \"hit_rate\": {}}},\n",
+        report.cache.requests(),
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.evictions,
+        report.cache.expired,
+        json_f(report.cache.hit_rate())
+    ));
+    out.push_str(&format!(
+        "  \"store\": {{\"saves\": {}, \"loads\": {}, \"misses\": {}, \"resident\": {resident}}},\n",
+        store_stats.saves, store_stats.loads, store_stats.misses
+    ));
+    out.push_str(&format!("  \"shed\": {},\n", report.shed));
+    out.push_str(&format!(
+        "  \"latency\": {{\"count\": {}, \"p50_ms\": {}, \"p90_ms\": {}, \"p99_ms\": {}, \
+         \"max_ms\": {}, \"mean_ms\": {}}},\n",
+        report.latency.count,
+        json_f(report.latency.p50_ms()),
+        json_f(report.latency.p90_nanos as f64 / 1e6),
+        json_f(report.latency.p99_ms()),
+        json_f(report.latency.max_nanos as f64 / 1e6),
+        json_f(report.latency.mean_nanos as f64 / 1e6)
+    ));
+    out.push_str("  \"oracle\": \"verified\"\n");
+    out.push_str("}\n");
+    print!("{out}");
+    eprintln!(
+        "serve-bench: persist ok (min cold-start speedup {min_speedup:.0}x, \
+         {} evictions, {} store loads, p99 {:.3} ms)",
+        report.cache.evictions,
+        store_stats.loads,
+        report.latency.p99_ms()
+    );
+}
+
 fn main() {
     let config = parse_args();
+    if config.persist {
+        run_persist(&config);
+        return;
+    }
     eprintln!("serve-bench: building workloads and oracles...");
     let workloads = build_workloads(&config);
     let distinct_filters = workloads.len() as u64;

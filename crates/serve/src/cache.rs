@@ -10,14 +10,34 @@
 //! initializer finishes and requesters of *other* filters proceed
 //! untouched. N workers asking for one filter trigger exactly one
 //! specialization, by construction rather than by luck.
+//!
+//! **Eviction is cost-aware**, not FIFO: each entry carries its measured
+//! initialization cost (wall nanoseconds of the specialization that
+//! built it) and a size (instruction count for filter artifacts), and
+//! when a shard is full the entry with the smallest `cost × size`
+//! weight is dropped — the entry that is cheapest to rebuild and frees
+//! the least. A multi-tenant sweep where one tenant's filter took 200ms
+//! to specialize and another's took 2ms should never evict the former
+//! to admit a third copy of the latter.
+//!
+//! **Entries expire.** Successful entries live for the configured
+//! [`CacheConfig::ttl`] (unbounded by default). *Failed* specializations
+//! are special: they are cached (so a broken filter fails fast instead
+//! of re-running the generator per request) but only for the bounded
+//! [`CacheConfig::negative_ttl`] — a transient failure must not poison a
+//! tenant until process restart, and a permanently broken filter is
+//! cheap to re-discover.
 
+use crate::store::ArtifactStore;
 use mlbox::fingerprint::Fnv1a;
 use mlbox::{CompiledFilter, SessionOptions};
 use mlbox_bpf::insn::{fingerprint, Insn};
 use mlbox_bpf::FilterHarness;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
+use std::time::{Duration, Instant};
 
 /// What a cached specialization is indexed by. Both halves are stable
 /// fingerprints ([`mlbox_bpf::insn::fingerprint`],
@@ -49,6 +69,39 @@ impl CacheKey {
     }
 }
 
+/// Cache tuning knobs.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Maximum resident entries (approximately; enforced per shard).
+    pub capacity: usize,
+    /// Lifetime of successful entries; `None` = never expire.
+    pub ttl: Option<Duration>,
+    /// Lifetime of *failed* entries. Always bounded: a cached failure
+    /// must age out so a transient problem (exhausted fuel budget, a
+    /// racing deploy) does not poison the key until process restart.
+    pub negative_ttl: Duration,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 64,
+            ttl: None,
+            negative_ttl: Duration::from_secs(30),
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A config with the given capacity and default lifetimes.
+    pub fn with_capacity(capacity: usize) -> CacheConfig {
+        CacheConfig {
+            capacity,
+            ..CacheConfig::default()
+        }
+    }
+}
+
 /// A point-in-time snapshot of cache counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -60,6 +113,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped to respect the capacity bound.
     pub evictions: u64,
+    /// Entries dropped because their TTL (positive or negative) lapsed.
+    pub expired: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -81,57 +136,132 @@ impl CacheStats {
     }
 }
 
-type Entry<T> = Arc<OnceLock<Result<Arc<T>, String>>>;
+/// One cache slot: the exactly-once cell plus the metadata eviction and
+/// expiry decide by. `cost`/`size` are written once by the thread whose
+/// initializer ran, before any other thread can read the filled cell's
+/// weight for eviction — a racing reader sees at worst the pessimistic
+/// default (0 ⇒ min weight), which only makes the entry *more* evictable.
+#[derive(Debug)]
+struct EntryState<T> {
+    cell: OnceLock<Result<Arc<T>, String>>,
+    inserted: Instant,
+    /// Measured initialization cost, nanoseconds.
+    cost: AtomicU64,
+    /// Size in the cache's own unit (instruction count for artifacts).
+    size: AtomicU64,
+}
+
+impl<T> EntryState<T> {
+    fn new() -> Self {
+        EntryState {
+            cell: OnceLock::new(),
+            inserted: Instant::now(),
+            cost: AtomicU64::new(0),
+            size: AtomicU64::new(0),
+        }
+    }
+
+    /// Rebuild-cost × size, the eviction weight. At least 1 for any
+    /// initialized entry so weights multiply meaningfully.
+    fn weight(&self) -> u64 {
+        self.cost
+            .load(Ordering::Relaxed)
+            .max(1)
+            .saturating_mul(self.size.load(Ordering::Relaxed).max(1))
+    }
+
+    /// Whether the entry's lifetime has lapsed under `config`.
+    fn expired(&self, config: &CacheConfig) -> bool {
+        match self.cell.get() {
+            None => false, // in flight: never expire under the initializer
+            Some(Ok(_)) => config.ttl.is_some_and(|ttl| self.inserted.elapsed() > ttl),
+            Some(Err(_)) => self.inserted.elapsed() > config.negative_ttl,
+        }
+    }
+}
+
+type Entry<T> = Arc<EntryState<T>>;
 
 #[derive(Debug)]
 struct Shard<T> {
     map: HashMap<CacheKey, Entry<T>>,
-    // Insertion order, for FIFO eviction: the artifacts are immutable
-    // and cheap to rebuild relative to bookkeeping an LRU under a write
-    // lock, so first-in-first-out is deliberate.
-    order: Vec<CacheKey>,
 }
 
 impl<T> Shard<T> {
     fn new() -> Self {
         Shard {
             map: HashMap::new(),
-            order: Vec::new(),
         }
     }
 }
 
-/// A sharded, capacity-bounded, exactly-once concurrent cache.
+type Sizer<T> = Box<dyn Fn(&T) -> u64 + Send + Sync>;
+
+/// A sharded, capacity-bounded, exactly-once concurrent cache with
+/// cost-aware eviction and per-entry TTLs.
 ///
 /// Generic over the cached artifact so tests can exercise the
 /// concurrency contract with cheap payloads; the serving layer uses
 /// [`FilterCache`].
-#[derive(Debug)]
 pub struct SpecializationCache<T> {
     shards: Vec<RwLock<Shard<T>>>,
     per_shard_capacity: usize,
+    config: CacheConfig,
+    sizer: Sizer<T>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    expired: AtomicU64,
+}
+
+impl<T> fmt::Debug for SpecializationCache<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpecializationCache")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
 }
 
 const SHARDS: usize = 8;
 
 impl<T> SpecializationCache<T> {
-    /// A cache holding at most (roughly) `capacity` entries, FIFO-evicted
-    /// per shard beyond that.
+    /// A cache holding at most (roughly) `capacity` entries with default
+    /// lifetimes, entries weighted 1 apiece (pure cost eviction).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "cache capacity must be positive");
+        Self::with_config(CacheConfig::with_capacity(capacity))
+    }
+
+    /// A cache with explicit tuning and unit entry sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.capacity` is zero.
+    pub fn with_config(config: CacheConfig) -> Self {
+        Self::with_config_and_sizer(config, Box::new(|_| 1))
+    }
+
+    /// A cache with explicit tuning and an entry-size measure; eviction
+    /// weight is measured-cost × size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.capacity` is zero.
+    pub fn with_config_and_sizer(config: CacheConfig, sizer: Sizer<T>) -> Self {
+        assert!(config.capacity > 0, "cache capacity must be positive");
         SpecializationCache {
             shards: (0..SHARDS).map(|_| RwLock::new(Shard::new())).collect(),
-            per_shard_capacity: capacity.div_ceil(SHARDS),
+            per_shard_capacity: config.capacity.div_ceil(SHARDS),
+            config,
+            sizer,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
         }
     }
 
@@ -139,7 +269,9 @@ impl<T> SpecializationCache<T> {
     /// Exactly one concurrent caller per key runs `init`; the others
     /// block until it finishes and share the result. Failures are cached
     /// too — a filter that fails to specialize fails every request
-    /// identically instead of re-specializing per request.
+    /// identically instead of re-specializing per request — but only for
+    /// [`CacheConfig::negative_ttl`]. The entry's eviction cost is the
+    /// measured wall time of `init`.
     ///
     /// # Errors
     ///
@@ -153,30 +285,72 @@ impl<T> SpecializationCache<T> {
         key: CacheKey,
         init: impl FnOnce() -> Result<Arc<T>, String>,
     ) -> Result<Arc<T>, String> {
+        self.get_or_init_costed(key, || {
+            let started = Instant::now();
+            let result = init();
+            let cost = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            result.map(|value| (value, cost.max(1)))
+        })
+    }
+
+    /// [`get_or_init`](Self::get_or_init) with the initializer reporting
+    /// its own rebuild cost (for callers that know it better than wall
+    /// time — e.g. a store load reporting the cost of the *original*
+    /// specialization — and for deterministic eviction tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error `init` produced (now or on a previous request).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard lock is poisoned (a previous `init` panicked).
+    pub fn get_or_init_costed(
+        &self,
+        key: CacheKey,
+        init: impl FnOnce() -> Result<(Arc<T>, u64), String>,
+    ) -> Result<Arc<T>, String> {
         let shard = &self.shards[key.shard_of(SHARDS)];
-        // Fast path: the entry exists; never take the write lock.
-        let entry = shard
-            .read()
-            .expect("cache shard poisoned")
-            .map
-            .get(&key)
-            .cloned();
+        // Fast path: a live entry exists; never take the write lock.
+        let entry = {
+            let guard = shard.read().expect("cache shard poisoned");
+            match guard.map.get(&key) {
+                Some(e) if !e.expired(&self.config) => Some(e.clone()),
+                _ => None,
+            }
+        };
         let entry = match entry {
             Some(e) => e,
             None => {
                 let mut guard = shard.write().expect("cache shard poisoned");
+                // Drop every lapsed entry in the shard while we hold the
+                // write lock anyway — expiry is lazy, amortized onto the
+                // misses that need the lock regardless.
+                let lapsed: Vec<CacheKey> = guard
+                    .map
+                    .iter()
+                    .filter(|(_, e)| e.expired(&self.config))
+                    .map(|(k, _)| *k)
+                    .collect();
+                for k in &lapsed {
+                    guard.map.remove(k);
+                    self.expired.fetch_add(1, Ordering::Relaxed);
+                }
                 match guard.map.get(&key) {
                     // Lost the insert race to another writer; use theirs.
                     Some(e) => e.clone(),
                     None => {
-                        if guard.map.len() >= self.per_shard_capacity {
-                            let oldest = guard.order.remove(0);
-                            guard.map.remove(&oldest);
-                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        while guard.map.len() >= self.per_shard_capacity {
+                            match victim_of(&guard.map) {
+                                Some(v) => {
+                                    guard.map.remove(&v);
+                                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                                }
+                                None => break,
+                            }
                         }
-                        let entry = Entry::<T>::default();
+                        let entry = Arc::new(EntryState::new());
                         guard.map.insert(key, entry.clone());
-                        guard.order.push(key);
                         entry
                     }
                 }
@@ -186,9 +360,17 @@ impl<T> SpecializationCache<T> {
         // not stall requests for other filters in the same shard.
         let mut ran = false;
         let result = entry
+            .cell
             .get_or_init(|| {
                 ran = true;
-                init()
+                match init() {
+                    Ok((value, cost)) => {
+                        entry.cost.store(cost, Ordering::Relaxed);
+                        entry.size.store((self.sizer)(&value), Ordering::Relaxed);
+                        Ok(value)
+                    }
+                    Err(e) => Err(e),
+                }
             })
             .clone();
         // Only the caller whose initializer ran counts a miss, so
@@ -207,6 +389,7 @@ impl<T> SpecializationCache<T> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
             entries: self
                 .shards
                 .iter()
@@ -216,11 +399,41 @@ impl<T> SpecializationCache<T> {
     }
 }
 
+/// Picks the entry a full shard should drop: the initialized entry with
+/// the smallest cost × size weight (cheapest to rebuild, least to free),
+/// oldest first among equals. If *every* entry is still initializing —
+/// their weights unknown and their initializers owed to blocked waiters
+/// — the oldest in-flight entry is unlinked instead; its waiters keep
+/// their `Arc` and complete normally, the map just stops tracking it.
+fn victim_of<T>(map: &HashMap<CacheKey, Entry<T>>) -> Option<CacheKey> {
+    let initialized = map
+        .iter()
+        .filter(|(_, e)| e.cell.get().is_some())
+        .min_by_key(|(_, e)| (e.weight(), e.inserted))
+        .map(|(k, _)| *k);
+    initialized.or_else(|| map.iter().min_by_key(|(_, e)| e.inserted).map(|(k, _)| *k))
+}
+
 /// The cache the serving layer actually uses: filter programs to
-/// [`CompiledFilter`] artifacts.
+/// [`CompiledFilter`] artifacts, sized by instruction count so eviction
+/// weight is (specialization nanoseconds × artifact instructions).
 pub type FilterCache = SpecializationCache<CompiledFilter>;
 
+/// The sizer [`FilterCache`] constructors install.
+fn artifact_sizer() -> Sizer<CompiledFilter> {
+    Box::new(|artifact| artifact.instructions() as u64)
+}
+
 impl FilterCache {
+    /// A filter cache with explicit tuning, sized by instruction count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.capacity` is zero.
+    pub fn for_filters(config: CacheConfig) -> FilterCache {
+        FilterCache::with_config_and_sizer(config, artifact_sizer())
+    }
+
     /// Returns the artifact for `filter` specialized under `options`,
     /// building a one-shot harness session and running the generator if
     /// (and only if) no other request has done so already.
@@ -228,26 +441,72 @@ impl FilterCache {
     /// # Errors
     ///
     /// Returns a rendered error if the filter is invalid or
-    /// specialization fails; the failure is cached.
+    /// specialization fails; the failure is cached (for
+    /// [`CacheConfig::negative_ttl`]).
     pub fn get_or_specialize(
         &self,
         filter: &[Insn],
         options: &SessionOptions,
     ) -> Result<Arc<CompiledFilter>, String> {
         let key = CacheKey::new(filter, options);
+        self.get_or_init(key, || specialize(filter, options))
+    }
+
+    /// Like [`get_or_specialize`](FilterCache::get_or_specialize), with
+    /// the disk `store` as the tier between this cache and the
+    /// generator: a cache miss first tries to load the persisted
+    /// artifact (container-verified, session-free); only if the store
+    /// also misses does the generator run — and its product is saved, so
+    /// the *next* cold process (or post-eviction request) loads instead
+    /// of recompiling.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered error if the store has a corrupt or
+    /// incompatible artifact for the key, or if specialization fails.
+    pub fn get_or_load_or_specialize(
+        &self,
+        filter: &[Insn],
+        options: &SessionOptions,
+        store: &ArtifactStore,
+    ) -> Result<Arc<CompiledFilter>, String> {
+        let key = CacheKey::new(filter, options);
         self.get_or_init(key, || {
-            let mut harness =
-                FilterHarness::with_options(filter, options.clone()).map_err(|e| e.to_string())?;
-            let artifact = harness.compile_artifact().map_err(|e| e.to_string())?;
-            Ok(Arc::new(artifact))
+            if let Some(artifact) = store.load(key.filter, options).map_err(|e| e.to_string())? {
+                return Ok(Arc::new(artifact));
+            }
+            let artifact = specialize(filter, options)?;
+            store.save(&artifact).map_err(|e| e.to_string())?;
+            Ok(artifact)
         })
     }
+}
+
+fn specialize(filter: &[Insn], options: &SessionOptions) -> Result<Arc<CompiledFilter>, String> {
+    let mut harness =
+        FilterHarness::with_options(filter, options.clone()).map_err(|e| e.to_string())?;
+    let artifact = harness.compile_artifact().map_err(|e| e.to_string())?;
+    Ok(Arc::new(artifact))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use mlbox_bpf::{port_filter, telnet_filter};
+
+    /// Keys that all land in one shard, for deterministic eviction tests.
+    fn same_shard_keys(n: usize) -> Vec<CacheKey> {
+        let mut keys = Vec::new();
+        let mut filter = 0u64;
+        while keys.len() < n {
+            let key = CacheKey { filter, options: 0 };
+            if key.shard_of(SHARDS) == 0 {
+                keys.push(key);
+            }
+            filter += 1;
+        }
+        keys
+    }
 
     #[test]
     fn misses_count_distinct_keys_and_hits_the_rest() {
@@ -366,6 +625,7 @@ mod tests {
 
     #[test]
     fn failures_are_cached() {
+        use mlbox_bpf::insn::Insn;
         let bad = vec![Insn::JeqK { k: 0, jt: 9, jf: 9 }];
         let cache = FilterCache::new(16);
         let opts = SessionOptions::default();
@@ -377,23 +637,143 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_bounded_by_fifo_eviction() {
+    fn failures_expire_after_the_negative_ttl() {
+        // The bugfix this PR ships: a cached failure must age out instead
+        // of poisoning its key (and holding capacity) until restart.
+        let cache: SpecializationCache<u64> = SpecializationCache::with_config(CacheConfig {
+            capacity: 16,
+            ttl: None,
+            negative_ttl: Duration::from_millis(40),
+        });
+        let key = CacheKey {
+            filter: 7,
+            options: 0,
+        };
+        cache
+            .get_or_init(key, || Err("transient".into()))
+            .unwrap_err();
+        // Within the TTL the failure is served from cache...
+        cache
+            .get_or_init(key, || panic!("must not re-run yet"))
+            .unwrap_err();
+        std::thread::sleep(Duration::from_millis(60));
+        // ...after it, the initializer runs again and can now succeed.
+        let v = cache.get_or_init(key, || Ok(Arc::new(42))).unwrap();
+        assert_eq!(*v, 42);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "failure re-initialized after TTL");
+        assert_eq!(stats.expired, 1);
+        // The recovered success does not expire (no positive TTL here).
+        std::thread::sleep(Duration::from_millis(60));
+        cache
+            .get_or_init(key, || panic!("success must persist"))
+            .unwrap();
+    }
+
+    #[test]
+    fn successes_expire_after_the_positive_ttl() {
+        let cache: SpecializationCache<u64> = SpecializationCache::with_config(CacheConfig {
+            capacity: 16,
+            ttl: Some(Duration::from_millis(40)),
+            negative_ttl: Duration::from_secs(30),
+        });
+        let key = CacheKey {
+            filter: 9,
+            options: 0,
+        };
+        cache.get_or_init(key, || Ok(Arc::new(1))).unwrap();
+        cache
+            .get_or_init(key, || panic!("fresh entry must be served"))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        cache.get_or_init(key, || Ok(Arc::new(2))).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "entry rebuilt after TTL");
+        assert_eq!(stats.expired, 1);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
         let cache: SpecializationCache<u64> = SpecializationCache::new(8);
-        // Per-shard capacity is 1, so hammering keys that land in one
-        // shard forces evictions.
-        let keys: Vec<CacheKey> = (0..64)
-            .map(|i| CacheKey {
+        // Per-shard capacity is 1, so hammering many keys forces
+        // evictions whatever shard they land in.
+        for i in 0..64u64 {
+            let k = CacheKey {
                 filter: i,
                 options: 0,
-            })
-            .collect();
-        for k in &keys {
-            cache.get_or_init(*k, || Ok(Arc::new(k.filter))).unwrap();
+            };
+            cache.get_or_init(k, || Ok(Arc::new(i))).unwrap();
         }
         let stats = cache.stats();
         assert!(stats.entries <= 8, "resident {} > capacity", stats.entries);
         assert!(stats.evictions > 0);
         assert_eq!(stats.misses, 64);
+    }
+
+    #[test]
+    fn eviction_prefers_the_cheapest_entry() {
+        // Capacity 16 ⇒ 2 per shard. Fill one shard with an expensive
+        // and a cheap entry, then insert a third: the cheap one must go,
+        // whatever order they arrived in (i.e. not FIFO).
+        let cache: SpecializationCache<u64> = SpecializationCache::new(16);
+        let keys = same_shard_keys(3);
+        let (cheap, dear, next) = (keys[0], keys[1], keys[2]);
+        cache
+            .get_or_init_costed(cheap, || Ok((Arc::new(1), 10)))
+            .unwrap();
+        cache
+            .get_or_init_costed(dear, || Ok((Arc::new(2), 1_000_000)))
+            .unwrap();
+        cache
+            .get_or_init_costed(next, || Ok((Arc::new(3), 500)))
+            .unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        // The expensive entry survived...
+        cache
+            .get_or_init_costed(dear, || panic!("expensive entry was evicted"))
+            .unwrap();
+        // ...the cheap one did not.
+        let mut reran = false;
+        cache
+            .get_or_init_costed(cheap, || {
+                reran = true;
+                Ok((Arc::new(1), 10))
+            })
+            .unwrap();
+        assert!(reran, "cheap entry should have been the victim");
+    }
+
+    #[test]
+    fn eviction_weight_includes_size() {
+        // Same measured cost, different sizes: the smaller entry is the
+        // cheaper victim (it frees less, but costs the same to rebuild —
+        // weight = cost × size makes small-and-cheap go first).
+        let cache: SpecializationCache<Vec<u8>> = SpecializationCache::with_config_and_sizer(
+            CacheConfig::with_capacity(16),
+            Box::new(|v: &Vec<u8>| v.len() as u64),
+        );
+        let keys = same_shard_keys(3);
+        let (small, large, next) = (keys[0], keys[1], keys[2]);
+        cache
+            .get_or_init_costed(small, || Ok((Arc::new(vec![0u8; 2]), 100)))
+            .unwrap();
+        cache
+            .get_or_init_costed(large, || Ok((Arc::new(vec![0u8; 4096]), 100)))
+            .unwrap();
+        cache
+            .get_or_init_costed(next, || Ok((Arc::new(vec![0u8; 8]), 100)))
+            .unwrap();
+        cache
+            .get_or_init_costed(large, || panic!("large entry was evicted"))
+            .unwrap();
+        let mut reran = false;
+        cache
+            .get_or_init_costed(small, || {
+                reran = true;
+                Ok((Arc::new(vec![0u8; 2]), 100))
+            })
+            .unwrap();
+        assert!(reran, "small entry should have been the victim");
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Lock-free latency histograms for the serving engine.
+//!
+//! Batch latencies span five orders of magnitude (a cache-hit batch of
+//! one packet vs. a cold specialization), so the histogram uses
+//! log-scaled buckets: four linear sub-buckets per power of two, giving
+//! ≤25% relative error per recorded sample while covering the full
+//! `u64` nanosecond range in 256 fixed buckets. Recording is one
+//! relaxed atomic increment — workers on the hot path never contend.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 256;
+
+/// A concurrent, fixed-size, log-bucketed histogram of durations in
+/// nanoseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a nanosecond value: 4 linear sub-buckets per octave.
+fn bucket_of(nanos: u64) -> usize {
+    if nanos < 4 {
+        return nanos as usize;
+    }
+    let octave = 63 - u64::from(nanos.leading_zeros()); // ≥ 2
+    let sub = (nanos >> (octave - 2)) & 3;
+    ((octave * 4 + sub) as usize).min(BUCKETS - 1)
+}
+
+/// Upper bound (inclusive) of a bucket, i.e. the value reported for
+/// samples that landed in it — conservative for quantiles.
+fn bucket_high(idx: usize) -> u64 {
+    if idx < 4 {
+        return idx as u64;
+    }
+    let octave = (idx / 4) as u64;
+    let sub = (idx % 4) as u64;
+    let step = 1u64 << (octave - 2);
+    (1u64 << octave) + (sub + 1) * step - 1
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: std::time::Duration) {
+        self.record_nanos(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one duration given in nanoseconds.
+    pub fn record_nanos(&self, nanos: u64) {
+        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The value (in nanoseconds, bucket upper bound) at or below which a
+    /// fraction `q` of samples fall. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                // Never report past the true maximum; the top occupied
+                // bucket's upper bound can overshoot it.
+                return bucket_high(idx).min(self.max.load(Ordering::Relaxed));
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time summary of the recorded samples.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let count = self.count();
+        LatencySnapshot {
+            count,
+            p50_nanos: self.quantile(0.50),
+            p90_nanos: self.quantile(0.90),
+            p99_nanos: self.quantile(0.99),
+            max_nanos: self.max.load(Ordering::Relaxed),
+            mean_nanos: self
+                .sum
+                .load(Ordering::Relaxed)
+                .checked_div(count)
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// Summary statistics extracted from a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median, in nanoseconds (bucket-resolution).
+    pub p50_nanos: u64,
+    /// 90th percentile, in nanoseconds.
+    pub p90_nanos: u64,
+    /// 99th percentile, in nanoseconds.
+    pub p99_nanos: u64,
+    /// Largest recorded sample, exact.
+    pub max_nanos: u64,
+    /// Arithmetic mean, in nanoseconds.
+    pub mean_nanos: u64,
+}
+
+impl LatencySnapshot {
+    /// Median in milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.p50_nanos as f64 / 1e6
+    }
+
+    /// 99th percentile in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.p99_nanos as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut prev = 0;
+        for sample in [0u64, 1, 3, 4, 5, 100, 1_000, 1_000_000, u64::MAX / 2] {
+            let idx = bucket_of(sample);
+            assert!(idx >= prev, "bucket order broken at {sample}");
+            assert!(bucket_high(idx) >= sample, "upper bound below sample");
+            prev = idx;
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_have_bounded_relative_error() {
+        let h = LatencyHistogram::new();
+        for n in 1..=1000u64 {
+            h.record_nanos(n * 1000); // 1µs .. 1ms, uniform
+        }
+        let p50 = h.quantile(0.50);
+        // True p50 is 500_000; the bucket resolution is 25%.
+        assert!((375_000..=625_000).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((742_500..=1_237_500).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 1_000_000, "max is exact");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        let s = h.snapshot();
+        assert_eq!(
+            (s.count, s.p50_nanos, s.p99_nanos, s.max_nanos, s.mean_nanos),
+            (0, 0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for n in 0..1000 {
+                        h.record_nanos(n);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+}

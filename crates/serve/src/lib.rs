@@ -11,11 +11,23 @@
 //!   exactly one specialization;
 //! - a **batched worker pool** ([`pool`]) of threads that each own a
 //!   private [`Machine`](ccam::Machine), drain packet batches from a
-//!   bounded channel, and run them against cached
+//!   bounded channel (blocking `submit` or shed-with-reason
+//!   `try_submit`), and run them against cached
 //!   [`CompiledFilter`](mlbox::CompiledFilter) artifacts;
+//! - a **disk artifact store** ([`store`]) persisting specialized
+//!   filters in the versioned, checksummed `mlbox::wire` container, so
+//!   a cold process hydrates yesterday's artifacts instead of
+//!   re-running the generator;
+//! - **hot swap** ([`swap`]): generation-keyed filter slots whose
+//!   program can be replaced under live traffic, in-flight batches
+//!   draining against the snapshot they were submitted with;
+//! - **latency histograms** ([`hist`]): lock-free log-bucketed
+//!   end-to-end batch latency, surfacing p50/p99 per configuration;
 //! - a `serve-bench` binary sweeping workers × batch size over the
-//!   Table 1 filters, verifying every verdict and step count against the
-//!   single-threaded oracle, and emitting `BENCH_serve.json`.
+//!   Table 1 filters (plus `--persist` cold-start and `--tenants`
+//!   multi-tenant sweeps), verifying every verdict and step count
+//!   against the single-threaded oracle, and emitting
+//!   `BENCH_serve.json` / `BENCH_serve_persist.json`.
 //!
 //! Machines stay single-threaded — CCAM values are `Rc`/`RefCell`
 //! graphs, and sharing one machine behind a lock would serialize exactly
@@ -24,7 +36,16 @@
 //! once into its own heap and runs packets locally.
 
 pub mod cache;
+pub mod hist;
 pub mod pool;
+pub mod store;
+pub mod swap;
 
-pub use cache::{CacheKey, CacheStats, FilterCache, SpecializationCache};
-pub use pool::{BatchOutput, BatchResult, PoolConfig, PoolReport, ServePool, Ticket, WorkerStats};
+pub use cache::{CacheConfig, CacheKey, CacheStats, FilterCache, SpecializationCache};
+pub use hist::{LatencyHistogram, LatencySnapshot};
+pub use pool::{
+    AdmissionError, BatchOutput, BatchResult, PoolConfig, PoolReport, ServePool, Ticket,
+    WorkerStats,
+};
+pub use store::{ArtifactStore, StoreError, StoreStats};
+pub use swap::SwappableFilter;

@@ -89,7 +89,7 @@ fn pool_is_byte_identical_to_a_fresh_single_threaded_oracle() {
         workers,
         queue_depth: 8,
         cache_capacity: 16,
-        options: SessionOptions::default(),
+        ..PoolConfig::default()
     });
     let mut tickets: Vec<(usize, usize, Ticket)> = Vec::new();
     for (f, (filter, packets)) in workloads.iter().enumerate() {

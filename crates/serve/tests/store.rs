@@ -1,0 +1,215 @@
+//! The artifact store's persistence contract: save/load round-trips,
+//! typed errors for corrupt or mismatched files, idempotent saves, no
+//! leftover temp files, and cache integration (a store-backed cache
+//! never re-runs the generator for an artifact that is on disk).
+
+use mlbox::SessionOptions;
+use mlbox_bpf::harness::{expect_verdict, filter_arg};
+use mlbox_bpf::native::run_filter;
+use mlbox_bpf::{port_filter, telnet_filter, FilterHarness, PacketGen};
+use mlbox_serve::{ArtifactStore, CacheConfig, FilterCache, StoreError};
+use std::path::PathBuf;
+
+/// A fresh store directory per test, removed on drop.
+struct TempStore {
+    root: PathBuf,
+    store: ArtifactStore,
+}
+
+impl TempStore {
+    fn new(tag: &str) -> TempStore {
+        let root =
+            std::env::temp_dir().join(format!("mlbox-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = ArtifactStore::open(&root).expect("open store");
+        TempStore { root, store }
+    }
+}
+
+impl Drop for TempStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn compile(filter: &[mlbox_bpf::insn::Insn], options: &SessionOptions) -> mlbox::CompiledFilter {
+    let mut harness = FilterHarness::with_options(filter, options.clone()).unwrap();
+    harness.compile_artifact().unwrap()
+}
+
+#[test]
+fn save_load_roundtrip_serves_identically() {
+    let temp = TempStore::new("roundtrip");
+    let options = SessionOptions::default();
+    let filter = telnet_filter();
+    let artifact = compile(&filter, &options);
+    let path = temp.store.save(&artifact).unwrap();
+    assert!(path.exists());
+    assert_eq!(temp.store.len().unwrap(), 1);
+
+    let fingerprint = mlbox_bpf::insn::fingerprint(&filter);
+    assert!(temp.store.contains(fingerprint, &options));
+    let loaded = temp
+        .store
+        .load(fingerprint, &options)
+        .unwrap()
+        .expect("artifact is on disk");
+
+    // The loaded artifact serves the same verdicts and step counts.
+    let mut fresh = artifact.instantiate();
+    let mut disk = loaded.instantiate();
+    for pkt in PacketGen::new(71).workload(8, 0.5) {
+        let (v1, s1) = fresh.run(filter_arg(&pkt)).unwrap();
+        let (v2, s2) = disk.run(filter_arg(&pkt)).unwrap();
+        let verdict = expect_verdict(&v2).unwrap();
+        assert_eq!(expect_verdict(&v1).unwrap(), verdict);
+        assert_eq!(verdict, run_filter(&filter, &pkt.bytes));
+        assert_eq!(s1.steps, s2.steps);
+    }
+    let stats = temp.store.stats();
+    assert_eq!((stats.saves, stats.loads, stats.misses), (1, 1, 0));
+}
+
+#[test]
+fn missing_artifacts_are_none_not_errors() {
+    let temp = TempStore::new("missing");
+    let options = SessionOptions::default();
+    assert!(temp.store.load(0xdead, &options).unwrap().is_none());
+    assert!(!temp.store.contains(0xdead, &options));
+    assert_eq!(temp.store.stats().misses, 1);
+    assert!(temp.store.is_empty().unwrap());
+}
+
+#[test]
+fn double_saves_are_idempotent() {
+    let temp = TempStore::new("idempotent");
+    let options = SessionOptions::default();
+    let artifact = compile(&port_filter(80), &options);
+    let p1 = temp.store.save(&artifact).unwrap();
+    let p2 = temp.store.save(&artifact).unwrap();
+    assert_eq!(p1, p2, "same key, same path");
+    assert_eq!(temp.store.len().unwrap(), 1, "one file, not two");
+}
+
+#[test]
+fn no_temp_files_survive_saving() {
+    let temp = TempStore::new("tmpfiles");
+    let options = SessionOptions::default();
+    for filter in [telnet_filter(), port_filter(23)] {
+        temp.store.save(&compile(&filter, &options)).unwrap();
+    }
+    let leftovers: Vec<_> = std::fs::read_dir(&temp.root)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|name| !name.ends_with(".mlart"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "temp files left behind: {leftovers:?}"
+    );
+}
+
+#[test]
+fn corrupt_files_error_with_types_not_panics() {
+    let temp = TempStore::new("corrupt");
+    let options = SessionOptions::default();
+    let filter = telnet_filter();
+    let fingerprint = mlbox_bpf::insn::fingerprint(&filter);
+    let path = temp.store.save(&compile(&filter, &options)).unwrap();
+
+    // Flip one byte in the middle: the checksum catches it.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&path, &bytes).unwrap();
+    match temp.store.load(fingerprint, &options) {
+        Err(StoreError::Artifact(_)) => {}
+        other => panic!("corrupt file gave {other:?}"),
+    }
+
+    // Truncate it: typed error too.
+    bytes[mid] ^= 0xff; // restore
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    match temp.store.load(fingerprint, &options) {
+        Err(StoreError::Artifact(_)) => {}
+        other => panic!("truncated file gave {other:?}"),
+    }
+}
+
+#[test]
+fn renamed_files_cannot_impersonate_another_key() {
+    let temp = TempStore::new("rename");
+    let options = SessionOptions::default();
+    let filter = telnet_filter();
+    let path = temp.store.save(&compile(&filter, &options)).unwrap();
+    // Give the telnet artifact the port-80 filter's file name.
+    let other = mlbox_bpf::insn::fingerprint(&port_filter(80));
+    let imposter = temp
+        .root
+        .join(ArtifactStore::file_name(other, options.fingerprint()));
+    std::fs::rename(&path, &imposter).unwrap();
+    match temp.store.load(other, &options) {
+        Err(StoreError::KeyMismatch { expected, found }) => {
+            assert_eq!(expected.0, other);
+            assert_eq!(found.0, mlbox_bpf::insn::fingerprint(&filter));
+        }
+        other => panic!("imposter file gave {other:?}"),
+    }
+}
+
+#[test]
+fn incompatible_consumers_are_refused_at_load() {
+    // An artifact saved under flat_env is refused by a default-mode
+    // consumer *if it carries frames*; either way, the load path must
+    // only ever hand back artifacts the consumer can hydrate. Exercise
+    // the cheap half: a flat-env consumer asking for a key saved under
+    // different options simply misses (different file name), it never
+    // gets the wrong artifact.
+    let temp = TempStore::new("modes");
+    let plain = SessionOptions::default();
+    let flat = SessionOptions {
+        flat_env: true,
+        ..SessionOptions::default()
+    };
+    let filter = telnet_filter();
+    let fingerprint = mlbox_bpf::insn::fingerprint(&filter);
+    temp.store.save(&compile(&filter, &plain)).unwrap();
+    assert!(
+        temp.store.load(fingerprint, &flat).unwrap().is_none(),
+        "options are part of the key: no cross-mode aliasing"
+    );
+}
+
+#[test]
+fn store_backed_cache_never_recompiles_persisted_artifacts() {
+    let temp = TempStore::new("cache");
+    let options = SessionOptions::default();
+    let filter = telnet_filter();
+
+    // Populate the store (one generator run)...
+    temp.store.save(&compile(&filter, &options)).unwrap();
+
+    // ...then serve through a cache so small every request re-misses.
+    let cache = FilterCache::for_filters(CacheConfig::with_capacity(1));
+    for _ in 0..3 {
+        let artifact = cache
+            .get_or_load_or_specialize(&filter, &options, &temp.store)
+            .unwrap();
+        assert_eq!(
+            artifact.source_fingerprint(),
+            mlbox_bpf::insn::fingerprint(&filter)
+        );
+    }
+    let stats = temp.store.stats();
+    assert_eq!(stats.saves, 1, "the generator never ran through the cache");
+    assert!(stats.loads >= 1, "the cache fetched from disk");
+
+    // A filter that is NOT on disk is specialized once and saved.
+    let fresh = port_filter(8080);
+    cache
+        .get_or_load_or_specialize(&fresh, &options, &temp.store)
+        .unwrap();
+    let stats = temp.store.stats();
+    assert_eq!(stats.saves, 2, "the miss was specialized and persisted");
+    assert_eq!(temp.store.len().unwrap(), 2);
+}
