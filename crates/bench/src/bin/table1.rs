@@ -303,6 +303,8 @@ fn table1(json: bool) {
             ..SessionOptions::default()
         });
         let (native_rows, _) = table1_rows(&native_options);
+        let (tiered_rows, tiered_stats) =
+            mlbox_bench::table1_rows_tiered(mlbox::TierPolicy::default());
         let mut dispatch = mlbox_bench::dispatch_throughput(2_000).expect("dispatch");
         dispatch.extend(
             mlbox_bench::dispatch_throughput_with(2_000, &fuse_options).expect("fused dispatch"),
@@ -318,7 +320,9 @@ fn table1(json: bool) {
                 &fused_rows,
                 &flat_rows,
                 &native_rows,
+                &tiered_rows,
                 &stats,
+                Some(&tiered_stats),
                 &dispatch,
             )
         );

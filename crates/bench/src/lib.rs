@@ -5,7 +5,7 @@
 //! benches additionally report wall-clock time of the simulator, which
 //! tracks steps closely.
 
-use mlbox::{Error, Session, SessionOptions};
+use mlbox::{Error, Session, SessionOptions, TierPolicy};
 use mlbox_bpf::filters::telnet_filter;
 use mlbox_bpf::harness::FilterHarness;
 use mlbox_bpf::packet::PacketGen;
@@ -156,6 +156,32 @@ pub fn table1_rows(options: &SessionOptions) -> (Vec<Row>, ccam::machine::Stats)
     (rows, h.machine_stats())
 }
 
+/// Measures the Table 1 rows under the adaptive profile and asserts —
+/// in the binary, not just in a test — that every row counts *exactly*
+/// the plain profile's reduction steps while the tier controller
+/// actually promoted blocks along the way. This is the paper-fidelity
+/// contract of adaptive tiering: promotion changes how hot code is
+/// dispatched, never what the cost model observes.
+pub fn table1_rows_tiered(policy: TierPolicy) -> (Vec<Row>, ccam::machine::Stats) {
+    let (plain, _) = table1_rows(&SessionOptions::default());
+    let (rows, stats) = table1_rows(&SessionOptions {
+        adaptive: Some(policy),
+        ..SessionOptions::default()
+    });
+    assert!(
+        stats.promotions > 0,
+        "the tier controller never promoted a block over the Table 1 workloads"
+    );
+    for (tiered, plain) in rows.iter().zip(&plain) {
+        assert_eq!(
+            tiered.steps, plain.steps,
+            "adaptive row {:?} must count exactly the plain profile's steps",
+            tiered.label
+        );
+    }
+    (rows, stats)
+}
+
 /// Wall-clock dispatch throughput of one Table 1 filter workload.
 #[derive(Debug, Clone)]
 pub struct DispatchRow {
@@ -246,17 +272,24 @@ pub fn dispatch_throughput_with(
 /// `rows_flat_env` array keyed `steps_flat_env`, and `native` rows (the
 /// same computations through the thread-coded tier,
 /// `SessionOptions::native`) as `rows_native` keyed `steps_native`,
-/// keeping all four lockfile greps line-disjoint. `dispatch` rows (wall
-/// clock, non-golden) are appended when non-empty.
+/// keeping all four lockfile greps line-disjoint. `tiered` rows (the
+/// same computations under the adaptive profile, which
+/// [`table1_rows_tiered`] asserts count plain-profile steps) render as
+/// `rows_tiered` keyed `steps_tiered`, with the controller's counters in
+/// a `tier_controller` object when `tiered_stats` is given. `dispatch`
+/// rows (wall clock, non-golden) are appended when non-empty.
 ///
 /// [`Stats`]: ccam::machine::Stats
+#[allow(clippy::too_many_arguments)]
 pub fn render_json(
     title: &str,
     rows: &[Row],
     fused: &[Row],
     flat: &[Row],
     native: &[Row],
+    tiered: &[Row],
     machine: &ccam::machine::Stats,
+    tiered_stats: Option<&ccam::machine::Stats>,
     dispatch: &[DispatchRow],
 ) -> String {
     fn esc(s: &str) -> String {
@@ -325,6 +358,25 @@ pub fn render_json(
             ));
         }
         out.push_str("  ]");
+    }
+    if !tiered.is_empty() {
+        out.push_str(",\n  \"rows_tiered\": [\n");
+        for (i, r) in tiered.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"steps_tiered\": {}, \"emitted\": {}}}{}\n",
+                esc(&r.label),
+                r.steps,
+                r.emitted,
+                if i + 1 < tiered.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]");
+    }
+    if let Some(ts) = tiered_stats {
+        out.push_str(&format!(
+            ",\n  \"tier_controller\": {{\"promotions\": {}, \"refreezes\": {}, \"tier_steps\": [{}, {}, {}]}}",
+            ts.promotions, ts.refreezes, ts.tier_steps[0], ts.tier_steps[1], ts.tier_steps[2]
+        ));
     }
     out.push_str(&format!(
         ",\n  \"freeze_cache\": {{\"freezes\": {}, \"freeze_hits\": {}, \"calls\": {}, \"steps\": {}}}",
@@ -593,7 +645,7 @@ mod tests {
             steps: 123,
             ..Default::default()
         };
-        let j = render_json("Table 1", &rows, &[], &[], &[], &stats, &[]);
+        let j = render_json("Table 1", &rows, &[], &[], &[], &[], &stats, None, &[]);
         assert!(j.contains("\"freezes\": 3"), "{j}");
         assert!(j.contains("\"freeze_hits\": 7"), "{j}");
         assert!(j.contains("\"paper\": null"), "{j}");
@@ -607,7 +659,7 @@ mod tests {
             steps: 2_000,
             nanos: 1_000_000,
         };
-        let j = render_json("Table 1", &rows, &[], &[], &[], &stats, &[d]);
+        let j = render_json("Table 1", &rows, &[], &[], &[], &[], &stats, None, &[d]);
         assert!(j.contains("\"steps_per_sec\": 2000000"), "{j}");
     }
 
@@ -632,7 +684,7 @@ mod tests {
     fn json_rendering_includes_indexed_comparison() {
         let rows = vec![Row::with_paper("r", 100, 0, 90).with_indexed(60)];
         let stats = ccam::machine::Stats::default();
-        let j = render_json("t", &rows, &[], &[], &[], &stats, &[]);
+        let j = render_json("t", &rows, &[], &[], &[], &[], &stats, None, &[]);
         assert!(j.contains("\"steps_indexed\": 60"), "{j}");
     }
 
@@ -647,11 +699,24 @@ mod tests {
         let fused = vec![Row::new("r", 80, 0)];
         let flat = vec![Row::new("r", 60, 0)];
         let native = vec![Row::new("r", 100, 0)];
+        let tiered = vec![Row::new("r", 100, 0)];
         let stats = ccam::machine::Stats::default();
-        let j = render_json("t", &rows, &fused, &flat, &native, &stats, &[]);
+        let j = render_json(
+            "t",
+            &rows,
+            &fused,
+            &flat,
+            &native,
+            &tiered,
+            &stats,
+            Some(&stats),
+            &[],
+        );
         assert!(j.contains("\"rows_fused\""), "{j}");
         assert!(j.contains("\"rows_flat_env\""), "{j}");
         assert!(j.contains("\"rows_native\""), "{j}");
+        assert!(j.contains("\"rows_tiered\""), "{j}");
+        assert!(j.contains("\"tier_controller\""), "{j}");
         for line in j.lines() {
             if line.contains("\"steps_fused\"") {
                 assert!(!line.contains("\"steps_indexed\""), "{line}");
@@ -677,10 +742,22 @@ mod tests {
                 assert!(!line.contains("\"steps_indexed\""), "{line}");
                 assert!(!line.contains("\"steps_fused\""), "{line}");
                 assert!(!line.contains("\"steps_flat_env\""), "{line}");
+                assert!(!line.contains("\"steps_tiered\""), "{line}");
                 assert!(!line.contains("\"freeze_cache\""), "{line}");
                 assert_eq!(
                     line.trim().trim_end_matches(','),
                     "{\"label\": \"r\", \"steps_native\": 100, \"emitted\": 0}"
+                );
+            }
+            if line.contains("\"steps_tiered\"") {
+                assert!(!line.contains("\"steps_indexed\""), "{line}");
+                assert!(!line.contains("\"steps_fused\""), "{line}");
+                assert!(!line.contains("\"steps_flat_env\""), "{line}");
+                assert!(!line.contains("\"steps_native\""), "{line}");
+                assert!(!line.contains("\"freeze_cache\""), "{line}");
+                assert_eq!(
+                    line.trim().trim_end_matches(','),
+                    "{\"label\": \"r\", \"steps_tiered\": 100, \"emitted\": 0}"
                 );
             }
         }

@@ -36,7 +36,7 @@ mod tests;
 
 use crate::instr::{Instr, OPCODE_COUNT, OPCODE_NAMES};
 use crate::native;
-use crate::seg::{BlockId, CodeRef, CodeSeg};
+use crate::seg::{BlockId, CodeRef, CodeSeg, TierProbe};
 use crate::value::{Arena, Value};
 use state::MachineState;
 use std::fmt;
@@ -163,6 +163,18 @@ pub struct Stats {
     pub fused: u64,
     /// High-water mark of the value stack.
     pub max_stack: usize,
+    /// Blocks promoted by the adaptive tier controller
+    /// ([`Machine::set_tier_policy`]).
+    pub promotions: u64,
+    /// Freeze misses that re-rendered an arena which had already been
+    /// frozen under the same flavor (the arena grew in between). The old
+    /// snapshot — and any tier state attached to its block — stays
+    /// valid; the new rendering starts cold.
+    pub refreezes: u64,
+    /// Baseline reduction steps executed at each tier under an adaptive
+    /// policy (0 cold, 1 fused, 2 fused + native). Sums to `steps` when
+    /// the controller is enabled; all zero otherwise.
+    pub tier_steps: [u64; 3],
     /// Per-opcode executed-step counts, when enabled by
     /// [`Machine::set_count_opcodes`].
     pub opcodes: Option<OpcodeCounts>,
@@ -183,6 +195,13 @@ impl Stats {
             freeze_hits: self.freeze_hits - before.freeze_hits,
             fused: self.fused - before.fused,
             max_stack: self.max_stack,
+            promotions: self.promotions - before.promotions,
+            refreezes: self.refreezes - before.refreezes,
+            tier_steps: [
+                self.tier_steps[0] - before.tier_steps[0],
+                self.tier_steps[1] - before.tier_steps[1],
+                self.tier_steps[2] - before.tier_steps[2],
+            ],
             opcodes: match (&self.opcodes, &before.opcodes) {
                 (Some(after), Some(before)) => Some(after.delta_since(before)),
                 (after, _) => *after,
@@ -265,11 +284,52 @@ pub struct Machine {
     optimize: bool,
     fuse: bool,
     native: bool,
+    /// The adaptive tier controller, when enabled by
+    /// [`Machine::set_tier_policy`].
+    adaptive: Option<Adaptive>,
     /// Dynamic opcode-pair frequency profile, when enabled by
     /// [`Machine::set_profile_pairs`]. Boxed: the table is
     /// `OPCODE_COUNT²` counters, too large to live inline in every
     /// machine.
     pair_profile: Option<Box<PairCounts>>,
+}
+
+/// The adaptive tier controller's policy knobs (ROADMAP item 4,
+/// DESIGN.md §15): how many activations a block runs cold before
+/// promotion, how many fusion rules its own profile may enable, and
+/// whether promoted blocks are also lowered to the native tier. One
+/// policy object replaces the eight hand-enumerated static flavors; the
+/// controller evaluates it per block, at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TierPolicy {
+    /// Activations a block runs cold before promotion (`0` promotes at
+    /// the very first activation).
+    pub promote_after: u64,
+    /// Maximum number of fusion rules enabled per promoted block, ranked
+    /// by the block's own pair profile ([`crate::opt::select_rules`]).
+    pub fuse_top_k: usize,
+    /// Whether promoted blocks are additionally lowered to the
+    /// thread-coded native tier (tier 2 instead of tier 1).
+    pub use_native: bool,
+}
+
+impl Default for TierPolicy {
+    /// Promote after 8 activations, every profitable rule, native on.
+    fn default() -> Self {
+        TierPolicy {
+            promote_after: 8,
+            fuse_top_k: crate::opt::FUSE_RULE_COUNT,
+            use_native: true,
+        }
+    }
+}
+
+/// Adaptive-mode configuration: the policy plus the baseline cost model
+/// steps are charged in (see [`Machine::set_tier_policy`]).
+#[derive(Debug, Clone, Copy)]
+struct Adaptive {
+    policy: TierPolicy,
+    spine_units: bool,
 }
 
 /// An opcode-pair frequency table: `counts[a][b]` is how many times
@@ -322,6 +382,48 @@ pub(crate) fn fuel_cost(i: &Instr) -> u64 {
         Instr::QuoteCons(_) | Instr::SwapCons | Instr::ConsApp | Instr::PushQuote(_) => 2,
         _ => 1,
     }
+}
+
+/// Steps one dispatch stands for against an indexed/flat-env baseline,
+/// where `acc` is itself a single compiled instruction: each fused pair
+/// dispatch counts two, everything else one. (Against the pair-spine
+/// baseline the charge is [`fuel_cost`] — there `acc n` stands for the
+/// `n + 1`-step `fst^n; snd` walk.)
+fn indexed_charge(opcode: usize) -> u64 {
+    // 24..=29: push_acc, quote_cons, swap_cons, cons_app, acc_app,
+    // push_quote — the six fused opcodes of the DISPATCH table.
+    if (24..=29).contains(&opcode) {
+        2
+    } else {
+        1
+    }
+}
+
+/// How many baseline steps the unfused rendering of one dispatch would
+/// have counted before exhausting a budget with `left` fuel units
+/// remaining — the aborting step included, matching `account`'s
+/// count-then-fail order. Fuel is always charged in pair-spine units, so
+/// against that baseline every constituent step costs one unit; against
+/// an indexed baseline a fused dispatch stands for two instructions
+/// whose individual fuel costs decide which of them aborts.
+fn abort_charge(mnemonic: &str, fuel_cost: u64, spine_units: bool, left: u64) -> u64 {
+    if spine_units {
+        return left + 1;
+    }
+    let parts: [u64; 2] = match mnemonic {
+        "push_acc" => [1, fuel_cost - 1],
+        "acc_app" => [fuel_cost - 1, 1],
+        "quote_cons" | "swap_cons" | "cons_app" | "push_quote" => [1, 1],
+        _ => return 1,
+    };
+    let mut spent = 0;
+    for (i, cost) in parts.iter().enumerate() {
+        spent += cost;
+        if spent > left {
+            return i as u64 + 1;
+        }
+    }
+    parts.len() as u64
 }
 
 /// A step function: one straight-line opcode over the shared state. The
@@ -575,6 +677,7 @@ impl Machine {
             optimize: false,
             fuse: false,
             native: false,
+            adaptive: None,
             pair_profile: None,
         }
     }
@@ -631,6 +734,39 @@ impl Machine {
         self.native
     }
 
+    /// Enables (`Some`) or disables (`None`) the adaptive tier
+    /// controller. While enabled, every frame activation consults the
+    /// executed block's per-segment counters: cold blocks run plainly,
+    /// and a block whose activation count crosses
+    /// [`TierPolicy::promote_after`] is re-rendered through
+    /// profile-selected fusion (and, under [`TierPolicy::use_native`],
+    /// native lowering) — a promotion that is invisible to every
+    /// observable: verdicts, step counts, fuel, and output are identical
+    /// to the cold execution at every promotion point.
+    ///
+    /// `spine_units` names the baseline cost model the running code was
+    /// compiled against: `true` for the paper's pair-spine environments
+    /// (an `acc n` stands for the `fst^n; snd` walk), `false` for
+    /// indexed/flat environments (an `acc` is itself one compiled
+    /// instruction). Steps under the controller are charged in baseline
+    /// units, which is what makes promotion step-transparent.
+    ///
+    /// Promotion is suppressed while a trace is recording
+    /// ([`Machine::set_trace`]): a fused rendering has a different
+    /// `(block, pc, mnemonic)` shape, and traces are defined to observe
+    /// the cold rendering.
+    pub fn set_tier_policy(&mut self, policy: Option<TierPolicy>, spine_units: bool) {
+        self.adaptive = policy.map(|policy| Adaptive {
+            policy,
+            spine_units,
+        });
+    }
+
+    /// The adaptive tier policy, if the controller is enabled.
+    pub fn tier_policy(&self) -> Option<TierPolicy> {
+        self.adaptive.map(|a| a.policy)
+    }
+
     /// Enables or disables dynamic opcode-pair profiling (surfaced
     /// through [`Machine::pair_profile`]). Enabling zeroes any previous
     /// counts.
@@ -659,11 +795,19 @@ impl Machine {
         // with different flags sharing an arena never serve each other's
         // rendering.
         let flavor = self.freeze_flavor();
+        let stale = arena.snapshot_len(flavor).is_some_and(|l| l != arena.len());
         let (code, hit) = arena.freeze_slot(flavor, FREEZE_RENDERS[flavor & 0b11]);
         if hit {
             self.state.stats.freeze_hits += 1;
         } else {
             self.state.stats.freezes += 1;
+            if stale {
+                // The arena grew since its last freeze of this flavor.
+                // The old snapshot block — and any tier state the
+                // adaptive controller attached to it — stays valid; the
+                // replacement is a fresh block that starts cold.
+                self.state.stats.refreezes += 1;
+            }
         }
         if self.native {
             // Lower the frozen block now: run-many programs pay for the
@@ -747,10 +891,16 @@ impl Machine {
 
     /// Per-instruction accounting, identical across the interpreted and
     /// native tiers: the opcode-pair profile chain, the bounded trace,
-    /// the step and per-opcode counters, and the fuel check — in that
-    /// order, *before* the instruction's effect (a step that exhausts the
-    /// budget is counted but not executed).
+    /// the step and per-opcode counters, and the fuel check — with a
+    /// step that exhausts the budget counted but not executed.
+    ///
+    /// `step_charge` is how many steps this dispatch counts as: 1
+    /// normally, its baseline-unit cost under an adaptive policy (so a
+    /// promoted block's fused dispatches report exactly the steps their
+    /// cold rendering would have). `tier` attributes the charge in
+    /// [`Stats::tier_steps`].
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     fn account(
         &mut self,
         block: BlockId,
@@ -758,6 +908,8 @@ impl Machine {
         opcode: usize,
         mnemonic: &'static str,
         fuel_cost: u64,
+        step_charge: u64,
+        tier: usize,
         prev_op: &mut Option<usize>,
     ) -> Result<(), MachineError> {
         if let Some(hist) = &mut self.pair_profile {
@@ -775,17 +927,34 @@ impl Machine {
                 });
             }
         }
-        self.state.stats.steps += 1;
-        if let Some(counts) = &mut self.state.stats.opcodes {
-            counts.0[opcode] += 1;
-        }
+        let mut charge = step_charge;
+        let mut exhausted = None;
         if let Some(fuel) = self.state.fuel {
+            let left = fuel.saturating_sub(self.state.fuel_spent);
             self.state.fuel_spent += fuel_cost;
             if self.state.fuel_spent > fuel {
-                return Err(MachineError::OutOfFuel { fuel });
+                if let Some(ad) = self.adaptive {
+                    // A fused dispatch can straddle the budget boundary;
+                    // count only the baseline steps the unfused column
+                    // would have counted (the aborting one included), so
+                    // exhaustion is observationally identical at every
+                    // tier.
+                    charge = abort_charge(mnemonic, fuel_cost, ad.spine_units, left);
+                }
+                exhausted = Some(fuel);
             }
         }
-        Ok(())
+        self.state.stats.steps += charge;
+        if let Some(counts) = &mut self.state.stats.opcodes {
+            counts.0[opcode] += charge;
+        }
+        if self.adaptive.is_some() {
+            self.state.stats.tier_steps[tier] += charge;
+        }
+        match exhausted {
+            Some(fuel) => Err(MachineError::OutOfFuel { fuel }),
+            None => Ok(()),
+        }
     }
 
     fn steps_loop(&mut self) -> Result<Value, MachineError> {
@@ -794,7 +963,7 @@ impl Machine {
             // Rc bump per frame activation, not per step), look up the
             // block's range, and borrow the segment's instruction vector
             // for the whole dispatch run.
-            let (seg, block, start, len, mut pc) = match self.control.last() {
+            let (seg, block, mut pc) = match self.control.last() {
                 None => {
                     return self
                         .state
@@ -802,14 +971,21 @@ impl Machine {
                         .pop()
                         .ok_or(MachineError::StackUnderflow { instr: "halt" });
                 }
-                Some(frame) => {
-                    let (start, len) = frame.seg.block_bounds(frame.block);
-                    (frame.seg.clone(), frame.block, start, len, frame.pc)
-                }
+                Some(frame) => (frame.seg.clone(), frame.block, frame.pc),
             };
-            if self.native {
+            // The adaptive tier controller hooks every frame activation:
+            // a fresh activation (pc == 0) counts toward, redirects to,
+            // or performs the block's promotion; a mid-frame
+            // re-activation just recovers the tier the frame already
+            // runs at.
+            let (block, tier) = match self.adaptive {
+                Some(ad) => self.tier_activate(&seg, block, pc, ad),
+                None => (block, 0),
+            };
+            let (start, len) = seg.block_bounds(block);
+            if self.native || tier == 2 {
                 let lowered = native::lowered(&seg, block);
-                self.run_native_block(&seg, block, &lowered, pc)?;
+                self.run_native_block(&seg, block, &lowered, pc, tier)?;
                 continue 'frames;
             }
             let instrs = seg.borrow_instrs();
@@ -817,16 +993,25 @@ impl Machine {
             // only meaningful within one straight-line run, so the chain
             // restarts at every frame activation.
             let mut prev_op: Option<usize> = None;
+            let charge_mode = self.adaptive.map(|a| a.spine_units);
             while pc < len {
                 let instr = &instrs[start + pc];
                 pc += 1;
                 let opcode = instr.opcode();
+                let fuel = fuel_cost(instr);
+                let charge = match charge_mode {
+                    None => 1,
+                    Some(true) => fuel,
+                    Some(false) => indexed_charge(opcode),
+                };
                 self.account(
                     block,
                     pc - 1,
                     opcode,
                     instr.mnemonic(),
-                    fuel_cost(instr),
+                    fuel,
+                    charge,
+                    tier,
                     &mut prev_op,
                 )?;
                 match &DISPATCH[opcode] {
@@ -859,11 +1044,27 @@ impl Machine {
         block: BlockId,
         code: &native::NativeBlock,
         mut pc: usize,
+        tier: usize,
     ) -> Result<(), MachineError> {
         let mut prev_op: Option<usize> = None;
+        let charge_mode = self.adaptive.map(|a| a.spine_units);
         while let Some(op) = code.ops.get(pc) {
             pc += 1;
-            self.account(block, pc - 1, op.opcode, op.mnemonic, op.fuel, &mut prev_op)?;
+            let charge = match charge_mode {
+                None => 1,
+                Some(true) => op.fuel,
+                Some(false) => indexed_charge(op.opcode),
+            };
+            self.account(
+                block,
+                pc - 1,
+                op.opcode,
+                op.mnemonic,
+                op.fuel,
+                charge,
+                tier,
+                &mut prev_op,
+            )?;
             match &op.run {
                 native::NativeRun::Step(step) => step(&mut self.state, seg)?,
                 native::NativeRun::Transfer(instr) => {
@@ -884,6 +1085,89 @@ impl Machine {
         // Block exhausted: return to the caller's frame.
         self.control.pop();
         Ok(())
+    }
+
+    /// The tier controller's frame-activation hook: counts one
+    /// activation of `block`, redirects to its promoted rendering if one
+    /// exists, and performs the promotion itself when the block's own
+    /// activation count crosses the policy threshold. Returns the block
+    /// to execute and its tier.
+    ///
+    /// Promotion happens only at `pc == 0` — return frames carry pcs
+    /// into the rendering they started in, so a frame is never switched
+    /// mid-flight — and renderings are appended, never replaced: the
+    /// cold block stays valid for frames already inside it, and a
+    /// block's tier only rises.
+    fn tier_activate(
+        &mut self,
+        seg: &CodeSeg,
+        block: BlockId,
+        pc: usize,
+        ad: Adaptive,
+    ) -> (BlockId, usize) {
+        if self.trace.is_some() {
+            // Traces observe the cold rendering; see `set_tier_policy`.
+            return (block, 0);
+        }
+        if pc > 0 {
+            // Mid-frame re-activation (a nested call returned): the
+            // frame already runs the rendering its pc indexes into.
+            return (block, seg.tier_level(block) as usize);
+        }
+        match seg.tier_probe(block) {
+            TierProbe::Promoted(promoted, level) => {
+                self.redirect_frame(promoted);
+                return (promoted, level as usize);
+            }
+            TierProbe::Cold(execs, level) => {
+                if execs < ad.policy.promote_after {
+                    return (block, level as usize);
+                }
+            }
+        }
+        // Promote: re-render the block's straight line from its own
+        // profile — the static pair histogram of the instructions every
+        // activation executes, ranked by `fuse_top_k` — then optionally
+        // lower the result to the native tier.
+        let instrs = seg.block_to_vec(block);
+        let mut sel = crate::opt::select_rules(&instrs, ad.policy.fuse_top_k);
+        if !ad.spine_units {
+            // The indexed/flat baseline charges `acc n` as one step, so
+            // collapsing an access chain would make fewer steps than the
+            // baseline counted; pair fusion alone keeps the bijection
+            // between fused dispatches and baseline instruction pairs.
+            sel.disable_access();
+        }
+        let (fused, changed) = crate::opt::fuse_selected(&instrs, &sel);
+        let promoted = if changed { seg.add_block(fused) } else { block };
+        let level = if ad.policy.use_native {
+            native::lowered(seg, promoted);
+            2
+        } else if changed {
+            1
+        } else {
+            // Nothing to fuse and no native tier: record the decision
+            // (so it is not re-made every activation) but the block
+            // keeps running cold.
+            0
+        };
+        seg.tier_promote(block, promoted, level);
+        self.state.stats.promotions += 1;
+        if promoted != block {
+            self.redirect_frame(promoted);
+        }
+        (promoted, level as usize)
+    }
+
+    /// Points the top frame — known to be at a fresh activation — at
+    /// `promoted`.
+    fn redirect_frame(&mut self, promoted: BlockId) {
+        let frame = self
+            .control
+            .last_mut()
+            .expect("frame present at activation");
+        debug_assert_eq!(frame.pc, 0, "redirect only at a fresh activation");
+        frame.block = promoted;
     }
 
     fn enter(&mut self, code: CodeRef) {

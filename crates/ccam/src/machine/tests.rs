@@ -1140,3 +1140,218 @@ fn native_tier_reports_errors_like_the_interpreter() {
     };
     assert_eq!(err(false), err(true));
 }
+
+// --- Adaptive tier controller ---
+
+fn tier_policy(promote_after: u64, use_native: bool) -> TierPolicy {
+    TierPolicy {
+        promote_after,
+        fuse_top_k: crate::opt::FUSE_RULE_COUNT,
+        use_native,
+    }
+}
+
+/// `(entry, plain steps per run)` for a little apply-a-closure program:
+/// `(fn x => x + 1) 5`.
+fn apply_program() -> (CodeRef, Value) {
+    let seg = CodeSeg::new();
+    let body = seg.add_block(vec![
+        Instr::Push,
+        Instr::Snd,
+        Instr::Swap,
+        Instr::Quote(Value::Int(1)),
+        Instr::ConsPair,
+        Instr::Prim(PrimOp::Add),
+    ]);
+    let code = seg.entry(vec![
+        Instr::Push,
+        Instr::Cur(body),
+        Instr::Swap,
+        Instr::Quote(Value::Int(5)),
+        Instr::ConsPair,
+        Instr::App,
+    ]);
+    (code, Value::Unit)
+}
+
+#[test]
+fn adaptive_promotion_is_invisible_in_steps_and_verdicts() {
+    let (code, input) = apply_program();
+    let mut plain = Machine::new();
+    let mut tiered = Machine::new();
+    tiered.set_tier_policy(Some(tier_policy(2, true)), true);
+    for round in 0..6 {
+        let before_p = plain.stats();
+        let before_t = tiered.stats();
+        let vp = plain.run(code.clone(), input.clone()).unwrap();
+        let vt = tiered.run(code.clone(), input.clone()).unwrap();
+        assert_eq!(vp.to_string(), vt.to_string(), "round {round}");
+        assert_eq!(
+            plain.stats().delta_since(&before_p).steps,
+            tiered.stats().delta_since(&before_t).steps,
+            "round {round}: promotion must not change the step count"
+        );
+    }
+    let stats = tiered.stats();
+    assert!(stats.promotions >= 2, "entry and body promoted: {stats:?}");
+    assert_eq!(
+        stats.tier_steps.iter().sum::<u64>(),
+        stats.steps,
+        "tier steps partition the total"
+    );
+    assert!(
+        stats.tier_steps[2] > 0,
+        "hot rounds ran on the native tier: {stats:?}"
+    );
+    assert!(stats.tier_steps[0] > 0, "cold rounds ran interpreted");
+}
+
+#[test]
+fn adaptive_promote_after_zero_promotes_before_first_execution() {
+    let (code, input) = apply_program();
+    let mut plain = Machine::new();
+    let vp = plain.run(code.clone(), input.clone()).unwrap();
+    let mut tiered = Machine::new();
+    tiered.set_tier_policy(Some(tier_policy(0, false)), true);
+    let vt = tiered.run(code.clone(), input.clone()).unwrap();
+    assert_eq!(vp.to_string(), vt.to_string());
+    assert_eq!(plain.stats().steps, tiered.stats().steps);
+    assert!(tiered.stats().promotions >= 2);
+    assert_eq!(
+        tiered.stats().tier_steps[0],
+        0,
+        "nothing ran cold: {:?}",
+        tiered.stats()
+    );
+    assert!(tiered.stats().fused > 0, "fused dispatches actually ran");
+}
+
+#[test]
+fn adaptive_fuel_exhaustion_matches_plain_at_every_budget() {
+    let (code, input) = apply_program();
+    let mut full = Machine::new();
+    full.run(code.clone(), input.clone()).unwrap();
+    let total = full.stats().steps;
+    for budget in 0..=total {
+        let mut p = Machine::with_fuel(budget);
+        let rp = p.run(code.clone(), input.clone());
+        let mut t = Machine::with_fuel(budget);
+        t.set_tier_policy(Some(tier_policy(0, true)), true);
+        let rt = t.run(code.clone(), input.clone());
+        assert_eq!(rp.is_err(), rt.is_err(), "budget {budget}");
+        assert_eq!(
+            p.stats().steps,
+            t.stats().steps,
+            "budget {budget}: abort point must be step-identical"
+        );
+        if let (Err(ep), Err(et)) = (rp, rt) {
+            assert_eq!(ep, et, "budget {budget}");
+        }
+    }
+}
+
+#[test]
+fn adaptive_matches_an_indexed_baseline_too() {
+    // Code as an indexed-env compiler would emit it: `acc` is itself one
+    // compiled instruction, so fusing `push; acc` must charge 2 — not
+    // the pair-spine n + 2.
+    let seg = CodeSeg::new();
+    let code = seg.entry(vec![
+        Instr::Push,
+        Instr::Acc(1),
+        Instr::Swap,
+        Instr::Acc(0),
+        Instr::ConsPair,
+        Instr::Prim(PrimOp::Add),
+    ]);
+    let spine = Value::pair(Value::pair(Value::Unit, Value::Int(3)), Value::Int(4));
+    let mut plain = Machine::new();
+    let vp = plain.run(code.clone(), spine.clone()).unwrap();
+    let mut tiered = Machine::new();
+    tiered.set_tier_policy(Some(tier_policy(0, true)), false);
+    let vt = tiered.run(code.clone(), spine.clone()).unwrap();
+    assert_eq!(vp.to_string(), vt.to_string());
+    assert_eq!(vp.to_string(), "7");
+    assert_eq!(plain.stats().steps, tiered.stats().steps);
+    assert!(tiered.stats().promotions > 0);
+    // And fuel exhaustion agrees at every budget (fuel stays in
+    // pair-spine units in both machines).
+    for budget in 0..plain.stats().steps + 2 {
+        let mut p = Machine::with_fuel(budget);
+        let rp = p.run(code.clone(), spine.clone());
+        let mut t = Machine::with_fuel(budget);
+        t.set_tier_policy(Some(tier_policy(0, true)), false);
+        let rt = t.run(code.clone(), spine.clone());
+        assert_eq!(rp.is_err(), rt.is_err(), "budget {budget}");
+        assert_eq!(p.stats().steps, t.stats().steps, "budget {budget}");
+    }
+}
+
+#[test]
+fn tracing_suppresses_promotion_and_observes_the_cold_rendering() {
+    let (code, input) = apply_program();
+    let mut plain = Machine::new();
+    plain.set_trace(64);
+    plain.run(code.clone(), input.clone()).unwrap();
+    let want = plain.trace().unwrap().mnemonics();
+    let mut tiered = Machine::new();
+    tiered.set_tier_policy(Some(tier_policy(0, true)), true);
+    tiered.set_trace(64);
+    for _ in 0..3 {
+        tiered.run(code.clone(), input.clone()).unwrap();
+    }
+    assert_eq!(tiered.stats().promotions, 0, "no promotion while tracing");
+    assert_eq!(
+        tiered.trace().unwrap().mnemonics()[..want.len()],
+        want[..],
+        "trace shows the cold rendering"
+    );
+}
+
+#[test]
+fn adaptive_promotes_generated_code_frozen_by_call() {
+    let a = Arena::new();
+    a.push(Instr::Quote(Value::Int(9)));
+    let gen = Value::pair(Value::Unit, Value::Arena(a));
+    let prog = entry(vec![Instr::Quote(gen), Instr::Call]);
+    let mut plain = Machine::new();
+    let vp = plain.run(prog.clone(), Value::Unit).unwrap();
+    let plain_steps = plain.stats().steps;
+    let mut tiered = Machine::new();
+    tiered.set_tier_policy(Some(tier_policy(1, true)), true);
+    for round in 0..4 {
+        let before = tiered.stats();
+        let vt = tiered.run(prog.clone(), Value::Unit).unwrap();
+        assert_eq!(vp.to_string(), vt.to_string(), "round {round}");
+        assert_eq!(
+            tiered.stats().delta_since(&before).steps,
+            plain_steps,
+            "round {round}"
+        );
+    }
+    assert!(tiered.stats().promotions > 0);
+    // An adaptive machine freezes plainly (flavor 0): it shares the
+    // plain machine's snapshot slot, so every call here is a hit and
+    // the generated block earns its tier at run time instead.
+    assert_eq!(tiered.stats().freezes, 0);
+    assert_eq!(tiered.stats().freeze_hits, 4);
+}
+
+#[test]
+fn refreezes_count_stale_snapshot_rerenders() {
+    let a = Arena::new();
+    a.push(Instr::Quote(Value::Int(1)));
+    let gen = Value::pair(Value::Unit, Value::Arena(a.clone()));
+    let prog = entry(vec![Instr::Quote(gen), Instr::Call]);
+    let mut m = Machine::new();
+    let v = m.run(prog.clone(), Value::Unit).unwrap();
+    assert_eq!(v.to_string(), "1");
+    assert_eq!(m.stats().freezes, 1);
+    assert_eq!(m.stats().refreezes, 0, "first freeze is not a refreeze");
+    // The generator keeps emitting: the next freeze re-renders.
+    a.push(Instr::Prim(PrimOp::Neg));
+    let v = m.run(prog, Value::Unit).unwrap();
+    assert_eq!(v.to_string(), "-1");
+    assert_eq!(m.stats().freezes, 2);
+    assert_eq!(m.stats().refreezes, 1);
+}

@@ -47,6 +47,36 @@ struct SegInner {
     fuse_memo: RefCell<HashMap<u32, u32>>,
     /// Thread-coded lowerings: block → its native tier (see `native`).
     native_memo: RefCell<HashMap<u32, Rc<crate::native::NativeBlock>>>,
+    /// Adaptive tier controller state, indexed by block id (block ids
+    /// are dense, so a flat table makes the per-activation lookup an
+    /// index instead of a hash). Entries only ever gain information:
+    /// counters rise and `promoted` is written at most once, so a
+    /// block's tier is monotone.
+    tier: RefCell<Vec<TierState>>,
+}
+
+/// Tier-controller bookkeeping for one block.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct TierState {
+    /// Activations observed before promotion.
+    pub execs: u64,
+    /// The block's promoted rendering, once the controller acted.
+    /// May be the block itself when fusion found nothing to rewrite.
+    pub promoted: Option<BlockId>,
+    /// The tier this block runs at when executed directly
+    /// (0 cold, 1 fused, 2 fused + native-lowered).
+    pub level: u8,
+}
+
+/// What the tier controller learns from one frame activation — see
+/// [`CodeSeg::tier_probe`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TierProbe {
+    /// The block has a promoted rendering: run it, at this level.
+    Promoted(BlockId, u8),
+    /// Still cold: the activation count *before* this one, and the
+    /// block's own level.
+    Cold(u64, u8),
 }
 
 /// A contiguous code segment. Cheap to clone (a reference-counted
@@ -218,6 +248,55 @@ impl CodeSeg {
 
     pub(crate) fn native_memo_put(&self, b: BlockId, lowered: Rc<crate::native::NativeBlock>) {
         self.0.native_memo.borrow_mut().insert(b.0, lowered);
+    }
+
+    /// The tier controller's per-activation probe, everything in one
+    /// borrow: if `b` has a promoted rendering, report it and the level
+    /// that rendering runs at; otherwise count this activation and
+    /// report the count *before* it (so `promote_after = 0` promotes at
+    /// the very first activation) plus the block's own level. Promoted
+    /// blocks are *not* counted — their activations land on the
+    /// rendering, and the decision for the source block is already made.
+    pub(crate) fn tier_probe(&self, b: BlockId) -> TierProbe {
+        let mut tier = self.0.tier.borrow_mut();
+        let i = b.0 as usize;
+        if tier.len() <= i {
+            tier.resize(i + 1, TierState::default());
+        }
+        if let Some(promoted) = tier[i].promoted {
+            let level = tier.get(promoted.0 as usize).map_or(0, |st| st.level);
+            return TierProbe::Promoted(promoted, level);
+        }
+        let st = &mut tier[i];
+        let prior = st.execs;
+        st.execs += 1;
+        TierProbe::Cold(prior, st.level)
+    }
+
+    /// Publishes the promotion `b → to` at `level`. A block's tier only
+    /// rises: a second publication for the same block is a programming
+    /// error and panics in debug builds.
+    pub(crate) fn tier_promote(&self, b: BlockId, to: BlockId, level: u8) {
+        let mut tier = self.0.tier.borrow_mut();
+        let top = b.0.max(to.0) as usize;
+        if tier.len() <= top {
+            tier.resize(top + 1, TierState::default());
+        }
+        let st = &mut tier[b.0 as usize];
+        debug_assert!(st.promoted.is_none(), "block {b} promoted twice");
+        st.promoted = Some(to);
+        let dest = &mut tier[to.0 as usize];
+        dest.level = dest.level.max(level);
+    }
+
+    /// The tier `b` runs at when executed directly (0 for blocks the
+    /// controller never touched).
+    pub(crate) fn tier_level(&self, b: BlockId) -> u8 {
+        self.0
+            .tier
+            .borrow()
+            .get(b.0 as usize)
+            .map_or(0, |st| st.level)
     }
 }
 

@@ -125,6 +125,17 @@ impl Arena {
         self.staging.borrow().len()
     }
 
+    /// The staging length covered by the cached snapshot in `slot`, if
+    /// one exists. A value different from [`Arena::len`] means the next
+    /// freeze of that flavor re-renders (a *refreeze*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn snapshot_len(&self, slot: usize) -> Option<usize> {
+        self.cache.borrow()[slot].map(|(len, _)| len)
+    }
+
     /// Whether nothing has been emitted yet.
     pub fn is_empty(&self) -> bool {
         self.staging.borrow().is_empty()

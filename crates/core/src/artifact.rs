@@ -153,6 +153,10 @@ pub fn machine_for(options: &SessionOptions) -> Machine {
     machine.set_count_opcodes(options.count_opcodes);
     machine.set_fuse(options.fuse);
     machine.set_native(options.native);
+    if let Some(policy) = options.adaptive {
+        let spine_units = !(options.indexed_env || options.flat_env);
+        machine.set_tier_policy(Some(policy), spine_units);
+    }
     machine
 }
 

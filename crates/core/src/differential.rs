@@ -7,7 +7,7 @@
 use crate::error::Error;
 use crate::prelude::PRELUDE;
 use crate::render::{render_eval, render_machine};
-use ccam::machine::Machine;
+use ccam::machine::{Machine, TierPolicy};
 use ccam::value::Value;
 use mlbox_compile::compile::compile_program_with;
 use mlbox_compile::ctx::EnvMode;
@@ -128,6 +128,97 @@ pub fn run_both_full(
     })
 }
 
+/// The `Adaptive` column of the differential suite (DESIGN.md §15):
+/// compiles `src` once, runs it under a Paper-profile machine and under
+/// an adaptive machine with `policy`, and asserts the verdict, `print`
+/// output, and step count are byte-identical; then replays both under a
+/// sweep of fuel budgets up to the full run, asserting the
+/// fuel-exhaustion behavior (abort vs success, error value, and counted
+/// steps at the abort point) agrees at every tested budget. Tier state
+/// persists on the shared segment across the sweep, so parity is
+/// checked before, during, and after promotion.
+///
+/// # Errors
+///
+/// Returns the first static error; dynamic disagreement panics with the
+/// divergent pair (this is a test-suite primitive).
+///
+/// # Panics
+///
+/// Panics when any observable differs between the two profiles.
+pub fn assert_adaptive_parity(
+    src: &str,
+    with_prelude: bool,
+    mode: EnvMode,
+    policy: TierPolicy,
+) -> Result<(), Error> {
+    let full = if with_prelude {
+        format!("{PRELUDE};\n{src}")
+    } else {
+        src.to_string()
+    };
+    let program = parse_program(&full).map_err(|diag| Error::Static {
+        diag,
+        src: full.clone(),
+    })?;
+    let mut elab = Elab::new();
+    let decls = elab.elab_program(&program).map_err(|diag| Error::Static {
+        diag,
+        src: full.clone(),
+    })?;
+    let code = compile_program_with(&decls, mode).map_err(|diag| Error::Static {
+        diag,
+        src: full.clone(),
+    })?;
+    // Step charges follow the cost model the compiler targeted.
+    let spine_units = matches!(mode, EnvMode::PairSpine);
+    let run = |fuel: Option<u64>, adaptive: bool| {
+        let mut m = match fuel {
+            Some(f) => Machine::with_fuel(f),
+            None => Machine::new(),
+        };
+        if adaptive {
+            m.set_tier_policy(Some(policy), spine_units);
+        }
+        let r = m.run(code.clone(), Value::Unit);
+        let rendered = r.map(|v| render_machine(&v, &elab.data));
+        (rendered, m.take_output(), m.stats())
+    };
+    let (v_paper, out_paper, s_paper) = run(None, false);
+    let (v_ad, out_ad, s_ad) = run(None, true);
+    assert_eq!(v_paper, v_ad, "verdict diverged on:\n{src}");
+    assert_eq!(out_paper, out_ad, "output diverged on:\n{src}");
+    assert_eq!(
+        s_paper.steps, s_ad.steps,
+        "step count diverged on:\n{src}\n paper: {s_paper:?}\n adaptive: {s_ad:?}"
+    );
+    // Fuel sweep: every budget for short runs, a boundary-heavy sample
+    // for long ones (the interesting budgets are where a fused dispatch
+    // straddles the limit, which the dense head and tail cover; the
+    // strided middle keeps long preludes affordable).
+    let total = s_paper.steps;
+    let budgets: Vec<u64> = if total <= 256 {
+        (0..total).collect()
+    } else {
+        let stride = ((total - 192) / 64).max(1) as usize;
+        (0..128)
+            .chain((128..total.saturating_sub(64)).step_by(stride))
+            .chain(total.saturating_sub(64)..total)
+            .collect()
+    };
+    for budget in budgets {
+        let (v_p, out_p, s_p) = run(Some(budget), false);
+        let (v_a, out_a, s_a) = run(Some(budget), true);
+        assert_eq!(v_p, v_a, "budget {budget} verdict diverged on:\n{src}");
+        assert_eq!(out_p, out_a, "budget {budget} output diverged on:\n{src}");
+        assert_eq!(
+            s_p.steps, s_a.steps,
+            "budget {budget} abort point diverged on:\n{src}"
+        );
+    }
+    Ok(())
+}
+
 /// Asserts both back ends agree; returns the shared rendering.
 ///
 /// # Panics
@@ -230,5 +321,40 @@ eval (compPoly [1, 2, 3]) 10";
     fn backends_agree_on_effects() {
         assert_agree("val r = ref 0 val u = (r := !r + 5); !r * 2").unwrap();
         assert_agree("print \"x\"; print \"y\"; 0").unwrap();
+    }
+
+    /// Every program the suite checks, with and without staging, in
+    /// every env mode, at every tested promotion threshold: the
+    /// adaptive profile must be observationally identical to Paper —
+    /// verdicts, output, step counts, and fuel aborts.
+    #[test]
+    fn adaptive_column_matches_paper_at_every_threshold() {
+        let programs = [
+            ("1 + 2 * 3", false),
+            ("let val x = 4 in x * x end", false),
+            ("val r = ref 0 val u = (r := !r + 5); !r * 2", false),
+            ("print \"x\"; print \"y\"; 0", false),
+            ("eval (lift 42)", true),
+            ("eval (code (fn x => x * 3)) 5", true),
+            (
+                "fun compPoly p =
+                   case p of nil => code (fn x => 0)
+                   | a :: r => let cogen f = compPoly r cogen a' = lift a
+                               in code (fn x => a' + (x * f x)) end;
+                 eval (compPoly [1, 2, 3]) 10",
+                true,
+            ),
+        ];
+        for promote_after in [0, 1, 64] {
+            let policy = TierPolicy {
+                promote_after,
+                ..TierPolicy::default()
+            };
+            for (src, with_prelude) in programs {
+                for mode in [EnvMode::PairSpine, EnvMode::Indexed, EnvMode::Flat] {
+                    assert_adaptive_parity(src, with_prelude, mode, policy).unwrap();
+                }
+            }
+        }
     }
 }

@@ -9,7 +9,7 @@ use crate::fingerprint::Fnv1a;
 use crate::prelude::PRELUDE;
 use crate::render::render_machine;
 use ccam::instr::{validate, Instr};
-use ccam::machine::{Machine, Stats, Trace};
+use ccam::machine::{Machine, Stats, TierPolicy, Trace};
 use ccam::portable::PortableValue;
 use ccam::seg::CodeSeg;
 use ccam::value::Value;
@@ -64,6 +64,48 @@ pub struct SessionOptions {
     /// step counts, traces, and fuel accounting are identical to the
     /// interpreter; only wall-clock changes. Default: false.
     pub native: bool,
+    /// Run under the adaptive tier controller (DESIGN.md §15): compile
+    /// and freeze everything plainly (the Paper tier), count per-block
+    /// activations at run time, and promote hot blocks through
+    /// fuse→native using each block's own measured instruction mix.
+    /// Step counts, verdicts, traces, and fuel behave exactly as under
+    /// the [`Paper`](ExecProfile::Paper) profile — promotion changes
+    /// wall clock only. Mutually exclusive with the static
+    /// `optimize`/`fuse`/`native` flags ([`Session::with_options`]
+    /// rejects the combination). Default: `None` (static behavior).
+    pub adaptive: Option<TierPolicy>,
+}
+
+/// The tiering regime a session executes under — the axis of
+/// [`SessionOptions`] that decides *how* compiled code runs, separated
+/// from the semantic axes (prelude, fuel, typecheck, env mode, opcode
+/// counting). Derived by [`SessionOptions::profile`], installed by
+/// [`SessionOptions::with_profile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecProfile {
+    /// The paper's measured system: no optimizer, no fusion, no native
+    /// tier. The golden step-count lockfiles and the wire-format golden
+    /// artifact are pinned to this profile.
+    Paper,
+    /// One fixed point of the 2×2×2 `(optimize, fuse, native)` flavor
+    /// lattice, chosen up front for the whole session — the behavior of
+    /// the pre-adaptive flag set.
+    Static(ExecFlags),
+    /// The run-time tier controller: every block starts on the Paper
+    /// tier and is promoted per the policy once its activation count
+    /// crosses `promote_after`.
+    Adaptive(TierPolicy),
+}
+
+/// The static tiering flags — one point of the freeze-flavor lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ExecFlags {
+    /// Emission-time peephole optimization.
+    pub optimize: bool,
+    /// Superinstruction fusion of static and frozen code.
+    pub fuse: bool,
+    /// Thread-coded native execution.
+    pub native: bool,
 }
 
 impl Default for SessionOptions {
@@ -78,6 +120,7 @@ impl Default for SessionOptions {
             flat_env: false,
             fuse: false,
             native: false,
+            adaptive: None,
         }
     }
 }
@@ -106,7 +149,59 @@ impl SessionOptions {
         h.write_bool(self.flat_env);
         h.write_bool(self.fuse);
         h.write_bool(self.native);
+        // The adaptive policy is appended *after* every pre-existing
+        // field, and only when present: Paper- and Static-profile
+        // fingerprints — and therefore every golden lockfile and wire
+        // artifact — are byte-for-byte what they were before tiering
+        // became dynamic.
+        if let Some(policy) = self.adaptive {
+            h.write_u8(1);
+            h.write_u64(policy.promote_after);
+            h.write_u64(policy.fuse_top_k as u64);
+            h.write_bool(policy.use_native);
+        }
         h.finish()
+    }
+
+    /// The tiering regime these options select (see [`ExecProfile`]).
+    pub fn profile(&self) -> ExecProfile {
+        if let Some(policy) = self.adaptive {
+            ExecProfile::Adaptive(policy)
+        } else if self.optimize || self.fuse || self.native {
+            ExecProfile::Static(ExecFlags {
+                optimize: self.optimize,
+                fuse: self.fuse,
+                native: self.native,
+            })
+        } else {
+            ExecProfile::Paper
+        }
+    }
+
+    /// Default options running under `profile` — the inverse of
+    /// [`profile`](SessionOptions::profile).
+    pub fn with_profile(profile: ExecProfile) -> SessionOptions {
+        let mut o = SessionOptions::default();
+        o.set_profile(profile);
+        o
+    }
+
+    /// Replaces the tiering regime, leaving the semantic options (env
+    /// mode, fuel, typecheck, …) untouched.
+    pub fn set_profile(&mut self, profile: ExecProfile) {
+        self.optimize = false;
+        self.fuse = false;
+        self.native = false;
+        self.adaptive = None;
+        match profile {
+            ExecProfile::Paper => {}
+            ExecProfile::Static(f) => {
+                self.optimize = f.optimize;
+                self.fuse = f.fuse;
+                self.native = f.native;
+            }
+            ExecProfile::Adaptive(policy) => self.adaptive = Some(policy),
+        }
     }
 }
 
@@ -176,6 +271,13 @@ impl Session {
     ///
     /// Returns an error if the prelude fails to load.
     pub fn with_options(options: SessionOptions) -> Result<Session, Error> {
+        if options.adaptive.is_some() && (options.optimize || options.fuse || options.native) {
+            return Err(Error::Options(
+                "adaptive tiering replaces the static optimize/fuse/native flags; \
+                 clear them or drop the tier policy"
+                    .to_string(),
+            ));
+        }
         let mut machine = match options.fuel {
             Some(f) => Machine::with_fuel(f),
             None => Machine::new(),
@@ -184,6 +286,13 @@ impl Session {
         machine.set_count_opcodes(options.count_opcodes);
         machine.set_fuse(options.fuse);
         machine.set_native(options.native);
+        if let Some(policy) = options.adaptive {
+            // Step charges stay in the baseline cost model the compiler
+            // targets: pair-spine units unless accesses compile to
+            // indexed/flat `acc` paths.
+            let spine_units = !(options.indexed_env || options.flat_env);
+            machine.set_tier_policy(Some(policy), spine_units);
+        }
         let env_mode = if options.flat_env {
             EnvMode::Flat
         } else if options.indexed_env {
@@ -824,6 +933,136 @@ mod tests {
         let out = s.eval_expr("2 + 2").unwrap();
         assert_eq!(out.value, "4");
         assert_eq!(s.stats().steps, out.stats.steps);
+    }
+
+    fn adaptive_options(policy: TierPolicy) -> SessionOptions {
+        SessionOptions {
+            adaptive: Some(policy),
+            ..SessionOptions::default()
+        }
+    }
+
+    #[test]
+    fn profile_classifies_the_option_axes() {
+        assert_eq!(SessionOptions::default().profile(), ExecProfile::Paper);
+        let fused = SessionOptions {
+            fuse: true,
+            native: true,
+            ..SessionOptions::default()
+        };
+        assert_eq!(
+            fused.profile(),
+            ExecProfile::Static(ExecFlags {
+                optimize: false,
+                fuse: true,
+                native: true,
+            })
+        );
+        let policy = TierPolicy::default();
+        let adaptive = adaptive_options(policy);
+        assert_eq!(adaptive.profile(), ExecProfile::Adaptive(policy));
+        // with_profile is the inverse of profile, and set_profile leaves
+        // the semantic axes alone.
+        for p in [ExecProfile::Paper, fused.profile(), adaptive.profile()] {
+            assert_eq!(SessionOptions::with_profile(p).profile(), p);
+        }
+        let mut o = SessionOptions {
+            flat_env: true,
+            fuel: Some(99),
+            ..SessionOptions::default()
+        };
+        o.set_profile(ExecProfile::Adaptive(policy));
+        assert!(o.flat_env && o.fuel == Some(99));
+        o.set_profile(ExecProfile::Paper);
+        assert_eq!(o.adaptive, None);
+        assert!(o.flat_env && o.fuel == Some(99));
+    }
+
+    #[test]
+    fn adaptive_rejects_static_tier_flags() {
+        let mut o = adaptive_options(TierPolicy::default());
+        o.fuse = true;
+        let err = Session::with_options(o).unwrap_err();
+        assert!(matches!(err, Error::Options(_)), "{err}");
+    }
+
+    #[test]
+    fn adaptive_fingerprint_extends_without_disturbing_static_keys() {
+        let paper = SessionOptions::default();
+        let adaptive = adaptive_options(TierPolicy::default());
+        assert_ne!(paper.fingerprint(), adaptive.fingerprint());
+        let eager = adaptive_options(TierPolicy {
+            promote_after: 0,
+            ..TierPolicy::default()
+        });
+        assert_ne!(adaptive.fingerprint(), eager.fingerprint());
+        // The golden lockfiles pin the exact Paper fingerprint through
+        // the wire tests; here we just check adaptive is a pure
+        // extension: clearing it restores the static key.
+        let mut cleared = adaptive.clone();
+        cleared.adaptive = None;
+        assert_eq!(paper.fingerprint(), cleared.fingerprint());
+    }
+
+    #[test]
+    fn adaptive_profile_matches_paper_steps_and_verdicts() {
+        let run_profile = |options: SessionOptions| {
+            let mut s = Session::with_options(options).unwrap();
+            s.run("fun compPoly p = case p of nil => code (fn x => 0) | a :: p' => let cogen f = compPoly p' cogen a' = lift a in code (fn x => a' + (x * f x)) end\nval f = eval (compPoly [2, 4, 0, 2333])").unwrap();
+            let mut steps = Vec::new();
+            let mut values = Vec::new();
+            for _ in 0..10 {
+                let out = s.eval_expr("f 47").unwrap();
+                values.push(out.value);
+                steps.push(out.stats.steps);
+            }
+            (values, steps, s.stats())
+        };
+        let (v_paper, s_paper, _) = run_profile(SessionOptions::default());
+        for promote_after in [0, 1, 8] {
+            let (v_ad, s_ad, total) = run_profile(adaptive_options(TierPolicy {
+                promote_after,
+                ..TierPolicy::default()
+            }));
+            assert_eq!(v_paper, v_ad, "promote_after {promote_after}");
+            assert_eq!(
+                s_paper, s_ad,
+                "promotion must be invisible in per-call steps (promote_after {promote_after})"
+            );
+            assert!(
+                total.promotions > 0,
+                "the hot filter was promoted (promote_after {promote_after}): {total:?}"
+            );
+            assert_eq!(
+                total.tier_steps.iter().sum::<u64>(),
+                total.steps,
+                "tier steps partition the session total"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_works_in_flat_env_mode_too() {
+        let run = |adaptive: Option<TierPolicy>| {
+            let mut s = Session::with_options(SessionOptions {
+                flat_env: true,
+                adaptive,
+                ..SessionOptions::default()
+            })
+            .unwrap();
+            s.run("fun compPoly p = case p of nil => code (fn x => 0) | a :: p' => let cogen f = compPoly p' cogen a' = lift a in code (fn x => a' + (x * f x)) end\nval f = eval (compPoly [2, 4, 0, 2333])").unwrap();
+            let out = s.eval_expr("f 47").unwrap();
+            let out2 = s.eval_expr("f 47").unwrap();
+            assert_eq!(out.stats.steps, out2.stats.steps);
+            (out.value, out.stats.steps)
+        };
+        let (v_flat, s_flat) = run(None);
+        let (v_ad, s_ad) = run(Some(TierPolicy {
+            promote_after: 1,
+            ..TierPolicy::default()
+        }));
+        assert_eq!(v_flat, v_ad);
+        assert_eq!(s_flat, s_ad, "indexed-unit charging matches flat mode");
     }
 
     #[test]

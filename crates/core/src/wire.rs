@@ -36,6 +36,7 @@ use crate::artifact::CompiledFilter;
 use crate::error::Error;
 use crate::fingerprint::Fnv1a;
 use crate::session::SessionOptions;
+use ccam::machine::TierPolicy;
 use std::fmt;
 
 /// The leading magic bytes of every artifact file.
@@ -136,6 +137,11 @@ impl From<ccam::wire::WireError> for WireError {
 const FUEL_NONE: u8 = 0;
 /// Fuel-present marker, followed by the u64 budget.
 const FUEL_SOME: u8 = 1;
+/// Adaptive-profile marker opening the optional trailer: followed by
+/// `promote_after` (u64 LE), `fuse_top_k` (u64 LE), and `use_native`
+/// (bool byte). Static-profile artifacts write nothing after the nine
+/// original fields, so every pre-adaptive container stays byte-identical.
+const PROFILE_ADAPTIVE: u8 = 1;
 
 fn encode_options(out: &mut Vec<u8>, o: &SessionOptions) {
     // Field order matches SessionOptions::fingerprint exactly, so the
@@ -155,6 +161,12 @@ fn encode_options(out: &mut Vec<u8>, o: &SessionOptions) {
     out.push(u8::from(o.flat_env));
     out.push(u8::from(o.fuse));
     out.push(u8::from(o.native));
+    if let Some(policy) = o.adaptive {
+        out.push(PROFILE_ADAPTIVE);
+        out.extend_from_slice(&policy.promote_after.to_le_bytes());
+        out.extend_from_slice(&(policy.fuse_top_k as u64).to_le_bytes());
+        out.push(u8::from(policy.use_native));
+    }
 }
 
 struct OptionsReader<'a> {
@@ -179,6 +191,14 @@ impl<'a> OptionsReader<'a> {
             _ => Err(WireError::Corrupt("options boolean is neither 0 nor 1")),
         }
     }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let mut raw = [0u8; 8];
+        for slot in &mut raw {
+            *slot = self.u8()?;
+        }
+        Ok(u64::from_le_bytes(raw))
+    }
 }
 
 fn decode_options(bytes: &[u8]) -> Result<SessionOptions, WireError> {
@@ -195,7 +215,7 @@ fn decode_options(bytes: &[u8]) -> Result<SessionOptions, WireError> {
         }
         _ => return Err(WireError::Corrupt("unknown fuel marker")),
     };
-    let options = SessionOptions {
+    let mut options = SessionOptions {
         prelude,
         fuel,
         typecheck: r.bool()?,
@@ -205,7 +225,21 @@ fn decode_options(bytes: &[u8]) -> Result<SessionOptions, WireError> {
         flat_env: r.bool()?,
         fuse: r.bool()?,
         native: r.bool()?,
+        adaptive: None,
     };
+    // Optional adaptive-profile trailer: absent in every artifact
+    // written before (or without) the tier controller.
+    if r.pos != bytes.len() {
+        if r.u8()? != PROFILE_ADAPTIVE {
+            return Err(WireError::Corrupt("unknown execution-profile marker"));
+        }
+        options.adaptive = Some(TierPolicy {
+            promote_after: r.u64()?,
+            fuse_top_k: usize::try_from(r.u64()?)
+                .map_err(|_| WireError::Corrupt("fuse_top_k does not fit a usize"))?,
+            use_native: r.bool()?,
+        });
+    }
     if r.pos != bytes.len() {
         return Err(WireError::Corrupt("options section has trailing bytes"));
     }
@@ -542,11 +576,96 @@ mod tests {
                 typecheck: false,
                 ..SessionOptions::default()
             },
+            SessionOptions {
+                adaptive: Some(TierPolicy::default()),
+                ..SessionOptions::default()
+            },
+            SessionOptions {
+                adaptive: Some(TierPolicy {
+                    promote_after: 0,
+                    fuse_top_k: 3,
+                    use_native: false,
+                }),
+                flat_env: true,
+                fuel: Some(7),
+                ..SessionOptions::default()
+            },
         ] {
             let mut bytes = Vec::new();
             encode_options(&mut bytes, &options);
             let back = decode_options(&bytes).unwrap();
             assert_eq!(back.fingerprint(), options.fingerprint());
+            assert_eq!(back.adaptive, options.adaptive);
         }
+    }
+
+    #[test]
+    fn adaptive_trailer_is_a_pure_extension() {
+        // A static-profile encoding gains no bytes from the profile
+        // refactor, and the adaptive trailer is rejected when malformed.
+        let mut static_bytes = Vec::new();
+        encode_options(&mut static_bytes, &SessionOptions::default());
+        let mut adaptive_bytes = Vec::new();
+        encode_options(
+            &mut adaptive_bytes,
+            &SessionOptions {
+                adaptive: Some(TierPolicy::default()),
+                ..SessionOptions::default()
+            },
+        );
+        assert_eq!(
+            &adaptive_bytes[..static_bytes.len()],
+            &static_bytes[..],
+            "the trailer extends the static encoding in place"
+        );
+        // Unknown profile marker.
+        let mut bad = static_bytes.clone();
+        bad.push(9);
+        assert!(decode_options(&bad).is_err());
+        // Truncated policy.
+        for len in static_bytes.len() + 1..adaptive_bytes.len() {
+            assert!(
+                decode_options(&adaptive_bytes[..len]).is_err(),
+                "trailer prefix of {len} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_artifact_roundtrips_and_promotes() {
+        let mut s = Session::with_options(SessionOptions {
+            adaptive: Some(TierPolicy {
+                promote_after: 1,
+                ..TierPolicy::default()
+            }),
+            ..SessionOptions::default()
+        })
+        .unwrap();
+        s.run(
+            "fun codePower e = if e = 0 then code (fn b => 1)
+                               else let cogen p = codePower (e - 1)
+                                    in code (fn b => b * (p b)) end",
+        )
+        .unwrap();
+        let artifact = s.compile_to_artifact("codePower 3", 0xc0de).unwrap();
+        let bytes = artifact.to_wire_bytes();
+        let back = CompiledFilter::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(
+            back.options().adaptive,
+            artifact.options().adaptive,
+            "the tier policy survives the disk"
+        );
+        // The rehydrated instance promotes its hot block and still
+        // matches a Paper-profile oracle step for step.
+        let oracle = power_artifact();
+        let mut o = oracle.instantiate();
+        let mut b = back.instantiate();
+        for _ in 0..4 {
+            let (vo, so) = o.run(Value::Int(6)).unwrap();
+            let (vb, sb) = b.run(Value::Int(6)).unwrap();
+            assert_eq!(vo.to_string(), vb.to_string());
+            assert_eq!(so.steps, sb.steps);
+        }
+        assert!(b.stats().promotions > 0, "{:?}", b.stats());
     }
 }

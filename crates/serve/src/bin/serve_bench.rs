@@ -30,8 +30,18 @@
 //! `--native` runs every worker (and the oracle) through the
 //! thread-coded native tier (`SessionOptions::native`); step counts are
 //! identical to the interpreter, only dispatch changes.
+//! `--tiered` runs the adaptive-tiering comparison instead: a mixed
+//! hot/cold multi-tenant workload served once per static flavor point
+//! (all 8 combinations of optimize × fuse × native) and once under the
+//! adaptive profile (`SessionOptions::adaptive`), each against a fresh
+//! pool and cache so specialization cost is inside the measurement.
+//! Reps are interleaved round-robin and the comparison is paired per
+//! round: the adaptive point must beat every static point in a majority
+//! of rounds — asserted, not just reported — while its verdicts *and
+//! per-packet step counts* stay identical to the plain profile. Emits
+//! `BENCH_serve_tiered.json`.
 
-use mlbox::SessionOptions;
+use mlbox::{SessionOptions, TierPolicy};
 use mlbox_bpf::harness::{expect_verdict, filter_arg};
 use mlbox_bpf::insn::Insn;
 use mlbox_bpf::native::run_filter;
@@ -47,6 +57,7 @@ use std::time::Instant;
 struct Config {
     smoke: bool,
     persist: bool,
+    tiered: bool,
     tenants: usize,
     workers_sweep: Vec<usize>,
     batch_sizes: Vec<usize>,
@@ -81,10 +92,12 @@ fn parse_args() -> Config {
     };
     let scalar = |flag: &str, default: usize| -> usize { list(flag, vec![default])[0] };
     let persist = args.iter().any(|a| a == "--persist");
+    let tiered = args.iter().any(|a| a == "--tiered");
     if smoke {
         Config {
             smoke,
             persist,
+            tiered,
             tenants: scalar("--tenants", 48),
             workers_sweep: list("--workers", vec![2]),
             batch_sizes: list("--batches", vec![16]),
@@ -96,6 +109,7 @@ fn parse_args() -> Config {
         Config {
             smoke,
             persist,
+            tiered,
             tenants: scalar("--tenants", 2048),
             workers_sweep: list("--workers", vec![1, 2, 4]),
             batch_sizes: list("--batches", vec![8, 32]),
@@ -545,10 +559,385 @@ fn run_persist(config: &Config) {
     );
 }
 
+/// One distinct filter of the tiered workload, with its packets and the
+/// plain-profile oracle answers. Verdicts must hold under every flavor;
+/// step counts must hold under the adaptive profile (promotion is
+/// invisible in the cost model) but not under static fuse, which changes
+/// the step model by design.
+struct TieredFilter {
+    filter: Arc<Vec<Insn>>,
+    packets: Vec<Packet>,
+    /// Plain-profile (verdict, steps) per packet.
+    expected: Vec<(i64, u64)>,
+}
+
+/// One batch of the tiered schedule: a filter and a packet range.
+struct TieredJob {
+    filter: usize,
+    start: usize,
+    len: usize,
+}
+
+/// One execution-profile point of the tiered comparison.
+struct TieredPoint {
+    name: String,
+    options: SessionOptions,
+    packets: u64,
+    /// Best-of-reps wall time for the whole workload, specialization
+    /// included (fresh pool and cache per rep).
+    elapsed_secs: f64,
+    promotions: u64,
+    refreezes: u64,
+    tier_occupancy: [u64; 3],
+    cache_misses: u64,
+}
+
+impl TieredPoint {
+    fn packets_per_sec(&self) -> f64 {
+        self.packets as f64 / self.elapsed_secs.max(1e-9)
+    }
+}
+
+/// Builds the mixed hot/cold tenant population: a small hot set (the
+/// Table 1 filters) carrying most of the packet volume, plus a long
+/// tail of cold tenants that each specialize once and run one small
+/// batch. The hot side rewards fast steady-state dispatch; the cold
+/// side punishes profiles that pay rendering cost up front for code
+/// that never gets hot.
+fn build_tiered_filters(config: &Config) -> (Vec<TieredFilter>, Vec<TieredJob>) {
+    let hot_packets = if config.smoke { 2048 } else { 8192 };
+    let hot_batch = if config.smoke { 32 } else { 64 };
+    let cold_tenants = if config.smoke { 16 } else { 48 };
+    // The hot side is Zipf-distributed: rank r serves hot_packets / r,
+    // so the top tenant dominates the way real serving traffic does.
+    let mut programs: Vec<(Vec<Insn>, usize)> = vec![
+        (multi_port_filter(&[22, 23, 80]), hot_packets),
+        (chain_filter(8), hot_packets / 2),
+        (port_filter(80), hot_packets / 3),
+        (telnet_filter(), hot_packets / 4),
+    ];
+    for i in 0..cold_tenants {
+        let port = 3000 + i as u16;
+        programs.push((
+            match i % 3 {
+                0 => port_filter(port),
+                1 => multi_port_filter(&[22, 80, port]),
+                _ => chain_filter(6 + i % 10),
+            },
+            4,
+        ));
+    }
+    let filters: Vec<TieredFilter> = programs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (filter, npackets))| {
+            let mut generator = PacketGen::new(71 + i as u64);
+            let packets = generator.workload(npackets, 0.5);
+            let mut instance = FilterHarness::new(&filter)
+                .expect("harness builds")
+                .compile_artifact()
+                .expect("artifact extracts")
+                .instantiate();
+            let expected = packets
+                .iter()
+                .map(|pkt| {
+                    let (value, stats) = instance.run(filter_arg(pkt)).expect("oracle run");
+                    let verdict = expect_verdict(&value).expect("integer verdict");
+                    assert_eq!(
+                        verdict,
+                        run_filter(&filter, &pkt.bytes),
+                        "tiered filter {i}: oracle disagrees with the native interpreter"
+                    );
+                    (verdict, stats.steps)
+                })
+                .collect();
+            TieredFilter {
+                filter: Arc::new(filter),
+                packets,
+                expected,
+            }
+        })
+        .collect();
+    // Deterministically shuffled batch schedule, so hot and cold work
+    // interleave the way real tenant traffic would instead of running
+    // in convenient phases.
+    let mut jobs: Vec<TieredJob> = Vec::new();
+    for (f, filter) in filters.iter().enumerate() {
+        let batch = if filter.packets.len() > 4 {
+            hot_batch
+        } else {
+            filter.packets.len()
+        };
+        let mut start = 0;
+        while start < filter.packets.len() {
+            let len = batch.min(filter.packets.len() - start);
+            jobs.push(TieredJob {
+                filter: f,
+                start,
+                len,
+            });
+            start += len;
+        }
+    }
+    let mut lcg = 0x2545F4914F6CDD1Du64;
+    for i in (1..jobs.len()).rev() {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        jobs.swap(i, (lcg >> 33) as usize % (i + 1));
+    }
+    (filters, jobs)
+}
+
+/// Serves the whole tiered schedule once through a fresh pool + cache
+/// under `options`, verifying every verdict (and, when `check_steps`,
+/// every per-packet step count) against the plain-profile oracle.
+fn run_tiered_once(
+    options: &SessionOptions,
+    filters: &[TieredFilter],
+    jobs: &[TieredJob],
+    check_steps: bool,
+) -> TieredPoint {
+    let started = Instant::now();
+    // One worker: the nine points compare dispatch quality per core, and
+    // a single lane keeps the measurement free of scheduler interleaving
+    // (the worker-scaling story is the main sweep's job, not this one's).
+    let pool = ServePool::new(PoolConfig {
+        workers: 1,
+        queue_depth: 64,
+        cache_capacity: 256,
+        options: options.clone(),
+        store: None,
+    });
+    let tickets: Vec<Ticket> = jobs
+        .iter()
+        .map(|job| {
+            let filter = &filters[job.filter];
+            let packets = filter.packets[job.start..job.start + job.len].to_vec();
+            pool.submit(Arc::clone(&filter.filter), packets)
+        })
+        .collect();
+    let mut packets = 0u64;
+    for (ticket, job_ref) in tickets.into_iter().zip(jobs) {
+        let filter = &filters[job_ref.filter];
+        let output = ticket
+            .wait()
+            .outcome
+            .unwrap_or_else(|e| panic!("tiered filter {}: batch failed: {e}", job_ref.filter));
+        for (i, (&verdict, &steps)) in output.verdicts.iter().zip(&output.steps).enumerate() {
+            let (expected_verdict, expected_steps) = filter.expected[job_ref.start + i];
+            assert_eq!(
+                verdict,
+                expected_verdict,
+                "tiered filter {}: packet {} verdict diverged",
+                job_ref.filter,
+                job_ref.start + i
+            );
+            if check_steps {
+                assert_eq!(
+                    steps,
+                    expected_steps,
+                    "tiered filter {}: packet {} step count diverged from the plain \
+                     profile (promotion must be invisible in the cost model)",
+                    job_ref.filter,
+                    job_ref.start + i
+                );
+            }
+            packets += 1;
+        }
+    }
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    let report = pool.shutdown();
+    TieredPoint {
+        name: String::new(),
+        options: options.clone(),
+        packets,
+        elapsed_secs,
+        promotions: report.total_promotions(),
+        refreezes: report.total_refreezes(),
+        tier_occupancy: report.tier_occupancy(),
+        cache_misses: report.cache.misses,
+    }
+}
+
+/// The `--tiered` benchmark: all 8 static flavor points vs. the
+/// adaptive profile over the same mixed hot/cold workload, emitting
+/// `BENCH_serve_tiered.json`.
+fn run_tiered(config: &Config) {
+    eprintln!("serve-bench: building tiered workload and plain oracle...");
+    let (filters, jobs) = build_tiered_filters(config);
+    let reps = 7;
+    let mut flavor_points: Vec<(String, SessionOptions, bool)> = (0..8u8)
+        .map(|bits| {
+            let options = SessionOptions {
+                optimize: bits & 1 != 0,
+                fuse: bits & 2 != 0,
+                native: bits & 4 != 0,
+                ..SessionOptions::default()
+            };
+            let mut name = String::from("static");
+            for (on, tag) in [
+                (options.optimize, "+opt"),
+                (options.fuse, "+fuse"),
+                (options.native, "+native"),
+            ] {
+                if on {
+                    name.push_str(tag);
+                }
+            }
+            if name == "static" {
+                name.push_str("_plain");
+            }
+            (name, options, false)
+        })
+        .collect();
+    // The serving policy promotes hot blocks to the fused rendering but
+    // stops short of the native tier: thread-coded dispatch pays a
+    // per-activation entry cost that the short, call-heavy blocks of
+    // filter code never amortize, so tier 1 is the serving sweet spot
+    // (the machine-level dispatch benchmarks are where tier 2 pays off).
+    // The threshold sits above the activations a cold tenant's 4-packet
+    // burst produces: promoting those blocks would spend fuse-render
+    // time on code that is about to go idle.
+    flavor_points.push((
+        "adaptive".to_string(),
+        SessionOptions {
+            adaptive: Some(TierPolicy {
+                promote_after: 32,
+                use_native: false,
+                ..TierPolicy::default()
+            }),
+            ..SessionOptions::default()
+        },
+        true,
+    ));
+
+    // Reps are interleaved round-robin across the nine points (rather
+    // than run back-to-back per point) so a transient load spike on the
+    // host degrades at most one rep of each point instead of sinking
+    // every rep of whichever point it happened to land on; best-of-N
+    // per point then discards the degraded reps.
+    let mut best: Vec<Option<TieredPoint>> = flavor_points.iter().map(|_| None).collect();
+    let mut rounds: Vec<Vec<f64>> = flavor_points.iter().map(|_| Vec::new()).collect();
+    for _ in 0..reps {
+        for (slot, (_, options, adaptive)) in flavor_points.iter().enumerate() {
+            let point = run_tiered_once(options, &filters, &jobs, *adaptive);
+            rounds[slot].push(point.elapsed_secs);
+            if best[slot]
+                .as_ref()
+                .is_none_or(|b| point.elapsed_secs < b.elapsed_secs)
+            {
+                best[slot] = Some(point);
+            }
+        }
+    }
+    let mut points: Vec<TieredPoint> = Vec::new();
+    for ((name, _, _), best) in flavor_points.iter().zip(best) {
+        let mut point = best.expect("at least one rep");
+        point.name.clone_from(name);
+        eprintln!(
+            "serve-bench:   {name}: {} packets in {:.1} ms ({:.0} packets/sec, \
+             {} promotions, occupancy {:?})",
+            point.packets,
+            point.elapsed_secs * 1e3,
+            point.packets_per_sec(),
+            point.promotions,
+            point.tier_occupancy
+        );
+        points.push(point);
+    }
+
+    let adaptive = points.last().expect("adaptive point ran");
+    assert!(
+        adaptive.promotions > 0,
+        "the adaptive profile never promoted a block"
+    );
+    assert!(
+        adaptive.tier_occupancy[1] + adaptive.tier_occupancy[2] > 0,
+        "promoted renderings never executed"
+    );
+    // The throughput comparison is paired: adaptive and each static
+    // point are timed within the same interleaved round (seconds apart
+    // at most), so host-load drift across the run cancels out of the
+    // per-round verdict. Adaptive must win the majority of rounds
+    // against every static point — a single-number best-of comparison
+    // would let a slow phase of the host decide the outcome.
+    let adaptive_rounds = rounds.last().expect("adaptive rounds recorded");
+    for (point, static_rounds) in points[..points.len() - 1].iter().zip(&rounds) {
+        let wins = adaptive_rounds
+            .iter()
+            .zip(static_rounds)
+            .filter(|(a, s)| a < s)
+            .count();
+        assert!(
+            2 * wins > reps,
+            "adaptive must beat {} in a majority of paired rounds, won {wins}/{reps} \
+             (best-of: adaptive {:.0} vs {} {:.0} packets/sec)",
+            point.name,
+            adaptive.packets_per_sec(),
+            point.name,
+            point.packets_per_sec()
+        );
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"serve_tiered\",\n");
+    out.push_str(&format!("  \"smoke\": {},\n", config.smoke));
+    out.push_str(&format!(
+        "  \"filters\": {}, \"jobs\": {}, \"reps\": {reps},\n",
+        filters.len(),
+        jobs.len()
+    ));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let adaptive_wins = adaptive_rounds
+            .iter()
+            .zip(&rounds[i])
+            .filter(|(a, s)| a < s)
+            .count();
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"optimize\": {}, \"fuse\": {}, \"native\": {}, \
+             \"adaptive\": {}, \"packets\": {}, \"elapsed_ms\": {}, \"packets_per_sec\": {}, \
+             \"adaptive_round_wins\": {adaptive_wins}, \
+             \"promotions\": {}, \"refreezes\": {}, \"tier_steps\": [{}, {}, {}], \
+             \"cache_misses\": {}}}{}\n",
+            p.name,
+            p.options.optimize,
+            p.options.fuse,
+            p.options.native,
+            p.options.adaptive.is_some(),
+            p.packets,
+            json_f(p.elapsed_secs * 1e3),
+            json_f(p.packets_per_sec()),
+            p.promotions,
+            p.refreezes,
+            p.tier_occupancy[0],
+            p.tier_occupancy[1],
+            p.tier_occupancy[2],
+            p.cache_misses,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"oracle\": \"verified\",\n");
+    out.push_str("  \"adaptive_beats_all_static\": true\n");
+    out.push_str("}\n");
+    print!("{out}");
+    eprintln!(
+        "serve-bench: tiered ok (adaptive {:.0} packets/sec beats all 8 static points)",
+        adaptive.packets_per_sec()
+    );
+}
+
 fn main() {
     let config = parse_args();
     if config.persist {
         run_persist(&config);
+        return;
+    }
+    if config.tiered {
+        run_tiered(&config);
         return;
     }
     eprintln!("serve-bench: building workloads and oracles...");

@@ -20,6 +20,16 @@
 //! to specialize and another's took 2ms should never evict the former
 //! to admit a third copy of the latter.
 //!
+//! **Eviction remembers.** Each shard keeps an ARC-style *ghost list*:
+//! the rebuild weight of recently evicted entries, keyed by the evicted
+//! key. When a key on the ghost list is re-admitted — typically via a
+//! fast disk-store load rather than a full re-specialization — the new
+//! entry is pre-seeded with the weight it earned originally, so the
+//! cheapness of the *reload* does not mark a genuinely expensive filter
+//! as the shard's next victim. Without this, a popular filter evicted
+//! once thrashes forever: every reload is cheap, so every reload makes
+//! it the minimum-weight entry again.
+//!
 //! **Entries expire.** Successful entries live for the configured
 //! [`CacheConfig::ttl`] (unbounded by default). *Failed* specializations
 //! are special: they are cached (so a broken filter fails fast instead
@@ -33,7 +43,7 @@ use mlbox::fingerprint::Fnv1a;
 use mlbox::{CompiledFilter, SessionOptions};
 use mlbox_bpf::insn::{fingerprint, Insn};
 use mlbox_bpf::FilterHarness;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -80,6 +90,12 @@ pub struct CacheConfig {
     /// must age out so a transient problem (exhausted fuel budget, a
     /// racing deploy) does not poison the key until process restart.
     pub negative_ttl: Duration,
+    /// How many evicted keys the ghost list remembers (approximately;
+    /// enforced per shard). A re-admitted key found on the ghost list is
+    /// pre-seeded with the eviction-time weight it earned originally, so
+    /// a cheap reload does not make it the instant next victim. Zero
+    /// disables the ghost list.
+    pub ghost_capacity: usize,
 }
 
 impl Default for CacheConfig {
@@ -88,6 +104,7 @@ impl Default for CacheConfig {
             capacity: 64,
             ttl: None,
             negative_ttl: Duration::from_secs(30),
+            ghost_capacity: 256,
         }
     }
 }
@@ -115,6 +132,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries dropped because their TTL (positive or negative) lapsed.
     pub expired: u64,
+    /// Re-admissions that found their key on the ghost list and kept
+    /// their original rebuild weight.
+    pub ghost_hits: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -185,13 +205,47 @@ type Entry<T> = Arc<EntryState<T>>;
 #[derive(Debug)]
 struct Shard<T> {
     map: HashMap<CacheKey, Entry<T>>,
+    /// Ghost list: eviction-time (cost, size) of recently evicted
+    /// entries, with `ghost_order` tracking eviction recency for the
+    /// capacity bound.
+    ghost: HashMap<CacheKey, (u64, u64)>,
+    ghost_order: VecDeque<CacheKey>,
 }
 
 impl<T> Shard<T> {
     fn new() -> Self {
         Shard {
             map: HashMap::new(),
+            ghost: HashMap::new(),
+            ghost_order: VecDeque::new(),
         }
+    }
+
+    /// Records an evicted entry's weight, dropping the oldest ghosts
+    /// beyond `capacity`.
+    fn remember_ghost(&mut self, key: CacheKey, cost: u64, size: u64, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        if self.ghost.insert(key, (cost, size)).is_some() {
+            self.ghost_order.retain(|k| *k != key);
+        }
+        self.ghost_order.push_back(key);
+        while self.ghost.len() > capacity {
+            match self.ghost_order.pop_front() {
+                Some(old) => {
+                    self.ghost.remove(&old);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Takes a remembered weight for a re-admitted key, if any.
+    fn recall_ghost(&mut self, key: &CacheKey) -> Option<(u64, u64)> {
+        let remembered = self.ghost.remove(key)?;
+        self.ghost_order.retain(|k| k != key);
+        Some(remembered)
     }
 }
 
@@ -206,12 +260,14 @@ type Sizer<T> = Box<dyn Fn(&T) -> u64 + Send + Sync>;
 pub struct SpecializationCache<T> {
     shards: Vec<RwLock<Shard<T>>>,
     per_shard_capacity: usize,
+    per_shard_ghost: usize,
     config: CacheConfig,
     sizer: Sizer<T>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     expired: AtomicU64,
+    ghost_hits: AtomicU64,
 }
 
 impl<T> fmt::Debug for SpecializationCache<T> {
@@ -256,12 +312,14 @@ impl<T> SpecializationCache<T> {
         SpecializationCache {
             shards: (0..SHARDS).map(|_| RwLock::new(Shard::new())).collect(),
             per_shard_capacity: config.capacity.div_ceil(SHARDS),
+            per_shard_ghost: config.ghost_capacity.div_ceil(SHARDS),
             config,
             sizer,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             expired: AtomicU64::new(0),
+            ghost_hits: AtomicU64::new(0),
         }
     }
 
@@ -343,13 +401,33 @@ impl<T> SpecializationCache<T> {
                         while guard.map.len() >= self.per_shard_capacity {
                             match victim_of(&guard.map) {
                                 Some(v) => {
-                                    guard.map.remove(&v);
+                                    if let Some(e) = guard.map.remove(&v) {
+                                        // Remember successful victims so
+                                        // a prompt re-admission keeps the
+                                        // weight the entry earned when it
+                                        // was actually built.
+                                        if e.cell.get().is_some_and(|r| r.is_ok()) {
+                                            let cost = e.cost.load(Ordering::Relaxed);
+                                            let size = e.size.load(Ordering::Relaxed);
+                                            guard.remember_ghost(
+                                                v,
+                                                cost,
+                                                size,
+                                                self.per_shard_ghost,
+                                            );
+                                        }
+                                    }
                                     self.evictions.fetch_add(1, Ordering::Relaxed);
                                 }
                                 None => break,
                             }
                         }
                         let entry = Arc::new(EntryState::new());
+                        if let Some((cost, size)) = guard.recall_ghost(&key) {
+                            entry.cost.store(cost, Ordering::Relaxed);
+                            entry.size.store(size, Ordering::Relaxed);
+                            self.ghost_hits.fetch_add(1, Ordering::Relaxed);
+                        }
                         guard.map.insert(key, entry.clone());
                         entry
                     }
@@ -365,7 +443,12 @@ impl<T> SpecializationCache<T> {
                 ran = true;
                 match init() {
                     Ok((value, cost)) => {
-                        entry.cost.store(cost, Ordering::Relaxed);
+                        // A ghost re-admission pre-seeded `cost` with the
+                        // weight the entry earned when it was originally
+                        // built; a cheap rebuild (a store load) must not
+                        // shrink it back to instant-victim territory.
+                        let remembered = entry.cost.load(Ordering::Relaxed);
+                        entry.cost.store(cost.max(remembered), Ordering::Relaxed);
                         entry.size.store((self.sizer)(&value), Ordering::Relaxed);
                         Ok(value)
                     }
@@ -390,6 +473,7 @@ impl<T> SpecializationCache<T> {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
+            ghost_hits: self.ghost_hits.load(Ordering::Relaxed),
             entries: self
                 .shards
                 .iter()
@@ -644,6 +728,7 @@ mod tests {
             capacity: 16,
             ttl: None,
             negative_ttl: Duration::from_millis(40),
+            ..CacheConfig::default()
         });
         let key = CacheKey {
             filter: 7,
@@ -676,6 +761,7 @@ mod tests {
             capacity: 16,
             ttl: Some(Duration::from_millis(40)),
             negative_ttl: Duration::from_secs(30),
+            ..CacheConfig::default()
         });
         let key = CacheKey {
             filter: 9,
@@ -774,6 +860,134 @@ mod tests {
             })
             .unwrap();
         assert!(reran, "small entry should have been the victim");
+    }
+
+    #[test]
+    fn ghost_readmission_keeps_the_original_weight() {
+        // Capacity 16 ⇒ 2 per shard, with a positive TTL so both slots
+        // open up mid-test. An expensive entry is evicted, then — after
+        // the original residents lapse — re-admitted via a *cheap*
+        // rebuild (the store-load pattern) next to a mid-priced
+        // neighbour. The ghost list restores the original build cost,
+        // so the next insert evicts the neighbour; at reload cost the
+        // re-admitted entry would have been the victim instead.
+        let cache: SpecializationCache<u64> = SpecializationCache::with_config(CacheConfig {
+            capacity: 16,
+            ttl: Some(Duration::from_millis(100)),
+            ..CacheConfig::default()
+        });
+        let keys = same_shard_keys(5);
+        let (dear, a, b, mid, next) = (keys[0], keys[1], keys[2], keys[3], keys[4]);
+        cache
+            .get_or_init_costed(dear, || Ok((Arc::new(1), 1_000_000)))
+            .unwrap();
+        cache
+            .get_or_init_costed(a, || Ok((Arc::new(2), 2_000_000)))
+            .unwrap();
+        // The shard is full; `dear` (minimum weight) is evicted and
+        // remembered by the ghost list.
+        cache
+            .get_or_init_costed(b, || Ok((Arc::new(3), 3_000_000)))
+            .unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        // Both residents lapse, freeing the shard...
+        std::thread::sleep(Duration::from_millis(150));
+        // ...so the mid-priced entry and the cheaply reloaded `dear`
+        // are admitted side by side without evicting each other.
+        cache
+            .get_or_init_costed(mid, || Ok((Arc::new(4), 500_000)))
+            .unwrap();
+        cache
+            .get_or_init_costed(dear, || Ok((Arc::new(1), 50)))
+            .unwrap();
+        assert_eq!(cache.stats().ghost_hits, 1);
+        // The next insert sees weights {mid: 500_000, dear: 1_000_000}
+        // — the reload cost of 50 did not stick — and evicts `mid`.
+        cache
+            .get_or_init_costed(next, || Ok((Arc::new(5), 4_000_000)))
+            .unwrap();
+        cache
+            .get_or_init_costed(dear, || panic!("re-admitted entry thrashed"))
+            .unwrap();
+    }
+
+    #[test]
+    fn ghost_list_is_bounded_and_can_be_disabled() {
+        let cache: SpecializationCache<u64> = SpecializationCache::with_config(CacheConfig {
+            capacity: 8,
+            ghost_capacity: 0,
+            ..CacheConfig::default()
+        });
+        let keys = same_shard_keys(3);
+        cache
+            .get_or_init_costed(keys[0], || Ok((Arc::new(1), 1_000_000)))
+            .unwrap();
+        cache
+            .get_or_init_costed(keys[1], || Ok((Arc::new(2), 2_000_000)))
+            .unwrap();
+        // keys[0] was evicted (per-shard capacity 1) but nothing was
+        // remembered: the re-admission is not a ghost hit.
+        cache
+            .get_or_init_costed(keys[0], || Ok((Arc::new(1), 50)))
+            .unwrap();
+        assert_eq!(cache.stats().ghost_hits, 0);
+    }
+
+    #[test]
+    fn tenant_sweep_hit_rate_improves_with_the_ghost_list() {
+        // The 2048-tenant thrash scenario: a small hot set is swept over
+        // repeatedly while cold tenants stream through a cache far
+        // smaller than the tenant count. First builds are expensive;
+        // rebuilds after eviction are cheap (the store-load pattern).
+        // Without the ghost list a hot tenant evicted once re-enters at
+        // its reload cost, becomes the minimum-weight entry, and
+        // thrashes forever; with it, hot tenants keep their true weight.
+        const TENANTS: usize = 2048;
+        const HOT: usize = 4;
+        const SPECIALIZE: u64 = 1_000_000;
+        const RELOAD: u64 = 100;
+        let run = |ghost_capacity: usize| -> CacheStats {
+            let cache: SpecializationCache<u64> = SpecializationCache::with_config(CacheConfig {
+                capacity: 64, // ≪ TENANTS; 8 per shard
+                ghost_capacity,
+                ..CacheConfig::default()
+            });
+            let keys = same_shard_keys(TENANTS);
+            let (hot, cold) = keys.split_at(HOT);
+            // A key's first build costs SPECIALIZE; later rebuilds cost
+            // RELOAD, exactly as get_or_load_or_specialize behaves once
+            // the artifact is on disk.
+            let mut built = std::collections::HashSet::new();
+            let mut access = |cache: &SpecializationCache<u64>, key: CacheKey| {
+                let cost = if built.insert(key) {
+                    SPECIALIZE
+                } else {
+                    RELOAD
+                };
+                cache
+                    .get_or_init_costed(key, || Ok((Arc::new(0), cost)))
+                    .unwrap();
+            };
+            for key in hot {
+                access(&cache, *key);
+            }
+            for key in cold {
+                access(&cache, *key);
+                for key in hot {
+                    access(&cache, *key);
+                }
+            }
+            cache.stats()
+        };
+        let without = run(0);
+        let with = run(CacheConfig::default().ghost_capacity);
+        assert!(with.ghost_hits > 0, "ghost list never consulted");
+        assert!(
+            with.hit_rate() > without.hit_rate() + 0.05,
+            "ghost list should lift the sweep hit rate: {:.3} vs {:.3}",
+            with.hit_rate(),
+            without.hit_rate()
+        );
     }
 
     #[test]

@@ -161,6 +161,16 @@ pub struct WorkerStats {
     pub steps: u64,
     /// Artifact hydrations (local installs of cached artifacts).
     pub installs: u64,
+    /// Blocks the worker's machine promoted under an adaptive tier
+    /// policy ([`SessionOptions::adaptive`]); zero for static profiles.
+    pub promotions: u64,
+    /// Freeze misses that re-rendered an already-frozen arena (the
+    /// arena grew between runs).
+    pub refreezes: u64,
+    /// Baseline reduction steps the worker's machine executed at each
+    /// tier (0 cold, 1 fused, 2 fused + native). Sums to `steps` under
+    /// an adaptive policy; all zero under static profiles.
+    pub tier_steps: [u64; 3],
 }
 
 /// The pool's final accounting, returned by [`ServePool::shutdown`].
@@ -185,6 +195,29 @@ impl PoolReport {
     /// Reduction steps across all workers.
     pub fn total_steps(&self) -> u64 {
         self.workers.iter().map(|w| w.steps).sum()
+    }
+
+    /// Tier promotions across all workers (adaptive profiles only).
+    pub fn total_promotions(&self) -> u64 {
+        self.workers.iter().map(|w| w.promotions).sum()
+    }
+
+    /// Stale-snapshot re-renderings across all workers.
+    pub fn total_refreezes(&self) -> u64 {
+        self.workers.iter().map(|w| w.refreezes).sum()
+    }
+
+    /// Baseline steps executed at each tier across all workers — the
+    /// pool's tier occupancy. Index 0 is the cold interpreter, 1 the
+    /// fused rendering, 2 fused + native.
+    pub fn tier_occupancy(&self) -> [u64; 3] {
+        let mut total = [0u64; 3];
+        for w in &self.workers {
+            for (slot, steps) in total.iter_mut().zip(w.tier_steps) {
+                *slot += steps;
+            }
+        }
+        total
     }
 }
 
@@ -424,6 +457,9 @@ fn worker_loop(
         packets: 0,
         steps: 0,
         installs: 0,
+        promotions: 0,
+        refreezes: 0,
+        tier_steps: [0; 3],
     };
     loop {
         // Hold the receiver lock only for the dequeue, not the work.
@@ -458,6 +494,12 @@ fn worker_loop(
             outcome: result,
         });
     }
+    // Tier counters live on the machine (promotion is a machine-level
+    // event, not a per-packet one); fold the lifetime totals in on exit.
+    let machine_stats = machine.stats();
+    stats.promotions = machine_stats.promotions;
+    stats.refreezes = machine_stats.refreezes;
+    stats.tier_steps = machine_stats.tier_steps;
     stats
 }
 
@@ -613,6 +655,60 @@ mod tests {
         let report = pool.shutdown();
         assert_eq!(report.shed, shed as u64);
         assert_eq!(report.latency.count, 24 - report.shed, "admitted batches");
+    }
+
+    #[test]
+    fn adaptive_pool_promotes_and_matches_the_plain_oracle() {
+        // A pool serving under an adaptive profile must return exactly
+        // the verdicts and step counts of the plain (Paper) profile —
+        // promotion changes the rendering, never the observable cost —
+        // while the report shows the tier controller actually working.
+        let policy = mlbox::TierPolicy {
+            promote_after: 1,
+            ..mlbox::TierPolicy::default()
+        };
+        let options = SessionOptions {
+            adaptive: Some(policy),
+            ..SessionOptions::default()
+        };
+        let filter = port_filter(80);
+        let mut g = PacketGen::new(35);
+        let packets = g.workload(8, 0.4);
+        let mut oracle = FilterHarness::new(&filter).unwrap();
+        let mut instance = oracle.compile_artifact().unwrap().instantiate();
+        let pool = ServePool::new(PoolConfig {
+            workers: 1,
+            options,
+            ..PoolConfig::default()
+        });
+        // Several batches so blocks cross the promotion threshold.
+        let outputs: Vec<BatchOutput> = (0..4)
+            .map(|_| {
+                pool.submit(Arc::new(filter.clone()), packets.clone())
+                    .wait()
+                    .outcome
+                    .expect("adaptive batch runs")
+            })
+            .collect();
+        for out in &outputs {
+            for (i, pkt) in packets.iter().enumerate() {
+                let (v, s) = instance.run(filter_arg(pkt)).unwrap();
+                assert_eq!(out.verdicts[i], expect_verdict(&v).unwrap());
+                assert_eq!(out.steps[i], s.steps, "packet {i} step count");
+            }
+        }
+        let report = pool.shutdown();
+        assert!(report.total_promotions() > 0, "no block was promoted");
+        let occupancy = report.tier_occupancy();
+        assert_eq!(
+            occupancy.iter().sum::<u64>(),
+            report.total_steps(),
+            "tier occupancy must partition the pool's steps"
+        );
+        assert!(
+            occupancy[2] > 0,
+            "promoted blocks should run in the native tier"
+        );
     }
 
     #[test]

@@ -22,11 +22,14 @@
 //!   time, not as a wrong verdict at serve time.
 
 use mlbox::{CompiledFilter, Error, SessionOptions};
+use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::SystemTime;
 
 /// Why a store operation failed.
 #[derive(Debug)]
@@ -94,6 +97,17 @@ pub struct StoreStats {
     pub misses: u64,
 }
 
+/// What one [`ArtifactStore::gc`] sweep did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcReport {
+    /// Artifacts unlinked by the sweep.
+    pub evicted: usize,
+    /// Bytes those artifacts occupied.
+    pub bytes_evicted: u64,
+    /// Bytes still resident after the sweep.
+    pub resident_bytes: u64,
+}
+
 /// A directory of persisted artifacts, one file per
 /// `(source fingerprint, options fingerprint)` key.
 #[derive(Debug)]
@@ -105,6 +119,14 @@ pub struct ArtifactStore {
     saves: AtomicU64,
     loads: AtomicU64,
     misses: AtomicU64,
+    /// Logical recency clock: bumped on every load and save, so the GC
+    /// can order residents by last touch without trusting file mtimes
+    /// (which `rename` publication does not refresh on every platform).
+    clock: AtomicU64,
+    /// File name → last touch (clock value) through this handle.
+    /// Entries other handles or processes wrote are absent and fall
+    /// back to their mtime, ranked older than anything touched here.
+    recency: Mutex<HashMap<String, u64>>,
 }
 
 /// File extension of persisted artifacts.
@@ -125,6 +147,8 @@ impl ArtifactStore {
             saves: AtomicU64::new(0),
             loads: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            recency: Mutex::new(HashMap::new()),
         })
     }
 
@@ -176,6 +200,7 @@ impl ArtifactStore {
             }
         }
         self.saves.fetch_add(1, Ordering::Relaxed);
+        self.touch(&final_path);
         Ok(final_path)
     }
 
@@ -214,6 +239,7 @@ impl ArtifactStore {
             return Err(StoreError::KeyMismatch { expected, found });
         }
         self.loads.fetch_add(1, Ordering::Relaxed);
+        self.touch(&path);
         Ok(Some(artifact))
     }
 
@@ -245,6 +271,104 @@ impl ArtifactStore {
     /// Returns the I/O error if the directory cannot be read.
     pub fn is_empty(&self) -> Result<bool, StoreError> {
         Ok(self.len()? == 0)
+    }
+
+    /// Stamps `path` as the most recently touched resident.
+    fn touch(&self, path: &Path) {
+        if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+            let t = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+            self.recency.lock().unwrap().insert(name.to_string(), t);
+        }
+    }
+
+    /// Shrinks the resident set to at most `max_bytes`, unlinking
+    /// least-recently-loaded artifacts first (publication counts as a
+    /// touch; artifacts this handle never touched rank by mtime, older
+    /// than anything it did). Eviction is an atomic unlink — a
+    /// concurrent `load` that already opened the file keeps its bytes,
+    /// and one that comes later misses and regenerates. An artifact
+    /// loaded *during* the sweep is re-stamped by the load and skipped
+    /// rather than evicted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be scanned or an
+    /// unlink fails for a reason other than the file already being gone.
+    pub fn gc(&self, max_bytes: u64) -> Result<GcReport, StoreError> {
+        self.gc_with_hook(max_bytes, |_| {})
+    }
+
+    /// [`ArtifactStore::gc`] with a hook run after victim selection and
+    /// before each unlink — the seam the sweep-vs-load race test drives.
+    #[doc(hidden)]
+    pub fn gc_with_hook(
+        &self,
+        max_bytes: u64,
+        mut before_unlink: impl FnMut(&Path),
+    ) -> Result<GcReport, StoreError> {
+        let sweep_start = self.clock.load(Ordering::Relaxed);
+        let mut entries = Vec::new();
+        let mut resident = 0u64;
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().is_none_or(|e| e != ARTIFACT_EXT) {
+                continue;
+            }
+            let meta = entry.metadata()?;
+            resident += meta.len();
+            // Rank: (0, mtime) for entries unknown to this handle, then
+            // (1, touch stamp) — foreign files age out first.
+            let rank = match self.stamp_of(&path) {
+                Some(stamp) => (1u8, stamp),
+                None => {
+                    let mtime = meta
+                        .modified()
+                        .ok()
+                        .and_then(|t| t.duration_since(SystemTime::UNIX_EPOCH).ok())
+                        .map_or(0, |d| d.as_secs());
+                    (0u8, mtime)
+                }
+            };
+            entries.push((rank, path, meta.len()));
+        }
+        entries.sort();
+        let mut report = GcReport {
+            evicted: 0,
+            bytes_evicted: 0,
+            resident_bytes: resident,
+        };
+        for (_, path, len) in entries {
+            if report.resident_bytes <= max_bytes {
+                break;
+            }
+            before_unlink(&path);
+            // Re-check: any touch since the sweep began out-ranks the
+            // ordering the victims were chosen under, so the entry is
+            // hot again and survives.
+            if self.stamp_of(&path).is_some_and(|s| s > sweep_start) {
+                continue;
+            }
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                // Already gone (another sweep or handle): not our byte.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e.into()),
+            }
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                self.recency.lock().unwrap().remove(name);
+            }
+            report.evicted += 1;
+            report.bytes_evicted += len;
+            report.resident_bytes -= len;
+        }
+        Ok(report)
+    }
+
+    /// The recency stamp of `path`, if this handle has touched it.
+    fn stamp_of(&self, path: &Path) -> Option<u64> {
+        let name = path.file_name()?.to_str()?;
+        self.recency.lock().unwrap().get(name).copied()
     }
 
     /// Current counters.

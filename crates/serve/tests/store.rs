@@ -213,3 +213,70 @@ fn store_backed_cache_never_recompiles_persisted_artifacts() {
     assert_eq!(stats.saves, 2, "the miss was specialized and persisted");
     assert_eq!(temp.store.len().unwrap(), 2);
 }
+
+#[test]
+fn gc_evicts_least_recently_loaded_down_to_budget() {
+    let temp = TempStore::new("gc");
+    let options = SessionOptions::default();
+    let filters = [port_filter(21), port_filter(22), port_filter(23)];
+    let mut sizes = Vec::new();
+    for f in &filters {
+        let path = temp.store.save(&compile(f, &options)).unwrap();
+        sizes.push(std::fs::metadata(&path).unwrap().len());
+    }
+    // Touch the first filter so the second becomes the coldest.
+    let fp = |f: &[mlbox_bpf::insn::Insn]| mlbox_bpf::insn::fingerprint(f);
+    temp.store.load(fp(&filters[0]), &options).unwrap().unwrap();
+
+    // Budget for two artifacts: the coldest (filters[1]) goes.
+    let budget = sizes.iter().sum::<u64>() - sizes[1];
+    let report = temp.store.gc(budget).unwrap();
+    assert_eq!(report.evicted, 1);
+    assert_eq!(report.bytes_evicted, sizes[1]);
+    assert!(report.resident_bytes <= budget);
+    assert!(!temp.store.contains(fp(&filters[1]), &options));
+    assert!(temp.store.contains(fp(&filters[0]), &options));
+    assert!(temp.store.contains(fp(&filters[2]), &options));
+
+    // A generous budget is a no-op sweep.
+    let report = temp.store.gc(u64::MAX).unwrap();
+    assert_eq!((report.evicted, report.bytes_evicted), (0, 0));
+    // A zero budget clears the store.
+    let report = temp.store.gc(0).unwrap();
+    assert_eq!(report.resident_bytes, 0);
+    assert!(temp.store.is_empty().unwrap());
+}
+
+#[test]
+fn gc_never_removes_an_entry_loaded_during_the_sweep() {
+    let temp = TempStore::new("gc-race");
+    let options = SessionOptions::default();
+    let filters = [port_filter(80), port_filter(443)];
+    for f in &filters {
+        temp.store.save(&compile(f, &options)).unwrap();
+    }
+    let fp = |f: &[mlbox_bpf::insn::Insn]| mlbox_bpf::insn::fingerprint(f);
+    // Zero budget selects both as victims; the hook simulates a worker
+    // loading each artifact between victim selection and its unlink.
+    // Every victim is re-stamped mid-sweep, so the sweep removes nothing.
+    let report = temp
+        .store
+        .gc_with_hook(0, |path| {
+            let name = path.file_name().unwrap().to_str().unwrap();
+            for f in &filters {
+                let key = ArtifactStore::file_name(fp(f), options.fingerprint());
+                if key == name {
+                    temp.store.load(fp(f), &options).unwrap().unwrap();
+                }
+            }
+        })
+        .unwrap();
+    assert_eq!(
+        report.evicted, 0,
+        "loads during the sweep pin their entries"
+    );
+    assert_eq!(temp.store.len().unwrap(), 2);
+    // With no interference the same budget clears both.
+    let report = temp.store.gc(0).unwrap();
+    assert_eq!(report.evicted, 2);
+}
